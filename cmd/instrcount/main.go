@@ -1,0 +1,54 @@
+// Command instrcount regenerates the paper's instruction-count analysis:
+// Table 1 (the per-category breakdown of the default ch4 build), Figure 2
+// (the build-configuration ladder for both devices), and the Section 3
+// per-proposal savings. It is the stand-in for the Intel SDE tracing
+// workflow of the paper's artifact.
+//
+// Usage:
+//
+//	instrcount             # everything
+//	instrcount -table1     # Table 1 only
+//	instrcount -fig2       # Figure 2 only
+//	instrcount -proposals  # Section 3 savings only
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"gompi/internal/bench"
+)
+
+func main() {
+	table1 := flag.Bool("table1", false, "print Table 1 only")
+	fig2 := flag.Bool("fig2", false, "print Figure 2 only")
+	proposals := flag.Bool("proposals", false, "print Section 3 proposal savings only")
+	flag.Parse()
+	all := !*table1 && !*fig2 && !*proposals
+
+	if *table1 || all {
+		isend, put, err := bench.Table1()
+		fail(err)
+		bench.WriteTable1(os.Stdout, isend, put)
+		fmt.Println()
+	}
+	if *fig2 || all {
+		isends, puts, err := bench.Figure2()
+		fail(err)
+		bench.WriteFigure2(os.Stdout, isends, puts)
+		fmt.Println()
+	}
+	if *proposals || all {
+		rows, base, err := bench.ProposalSavings()
+		fail(err)
+		bench.WriteProposalSavings(os.Stdout, rows, base)
+	}
+}
+
+func fail(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "instrcount:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,58 @@
+// Command mpirate regenerates the message-rate microbenchmarks of
+// Figures 3 (OFI/PSM2), 4 (UCX/EDR), and 5 (infinitely fast network):
+// the single-core 1-byte MPI_ISEND and MPI_PUT issue rates under each
+// build configuration.
+//
+// Usage:
+//
+//	mpirate                 # all three fabrics
+//	mpirate -net ofi        # one fabric
+//	mpirate -msgs 5000      # sample size
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"gompi/internal/bench"
+)
+
+var figureByFabric = map[string]string{
+	"ofi": "Figure 3: Message rates with OFI/PSM2 (IT cluster profile)",
+	"ucx": "Figure 4: Message rates with UCX (Gomez cluster profile)",
+	"inf": "Figure 5: Message rates with infinitely fast network",
+}
+
+func main() {
+	net := flag.String("net", "", "fabric: ofi | ucx | inf (default: all)")
+	msgs := flag.Int("msgs", 2000, "messages per measurement")
+	csv := flag.Bool("csv", false, "emit CSV for plotting")
+	flag.Parse()
+
+	fabrics := []string{"ofi", "ucx", "inf"}
+	if *net != "" {
+		fabrics = []string{*net}
+	}
+	for i, fab := range fabrics {
+		title, ok := figureByFabric[fab]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "mpirate: unknown fabric %q\n", fab)
+			os.Exit(2)
+		}
+		pts, err := bench.MessageRates(fab, *msgs)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mpirate:", err)
+			os.Exit(1)
+		}
+		if *csv {
+			fmt.Printf("# %s\n", title)
+			bench.WriteRatesCSV(os.Stdout, pts)
+			continue
+		}
+		bench.WriteRates(os.Stdout, title, pts)
+		if i < len(fabrics)-1 {
+			fmt.Println()
+		}
+	}
+}

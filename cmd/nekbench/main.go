@@ -1,0 +1,45 @@
+// Command nekbench regenerates Figure 7: the Nek5000 mass-matrix
+// inversion model problem swept over polynomial order N and elements
+// per rank E/P, under MPICH/Original ("Std") and MPICH/CH4 ("Lite") on
+// the BG/Q platform profile. The y-axis is point-iterations per
+// processor-second; the center panel is the Lite/Std ratio; the right
+// panel is the Amdahl parallel-efficiency model of Section 4.3.
+//
+// The paper's 16,384-rank runs are scaled down (default 16 ranks) with
+// the per-rank load n/P kept on the paper's axis.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"gompi/internal/bench"
+)
+
+func main() {
+	ranksX := flag.Int("px", 4, "process grid x")
+	ranksY := flag.Int("py", 2, "process grid y")
+	ranksZ := flag.Int("pz", 2, "process grid z")
+	maxEP := flag.Int("maxep", 128, "largest E/P (swept in powers of two)")
+	iters := flag.Int("iters", 25, "CG iterations per measurement")
+	fabricName := flag.String("net", "bgq", "fabric profile")
+	csv := flag.Bool("csv", false, "emit CSV for plotting")
+	flag.Parse()
+
+	pts, err := bench.NekSweep(bench.NekSweepOptions{
+		RankGrid: [3]int{*ranksX, *ranksY, *ranksZ},
+		MaxEPerP: *maxEP,
+		Iters:    *iters,
+		Fabric:   *fabricName,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "nekbench:", err)
+		os.Exit(1)
+	}
+	if *csv {
+		bench.WriteNekCSV(os.Stdout, pts)
+		return
+	}
+	bench.WriteNek(os.Stdout, pts)
+}

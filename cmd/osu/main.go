@@ -1,0 +1,39 @@
+// Command osu runs OSU-microbenchmark-style point-to-point latency and
+// bandwidth sweeps over message sizes, for any device/fabric/build
+// combination — the classic companion view to the paper's message-rate
+// figures (rates show the small-message software floor; latency and
+// bandwidth show where the wire takes over).
+//
+// Usage:
+//
+//	osu                              # ch4 on ofi
+//	osu -device original -net ucx
+//	osu -max 1048576 -iters 200
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"gompi"
+	"gompi/internal/bench"
+)
+
+func main() {
+	device := flag.String("device", "ch4", "device: ch4 | original")
+	net := flag.String("net", "ofi", "fabric: ofi | ucx | inf | bgq")
+	build := flag.String("build", "no-err-single-ipo", "build configuration")
+	max := flag.Int("max", 1<<16, "largest message size in bytes")
+	iters := flag.Int("iters", 100, "iterations per size")
+	window := flag.Int("window", 32, "messages in flight for the bandwidth test")
+	flag.Parse()
+
+	cfg := gompi.Config{Device: *device, Fabric: *net, Build: *build}
+	pts, err := bench.OSUSweep(cfg, *max, *iters, *window)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "osu:", err)
+		os.Exit(1)
+	}
+	bench.WriteOSU(os.Stdout, fmt.Sprintf("OSU-style pt2pt sweep: device=%s fabric=%s build=%s", *device, *net, *build), pts)
+}

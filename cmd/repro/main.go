@@ -1,0 +1,81 @@
+// Command repro runs the full reproduction: every table and figure of
+// the paper's evaluation, in order, printing paper-comparable output.
+// See EXPERIMENTS.md for the paper-vs-measured record this generates.
+//
+// Usage:
+//
+//	repro            # quick sweep (minutes)
+//	repro -full      # larger rank counts and sample sizes
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"gompi/internal/bench"
+)
+
+func main() {
+	full := flag.Bool("full", false, "larger rank counts and sample sizes")
+	flag.Parse()
+
+	msgs := 2000
+	nekOpts := bench.NekSweepOptions{RankGrid: [3]int{2, 2, 2}, MaxEPerP: 32, Iters: 15}
+	ljOpts := bench.LammpsSweepOptions{RankGrid: [3]int{3, 3, 3}, Steps: 6}
+	if *full {
+		msgs = 10000
+		nekOpts = bench.NekSweepOptions{RankGrid: [3]int{4, 2, 2}, MaxEPerP: 128, Iters: 25}
+		ljOpts = bench.LammpsSweepOptions{RankGrid: [3]int{3, 3, 3}, Steps: 15}
+	}
+
+	section("Table 1")
+	isend, put, err := bench.Table1()
+	fail(err)
+	bench.WriteTable1(os.Stdout, isend, put)
+
+	section("Figure 2")
+	isends, puts, err := bench.Figure2()
+	fail(err)
+	bench.WriteFigure2(os.Stdout, isends, puts)
+
+	for _, fab := range []string{"ofi", "ucx", "inf"} {
+		section(map[string]string{
+			"ofi": "Figure 3 (OFI/PSM2)", "ucx": "Figure 4 (UCX/EDR)", "inf": "Figure 5 (infinite network)",
+		}[fab])
+		pts, err := bench.MessageRates(fab, msgs)
+		fail(err)
+		bench.WriteRates(os.Stdout, "Message rates on "+fab, pts)
+	}
+
+	section("Figure 6")
+	lad, err := bench.ProposalLadder(msgs)
+	fail(err)
+	bench.WriteProposals(os.Stdout, lad)
+
+	section("Section 3 savings")
+	rows, base, err := bench.ProposalSavings()
+	fail(err)
+	bench.WriteProposalSavings(os.Stdout, rows, base)
+
+	section("Figure 7 (Nek5000 model problem)")
+	nk, err := bench.NekSweep(nekOpts)
+	fail(err)
+	bench.WriteNek(os.Stdout, nk)
+
+	section("Figure 8 (LAMMPS strong scaling)")
+	lj, err := bench.LammpsSweep(ljOpts)
+	fail(err)
+	bench.WriteLammps(os.Stdout, lj)
+}
+
+func section(name string) {
+	fmt.Printf("\n==== %s ====\n", name)
+}
+
+func fail(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "repro:", err)
+		os.Exit(1)
+	}
+}

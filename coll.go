@@ -1,0 +1,252 @@
+package gompi
+
+import (
+	"gompi/internal/coll"
+	"gompi/internal/comm"
+	"gompi/internal/core"
+)
+
+// Op is a predefined reduction operator.
+type Op = coll.Op
+
+// Predefined reduction operators.
+const (
+	OpSum     = coll.OpSum
+	OpProd    = coll.OpProd
+	OpMax     = coll.OpMax
+	OpMin     = coll.OpMin
+	OpLAnd    = coll.OpLAnd
+	OpLOr     = coll.OpLOr
+	OpBAnd    = coll.OpBAnd
+	OpBOr     = coll.OpBOr
+	OpReplace = coll.OpReplace
+	OpNoOp    = coll.OpNoOp
+)
+
+// collPort adapts the device to the machine-independent collective
+// algorithms: blocking matched send/recv on the communicator's
+// collective context. Internal traffic skips the public layer's
+// revalidation, as MPICH's internals do.
+type collPort struct {
+	p  *Proc
+	cv *comm.Comm
+}
+
+// Rank implements coll.PT2PT.
+func (cp collPort) Rank() int { return cp.cv.MyRank }
+
+// Size implements coll.PT2PT.
+func (cp collPort) Size() int { return cp.cv.Size() }
+
+// Send implements coll.PT2PT with a requestless eager send.
+func (cp collPort) Send(data []byte, dest, tag int) error {
+	_, err := cp.p.dev.Isend(data, len(data), Byte, dest, tag, cp.cv, core.FlagNoReq|core.FlagNoProcNull)
+	return err
+}
+
+// Recv implements coll.PT2PT with a blocking matched receive.
+func (cp collPort) Recv(buf []byte, src, tag int) (int, error) {
+	r, err := cp.p.dev.Irecv(buf, len(buf), Byte, src, tag, cp.cv, core.FlagNoProcNull)
+	if err != nil {
+		return 0, err
+	}
+	r.Wait()
+	n := r.Status.Count
+	trunc := r.Status.Truncated
+	r.Free()
+	if trunc {
+		return n, errc(ErrTruncate, "collective fragment truncated")
+	}
+	return n, nil
+}
+
+// port builds the adapter after the MPI-layer charges for a collective
+// entry.
+func (c *Comm) port() collPort { return collPort{p: c.p, cv: c.c.CollView()} }
+
+// collEnter charges the MPI-layer costs every collective entry pays.
+// The returned func (deferred by the collective) both unlocks and
+// records the traced interval.
+func (c *Comm) collEnter() (func(), error) {
+	p := c.p
+	end := p.span(TraceColl, -1, 0)
+	p.chargeCall()
+	unlock := p.chargeThread(c.c, false)
+	done := func() {
+		unlock()
+		if end != nil {
+			end()
+		}
+	}
+	if p.bc.ErrorChecking {
+		if err := p.checkComm(c); err != nil {
+			done()
+			return nil, err
+		}
+	}
+	return done, nil
+}
+
+// Barrier blocks until every rank of the communicator has entered
+// (MPI_BARRIER).
+func (c *Comm) Barrier() error {
+	unlock, err := c.collEnter()
+	if err != nil {
+		return err
+	}
+	defer unlock()
+	return coll.Barrier(c.port())
+}
+
+// Bcast broadcasts root's buffer to all ranks (MPI_BCAST). buf must be
+// count elements of dt on every rank; contiguous layouts only (derived
+// types take the pack path in the devices; collectives here move raw
+// bytes, as the machine-independent layer does).
+func (c *Comm) Bcast(buf []byte, count int, dt *Datatype, root int) error {
+	unlock, err := c.collEnter()
+	if err != nil {
+		return err
+	}
+	defer unlock()
+	n := count * dt.Size()
+	return coll.Bcast(c.port(), buf[:n], root)
+}
+
+// Reduce folds count elements of elem from every rank into recv on root
+// (MPI_REDUCE). recv is ignored elsewhere.
+func (c *Comm) Reduce(send, recv []byte, count int, elem *Datatype, op Op, root int) error {
+	unlock, err := c.collEnter()
+	if err != nil {
+		return err
+	}
+	defer unlock()
+	n := count * elem.Size()
+	var out []byte
+	if c.Rank() == root {
+		out = recv[:n]
+	}
+	return coll.Reduce(c.port(), op, elem, send[:n], out, root)
+}
+
+// Allreduce folds contributions and delivers the result everywhere
+// (MPI_ALLREDUCE).
+func (c *Comm) Allreduce(send, recv []byte, count int, elem *Datatype, op Op) error {
+	unlock, err := c.collEnter()
+	if err != nil {
+		return err
+	}
+	defer unlock()
+	n := count * elem.Size()
+	return coll.Allreduce(c.port(), op, elem, send[:n], recv[:n])
+}
+
+// Gather concentrates equal-size blocks on root (MPI_GATHER).
+func (c *Comm) Gather(send, recv []byte, count int, dt *Datatype, root int) error {
+	unlock, err := c.collEnter()
+	if err != nil {
+		return err
+	}
+	defer unlock()
+	n := count * dt.Size()
+	var out []byte
+	if c.Rank() == root {
+		out = recv
+	} else {
+		out = nil
+	}
+	if c.Rank() == root && len(out) < n*c.Size() {
+		return errc(ErrBuffer, "gather recv buffer %d < %d", len(out), n*c.Size())
+	}
+	return coll.Gather(c.port(), send[:n], out, root)
+}
+
+// Scatter distributes root's equal-size blocks (MPI_SCATTER).
+func (c *Comm) Scatter(send, recv []byte, count int, dt *Datatype, root int) error {
+	unlock, err := c.collEnter()
+	if err != nil {
+		return err
+	}
+	defer unlock()
+	n := count * dt.Size()
+	var in []byte
+	if c.Rank() == root {
+		in = send
+		if len(in) < n*c.Size() {
+			return errc(ErrBuffer, "scatter send buffer %d < %d", len(in), n*c.Size())
+		}
+	}
+	return coll.Scatter(c.port(), in, recv[:n], root)
+}
+
+// Allgather concentrates equal-size blocks everywhere (MPI_ALLGATHER,
+// ring algorithm).
+func (c *Comm) Allgather(send, recv []byte, count int, dt *Datatype) error {
+	unlock, err := c.collEnter()
+	if err != nil {
+		return err
+	}
+	defer unlock()
+	n := count * dt.Size()
+	if len(recv) < n*c.Size() {
+		return errc(ErrBuffer, "allgather recv buffer %d < %d", len(recv), n*c.Size())
+	}
+	return coll.Allgather(c.port(), send[:n], recv)
+}
+
+// Alltoall exchanges equal-size blocks pairwise (MPI_ALLTOALL).
+func (c *Comm) Alltoall(send, recv []byte, count int, dt *Datatype) error {
+	unlock, err := c.collEnter()
+	if err != nil {
+		return err
+	}
+	defer unlock()
+	n := count * dt.Size()
+	if len(send) < n*c.Size() || len(recv) < n*c.Size() {
+		return errc(ErrBuffer, "alltoall buffers short")
+	}
+	return coll.Alltoall(c.port(), send[:n*c.Size()], recv[:n*c.Size()])
+}
+
+// ReduceScatterBlock reduces and scatters equal blocks
+// (MPI_REDUCE_SCATTER_BLOCK).
+func (c *Comm) ReduceScatterBlock(send, recv []byte, count int, elem *Datatype, op Op) error {
+	unlock, err := c.collEnter()
+	if err != nil {
+		return err
+	}
+	defer unlock()
+	n := count * elem.Size()
+	if len(send) < n*c.Size() || len(recv) < n {
+		return errc(ErrBuffer, "reduce_scatter buffers short")
+	}
+	return coll.ReduceScatterBlock(c.port(), op, elem, send[:n*c.Size()], recv[:n])
+}
+
+// OpCreate registers a user-defined commutative reduction operator
+// (MPI_OP_CREATE) usable in every reduction collective and in
+// ReduceLocal. fn folds `in` into `inout` elementwise for count
+// elements of elem; it must be commutative and associative.
+func OpCreate(fn func(in, inout []byte, count int, elem *Datatype) error) Op {
+	return coll.CreateOp(coll.UserFunc(fn))
+}
+
+// ReduceLocal folds inbuf into inoutbuf with op (MPI_REDUCE_LOCAL): a
+// purely local building block for user-level reduction trees.
+func ReduceLocal(inbuf, inoutbuf []byte, count int, elem *Datatype, op Op) error {
+	n := count * elem.Size()
+	if err := coll.Apply(op, elem, inoutbuf[:n], inbuf[:n]); err != nil {
+		return errc(ErrArg, "%v", err)
+	}
+	return nil
+}
+
+// AllreduceFloat64 is a typed convenience for the dominant application
+// pattern: allreduce over float64 values.
+func (c *Comm) AllreduceFloat64(vals []float64, op Op) ([]float64, error) {
+	send := Float64Bytes(vals, nil)
+	recv := make([]byte, len(send))
+	if err := c.Allreduce(send, recv, len(vals), Double, op); err != nil {
+		return nil, err
+	}
+	return BytesFloat64(recv, vals), nil
+}

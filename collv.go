@@ -1,0 +1,81 @@
+package gompi
+
+import "gompi/internal/coll"
+
+// Scan computes the inclusive prefix reduction over ranks 0..r
+// (MPI_SCAN), folding in rank order.
+func (c *Comm) Scan(send, recv []byte, count int, elem *Datatype, op Op) error {
+	unlock, err := c.collEnter()
+	if err != nil {
+		return err
+	}
+	defer unlock()
+	n := count * elem.Size()
+	return coll.Scan(c.port(), op, elem, send[:n], recv[:n])
+}
+
+// Exscan computes the exclusive prefix reduction over ranks 0..r-1
+// (MPI_EXSCAN); rank 0's recv is left untouched.
+func (c *Comm) Exscan(send, recv []byte, count int, elem *Datatype, op Op) error {
+	unlock, err := c.collEnter()
+	if err != nil {
+		return err
+	}
+	defer unlock()
+	n := count * elem.Size()
+	return coll.Exscan(c.port(), op, elem, send[:n], recv[:n])
+}
+
+// Gatherv concentrates variable-size byte blocks on root
+// (MPI_GATHERV): counts[r] bytes from rank r land at byte offset
+// displs[r] of recv. counts/displs/recv are significant only on root.
+func (c *Comm) Gatherv(send []byte, recv []byte, counts, displs []int, root int) error {
+	unlock, err := c.collEnter()
+	if err != nil {
+		return err
+	}
+	defer unlock()
+	if c.Rank() == root {
+		need := 0
+		for r := range counts {
+			if end := displs[r] + counts[r]; end > need {
+				need = end
+			}
+		}
+		if len(recv) < need {
+			return errc(ErrBuffer, "gatherv recv %d < %d", len(recv), need)
+		}
+	}
+	return coll.Gatherv(c.port(), send, recv, counts, displs, root)
+}
+
+// Scatterv distributes variable-size byte blocks from root
+// (MPI_SCATTERV); rank r receives counts[r] bytes into recv.
+func (c *Comm) Scatterv(send []byte, counts, displs []int, recv []byte, root int) error {
+	unlock, err := c.collEnter()
+	if err != nil {
+		return err
+	}
+	defer unlock()
+	return coll.Scatterv(c.port(), send, counts, displs, recv, root)
+}
+
+// Allgatherv concentrates variable-size byte blocks everywhere
+// (MPI_ALLGATHERV); every rank supplies identical counts/displs tables.
+func (c *Comm) Allgatherv(send []byte, recv []byte, counts, displs []int) error {
+	unlock, err := c.collEnter()
+	if err != nil {
+		return err
+	}
+	defer unlock()
+	need := 0
+	for r := range counts {
+		if end := displs[r] + counts[r]; end > need {
+			need = end
+		}
+	}
+	if len(recv) < need {
+		return errc(ErrBuffer, "allgatherv recv %d < %d", len(recv), need)
+	}
+	return coll.Allgatherv(c.port(), send, recv, counts, displs)
+}

@@ -1,0 +1,186 @@
+package gompi
+
+import (
+	"gompi/internal/comm"
+	"gompi/internal/group"
+)
+
+// Comm is a communicator: an isolated communication context over an
+// ordered group of ranks.
+type Comm struct {
+	p *Proc
+	c *comm.Comm
+}
+
+// Rank returns the calling process's rank within the communicator.
+func (c *Comm) Rank() int { return c.c.Rank() }
+
+// Size returns the number of ranks in the communicator.
+func (c *Comm) Size() int { return c.c.Size() }
+
+// Group returns the communicator's process group.
+func (c *Comm) Group() *Group { return &Group{g: c.c.Group()} }
+
+// WorldRank translates a communicator rank to its MPI_COMM_WORLD rank —
+// the translation applications perform once when adopting the
+// global-rank proposal (MPI_GROUP_TRANSLATE_RANKS).
+func (c *Comm) WorldRank(rank int) (int, error) {
+	w, err := c.c.WorldRank(rank)
+	if err != nil {
+		return -1, errc(ErrRank, "%v", err)
+	}
+	return w, nil
+}
+
+// Dup duplicates the communicator with a fresh context
+// (MPI_COMM_DUP). Collective.
+func (c *Comm) Dup() (*Comm, error) {
+	if err := c.p.checkComm(c); err != nil {
+		return nil, err
+	}
+	d, err := c.c.Dup()
+	if err != nil {
+		return nil, errc(ErrComm, "%v", err)
+	}
+	return &Comm{p: c.p, c: d}, nil
+}
+
+// DupPredefined duplicates the communicator into the given predefined
+// handle slot (the MPI_COMM_DUP_PREDEFINED proposal, Section 3.3).
+// Subsequent communication through PredefComm(h) — or flagged calls
+// like IsendPredef — reference the communicator as a constant-indexed
+// global instead of a dereferenced dynamic object. Collective.
+func (c *Comm) DupPredefined(h CommHandle) (*Comm, error) {
+	if h < 0 || int(h) >= MaxPredefinedComms {
+		return nil, errc(ErrArg, "predefined handle %d out of range", h)
+	}
+	d, err := c.Dup()
+	if err != nil {
+		return nil, err
+	}
+	c.p.predef[h] = d
+	return d, nil
+}
+
+// Split partitions by color, ordering each part by key
+// (MPI_COMM_SPLIT). Ranks passing color < 0 receive nil. Collective.
+func (c *Comm) Split(color, key int) (*Comm, error) {
+	if err := c.p.checkComm(c); err != nil {
+		return nil, err
+	}
+	col := color
+	if col < 0 {
+		col = comm.Undefined
+	}
+	s, err := c.c.Split(col, key)
+	if err != nil {
+		return nil, errc(ErrComm, "%v", err)
+	}
+	if s == nil {
+		return nil, nil
+	}
+	return &Comm{p: c.p, c: s}, nil
+}
+
+// SplitTypeShared is the MPI_COMM_TYPE_SHARED selector for SplitType.
+const SplitTypeShared = 1
+
+// SplitType partitions the communicator by locality
+// (MPI_COMM_SPLIT_TYPE with MPI_COMM_TYPE_SHARED): ranks on the same
+// simulated node land in the same communicator — the communicator over
+// which shared-memory optimizations (the shmmod) apply. Collective.
+func (c *Comm) SplitType(splitType, key int) (*Comm, error) {
+	if splitType != SplitTypeShared {
+		return nil, errc(ErrArg, "unknown split type %d", splitType)
+	}
+	// Color by node id of the rank's world rank.
+	w, err := c.c.WorldRank(c.c.Rank())
+	if err != nil {
+		return nil, errc(ErrRank, "%v", err)
+	}
+	return c.Split(c.p.rank.World().Node(w), key)
+}
+
+// Create builds a communicator over a subgroup (MPI_COMM_CREATE).
+// Collective over c; non-members receive nil.
+func (c *Comm) Create(g *Group) (*Comm, error) {
+	if err := c.p.checkComm(c); err != nil {
+		return nil, err
+	}
+	s, err := c.c.Create(g.g)
+	if err != nil {
+		return nil, errc(ErrComm, "%v", err)
+	}
+	if s == nil {
+		return nil, nil
+	}
+	return &Comm{p: c.p, c: s}, nil
+}
+
+// Free releases the communicator (MPI_COMM_FREE).
+func (c *Comm) Free() error {
+	if err := c.c.Free(); err != nil {
+		return errc(ErrComm, "%v", err)
+	}
+	return nil
+}
+
+// SetInfo attaches an info hint (MPI_COMM_SET_INFO).
+func (c *Comm) SetInfo(key, value string) { c.c.SetInfo(key, value) }
+
+// Info reads an info hint (MPI_COMM_GET_INFO).
+func (c *Comm) Info(key string) (string, bool) { return c.c.Info(key) }
+
+// Group is an ordered set of world ranks (MPI_GROUP).
+type Group struct {
+	g *group.Group
+}
+
+// Size returns the group size.
+func (g *Group) Size() int { return g.g.Size() }
+
+// Rank returns the world rank's position in the group, or -1.
+func (g *Group) Rank(world int) int { return g.g.Rank(world) }
+
+// WorldRanks returns the ordered world-rank list.
+func (g *Group) WorldRanks() []int { return g.g.Ranks() }
+
+// Incl returns the subgroup of the listed group ranks (MPI_GROUP_INCL).
+func (g *Group) Incl(ranks []int) (*Group, error) {
+	s, err := g.g.Incl(ranks)
+	if err != nil {
+		return nil, errc(ErrRank, "%v", err)
+	}
+	return &Group{g: s}, nil
+}
+
+// Excl returns the group without the listed ranks (MPI_GROUP_EXCL).
+func (g *Group) Excl(ranks []int) (*Group, error) {
+	s, err := g.g.Excl(ranks)
+	if err != nil {
+		return nil, errc(ErrRank, "%v", err)
+	}
+	return &Group{g: s}, nil
+}
+
+// GroupUnion returns a's processes followed by b's new ones
+// (MPI_GROUP_UNION).
+func GroupUnion(a, b *Group) *Group { return &Group{g: group.Union(a.g, b.g)} }
+
+// GroupIntersection returns a's processes that are also in b
+// (MPI_GROUP_INTERSECTION).
+func GroupIntersection(a, b *Group) *Group { return &Group{g: group.Intersection(a.g, b.g)} }
+
+// GroupDifference returns a's processes not in b
+// (MPI_GROUP_DIFFERENCE).
+func GroupDifference(a, b *Group) *Group { return &Group{g: group.Difference(a.g, b.g)} }
+
+// TranslateRanks maps ranks of group a to their positions in group b
+// (MPI_GROUP_TRANSLATE_RANKS); absent ranks map to -1.
+func TranslateRanks(a *Group, ranks []int, b *Group) ([]int, error) {
+	out, err := group.TranslateRanks(a.g, ranks, b.g)
+	if err != nil {
+		return nil, errc(ErrRank, "%v", err)
+	}
+	return out, nil
+}

@@ -1,0 +1,185 @@
+package gompi
+
+import (
+	"encoding/binary"
+	"math"
+
+	"gompi/internal/datatype"
+)
+
+// Datatype describes the layout of communicated data. Predefined types
+// are package variables; derived types come from the constructors below
+// and must be committed before use, exactly as in MPI.
+type Datatype = datatype.Type
+
+// Predefined datatypes.
+var (
+	Byte   = datatype.Byte
+	Char   = datatype.Char
+	Short  = datatype.Short
+	Int    = datatype.Int
+	Long   = datatype.Long
+	Float  = datatype.Float
+	Double = datatype.Double
+)
+
+// TypeContiguous builds count consecutive elements of base
+// (MPI_TYPE_CONTIGUOUS).
+func TypeContiguous(count int, base *Datatype) (*Datatype, error) {
+	return wrapType(datatype.NewContiguous(count, base))
+}
+
+// TypeVector builds count blocks of blocklen elements spaced stride
+// elements apart (MPI_TYPE_VECTOR).
+func TypeVector(count, blocklen, stride int, base *Datatype) (*Datatype, error) {
+	return wrapType(datatype.NewVector(count, blocklen, stride, base))
+}
+
+// TypeHvector is TypeVector with the stride in bytes
+// (MPI_TYPE_CREATE_HVECTOR).
+func TypeHvector(count, blocklen, strideBytes int, base *Datatype) (*Datatype, error) {
+	return wrapType(datatype.NewHvector(count, blocklen, strideBytes, base))
+}
+
+// TypeIndexed builds blocks of varying lengths at element displacements
+// (MPI_TYPE_INDEXED).
+func TypeIndexed(blocklens, displs []int, base *Datatype) (*Datatype, error) {
+	return wrapType(datatype.NewIndexed(blocklens, displs, base))
+}
+
+// TypeStruct builds a heterogeneous layout at byte displacements
+// (MPI_TYPE_CREATE_STRUCT).
+func TypeStruct(blocklens, displs []int, types []*Datatype) (*Datatype, error) {
+	return wrapType(datatype.NewStruct(blocklens, displs, types))
+}
+
+// TypeSubarray selects an n-dimensional box of a C-order array
+// (MPI_TYPE_CREATE_SUBARRAY).
+func TypeSubarray(sizes, subsizes, starts []int, base *Datatype) (*Datatype, error) {
+	return wrapType(datatype.NewSubarray(sizes, subsizes, starts, base))
+}
+
+// TypeResized overrides a type's extent for interleaved layouts
+// (MPI_TYPE_CREATE_RESIZED with lb=0).
+func TypeResized(base *Datatype, extent int) (*Datatype, error) {
+	return wrapType(datatype.NewResized(base, extent))
+}
+
+// TypeDup returns an independent copy of a datatype (MPI_TYPE_DUP).
+func TypeDup(t *Datatype) *Datatype { return t.Dup() }
+
+func wrapType(t *datatype.Type, err error) (*Datatype, error) {
+	if err != nil {
+		return nil, errc(ErrType, "%v", err)
+	}
+	return t, nil
+}
+
+// PackedSize returns the wire size of count elements of dt
+// (MPI_PACK_SIZE).
+func PackedSize(count int, dt *Datatype) int {
+	return datatype.PackedSize(dt, count)
+}
+
+// Pack serializes count elements of dt from the laid-out inbuf into
+// outbuf, returning the bytes written (MPI_PACK). The type must be
+// committed.
+func Pack(inbuf []byte, count int, dt *Datatype, outbuf []byte) (int, error) {
+	n, err := datatype.Pack(dt, count, inbuf, outbuf)
+	if err != nil {
+		return n, errc(ErrType, "%v", err)
+	}
+	return n, nil
+}
+
+// Unpack deserializes count elements of dt from the packed inbuf into
+// the laid-out outbuf, returning the bytes consumed (MPI_UNPACK).
+func Unpack(inbuf []byte, count int, dt *Datatype, outbuf []byte) (int, error) {
+	n, err := datatype.Unpack(dt, count, inbuf, outbuf)
+	if err != nil {
+		return n, errc(ErrType, "%v", err)
+	}
+	return n, nil
+}
+
+// --- buffer conversion helpers ----------------------------------------
+//
+// The library moves bytes; these helpers convert typed Go slices to and
+// from the little-endian wire layout the reduction operators consume.
+
+// Float64Bytes encodes vals into (a fresh or reused) buffer of
+// 8*len(vals) bytes.
+func Float64Bytes(vals []float64, buf []byte) []byte {
+	if cap(buf) < 8*len(vals) {
+		buf = make([]byte, 8*len(vals))
+	}
+	buf = buf[:8*len(vals)]
+	for i, v := range vals {
+		binary.LittleEndian.PutUint64(buf[8*i:], math.Float64bits(v))
+	}
+	return buf
+}
+
+// BytesFloat64 decodes buf into vals (which must hold len(buf)/8
+// elements) and returns it.
+func BytesFloat64(buf []byte, vals []float64) []float64 {
+	n := len(buf) / 8
+	if cap(vals) < n {
+		vals = make([]float64, n)
+	}
+	vals = vals[:n]
+	for i := range vals {
+		vals[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[8*i:]))
+	}
+	return vals
+}
+
+// Int64Bytes encodes vals as MPI_LONG wire bytes.
+func Int64Bytes(vals []int64, buf []byte) []byte {
+	if cap(buf) < 8*len(vals) {
+		buf = make([]byte, 8*len(vals))
+	}
+	buf = buf[:8*len(vals)]
+	for i, v := range vals {
+		binary.LittleEndian.PutUint64(buf[8*i:], uint64(v))
+	}
+	return buf
+}
+
+// BytesInt64 decodes MPI_LONG wire bytes.
+func BytesInt64(buf []byte, vals []int64) []int64 {
+	n := len(buf) / 8
+	if cap(vals) < n {
+		vals = make([]int64, n)
+	}
+	vals = vals[:n]
+	for i := range vals {
+		vals[i] = int64(binary.LittleEndian.Uint64(buf[8*i:]))
+	}
+	return vals
+}
+
+// Int32Bytes encodes vals as MPI_INT wire bytes.
+func Int32Bytes(vals []int32, buf []byte) []byte {
+	if cap(buf) < 4*len(vals) {
+		buf = make([]byte, 4*len(vals))
+	}
+	buf = buf[:4*len(vals)]
+	for i, v := range vals {
+		binary.LittleEndian.PutUint32(buf[4*i:], uint32(v))
+	}
+	return buf
+}
+
+// BytesInt32 decodes MPI_INT wire bytes.
+func BytesInt32(buf []byte, vals []int32) []int32 {
+	n := len(buf) / 4
+	if cap(vals) < n {
+		vals = make([]int32, n)
+	}
+	vals = vals[:n]
+	for i := range vals {
+		vals[i] = int32(binary.LittleEndian.Uint32(buf[4*i:]))
+	}
+	return vals
+}

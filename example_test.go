@@ -1,0 +1,128 @@
+package gompi_test
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"gompi"
+)
+
+// The smallest complete program: two ranks exchange a greeting.
+func ExampleRun() {
+	cfg := gompi.Config{Device: "ch4", Fabric: "ofi"}
+	err := gompi.Run(2, cfg, func(p *gompi.Proc) error {
+		world := p.World()
+		if p.Rank() == 0 {
+			return world.Send([]byte("hello"), 5, gompi.Byte, 1, 0)
+		}
+		buf := make([]byte, 5)
+		st, err := world.Recv(buf, 5, gompi.Byte, 0, 0)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("rank 1 received %q from rank %d\n", buf, st.Source)
+		return nil
+	})
+	if err != nil {
+		fmt.Println("error:", err)
+	}
+	// Output: rank 1 received "hello" from rank 0
+}
+
+// Allreduce over float64 values with the typed convenience wrapper.
+func ExampleComm_AllreduceFloat64() {
+	var lines []string
+	_ = gompi.Run(4, gompi.Config{Fabric: "inf"}, func(p *gompi.Proc) error {
+		sums, err := p.World().AllreduceFloat64([]float64{float64(p.Rank())}, gompi.OpSum)
+		if err != nil {
+			return err
+		}
+		if p.Rank() == 0 {
+			lines = append(lines, fmt.Sprintf("sum of ranks = %v", sums[0]))
+		}
+		return nil
+	})
+	fmt.Println(strings.Join(lines, "\n"))
+	// Output: sum of ranks = 6
+}
+
+// The Table 1 measurement: per-category instruction cost of one
+// MPI_ISEND on the default build.
+func ExampleProc_Counters() {
+	_ = gompi.Run(2, gompi.Config{Fabric: "inf", Build: "default"}, func(p *gompi.Proc) error {
+		w := p.World()
+		if p.Rank() != 0 {
+			buf := make([]byte, 1)
+			_, err := w.Recv(buf, 1, gompi.Byte, 0, 0)
+			return err
+		}
+		before := p.Counters()
+		req, err := w.Isend([]byte{1}, 1, gompi.Byte, 1, 0)
+		if err != nil {
+			return err
+		}
+		d := p.Counters().Sub(before)
+		if _, err := req.Wait(); err != nil {
+			return err
+		}
+		fmt.Printf("error=%d thread=%d call=%d redundant=%d mandatory=%d total=%d\n",
+			d.ErrorCheck, d.ThreadCheck, d.Call, d.Redundant, d.Mandatory, d.TotalInstr)
+		return nil
+	})
+	// Output: error=74 thread=6 call=23 redundant=59 mandatory=59 total=221
+}
+
+// One-sided communication inside a fence epoch.
+func ExampleWin_Put() {
+	var got []int
+	_ = gompi.Run(3, gompi.Config{Fabric: "inf"}, func(p *gompi.Proc) error {
+		w := p.World()
+		win, mem, err := w.WinAllocate(3, 1)
+		if err != nil {
+			return err
+		}
+		if err := win.Fence(); err != nil {
+			return err
+		}
+		// Everyone writes its rank into slot rank of rank 0's window.
+		if err := win.Put([]byte{byte(p.Rank() + 1)}, 1, gompi.Byte, 0, p.Rank()); err != nil {
+			return err
+		}
+		if err := win.Fence(); err != nil {
+			return err
+		}
+		if p.Rank() == 0 {
+			for _, b := range mem {
+				got = append(got, int(b))
+			}
+		}
+		return win.Free()
+	})
+	sort.Ints(got)
+	fmt.Println(got)
+	// Output: [1 2 3]
+}
+
+// The fused all-opts path of Section 3.7: sixteen instructions from
+// the application to the network on the inlined build.
+func ExampleProc_IsendAllOpts() {
+	_ = gompi.Run(2, gompi.Config{Fabric: "inf", Build: "no-err-single-ipo"}, func(p *gompi.Proc) error {
+		w := p.World()
+		if _, err := w.DupPredefined(gompi.Comm1); err != nil {
+			return err
+		}
+		if p.Rank() == 0 {
+			before := p.Counters()
+			if err := p.IsendAllOpts(gompi.Comm1, []byte{42}, 1); err != nil {
+				return err
+			}
+			fmt.Printf("all-opts path: %d instructions\n", p.Counters().Sub(before).TotalInstr)
+			return p.PredefComm(gompi.Comm1).CommWaitall()
+		}
+		buf := make([]byte, 1)
+		_, err := p.PredefComm(gompi.Comm1).RecvNoMatch(buf, 1, gompi.Byte)
+		return err
+	})
+	// Output: all-opts path: 16 instructions
+}

@@ -1,0 +1,385 @@
+// Package gompi is a Go reproduction of the MPI-3.1 communication stack
+// analyzed in "Why Is MPI So Slow? Analyzing the Fundamental Limits in
+// Implementing MPI-3.1" (Raffenetti et al., SC'17). It provides a
+// working message-passing library over simulated network fabrics with
+// two interchangeable devices — the paper's lightweight CH4 design and
+// a CH3-style baseline — full instruction-level cost accounting of the
+// critical path, and the paper's proposed MPI standard extensions
+// (global-rank sends, virtual-address RMA, predefined communicator
+// handles, no-PROC_NULL / requestless / no-match sends, and the fused
+// MPI_ISEND_ALL_OPTS path).
+//
+// Ranks are goroutines inside one process; time is virtual (per-rank
+// cycle clocks driven by the same instruction charges that produce the
+// paper's Table 1 and Figure 2), so message rates and application
+// scaling curves are deterministic. See DESIGN.md for the full model.
+//
+// The entry point is Run:
+//
+//	cfg := gompi.Config{Device: "ch4", Fabric: "ofi", RanksPerNode: 1}
+//	err := gompi.Run(4, cfg, func(p *gompi.Proc) error {
+//		world := p.World()
+//		if p.Rank() == 0 {
+//			return world.Send([]byte("hi"), 2, gompi.Byte, 1, 0)
+//		}
+//		...
+//	})
+package gompi
+
+import (
+	"errors"
+	"fmt"
+
+	"gompi/internal/abort"
+	"gompi/internal/ch4"
+	"gompi/internal/comm"
+	"gompi/internal/core"
+	"gompi/internal/fabric"
+	"gompi/internal/instr"
+	"gompi/internal/original"
+	"gompi/internal/proc"
+	"gompi/internal/trace"
+	"gompi/internal/vtime"
+)
+
+// Config selects the library build and platform, mirroring the paper's
+// experimental axes.
+type Config struct {
+	// Device selects the MPI implementation: "ch4" (default, the
+	// paper's lightweight device) or "original" (the CH3-style
+	// baseline).
+	Device string
+	// Fabric selects the simulated network: "ofi" (Omni-Path/PSM2
+	// profile), "ucx" (Mellanox EDR profile), or "inf" (the infinitely
+	// fast network; default).
+	Fabric string
+	// RanksPerNode controls locality: 1 (default) makes every peer
+	// remote (pure netmod); >1 co-locates ranks so the shmmod carries
+	// on-node traffic (ch4 only).
+	RanksPerNode int
+	// Build selects the Figure 2 configuration: "default", "no-err",
+	// "no-err-single", "no-err-single-ipo".
+	Build string
+	// ThreadMultiple requests MPI_THREAD_MULTIPLE: communication takes
+	// the per-communicator critical section.
+	ThreadMultiple bool
+	// Trace enables per-operation event tracing (an MPE-style
+	// profile); TraceEvents bounds the per-rank ring (default 4096).
+	Trace       bool
+	TraceEvents int
+	// EagerLimit overrides the fabric's eager/rendezvous threshold in
+	// bytes: 0 keeps the profile default, a positive value sets it,
+	// and a negative value disables rendezvous entirely (everything
+	// eager). Exposed for the eager-threshold ablation.
+	EagerLimit int
+}
+
+// resolve validates the configuration into its internal pieces.
+func (cfg Config) resolve() (prof fabric.Profile, bc core.Config, dev string, rpn int, err error) {
+	prof, ok := fabric.ByName(cfg.Fabric)
+	if !ok {
+		return prof, bc, "", 0, fmt.Errorf("gompi: unknown fabric %q", cfg.Fabric)
+	}
+	bc, ok = core.ConfigByName(cfg.Build)
+	if !ok {
+		return prof, bc, "", 0, fmt.Errorf("gompi: unknown build %q", cfg.Build)
+	}
+	bc.ThreadMultiple = cfg.ThreadMultiple
+	if cfg.ThreadMultiple {
+		bc.ThreadCheck = true
+	}
+	dev = cfg.Device
+	if dev == "" {
+		dev = "ch4"
+	}
+	if dev != "ch4" && dev != "original" {
+		return prof, bc, "", 0, fmt.Errorf("gompi: unknown device %q", cfg.Device)
+	}
+	rpn = cfg.RanksPerNode
+	if rpn <= 0 {
+		rpn = 1
+	}
+	switch {
+	case cfg.EagerLimit > 0:
+		prof.EagerLimit = cfg.EagerLimit
+	case cfg.EagerLimit < 0:
+		prof.EagerLimit = 0 // unlimited eager
+	}
+	return prof, bc, dev, rpn, nil
+}
+
+// MaxPredefinedComms is the size of the predefined communicator handle
+// table of the Section 3.3 proposal.
+const MaxPredefinedComms = 8
+
+// CommHandle names one predefined communicator slot (MPI_COMM_1..8 in
+// the proposal's terms).
+type CommHandle int
+
+// Predefined communicator handles.
+const (
+	Comm1 CommHandle = iota
+	Comm2
+	Comm3
+	Comm4
+	Comm5
+	Comm6
+	Comm7
+	Comm8
+)
+
+// Proc is one rank's handle to the library: the per-rank state an MPI
+// process owns. All methods must be called from the rank's own
+// goroutine (the body function Run started).
+type Proc struct {
+	rank  *proc.Rank
+	dev   core.Device
+	bc    core.Config
+	world *Comm
+	reg   *comm.Registry
+
+	// predef is the global predefined-communicator table of the
+	// Section 3.3 proposal: indexing it is a constant-offset load, not
+	// a dereference into a dynamically allocated object.
+	predef [MaxPredefinedComms]*Comm
+
+	tlog     trace.Log
+	teardown func()
+}
+
+// Run launches an n-rank job and executes body on every rank. It
+// returns when all ranks finish; rank errors are joined.
+func Run(n int, cfg Config, body func(p *Proc) error) error {
+	prof, bc, dev, rpn, err := cfg.resolve()
+	if err != nil {
+		return err
+	}
+	if n <= 0 {
+		return fmt.Errorf("gompi: world size %d", n)
+	}
+	hz := prof.Hz
+	if hz == 0 {
+		hz = 2.2e9
+	}
+	world := proc.NewWorld(n, rpn, hz)
+	world.SetInstrCPI(prof.InstrCPI)
+	reg := comm.NewRegistry()
+
+	var open func(r *proc.Rank) core.Device
+	var abortWorld func()
+	switch dev {
+	case "ch4":
+		g := ch4.NewGlobal(world, prof, bc)
+		open = func(r *proc.Rank) core.Device { return g.Open(r) }
+		abortWorld = g.Abort
+	default:
+		g := original.NewGlobal(world, prof, bc)
+		open = func(r *proc.Rank) core.Device { return g.Open(r) }
+		abortWorld = g.Abort
+	}
+
+	teardown := func() {
+		abortWorld()
+		reg.Abort()
+	}
+	errs := world.RunAll(func(r *proc.Rank) error {
+		// A rank dying by panic must also tear the world down, or
+		// peers blocked on it would hang; re-panic for proc.Run's
+		// recovery to report.
+		defer func() {
+			if rec := recover(); rec != nil {
+				teardown()
+				panic(rec)
+			}
+		}()
+		p := &Proc{rank: r, dev: open(r), bc: bc, reg: reg, teardown: teardown}
+		if cfg.Trace {
+			capEvents := cfg.TraceEvents
+			if capEvents == 0 {
+				capEvents = 4096
+			}
+			p.tlog.Enable(capEvents)
+		}
+		r.StartBarrier()
+		p.world = &Comm{p: p, c: comm.NewWorld(reg, n, r.ID())}
+		err := body(p)
+		if err != nil {
+			// Tear the world down so peers blocked on this rank fail
+			// fast instead of hanging; their abort fallout is filtered
+			// below in favor of this original error.
+			teardown()
+		}
+		return err
+	})
+	// Prefer original failures over teardown fallout.
+	var originals, fallout []error
+	for _, e := range errs {
+		switch {
+		case e == nil:
+		case errors.Is(e, abort.ErrWorldAborted):
+			fallout = append(fallout, e)
+		default:
+			originals = append(originals, e)
+		}
+	}
+	if len(originals) > 0 {
+		return errors.Join(originals...)
+	}
+	return errors.Join(fallout...)
+}
+
+// Rank returns the calling process's MPI_COMM_WORLD rank.
+func (p *Proc) Rank() int { return p.rank.ID() }
+
+// Size returns the world size.
+func (p *Proc) Size() int { return p.rank.World().Size() }
+
+// World returns the MPI_COMM_WORLD communicator.
+func (p *Proc) World() *Comm { return p.world }
+
+// PredefComm returns the communicator installed in the predefined
+// handle slot (nil until CommDupPredefined populates it). The lookup is
+// the proposal's constant-indexed global load.
+func (p *Proc) PredefComm(h CommHandle) *Comm { return p.predef[h] }
+
+// Progress advances the communication engines; long compute loops may
+// call it to let one-sided fallback traffic make progress.
+func (p *Proc) Progress() { p.dev.Progress() }
+
+// Abort terminates the whole job immediately (MPI_ABORT): every rank's
+// blocked operation fails fast and Run returns an error carrying the
+// code. It does not return.
+func (p *Proc) Abort(code int) {
+	p.teardown()
+	panic(errc(ErrOther, "MPI_ABORT called by rank %d with code %d", p.Rank(), code))
+}
+
+// Counters is a public snapshot of the rank's cost accounting: the
+// Table 1 categories plus virtual time.
+type Counters struct {
+	ErrorCheck  int64
+	ThreadCheck int64
+	Call        int64
+	Redundant   int64
+	Mandatory   int64
+	TotalInstr  int64 // sum of the five MPI categories
+	Transport   int64 // fabric/shm cycles (not MPI instructions)
+	Compute     int64 // modeled application cycles
+	Cycles      int64 // total virtual cycles
+}
+
+// Counters returns the current accumulated costs for this rank.
+func (p *Proc) Counters() Counters {
+	prof := p.rank.Profile()
+	return Counters{
+		ErrorCheck:  prof.Count(instr.ErrorCheck),
+		ThreadCheck: prof.Count(instr.ThreadCheck),
+		Call:        prof.Count(instr.Call),
+		Redundant:   prof.Count(instr.Redundant),
+		Mandatory:   prof.Count(instr.Mandatory),
+		TotalInstr:  prof.Total(),
+		Transport:   prof.Count(instr.Transport),
+		Compute:     prof.Count(instr.Compute),
+		Cycles:      prof.Cycles(),
+	}
+}
+
+// Sub returns the difference c - o, for per-region measurements.
+func (c Counters) Sub(o Counters) Counters {
+	return Counters{
+		ErrorCheck:  c.ErrorCheck - o.ErrorCheck,
+		ThreadCheck: c.ThreadCheck - o.ThreadCheck,
+		Call:        c.Call - o.Call,
+		Redundant:   c.Redundant - o.Redundant,
+		Mandatory:   c.Mandatory - o.Mandatory,
+		TotalInstr:  c.TotalInstr - o.TotalInstr,
+		Transport:   c.Transport - o.Transport,
+		Compute:     c.Compute - o.Compute,
+		Cycles:      c.Cycles - o.Cycles,
+	}
+}
+
+// VirtualTime returns the rank's virtual clock in seconds since spawn.
+func (p *Proc) VirtualTime() float64 {
+	return p.rank.Clock().Seconds(0, p.rank.Now())
+}
+
+// VirtualCycles returns the rank's virtual clock in cycles.
+func (p *Proc) VirtualCycles() int64 { return int64(p.rank.Now()) }
+
+// ClockHz returns the model core frequency.
+func (p *Proc) ClockHz() float64 { return p.rank.Clock().Hz() }
+
+// ChargeCompute advances the rank's virtual clock by modeled
+// application work (flop count times cycles per flop). Applications use
+// it to account for arithmetic the simulation performs natively.
+func (p *Proc) ChargeCompute(cycles int64) {
+	p.rank.ChargeCycles(instr.Compute, cycles)
+}
+
+// chargeCall records the public MPI symbol's call-frame cost.
+func (p *Proc) chargeCall() {
+	if !p.bc.Inline {
+		p.rank.Charge(instr.Call, core.CallEntryCost)
+	}
+}
+
+// chargeThread performs the runtime thread-level check (and the real
+// critical section under MPI_THREAD_MULTIPLE). Returns an unlock
+// function (no-op when single-threaded).
+func (p *Proc) chargeThread(c *comm.Comm, win bool) func() {
+	if !p.bc.ThreadCheck {
+		return func() {}
+	}
+	cost := int64(core.ThreadCheckCost)
+	if win {
+		cost = core.ThreadCheckWinCost
+	}
+	p.rank.Charge(instr.ThreadCheck, cost)
+	if !p.bc.ThreadMultiple || c == nil {
+		return func() {}
+	}
+	p.rank.Charge(instr.ThreadCheck, instr.CostLockUnlock)
+	c.Lock.Lock()
+	return c.Lock.Unlock
+}
+
+// wtime is the vtime seconds helper the benchmark harness uses.
+func (p *Proc) wtimeAt(t vtime.Time) float64 { return p.rank.Clock().Seconds(0, t) }
+
+// TraceEvent is one recorded operation of the event trace.
+type TraceEvent = trace.Event
+
+// Trace operation kinds, re-exported for event inspection.
+const (
+	TraceSend  = trace.KindSend
+	TraceRecv  = trace.KindRecv
+	TraceWait  = trace.KindWait
+	TraceColl  = trace.KindColl
+	TracePut   = trace.KindPut
+	TraceGet   = trace.KindGet
+	TraceAcc   = trace.KindAcc
+	TraceSync  = trace.KindSync
+	TraceProbe = trace.KindProbe
+)
+
+// TraceEvents returns this rank's recorded events in chronological
+// order (empty unless Config.Trace was set).
+func (p *Proc) TraceEvents() []TraceEvent { return p.tlog.Events() }
+
+// WriteTraceSummary renders the per-operation profile of this rank.
+func (p *Proc) WriteTraceSummary(w interface{ Write([]byte) (int, error) }) {
+	p.tlog.Summarize().Write(w)
+}
+
+// span starts a traced interval; the returned func records it. A nil
+// return (tracing off) is handled by the callers' `if end != nil`.
+func (p *Proc) span(kind trace.Kind, peer, bytes int) func() {
+	if !p.tlog.Enabled() {
+		return nil
+	}
+	start := p.rank.Now()
+	return func() {
+		p.tlog.Record(trace.Event{Kind: kind, Peer: peer, Bytes: bytes, Start: start, End: p.rank.Now()})
+	}
+}

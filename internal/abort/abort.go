@@ -1,0 +1,43 @@
+// Package abort provides the world-teardown signal shared by every
+// blocking layer: when one rank fails, the runtime raises the flag and
+// wakes all sleepers, whose blocking waits then panic with
+// ErrWorldAborted instead of hanging forever. The rank runtime converts
+// those panics into per-rank errors, so the original failure surfaces.
+package abort
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+)
+
+// ErrWorldAborted is the panic value blocking operations raise during
+// teardown.
+var ErrWorldAborted = errors.New("world aborted: another rank failed")
+
+// Flag is the teardown signal. The zero value is ready to use.
+type Flag struct {
+	set atomic.Bool
+}
+
+// Raise sets the flag.
+func (f *Flag) Raise() { f.set.Store(true) }
+
+// Raised reports whether the flag is set.
+func (f *Flag) Raised() bool { return f.set.Load() }
+
+// Check panics with ErrWorldAborted if the flag is set.
+func (f *Flag) Check() {
+	if f.set.Load() {
+		panic(ErrWorldAborted)
+	}
+}
+
+// CheckLocked is Check for callers holding mu, which must be released
+// before the panic propagates.
+func (f *Flag) CheckLocked(mu *sync.Mutex) {
+	if f.set.Load() {
+		mu.Unlock()
+		panic(ErrWorldAborted)
+	}
+}

@@ -1,0 +1,75 @@
+package abort
+
+import (
+	"errors"
+	"sync"
+	"testing"
+)
+
+func TestFlagLifecycle(t *testing.T) {
+	var f Flag
+	if f.Raised() {
+		t.Fatal("zero flag raised")
+	}
+	f.Check() // must not panic
+	f.Raise()
+	if !f.Raised() {
+		t.Fatal("raise lost")
+	}
+	defer func() {
+		r := recover()
+		err, ok := r.(error)
+		if !ok || !errors.Is(err, ErrWorldAborted) {
+			t.Fatalf("Check panicked with %v", r)
+		}
+	}()
+	f.Check()
+	t.Fatal("Check did not panic after Raise")
+}
+
+func TestCheckLockedReleasesMutex(t *testing.T) {
+	var f Flag
+	var mu sync.Mutex
+	f.Raise()
+	mu.Lock()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("CheckLocked did not panic")
+			}
+		}()
+		f.CheckLocked(&mu)
+	}()
+	// The mutex must have been released before the panic.
+	if !mu.TryLock() {
+		t.Fatal("mutex still held after CheckLocked panic")
+	}
+	mu.Unlock()
+}
+
+func TestCheckLockedNoop(t *testing.T) {
+	var f Flag
+	var mu sync.Mutex
+	mu.Lock()
+	f.CheckLocked(&mu) // not raised: must keep the lock
+	if mu.TryLock() {
+		t.Fatal("CheckLocked released the mutex without panicking")
+	}
+	mu.Unlock()
+}
+
+func TestConcurrentRaise(t *testing.T) {
+	var f Flag
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			f.Raise()
+		}()
+	}
+	wg.Wait()
+	if !f.Raised() {
+		t.Fatal("concurrent raise lost")
+	}
+}

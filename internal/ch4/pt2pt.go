@@ -1,0 +1,341 @@
+package ch4
+
+import (
+	"errors"
+	"fmt"
+
+	"gompi/internal/comm"
+	"gompi/internal/core"
+	"gompi/internal/datatype"
+	"gompi/internal/fabric"
+	"gompi/internal/instr"
+	"gompi/internal/match"
+	"gompi/internal/request"
+	"gompi/internal/vtime"
+)
+
+// ErrTruncated reports a receive whose buffer was smaller than the
+// matched message (MPI_ERR_TRUNCATE).
+var ErrTruncated = errors.New("ch4: message truncated")
+
+// Isend implements the ADI nonblocking send (the paper's MPI_ISEND fast
+// path plus the Section 3 proposal variants selected by flags).
+func (d *Device) Isend(buf []byte, count int, dt *datatype.Type, dest, tag int,
+	c *comm.Comm, flags core.OpFlags) (*request.Request, error) {
+
+	d.chargeDispatch(costDispatchPt2pt)
+
+	// MPI_PROC_NULL handling (Section 3.4): a comparison and branch
+	// every send pays unless the caller promised not to use it.
+	if !flags.Has(core.FlagNoProcNull) {
+		d.charge(instr.Mandatory, costProcNull)
+		if dest == core.ProcNull {
+			return d.completedRequest(flags, c, request.Kind(request.KindSend)), nil
+		}
+	}
+
+	// Communicator object reference (Section 3.3).
+	if flags.Has(core.FlagPredefComm) {
+		d.charge(instr.Mandatory, costCommPredef)
+	} else {
+		d.charge(instr.Mandatory, costCommDeref)
+	}
+	ctx := c.Ctx
+
+	// Rank-to-network-address translation (Section 3.1).
+	var world int
+	if flags.Has(core.FlagGlobalRank) {
+		world = dest // already an MPI_COMM_WORLD rank: zero translation
+	} else {
+		var err error
+		world, err = d.translateRank(c, dest)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// Datatype resolution (Section 2.2 redundant checks).
+	d.chargeRedundant(costRedundantMarshal + costRedundantReload)
+	data, err := d.sendBytes(buf, count, dt)
+	if err != nil {
+		return nil, err
+	}
+
+	// Match-bits construction (Section 3.6). The costMatchBits charge
+	// includes the branch that dispatches between the full path, the
+	// dedicated no-match function, and the info-hint special case.
+	var bits match.Bits
+	switch {
+	case flags.Has(core.FlagNoMatch):
+		d.charge(instr.Mandatory, costMatchBitsNoMatch)
+		bits = match.MakeBits(ctx, 0, 0)
+	case c.AssertNoMatch:
+		// The Section 3.6 *alternative*: an info hint instead of a new
+		// function. Same wire behavior as FlagNoMatch, but the hint
+		// lookup costs an extra dereference into the communicator plus
+		// a branch — or just the two branch instructions when the
+		// communicator reference already collapsed to a predefined
+		// global (Section 3.3), exactly as the paper analyzes.
+		if flags.Has(core.FlagPredefComm) {
+			d.charge(instr.Mandatory, costMatchBitsNoMatch+2)
+		} else {
+			d.charge(instr.Mandatory, costMatchBitsNoMatch+2+instr.CostDeref)
+		}
+		bits = match.MakeBits(ctx, 0, 0)
+	default:
+		d.charge(instr.Mandatory, costMatchBits)
+		bits = match.MakeBits(ctx, c.MyRank, tag)
+	}
+
+	// Locality dispatch and injection (ch4 core -> netmod/shmmod).
+	d.inject(world, bits, data)
+
+	// Completion (Section 3.5): request object or counter.
+	d.chargeRedundant(costRedundantComplete)
+	return d.completedRequest(flags, c, request.KindSend), nil
+}
+
+// sendBytes resolves the user (buf, count, datatype) triple into wire
+// bytes: a zero-copy view for contiguous layouts (the fast path) or a
+// pack for derived ones (charged as real pack work).
+func (d *Device) sendBytes(buf []byte, count int, dt *datatype.Type) ([]byte, error) {
+	d.chargeRedundantType(dt, costRedundantDatatype)
+	d.chargeRedundant(costRedundantBufAddr)
+	if view, ok := datatype.ContigView(dt, count, buf); ok {
+		return view, nil
+	}
+	packed := make([]byte, datatype.PackedSize(dt, count))
+	n, err := datatype.Pack(dt, count, buf, packed)
+	if err != nil {
+		return nil, err
+	}
+	// Pack is real per-byte work the fast path never does; it stays in
+	// the instruction count so derived-type sends are visibly dearer.
+	d.charge(instr.Mandatory, int64(10+n/2))
+	return packed, nil
+}
+
+// inject routes the message by locality: self-loopback, shmmod for
+// on-node peers, netmod otherwise.
+func (d *Device) inject(world int, bits match.Bits, data []byte) {
+	d.charge(instr.Mandatory, costLocality)
+	switch {
+	case world == d.rank.ID():
+		d.charge(instr.Mandatory, costSelfLoop)
+		cp := append([]byte(nil), data...)
+		d.ep.DepositLocal(bits, world, cp, d.rank.Now())
+	case d.g.Shm != nil && d.g.World.SameNode(world, d.rank.ID()):
+		d.charge(instr.Mandatory, costShmPrep)
+		d.g.Shm.Send(d.rank.ID(), world, bits, data)
+	default:
+		d.charge(instr.Mandatory, costNetmodPrep)
+		d.ep.TaggedSend(world, bits, data)
+	}
+}
+
+// completedRequest finishes an eagerly completed send: either a pooled
+// request object or, under the no-request proposal, a counter bump.
+func (d *Device) completedRequest(flags core.OpFlags, c *comm.Comm, kind request.Kind) *request.Request {
+	if flags.Has(core.FlagNoReq) {
+		d.charge(instr.Mandatory, costCounter)
+		c.NoReq.Add()
+		c.NoReq.Done() // eager injection: locally complete already
+		return nil
+	}
+	d.charge(instr.Mandatory, costRequestAlloc)
+	r := d.pool.Get(kind)
+	r.MarkComplete(request.Status{})
+	return r
+}
+
+// IsendAllOpts is the dedicated MPI_ISEND_ALL_OPTS path of Section 3.7:
+// every proposal applied at once, hand-minimized to ~16 instructions.
+// The destination is a world rank, the communicator must come from the
+// predefined table, matching is arrival-order, completion is counted,
+// and the datatype is fixed to bytes (the inlined compile-time-constant
+// case).
+func (d *Device) IsendAllOpts(buf []byte, worldDest int, c *comm.Comm) error {
+	// Context from the predefined-comm global: 1 load.
+	d.charge(instr.Mandatory, costCommPredef)
+	bits := match.MakeBits(c.Ctx, 0, 0) // arrival-order bits: 1 load
+	d.charge(instr.Mandatory, costMatchBitsNoMatch)
+	// Counter completion: ~3 instructions.
+	d.charge(instr.Mandatory, costCounter)
+	c.NoReq.Add()
+	c.NoReq.Done()
+	// Buffer address + length registers: 2; fused netmod descriptor
+	// write and doorbell: 9.
+	d.charge(instr.Mandatory, 2+9)
+	d.ep.TaggedSend(worldDest, bits, buf)
+	return nil
+}
+
+// Irecv implements the ADI nonblocking receive. The receive descriptor
+// goes straight to the matching unit shared by netmod and shmmod.
+func (d *Device) Irecv(buf []byte, count int, dt *datatype.Type, src, tag int,
+	c *comm.Comm, flags core.OpFlags) (*request.Request, error) {
+
+	d.chargeDispatch(costDispatchPt2pt)
+
+	if !flags.Has(core.FlagNoProcNull) {
+		d.charge(instr.Mandatory, costProcNull)
+		if src == core.ProcNull {
+			r := d.pool.Get(request.KindRecv)
+			r.MarkComplete(request.Status{Source: core.ProcNull, Tag: core.AnyTag})
+			return r, nil
+		}
+	}
+
+	if flags.Has(core.FlagPredefComm) {
+		d.charge(instr.Mandatory, costCommPredef)
+	} else {
+		d.charge(instr.Mandatory, costCommDeref)
+	}
+
+	// Build the match bits and wildcard mask. Receives match on the
+	// sender's communicator rank, so no address translation is needed
+	// here; wildcard bits replace it.
+	var bits, mask match.Bits
+	switch {
+	case flags.Has(core.FlagNoMatch):
+		d.charge(instr.Mandatory, costMatchBitsNoMatch)
+		bits = match.MakeBits(c.Ctx, 0, 0)
+		mask = match.NoMatchMask
+	default:
+		d.charge(instr.Mandatory, costMatchBits)
+		anySrc := src == core.AnySource
+		anyTag := tag == core.AnyTag
+		s, tg := src, tag
+		if anySrc {
+			s = 0
+		}
+		if anyTag {
+			tg = 0
+		}
+		bits = match.MakeBits(c.Ctx, s, tg)
+		mask = match.RecvMask(anySrc, anyTag)
+	}
+
+	d.chargeRedundant(costRedundantMarshal + costRedundantReload + costRedundantBufAddr)
+	d.chargeRedundantType(dt, costRedundantDatatype)
+
+	// Contiguous receives land in the user buffer; derived layouts
+	// receive into a bounce buffer and unpack at completion.
+	op := &fabric.RecvOp{}
+	var bounce []byte
+	if view, ok := datatype.ContigView(dt, count, buf); ok {
+		op.Buf = view
+	} else {
+		bounce = make([]byte, datatype.PackedSize(dt, count))
+		op.Buf = bounce
+	}
+
+	d.charge(instr.Mandatory, costRecvPost+costRequestAlloc)
+	d.ep.PostRecv(op, bits, mask)
+
+	r := d.pool.Get(request.KindRecv)
+	finish := func(r *request.Request) error {
+		if bounce != nil {
+			if _, err := datatype.Unpack(dt, count, bounce[:op.N], buf); err != nil {
+				return err
+			}
+			d.charge(instr.Mandatory, int64(10+op.N/2))
+		}
+		r.MarkComplete(request.Status{
+			Source: op.Src, Tag: op.Tag, Count: op.N, Truncated: op.Truncated,
+		})
+		return nil
+	}
+	r.Poll = func(r *request.Request) bool {
+		if !d.recvDone(op) {
+			return false
+		}
+		if err := finish(r); err != nil {
+			r.MarkComplete(request.Status{Truncated: true})
+		}
+		return true
+	}
+	r.Block = func(r *request.Request) {
+		d.waitRecv(op)
+		if err := finish(r); err != nil {
+			r.MarkComplete(request.Status{Truncated: true})
+		}
+	}
+	return r, nil
+}
+
+// recvDone polls one receive, pumping progress so shm and AM traffic
+// can complete it.
+func (d *Device) recvDone(op *fabric.RecvOp) bool {
+	d.Progress()
+	return d.ep.RecvDone(op)
+}
+
+// waitRecv parks until the receive completes, pumping both transports.
+func (d *Device) waitRecv(op *fabric.RecvOp) {
+	for {
+		seq := d.ep.EventSeq()
+		d.Progress()
+		if d.ep.RecvDone(op) {
+			return
+		}
+		d.ep.WaitEvent(seq)
+	}
+}
+
+// Iprobe checks for a matchable unexpected message (MPI_IPROBE). It
+// runs a progress pass first so shm traffic is visible.
+func (d *Device) Iprobe(src, tag int, c *comm.Comm) (request.Status, bool, error) {
+	d.Progress()
+	anySrc := src == core.AnySource
+	anyTag := tag == core.AnyTag
+	s, tg := src, tag
+	if anySrc {
+		s = 0
+	}
+	if anyTag {
+		tg = 0
+	}
+	bits := match.MakeBits(c.Ctx, s, tg)
+	psrc, ptag, size, ok := d.ep.Probe(bits, match.RecvMask(anySrc, anyTag))
+	if !ok {
+		return request.Status{}, false, nil
+	}
+	return request.Status{Source: psrc, Tag: ptag, Count: size}, true, nil
+}
+
+// Improbe extracts a matchable message (MPI_IMPROBE): hardware-matched
+// at the endpoint, so extraction is a queue operation there.
+func (d *Device) Improbe(src, tag int, c *comm.Comm) ([]byte, request.Status, vtime.Time, bool, error) {
+	d.Progress()
+	anySrc := src == core.AnySource
+	anyTag := tag == core.AnyTag
+	s, tg := src, tag
+	if anySrc {
+		s = 0
+	}
+	if anyTag {
+		tg = 0
+	}
+	bits := match.MakeBits(c.Ctx, s, tg)
+	psrc, ptag, data, arrival, ok := d.ep.MProbe(bits, match.RecvMask(anySrc, anyTag))
+	if !ok {
+		return nil, request.Status{}, 0, false, nil
+	}
+	return data, request.Status{Source: psrc, Tag: ptag, Count: len(data)}, arrival, true, nil
+}
+
+// CommWaitall completes all requestless operations on the communicator
+// (the MPI_COMM_WAITALL proposal). Eager injection means sends are
+// locally complete at issue; the wait is a counter check plus progress.
+func (d *Device) CommWaitall(c *comm.Comm) error {
+	d.charge(instr.Mandatory, costCounter)
+	if c.NoReq.Pending() == 0 {
+		return nil
+	}
+	d.waitUntil(func() bool { return c.NoReq.Pending() == 0 })
+	return nil
+}
+
+// errString formats device errors uniformly.
+func errString(op string, err error) error { return fmt.Errorf("ch4 %s: %w", op, err) }

@@ -1,0 +1,548 @@
+package ch4
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"runtime"
+
+	"gompi/internal/abort"
+	"gompi/internal/coll"
+	"gompi/internal/comm"
+	"gompi/internal/core"
+	"gompi/internal/datatype"
+	"gompi/internal/instr"
+	"gompi/internal/rma"
+	"gompi/internal/vtime"
+)
+
+// Mandatory-overhead charges on the one-sided fast path (Table 1,
+// MPI_PUT column).
+const (
+	costWinDeref     = 8 // dereference into the window object
+	costOffsetXlate  = 4 // base lookup + displacement-unit scaling (§3.2)
+	costVirtAddr     = 1 // the virtual-address fast path's single load
+	costEpochTrack   = 6 // outstanding-op accounting for flush semantics
+	costRDMADescPrep = 8 // RDMA descriptor preparation
+	costAMFallback   = 30
+	costLockProto    = 24 // passive-target lock protocol round trip
+	costFlushProto   = 12
+)
+
+// ErrNotAttached reports RMA to a dynamic window address with no
+// attachment.
+var ErrNotAttached = errors.New("ch4: dynamic window address not attached")
+
+// winInfo is the per-rank record exchanged during window creation.
+type winInfo struct {
+	key, size, dispUnit int
+}
+
+// WinCreate collectively creates a window exposing mem.
+func (d *Device) WinCreate(mem []byte, dispUnit int, c *comm.Comm) (*rma.Win, error) {
+	return d.winCreate(mem, dispUnit, c, false)
+}
+
+// WinCreateDynamic collectively creates a window with no initial
+// memory.
+func (d *Device) WinCreateDynamic(c *comm.Comm) (*rma.Win, error) {
+	return d.winCreate(nil, 1, c, true)
+}
+
+func (d *Device) winCreate(mem []byte, dispUnit int, c *comm.Comm, dynamic bool) (*rma.Win, error) {
+	if dispUnit <= 0 {
+		return nil, errString("win_create", rma.ErrBadWinArg)
+	}
+	myKey := 0
+	if !dynamic {
+		myKey = d.g.Fab.RegisterRegion(d.rank.ID(), mem)
+	}
+	// Phase 1: everyone learns everyone's region key, size, and
+	// displacement unit (the real implementation's allgather).
+	vals := c.Exchange(winInfo{myKey, len(mem), dispUnit})
+	var sh *rma.Shared
+	if c.MyRank == 0 {
+		sh = rma.NewShared(c.Size(), dynamic)
+		for r, v := range vals {
+			wi := v.(winInfo)
+			sh.Keys[r], sh.Sizes[r], sh.DispUnits[r] = wi.key, wi.size, wi.dispUnit
+		}
+	}
+	// Phase 2: distribute the completed shared table (and its lock
+	// instances) from rank 0.
+	vals = c.Exchange(sh)
+	sh = vals[0].(*rma.Shared)
+
+	w := rma.NewWin(c, mem, dispUnit, myKey, sh)
+	// Windows open in an implicit fence-capable state; MPI programs
+	// call Fence to start the first access epoch.
+	return w, nil
+}
+
+// WinFree collectively releases the window.
+func (d *Device) WinFree(w *rma.Win) error {
+	d.barrier(w.Comm)
+	if !w.Shared.Dynamic {
+		d.g.Fab.UnregisterRegion(d.rank.ID(), w.MyKey)
+	}
+	return nil
+}
+
+// WinAttach exposes mem through a dynamic window and returns its
+// virtual address, which the application distributes to origins (as it
+// would distribute MPI_GET_ADDRESS results).
+func (d *Device) WinAttach(w *rma.Win, mem []byte) (rma.VAddr, error) {
+	if !w.Shared.Dynamic {
+		return 0, errString("win_attach", rma.ErrBadWinArg)
+	}
+	key := d.g.Fab.RegisterRegion(d.rank.ID(), mem)
+	if err := w.Attach(mem, key); err != nil {
+		return 0, err
+	}
+	return rma.MakeDynAddr(key, 0), nil
+}
+
+// WinDetach revokes an attachment.
+func (d *Device) WinDetach(w *rma.Win, mem []byte, va rma.VAddr) error {
+	if err := w.Detach(mem); err != nil {
+		return err
+	}
+	d.g.Fab.UnregisterRegion(d.rank.ID(), va.DynKey())
+	return nil
+}
+
+// resolveTarget turns (target, disp, flags) into the fabric (rank,
+// region key, byte offset) triple, charging the Section 3.2 costs.
+func (d *Device) resolveTarget(target, disp, nbytes int, w *rma.Win, flags core.OpFlags) (world, key, off int, err error) {
+	world, err = d.translateRank(w.Comm, target)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	if flags.Has(core.FlagVirtAddr) || w.Shared.Dynamic {
+		// Virtual-address path: no displacement-unit scaling, no base
+		// dereference — a single register use (§3.2 proposal; dynamic
+		// windows already carry addresses).
+		d.charge(instr.Mandatory, costVirtAddr)
+		va := rma.VAddr(disp)
+		if w.Shared.Dynamic {
+			return world, va.DynKey(), va.DynOff(), nil
+		}
+		if err := w.CheckVAddr(target, va, nbytes); err != nil {
+			return 0, 0, 0, err
+		}
+		return world, w.Shared.Keys[target], int(va), nil
+	}
+	d.charge(instr.Mandatory, costOffsetXlate)
+	off, err = w.TargetOffset(target, disp, nbytes)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	return world, w.Shared.Keys[target], off, nil
+}
+
+// Put implements the ADI one-sided put: native RDMA for contiguous
+// layouts, ch4-core active-message fallback for derived target
+// layouts — exactly the netmod decision the paper walks through.
+func (d *Device) Put(origin []byte, count int, dt *datatype.Type, target, disp int,
+	w *rma.Win, flags core.OpFlags) error {
+
+	d.chargeDispatch(costDispatchRMA)
+
+	if !flags.Has(core.FlagNoProcNull) {
+		d.charge(instr.Mandatory, costProcNull)
+		if target == core.ProcNull {
+			return nil
+		}
+	}
+	d.charge(instr.Mandatory, costWinDeref+costEpochTrack)
+	d.chargeRedundant(costRedundantMarshal + costRedundantReload + costRedundantBufAddr + costRedundantWinKind)
+	d.chargeRedundantType(dt, costRedundantDatatype)
+
+	nbytes := datatype.PackedSize(dt, count)
+	world, key, off, err := d.resolveTarget(target, disp, nbytes, w, flags)
+	if err != nil {
+		return errString("put", err)
+	}
+	d.charge(instr.Mandatory, costLocality)
+
+	if view, ok := datatype.ContigView(dt, count, origin); ok {
+		// Native netmod fast path: one RDMA write.
+		d.charge(instr.Mandatory, costRDMADescPrep)
+		d.ep.Put(world, key, off, view)
+		return nil
+	}
+	// Active-message fallback in the ch4 core: pack the origin data,
+	// ship the flattened target layout, and let the target-side
+	// handler scatter it.
+	return d.putDerivedAM(origin, count, dt, world, key, off)
+}
+
+// Get implements the ADI one-sided get: RDMA reads, per-segment for
+// derived layouts.
+func (d *Device) Get(origin []byte, count int, dt *datatype.Type, target, disp int,
+	w *rma.Win, flags core.OpFlags) error {
+
+	d.chargeDispatch(costDispatchRMA)
+
+	if !flags.Has(core.FlagNoProcNull) {
+		d.charge(instr.Mandatory, costProcNull)
+		if target == core.ProcNull {
+			return nil
+		}
+	}
+	d.charge(instr.Mandatory, costWinDeref+costEpochTrack)
+	d.chargeRedundant(costRedundantMarshal + costRedundantReload + costRedundantBufAddr + costRedundantWinKind)
+	d.chargeRedundantType(dt, costRedundantDatatype)
+
+	nbytes := datatype.PackedSize(dt, count)
+	world, key, off, err := d.resolveTarget(target, disp, nbytes, w, flags)
+	if err != nil {
+		return errString("get", err)
+	}
+	d.charge(instr.Mandatory, costLocality)
+
+	if view, ok := datatype.ContigView(dt, count, origin); ok {
+		d.charge(instr.Mandatory, costRDMADescPrep)
+		d.ep.Get(world, key, off, view)
+		return nil
+	}
+	// Derived layout: one RDMA read per segment, landing directly in
+	// the laid-out origin buffer.
+	for k := 0; k < count; k++ {
+		base := k * dt.Extent()
+		for _, s := range dt.Segments() {
+			d.charge(instr.Mandatory, costRDMADescPrep)
+			d.ep.Get(world, key, off+base+s.Off, origin[base+s.Off:base+s.Off+s.Len])
+		}
+	}
+	return nil
+}
+
+// Accumulate folds origin into the target window. Predefined element
+// types ride the fabric's atomic read-modify-write (the NIC atomic);
+// derived layouts fall back to active messages.
+func (d *Device) Accumulate(origin []byte, count int, dt *datatype.Type, target, disp int,
+	op coll.Op, w *rma.Win, flags core.OpFlags) error {
+	return d.accumulate(origin, nil, count, dt, target, disp, op, w, flags)
+}
+
+// GetAccumulate atomically fetches the prior contents into result and
+// folds origin in.
+func (d *Device) GetAccumulate(origin, result []byte, count int, dt *datatype.Type,
+	target, disp int, op coll.Op, w *rma.Win, flags core.OpFlags) error {
+	if result == nil {
+		return errString("get_accumulate", rma.ErrBadWinArg)
+	}
+	return d.accumulate(origin, result, count, dt, target, disp, op, w, flags)
+}
+
+func (d *Device) accumulate(origin, result []byte, count int, dt *datatype.Type,
+	target, disp int, op coll.Op, w *rma.Win, flags core.OpFlags) error {
+
+	d.chargeDispatch(costDispatchRMA)
+
+	if !flags.Has(core.FlagNoProcNull) {
+		d.charge(instr.Mandatory, costProcNull)
+		if target == core.ProcNull {
+			return nil
+		}
+	}
+	d.charge(instr.Mandatory, costWinDeref+costEpochTrack)
+	d.chargeRedundant(costRedundantMarshal + costRedundantReload + costRedundantWinKind)
+	d.chargeRedundantType(dt, costRedundantDatatype)
+
+	elem := dt.BaseElem()
+	if elem == nil {
+		return errString("accumulate", coll.ErrBadOp)
+	}
+	nbytes := datatype.PackedSize(dt, count)
+	world, key, off, err := d.resolveTarget(target, disp, nbytes, w, flags)
+	if err != nil {
+		return errString("accumulate", err)
+	}
+	d.charge(instr.Mandatory, costLocality)
+
+	view, contig := datatype.ContigView(dt, count, origin)
+	if !contig {
+		// Derived layouts take the AM fallback; result fetch is not
+		// supported there (matching MPI implementations that restrict
+		// get_accumulate fast paths).
+		if result != nil {
+			return errString("get_accumulate", coll.ErrBadOp)
+		}
+		return d.accDerivedAM(origin, count, dt, op, world, key, off)
+	}
+
+	d.charge(instr.Mandatory, costRDMADescPrep)
+	var applyErr error
+	d.ep.RMW(world, key, off, nbytes, func(tgt []byte) {
+		if result != nil {
+			copy(result, tgt)
+		}
+		applyErr = coll.Apply(op, elem, tgt, view)
+	})
+	if applyErr != nil {
+		return errString("accumulate", applyErr)
+	}
+	return nil
+}
+
+// Fence closes the current fence epoch and opens the next
+// (MPI_WIN_FENCE): wait out the AM fallback acknowledgements, barrier,
+// and fold remote-write arrival times into the local clock.
+func (d *Device) Fence(w *rma.Win) error {
+	d.charge(instr.Mandatory, costEpochTrack)
+	d.flushAM()
+	d.barrier(w.Comm)
+	if !w.Shared.Dynamic {
+		d.rank.Sync(d.g.Fab.RegionArrival(d.rank.ID(), w.MyKey))
+	}
+	return w.OpenEpoch(rma.EpochFence, -1)
+}
+
+// FenceEnd closes the fence epoch sequence (MPI_WIN_FENCE with
+// MPI_MODE_NOSUCCEED): flush, synchronize, and leave the window
+// epoch-free so passive-target epochs may follow.
+func (d *Device) FenceEnd(w *rma.Win) error {
+	d.charge(instr.Mandatory, costEpochTrack)
+	d.flushAM()
+	d.barrier(w.Comm)
+	if !w.Shared.Dynamic {
+		d.rank.Sync(d.g.Fab.RegionArrival(d.rank.ID(), w.MyKey))
+	}
+	if w.InEpoch() {
+		if _, err := w.CloseEpoch(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Lock opens a passive-target access epoch on target
+// (MPI_WIN_LOCK). The lock protocol costs a network round trip.
+func (d *Device) Lock(w *rma.Win, target int, exclusive bool) error {
+	if err := w.OpenEpoch(rma.EpochLock, target); err != nil {
+		return err
+	}
+	d.charge(instr.Mandatory, costLockProto)
+	d.rank.ChargeCycles(instr.Transport, 2*d.g.Fab.Profile().WireLatency)
+	// Spin with progress: a blocked rank must keep servicing AM
+	// fallback traffic or lock holders could never finish their epoch.
+	for !w.Shared.TryAcquireLock(target, exclusive) {
+		if d.g.Fab.Aborted() {
+			panic(abort.ErrWorldAborted)
+		}
+		d.Progress()
+		runtime.Gosched()
+	}
+	w.LockExclusive = exclusive
+	return nil
+}
+
+// Unlock flushes and closes the passive-target epoch (MPI_WIN_UNLOCK).
+func (d *Device) Unlock(w *rma.Win, target int) error {
+	if lr := w.LockedRank(); lr != target {
+		return errString("unlock", fmt.Errorf("locked %d, unlocking %d", lr, target))
+	}
+	if _, err := w.CloseEpoch(); err != nil {
+		return err
+	}
+	if err := d.Flush(w, target); err != nil {
+		return err
+	}
+	d.charge(instr.Mandatory, costLockProto)
+	w.Shared.ReleaseLock(target, w.LockExclusive)
+	return nil
+}
+
+// Flush completes all outstanding operations to target
+// (MPI_WIN_FLUSH). Our RDMA is synchronous at injection, so this waits
+// out AM fallback acks and charges the completion round trip.
+func (d *Device) Flush(w *rma.Win, target int) error {
+	d.charge(instr.Mandatory, costFlushProto)
+	d.flushAM()
+	d.rank.ChargeCycles(instr.Transport, 2*d.g.Fab.Profile().WireLatency)
+	return nil
+}
+
+// --- active-message fallback -------------------------------------------
+
+// amPending tracks unacknowledged AM fallback operations; mutated only
+// on the owner goroutine (the ack handler runs there too).
+func (d *Device) flushAM() {
+	if d.amSent != d.amAcked {
+		d.waitUntil(func() bool { return d.amSent == d.amAcked })
+	}
+	d.rank.Sync(d.amAckArrival)
+}
+
+// putDerivedAM ships a derived-layout put as an active message: packed
+// payload plus the flattened target layout; the target-side handler
+// scatters it and acknowledges.
+func (d *Device) putDerivedAM(origin []byte, count int, dt *datatype.Type, world, key, off int) error {
+	d.charge(instr.Mandatory, costAMFallback)
+	packed := make([]byte, datatype.PackedSize(dt, count))
+	if _, err := datatype.Pack(dt, count, origin, packed); err != nil {
+		return errString("put", err)
+	}
+	d.charge(instr.Mandatory, int64(10+len(packed)/2))
+	hdr := encodeLayoutHeader(key, off, count, dt)
+	d.amSent++
+	d.ep.AMSend(world, amPutDerived, hdr, packed)
+	return nil
+}
+
+// accDerivedAM ships a derived-layout accumulate.
+func (d *Device) accDerivedAM(origin []byte, count int, dt *datatype.Type, op coll.Op, world, key, off int) error {
+	d.charge(instr.Mandatory, costAMFallback)
+	packed := make([]byte, datatype.PackedSize(dt, count))
+	if _, err := datatype.Pack(dt, count, origin, packed); err != nil {
+		return errString("accumulate", err)
+	}
+	hdr := encodeLayoutHeader(key, off, count, dt)
+	hdr = append(hdr, byte(op), byte(elemCode(dt.BaseElem())))
+	d.amSent++
+	d.ep.AMSend(world, amAccDerived, hdr, packed)
+	return nil
+}
+
+// encodeLayoutHeader flattens (key, off, count, extent, segments) into
+// the AM header the target handler scatters by.
+func encodeLayoutHeader(key, off, count int, dt *datatype.Type) []byte {
+	segs := dt.Segments()
+	hdr := make([]byte, 0, 20+8*len(segs))
+	hdr = binary.LittleEndian.AppendUint32(hdr, uint32(key))
+	hdr = binary.LittleEndian.AppendUint32(hdr, uint32(off))
+	hdr = binary.LittleEndian.AppendUint32(hdr, uint32(count))
+	hdr = binary.LittleEndian.AppendUint32(hdr, uint32(dt.Extent()))
+	hdr = binary.LittleEndian.AppendUint32(hdr, uint32(len(segs)))
+	for _, s := range segs {
+		hdr = binary.LittleEndian.AppendUint32(hdr, uint32(s.Off))
+		hdr = binary.LittleEndian.AppendUint32(hdr, uint32(s.Len))
+	}
+	return hdr
+}
+
+type layoutHeader struct {
+	key, off, count, extent int
+	segs                    []datatype.Segment
+	rest                    []byte
+}
+
+func decodeLayoutHeader(hdr []byte) layoutHeader {
+	u := func(i int) int { return int(binary.LittleEndian.Uint32(hdr[4*i:])) }
+	n := u(4)
+	lh := layoutHeader{key: u(0), off: u(1), count: u(2), extent: u(3)}
+	for i := 0; i < n; i++ {
+		lh.segs = append(lh.segs, datatype.Segment{Off: u(5 + 2*i), Len: u(6 + 2*i)})
+	}
+	lh.rest = hdr[4*(5+2*n):]
+	return lh
+}
+
+// handlePutDerived is the target-side AM fallback for derived-layout
+// puts: scatter the packed payload into window memory per the shipped
+// layout, then acknowledge.
+func (d *Device) handlePutDerived(src int, hdr, payload []byte, _ vtime.Time) {
+	lh := decodeLayoutHeader(hdr)
+	d.charge(instr.Mandatory, int64(20+len(payload)/2))
+	d.scatter(lh, payload, nil, 0)
+	d.ep.AMSend(src, amAck, nil, nil)
+}
+
+// handleAccDerived is the target-side AM fallback for derived-layout
+// accumulates.
+func (d *Device) handleAccDerived(src int, hdr, payload []byte, _ vtime.Time) {
+	lh := decodeLayoutHeader(hdr)
+	op := coll.Op(lh.rest[0])
+	elem := elemFromCode(int(lh.rest[1]))
+	d.charge(instr.Mandatory, int64(20+len(payload)))
+	d.scatter(lh, payload, elem, op)
+	d.ep.AMSend(src, amAck, nil, nil)
+}
+
+// scatter writes the packed payload into the local window region
+// according to the shipped layout. elem == nil means plain copy;
+// otherwise fold with op.
+func (d *Device) scatter(lh layoutHeader, payload []byte, elem *datatype.Type, op coll.Op) {
+	mem := d.localRegion(lh.key)
+	n := 0
+	for k := 0; k < lh.count; k++ {
+		base := lh.off + k*lh.extent
+		for _, s := range lh.segs {
+			dst := mem[base+s.Off : base+s.Off+s.Len]
+			src := payload[n : n+s.Len]
+			if elem == nil {
+				copy(dst, src)
+			} else if err := coll.Apply(op, elem, dst, src); err != nil {
+				panic(errString("am accumulate", err))
+			}
+			n += s.Len
+		}
+	}
+}
+
+// handleAck counts an AM fallback acknowledgement; the arrival folds
+// into the clock at the next flush.
+func (d *Device) handleAck(_ int, _, _ []byte, arrival vtime.Time) {
+	d.amAcked++
+	if arrival > d.amAckArrival {
+		d.amAckArrival = arrival
+	}
+}
+
+// elemCode/elemFromCode serialize predefined element types for AM
+// headers.
+var elemTable = []*datatype.Type{datatype.Byte, datatype.Char, datatype.Short,
+	datatype.Int, datatype.Long, datatype.Float, datatype.Double}
+
+func elemCode(t *datatype.Type) int {
+	for i, e := range elemTable {
+		if e == t {
+			return i
+		}
+	}
+	return -1
+}
+
+func elemFromCode(c int) *datatype.Type {
+	if c < 0 || c >= len(elemTable) {
+		return nil
+	}
+	return elemTable[c]
+}
+
+// --- device-internal barrier -------------------------------------------
+
+// barrier is the dissemination barrier used by epoch synchronization
+// and window creation teardown, run over the device's own pt2pt on the
+// communicator's collective context with a reserved tag block.
+const barrierTagBase = 1 << 20
+
+func (d *Device) barrier(c *comm.Comm) {
+	cv := c.CollView()
+	rank, size := cv.MyRank, cv.Size()
+	var token [1]byte
+	round := 0
+	for dist := 1; dist < size; dist *= 2 {
+		to := (rank + dist) % size
+		from := (rank - dist + size) % size
+		tag := barrierTagBase + round
+		if _, err := d.Isend(token[:], 1, datatype.Byte, to, tag, cv, core.FlagNoProcNull|core.FlagNoReq); err != nil {
+			panic(errString("barrier send", err))
+		}
+		req, err := d.Irecv(token[:], 1, datatype.Byte, from, tag, cv, core.FlagNoProcNull)
+		if err != nil {
+			panic(errString("barrier recv", err))
+		}
+		req.Wait()
+		req.Free()
+		round++
+	}
+}
+
+// localRegion resolves one of this rank's own region keys to its
+// memory.
+func (d *Device) localRegion(key int) []byte {
+	return d.g.Fab.RegionMem(d.rank.ID(), key)
+}

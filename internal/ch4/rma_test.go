@@ -1,0 +1,544 @@
+package ch4
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"testing"
+
+	"gompi/internal/coll"
+	"gompi/internal/core"
+	"gompi/internal/datatype"
+	"gompi/internal/fabric"
+	"gompi/internal/instr"
+	"gompi/internal/rma"
+)
+
+func TestWinCreateAndFence(t *testing.T) {
+	runWorld(t, 4, 1, fabric.OFI, core.Default, func(e *env) error {
+		mem := make([]byte, 64)
+		w, err := e.d.WinCreate(mem, 1, e.c)
+		if err != nil {
+			return err
+		}
+		if len(w.Shared.Keys) != 4 || w.Shared.Sizes[e.c.Rank()] != 64 {
+			return fmt.Errorf("shared table wrong: %+v", w.Shared)
+		}
+		if err := e.d.Fence(w); err != nil {
+			return err
+		}
+		if !w.InEpoch() {
+			return errors.New("fence did not open an epoch")
+		}
+		if err := e.d.Fence(w); err != nil {
+			return err
+		}
+		return e.d.WinFree(w)
+	})
+}
+
+func TestPutContiguous(t *testing.T) {
+	runWorld(t, 2, 1, fabric.OFI, core.Default, func(e *env) error {
+		mem := make([]byte, 32)
+		w, err := e.d.WinCreate(mem, 1, e.c)
+		if err != nil {
+			return err
+		}
+		if err := e.d.Fence(w); err != nil {
+			return err
+		}
+		if e.c.Rank() == 0 {
+			if err := e.d.Put([]byte{1, 2, 3, 4}, 4, datatype.Byte, 1, 8, w, 0); err != nil {
+				return err
+			}
+		}
+		if err := e.d.Fence(w); err != nil {
+			return err
+		}
+		if e.c.Rank() == 1 && !bytes.Equal(mem[8:12], []byte{1, 2, 3, 4}) {
+			return fmt.Errorf("window after put: %v", mem[8:12])
+		}
+		return e.d.WinFree(w)
+	})
+}
+
+func TestPutDispUnitScaling(t *testing.T) {
+	runWorld(t, 2, 1, fabric.INF, core.Default, func(e *env) error {
+		mem := make([]byte, 64)
+		w, err := e.d.WinCreate(mem, 8, e.c) // disp unit = 8 bytes
+		if err != nil {
+			return err
+		}
+		e.d.Fence(w)
+		if e.c.Rank() == 0 {
+			if err := e.d.Put([]byte{0xEE}, 1, datatype.Byte, 1, 3, w, 0); err != nil {
+				return err
+			}
+		}
+		e.d.Fence(w)
+		if e.c.Rank() == 1 && mem[24] != 0xEE {
+			return fmt.Errorf("disp-unit scaling: byte landed at %v", mem[:32])
+		}
+		return e.d.WinFree(w)
+	})
+}
+
+func TestPutBoundsChecked(t *testing.T) {
+	runWorld(t, 2, 1, fabric.INF, core.Default, func(e *env) error {
+		mem := make([]byte, 16)
+		w, err := e.d.WinCreate(mem, 1, e.c)
+		if err != nil {
+			return err
+		}
+		e.d.Fence(w)
+		if e.c.Rank() == 0 {
+			if err := e.d.Put(make([]byte, 8), 8, datatype.Byte, 1, 12, w, 0); err == nil {
+				return errors.New("out-of-window put accepted")
+			}
+		}
+		e.d.Fence(w)
+		return e.d.WinFree(w)
+	})
+}
+
+func TestGet(t *testing.T) {
+	runWorld(t, 2, 1, fabric.OFI, core.Default, func(e *env) error {
+		mem := make([]byte, 16)
+		if e.c.Rank() == 1 {
+			copy(mem, "remote-data!")
+		}
+		w, err := e.d.WinCreate(mem, 1, e.c)
+		if err != nil {
+			return err
+		}
+		e.d.Fence(w)
+		if e.c.Rank() == 0 {
+			buf := make([]byte, 6)
+			if err := e.d.Get(buf, 6, datatype.Byte, 1, 0, w, 0); err != nil {
+				return err
+			}
+			if string(buf) != "remote" {
+				return fmt.Errorf("get returned %q", buf)
+			}
+		}
+		e.d.Fence(w)
+		return e.d.WinFree(w)
+	})
+}
+
+func TestPutProcNull(t *testing.T) {
+	runWorld(t, 1, 1, fabric.INF, core.Default, func(e *env) error {
+		w, err := e.d.WinCreate(make([]byte, 8), 1, e.c)
+		if err != nil {
+			return err
+		}
+		e.d.Fence(w)
+		return e.d.Put([]byte{1}, 1, datatype.Byte, core.ProcNull, 0, w, 0)
+	})
+}
+
+func TestAccumulateSum(t *testing.T) {
+	const n = 4
+	runWorld(t, n, 1, fabric.OFI, core.Default, func(e *env) error {
+		mem := make([]byte, 8)
+		w, err := e.d.WinCreate(mem, 1, e.c)
+		if err != nil {
+			return err
+		}
+		e.d.Fence(w)
+		// Everyone (including rank 0) adds its rank+1 into rank 0's
+		// counter: NIC atomics must not lose updates.
+		contrib := make([]byte, 8)
+		binary.LittleEndian.PutUint64(contrib, uint64(e.c.Rank()+1))
+		if err := e.d.Accumulate(contrib, 1, datatype.Long, 0, 0, coll.OpSum, w, 0); err != nil {
+			return err
+		}
+		e.d.Fence(w)
+		if e.c.Rank() == 0 {
+			got := int64(binary.LittleEndian.Uint64(mem))
+			if got != n*(n+1)/2 {
+				return fmt.Errorf("accumulated %d, want %d", got, n*(n+1)/2)
+			}
+		}
+		return e.d.WinFree(w)
+	})
+}
+
+func TestGetAccumulateFetchesOld(t *testing.T) {
+	runWorld(t, 2, 1, fabric.INF, core.Default, func(e *env) error {
+		mem := make([]byte, 8)
+		if e.c.Rank() == 1 {
+			binary.LittleEndian.PutUint64(mem, 100)
+		}
+		w, err := e.d.WinCreate(mem, 1, e.c)
+		if err != nil {
+			return err
+		}
+		e.d.Fence(w)
+		if e.c.Rank() == 0 {
+			contrib := make([]byte, 8)
+			binary.LittleEndian.PutUint64(contrib, 5)
+			old := make([]byte, 8)
+			if err := e.d.GetAccumulate(contrib, old, 1, datatype.Long, 1, 0, coll.OpSum, w, 0); err != nil {
+				return err
+			}
+			if got := binary.LittleEndian.Uint64(old); got != 100 {
+				return fmt.Errorf("fetched %d, want 100", got)
+			}
+		}
+		e.d.Fence(w)
+		if e.c.Rank() == 1 {
+			if got := binary.LittleEndian.Uint64(mem); got != 105 {
+				return fmt.Errorf("target now %d, want 105", got)
+			}
+		}
+		return e.d.WinFree(w)
+	})
+}
+
+func TestDerivedPutAMFallback(t *testing.T) {
+	vec, _ := datatype.NewVector(3, 1, 2, datatype.Byte) // bytes 0,2,4
+	if err := vec.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	runWorld(t, 2, 1, fabric.OFI, core.Default, func(e *env) error {
+		mem := bytes.Repeat([]byte{'.'}, 8)
+		w, err := e.d.WinCreate(mem, 1, e.c)
+		if err != nil {
+			return err
+		}
+		e.d.Fence(w)
+		if e.c.Rank() == 0 {
+			src := []byte{'A', 'x', 'B', 'y', 'C', 'z'}
+			if err := e.d.Put(src, 1, vec, 1, 0, w, 0); err != nil {
+				return err
+			}
+		}
+		e.d.Fence(w)
+		if e.c.Rank() == 1 && string(mem[:6]) != "A.B.C." {
+			return fmt.Errorf("derived put landed %q", mem[:6])
+		}
+		return e.d.WinFree(w)
+	})
+}
+
+func TestDerivedGetPerSegment(t *testing.T) {
+	vec, _ := datatype.NewVector(2, 1, 2, datatype.Byte)
+	vec.Commit()
+	runWorld(t, 2, 1, fabric.INF, core.Default, func(e *env) error {
+		mem := []byte{'p', 'q', 'r', 's'}
+		w, err := e.d.WinCreate(mem, 1, e.c)
+		if err != nil {
+			return err
+		}
+		e.d.Fence(w)
+		if e.c.Rank() == 0 {
+			dst := bytes.Repeat([]byte{'.'}, 4)
+			if err := e.d.Get(dst, 1, vec, 1, 0, w, 0); err != nil {
+				return err
+			}
+			if string(dst) != "p.r." {
+				return fmt.Errorf("derived get %q", dst)
+			}
+		}
+		e.d.Fence(w)
+		return e.d.WinFree(w)
+	})
+}
+
+func TestLockUnlockPassiveTarget(t *testing.T) {
+	const n = 4
+	runWorld(t, n, 1, fabric.OFI, core.Default, func(e *env) error {
+		mem := make([]byte, 8)
+		w, err := e.d.WinCreate(mem, 1, e.c)
+		if err != nil {
+			return err
+		}
+		// Passive target: everyone locks rank 0 exclusively and does a
+		// read-modify-write via Get+Put. Exclusive locks must make the
+		// sequence atomic.
+		for i := 0; i < 10; i++ {
+			if err := e.d.Lock(w, 0, true); err != nil {
+				return err
+			}
+			buf := make([]byte, 8)
+			if err := e.d.Get(buf, 8, datatype.Byte, 0, 0, w, 0); err != nil {
+				return err
+			}
+			v := binary.LittleEndian.Uint64(buf)
+			binary.LittleEndian.PutUint64(buf, v+1)
+			if err := e.d.Put(buf, 8, datatype.Byte, 0, 0, w, 0); err != nil {
+				return err
+			}
+			if err := e.d.Unlock(w, 0); err != nil {
+				return err
+			}
+		}
+		e.d.barrier(e.c)
+		if e.c.Rank() == 0 {
+			if got := binary.LittleEndian.Uint64(mem); got != n*10 {
+				return fmt.Errorf("lock-protected counter = %d, want %d", got, n*10)
+			}
+		}
+		return e.d.WinFree(w)
+	})
+}
+
+func TestUnlockWrongTargetRejected(t *testing.T) {
+	runWorld(t, 2, 1, fabric.INF, core.Default, func(e *env) error {
+		w, err := e.d.WinCreate(make([]byte, 8), 1, e.c)
+		if err != nil {
+			return err
+		}
+		if e.c.Rank() == 0 {
+			if err := e.d.Lock(w, 1, true); err != nil {
+				return err
+			}
+			if err := e.d.Unlock(w, 0); err == nil {
+				return errors.New("unlock of wrong target accepted")
+			}
+			if err := e.d.Unlock(w, 1); err != nil {
+				return err
+			}
+		}
+		e.d.barrier(e.c)
+		return e.d.WinFree(w)
+	})
+}
+
+func TestDynamicWindowVirtualAddress(t *testing.T) {
+	runWorld(t, 2, 1, fabric.OFI, core.Default, func(e *env) error {
+		w, err := e.d.WinCreateDynamic(e.c)
+		if err != nil {
+			return err
+		}
+		// Rank 1 attaches memory and publishes its address.
+		var va rma.VAddr
+		mem := make([]byte, 32)
+		if e.c.Rank() == 1 {
+			va, err = e.d.WinAttach(w, mem)
+			if err != nil {
+				return err
+			}
+		}
+		// Exchange the address (the app would send it; the registry
+		// rendezvous stands in).
+		vals := e.c.Exchange(va)
+		va = vals[1].(rma.VAddr)
+
+		e.d.Fence(w)
+		if e.c.Rank() == 0 {
+			if err := e.d.Put([]byte("dyn!"), 4, datatype.Byte, 1, int(va)+4, w, core.FlagVirtAddr); err != nil {
+				return err
+			}
+		}
+		e.d.Fence(w)
+		if e.c.Rank() == 1 {
+			if string(mem[4:8]) != "dyn!" {
+				return fmt.Errorf("dynamic put landed %q", mem[:8])
+			}
+			if err := e.d.WinDetach(w, mem, va); err != nil {
+				return err
+			}
+		}
+		e.d.barrier(e.c)
+		return e.d.WinFree(w)
+	})
+}
+
+// TestPutMandatoryInstructionCount pins the Table 1 MPI_PUT mandatory
+// figure: 44 on the contiguous fast path.
+func TestPutMandatoryInstructionCount(t *testing.T) {
+	runWorld(t, 2, 1, fabric.INF, core.Default, func(e *env) error {
+		w, err := e.d.WinCreate(make([]byte, 16), 1, e.c)
+		if err != nil {
+			return err
+		}
+		e.d.Fence(w)
+		if e.c.Rank() == 0 {
+			snap := e.d.Rank().Profile().Snap()
+			if err := e.d.Put([]byte{1}, 1, datatype.Byte, 1, 0, w, 0); err != nil {
+				return err
+			}
+			delta := e.d.Rank().Profile().Delta(snap)
+			if got := delta.Count(instr.Mandatory); got != 44 {
+				return fmt.Errorf("put mandatory = %d, want 44", got)
+			}
+			if got := delta.Count(instr.Redundant); got != 62 {
+				return fmt.Errorf("put redundant = %d, want 62", got)
+			}
+		}
+		e.d.Fence(w)
+		return e.d.WinFree(w)
+	})
+}
+
+// TestVirtAddrSavesInstructions pins the Section 3.2 saving: 3
+// instructions (4-instruction translation becomes a single load).
+func TestVirtAddrSavesInstructions(t *testing.T) {
+	runWorld(t, 2, 1, fabric.INF, core.NoErrSingleIPO, func(e *env) error {
+		w, err := e.d.WinCreate(make([]byte, 16), 1, e.c)
+		if err != nil {
+			return err
+		}
+		e.d.Fence(w)
+		if e.c.Rank() == 0 {
+			measure := func(flags core.OpFlags) int64 {
+				snap := e.d.Rank().Profile().Snap()
+				if err := e.d.Put([]byte{1}, 1, datatype.Byte, 1, 0, w, flags); err != nil {
+					t.Error(err)
+				}
+				return e.d.Rank().Profile().Delta(snap).Count(instr.Mandatory)
+			}
+			base := measure(0)
+			va := measure(core.FlagVirtAddr)
+			if base-va != costOffsetXlate-costVirtAddr {
+				return fmt.Errorf("virt addr saved %d, want %d", base-va, costOffsetXlate-costVirtAddr)
+			}
+		}
+		e.d.Fence(w)
+		return e.d.WinFree(w)
+	})
+}
+
+func TestFenceSyncsClockToRemoteWrites(t *testing.T) {
+	runWorld(t, 2, 1, fabric.OFI, core.Default, func(e *env) error {
+		mem := make([]byte, 8)
+		w, err := e.d.WinCreate(mem, 1, e.c)
+		if err != nil {
+			return err
+		}
+		e.d.Fence(w)
+		if e.c.Rank() == 0 {
+			// Run the clock forward so the put lands "late".
+			e.d.Rank().ChargeCycles(instr.Compute, 1_000_000)
+			if err := e.d.Put([]byte{1}, 1, datatype.Byte, 1, 0, w, 0); err != nil {
+				return err
+			}
+		}
+		e.d.Fence(w)
+		if e.c.Rank() == 1 && e.d.Rank().Now() < 1_000_000 {
+			return fmt.Errorf("target clock %d did not absorb remote write time", e.d.Rank().Now())
+		}
+		return e.d.WinFree(w)
+	})
+}
+
+func TestDerivedAccumulateAMFallback(t *testing.T) {
+	vec, _ := datatype.NewVector(2, 1, 2, datatype.Long) // longs 0 and 2
+	if err := vec.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	runWorld(t, 2, 1, fabric.OFI, core.Default, func(e *env) error {
+		mem := make([]byte, 8*4)
+		if e.c.Rank() == 1 {
+			binary.LittleEndian.PutUint64(mem[0:], 100)
+			binary.LittleEndian.PutUint64(mem[16:], 200)
+		}
+		w, err := e.d.WinCreate(mem, 1, e.c)
+		if err != nil {
+			return err
+		}
+		e.d.Fence(w)
+		if e.c.Rank() == 0 {
+			contrib := make([]byte, 8*4)
+			binary.LittleEndian.PutUint64(contrib[0:], 5)
+			binary.LittleEndian.PutUint64(contrib[16:], 7)
+			if err := e.d.Accumulate(contrib, 1, vec, 1, 0, coll.OpSum, w, 0); err != nil {
+				return err
+			}
+			// GetAccumulate is not supported on the AM fallback.
+			res := make([]byte, 8*4)
+			if err := e.d.GetAccumulate(contrib, res, 1, vec, 1, 0, coll.OpSum, w, 0); err == nil {
+				return errors.New("derived get_accumulate accepted")
+			}
+		}
+		e.d.Fence(w)
+		if e.c.Rank() == 1 {
+			if got := binary.LittleEndian.Uint64(mem[0:]); got != 105 {
+				return fmt.Errorf("slot 0 = %d", got)
+			}
+			if got := binary.LittleEndian.Uint64(mem[16:]); got != 207 {
+				return fmt.Errorf("slot 2 = %d", got)
+			}
+		}
+		return e.d.WinFree(w)
+	})
+}
+
+func TestDeviceAccessors(t *testing.T) {
+	runWorld(t, 1, 1, fabric.INF, core.NoErr, func(e *env) error {
+		if e.d.Config() != (core.Config{ThreadCheck: true}) {
+			return fmt.Errorf("config %+v", e.d.Config())
+		}
+		seq := e.d.EventSeq()
+		// A self-send bumps the event counter; WaitEvent returns.
+		if _, err := e.d.Isend([]byte{1}, 1, datatype.Byte, 0, 0, e.c, core.FlagNoReq); err != nil {
+			return err
+		}
+		e.d.WaitEvent(seq)
+		buf := make([]byte, 1)
+		req, err := e.d.Irecv(buf, 1, datatype.Byte, 0, 0, e.c, 0)
+		if err != nil {
+			return err
+		}
+		// Exercise the polling path (recvDone).
+		for !req.Done() {
+		}
+		return nil
+	})
+}
+
+func TestFenceEndDevice(t *testing.T) {
+	runWorld(t, 2, 1, fabric.INF, core.Default, func(e *env) error {
+		w, err := e.d.WinCreate(make([]byte, 8), 1, e.c)
+		if err != nil {
+			return err
+		}
+		if err := e.d.Fence(w); err != nil {
+			return err
+		}
+		if err := e.d.FenceEnd(w); err != nil {
+			return err
+		}
+		if w.InEpoch() {
+			return errors.New("epoch open after FenceEnd")
+		}
+		// Lock/unlock now legal.
+		if err := e.d.Lock(w, 1-e.c.Rank(), false); err != nil { // shared
+			return err
+		}
+		if err := e.d.Unlock(w, 1-e.c.Rank()); err != nil {
+			return err
+		}
+		e.d.barrier(e.c)
+		return e.d.WinFree(w)
+	})
+}
+
+func TestCommWaitallWithPendingShmTraffic(t *testing.T) {
+	// Exercise the waiting branch of CommWaitall: with rpn=2 the shm
+	// rings need receiver progress, so a full ring could leave sends
+	// logically pending. Counter completion is still immediate for
+	// eager sends, but the path must at least run its progress loop.
+	runWorld(t, 2, 2, fabric.OFI, core.Default, func(e *env) error {
+		if e.c.Rank() == 0 {
+			for i := 0; i < 5; i++ {
+				if _, err := e.d.Isend([]byte{byte(i)}, 1, datatype.Byte, 1, i, e.c, core.FlagNoReq); err != nil {
+					return err
+				}
+			}
+			return e.d.CommWaitall(e.c)
+		}
+		for i := 0; i < 5; i++ {
+			buf := make([]byte, 1)
+			req, err := e.d.Irecv(buf, 1, datatype.Byte, 0, i, e.c, 0)
+			if err != nil {
+				return err
+			}
+			req.Wait()
+		}
+		return nil
+	})
+}

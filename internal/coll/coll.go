@@ -1,0 +1,364 @@
+package coll
+
+import (
+	"fmt"
+
+	"gompi/internal/datatype"
+)
+
+// PT2PT is the transport the collective algorithms run over: blocking
+// matched send/recv on the communicator's collective context. The
+// public MPI layer adapts a device to this interface, so the algorithms
+// here are device-independent (the "machine-independent collectives" of
+// the MPICH MPI layer).
+type PT2PT interface {
+	Rank() int
+	Size() int
+	// Send transmits data to dest with the given tag. It is an eager
+	// send: it returns once the buffer is reusable and never blocks
+	// waiting for the receiver — the algorithms rely on this for
+	// deadlock freedom.
+	Send(data []byte, dest, tag int) error
+	// Recv blocks until a message from src with the given tag arrives
+	// and returns its length.
+	Recv(buf []byte, src, tag int) (int, error)
+}
+
+// Tags isolating the algorithms from one another within the collective
+// context.
+const (
+	tagBarrier = iota + 1
+	tagBcast
+	tagReduce
+	tagAllreduce
+	tagGather
+	tagScatter
+	tagAllgather
+	tagAlltoall
+	tagRedScat
+)
+
+// Barrier blocks until all ranks have entered (dissemination
+// algorithm: ceil(log2 P) rounds of pairwise messages).
+func Barrier(p PT2PT) error {
+	rank, size := p.Rank(), p.Size()
+	if size == 1 {
+		return nil
+	}
+	var token [1]byte
+	for dist := 1; dist < size; dist *= 2 {
+		to := (rank + dist) % size
+		from := (rank - dist + size) % size
+		if err := p.Send(token[:], to, tagBarrier); err != nil {
+			return err
+		}
+		if _, err := p.Recv(token[:], from, tagBarrier); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Bcast distributes root's buf to all ranks (binomial tree).
+func Bcast(p PT2PT, buf []byte, root int) error {
+	rank, size := p.Rank(), p.Size()
+	if size == 1 {
+		return nil
+	}
+	// Rotate so the root is virtual rank 0.
+	vrank := (rank - root + size) % size
+
+	// Receive from parent.
+	if vrank != 0 {
+		parent := (vrank&(vrank-1) + root) % size
+		if _, err := p.Recv(buf, parent, tagBcast); err != nil {
+			return err
+		}
+	}
+	// Forward to children: for the lowest set bit b of vrank (or size
+	// for vrank 0), children are vrank+2^k for 2^k < b.
+	limit := lowbit(vrank)
+	if vrank == 0 {
+		limit = nextPow2(size)
+	}
+	for m := limit / 2; m >= 1; m /= 2 {
+		child := vrank + m
+		if child < size {
+			if err := p.Send(buf, (child+root)%size, tagBcast); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Reduce folds each rank's contribution of count elements of elem into
+// recv on root (binomial tree). contribution and recv may alias on the
+// root. recv is ignored on non-roots.
+func Reduce(p PT2PT, op Op, elem *datatype.Type, contribution, recv []byte, root int) error {
+	rank, size := p.Rank(), p.Size()
+	acc := append([]byte(nil), contribution...) // running partial
+	vrank := (rank - root + size) % size
+	tmp := make([]byte, len(contribution))
+
+	for m := 1; m < size; m *= 2 {
+		if vrank&m != 0 {
+			parent := ((vrank - m) + root) % size
+			if err := p.Send(acc, parent, tagReduce); err != nil {
+				return err
+			}
+			return nil // leaf done
+		}
+		childV := vrank + m
+		if childV < size {
+			child := (childV + root) % size
+			if _, err := p.Recv(tmp, child, tagReduce); err != nil {
+				return err
+			}
+			// Fold the child's partial into ours. Children hold
+			// higher virtual ranks; for non-commutative user ops MPI
+			// prescribes rank order, but all predefined ops here are
+			// commutative and associative (modulo FP rounding).
+			if err := Apply(op, elem, acc, tmp); err != nil {
+				return err
+			}
+		}
+	}
+	if rank == root {
+		copy(recv, acc)
+	}
+	return nil
+}
+
+// Allreduce folds every rank's contribution and leaves the result in
+// recv on all ranks. Power-of-two worlds use recursive doubling; other
+// sizes fall back to reduce+bcast, as MPICH's machine-independent layer
+// does for small messages.
+func Allreduce(p PT2PT, op Op, elem *datatype.Type, contribution, recv []byte) error {
+	size := p.Size()
+	if size&(size-1) == 0 {
+		return allreduceRecursiveDoubling(p, op, elem, contribution, recv)
+	}
+	if err := Reduce(p, op, elem, contribution, recv, 0); err != nil {
+		return err
+	}
+	return Bcast(p, recv, 0)
+}
+
+func allreduceRecursiveDoubling(p PT2PT, op Op, elem *datatype.Type, contribution, recv []byte) error {
+	rank, size := p.Rank(), p.Size()
+	copy(recv, contribution)
+	tmp := make([]byte, len(contribution))
+	for m := 1; m < size; m *= 2 {
+		peer := rank ^ m
+		// Lower rank sends first to keep the pairwise exchange
+		// deadlock-free on bounded transports.
+		if rank < peer {
+			if err := p.Send(recv, peer, tagAllreduce); err != nil {
+				return err
+			}
+			if _, err := p.Recv(tmp, peer, tagAllreduce); err != nil {
+				return err
+			}
+		} else {
+			if _, err := p.Recv(tmp, peer, tagAllreduce); err != nil {
+				return err
+			}
+			if err := p.Send(recv, peer, tagAllreduce); err != nil {
+				return err
+			}
+		}
+		if err := Apply(op, elem, recv, tmp); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Gather concentrates each rank's block (len(mine) bytes, equal
+// everywhere) into recv on root, ordered by rank. recv is ignored on
+// non-roots.
+func Gather(p PT2PT, mine, recv []byte, root int) error {
+	rank, size := p.Rank(), p.Size()
+	if rank != root {
+		return p.Send(mine, root, tagGather)
+	}
+	bs := len(mine)
+	if len(recv) < bs*size {
+		return fmt.Errorf("coll: gather recv buffer %d < %d", len(recv), bs*size)
+	}
+	copy(recv[rank*bs:], mine)
+	for r := 0; r < size; r++ {
+		if r == rank {
+			continue
+		}
+		if _, err := p.Recv(recv[r*bs:(r+1)*bs], r, tagGather); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Scatter distributes root's send buffer (size equal blocks) so each
+// rank receives its block in mine. send is ignored on non-roots.
+func Scatter(p PT2PT, send, mine []byte, root int) error {
+	rank, size := p.Rank(), p.Size()
+	bs := len(mine)
+	if rank != root {
+		_, err := p.Recv(mine, root, tagScatter)
+		return err
+	}
+	if len(send) < bs*size {
+		return fmt.Errorf("coll: scatter send buffer %d < %d", len(send), bs*size)
+	}
+	for r := 0; r < size; r++ {
+		if r == rank {
+			copy(mine, send[r*bs:(r+1)*bs])
+			continue
+		}
+		if err := p.Send(send[r*bs:(r+1)*bs], r, tagScatter); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Allgather concentrates every rank's equal-size block into recv on all
+// ranks (ring algorithm: P-1 steps, each passing the newest block to
+// the right neighbor).
+func Allgather(p PT2PT, mine, recv []byte) error {
+	rank, size := p.Rank(), p.Size()
+	bs := len(mine)
+	if len(recv) < bs*size {
+		return fmt.Errorf("coll: allgather recv buffer %d < %d", len(recv), bs*size)
+	}
+	copy(recv[rank*bs:], mine)
+	right := (rank + 1) % size
+	left := (rank - 1 + size) % size
+	for step := 0; step < size-1; step++ {
+		sendBlock := (rank - step + size) % size
+		recvBlock := (rank - step - 1 + size) % size
+		// Send first: the PT2PT contract is an eager send that never
+		// blocks, so send-before-receive is deadlock-free on any
+		// topology (receive-first pairs can cycle).
+		if err := p.Send(recv[sendBlock*bs:(sendBlock+1)*bs], right, tagAllgather); err != nil {
+			return err
+		}
+		if _, err := p.Recv(recv[recvBlock*bs:(recvBlock+1)*bs], left, tagAllgather); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// AllgatherBruck is the log-step Bruck variant, kept alongside the ring
+// for the algorithm ablation bench.
+func AllgatherBruck(p PT2PT, mine, recv []byte) error {
+	rank, size := p.Rank(), p.Size()
+	bs := len(mine)
+	if len(recv) < bs*size {
+		return fmt.Errorf("coll: allgather recv buffer %d < %d", len(recv), bs*size)
+	}
+	// Work in a rotated temporary: block i holds rank+i's data.
+	tmp := make([]byte, bs*size)
+	copy(tmp[:bs], mine)
+	have := 1
+	for m := 1; m < size; m *= 2 {
+		to := (rank - m + size) % size
+		from := (rank + m) % size
+		n := have
+		if n > size-have {
+			n = size - have
+		}
+		// Send first (eager transport): receive-first pairings can
+		// form waiting cycles when the step distance has the same
+		// parity as the ring.
+		if err := p.Send(tmp[:n*bs], to, tagAllgather); err != nil {
+			return err
+		}
+		if _, err := p.Recv(tmp[have*bs:(have+n)*bs], from, tagAllgather); err != nil {
+			return err
+		}
+		have += n
+	}
+	// Unrotate.
+	for i := 0; i < size; i++ {
+		copy(recv[((rank+i)%size)*bs:((rank+i)%size+1)*bs], tmp[i*bs:(i+1)*bs])
+	}
+	return nil
+}
+
+// Alltoall exchanges equal-size blocks: block r of send goes to rank r,
+// landing as block rank of its recv (pairwise exchange).
+func Alltoall(p PT2PT, send, recv []byte) error {
+	rank, size := p.Rank(), p.Size()
+	bs := len(send) / size
+	if len(recv) < bs*size {
+		return fmt.Errorf("coll: alltoall recv buffer %d < %d", len(recv), bs*size)
+	}
+	copy(recv[rank*bs:(rank+1)*bs], send[rank*bs:(rank+1)*bs])
+	pow2 := size&(size-1) == 0
+	for step := 1; step < size; step++ {
+		if pow2 {
+			// XOR pairing is mutual: exchange with one peer per step.
+			peer := rank ^ step
+			sendBlk := send[peer*bs : (peer+1)*bs]
+			recvBlk := recv[peer*bs : (peer+1)*bs]
+			if rank < peer {
+				if err := p.Send(sendBlk, peer, tagAlltoall); err != nil {
+					return err
+				}
+				if _, err := p.Recv(recvBlk, peer, tagAlltoall); err != nil {
+					return err
+				}
+			} else {
+				if _, err := p.Recv(recvBlk, peer, tagAlltoall); err != nil {
+					return err
+				}
+				if err := p.Send(sendBlk, peer, tagAlltoall); err != nil {
+					return err
+				}
+			}
+			continue
+		}
+		// Rotation: send to rank+step, receive from rank-step (the
+		// pairing is not mutual, so the two transfers are independent;
+		// eager sends keep this deadlock-free).
+		to := (rank + step) % size
+		from := (rank - step + size) % size
+		if err := p.Send(send[to*bs:(to+1)*bs], to, tagAlltoall); err != nil {
+			return err
+		}
+		if _, err := p.Recv(recv[from*bs:(from+1)*bs], from, tagAlltoall); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReduceScatterBlock reduces count*size elements and scatters equal
+// blocks: rank r receives block r of the reduction.
+func ReduceScatterBlock(p PT2PT, op Op, elem *datatype.Type, send, recv []byte) error {
+	size := p.Size()
+	full := make([]byte, len(send))
+	if err := Reduce(p, op, elem, send, full, 0); err != nil {
+		return err
+	}
+	bs := len(send) / size
+	if len(recv) < bs {
+		return fmt.Errorf("coll: reduce_scatter recv buffer %d < %d", len(recv), bs)
+	}
+	return Scatter(p, full, recv[:bs], 0)
+}
+
+// lowbit returns the lowest set bit of v, or 0 for v == 0.
+func lowbit(v int) int { return v & -v }
+
+// nextPow2 returns the smallest power of two >= v.
+func nextPow2(v int) int {
+	p := 1
+	for p < v {
+		p *= 2
+	}
+	return p
+}

@@ -1,0 +1,436 @@
+package coll
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"gompi/internal/datatype"
+)
+
+// mesh is an in-memory PT2PT used to test the algorithms in isolation
+// from any device: per-(src,dst) FIFO queues with tag filtering.
+type mesh struct {
+	n    int
+	mu   sync.Mutex
+	cond *sync.Cond
+	q    map[[2]int][]meshMsg
+}
+
+type meshMsg struct {
+	tag  int
+	data []byte
+}
+
+func newMesh(n int) *mesh {
+	m := &mesh{n: n, q: make(map[[2]int][]meshMsg)}
+	m.cond = sync.NewCond(&m.mu)
+	return m
+}
+
+func (m *mesh) port(rank int) *port { return &port{m, rank} }
+
+type port struct {
+	m    *mesh
+	rank int
+}
+
+func (p *port) Rank() int { return p.rank }
+func (p *port) Size() int { return p.m.n }
+
+func (p *port) Send(data []byte, dest, tag int) error {
+	cp := append([]byte(nil), data...)
+	p.m.mu.Lock()
+	k := [2]int{p.rank, dest}
+	p.m.q[k] = append(p.m.q[k], meshMsg{tag, cp})
+	p.m.cond.Broadcast()
+	p.m.mu.Unlock()
+	return nil
+}
+
+func (p *port) Recv(buf []byte, src, tag int) (int, error) {
+	k := [2]int{src, p.rank}
+	p.m.mu.Lock()
+	defer p.m.mu.Unlock()
+	for {
+		q := p.m.q[k]
+		for i, msg := range q {
+			if msg.tag == tag {
+				p.m.q[k] = append(q[:i:i], q[i+1:]...)
+				return copy(buf, msg.data), nil
+			}
+		}
+		p.m.cond.Wait()
+	}
+}
+
+// runAll executes body on every rank of a fresh mesh and reports the
+// first error.
+func runAll(t *testing.T, n int, body func(p PT2PT) error) {
+	t.Helper()
+	m := newMesh(n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for r := 0; r < n; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			errs[r] = body(m.port(r))
+		}(r)
+	}
+	wg.Wait()
+	for r, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d: %v", r, err)
+		}
+	}
+}
+
+func longs(vals ...int64) []byte {
+	b := make([]byte, 8*len(vals))
+	for i, v := range vals {
+		binary.LittleEndian.PutUint64(b[8*i:], uint64(v))
+	}
+	return b
+}
+
+func getLongs(b []byte) []int64 {
+	out := make([]int64, len(b)/8)
+	for i := range out {
+		out[i] = int64(binary.LittleEndian.Uint64(b[8*i:]))
+	}
+	return out
+}
+
+var worldSizes = []int{1, 2, 3, 4, 5, 7, 8, 16}
+
+func TestBarrierCompletes(t *testing.T) {
+	for _, n := range worldSizes {
+		runAll(t, n, Barrier)
+	}
+}
+
+func TestBcastAllRoots(t *testing.T) {
+	for _, n := range worldSizes {
+		for root := 0; root < n; root++ {
+			runAll(t, n, func(p PT2PT) error {
+				buf := make([]byte, 16)
+				if p.Rank() == root {
+					for i := range buf {
+						buf[i] = byte(root*10 + i)
+					}
+				}
+				if err := Bcast(p, buf, root); err != nil {
+					return err
+				}
+				for i := range buf {
+					if buf[i] != byte(root*10+i) {
+						return fmt.Errorf("rank %d byte %d = %d", p.Rank(), i, buf[i])
+					}
+				}
+				return nil
+			})
+		}
+	}
+}
+
+func TestReduceSum(t *testing.T) {
+	for _, n := range worldSizes {
+		for root := 0; root < n && root < 3; root++ {
+			runAll(t, n, func(p PT2PT) error {
+				mine := longs(int64(p.Rank()+1), int64(2*p.Rank()))
+				out := make([]byte, len(mine))
+				if err := Reduce(p, OpSum, datatype.Long, mine, out, root); err != nil {
+					return err
+				}
+				if p.Rank() != root {
+					return nil
+				}
+				got := getLongs(out)
+				wantA := int64(n * (n + 1) / 2)
+				wantB := int64(n * (n - 1))
+				if got[0] != wantA || got[1] != wantB {
+					return fmt.Errorf("reduce = %v, want [%d %d]", got, wantA, wantB)
+				}
+				return nil
+			})
+		}
+	}
+}
+
+func TestReduceMaxMin(t *testing.T) {
+	runAll(t, 5, func(p PT2PT) error {
+		mine := longs(int64(p.Rank()), int64(-p.Rank()))
+		outMax := make([]byte, len(mine))
+		if err := Reduce(p, OpMax, datatype.Long, mine, outMax, 0); err != nil {
+			return err
+		}
+		outMin := make([]byte, len(mine))
+		if err := Reduce(p, OpMin, datatype.Long, mine, outMin, 0); err != nil {
+			return err
+		}
+		if p.Rank() == 0 {
+			if v := getLongs(outMax); v[0] != 4 || v[1] != 0 {
+				return fmt.Errorf("max = %v", v)
+			}
+			if v := getLongs(outMin); v[0] != 0 || v[1] != -4 {
+				return fmt.Errorf("min = %v", v)
+			}
+		}
+		return nil
+	})
+}
+
+func TestAllreduce(t *testing.T) {
+	for _, n := range worldSizes {
+		runAll(t, n, func(p PT2PT) error {
+			mine := longs(1, int64(p.Rank()))
+			out := make([]byte, len(mine))
+			if err := Allreduce(p, OpSum, datatype.Long, mine, out); err != nil {
+				return err
+			}
+			got := getLongs(out)
+			if got[0] != int64(n) || got[1] != int64(n*(n-1)/2) {
+				return fmt.Errorf("rank %d: allreduce = %v", p.Rank(), got)
+			}
+			return nil
+		})
+	}
+}
+
+func TestAllreduceDouble(t *testing.T) {
+	runAll(t, 8, func(p PT2PT) error {
+		mine := make([]byte, 8)
+		binary.LittleEndian.PutUint64(mine, uint64(0x3FF0000000000000)) // 1.0
+		out := make([]byte, 8)
+		if err := Allreduce(p, OpSum, datatype.Double, mine, out); err != nil {
+			return err
+		}
+		if got := binary.LittleEndian.Uint64(out); got != 0x4020000000000000 { // 8.0
+			return fmt.Errorf("sum of eight 1.0 = %x", got)
+		}
+		return nil
+	})
+}
+
+func TestGatherScatter(t *testing.T) {
+	for _, n := range worldSizes {
+		runAll(t, n, func(p PT2PT) error {
+			mine := []byte{byte(p.Rank()), byte(p.Rank() + 100)}
+			all := make([]byte, 2*n)
+			if err := Gather(p, mine, all, 0); err != nil {
+				return err
+			}
+			if p.Rank() == 0 {
+				for r := 0; r < n; r++ {
+					if all[2*r] != byte(r) || all[2*r+1] != byte(r+100) {
+						return fmt.Errorf("gather block %d = %v", r, all[2*r:2*r+2])
+					}
+				}
+			}
+			// Scatter it back; every rank must get its own block.
+			back := make([]byte, 2)
+			if err := Scatter(p, all, back, 0); err != nil {
+				return err
+			}
+			if back[0] != byte(p.Rank()) || back[1] != byte(p.Rank()+100) {
+				return fmt.Errorf("scatter got %v", back)
+			}
+			return nil
+		})
+	}
+}
+
+func TestAllgatherBothAlgorithms(t *testing.T) {
+	algos := map[string]func(PT2PT, []byte, []byte) error{
+		"ring":  Allgather,
+		"bruck": AllgatherBruck,
+	}
+	for name, algo := range algos {
+		for _, n := range worldSizes {
+			runAll(t, n, func(p PT2PT) error {
+				mine := []byte{byte(p.Rank() * 3), byte(p.Rank()*3 + 1)}
+				all := make([]byte, 2*n)
+				if err := algo(p, mine, all); err != nil {
+					return err
+				}
+				for r := 0; r < n; r++ {
+					if all[2*r] != byte(r*3) || all[2*r+1] != byte(r*3+1) {
+						return fmt.Errorf("%s rank %d block %d = %v", name, p.Rank(), r, all[2*r:2*r+2])
+					}
+				}
+				return nil
+			})
+		}
+	}
+}
+
+func TestAlltoall(t *testing.T) {
+	for _, n := range worldSizes {
+		runAll(t, n, func(p PT2PT) error {
+			send := make([]byte, n)
+			for r := 0; r < n; r++ {
+				send[r] = byte(p.Rank()*16 + r) // block for rank r
+			}
+			recv := make([]byte, n)
+			if err := Alltoall(p, send, recv); err != nil {
+				return err
+			}
+			for r := 0; r < n; r++ {
+				if recv[r] != byte(r*16+p.Rank()) {
+					return fmt.Errorf("rank %d block %d = %d", p.Rank(), r, recv[r])
+				}
+			}
+			return nil
+		})
+	}
+}
+
+func TestReduceScatterBlock(t *testing.T) {
+	const n = 4
+	runAll(t, n, func(p PT2PT) error {
+		send := longs(1, 2, 3, 4) // one long per destination rank
+		recv := make([]byte, 8)
+		if err := ReduceScatterBlock(p, OpSum, datatype.Long, send, recv); err != nil {
+			return err
+		}
+		if got := getLongs(recv)[0]; got != int64(n*(p.Rank()+1)) {
+			return fmt.Errorf("rank %d got %d", p.Rank(), got)
+		}
+		return nil
+	})
+}
+
+func TestApplyOps(t *testing.T) {
+	cases := []struct {
+		op   Op
+		a, b int64
+		want int64
+	}{
+		{OpSum, 3, 4, 7},
+		{OpProd, 3, 4, 12},
+		{OpMax, 3, 4, 4},
+		{OpMin, 3, 4, 3},
+		{OpLAnd, 1, 0, 0},
+		{OpLOr, 1, 0, 1},
+		{OpBAnd, 6, 3, 2},
+		{OpBOr, 6, 3, 7},
+		{OpReplace, 6, 3, 3},
+		{OpNoOp, 6, 3, 6},
+	}
+	for _, c := range cases {
+		dst := longs(c.a)
+		if err := Apply(c.op, datatype.Long, dst, longs(c.b)); err != nil {
+			t.Fatalf("%v: %v", c.op, err)
+		}
+		if got := getLongs(dst)[0]; got != c.want {
+			t.Errorf("%v(%d,%d) = %d, want %d", c.op, c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestApplyRejectsBadCombos(t *testing.T) {
+	if err := Apply(OpBAnd, datatype.Double, make([]byte, 8), make([]byte, 8)); err == nil {
+		t.Error("bitwise op on double accepted")
+	}
+	ct, _ := datatype.NewContiguous(2, datatype.Int)
+	ct.Commit()
+	if err := Apply(OpSum, ct, make([]byte, 8), make([]byte, 8)); err == nil {
+		t.Error("derived type accepted by Apply")
+	}
+	if err := Apply(OpSum, datatype.Int, make([]byte, 8), make([]byte, 4)); err == nil {
+		t.Error("mismatched buffers accepted")
+	}
+	if err := Apply(OpSum, datatype.Int, make([]byte, 6), make([]byte, 6)); err == nil {
+		t.Error("non-multiple buffer accepted")
+	}
+}
+
+func TestApplyAllTypes(t *testing.T) {
+	types := []*datatype.Type{datatype.Byte, datatype.Char, datatype.Short, datatype.Int, datatype.Long, datatype.Float, datatype.Double}
+	for _, ty := range types {
+		dst := make([]byte, ty.Size())
+		src := make([]byte, ty.Size())
+		if err := Apply(OpSum, ty, dst, src); err != nil {
+			t.Errorf("OpSum on %s: %v", ty.Name(), err)
+		}
+	}
+}
+
+// Property: allreduce(SUM) over random contributions equals the local
+// sum of all contributions, on every rank, for random world sizes.
+func TestAllreduceSumProperty(t *testing.T) {
+	f := func(sz uint8, vals [16]int32) bool {
+		n := int(sz%7) + 1
+		var want int64
+		for r := 0; r < n; r++ {
+			want += int64(vals[r])
+		}
+		m := newMesh(n)
+		results := make([]int64, n)
+		var wg sync.WaitGroup
+		for r := 0; r < n; r++ {
+			wg.Add(1)
+			go func(r int) {
+				defer wg.Done()
+				out := make([]byte, 8)
+				if err := Allreduce(m.port(r), OpSum, datatype.Long, longs(int64(vals[r])), out); err != nil {
+					return
+				}
+				results[r] = getLongs(out)[0]
+			}(r)
+		}
+		wg.Wait()
+		for r := 0; r < n; r++ {
+			if results[r] != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: bcast delivers the root's exact bytes for random payloads,
+// sizes, and roots.
+func TestBcastProperty(t *testing.T) {
+	f := func(sz, rt uint8, payload []byte) bool {
+		n := int(sz%6) + 1
+		root := int(rt) % n
+		if len(payload) == 0 {
+			payload = []byte{0}
+		}
+		m := newMesh(n)
+		ok := make([]bool, n)
+		var wg sync.WaitGroup
+		for r := 0; r < n; r++ {
+			wg.Add(1)
+			go func(r int) {
+				defer wg.Done()
+				buf := make([]byte, len(payload))
+				if r == root {
+					copy(buf, payload)
+				}
+				if err := Bcast(m.port(r), buf, root); err != nil {
+					return
+				}
+				ok[r] = bytes.Equal(buf, payload)
+			}(r)
+		}
+		wg.Wait()
+		for _, o := range ok {
+			if !o {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

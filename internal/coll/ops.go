@@ -1,0 +1,240 @@
+// Package coll implements the machine-independent collectives of the
+// MPI layer (binomial broadcast/reduce, recursive-doubling allreduce,
+// dissemination barrier, ring and Bruck allgathers, pairwise alltoall)
+// over a minimal point-to-point interface, plus the predefined
+// reduction operators shared with one-sided accumulate. Algorithms are
+// written exactly once and run over any device, matching MPICH's
+// layering.
+package coll
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+
+	"gompi/internal/datatype"
+)
+
+// Op is a predefined reduction operator.
+type Op uint8
+
+// Predefined operators.
+const (
+	OpSum Op = iota
+	OpProd
+	OpMax
+	OpMin
+	OpLAnd
+	OpLOr
+	OpBAnd
+	OpBOr
+	OpReplace // MPI_REPLACE (accumulate only)
+	OpNoOp    // MPI_NO_OP (get_accumulate only)
+
+	// opUserBase is the first user-defined operator id
+	// (MPI_OP_CREATE).
+	opUserBase Op = 128
+)
+
+// String returns the MPI name of the operator.
+func (o Op) String() string {
+	if o >= opUserBase {
+		return fmt.Sprintf("MPI_OP_USER(%d)", o-opUserBase)
+	}
+	switch o {
+	case OpSum:
+		return "MPI_SUM"
+	case OpProd:
+		return "MPI_PROD"
+	case OpMax:
+		return "MPI_MAX"
+	case OpMin:
+		return "MPI_MIN"
+	case OpLAnd:
+		return "MPI_LAND"
+	case OpLOr:
+		return "MPI_LOR"
+	case OpBAnd:
+		return "MPI_BAND"
+	case OpBOr:
+		return "MPI_BOR"
+	case OpReplace:
+		return "MPI_REPLACE"
+	case OpNoOp:
+		return "MPI_NO_OP"
+	default:
+		return "MPI_OP_UNKNOWN"
+	}
+}
+
+// ErrBadOp reports an operator/datatype combination outside the MPI
+// predefined table.
+var ErrBadOp = errors.New("coll: invalid op/datatype combination")
+
+// UserFunc is a user-defined reduction: fold in into inout elementwise
+// for count elements of elem (MPI_User_function). It must be
+// commutative and associative, as the algorithms assume.
+type UserFunc func(in, inout []byte, count int, elem *datatype.Type) error
+
+// userOps is the process-global registry of created operators. In this
+// in-process world every rank shares the table; registration happens
+// before communication, so a mutex suffices.
+var userOps struct {
+	mu  sync.Mutex
+	fns []UserFunc
+}
+
+// CreateOp registers a user-defined commutative reduction operator
+// (MPI_OP_CREATE) and returns its handle.
+func CreateOp(fn UserFunc) Op {
+	if fn == nil {
+		panic("coll: nil user op")
+	}
+	userOps.mu.Lock()
+	defer userOps.mu.Unlock()
+	userOps.fns = append(userOps.fns, fn)
+	return opUserBase + Op(len(userOps.fns)-1)
+}
+
+func userOp(op Op) (UserFunc, bool) {
+	if op < opUserBase {
+		return nil, false
+	}
+	userOps.mu.Lock()
+	defer userOps.mu.Unlock()
+	i := int(op - opUserBase)
+	if i >= len(userOps.fns) {
+		return nil, false
+	}
+	return userOps.fns[i], true
+}
+
+// Apply folds src into dst elementwise: dst[i] = dst[i] OP src[i]. Both
+// buffers hold count elements of the predefined type elem, in the
+// little-endian layout the public API's conversion helpers produce.
+func Apply(op Op, elem *datatype.Type, dst, src []byte) error {
+	if !elem.Predefined() {
+		return fmt.Errorf("%w: %s is not predefined", ErrBadOp, elem.Name())
+	}
+	if len(dst) != len(src) || len(dst)%elem.Size() != 0 {
+		return fmt.Errorf("%w: buffer sizes %d/%d for %s", ErrBadOp, len(dst), len(src), elem.Name())
+	}
+	if op == OpNoOp {
+		return nil
+	}
+	if fn, ok := userOp(op); ok {
+		return fn(src, dst, len(dst)/elem.Size(), elem)
+	}
+	if op >= opUserBase {
+		return fmt.Errorf("%w: unregistered user op %d", ErrBadOp, op)
+	}
+	if op == OpReplace {
+		copy(dst, src)
+		return nil
+	}
+	n := len(dst) / elem.Size()
+	switch elem {
+	case datatype.Byte, datatype.Char:
+		for i := 0; i < n; i++ {
+			dst[i] = byte(intOp(op, int64(dst[i]), int64(src[i])))
+		}
+	case datatype.Short:
+		for i := 0; i < n; i++ {
+			a := int16(binary.LittleEndian.Uint16(dst[2*i:]))
+			b := int16(binary.LittleEndian.Uint16(src[2*i:]))
+			binary.LittleEndian.PutUint16(dst[2*i:], uint16(intOp(op, int64(a), int64(b))))
+		}
+	case datatype.Int:
+		for i := 0; i < n; i++ {
+			a := int32(binary.LittleEndian.Uint32(dst[4*i:]))
+			b := int32(binary.LittleEndian.Uint32(src[4*i:]))
+			binary.LittleEndian.PutUint32(dst[4*i:], uint32(intOp(op, int64(a), int64(b))))
+		}
+	case datatype.Long:
+		for i := 0; i < n; i++ {
+			a := int64(binary.LittleEndian.Uint64(dst[8*i:]))
+			b := int64(binary.LittleEndian.Uint64(src[8*i:]))
+			binary.LittleEndian.PutUint64(dst[8*i:], uint64(intOp(op, a, b)))
+		}
+	case datatype.Float:
+		if !floatOpOK(op) {
+			return fmt.Errorf("%w: %s on MPI_FLOAT", ErrBadOp, op)
+		}
+		for i := 0; i < n; i++ {
+			a := math.Float32frombits(binary.LittleEndian.Uint32(dst[4*i:]))
+			b := math.Float32frombits(binary.LittleEndian.Uint32(src[4*i:]))
+			binary.LittleEndian.PutUint32(dst[4*i:], math.Float32bits(float32(floatOp(op, float64(a), float64(b)))))
+		}
+	case datatype.Double:
+		if !floatOpOK(op) {
+			return fmt.Errorf("%w: %s on MPI_DOUBLE", ErrBadOp, op)
+		}
+		for i := 0; i < n; i++ {
+			a := math.Float64frombits(binary.LittleEndian.Uint64(dst[8*i:]))
+			b := math.Float64frombits(binary.LittleEndian.Uint64(src[8*i:]))
+			binary.LittleEndian.PutUint64(dst[8*i:], math.Float64bits(floatOp(op, a, b)))
+		}
+	default:
+		return fmt.Errorf("%w: unsupported type %s", ErrBadOp, elem.Name())
+	}
+	return nil
+}
+
+func intOp(op Op, a, b int64) int64 {
+	switch op {
+	case OpSum:
+		return a + b
+	case OpProd:
+		return a * b
+	case OpMax:
+		if a > b {
+			return a
+		}
+		return b
+	case OpMin:
+		if a < b {
+			return a
+		}
+		return b
+	case OpLAnd:
+		return b2i(a != 0 && b != 0)
+	case OpLOr:
+		return b2i(a != 0 || b != 0)
+	case OpBAnd:
+		return a & b
+	case OpBOr:
+		return a | b
+	default:
+		return a
+	}
+}
+
+func floatOpOK(op Op) bool {
+	switch op {
+	case OpSum, OpProd, OpMax, OpMin:
+		return true
+	}
+	return false
+}
+
+func floatOp(op Op, a, b float64) float64 {
+	switch op {
+	case OpSum:
+		return a + b
+	case OpProd:
+		return a * b
+	case OpMax:
+		return math.Max(a, b)
+	default:
+		return math.Min(a, b)
+	}
+}
+
+func b2i(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,148 @@
+package coll
+
+import (
+	"fmt"
+
+	"gompi/internal/datatype"
+)
+
+// Tags for the v-collectives and scans.
+const (
+	tagScan = iota + 20
+	tagGatherv
+	tagScatterv
+	tagAllgatherv
+)
+
+// Scan computes the inclusive prefix reduction: rank r receives the
+// fold of contributions from ranks 0..r (MPI_SCAN). Linear-chain
+// algorithm: receive the running prefix from the left, fold, forward.
+func Scan(p PT2PT, op Op, elem *datatype.Type, contribution, recv []byte) error {
+	rank, size := p.Rank(), p.Size()
+	copy(recv, contribution)
+	if rank > 0 {
+		prev := make([]byte, len(contribution))
+		if _, err := p.Recv(prev, rank-1, tagScan); err != nil {
+			return err
+		}
+		// recv = prev OP mine, in rank order (prefix semantics).
+		tmp := append([]byte(nil), prev...)
+		if err := Apply(op, elem, tmp, recv); err != nil {
+			return err
+		}
+		copy(recv, tmp)
+	}
+	if rank < size-1 {
+		if err := p.Send(recv, rank+1, tagScan); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Exscan computes the exclusive prefix reduction: rank r receives the
+// fold of ranks 0..r-1; rank 0's recv is left untouched, per
+// MPI_EXSCAN.
+func Exscan(p PT2PT, op Op, elem *datatype.Type, contribution, recv []byte) error {
+	rank, size := p.Rank(), p.Size()
+	// Running inclusive prefix travels the chain; each rank keeps what
+	// it receives (the exclusive prefix) and forwards prefix OP mine.
+	running := append([]byte(nil), contribution...)
+	if rank > 0 {
+		prev := make([]byte, len(contribution))
+		if _, err := p.Recv(prev, rank-1, tagScan); err != nil {
+			return err
+		}
+		copy(recv, prev)
+		if err := Apply(op, elem, prev, contribution); err != nil {
+			return err
+		}
+		running = prev
+	}
+	if rank < size-1 {
+		if err := p.Send(running, rank+1, tagScan); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Gatherv concentrates variable-size blocks on root (MPI_GATHERV):
+// counts[r] bytes from rank r land at displs[r] in recv. counts and
+// displs are significant only on the root; non-roots send len(mine)
+// bytes.
+func Gatherv(p PT2PT, mine []byte, recv []byte, counts, displs []int, root int) error {
+	rank, size := p.Rank(), p.Size()
+	if rank != root {
+		return p.Send(mine, root, tagGatherv)
+	}
+	if len(counts) != size || len(displs) != size {
+		return fmt.Errorf("coll: gatherv counts/displs length %d/%d for %d ranks", len(counts), len(displs), size)
+	}
+	copy(recv[displs[rank]:displs[rank]+counts[rank]], mine)
+	for r := 0; r < size; r++ {
+		if r == rank {
+			continue
+		}
+		n, err := p.Recv(recv[displs[r]:displs[r]+counts[r]], r, tagGatherv)
+		if err != nil {
+			return err
+		}
+		if n != counts[r] {
+			return fmt.Errorf("coll: gatherv rank %d sent %d bytes, expected %d", r, n, counts[r])
+		}
+	}
+	return nil
+}
+
+// Scatterv distributes variable-size blocks from root (MPI_SCATTERV):
+// rank r receives counts[r] bytes taken from displs[r] of send. mine
+// must hold the caller's count.
+func Scatterv(p PT2PT, send []byte, counts, displs []int, mine []byte, root int) error {
+	rank, size := p.Rank(), p.Size()
+	if rank != root {
+		_, err := p.Recv(mine, root, tagScatterv)
+		return err
+	}
+	if len(counts) != size || len(displs) != size {
+		return fmt.Errorf("coll: scatterv counts/displs length %d/%d for %d ranks", len(counts), len(displs), size)
+	}
+	for r := 0; r < size; r++ {
+		blk := send[displs[r] : displs[r]+counts[r]]
+		if r == rank {
+			copy(mine, blk)
+			continue
+		}
+		if err := p.Send(blk, r, tagScatterv); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Allgatherv concentrates variable-size blocks everywhere
+// (MPI_ALLGATHERV): ring algorithm over the full count/displacement
+// tables, which every rank supplies identically.
+func Allgatherv(p PT2PT, mine []byte, recv []byte, counts, displs []int) error {
+	rank, size := p.Rank(), p.Size()
+	if len(counts) != size || len(displs) != size {
+		return fmt.Errorf("coll: allgatherv counts/displs length %d/%d for %d ranks", len(counts), len(displs), size)
+	}
+	if len(mine) != counts[rank] {
+		return fmt.Errorf("coll: allgatherv rank %d contributes %d bytes, counts say %d", rank, len(mine), counts[rank])
+	}
+	copy(recv[displs[rank]:displs[rank]+counts[rank]], mine)
+	right := (rank + 1) % size
+	left := (rank - 1 + size) % size
+	for step := 0; step < size-1; step++ {
+		sendBlock := (rank - step + size) % size
+		recvBlock := (rank - step - 1 + size) % size
+		if err := p.Send(recv[displs[sendBlock]:displs[sendBlock]+counts[sendBlock]], right, tagAllgatherv); err != nil {
+			return err
+		}
+		if _, err := p.Recv(recv[displs[recvBlock]:displs[recvBlock]+counts[recvBlock]], left, tagAllgatherv); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,233 @@
+package coll
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"math"
+	"testing"
+
+	"gompi/internal/datatype"
+)
+
+func TestScanInclusive(t *testing.T) {
+	for _, n := range worldSizes {
+		runAll(t, n, func(p PT2PT) error {
+			mine := longs(int64(p.Rank() + 1))
+			out := make([]byte, 8)
+			if err := Scan(p, OpSum, datatype.Long, mine, out); err != nil {
+				return err
+			}
+			r := p.Rank() + 1
+			want := int64(r * (r + 1) / 2)
+			if got := getLongs(out)[0]; got != want {
+				return fmt.Errorf("rank %d scan = %d, want %d", p.Rank(), got, want)
+			}
+			return nil
+		})
+	}
+}
+
+func TestScanNonCommutativeOrder(t *testing.T) {
+	// MPI_SCAN folds in rank order; check with a min/max mix that would
+	// expose misordering of operands for MPI_MIN (commutative but
+	// verify values anyway) and with rank-dependent values.
+	runAll(t, 5, func(p PT2PT) error {
+		mine := longs(int64(10 - p.Rank()))
+		out := make([]byte, 8)
+		if err := Scan(p, OpMin, datatype.Long, mine, out); err != nil {
+			return err
+		}
+		want := int64(10 - p.Rank()) // values decrease with rank: min = own
+		if got := getLongs(out)[0]; got != want {
+			return fmt.Errorf("rank %d min-scan = %d, want %d", p.Rank(), got, want)
+		}
+		return nil
+	})
+}
+
+func TestExscan(t *testing.T) {
+	for _, n := range worldSizes {
+		runAll(t, n, func(p PT2PT) error {
+			mine := longs(int64(p.Rank() + 1))
+			out := longs(-99) // sentinel: rank 0 must keep it
+			if err := Exscan(p, OpSum, datatype.Long, mine, out); err != nil {
+				return err
+			}
+			got := getLongs(out)[0]
+			if p.Rank() == 0 {
+				if got != -99 {
+					return fmt.Errorf("rank 0 exscan touched recv: %d", got)
+				}
+				return nil
+			}
+			r := p.Rank()
+			want := int64(r * (r + 1) / 2)
+			if got != want {
+				return fmt.Errorf("rank %d exscan = %d, want %d", p.Rank(), got, want)
+			}
+			return nil
+		})
+	}
+}
+
+func TestGathervScatterv(t *testing.T) {
+	const n = 4
+	runAll(t, n, func(p PT2PT) error {
+		// Rank r contributes r+1 bytes of value r.
+		mine := bytes.Repeat([]byte{byte(p.Rank())}, p.Rank()+1)
+		counts := []int{1, 2, 3, 4}
+		displs := []int{0, 1, 3, 6}
+		total := 10
+		recv := make([]byte, total)
+		if err := Gatherv(p, mine, recv, counts, displs, 0); err != nil {
+			return err
+		}
+		if p.Rank() == 0 {
+			want := []byte{0, 1, 1, 2, 2, 2, 3, 3, 3, 3}
+			if !bytes.Equal(recv, want) {
+				return fmt.Errorf("gatherv = %v", recv)
+			}
+		}
+		// Scatter it back.
+		back := make([]byte, p.Rank()+1)
+		if err := Scatterv(p, recv, counts, displs, back, 0); err != nil {
+			return err
+		}
+		if !bytes.Equal(back, mine) {
+			return fmt.Errorf("rank %d scatterv = %v", p.Rank(), back)
+		}
+		return nil
+	})
+}
+
+func TestGathervValidatesTables(t *testing.T) {
+	runAll(t, 2, func(p PT2PT) error {
+		if p.Rank() == 0 {
+			err := Gatherv(p, []byte{1}, make([]byte, 2), []int{1}, []int{0}, 0)
+			if err == nil {
+				return fmt.Errorf("short counts accepted")
+			}
+			// Drain the message rank 1 sent so the mesh is clean.
+			buf := make([]byte, 1)
+			if _, err := p.Recv(buf, 1, tagGatherv); err != nil {
+				return err
+			}
+			return nil
+		}
+		return p.Send([]byte{1}, 0, tagGatherv)
+	})
+}
+
+func TestAllgathervRing(t *testing.T) {
+	for _, n := range worldSizes {
+		counts := make([]int, n)
+		displs := make([]int, n)
+		total := 0
+		for r := 0; r < n; r++ {
+			counts[r] = r + 1
+			displs[r] = total
+			total += counts[r]
+		}
+		runAll(t, n, func(p PT2PT) error {
+			mine := bytes.Repeat([]byte{byte(p.Rank() + 1)}, counts[p.Rank()])
+			recv := make([]byte, total)
+			if err := Allgatherv(p, mine, recv, counts, displs); err != nil {
+				return err
+			}
+			for r := 0; r < n; r++ {
+				for i := 0; i < counts[r]; i++ {
+					if recv[displs[r]+i] != byte(r+1) {
+						return fmt.Errorf("rank %d block %d = %v", p.Rank(), r, recv)
+					}
+				}
+			}
+			return nil
+		})
+	}
+}
+
+func TestUserOpRegistry(t *testing.T) {
+	xor := CreateOp(func(in, inout []byte, count int, elem *datatype.Type) error {
+		for i := range inout {
+			inout[i] ^= in[i]
+		}
+		return nil
+	})
+	if xor.String() == "MPI_OP_UNKNOWN" || xor.String() == "" {
+		t.Fatalf("user op name %q", xor.String())
+	}
+	dst := []byte{0b1100}
+	if err := Apply(xor, datatype.Byte, dst, []byte{0b1010}); err != nil {
+		t.Fatal(err)
+	}
+	if dst[0] != 0b0110 {
+		t.Fatalf("xor apply = %b", dst[0])
+	}
+	// Unregistered user op id errors.
+	if err := Apply(Op(250), datatype.Byte, dst, []byte{1}); err == nil {
+		t.Fatal("unregistered op accepted")
+	}
+	// All predefined names render.
+	for _, o := range []Op{OpSum, OpProd, OpMax, OpMin, OpLAnd, OpLOr, OpBAnd, OpBOr, OpReplace, OpNoOp} {
+		if o.String() == "MPI_OP_UNKNOWN" {
+			t.Errorf("op %d unnamed", o)
+		}
+	}
+}
+
+func TestUserOpInReduce(t *testing.T) {
+	gcd := CreateOp(func(in, inout []byte, count int, elem *datatype.Type) error {
+		a := getLongs(in)
+		b := getLongs(inout)
+		for i := range b {
+			x, y := a[i], b[i]
+			for y != 0 {
+				x, y = y, x%y
+			}
+			copy(inout[8*i:], longs(x))
+		}
+		return nil
+	})
+	runAll(t, 4, func(p PT2PT) error {
+		mine := longs(int64(12 * (p.Rank() + 1))) // 12,24,36,48 -> gcd 12
+		out := make([]byte, 8)
+		if err := Reduce(p, gcd, datatype.Long, mine, out, 0); err != nil {
+			return err
+		}
+		if p.Rank() == 0 && getLongs(out)[0] != 12 {
+			return fmt.Errorf("gcd reduce = %d", getLongs(out)[0])
+		}
+		return nil
+	})
+}
+
+func TestFloatOps(t *testing.T) {
+	d := make([]byte, 8)
+	binary.LittleEndian.PutUint64(d, math.Float64bits(2.5))
+	s := make([]byte, 8)
+	binary.LittleEndian.PutUint64(s, math.Float64bits(4.0))
+	if err := Apply(OpProd, datatype.Double, d, s); err != nil {
+		t.Fatal(err)
+	}
+	if got := math.Float64frombits(binary.LittleEndian.Uint64(d)); got != 10.0 {
+		t.Fatalf("prod = %v", got)
+	}
+	if err := Apply(OpMin, datatype.Double, d, s); err != nil {
+		t.Fatal(err)
+	}
+	if got := math.Float64frombits(binary.LittleEndian.Uint64(d)); got != 4.0 {
+		t.Fatalf("min = %v", got)
+	}
+	// Float32 path.
+	f1 := make([]byte, 4)
+	binary.LittleEndian.PutUint32(f1, math.Float32bits(1.5))
+	f2 := make([]byte, 4)
+	binary.LittleEndian.PutUint32(f2, math.Float32bits(2.0))
+	if err := Apply(OpMax, datatype.Float, f1, f2); err != nil {
+		t.Fatal(err)
+	}
+	if got := math.Float32frombits(binary.LittleEndian.Uint32(f1)); got != 2.0 {
+		t.Fatalf("fmax = %v", got)
+	}
+}

@@ -1,0 +1,260 @@
+package comm
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"gompi/internal/group"
+	"gompi/internal/request"
+)
+
+// Errors returned by communicator operations.
+var (
+	ErrBadRank = errors.New("comm: rank out of communicator range")
+	ErrFreed   = errors.New("comm: communicator already freed")
+)
+
+// Undefined is returned from Split with color Undefined: the caller is
+// not a member of any resulting communicator (MPI_UNDEFINED).
+const Undefined = -1
+
+// Comm is one rank's view of a communicator. The fields read on the
+// communication critical path (Ctx, Table, MyRank) are immutable after
+// creation; Lock is taken only under MPI_THREAD_MULTIPLE.
+type Comm struct {
+	Grp     *group.Group
+	Table   *RankTable
+	MyRank  int
+	Ctx     uint16 // point-to-point context id (high bits of match words)
+	CollCtx uint16 // collective context id (isolates collectives from pt2pt)
+
+	Lock sync.Mutex // per-object critical section (MPI_THREAD_MULTIPLE)
+
+	// NoReq counts outstanding requestless operations issued on this
+	// communicator (the MPI_ISEND_NOREQ / MPI_COMM_WAITALL proposal,
+	// Section 3.5). Owned by the rank.
+	NoReq request.Counter
+
+	// AssertNoMatch caches the info hint of the paper's Section 3.6
+	// alternative proposal: the application promises to receive
+	// everything on this communicator with MPI_ANY_SOURCE and
+	// MPI_ANY_TAG, so senders may drop the match bits. The hint
+	// variant costs an extra dereference and branch on every send
+	// compared with the dedicated MPI_ISEND_NOMATCH function — which
+	// is exactly the trade-off the paper quantifies.
+	AssertNoMatch bool
+
+	reg      *Registry
+	seq      int // per-rank count of creation collectives on this comm
+	info     map[string]string
+	freed    bool
+	collView *Comm
+}
+
+// CollView returns a view of the communicator whose point-to-point
+// context is the collective context: the machine-independent
+// collectives send through it so application traffic can never match
+// collective traffic. The view is cached per rank.
+func (c *Comm) CollView() *Comm {
+	if c.collView == nil {
+		c.collView = &Comm{
+			Grp:     c.Grp,
+			Table:   c.Table,
+			MyRank:  c.MyRank,
+			Ctx:     c.CollCtx,
+			CollCtx: c.CollCtx,
+			reg:     c.reg,
+		}
+		c.collView.collView = c.collView
+	}
+	return c.collView
+}
+
+// Exchange performs the registry rendezvous allgather on this
+// communicator: each rank deposits val and receives every rank's value
+// indexed by communicator rank. Collective; used by window creation.
+func (c *Comm) Exchange(val any) []any {
+	seq := c.seq
+	c.seq++
+	return c.reg.Exchange(c.Ctx, seq, c.MyRank, c.Size(), val)
+}
+
+// NewWorld builds rank myRank's view of MPI_COMM_WORLD over n ranks.
+func NewWorld(reg *Registry, n, myRank int) *Comm {
+	g := group.WorldGroup(n)
+	return &Comm{
+		Grp:     g,
+		Table:   BuildRankTable(g),
+		MyRank:  myRank,
+		Ctx:     0,
+		CollCtx: 1,
+		reg:     reg,
+	}
+}
+
+// Size returns the number of ranks in the communicator.
+func (c *Comm) Size() int { return c.Grp.Size() }
+
+// Rank returns the calling rank's rank within the communicator.
+func (c *Comm) Rank() int { return c.MyRank }
+
+// Group returns the communicator's group.
+func (c *Comm) Group() *group.Group { return c.Grp }
+
+// Freed reports whether Free has been called.
+func (c *Comm) Freed() bool { return c.freed }
+
+// Free marks the communicator released. Pending operations are the
+// caller's responsibility, as in MPI_COMM_FREE.
+func (c *Comm) Free() error {
+	if c.freed {
+		return ErrFreed
+	}
+	c.freed = true
+	return nil
+}
+
+// SetInfo attaches an info hint (MPI_COMM_SET_INFO). The
+// "mpi_assert_allow_overtaking" hint (and its gompi alias
+// "gompi_assert_no_match") caches into the AssertNoMatch fast-path
+// flag.
+func (c *Comm) SetInfo(key, value string) {
+	if c.info == nil {
+		c.info = make(map[string]string)
+	}
+	c.info[key] = value
+	if key == "mpi_assert_allow_overtaking" || key == "gompi_assert_no_match" {
+		c.AssertNoMatch = value == "true"
+	}
+}
+
+// Info returns the hint for key, if set (MPI_COMM_GET_INFO).
+func (c *Comm) Info(key string) (string, bool) {
+	v, ok := c.info[key]
+	return v, ok
+}
+
+// WorldRank translates a communicator rank to the world/fabric rank.
+// The device charges the translation cost according to Table.Kind.
+func (c *Comm) WorldRank(r int) (int, error) {
+	if r < 0 || r >= c.Grp.Size() {
+		return -1, fmt.Errorf("%w: %d not in [0,%d)", ErrBadRank, r, c.Grp.Size())
+	}
+	return c.Table.World(r), nil
+}
+
+// Dup creates a duplicate with a fresh context (MPI_COMM_DUP). It is a
+// creation collective: every rank of c must call it in the same order.
+func (c *Comm) Dup() (*Comm, error) {
+	if c.freed {
+		return nil, ErrFreed
+	}
+	seq := c.seq
+	c.seq++
+	ctx, coll := c.reg.AllocContext(c.Ctx, seq, 0)
+	dup := &Comm{
+		Grp:     c.Grp,
+		Table:   c.Table,
+		MyRank:  c.MyRank,
+		Ctx:     ctx,
+		CollCtx: coll,
+		reg:     c.reg,
+	}
+	for k, v := range c.info {
+		dup.SetInfo(k, v)
+	}
+	return dup, nil
+}
+
+// splitEntry is the (color, key, rank) triple exchanged by Split.
+type splitEntry struct {
+	color, key, rank int
+}
+
+// Split partitions the communicator by color and orders each part by
+// (key, parent rank) (MPI_COMM_SPLIT). Ranks passing color == Undefined
+// receive nil.
+func (c *Comm) Split(color, key int) (*Comm, error) {
+	if c.freed {
+		return nil, ErrFreed
+	}
+	seq := c.seq
+	c.seq++
+	vals := c.reg.Exchange(c.Ctx, seq, c.MyRank, c.Size(), splitEntry{color, key, c.MyRank})
+	if color == Undefined {
+		return nil, nil
+	}
+
+	var members []splitEntry
+	for _, v := range vals {
+		e := v.(splitEntry)
+		if e.color == color {
+			members = append(members, e)
+		}
+	}
+	sort.Slice(members, func(i, j int) bool {
+		if members[i].key != members[j].key {
+			return members[i].key < members[j].key
+		}
+		return members[i].rank < members[j].rank
+	})
+
+	world := make([]int, len(members))
+	myNew := -1
+	for i, e := range members {
+		w, err := c.WorldRank(e.rank)
+		if err != nil {
+			return nil, err
+		}
+		world[i] = w
+		if e.rank == c.MyRank {
+			myNew = i
+		}
+	}
+	g := group.FromRanks(world)
+	ctx, coll := c.reg.AllocContext(c.Ctx, seq, color)
+	return &Comm{
+		Grp:     g,
+		Table:   BuildRankTable(g),
+		MyRank:  myNew,
+		Ctx:     ctx,
+		CollCtx: coll,
+		reg:     c.reg,
+	}, nil
+}
+
+// Create builds a communicator over the given subgroup of c
+// (MPI_COMM_CREATE). Every rank of c must call it with an equal group;
+// ranks outside the group receive nil. Like Split, it is a creation
+// collective on c.
+func (c *Comm) Create(g *group.Group) (*Comm, error) {
+	if c.freed {
+		return nil, ErrFreed
+	}
+	seq := c.seq
+	c.seq++
+	// All ranks must agree on the context id; participate in the
+	// allocation even when not a member.
+	ctx, coll := c.reg.AllocContext(c.Ctx, seq, 0)
+	// Rendezvous so no member races ahead of the collective.
+	c.reg.Exchange(c.Ctx, seq, c.MyRank, c.Size(), nil)
+
+	w, err := c.WorldRank(c.MyRank)
+	if err != nil {
+		return nil, err
+	}
+	myNew := g.Rank(w)
+	if myNew == group.Undefined {
+		return nil, nil
+	}
+	return &Comm{
+		Grp:     g,
+		Table:   BuildRankTable(g),
+		MyRank:  myNew,
+		Ctx:     ctx,
+		CollCtx: coll,
+		reg:     c.reg,
+	}, nil
+}

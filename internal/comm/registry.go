@@ -1,0 +1,112 @@
+package comm
+
+import (
+	"sync"
+
+	"gompi/internal/abort"
+)
+
+// Registry is the job-wide coordination service backing collective
+// communicator creation: it allocates context ids consistently across
+// ranks and provides the rendezvous exchange that replaces the
+// allgather a distributed MPI would run. It is shared by all ranks of
+// one world and is internally synchronized. None of this is on the
+// communication critical path.
+type Registry struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	nextCtx uint16
+	ctx     map[ctxKey]uint16
+	slots   map[slotKey]*slot
+	aborted abort.Flag
+}
+
+// ctxKey identifies one collective context-id allocation: all ranks of
+// the parent communicator performing the same (seq-th) creation on the
+// same color must agree on the id.
+type ctxKey struct {
+	parent uint16
+	seq    int
+	color  int
+}
+
+type slotKey struct {
+	parent uint16
+	seq    int
+}
+
+// slot is a rendezvous allgather cell.
+type slot struct {
+	vals    []any
+	present int
+	taken   int
+}
+
+// NewRegistry creates the coordination service for one world. Context
+// ids 0 and 1 are reserved for MPI_COMM_WORLD's point-to-point and
+// collective contexts.
+func NewRegistry() *Registry {
+	r := &Registry{nextCtx: 2, ctx: make(map[ctxKey]uint16), slots: make(map[slotKey]*slot)}
+	r.cond = sync.NewCond(&r.mu)
+	return r
+}
+
+// AllocContext returns the context-id pair (pt2pt, coll) for the seq-th
+// communicator created from parent with the given color. Every rank
+// asking with the same key receives the same pair; the first request
+// allocates.
+func (r *Registry) AllocContext(parent uint16, seq, color int) (uint16, uint16) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	k := ctxKey{parent, seq, color}
+	id, ok := r.ctx[k]
+	if !ok {
+		id = r.nextCtx
+		r.nextCtx += 2 // pt2pt and collective contexts
+		if r.nextCtx < id {
+			panic("comm: context id space exhausted")
+		}
+		r.ctx[k] = id
+	}
+	return id, id + 1
+}
+
+// Abort wakes every Exchange waiter; their rendezvous panics with
+// abort.ErrWorldAborted.
+func (r *Registry) Abort() {
+	r.aborted.Raise()
+	r.mu.Lock()
+	r.cond.Broadcast()
+	r.mu.Unlock()
+}
+
+// Exchange is the rendezvous allgather used by Split and Create: each
+// of size participants deposits its value under (parent, seq) and
+// receives the full slice indexed by parent rank. The slot is reclaimed
+// once every participant has taken the result.
+func (r *Registry) Exchange(parent uint16, seq, rank, size int, val any) []any {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	k := slotKey{parent, seq}
+	s := r.slots[k]
+	if s == nil {
+		s = &slot{vals: make([]any, size)}
+		r.slots[k] = s
+	}
+	s.vals[rank] = val
+	s.present++
+	if s.present == size {
+		r.cond.Broadcast()
+	}
+	for s.present < size {
+		// The deferred Unlock releases the mutex when Check panics.
+		r.aborted.Check()
+		r.cond.Wait()
+	}
+	out := s.vals
+	s.taken++
+	if s.taken == size {
+		delete(r.slots, k)
+	}
+	return out
+}

@@ -1,0 +1,113 @@
+package core
+
+import (
+	"gompi/internal/coll"
+	"gompi/internal/comm"
+	"gompi/internal/datatype"
+	"gompi/internal/proc"
+	"gompi/internal/request"
+	"gompi/internal/rma"
+	"gompi/internal/vtime"
+)
+
+// MPI-layer charge constants: what the machine-independent layer costs
+// before the device is reached. Charged by the public API layer; the
+// devices charge their own (mandatory and redundant) costs.
+const (
+	// CallEntryCost is the call-frame setup of the public MPI symbol
+	// (Table 1 "MPI function call", the 16-18 instruction figure).
+	CallEntryCost = 17
+	// CallDispatchIsendCost / CallDispatchPutCost is the additional
+	// ADI dispatch overhead reaching the device entry point.
+	CallDispatchIsendCost = 6
+	CallDispatchPutCost   = 8
+	// ThreadCheckCost is the runtime threading-level branch taken on
+	// every call even in single-threaded runs when the library is
+	// built with thread support (Table 1 "Thread-safety check").
+	ThreadCheckCost = 6
+	// ThreadCheckWinCost is the window-path variant, which also checks
+	// the window's own synchronization mode.
+	ThreadCheckWinCost = 14
+)
+
+// Device is the abstract device interface (ADI): the boundary between
+// the machine-independent MPI layer and a machine-specific
+// implementation. Both devices (ch4 and original) implement it. MPI
+// semantics flow through unreduced — the device sees the user's
+// buffers, datatypes, communicator, and per-call extension flags.
+//
+// A Device instance belongs to one rank; only that rank's goroutine may
+// call its methods.
+type Device interface {
+	// Rank returns the owning rank.
+	Rank() *proc.Rank
+	// Config returns the build configuration the device was opened
+	// with.
+	Config() Config
+
+	// Isend starts a nonblocking send of count elements of dt from buf
+	// to dest (a communicator rank, or a world rank under
+	// FlagGlobalRank, or ProcNull) with the given tag. Under FlagNoReq
+	// it returns a nil request and counts completion on the
+	// communicator.
+	Isend(buf []byte, count int, dt *datatype.Type, dest, tag int, c *comm.Comm, flags OpFlags) (*request.Request, error)
+	// Irecv starts a nonblocking receive. src may be AnySource; tag
+	// may be AnyTag.
+	Irecv(buf []byte, count int, dt *datatype.Type, src, tag int, c *comm.Comm, flags OpFlags) (*request.Request, error)
+	// IsendAllOpts is the dedicated hand-minimized path of Section
+	// 3.7: world-rank destination, predefined-communicator context,
+	// counter completion, arrival-order matching, no PROC_NULL.
+	IsendAllOpts(buf []byte, worldDest int, c *comm.Comm) error
+	// Iprobe checks for a matchable incoming message without receiving
+	// it.
+	Iprobe(src, tag int, c *comm.Comm) (request.Status, bool, error)
+	// Improbe extracts a matchable incoming message (MPI_IMPROBE): on
+	// success the message is removed from matching and its payload,
+	// envelope, and virtual arrival time are returned for a later
+	// matched receive.
+	Improbe(src, tag int, c *comm.Comm) (data []byte, st request.Status, arrival vtime.Time, ok bool, err error)
+	// CommWaitall completes every outstanding requestless operation on
+	// the communicator (the MPI_COMM_WAITALL proposal).
+	CommWaitall(c *comm.Comm) error
+	// Progress advances the device's engines (active messages,
+	// shared-memory rings).
+	Progress()
+	// EventSeq returns an opaque counter that increases whenever new
+	// transport events arrive for this rank; WaitEvent parks the rank
+	// until the counter moves past the given value. Together they let
+	// blocking MPI-layer loops (MPI_PROBE) sleep instead of spin.
+	EventSeq() uint64
+	WaitEvent(seq uint64)
+
+	// WinCreate collectively exposes mem with the given displacement
+	// unit over c.
+	WinCreate(mem []byte, dispUnit int, c *comm.Comm) (*rma.Win, error)
+	// WinCreateDynamic collectively creates a window with no initial
+	// memory; Attach exposes regions later.
+	WinCreateDynamic(c *comm.Comm) (*rma.Win, error)
+	// WinFree collectively releases the window.
+	WinFree(w *rma.Win) error
+	// Put transfers count elements of dt from origin into the target
+	// window at displacement disp. Under FlagVirtAddr, disp is a
+	// rma.VAddr and translation is skipped.
+	Put(origin []byte, count int, dt *datatype.Type, target, disp int, w *rma.Win, flags OpFlags) error
+	// Get transfers from the target window into origin.
+	Get(origin []byte, count int, dt *datatype.Type, target, disp int, w *rma.Win, flags OpFlags) error
+	// Accumulate folds origin into the target window with op.
+	Accumulate(origin []byte, count int, dt *datatype.Type, target, disp int, op coll.Op, w *rma.Win, flags OpFlags) error
+	// GetAccumulate fetches the prior target contents into result and
+	// folds origin in, atomically per element.
+	GetAccumulate(origin, result []byte, count int, dt *datatype.Type, target, disp int, op coll.Op, w *rma.Win, flags OpFlags) error
+	// Fence closes and reopens a fence epoch (MPI_WIN_FENCE).
+	Fence(w *rma.Win) error
+	// FenceEnd closes the fence epoch sequence without opening a new
+	// one (MPI_WIN_FENCE with MPI_MODE_NOSUCCEED).
+	FenceEnd(w *rma.Win) error
+	// Lock opens a passive-target epoch on target rank.
+	Lock(w *rma.Win, target int, exclusive bool) error
+	// Unlock flushes and closes the passive-target epoch.
+	Unlock(w *rma.Win, target int) error
+	// Flush completes all outstanding operations to target without
+	// closing the epoch.
+	Flush(w *rma.Win, target int) error
+}

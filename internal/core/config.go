@@ -1,0 +1,112 @@
+// Package core defines the abstract device interface (ADI) between the
+// machine-independent MPI layer and the devices (ch4, original), the
+// build configurations of Figure 2, and the operation flags that encode
+// the paper's proposed MPI standard extensions. Parameters flow through
+// the ADI at MPI-level fidelity — the devices see which MPI call
+// triggered an operation, with all its arguments — which is the CH4
+// design takeaway the paper highlights.
+package core
+
+// Config is the library build configuration. Each knob corresponds to
+// one step of the Figure 2 ladder: the default build has everything on;
+// "no-err" clears ErrorChecking; "no-err-single" additionally clears
+// ThreadCheck; "no-err-single-ipo" additionally sets Inline, modeling
+// link-time inlining (which removes function-call overhead and lets the
+// compiler fold the redundant runtime checks of Section 2.2 into
+// compile-time constants).
+type Config struct {
+	// ErrorChecking validates arguments and objects on every call.
+	ErrorChecking bool
+	// ThreadCheck branches on the runtime threading level on every
+	// call, even when the application is single-threaded — the
+	// software-distribution compromise described in Section 2.1.
+	ThreadCheck bool
+	// ThreadMultiple serializes communication with per-object critical
+	// sections (implies the runtime check is taken, not just present).
+	ThreadMultiple bool
+	// Inline models link-time inlining of the performance-critical MPI
+	// functions: function-call overhead and redundant runtime checks
+	// are no longer charged.
+	Inline bool
+}
+
+// The named builds of Figure 2.
+var (
+	// Default is the user- and administrator-friendly build.
+	Default = Config{ErrorChecking: true, ThreadCheck: true}
+	// NoErr disables error checking ("mpich/ch4 (no-err)").
+	NoErr = Config{ThreadCheck: true}
+	// NoErrSingle also removes the thread-safety check
+	// ("mpich/ch4 (no-err-single)").
+	NoErrSingle = Config{}
+	// NoErrSingleIPO adds link-time inlining
+	// ("mpich/ch4 (no-err-single-ipo)").
+	NoErrSingleIPO = Config{Inline: true}
+)
+
+// ConfigByName resolves the Figure 2 legend names.
+func ConfigByName(name string) (Config, bool) {
+	switch name {
+	case "default", "":
+		return Default, true
+	case "no-err":
+		return NoErr, true
+	case "no-err-single":
+		return NoErrSingle, true
+	case "no-err-single-ipo", "ipo":
+		return NoErrSingleIPO, true
+	}
+	return Config{}, false
+}
+
+// ConfigNames lists the build names in Figure 2 order.
+var ConfigNames = []string{"default", "no-err", "no-err-single", "no-err-single-ipo"}
+
+// OpFlags selects the proposed standard extensions on a per-call basis
+// (Section 3). Zero means plain MPI-3.1 semantics.
+type OpFlags uint8
+
+// Extension flags.
+const (
+	// FlagGlobalRank: the destination is an MPI_COMM_WORLD rank and
+	// communicator rank translation is skipped (MPI_ISEND_GLOBAL,
+	// Section 3.1).
+	FlagGlobalRank OpFlags = 1 << iota
+	// FlagPredefComm: the communicator came from the predefined handle
+	// table, so referencing it is a constant-indexed global load
+	// instead of a dereference into a dynamically allocated object
+	// (MPI_COMM_DUP_PREDEFINED, Section 3.3).
+	FlagPredefComm
+	// FlagNoProcNull: the caller guarantees the target is not
+	// MPI_PROC_NULL (MPI_ISEND_NPN, Section 3.4).
+	FlagNoProcNull
+	// FlagNoReq: no request object; completion is counted on the
+	// communicator and collected by MPI_COMM_WAITALL
+	// (MPI_ISEND_NOREQ, Section 3.5).
+	FlagNoReq
+	// FlagNoMatch: source and tag match bits are disabled; messages
+	// match receives in arrival order within the communicator
+	// (MPI_ISEND_NOMATCH, Section 3.6).
+	FlagNoMatch
+	// FlagVirtAddr: the RMA target location is a virtual address, not
+	// a window offset (MPI_PUT_VIRTUAL_ADDR, Section 3.2).
+	FlagVirtAddr
+
+	// FlagAllOpts combines every point-to-point proposal; the device
+	// takes a dedicated hand-minimized path (MPI_ISEND_ALL_OPTS,
+	// Section 3.7).
+	FlagAllOpts = FlagGlobalRank | FlagPredefComm | FlagNoProcNull | FlagNoReq | FlagNoMatch
+)
+
+// Has reports whether all bits of q are set.
+func (f OpFlags) Has(q OpFlags) bool { return f&q == q }
+
+// ProcNull is the MPI_PROC_NULL sentinel rank: communication addressed
+// to it is discarded.
+const ProcNull = -2
+
+// AnySource is the MPI_ANY_SOURCE wildcard for receives.
+const AnySource = -1
+
+// AnyTag is the MPI_ANY_TAG wildcard for receives.
+const AnyTag = -1

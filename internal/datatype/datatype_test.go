@@ -1,0 +1,226 @@
+package datatype
+
+import (
+	"testing"
+)
+
+func TestPredefinedProperties(t *testing.T) {
+	cases := []struct {
+		t    *Type
+		name string
+		size int
+	}{
+		{Byte, "MPI_BYTE", 1},
+		{Char, "MPI_CHAR", 1},
+		{Short, "MPI_SHORT", 2},
+		{Int, "MPI_INT", 4},
+		{Long, "MPI_LONG", 8},
+		{Float, "MPI_FLOAT", 4},
+		{Double, "MPI_DOUBLE", 8},
+	}
+	for _, c := range cases {
+		if c.t.Name() != c.name || c.t.Size() != c.size || c.t.Extent() != c.size {
+			t.Errorf("%s: size/extent = %d/%d", c.name, c.t.Size(), c.t.Extent())
+		}
+		if !c.t.Committed() || !c.t.Contig() || !c.t.Predefined() {
+			t.Errorf("%s: predefined flags wrong", c.name)
+		}
+	}
+}
+
+func TestContiguous(t *testing.T) {
+	ct, err := NewContiguous(5, Double)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ct.Committed() {
+		t.Fatal("derived type committed before Commit")
+	}
+	if err := ct.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if ct.Size() != 40 || ct.Extent() != 40 || !ct.Contig() {
+		t.Errorf("contiguous(5,double): size=%d extent=%d contig=%v", ct.Size(), ct.Extent(), ct.Contig())
+	}
+	if len(ct.Segments()) != 1 {
+		t.Errorf("segments not coalesced: %v", ct.Segments())
+	}
+	if ct.Predefined() {
+		t.Error("derived type claims to be predefined")
+	}
+}
+
+func TestVector(t *testing.T) {
+	// 3 blocks of 2 ints, stride 4 ints: |XX..|XX..|XX
+	v, err := NewVector(3, 2, 4, Int)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := v.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if v.Size() != 24 {
+		t.Errorf("size = %d, want 24", v.Size())
+	}
+	if v.Extent() != (2*4+2)*4 { // (count-1)*stride + blocklen elements
+		t.Errorf("extent = %d, want 40", v.Extent())
+	}
+	if v.Contig() {
+		t.Error("strided vector classified contiguous")
+	}
+	want := []Segment{{0, 8}, {64, 8}, {128, 8}}
+	segs := v.Segments()
+	if len(segs) != 3 {
+		t.Fatalf("segments = %v", segs)
+	}
+	for i, s := range segs {
+		if s != (Segment{want[i].Off * 1, want[i].Len}) {
+			// want offsets 0,64,128? stride 4 ints = 16 bytes.
+			break
+		}
+	}
+	if segs[0] != (Segment{0, 8}) || segs[1] != (Segment{16, 8}) || segs[2] != (Segment{32, 8}) {
+		t.Errorf("segments = %v", segs)
+	}
+}
+
+func TestVectorUnitStrideIsContig(t *testing.T) {
+	v, _ := NewVector(4, 3, 3, Double) // stride == blocklen
+	if err := v.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if !v.Contig() {
+		t.Error("unit-stride vector should classify contiguous")
+	}
+	if len(v.Segments()) != 1 {
+		t.Errorf("segments = %v, want single run", v.Segments())
+	}
+}
+
+func TestHvector(t *testing.T) {
+	h, err := NewHvector(2, 1, 10, Int)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if h.Size() != 8 || h.Extent() != 14 {
+		t.Errorf("size/extent = %d/%d, want 8/14", h.Size(), h.Extent())
+	}
+	segs := h.Segments()
+	if len(segs) != 2 || segs[1].Off != 10 {
+		t.Errorf("segments = %v", segs)
+	}
+}
+
+func TestIndexed(t *testing.T) {
+	// blocks of 2 ints at displ 0, 1 int at displ 5.
+	ix, err := NewIndexed([]int{2, 1}, []int{0, 5}, Int)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ix.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if ix.Size() != 12 || ix.Extent() != 24 {
+		t.Errorf("size/extent = %d/%d, want 12/24", ix.Size(), ix.Extent())
+	}
+	segs := ix.Segments()
+	if len(segs) != 2 || segs[0] != (Segment{0, 8}) || segs[1] != (Segment{20, 4}) {
+		t.Errorf("segments = %v", segs)
+	}
+}
+
+func TestStruct(t *testing.T) {
+	// {int32-ish pair at 0, double at 8} like a C struct with padding.
+	st, err := NewStruct([]int{1, 1}, []int{0, 8}, []*Type{Int, Double})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if st.Size() != 12 || st.Extent() != 16 {
+		t.Errorf("size/extent = %d/%d, want 12/16", st.Size(), st.Extent())
+	}
+	if st.Contig() {
+		t.Error("padded struct classified contiguous")
+	}
+}
+
+func TestNestedTypes(t *testing.T) {
+	inner, _ := NewVector(2, 1, 2, Int) // X.X
+	if err := inner.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	outer, err := NewContiguous(3, inner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := outer.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if outer.Size() != 3*8 {
+		t.Errorf("nested size = %d, want 24", outer.Size())
+	}
+}
+
+func TestCommitRequiresCommittedBase(t *testing.T) {
+	inner, _ := NewVector(2, 1, 2, Int)
+	outer, _ := NewContiguous(2, inner) // inner not committed
+	if err := outer.Commit(); err != ErrUncommitted {
+		t.Fatalf("Commit with uncommitted base: err = %v, want ErrUncommitted", err)
+	}
+}
+
+func TestCommitIdempotent(t *testing.T) {
+	ct, _ := NewContiguous(2, Int)
+	if err := ct.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	segs := ct.Segments()
+	if err := ct.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if &segs[0] != &ct.Segments()[0] {
+		t.Error("second Commit rebuilt segments")
+	}
+}
+
+func TestConstructorValidation(t *testing.T) {
+	if _, err := NewContiguous(-1, Int); err != ErrBadArgument {
+		t.Error("negative count accepted")
+	}
+	if _, err := NewContiguous(1, nil); err != ErrBadArgument {
+		t.Error("nil base accepted")
+	}
+	if _, err := NewVector(-1, 1, 1, Int); err != ErrBadArgument {
+		t.Error("negative vector count accepted")
+	}
+	if _, err := NewIndexed([]int{1}, []int{1, 2}, Int); err != ErrBadArgument {
+		t.Error("mismatched indexed arrays accepted")
+	}
+	if _, err := NewStruct([]int{1}, []int{0}, []*Type{nil}); err != ErrBadArgument {
+		t.Error("nil struct member accepted")
+	}
+	if _, err := NewStruct([]int{1, 1}, []int{0}, []*Type{Int, Int}); err != ErrBadArgument {
+		t.Error("mismatched struct arrays accepted")
+	}
+}
+
+func TestZeroCountTypes(t *testing.T) {
+	z, err := NewVector(0, 3, 5, Int)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := z.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if z.Size() != 0 || z.Extent() != 0 {
+		t.Errorf("zero vector size/extent = %d/%d", z.Size(), z.Extent())
+	}
+	if !z.Contig() {
+		t.Error("empty type should be trivially contiguous")
+	}
+}

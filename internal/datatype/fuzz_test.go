@@ -1,0 +1,96 @@
+package datatype
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzVectorPackUnpack drives the dataloop engine with arbitrary vector
+// geometries and data: pack→unpack→pack must be a fixed point and never
+// touch bytes outside the type's footprint.
+func FuzzVectorPackUnpack(f *testing.F) {
+	f.Add(3, 2, 4, []byte("abcdefghijklmnopqrstuvwxyz0123456789"))
+	f.Add(1, 1, 1, []byte{0})
+	f.Add(0, 5, 7, []byte{})
+	f.Fuzz(func(t *testing.T, count, blocklen, stride int, data []byte) {
+		count = abs(count) % 8
+		blocklen = abs(blocklen) % 8
+		stride = blocklen + abs(stride)%8 // non-overlapping
+		v, err := NewVector(count, blocklen, stride, Byte)
+		if err != nil {
+			return
+		}
+		if err := v.Commit(); err != nil {
+			t.Fatalf("commit: %v", err)
+		}
+		if v.Extent() > len(data) {
+			return
+		}
+		packed := make([]byte, PackedSize(v, 1))
+		if _, err := Pack(v, 1, data, packed); err != nil {
+			t.Fatalf("pack: %v", err)
+		}
+		poison := bytes.Repeat([]byte{0xEE}, len(data))
+		if _, err := Unpack(v, 1, packed, poison); err != nil {
+			t.Fatalf("unpack: %v", err)
+		}
+		repacked := make([]byte, len(packed))
+		if _, err := Pack(v, 1, poison, repacked); err != nil {
+			t.Fatalf("repack: %v", err)
+		}
+		if !bytes.Equal(packed, repacked) {
+			t.Fatalf("pack/unpack not a fixed point: %v vs %v", packed, repacked)
+		}
+		// Bytes outside the segments must stay poisoned.
+		seen := make([]bool, len(poison))
+		for _, s := range v.Segments() {
+			for i := s.Off; i < s.Off+s.Len; i++ {
+				seen[i] = true
+			}
+		}
+		for i, p := range poison {
+			if !seen[i] && p != 0xEE {
+				t.Fatalf("unpack wrote outside the type at %d", i)
+			}
+		}
+	})
+}
+
+// FuzzSubarrayBounds: arbitrary subarray geometries must either be
+// rejected or produce segments strictly inside the extent.
+func FuzzSubarrayBounds(f *testing.F) {
+	f.Add(4, 4, 2, 2, 1, 1)
+	f.Add(1, 1, 1, 1, 0, 0)
+	f.Fuzz(func(t *testing.T, s0, s1, sub0, sub1, st0, st1 int) {
+		sizes := []int{abs(s0)%6 + 1, abs(s1)%6 + 1}
+		subs := []int{abs(sub0)%6 + 1, abs(sub1)%6 + 1}
+		starts := []int{abs(st0) % 6, abs(st1) % 6}
+		sa, err := NewSubarray(sizes, subs, starts, Byte)
+		if err != nil {
+			return // rejected geometries are fine
+		}
+		if err := sa.Commit(); err != nil {
+			t.Fatalf("commit accepted geometry then failed: %v", err)
+		}
+		sum := 0
+		for _, s := range sa.Segments() {
+			if s.Off < 0 || s.Off+s.Len > sa.Extent() {
+				t.Fatalf("segment %v outside extent %d", s, sa.Extent())
+			}
+			sum += s.Len
+		}
+		if sum != sa.Size() {
+			t.Fatalf("segments sum %d != size %d", sum, sa.Size())
+		}
+	})
+}
+
+func abs(x int) int {
+	if x < 0 {
+		if x == -x { // MinInt
+			return 0
+		}
+		return -x
+	}
+	return x
+}

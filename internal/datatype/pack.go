@@ -1,0 +1,61 @@
+package datatype
+
+import "fmt"
+
+// PackedSize returns the wire size of count elements of t.
+func PackedSize(t *Type, count int) int { return count * t.size }
+
+// Pack serializes count elements of type t from src into dst, which
+// must have at least PackedSize bytes. It returns the number of bytes
+// written. src must cover count*Extent bytes (the last element's
+// trailing gap may be absent, per MPI convention, as long as its data
+// segments are present).
+func Pack(t *Type, count int, src, dst []byte) (int, error) {
+	if !t.committed {
+		return 0, ErrUncommitted
+	}
+	n := 0
+	for k := 0; k < count; k++ {
+		base := k * t.extent
+		for _, s := range t.segs {
+			if n+s.Len > len(dst) || base+s.Off+s.Len > len(src) {
+				return n, fmt.Errorf("datatype: pack overflow at element %d", k)
+			}
+			n += copy(dst[n:n+s.Len], src[base+s.Off:base+s.Off+s.Len])
+		}
+	}
+	return n, nil
+}
+
+// Unpack deserializes count elements of type t from the packed src into
+// the laid-out dst. It returns the number of bytes consumed.
+func Unpack(t *Type, count int, src, dst []byte) (int, error) {
+	if !t.committed {
+		return 0, ErrUncommitted
+	}
+	n := 0
+	for k := 0; k < count; k++ {
+		base := k * t.extent
+		for _, s := range t.segs {
+			if n+s.Len > len(src) || base+s.Off+s.Len > len(dst) {
+				return n, fmt.Errorf("datatype: unpack overflow at element %d", k)
+			}
+			n += copy(dst[base+s.Off:base+s.Off+s.Len], src[n:n+s.Len])
+		}
+	}
+	return n, nil
+}
+
+// ContigView returns the raw bytes of count contiguous elements of t in
+// buf without copying, or ok=false if the type is not contiguous (the
+// caller must Pack). This is the communication fast path.
+func ContigView(t *Type, count int, buf []byte) (view []byte, ok bool) {
+	if !t.contig {
+		return nil, false
+	}
+	n := count * t.size
+	if n > len(buf) {
+		return nil, false
+	}
+	return buf[:n], true
+}

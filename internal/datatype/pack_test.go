@@ -1,0 +1,220 @@
+package datatype
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// mustCommit returns a helper that commits a freshly constructed type,
+// failing the test on any error: ct := mustCommit(t)(NewVector(...)).
+func mustCommit(t *testing.T) func(*Type, error) *Type {
+	return func(ty *Type, err error) *Type {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := ty.Commit(); err != nil {
+			t.Fatal(err)
+		}
+		return ty
+	}
+}
+
+func TestPackContiguous(t *testing.T) {
+	ct := mustCommit(t)(NewContiguous(3, Int))
+	src := []byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12}
+	dst := make([]byte, 12)
+	n, err := Pack(ct, 1, src, dst)
+	if err != nil || n != 12 {
+		t.Fatalf("Pack = (%d,%v)", n, err)
+	}
+	if !bytes.Equal(dst, src) {
+		t.Error("contiguous pack changed bytes")
+	}
+}
+
+func TestPackVectorSelectsStridedBytes(t *testing.T) {
+	v := mustCommit(t)(NewVector(2, 1, 2, Byte)) // bytes 0 and 2
+	src := []byte{'a', 'b', 'c', 'd'}
+	dst := make([]byte, 2)
+	n, err := Pack(v, 1, src, dst)
+	if err != nil || n != 2 {
+		t.Fatalf("Pack = (%d,%v)", n, err)
+	}
+	if string(dst) != "ac" {
+		t.Errorf("packed %q, want \"ac\"", dst)
+	}
+}
+
+func TestUnpackVector(t *testing.T) {
+	v := mustCommit(t)(NewVector(2, 1, 2, Byte))
+	dst := []byte{'x', 'x', 'x', 'x'}
+	if _, err := Unpack(v, 1, []byte{'A', 'C'}, dst); err != nil {
+		t.Fatal(err)
+	}
+	if string(dst) != "AxCx" {
+		t.Errorf("unpacked %q, want \"AxCx\"", dst)
+	}
+}
+
+func TestPackMultipleElements(t *testing.T) {
+	v := mustCommit(t)(NewVector(2, 1, 2, Byte)) // extent 3, size 2
+	// Two elements: bytes {0,2} and {3,5}.
+	src := []byte{'a', 'b', 'c', 'd', 'e', 'f'}
+	dst := make([]byte, 4)
+	n, err := Pack(v, 2, src, dst)
+	if err != nil || n != 4 {
+		t.Fatalf("Pack = (%d,%v)", n, err)
+	}
+	if string(dst) != "acdf" {
+		t.Errorf("packed %q, want \"acdf\"", dst)
+	}
+}
+
+func TestPackUncommitted(t *testing.T) {
+	v, _ := NewVector(2, 1, 2, Byte)
+	if _, err := Pack(v, 1, make([]byte, 4), make([]byte, 2)); err != ErrUncommitted {
+		t.Fatalf("err = %v, want ErrUncommitted", err)
+	}
+	if _, err := Unpack(v, 1, make([]byte, 2), make([]byte, 4)); err != ErrUncommitted {
+		t.Fatalf("err = %v, want ErrUncommitted", err)
+	}
+}
+
+func TestPackOverflowDetected(t *testing.T) {
+	ct := mustCommit(t)(NewContiguous(4, Byte))
+	if _, err := Pack(ct, 1, make([]byte, 4), make([]byte, 2)); err == nil {
+		t.Fatal("pack into short dst did not error")
+	}
+}
+
+func TestContigView(t *testing.T) {
+	buf := []byte{1, 2, 3, 4, 5, 6, 7, 8}
+	view, ok := ContigView(Double, 1, buf)
+	if !ok || len(view) != 8 || &view[0] != &buf[0] {
+		t.Fatal("ContigView on double failed or copied")
+	}
+	v := mustCommit(t)(NewVector(2, 1, 2, Byte))
+	if _, ok := ContigView(v, 1, buf); ok {
+		t.Fatal("ContigView succeeded on strided type")
+	}
+	if _, ok := ContigView(Double, 2, buf[:8]); ok {
+		t.Fatal("ContigView succeeded past buffer end")
+	}
+}
+
+// randomType builds an arbitrary committed type from fuzz bytes,
+// bounded in nesting and size.
+func randomType(r *rand.Rand, depth int) *Type {
+	bases := []*Type{Byte, Short, Int, Long, Float, Double}
+	if depth <= 0 {
+		return bases[r.Intn(len(bases))]
+	}
+	switch r.Intn(5) {
+	case 0:
+		return bases[r.Intn(len(bases))]
+	case 1:
+		base := randomType(r, depth-1)
+		ty, _ := NewContiguous(r.Intn(4)+1, base)
+		ty.Commit()
+		return ty
+	case 2:
+		base := randomType(r, depth-1)
+		bl := r.Intn(3) + 1
+		ty, _ := NewVector(r.Intn(3)+1, bl, bl+r.Intn(3), base)
+		ty.Commit()
+		return ty
+	case 3:
+		base := randomType(r, depth-1)
+		n := r.Intn(3) + 1
+		bls := make([]int, n)
+		ds := make([]int, n)
+		next := 0
+		for i := range bls {
+			bls[i] = r.Intn(2) + 1
+			ds[i] = next + r.Intn(2)
+			next = ds[i] + bls[i]
+		}
+		ty, _ := NewIndexed(bls, ds, base)
+		ty.Commit()
+		return ty
+	default:
+		a, b := randomType(r, depth-1), randomType(r, depth-1)
+		// Non-overlapping displacements.
+		ty, _ := NewStruct([]int{1, 1}, []int{0, a.Extent() + r.Intn(4)}, []*Type{a, b})
+		ty.Commit()
+		return ty
+	}
+}
+
+// Property: pack → unpack restores exactly the selected bytes, for
+// arbitrary nested types and counts.
+func TestPackUnpackRoundTrip(t *testing.T) {
+	f := func(seed int64, countRaw uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		ty := randomType(r, 3)
+		count := int(countRaw%3) + 1
+
+		src := make([]byte, count*ty.Extent()+8)
+		r.Read(src)
+		packed := make([]byte, PackedSize(ty, count))
+		n, err := Pack(ty, count, src, packed)
+		if err != nil || n != len(packed) {
+			return false
+		}
+
+		dst := make([]byte, len(src))
+		for i := range dst {
+			dst[i] = 0xEE // poison: untouched bytes must stay
+		}
+		if _, err := Unpack(ty, count, packed, dst); err != nil {
+			return false
+		}
+		repacked := make([]byte, len(packed))
+		if _, err := Pack(ty, count, dst, repacked); err != nil {
+			return false
+		}
+		return bytes.Equal(packed, repacked)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the flattened segments of any committed type sum to Size,
+// stay within Extent, and are in-order non-overlapping.
+func TestSegmentInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		ty := randomType(r, 3)
+		sum, end := 0, 0
+		for _, s := range ty.Segments() {
+			if s.Len <= 0 || s.Off < end { // overlapping or empty
+				// Indexed/struct flatten in definition order; our
+				// random generator keeps displacements monotonic, so
+				// out-of-order means a bug.
+				return false
+			}
+			sum += s.Len
+			end = s.Off + s.Len
+		}
+		return sum == ty.Size() && end <= ty.Extent()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: PackedSize is linear in count.
+func TestPackedSizeLinear(t *testing.T) {
+	f := func(seed int64, a, b uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		ty := randomType(r, 2)
+		return PackedSize(ty, int(a))+PackedSize(ty, int(b)) == PackedSize(ty, int(a)+int(b))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,158 @@
+package datatype
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestSubarray2D(t *testing.T) {
+	// 4x4 byte array; select the 2x2 box at (1,1).
+	sa, err := NewSubarray([]int{4, 4}, []int{2, 2}, []int{1, 1}, Byte)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sa.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if sa.Size() != 4 || sa.Extent() != 16 {
+		t.Fatalf("size/extent = %d/%d, want 4/16", sa.Size(), sa.Extent())
+	}
+	src := make([]byte, 16)
+	for i := range src {
+		src[i] = byte(i)
+	}
+	dst := make([]byte, 4)
+	if _, err := Pack(sa, 1, src, dst); err != nil {
+		t.Fatal(err)
+	}
+	// Row-major 4x4: box (1,1)..(2,2) = elements 5,6,9,10.
+	if !bytes.Equal(dst, []byte{5, 6, 9, 10}) {
+		t.Fatalf("packed %v", dst)
+	}
+}
+
+func TestSubarray3D(t *testing.T) {
+	// 2x3x4 array of ints, select 1x2x2 at (1,0,2).
+	sa, err := NewSubarray([]int{2, 3, 4}, []int{1, 2, 2}, []int{1, 0, 2}, Int)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sa.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if sa.Size() != 4*4 || sa.Extent() != 24*4 {
+		t.Fatalf("size/extent = %d/%d", sa.Size(), sa.Extent())
+	}
+	// Element offsets: plane 1 (=12 elements in), rows 0..1, cols 2..3:
+	// 12+0*4+2=14,15 and 12+4+2=18,19.
+	segs := sa.Segments()
+	if len(segs) != 2 || segs[0] != (Segment{14 * 4, 8}) || segs[1] != (Segment{18 * 4, 8}) {
+		t.Fatalf("segments %v", segs)
+	}
+}
+
+func TestSubarray1D(t *testing.T) {
+	sa, err := NewSubarray([]int{10}, []int{3}, []int{4}, Byte)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sa.Commit()
+	segs := sa.Segments()
+	if len(segs) != 1 || segs[0] != (Segment{4, 3}) {
+		t.Fatalf("segments %v", segs)
+	}
+}
+
+func TestSubarrayValidation(t *testing.T) {
+	if _, err := NewSubarray([]int{4}, []int{5}, []int{0}, Byte); err == nil {
+		t.Error("oversized subsize accepted")
+	}
+	if _, err := NewSubarray([]int{4}, []int{2}, []int{3}, Byte); err == nil {
+		t.Error("overhanging start accepted")
+	}
+	if _, err := NewSubarray([]int{4}, []int{2}, []int{0, 0}, Byte); err == nil {
+		t.Error("mismatched dims accepted")
+	}
+	if _, err := NewSubarray(nil, nil, nil, Byte); err == nil {
+		t.Error("empty dims accepted")
+	}
+}
+
+func TestSubarrayMultipleCount(t *testing.T) {
+	// count=2 walks two consecutive full arrays.
+	sa, _ := NewSubarray([]int{2, 2}, []int{1, 1}, []int{0, 1}, Byte)
+	sa.Commit()
+	src := []byte{0, 1, 2, 3, 10, 11, 12, 13}
+	dst := make([]byte, 2)
+	if _, err := Pack(sa, 2, src, dst); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(dst, []byte{1, 11}) {
+		t.Fatalf("packed %v", dst)
+	}
+}
+
+func TestResizedExtent(t *testing.T) {
+	// A 2-byte type padded to stride 5 for interleaving.
+	rz, err := NewResized(Short, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rz.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if rz.Size() != 2 || rz.Extent() != 5 {
+		t.Fatalf("size/extent = %d/%d", rz.Size(), rz.Extent())
+	}
+	if rz.Contig() {
+		t.Error("padded resized type classified contiguous")
+	}
+	src := []byte{1, 2, 0, 0, 0, 3, 4, 0, 0, 0}
+	dst := make([]byte, 4)
+	if _, err := Pack(rz, 2, src, dst); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(dst, []byte{1, 2, 3, 4}) {
+		t.Fatalf("packed %v", dst)
+	}
+}
+
+func TestResizedValidation(t *testing.T) {
+	if _, err := NewResized(Double, 4); err == nil {
+		t.Error("extent below data span accepted")
+	}
+	if _, err := NewResized(nil, 8); err == nil {
+		t.Error("nil base accepted")
+	}
+}
+
+func TestDupIndependence(t *testing.T) {
+	v, _ := NewVector(2, 1, 2, Int)
+	d := v.Dup()
+	if err := d.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if v.Committed() {
+		t.Error("committing the dup committed the original")
+	}
+	if err := v.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if d.Size() != v.Size() || d.Extent() != v.Extent() {
+		t.Error("dup differs from original")
+	}
+	if len(d.Segments()) != len(v.Segments()) {
+		t.Error("dup segments differ")
+	}
+}
+
+func TestSubarrayBaseElem(t *testing.T) {
+	sa, _ := NewSubarray([]int{4}, []int{2}, []int{1}, Double)
+	if sa.BaseElem() != Double {
+		t.Error("subarray BaseElem wrong")
+	}
+	rz, _ := NewResized(Int, 8)
+	if rz.BaseElem() != Int {
+		t.Error("resized BaseElem wrong")
+	}
+}

@@ -1,0 +1,348 @@
+package fabric
+
+import (
+	"sync"
+
+	"gompi/internal/instr"
+	"gompi/internal/match"
+	"gompi/internal/vtime"
+)
+
+// RecvOp is an outstanding tagged receive. The owner posts it with
+// PostRecv and completes it with RecvDone/WaitRecv; the fabric fills in
+// the result fields when a message matches.
+type RecvOp struct {
+	Buf []byte // destination buffer (fabric copies into it)
+
+	// Results, valid once the op completes.
+	N         int        // bytes delivered
+	Src       int        // sending rank (world address space)
+	Tag       int        // sender's tag
+	Truncated bool       // message was longer than Buf
+	Arrival   vtime.Time // virtual arrival time at the target
+
+	done   bool
+	reaped bool
+}
+
+// AMHandler consumes an incoming active message on the owner goroutine
+// of the receiving endpoint. hdr and payload are owned by the handler.
+type AMHandler func(src int, hdr, payload []byte, arrival vtime.Time)
+
+// message is a buffered unexpected tagged message.
+type message struct {
+	src     int
+	data    []byte
+	arrival vtime.Time
+}
+
+// am is a queued active message.
+type am struct {
+	src     int
+	handler uint8
+	hdr     []byte
+	payload []byte
+	arrival vtime.Time
+}
+
+// Endpoint is one rank's attachment to the fabric. The tagged matching
+// engine lives behind the endpoint lock — that is the "hardware"
+// matching unit. Only the owner goroutine posts receives, waits, and
+// runs progress; remote ranks deposit messages under the lock.
+type Endpoint struct {
+	f    *Fabric
+	rank int
+
+	mu   sync.Mutex
+	cond *sync.Cond
+	eng  match.Engine
+	amq  []am
+
+	handlers [256]AMHandler
+	meter    Meter
+	eventSeq uint64
+}
+
+func newEndpoint(f *Fabric, rank int) *Endpoint {
+	ep := &Endpoint{f: f, rank: rank}
+	ep.cond = sync.NewCond(&ep.mu)
+	return ep
+}
+
+// Rank returns the endpoint's fabric address.
+func (ep *Endpoint) Rank() int { return ep.rank }
+
+// Bind attaches the owning rank's meter. Must be called before any
+// operation that charges costs.
+func (ep *Endpoint) Bind(m Meter) { ep.meter = m }
+
+// RegisterAM installs the handler for one active-message id. Handlers
+// are installed at device init, before communication starts.
+func (ep *Endpoint) RegisterAM(id uint8, h AMHandler) { ep.handlers[id] = h }
+
+// TaggedSend injects a tagged send toward dst. The payload is copied,
+// so the caller may reuse data immediately. Messages up to the
+// profile's eager limit are deposited directly; larger ones pay the
+// rendezvous handshake in time (an RTS/CTS round trip before the data
+// crosses) and extra control-message CPU on the sender — the latency
+// cliff every MPI shows at its eager threshold. Matching happens at
+// the destination endpoint as the message arrives — the
+// hardware-offload model of PSM2 and UCX.
+func (ep *Endpoint) TaggedSend(dst int, bits match.Bits, data []byte) {
+	p := &ep.f.prof
+	ep.meter.ChargeCycles(instr.Transport, p.injectCost(p.SendInject, len(data)))
+	now := ep.meter.Now()
+	if p.EagerLimit > 0 && len(data) > p.EagerLimit {
+		// RTS out, CTS back, then the payload: two extra wire
+		// latencies plus the control processing.
+		ep.meter.ChargeCycles(instr.Transport, p.RndvInject)
+		now = ep.meter.Now() + 2*vtime.Time(p.WireLatency)
+	}
+	arrival := p.arrivalAt(now, len(data))
+
+	buf := make([]byte, len(data))
+	copy(buf, data)
+	ep.f.eps[dst].deposit(bits, &message{src: ep.rank, data: buf, arrival: arrival})
+}
+
+// deposit lands an incoming message at this endpoint: match against the
+// posted queue or buffer as unexpected. Called from the sender's
+// goroutine.
+func (ep *Endpoint) deposit(bits match.Bits, m *message) {
+	ep.mu.Lock()
+	if entry, ok := ep.eng.Arrive(bits, m); ok {
+		op := entry.Cookie.(*RecvOp)
+		completeRecv(op, bits, m)
+	}
+	ep.eventSeq++
+	ep.cond.Broadcast()
+	ep.mu.Unlock()
+}
+
+// DepositLocal lands a message that arrived over a different transport
+// (the shared-memory rings) in this endpoint's matching engine, so that
+// netmod and shmmod traffic share one matching context — which is what
+// makes MPI_ANY_SOURCE receives work across transports in CH4. The
+// caller transfers ownership of data.
+func (ep *Endpoint) DepositLocal(bits match.Bits, src int, data []byte, arrival vtime.Time) {
+	ep.deposit(bits, &message{src: src, data: data, arrival: arrival})
+}
+
+// Wake nudges the endpoint's owner out of WaitEvent: another transport
+// has work for it.
+func (ep *Endpoint) Wake() {
+	ep.mu.Lock()
+	ep.eventSeq++
+	ep.cond.Broadcast()
+	ep.mu.Unlock()
+}
+
+// EventSeq returns an opaque counter that increases on every deposit,
+// active message, and Wake.
+func (ep *Endpoint) EventSeq() uint64 {
+	ep.mu.Lock()
+	defer ep.mu.Unlock()
+	return ep.eventSeq
+}
+
+// WaitEvent blocks until the event counter moves past last, then
+// returns its new value. Devices that poll multiple transports use it
+// to park between polls without losing wakeups. Panics with
+// core.ErrWorldAborted once the fabric is aborted.
+func (ep *Endpoint) WaitEvent(last uint64) uint64 {
+	ep.mu.Lock()
+	for ep.eventSeq == last && len(ep.amq) == 0 {
+		ep.f.aborted.CheckLocked(&ep.mu)
+		ep.cond.Wait()
+	}
+	seq := ep.eventSeq
+	ep.mu.Unlock()
+	return seq
+}
+
+// completeRecv copies message data into the receive buffer and fills
+// results. Caller holds the endpoint lock (or owns both op and m). The
+// source reported is the MPI-level source the sender encoded in the
+// match bits (its communicator rank), not the transport address.
+func completeRecv(op *RecvOp, bits match.Bits, m *message) {
+	n := copy(op.Buf, m.data)
+	op.N = n
+	op.Truncated = n < len(m.data)
+	op.Src = bits.Source()
+	op.Tag = bits.Tag()
+	op.Arrival = m.arrival
+	op.done = true
+}
+
+// PostRecv hands a receive to the matching unit. If an unexpected
+// message already satisfies it the op completes immediately.
+func (ep *Endpoint) PostRecv(op *RecvOp, bits match.Bits, mask match.Bits) {
+	p := &ep.f.prof
+	ep.meter.ChargeCycles(instr.Transport, p.RecvPost)
+
+	ep.mu.Lock()
+	if entry, ok := ep.eng.PostRecv(bits, mask, op); ok {
+		completeRecv(op, entry.Bits, entry.Cookie.(*message))
+	}
+	ep.mu.Unlock()
+}
+
+// RecvDone polls one receive for completion. On the completing poll it
+// syncs the owner's clock to the message arrival and charges the
+// completion-reap cost.
+func (ep *Endpoint) RecvDone(op *RecvOp) bool {
+	ep.mu.Lock()
+	done := op.done
+	ep.mu.Unlock()
+	if done {
+		ep.reap(op)
+	}
+	return done
+}
+
+// WaitRecv blocks until the receive completes, running active-message
+// handlers that arrive in the meantime (progress happens inside MPI
+// calls, as in a real implementation).
+func (ep *Endpoint) WaitRecv(op *RecvOp) {
+	ep.mu.Lock()
+	for !op.done {
+		if len(ep.amq) > 0 {
+			ep.drainAMLocked()
+			continue
+		}
+		ep.f.aborted.CheckLocked(&ep.mu)
+		ep.cond.Wait()
+	}
+	ep.mu.Unlock()
+	ep.reap(op)
+}
+
+// reap accounts for a completed receive on the owner's clock, exactly
+// once per op.
+func (ep *Endpoint) reap(op *RecvOp) {
+	if op.reaped {
+		return
+	}
+	op.reaped = true
+	ep.meter.Sync(op.Arrival)
+	ep.meter.ChargeCycles(instr.Transport, ep.f.prof.RecvComplete)
+}
+
+// CancelRecv removes a posted receive. It reports false if the receive
+// already matched.
+func (ep *Endpoint) CancelRecv(op *RecvOp) bool {
+	ep.mu.Lock()
+	defer ep.mu.Unlock()
+	if op.done {
+		return false
+	}
+	return ep.eng.CancelRecv(op)
+}
+
+// Probe checks for a buffered unexpected message matching (bits, mask)
+// and returns its source, tag and size without consuming it.
+func (ep *Endpoint) Probe(bits, mask match.Bits) (src, tag, size int, ok bool) {
+	ep.mu.Lock()
+	defer ep.mu.Unlock()
+	entry, ok := ep.eng.Probe(bits, mask)
+	if !ok {
+		return 0, 0, 0, false
+	}
+	m := entry.Cookie.(*message)
+	return m.src, entry.Bits.Tag(), len(m.data), true
+}
+
+// MProbe extracts a buffered unexpected message matching (bits, mask):
+// the matched-probe primitive. The returned payload is owned by the
+// caller; the message can no longer match any posted receive.
+func (ep *Endpoint) MProbe(bits, mask match.Bits) (src, tag int, data []byte, arrival vtime.Time, ok bool) {
+	ep.mu.Lock()
+	defer ep.mu.Unlock()
+	entry, ok := ep.eng.ExtractUnexpected(bits, mask)
+	if !ok {
+		return 0, 0, nil, 0, false
+	}
+	m := entry.Cookie.(*message)
+	return entry.Bits.Source(), entry.Bits.Tag(), m.data, m.arrival, true
+}
+
+// AMSend injects an active message toward dst. hdr and payload are
+// copied.
+func (ep *Endpoint) AMSend(dst int, handler uint8, hdr, payload []byte) {
+	p := &ep.f.prof
+	ep.meter.ChargeCycles(instr.Transport, p.injectCost(p.AMInject, len(hdr)+len(payload)))
+	arrival := p.arrival(ep.meter.Now(), len(hdr)+len(payload))
+
+	h := append([]byte(nil), hdr...)
+	pl := append([]byte(nil), payload...)
+	tgt := ep.f.eps[dst]
+	tgt.mu.Lock()
+	tgt.amq = append(tgt.amq, am{src: ep.rank, handler: handler, hdr: h, payload: pl, arrival: arrival})
+	tgt.eventSeq++
+	tgt.cond.Broadcast()
+	tgt.mu.Unlock()
+}
+
+// Progress runs pending active-message handlers on the owner goroutine.
+// It returns the number of messages handled.
+func (ep *Endpoint) Progress() int {
+	ep.mu.Lock()
+	n := ep.drainAMLocked()
+	ep.mu.Unlock()
+	return n
+}
+
+// drainAMLocked pops and runs all queued AMs. The endpoint lock is
+// released while handlers run (handlers may send) and re-acquired
+// before returning.
+func (ep *Endpoint) drainAMLocked() int {
+	total := 0
+	for len(ep.amq) > 0 {
+		batch := ep.amq
+		ep.amq = nil
+		ep.mu.Unlock()
+		for _, m := range batch {
+			// No clock sync here: the handler runs asynchronously to
+			// the rank's logical timeline (a NIC/progress-thread
+			// stand-in). Consumers fold m.arrival into the clock at
+			// the point the message's effect is logically observed
+			// (receive completion, ack wait, epoch close); syncing at
+			// drain time would let real-goroutine scheduling races
+			// leak future timestamps into the virtual clock.
+			h := ep.handlers[m.handler]
+			if h == nil {
+				panic("fabric: active message with unregistered handler")
+			}
+			h(m.src, m.hdr, m.payload, m.arrival)
+		}
+		total += len(batch)
+		ep.mu.Lock()
+	}
+	return total
+}
+
+// WaitUntil blocks until pred (evaluated by the owner goroutine)
+// returns true, running AM handlers while waiting. pred is evaluated
+// without the endpoint lock; it is the device's own completion flag.
+func (ep *Endpoint) WaitUntil(pred func() bool) {
+	for {
+		ep.Progress()
+		if pred() {
+			return
+		}
+		ep.mu.Lock()
+		if len(ep.amq) == 0 && !pred() {
+			ep.f.aborted.CheckLocked(&ep.mu)
+			ep.cond.Wait()
+		}
+		ep.mu.Unlock()
+	}
+}
+
+// Matching exposes the engine's search counter for the matching
+// ablation benchmark.
+func (ep *Endpoint) MatchSearches() int64 {
+	ep.mu.Lock()
+	defer ep.mu.Unlock()
+	return ep.eng.Searches
+}

@@ -1,0 +1,85 @@
+package fabric
+
+import (
+	"fmt"
+	"sync"
+
+	"gompi/internal/abort"
+	"gompi/internal/instr"
+	"gompi/internal/vtime"
+)
+
+// Meter is what the fabric charges costs to: the calling rank's
+// instruction profile and virtual clock. proc.Rank implements it. The
+// fabric only ever charges the meter bound to the endpoint whose owner
+// goroutine is making the call, so meters need no synchronization.
+type Meter interface {
+	// Charge records n MPI-library instructions (and advances the
+	// clock by n cycles at CPI 1.0).
+	Charge(cat instr.Category, n int64)
+	// ChargeCycles records n non-instruction cycles (transport,
+	// compute).
+	ChargeCycles(cat instr.Category, n int64)
+	// Now returns the rank's current virtual time.
+	Now() vtime.Time
+	// Sync advances the rank's clock to t if t is in the future.
+	Sync(t vtime.Time)
+}
+
+// Fabric is one simulated network connecting n endpoints (one per
+// rank). It owns the RDMA memory-region registry.
+type Fabric struct {
+	prof    Profile
+	eps     []*Endpoint
+	aborted abort.Flag
+
+	regMu   sync.RWMutex
+	regions map[regionKey]*region
+	nextKey int
+}
+
+type regionKey struct {
+	rank int
+	key  int
+}
+
+// New creates a fabric with n endpoints using the given cost profile.
+func New(prof Profile, n int) *Fabric {
+	f := &Fabric{
+		prof:    prof,
+		eps:     make([]*Endpoint, n),
+		regions: make(map[regionKey]*region),
+	}
+	for i := range f.eps {
+		f.eps[i] = newEndpoint(f, i)
+	}
+	return f
+}
+
+// Profile returns the fabric's cost profile.
+func (f *Fabric) Profile() Profile { return f.prof }
+
+// Size returns the number of endpoints.
+func (f *Fabric) Size() int { return len(f.eps) }
+
+// Abort marks the fabric dead and wakes every endpoint: blocked waits
+// panic with abort.ErrWorldAborted, which the rank runtime converts to
+// errors. Called when any rank fails, so the original error surfaces
+// instead of a hang.
+func (f *Fabric) Abort() {
+	f.aborted.Raise()
+	for _, ep := range f.eps {
+		ep.Wake()
+	}
+}
+
+// Aborted reports whether Abort was called.
+func (f *Fabric) Aborted() bool { return f.aborted.Raised() }
+
+// Endpoint returns rank's endpoint.
+func (f *Fabric) Endpoint(rank int) *Endpoint {
+	if rank < 0 || rank >= len(f.eps) {
+		panic(fmt.Sprintf("fabric: endpoint %d out of range [0,%d)", rank, len(f.eps)))
+	}
+	return f.eps[rank]
+}

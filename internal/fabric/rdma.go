@@ -1,0 +1,118 @@
+package fabric
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"gompi/internal/instr"
+	"gompi/internal/vtime"
+)
+
+// region is a registered RDMA-accessible memory region. Puts and gets
+// access mem directly (all ranks share the address space); maxArrival
+// tracks the latest virtual arrival of any remote write, which epoch
+// synchronization (fence, unlock) folds into the target's clock.
+type region struct {
+	mem        []byte
+	maxArrival atomic.Int64
+	rmwMu      sync.Mutex // serializes read-modify-write (accumulate) ops
+}
+
+// RegisterRegion exposes mem for RDMA from any endpoint and returns the
+// region key remote ranks use to address it (the rkey of a real NIC).
+// Window creation exchanges these keys.
+func (f *Fabric) RegisterRegion(rank int, mem []byte) int {
+	f.regMu.Lock()
+	defer f.regMu.Unlock()
+	f.nextKey++
+	f.regions[regionKey{rank, f.nextKey}] = &region{mem: mem}
+	return f.nextKey
+}
+
+// UnregisterRegion revokes a region.
+func (f *Fabric) UnregisterRegion(rank, key int) {
+	f.regMu.Lock()
+	defer f.regMu.Unlock()
+	delete(f.regions, regionKey{rank, key})
+}
+
+func (f *Fabric) region(rank, key int) *region {
+	f.regMu.RLock()
+	r := f.regions[regionKey{rank, key}]
+	f.regMu.RUnlock()
+	if r == nil {
+		panic("fabric: RDMA to unregistered region")
+	}
+	return r
+}
+
+// noteArrival folds a write's virtual arrival time into the region's
+// high-water mark.
+func (r *region) noteArrival(t vtime.Time) {
+	for {
+		cur := r.maxArrival.Load()
+		if int64(t) <= cur || r.maxArrival.CompareAndSwap(cur, int64(t)) {
+			return
+		}
+	}
+}
+
+// Put writes data into (dst, key) at byte offset off: a one-sided RDMA
+// write with no software on the target. Local completion is at
+// injection (the data is placed immediately; its virtual arrival is
+// recorded on the region).
+func (ep *Endpoint) Put(dst, key, off int, data []byte) {
+	p := &ep.f.prof
+	ep.meter.ChargeCycles(instr.Transport, p.injectCost(p.PutInject, len(data)))
+	arrival := p.arrival(ep.meter.Now(), len(data))
+
+	r := ep.f.region(dst, key)
+	copy(r.mem[off:], data)
+	r.noteArrival(arrival)
+}
+
+// Get reads len(buf) bytes from (dst, key) at offset off into buf: a
+// one-sided RDMA read. The origin's clock advances by the round trip.
+func (ep *Endpoint) Get(dst, key, off int, buf []byte) {
+	p := &ep.f.prof
+	ep.meter.ChargeCycles(instr.Transport, p.injectCost(p.GetInject, 0))
+
+	r := ep.f.region(dst, key)
+	copy(buf, r.mem[off:off+len(buf)])
+	// Round trip: request out, data back.
+	ep.meter.Sync(p.arrival(p.arrival(ep.meter.Now(), 0), len(buf)))
+}
+
+// RMW applies fn to the target bytes under the region's atomicity lock:
+// the substrate for MPI_ACCUMULATE, MPI_FETCH_AND_OP and
+// MPI_COMPARE_AND_SWAP, which real NICs execute atomically per element.
+// fn receives the target slice; any prior contents it reads are
+// current. The origin pays a round trip (fetching semantics) plus the
+// payload injection.
+func (ep *Endpoint) RMW(dst, key, off, n int, fn func(target []byte)) {
+	p := &ep.f.prof
+	ep.meter.ChargeCycles(instr.Transport, p.injectCost(p.PutInject, n))
+	arrival := p.arrival(ep.meter.Now(), n)
+
+	r := ep.f.region(dst, key)
+	r.rmwMu.Lock()
+	fn(r.mem[off : off+n])
+	r.rmwMu.Unlock()
+	r.noteArrival(arrival)
+	ep.meter.Sync(p.arrival(arrival, 0)) // completion ack round trip
+}
+
+// RegionMem exposes the raw memory of a locally registered region to
+// device-side active-message handlers (the target of an AM fallback
+// scatters into its own window memory).
+func (f *Fabric) RegionMem(rank, key int) []byte {
+	return f.region(rank, key).mem
+}
+
+// RegionArrival returns the latest virtual arrival of any remote write
+// to (rank, key). Epoch-closing synchronization calls this on the
+// target side so the target's clock reflects the data it is about to
+// read.
+func (f *Fabric) RegionArrival(rank, key int) vtime.Time {
+	return vtime.Time(f.region(rank, key).maxArrival.Load())
+}

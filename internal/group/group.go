@@ -1,0 +1,177 @@
+// Package group implements MPI process groups: ordered sets of world
+// ranks with the MPI-3.1 set operations and rank translation
+// (MPI_GROUP_TRANSLATE_RANKS — the function the paper's global-rank
+// proposal builds on).
+package group
+
+import "errors"
+
+// Undefined is returned for ranks with no image in the target group
+// (MPI_UNDEFINED).
+const Undefined = -1
+
+// ErrBadRank reports a rank outside the group.
+var ErrBadRank = errors.New("group: rank out of range")
+
+// Group is an immutable ordered set of world ranks. Index = group rank,
+// value = world rank.
+type Group struct {
+	ranks []int
+	index map[int]int // world rank -> group rank, built lazily for big groups
+}
+
+// FromRanks builds a group from world ranks. The slice is copied. World
+// ranks must be distinct; duplicates make matching ambiguous.
+func FromRanks(worldRanks []int) *Group {
+	g := &Group{ranks: append([]int(nil), worldRanks...)}
+	g.index = make(map[int]int, len(g.ranks))
+	for i, w := range g.ranks {
+		g.index[w] = i
+	}
+	if len(g.index) != len(g.ranks) {
+		panic("group: duplicate world rank")
+	}
+	return g
+}
+
+// WorldGroup returns the group 0..n-1 (the MPI_COMM_WORLD group).
+func WorldGroup(n int) *Group {
+	ranks := make([]int, n)
+	for i := range ranks {
+		ranks[i] = i
+	}
+	return FromRanks(ranks)
+}
+
+// Size returns the number of processes in the group.
+func (g *Group) Size() int { return len(g.ranks) }
+
+// WorldRank translates a group rank to its world rank.
+func (g *Group) WorldRank(r int) (int, error) {
+	if r < 0 || r >= len(g.ranks) {
+		return Undefined, ErrBadRank
+	}
+	return g.ranks[r], nil
+}
+
+// Rank translates a world rank to this group's rank, or Undefined.
+func (g *Group) Rank(world int) int {
+	if r, ok := g.index[world]; ok {
+		return r
+	}
+	return Undefined
+}
+
+// Ranks returns a copy of the world-rank list.
+func (g *Group) Ranks() []int { return append([]int(nil), g.ranks...) }
+
+// TranslateRanks maps ranks in g to the corresponding ranks in to
+// (MPI_GROUP_TRANSLATE_RANKS). Ranks with no image map to Undefined.
+func TranslateRanks(g *Group, ranks []int, to *Group) ([]int, error) {
+	out := make([]int, len(ranks))
+	for i, r := range ranks {
+		w, err := g.WorldRank(r)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = to.Rank(w)
+	}
+	return out, nil
+}
+
+// Incl returns the subgroup containing the listed ranks of g, in the
+// listed order (MPI_GROUP_INCL).
+func (g *Group) Incl(ranks []int) (*Group, error) {
+	world := make([]int, len(ranks))
+	for i, r := range ranks {
+		w, err := g.WorldRank(r)
+		if err != nil {
+			return nil, err
+		}
+		world[i] = w
+	}
+	return FromRanks(world), nil
+}
+
+// Excl returns the subgroup of g without the listed ranks, preserving
+// order (MPI_GROUP_EXCL).
+func (g *Group) Excl(ranks []int) (*Group, error) {
+	drop := make(map[int]bool, len(ranks))
+	for _, r := range ranks {
+		if r < 0 || r >= len(g.ranks) {
+			return nil, ErrBadRank
+		}
+		drop[r] = true
+	}
+	var world []int
+	for i, w := range g.ranks {
+		if !drop[i] {
+			world = append(world, w)
+		}
+	}
+	return FromRanks(world), nil
+}
+
+// Union returns the group of all processes in a followed by those in b
+// not in a (MPI_GROUP_UNION order semantics).
+func Union(a, b *Group) *Group {
+	world := a.Ranks()
+	for _, w := range b.ranks {
+		if a.Rank(w) == Undefined {
+			world = append(world, w)
+		}
+	}
+	return FromRanks(world)
+}
+
+// Intersection returns the processes of a that are also in b, in a's
+// order (MPI_GROUP_INTERSECTION).
+func Intersection(a, b *Group) *Group {
+	var world []int
+	for _, w := range a.ranks {
+		if b.Rank(w) != Undefined {
+			world = append(world, w)
+		}
+	}
+	return FromRanks(world)
+}
+
+// Difference returns the processes of a not in b, in a's order
+// (MPI_GROUP_DIFFERENCE).
+func Difference(a, b *Group) *Group {
+	var world []int
+	for _, w := range a.ranks {
+		if b.Rank(w) == Undefined {
+			world = append(world, w)
+		}
+	}
+	return FromRanks(world)
+}
+
+// Equal reports whether two groups contain the same ranks in the same
+// order (MPI_IDENT).
+func Equal(a, b *Group) bool {
+	if a.Size() != b.Size() {
+		return false
+	}
+	for i, w := range a.ranks {
+		if b.ranks[i] != w {
+			return false
+		}
+	}
+	return true
+}
+
+// Similar reports whether two groups contain the same ranks in any
+// order (MPI_SIMILAR).
+func Similar(a, b *Group) bool {
+	if a.Size() != b.Size() {
+		return false
+	}
+	for _, w := range a.ranks {
+		if b.Rank(w) == Undefined {
+			return false
+		}
+	}
+	return true
+}

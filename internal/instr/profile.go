@@ -1,0 +1,118 @@
+package instr
+
+import "fmt"
+
+// Profile accumulates instruction charges for a single rank. It is
+// confined to the rank's goroutine (ranks never share a Profile), so
+// charging is a plain add — cheap enough to leave on permanently, which
+// is what lets the same charges drive both instruction counting and the
+// virtual clock.
+type Profile struct {
+	counts [NumCategories]int64
+	total  int64 // MPI categories only (excludes Transport and Compute)
+	cycles int64 // everything, CPI 1.0 (includes Transport and Compute)
+}
+
+// Charge records n abstract instructions in category cat.
+func (p *Profile) Charge(cat Category, n int64) {
+	p.counts[cat] += n
+	p.cycles += n
+	if cat < Transport {
+		p.total += n
+	}
+}
+
+// ChargeCycles records raw cycles that are not instructions executed by
+// the MPI library (fabric injection latency, modeled compute time). They
+// advance the clock but never appear in instruction counts.
+func (p *Profile) ChargeCycles(cat Category, n int64) {
+	if cat < Transport {
+		panic("instr: ChargeCycles on an MPI instruction category")
+	}
+	p.counts[cat] += n
+	p.cycles += n
+}
+
+// Count returns the accumulated charge for one category.
+func (p *Profile) Count(cat Category) int64 { return p.counts[cat] }
+
+// Total returns the accumulated MPI-library instruction count (the
+// Table 1 total: everything except Transport and Compute).
+func (p *Profile) Total() int64 { return p.total }
+
+// Cycles returns the total virtual cycles accumulated, including
+// transport and compute charges.
+func (p *Profile) Cycles() int64 { return p.cycles }
+
+// Reset zeroes the profile.
+func (p *Profile) Reset() { *p = Profile{} }
+
+// Snapshot is a point-in-time copy of a Profile, used to attribute the
+// cost of a single call: snap before, call, Delta after.
+type Snapshot struct {
+	counts [NumCategories]int64
+	total  int64
+	cycles int64
+}
+
+// Snap captures the current state of the profile.
+func (p *Profile) Snap() Snapshot {
+	return Snapshot{counts: p.counts, total: p.total, cycles: p.cycles}
+}
+
+// Delta returns the charges accumulated since the snapshot was taken,
+// as a Breakdown.
+func (p *Profile) Delta(s Snapshot) Breakdown {
+	var b Breakdown
+	for i := range p.counts {
+		b.Counts[i] = p.counts[i] - s.counts[i]
+	}
+	b.Total = p.total - s.total
+	b.Cycles = p.cycles - s.cycles
+	return b
+}
+
+// Breakdown is the per-category instruction cost of one operation or one
+// region — one column of Table 1.
+type Breakdown struct {
+	Counts [NumCategories]int64
+	Total  int64
+	Cycles int64
+}
+
+// Count returns the charge recorded for one category.
+func (b Breakdown) Count(cat Category) int64 { return b.Counts[cat] }
+
+// Add returns the element-wise sum of two breakdowns.
+func (b Breakdown) Add(o Breakdown) Breakdown {
+	for i := range b.Counts {
+		b.Counts[i] += o.Counts[i]
+	}
+	b.Total += o.Total
+	b.Cycles += o.Cycles
+	return b
+}
+
+// Scale returns the breakdown divided by n (for averaging over n
+// repetitions). n must be positive.
+func (b Breakdown) Scale(n int64) Breakdown {
+	if n <= 0 {
+		panic("instr: Scale by non-positive n")
+	}
+	for i := range b.Counts {
+		b.Counts[i] /= n
+	}
+	b.Total /= n
+	b.Cycles /= n
+	return b
+}
+
+// String renders the breakdown as Table-1-style rows.
+func (b Breakdown) String() string {
+	s := ""
+	for _, cat := range MPICategories {
+		s += fmt.Sprintf("%-26s %4d instructions\n", cat.String(), b.Counts[cat])
+	}
+	s += fmt.Sprintf("%-26s %4d instructions", "Total", b.Total)
+	return s
+}

@@ -1,0 +1,112 @@
+package match
+
+// Entry is one element of a matching queue: a posted receive (Bits+Mask
+// describe what it accepts, Cookie identifies the request) or an
+// unexpected message (Bits are fully specified, Cookie identifies the
+// buffered message).
+type Entry struct {
+	Bits   Bits
+	Mask   Bits // FullMask for incoming messages
+	Cookie any  // request or message owned by the caller
+	seq    uint64
+}
+
+// Engine holds the two matching queues of one endpoint. It is not
+// synchronized: the owning endpoint serializes access (the fabric
+// endpoint under its lock, a single-threaded device directly). Queues
+// preserve insertion order, which is what gives MPI its non-overtaking
+// guarantee: an incoming message matches the earliest posted receive it
+// satisfies, and a posted receive matches the earliest unexpected
+// message it satisfies.
+type Engine struct {
+	posted     []Entry
+	unexpected []Entry
+	seq        uint64
+
+	// Searches counts queue elements inspected, exposed so ablation
+	// benchmarks can compare hardware-offloaded vs software matching
+	// depth.
+	Searches int64
+}
+
+// PostRecv offers a receive to the engine. If a buffered unexpected
+// message satisfies it, that message's Entry is returned with ok=true
+// and the receive is NOT enqueued (the caller delivers the data).
+// Otherwise the receive joins the posted queue.
+func (e *Engine) PostRecv(bits Bits, mask Bits, cookie any) (msg Entry, ok bool) {
+	for i := range e.unexpected {
+		e.Searches++
+		if e.unexpected[i].Bits.Matches(bits, mask) {
+			msg = e.unexpected[i]
+			e.unexpected = append(e.unexpected[:i], e.unexpected[i+1:]...)
+			return msg, true
+		}
+	}
+	e.seq++
+	e.posted = append(e.posted, Entry{Bits: bits, Mask: mask, Cookie: cookie, seq: e.seq})
+	return Entry{}, false
+}
+
+// Arrive offers an incoming message to the engine. If a posted receive
+// accepts it, that receive's Entry is returned with ok=true and removed
+// from the posted queue. Otherwise the message joins the unexpected
+// queue.
+func (e *Engine) Arrive(bits Bits, cookie any) (recv Entry, ok bool) {
+	for i := range e.posted {
+		e.Searches++
+		if bits.Matches(e.posted[i].Bits, e.posted[i].Mask) {
+			recv = e.posted[i]
+			e.posted = append(e.posted[:i], e.posted[i+1:]...)
+			return recv, true
+		}
+	}
+	e.seq++
+	e.unexpected = append(e.unexpected, Entry{Bits: bits, Mask: FullMask, Cookie: cookie, seq: e.seq})
+	return Entry{}, false
+}
+
+// CancelRecv removes a posted receive identified by its cookie,
+// implementing MPI_CANCEL for receives. It reports whether the receive
+// was still posted.
+func (e *Engine) CancelRecv(cookie any) bool {
+	for i := range e.posted {
+		if e.posted[i].Cookie == cookie {
+			e.posted = append(e.posted[:i], e.posted[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// Probe reports whether an unexpected message satisfying (bits, mask)
+// is buffered, without removing it (MPI_IPROBE).
+func (e *Engine) Probe(bits Bits, mask Bits) (msg Entry, ok bool) {
+	for i := range e.unexpected {
+		if e.unexpected[i].Bits.Matches(bits, mask) {
+			return e.unexpected[i], true
+		}
+	}
+	return Entry{}, false
+}
+
+// ExtractUnexpected removes and returns the first unexpected message
+// satisfying (bits, mask) — the matched-probe (MPI_MPROBE) primitive:
+// the message leaves the matching engine and can no longer match any
+// receive.
+func (e *Engine) ExtractUnexpected(bits Bits, mask Bits) (Entry, bool) {
+	for i := range e.unexpected {
+		e.Searches++
+		if e.unexpected[i].Bits.Matches(bits, mask) {
+			msg := e.unexpected[i]
+			e.unexpected = append(e.unexpected[:i], e.unexpected[i+1:]...)
+			return msg, true
+		}
+	}
+	return Entry{}, false
+}
+
+// PostedLen exposes the posted-queue depth for tests and diagnostics.
+func (e *Engine) PostedLen() int { return len(e.posted) }
+
+// UnexpectedLen exposes the unexpected-queue depth.
+func (e *Engine) UnexpectedLen() int { return len(e.unexpected) }

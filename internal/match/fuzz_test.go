@@ -1,0 +1,39 @@
+package match
+
+import "testing"
+
+// FuzzEngineNeverLoses drives the matching engine with an arbitrary
+// interleaving of arrivals and postings: every message must end up
+// delivered exactly once or parked in exactly one queue.
+func FuzzEngineNeverLoses(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3}, []byte{1, 0, 3, 2})
+	f.Add([]byte{}, []byte{5})
+	f.Fuzz(func(t *testing.T, arrivals, postings []byte) {
+		var e Engine
+		delivered := 0
+		for i := 0; i < len(arrivals) || i < len(postings); i++ {
+			if i < len(arrivals) {
+				tag := int(arrivals[i]) % 8
+				if _, ok := e.Arrive(MakeBits(1, 0, tag), i); ok {
+					delivered++
+				}
+			}
+			if i < len(postings) {
+				b := postings[i]
+				tag := int(b) % 8
+				mask := FullMask
+				if b%3 == 0 {
+					mask = RecvMask(true, true)
+				}
+				if _, ok := e.PostRecv(MakeBits(1, 0, tag), mask, i); ok {
+					delivered++
+				}
+			}
+		}
+		total := len(arrivals) + len(postings)
+		if delivered*2+e.PostedLen()+e.UnexpectedLen() != total {
+			t.Fatalf("conservation: %d arrivals+postings, %d matched pairs, %d posted, %d unexpected",
+				total, delivered, e.PostedLen(), e.UnexpectedLen())
+		}
+	})
+}

@@ -1,0 +1,197 @@
+package md
+
+import "gompi"
+
+// Exchange tags (world communicator; per-pair FIFO keeps successive
+// steps ordered).
+const (
+	tagGhost   = 400 // +2*dim for low-bound sends, +2*dim+1 for high
+	tagMigrate = 500
+)
+
+// exchangeGhosts rebuilds the ghost shell with the three-sweep plane
+// exchange: per dimension, atoms (local and already-imported ghosts)
+// within the cutoff of a boundary are shipped to that neighbor, with
+// periodic image shifts applied by the sender. Sweeping x, then y, then
+// z covers edge and corner neighbors transitively.
+func (s *sim) exchangeGhosts() error {
+	s.ghosts = s.ghosts[:0]
+	rc := s.prm.Cutoff
+	for dim := 0; dim < 3; dim++ {
+		var sendLo, sendHi [][3]float64
+		consider := func(p [3]float64) {
+			if p[dim] < s.lo[dim]+rc {
+				q := p
+				if s.coords[dim] == 0 {
+					q[dim] += s.L[dim] // wraps to the high side of the domain
+				}
+				sendLo = append(sendLo, q)
+			}
+			if p[dim] >= s.hi[dim]-rc {
+				q := p
+				if s.coords[dim] == s.grid[dim]-1 {
+					q[dim] -= s.L[dim]
+				}
+				sendHi = append(sendHi, q)
+			}
+		}
+		for i := 0; i < s.n; i++ {
+			consider(s.pos[i])
+		}
+		for _, g := range s.ghosts {
+			consider(g)
+		}
+
+		lo := s.neighbor(dim, -1)
+		hi := s.neighbor(dim, +1)
+		if err := s.sendAtoms(sendLo, lo, tagGhost+2*dim, nil); err != nil {
+			return err
+		}
+		if err := s.sendAtoms(sendHi, hi, tagGhost+2*dim+1, nil); err != nil {
+			return err
+		}
+		// Receive: from the high neighbor comes its low-bound set (tag
+		// 2*dim), from the low neighbor its high-bound set (tag 2*dim+1).
+		fromHi, _, err := s.recvAtoms(hi, tagGhost+2*dim, false)
+		if err != nil {
+			return err
+		}
+		fromLo, _, err := s.recvAtoms(lo, tagGhost+2*dim+1, false)
+		if err != nil {
+			return err
+		}
+		s.ghosts = append(s.ghosts, fromHi...)
+		s.ghosts = append(s.ghosts, fromLo...)
+		if err := s.w.CommWaitall(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// migrate ships atoms that left the box to the owning neighbor, one
+// dimension at a time (an atom crossing a corner is forwarded
+// transitively). Sender wraps coordinates across the periodic
+// boundary.
+func (s *sim) migrate() error {
+	for dim := 0; dim < 3; dim++ {
+		var keepPos, keepVel [][3]float64
+		var keepID []int32
+		var loPos, loVel, hiPos, hiVel [][3]float64
+		var loID, hiID []int32
+
+		for i := 0; i < s.n; i++ {
+			p := s.pos[i]
+			switch {
+			case p[dim] < s.lo[dim]:
+				if s.coords[dim] == 0 {
+					p[dim] += s.L[dim]
+				}
+				loPos = append(loPos, p)
+				loVel = append(loVel, s.vel[i])
+				loID = append(loID, s.id[i])
+			case p[dim] >= s.hi[dim]:
+				if s.coords[dim] == s.grid[dim]-1 {
+					p[dim] -= s.L[dim]
+				}
+				hiPos = append(hiPos, p)
+				hiVel = append(hiVel, s.vel[i])
+				hiID = append(hiID, s.id[i])
+			default:
+				keepPos = append(keepPos, p)
+				keepVel = append(keepVel, s.vel[i])
+				keepID = append(keepID, s.id[i])
+			}
+		}
+
+		lo := s.neighbor(dim, -1)
+		hi := s.neighbor(dim, +1)
+		if err := s.sendAtoms(loPos, lo, tagMigrate+4*dim, &migExtra{loVel, loID}); err != nil {
+			return err
+		}
+		if err := s.sendAtoms(hiPos, hi, tagMigrate+4*dim+1, &migExtra{hiVel, hiID}); err != nil {
+			return err
+		}
+		inHiPos, inHiX, err := s.recvAtoms(hi, tagMigrate+4*dim, true)
+		if err != nil {
+			return err
+		}
+		inLoPos, inLoX, err := s.recvAtoms(lo, tagMigrate+4*dim+1, true)
+		if err != nil {
+			return err
+		}
+
+		s.pos = append(append(keepPos, inHiPos...), inLoPos...)
+		s.vel = append(append(keepVel, inHiX.vel...), inLoX.vel...)
+		s.id = append(append(keepID, inHiX.id...), inLoX.id...)
+		s.n = len(s.pos)
+		if err := s.w.CommWaitall(); err != nil {
+			return err
+		}
+	}
+	if len(s.frc) < s.n {
+		s.frc = make([][3]float64, s.n)
+	}
+	s.frc = s.frc[:s.n]
+	return nil
+}
+
+// migExtra carries velocities and ids alongside positions for
+// migration messages.
+type migExtra struct {
+	vel [][3]float64
+	id  []int32
+}
+
+// sendAtoms packs and ships one atom set (positions, optionally
+// velocities+ids) with a requestless send. Empty sets still send a
+// zero-length message so the receiver's matching recv completes.
+func (s *sim) sendAtoms(pos [][3]float64, dest, tag int, extra *migExtra) error {
+	per := 3
+	if extra != nil {
+		per = 7 // pos + vel + id (id packed as float64 for simplicity)
+	}
+	vals := make([]float64, 0, per*len(pos))
+	for i, p := range pos {
+		vals = append(vals, p[0], p[1], p[2])
+		if extra != nil {
+			v := extra.vel[i]
+			vals = append(vals, v[0], v[1], v[2], float64(extra.id[i]))
+		}
+	}
+	wire := gompi.Float64Bytes(vals, nil)
+	return s.w.IsendNoReq(wire, len(wire), gompi.Byte, dest, tag)
+}
+
+// recvAtoms probes for size, receives, and unpacks one atom set.
+func (s *sim) recvAtoms(src, tag int, withExtra bool) ([][3]float64, migExtra, error) {
+	st, err := s.w.Probe(src, tag)
+	if err != nil {
+		return nil, migExtra{}, err
+	}
+	buf := make([]byte, st.Count)
+	if _, err := s.w.Recv(buf, len(buf), gompi.Byte, src, tag); err != nil {
+		return nil, migExtra{}, err
+	}
+	vals := gompi.BytesFloat64(buf, nil)
+	per := 3
+	if withExtra {
+		per = 7
+	}
+	n := len(vals) / per
+	pos := make([][3]float64, n)
+	var ex migExtra
+	if withExtra {
+		ex.vel = make([][3]float64, n)
+		ex.id = make([]int32, n)
+	}
+	for i := 0; i < n; i++ {
+		v := vals[i*per:]
+		pos[i] = [3]float64{v[0], v[1], v[2]}
+		if withExtra {
+			ex.vel[i] = [3]float64{v[3], v[4], v[5]}
+			ex.id[i] = int32(v[6])
+		}
+	}
+	return pos, ex, nil
+}

@@ -1,0 +1,129 @@
+package md
+
+// computeForces evaluates Lennard-Jones forces on local atoms from
+// local and ghost neighbors within the cutoff, using a cell list over
+// the extended (box + ghost shell) volume. It also accumulates this
+// rank's share of the potential energy (pairs with ghosts count half).
+func (s *sim) computeForces() {
+	rc := s.prm.Cutoff
+	rc2 := rc * rc
+
+	for i := range s.frc {
+		s.frc[i] = [3]float64{}
+	}
+	s.energyPot = 0
+
+	nAll := s.n + len(s.ghosts)
+	if nAll == 0 {
+		return
+	}
+	at := func(i int) [3]float64 {
+		if i < s.n {
+			return s.pos[i]
+		}
+		return s.ghosts[i-s.n]
+	}
+
+	// Cell list over [lo-rc, hi+rc).
+	var cells [3]int
+	var origin, inv [3]float64
+	totalCells := 1
+	for d := 0; d < 3; d++ {
+		span := s.hi[d] - s.lo[d] + 2*rc
+		cells[d] = int(span / rc)
+		if cells[d] < 1 {
+			cells[d] = 1
+		}
+		origin[d] = s.lo[d] - rc
+		inv[d] = float64(cells[d]) / span
+		totalCells *= cells[d]
+	}
+	cellOf := func(p [3]float64) int {
+		c := [3]int{}
+		for d := 0; d < 3; d++ {
+			c[d] = int((p[d] - origin[d]) * inv[d])
+			if c[d] < 0 {
+				c[d] = 0
+			}
+			if c[d] >= cells[d] {
+				c[d] = cells[d] - 1
+			}
+		}
+		return c[0] + cells[0]*(c[1]+cells[1]*c[2])
+	}
+
+	head := make([]int, totalCells)
+	for i := range head {
+		head[i] = -1
+	}
+	next := make([]int, nAll)
+	for i := 0; i < nAll; i++ {
+		c := cellOf(at(i))
+		next[i] = head[c]
+		head[c] = i
+	}
+	s.flop(float64(nAll) * 12) // cell binning
+
+	// Shifted-potential energy at the cutoff keeps energy continuous.
+	sr6c := 1.0 / (rc2 * rc2 * rc2)
+	eCut := 4 * (sr6c*sr6c - sr6c)
+
+	pairs := 0
+	for i := 0; i < s.n; i++ {
+		pi := s.pos[i]
+		ci := [3]int{}
+		for d := 0; d < 3; d++ {
+			ci[d] = int((pi[d] - origin[d]) * inv[d])
+			if ci[d] < 0 {
+				ci[d] = 0
+			}
+			if ci[d] >= cells[d] {
+				ci[d] = cells[d] - 1
+			}
+		}
+		for dz := -1; dz <= 1; dz++ {
+			for dy := -1; dy <= 1; dy++ {
+				for dx := -1; dx <= 1; dx++ {
+					cx, cy, cz := ci[0]+dx, ci[1]+dy, ci[2]+dz
+					if cx < 0 || cx >= cells[0] || cy < 0 || cy >= cells[1] || cz < 0 || cz >= cells[2] {
+						continue
+					}
+					for j := head[cx+cells[0]*(cy+cells[1]*cz)]; j >= 0; j = next[j] {
+						// Local pairs once (j > i); ghost neighbors always.
+						if j < s.n {
+							if j <= i {
+								continue
+							}
+						}
+						pj := at(j)
+						dxr := pi[0] - pj[0]
+						dyr := pi[1] - pj[1]
+						dzr := pi[2] - pj[2]
+						r2 := dxr*dxr + dyr*dyr + dzr*dzr
+						if r2 >= rc2 || r2 == 0 {
+							continue
+						}
+						pairs++
+						inv2 := 1.0 / r2
+						sr6 := inv2 * inv2 * inv2
+						// F = 24 eps (2 sr12 - sr6) / r^2 * dr
+						fmag := 24 * (2*sr6*sr6 - sr6) * inv2
+						e := 4*(sr6*sr6-sr6) - eCut
+						s.frc[i][0] += fmag * dxr
+						s.frc[i][1] += fmag * dyr
+						s.frc[i][2] += fmag * dzr
+						if j < s.n {
+							s.frc[j][0] -= fmag * dxr
+							s.frc[j][1] -= fmag * dyr
+							s.frc[j][2] -= fmag * dzr
+							s.energyPot += e
+						} else {
+							s.energyPot += 0.5 * e
+						}
+					}
+				}
+			}
+		}
+	}
+	s.flop(float64(pairs) * s.prm.CyclesPerPair)
+}

@@ -1,0 +1,247 @@
+// Package nek implements the paper's Nek5000 model problem (Section
+// 4.3, Figure 7): solving the linear system B u = f by conjugate
+// gradient iteration, where B is the mass matrix of a spectral-element
+// discretization with E elements of polynomial order N covering the
+// unit cube. The mass matrix is diagonal under Gauss-Lobatto-Legendre
+// quadrature, so the computational kernel per iteration is a pointwise
+// multiply, the direct-stiffness summation (gather-scatter) across
+// element and rank boundaries, and two allreduce dot products — the
+// communication pattern whose latency sensitivity the paper measures.
+//
+// Ranks form a 3-D process grid; each owns a box of elements. Shared
+// degrees of freedom on rank boundaries are assembled with the classic
+// three-sweep plane exchange (x, then y, then z), which covers all 26
+// neighbor directions with 6 messages by transitivity.
+package nek
+
+import (
+	"fmt"
+	"math"
+)
+
+// Params describes one model-problem run.
+type Params struct {
+	// N is the polynomial order (the paper uses 3, 5, 7).
+	N int
+	// ElemsPerRank is the number of elements each rank owns along
+	// x/y/z (E/P = product; the paper sweeps E/P in 1..128).
+	ElemsPerRank [3]int
+	// RankGrid is the 3-D process grid; its product must equal the
+	// world size.
+	RankGrid [3]int
+	// Iters is the number of CG iterations to run (performance is
+	// reported per point-iteration, so the count only sets the sample
+	// size).
+	Iters int
+	// CyclesPerFlop models the core's floating-point throughput
+	// (charged to the virtual clock per flop executed).
+	CyclesPerFlop float64
+}
+
+// Validate checks internal consistency against a world size.
+func (p *Params) Validate(worldSize int) error {
+	if p.N < 1 {
+		return fmt.Errorf("nek: order N=%d", p.N)
+	}
+	if p.Iters < 1 {
+		return fmt.Errorf("nek: iters=%d", p.Iters)
+	}
+	np := p.RankGrid[0] * p.RankGrid[1] * p.RankGrid[2]
+	if np != worldSize {
+		return fmt.Errorf("nek: rank grid %v = %d ranks, world has %d", p.RankGrid, np, worldSize)
+	}
+	for d := 0; d < 3; d++ {
+		if p.ElemsPerRank[d] < 1 || p.RankGrid[d] < 1 {
+			return fmt.Errorf("nek: bad geometry %v / %v", p.ElemsPerRank, p.RankGrid)
+		}
+	}
+	return nil
+}
+
+// PointsPerRank returns the local dof count: (e*N+1) per dimension
+// (element-interior points plus shared element-boundary points).
+func (p *Params) PointsPerRank() int {
+	n := 1
+	for d := 0; d < 3; d++ {
+		n *= p.ElemsPerRank[d]*p.N + 1
+	}
+	return n
+}
+
+// GlobalPoints returns the assembled global dof count
+// (E_d*N+1 per dimension).
+func (p *Params) GlobalPoints() int {
+	n := 1
+	for d := 0; d < 3; d++ {
+		n *= p.ElemsPerRank[d]*p.RankGrid[d]*p.N + 1
+	}
+	return n
+}
+
+// NOverP returns the per-rank grid-point load n/P used as the x-axis of
+// Figure 7 (the paper computes n ~ E N^3, i.e. points counted once per
+// element).
+func (p *Params) NOverP() int {
+	return p.ElemsPerRank[0] * p.ElemsPerRank[1] * p.ElemsPerRank[2] * p.N * p.N * p.N
+}
+
+// mesh is one rank's box of grid points.
+type mesh struct {
+	nx, ny, nz int       // local point-grid dimensions
+	coords     [3]int    // rank coordinates in the process grid
+	grid       [3]int    // process grid
+	neighbors  [3][2]int // world rank of the low/high neighbor per dim, -1 at the boundary
+}
+
+// newMesh lays out rank `rank`'s box.
+func newMesh(p *Params, rank int) *mesh {
+	m := &mesh{
+		nx:   p.ElemsPerRank[0]*p.N + 1,
+		ny:   p.ElemsPerRank[1]*p.N + 1,
+		nz:   p.ElemsPerRank[2]*p.N + 1,
+		grid: p.RankGrid,
+	}
+	m.coords[0] = rank % p.RankGrid[0]
+	m.coords[1] = (rank / p.RankGrid[0]) % p.RankGrid[1]
+	m.coords[2] = rank / (p.RankGrid[0] * p.RankGrid[1])
+	for d := 0; d < 3; d++ {
+		m.neighbors[d][0] = m.neighborRank(d, -1)
+		m.neighbors[d][1] = m.neighborRank(d, +1)
+	}
+	return m
+}
+
+// neighborRank returns the world rank one step along dim, or -1 outside
+// the (non-periodic) unit cube.
+func (m *mesh) neighborRank(dim, step int) int {
+	c := m.coords
+	c[dim] += step
+	if c[dim] < 0 || c[dim] >= m.grid[dim] {
+		return -1
+	}
+	return c[0] + m.grid[0]*(c[1]+m.grid[1]*c[2])
+}
+
+// points returns the local dof count.
+func (m *mesh) points() int { return m.nx * m.ny * m.nz }
+
+// idx addresses the local point grid.
+func (m *mesh) idx(i, j, k int) int { return i + m.nx*(j+m.ny*k) }
+
+// planeSize returns the number of points in a boundary plane normal to
+// dim.
+func (m *mesh) planeSize(dim int) int {
+	switch dim {
+	case 0:
+		return m.ny * m.nz
+	case 1:
+		return m.nx * m.nz
+	default:
+		return m.nx * m.ny
+	}
+}
+
+// extractPlane copies the boundary plane (side 0 = low, 1 = high)
+// normal to dim into out.
+func (m *mesh) extractPlane(u []float64, dim, side int, out []float64) {
+	fix := 0
+	if side == 1 {
+		fix = [3]int{m.nx, m.ny, m.nz}[dim] - 1
+	}
+	n := 0
+	switch dim {
+	case 0:
+		for k := 0; k < m.nz; k++ {
+			for j := 0; j < m.ny; j++ {
+				out[n] = u[m.idx(fix, j, k)]
+				n++
+			}
+		}
+	case 1:
+		for k := 0; k < m.nz; k++ {
+			for i := 0; i < m.nx; i++ {
+				out[n] = u[m.idx(i, fix, k)]
+				n++
+			}
+		}
+	default:
+		for j := 0; j < m.ny; j++ {
+			for i := 0; i < m.nx; i++ {
+				out[n] = u[m.idx(i, j, fix)]
+				n++
+			}
+		}
+	}
+}
+
+// addPlane accumulates in onto the boundary plane.
+func (m *mesh) addPlane(u []float64, dim, side int, in []float64) {
+	fix := 0
+	if side == 1 {
+		fix = [3]int{m.nx, m.ny, m.nz}[dim] - 1
+	}
+	n := 0
+	switch dim {
+	case 0:
+		for k := 0; k < m.nz; k++ {
+			for j := 0; j < m.ny; j++ {
+				u[m.idx(fix, j, k)] += in[n]
+				n++
+			}
+		}
+	case 1:
+		for k := 0; k < m.nz; k++ {
+			for i := 0; i < m.nx; i++ {
+				u[m.idx(i, fix, k)] += in[n]
+				n++
+			}
+		}
+	default:
+		for j := 0; j < m.ny; j++ {
+			for i := 0; i < m.nx; i++ {
+				u[m.idx(i, j, fix)] += in[n]
+				n++
+			}
+		}
+	}
+}
+
+// massDiag builds the local diagonal of the unassembled mass matrix:
+// GLL quadrature weights times the element Jacobian. Weights are the
+// simplified Newton-Cotes-like profile (half weight at element
+// endpoints), which preserves the assembly structure (shared points
+// accumulate neighbors' halves) without a full GLL table.
+func massDiag(p *Params, m *mesh) []float64 {
+	// Within one dimension, element-boundary points carry half weight
+	// per adjacent element; the assembly (gs) sums the halves.
+	w1 := func(localIdx int) float64 {
+		if localIdx%p.N == 0 {
+			return 0.5
+		}
+		return 1.0
+	}
+	hx := 1.0 / float64(p.ElemsPerRank[0]*m.grid[0]*p.N)
+	hy := 1.0 / float64(p.ElemsPerRank[1]*m.grid[1]*p.N)
+	hz := 1.0 / float64(p.ElemsPerRank[2]*m.grid[2]*p.N)
+	jac := hx * hy * hz
+
+	b := make([]float64, m.points())
+	for k := 0; k < m.nz; k++ {
+		for j := 0; j < m.ny; j++ {
+			for i := 0; i < m.nx; i++ {
+				b[m.idx(i, j, k)] = jac * w1(i) * w1(j) * w1(k)
+			}
+		}
+	}
+	return b
+}
+
+// refSolution is the manufactured field the correctness checks solve
+// for: smooth and globally consistent (the same value computed at the
+// same global coordinate on every rank).
+func refSolution(p *Params, m *mesh, i, j, k int) float64 {
+	gx := float64(m.coords[0]*(m.nx-1)+i) / float64(m.grid[0]*(m.nx-1))
+	gy := float64(m.coords[1]*(m.ny-1)+j) / float64(m.grid[1]*(m.ny-1))
+	gz := float64(m.coords[2]*(m.nz-1)+k) / float64(m.grid[2]*(m.nz-1))
+	return math.Sin(math.Pi*gx) * math.Cos(math.Pi*gy) * math.Sin(math.Pi*gz)
+}

@@ -1,0 +1,295 @@
+package nek
+
+import (
+	"fmt"
+	"testing"
+
+	"gompi"
+)
+
+func TestParamsValidate(t *testing.T) {
+	good := Params{N: 3, ElemsPerRank: [3]int{2, 2, 2}, RankGrid: [3]int{2, 2, 2}, Iters: 5}
+	if err := good.Validate(8); err != nil {
+		t.Fatal(err)
+	}
+	if err := good.Validate(4); err == nil {
+		t.Error("wrong world size accepted")
+	}
+	bad := good
+	bad.N = 0
+	if err := bad.Validate(8); err == nil {
+		t.Error("order 0 accepted")
+	}
+	bad = good
+	bad.Iters = 0
+	if err := bad.Validate(8); err == nil {
+		t.Error("0 iterations accepted")
+	}
+	bad = good
+	bad.ElemsPerRank = [3]int{0, 1, 1}
+	if err := bad.Validate(8); err == nil {
+		t.Error("empty rank box accepted")
+	}
+}
+
+func TestGeometry(t *testing.T) {
+	p := Params{N: 5, ElemsPerRank: [3]int{2, 1, 1}, RankGrid: [3]int{2, 2, 1}}
+	if got := p.NOverP(); got != 2*125 {
+		t.Errorf("NOverP = %d, want 250", got)
+	}
+	if got := p.PointsPerRank(); got != 11*6*6 {
+		t.Errorf("PointsPerRank = %d, want %d", got, 11*6*6)
+	}
+	if got := p.GlobalPoints(); got != 21*11*6 {
+		t.Errorf("GlobalPoints = %d, want %d", got, 21*11*6)
+	}
+}
+
+func TestMeshNeighbors(t *testing.T) {
+	p := Params{N: 3, ElemsPerRank: [3]int{1, 1, 1}, RankGrid: [3]int{2, 2, 2}}
+	m := newMesh(&p, 0) // corner rank
+	if m.neighbors[0][0] != -1 || m.neighbors[0][1] != 1 {
+		t.Errorf("x neighbors of rank 0: %v", m.neighbors[0])
+	}
+	if m.neighbors[1][0] != -1 || m.neighbors[1][1] != 2 {
+		t.Errorf("y neighbors of rank 0: %v", m.neighbors[1])
+	}
+	if m.neighbors[2][0] != -1 || m.neighbors[2][1] != 4 {
+		t.Errorf("z neighbors of rank 0: %v", m.neighbors[2])
+	}
+	m7 := newMesh(&p, 7) // opposite corner
+	if m7.neighbors[0][1] != -1 || m7.neighbors[0][0] != 6 {
+		t.Errorf("x neighbors of rank 7: %v", m7.neighbors[0])
+	}
+}
+
+func TestPlaneExtractAdd(t *testing.T) {
+	p := Params{N: 2, ElemsPerRank: [3]int{1, 1, 1}, RankGrid: [3]int{1, 1, 1}}
+	m := newMesh(&p, 0) // 3x3x3 points
+	u := make([]float64, m.points())
+	for i := range u {
+		u[i] = float64(i)
+	}
+	plane := make([]float64, m.planeSize(0))
+	m.extractPlane(u, 0, 1, plane) // high-x plane: indices 2,5,8,...
+	if plane[0] != float64(m.idx(2, 0, 0)) || plane[1] != float64(m.idx(2, 1, 0)) {
+		t.Errorf("extracted plane %v", plane[:3])
+	}
+	m.addPlane(u, 0, 1, plane)
+	if u[m.idx(2, 0, 0)] != 2*float64(m.idx(2, 0, 0)) {
+		t.Error("addPlane did not accumulate")
+	}
+}
+
+// TestGatherAssemblesMultiplicity checks the three-sweep exchange: a
+// vector of ones gathers to the dof multiplicity (up to 8 at rank
+// corners).
+func TestGatherAssemblesMultiplicity(t *testing.T) {
+	prm := Params{N: 2, ElemsPerRank: [3]int{1, 1, 1}, RankGrid: [3]int{2, 2, 2}, Iters: 1}
+	err := gompi.Run(8, gompi.Config{Fabric: "inf"}, func(p *gompi.Proc) error {
+		m := newMesh(&prm, p.Rank())
+		s := &solver{p: p, w: p.World(), prm: &prm, m: m, gs: newGSBuffers(m), flop: func(int) {}}
+		u := make([]float64, m.points())
+		for i := range u {
+			u[i] = 1
+		}
+		if err := s.gather(u); err != nil {
+			return err
+		}
+		// The corner facing the domain center is shared by all 8
+		// ranks on a 2x2x2 grid.
+		ci, cj, ck := m.nx-1, m.ny-1, m.nz-1
+		if m.coords[0] == 1 {
+			ci = 0
+		}
+		if m.coords[1] == 1 {
+			cj = 0
+		}
+		if m.coords[2] == 1 {
+			ck = 0
+		}
+		if got := u[m.idx(ci, cj, ck)]; got != 8 {
+			return fmt.Errorf("rank %d center-corner multiplicity %v, want 8", p.Rank(), got)
+		}
+		// Face-interior point shared by 2.
+		if got := u[m.idx(m.nx-1, 1, 1)]; p.Rank() == 0 && got != 2 {
+			return fmt.Errorf("face multiplicity %v, want 2", got)
+		}
+		// Strictly interior point stays 1.
+		if got := u[m.idx(1, 1, 1)]; got != 1 {
+			return fmt.Errorf("interior multiplicity %v, want 1", got)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSolveConverges verifies the manufactured solution is recovered on
+// a multi-rank mesh.
+func TestSolveConverges(t *testing.T) {
+	prm := Params{N: 3, ElemsPerRank: [3]int{2, 2, 2}, RankGrid: [3]int{2, 2, 1}, Iters: 10}
+	err := gompi.Run(4, gompi.Config{Fabric: "ofi"}, func(p *gompi.Proc) error {
+		res, err := Solve(p, prm)
+		if err != nil {
+			return err
+		}
+		if res.Residual > 1e-10 {
+			return fmt.Errorf("residual %g", res.Residual)
+		}
+		if res.Iters != prm.Iters {
+			return fmt.Errorf("ran %d timing iterations, want %d", res.Iters, prm.Iters)
+		}
+		if res.Seconds <= 0 || res.PerfPIPS <= 0 {
+			return fmt.Errorf("bad timing: %+v", res)
+		}
+		if res.NOverP != 8*27 {
+			return fmt.Errorf("NOverP = %d", res.NOverP)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSolveSingleRank(t *testing.T) {
+	prm := Params{N: 5, ElemsPerRank: [3]int{2, 2, 2}, RankGrid: [3]int{1, 1, 1}, Iters: 5}
+	err := gompi.Run(1, gompi.Config{}, func(p *gompi.Proc) error {
+		res, err := Solve(p, prm)
+		if err != nil {
+			return err
+		}
+		if res.Residual > 1e-10 {
+			return fmt.Errorf("residual %g", res.Residual)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestStrongScalingShape: with fixed per-rank work shrinking (strong
+// scaling), communication overhead fraction must grow.
+func TestStrongScalingShape(t *testing.T) {
+	var commSmall, commLarge float64
+	for _, tc := range []struct {
+		e    int
+		comm *float64
+	}{
+		{4, &commLarge}, {1, &commSmall},
+	} {
+		prm := Params{N: 3, ElemsPerRank: [3]int{tc.e, tc.e, tc.e}, RankGrid: [3]int{2, 2, 2}, Iters: 8}
+		var got float64
+		err := gompi.Run(8, gompi.Config{Fabric: "ofi"}, func(p *gompi.Proc) error {
+			res, err := Solve(p, prm)
+			if err != nil {
+				return err
+			}
+			if p.Rank() == 0 {
+				got = res.CommFrac
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		*tc.comm = got
+	}
+	if !(commSmall > commLarge) {
+		t.Errorf("comm fraction small=%v should exceed large=%v", commSmall, commLarge)
+	}
+}
+
+// TestCh4BeatsOriginal: the paper's Figure 7 center panel — at small
+// n/P the lightweight device wins.
+func TestCh4BeatsOriginal(t *testing.T) {
+	prm := Params{N: 3, ElemsPerRank: [3]int{1, 1, 1}, RankGrid: [3]int{2, 2, 1}, Iters: 10}
+	perf := map[string]float64{}
+	for _, dev := range []string{"ch4", "original"} {
+		var got float64
+		err := gompi.Run(4, gompi.Config{Device: dev, Fabric: "ofi"}, func(p *gompi.Proc) error {
+			res, err := Solve(p, prm)
+			if err != nil {
+				return err
+			}
+			if res.Residual > 1e-10 {
+				return fmt.Errorf("%s residual %g", dev, res.Residual)
+			}
+			if p.Rank() == 0 {
+				got = res.PerfPIPS
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		perf[dev] = got
+	}
+	if perf["ch4"] <= perf["original"] {
+		t.Errorf("ch4 %.3g <= original %.3g at the strong-scaling limit", perf["ch4"], perf["original"])
+	}
+}
+
+func TestEfficiencyModel(t *testing.T) {
+	m := EfficiencyModel{O: 1e-6, W: 64e-6, P: 64}
+	if e := m.Efficiency(1); e < 0.97 {
+		t.Errorf("efficiency at P=1 should approach 1, got %v", e)
+	}
+	e64 := m.Efficiency(64)
+	e512 := m.Efficiency(512)
+	if !(e64 > e512) {
+		t.Errorf("efficiency must fall with P: %v -> %v", e64, e512)
+	}
+	if m.Efficiency(0) != 0 {
+		t.Error("efficiency at P=0")
+	}
+	if m.String() == "" {
+		t.Error("empty model string")
+	}
+}
+
+// TestDecompositionInvariance: the same global problem solved on 1 and
+// 8 ranks must produce the same residual (the assembled system is
+// identical; only the partitioning differs).
+func TestDecompositionInvariance(t *testing.T) {
+	residuals := map[int]float64{}
+	for _, grid := range [][3]int{{1, 1, 1}, {2, 2, 2}} {
+		ranks := grid[0] * grid[1] * grid[2]
+		// Same global mesh: 4 elements per dimension.
+		e := 4 / grid[0]
+		prm := Params{N: 3, ElemsPerRank: [3]int{e, e, e}, RankGrid: grid, Iters: 5}
+		var res float64
+		err := gompi.Run(ranks, gompi.Config{Fabric: "inf"}, func(p *gompi.Proc) error {
+			r, err := Solve(p, prm)
+			if err != nil {
+				return err
+			}
+			if p.Rank() == 0 {
+				res = r.Residual
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		residuals[ranks] = res
+	}
+	if residuals[1] > 1e-10 || residuals[8] > 1e-10 {
+		t.Fatalf("residuals %v", residuals)
+	}
+	// Both are at machine precision; the invariance statement is that
+	// both decompositions solve the identical global system (exact
+	// equality of rounding is not required for CG).
+}
+
+func TestGlobalDofCountInvariant(t *testing.T) {
+	// Assembled dof count must be independent of the decomposition.
+	a := Params{N: 3, ElemsPerRank: [3]int{4, 4, 4}, RankGrid: [3]int{1, 1, 1}}
+	b := Params{N: 3, ElemsPerRank: [3]int{2, 2, 2}, RankGrid: [3]int{2, 2, 2}}
+	if a.GlobalPoints() != b.GlobalPoints() {
+		t.Fatalf("global dofs differ: %d vs %d", a.GlobalPoints(), b.GlobalPoints())
+	}
+}

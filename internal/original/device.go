@@ -1,0 +1,273 @@
+// Package original is the baseline device: a deliberate reconstruction
+// of the MPICH/CH3 cost structure the paper compares against
+// ("MPICH/Original"), which also underlies MVAPICH, Intel MPI, and Cray
+// MPI. Where ch4 rides hardware tag matching and native RDMA, this
+// device lowers every operation to generic packets over active
+// messages: sends carry a marshaled envelope matched in software at the
+// target, one-sided operations are emulated two-sided through packet
+// handlers with per-operation queue entries allocated from a globally
+// locked pool, and every layer boundary costs a real function-call
+// charge. The structure — not hard-coded totals — produces the paper's
+// 253-instruction MPI_ISEND and 1,342-instruction MPI_PUT.
+package original
+
+import (
+	"encoding/binary"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"gompi/internal/abort"
+	"gompi/internal/comm"
+	"gompi/internal/core"
+	"gompi/internal/datatype"
+	"gompi/internal/fabric"
+	"gompi/internal/instr"
+	"gompi/internal/match"
+	"gompi/internal/proc"
+	"gompi/internal/request"
+	"gompi/internal/vtime"
+)
+
+// Charge constants for the layered CH3-style critical path.
+const (
+	// costDispatchLayers: ADI3 -> CH3 -> channel -> netmod function
+	// boundaries on the send path (beyond the public entry's 17).
+	costDispatchLayers = 18
+	// costDispatchLayersRMA: the one-sided path crosses more layers
+	// (RMA frontend, op queue, channel).
+	costDispatchLayersRMA = 45
+
+	// costPacketGeneric: the generic packet-type switch and union
+	// bookkeeping every operation passes through.
+	costPacketGeneric = 12
+	// costPacketGenericRMA is the fatter RMA variant.
+	costPacketGenericRMA = 15
+
+	// Mandatory-path components, pt2pt.
+	costProcNull      = 3
+	costCommDeref     = 8
+	costRankXlate     = 11
+	costMatchBits     = 5
+	costLockedReqPool = 21 // request from the globally locked pool
+	costHeaderBuild   = 12 // eager envelope marshal
+	costProtoBranch   = 7  // eager/rendezvous protocol selection
+
+	// Software matching costs at the target (per queue element
+	// inspected and per completed match).
+	costMatchSearch   = 6
+	costMatchComplete = 15
+
+	// One-sided emulation components (MPI_PUT = 1,342 in the default
+	// build; see the breakdown at each charge site).
+	costWinDerefEpoch = 20  // window dereference + epoch list touch
+	costRMAOpAlloc    = 60  // RMA op object from the locked pool
+	costRMAOpQueue    = 45  // enqueue + dequeue on the window op list
+	costRMASegment    = 280 // generic segment/datatype processing (CH3 "segment" machinery)
+	costRMAHeaders    = 130 // RMA packet header + eager envelope marshal
+	costRMASendPath   = 220 // reuse of the layered internal send machinery
+	costRMARequest    = 150 // origin-side request and completion tracking
+	costRMAEpochState = 95  // epoch/lock state machine updates
+	costRMAAck        = 99  // acknowledgement bookkeeping
+	costRMATargetSide = 160 // target-side handler work (charged to the target)
+	costLockProto     = 40
+	costFlushProto    = 25
+)
+
+// AM handler ids.
+const (
+	amEager uint8 = iota + 1
+	amPut
+	amAcc
+	amGetReq
+	amGetResp
+	amAck
+)
+
+// Global is the job-wide device state.
+type Global struct {
+	World *proc.World
+	Fab   *fabric.Fabric
+	Cfg   core.Config
+	pool  request.LockedPool // the CH3-era globally locked request pool
+
+	mu     sync.Mutex
+	winSeq int
+}
+
+// NewGlobal builds the shared state. The original device has no shmmod
+// split: every message takes the generic netmod path, as the paper's
+// baseline does on these fabrics.
+func NewGlobal(w *proc.World, prof fabric.Profile, cfg core.Config) *Global {
+	return &Global{World: w, Fab: fabric.New(prof, w.Size()), Cfg: cfg}
+}
+
+// Abort tears the world down after a rank failure.
+func (g *Global) Abort() { g.Fab.Abort() }
+
+// recvState is one posted receive in the software matching engine.
+type recvState struct {
+	buf       []byte
+	n         int
+	src, tag  int
+	truncated bool
+	done      bool
+	arrival   vtime.Time // virtual arrival of the matched packet
+}
+
+// unexpected buffers one unmatched arrival.
+type unexpected struct {
+	data    []byte
+	src     int
+	arrival vtime.Time
+}
+
+// Device is one rank's baseline device instance.
+type Device struct {
+	g    *Global
+	rank *proc.Rank
+	ep   *fabric.Endpoint
+	cfg  core.Config
+
+	eng  match.Engine // software matching, at the MPI layer
+	wins map[int]*winState
+
+	// Get request/response bookkeeping (owner goroutine only).
+	getSeq  uint32
+	getWait map[uint32]*getState
+
+	amSent       int64
+	amAcked      int64
+	amAckArrival vtime.Time // latest ack arrival, folded in at flush
+}
+
+type getState struct {
+	buf     []byte
+	done    bool
+	arrival vtime.Time
+}
+
+// Open attaches a rank.
+func (g *Global) Open(r *proc.Rank) *Device {
+	d := &Device{
+		g: g, rank: r, ep: g.Fab.Endpoint(r.ID()), cfg: g.Cfg,
+		wins:    make(map[int]*winState),
+		getWait: make(map[uint32]*getState),
+	}
+	d.ep.Bind(r)
+	d.ep.RegisterAM(amEager, d.handleEager)
+	d.ep.RegisterAM(amPut, d.handlePut)
+	d.ep.RegisterAM(amAcc, d.handleAcc)
+	d.ep.RegisterAM(amGetReq, d.handleGetReq)
+	d.ep.RegisterAM(amGetResp, d.handleGetResp)
+	d.ep.RegisterAM(amAck, d.handleAck)
+	return d
+}
+
+// Rank returns the owning rank.
+func (d *Device) Rank() *proc.Rank { return d.rank }
+
+// Config returns the build configuration.
+func (d *Device) Config() core.Config { return d.cfg }
+
+// Progress runs the packet handlers.
+func (d *Device) Progress() { d.ep.Progress() }
+
+func (d *Device) charge(cat instr.Category, n int64) { d.rank.Charge(cat, n) }
+
+func (d *Device) chargeRedundant(n int64) {
+	if !d.cfg.Inline {
+		d.charge(instr.Redundant, n)
+	}
+}
+
+func (d *Device) chargeDispatch(n int64) {
+	if !d.cfg.Inline {
+		d.charge(instr.Call, n)
+	}
+}
+
+// chargeRedundantType mirrors ch4: class-3 datatypes keep their
+// runtime checks even under link-time inlining.
+func (d *Device) chargeRedundantType(dt *datatype.Type, n int64) {
+	if !d.cfg.Inline || dt.RuntimeMapped() {
+		d.charge(instr.Redundant, n)
+	}
+}
+
+// EventSeq exposes the endpoint's transport-event counter.
+func (d *Device) EventSeq() uint64 { return d.ep.EventSeq() }
+
+// WaitEvent parks the rank until the event counter moves past seq.
+func (d *Device) WaitEvent(seq uint64) { d.ep.WaitEvent(seq) }
+
+// waitUntil parks until pred holds, pumping packet handlers.
+func (d *Device) waitUntil(pred func() bool) {
+	for {
+		seq := d.ep.EventSeq()
+		d.Progress()
+		if pred() {
+			return
+		}
+		d.ep.WaitEvent(seq)
+	}
+}
+
+func (d *Device) flushAM() {
+	if d.amSent != d.amAcked {
+		d.waitUntil(func() bool { return d.amSent == d.amAcked })
+	}
+	d.rank.Sync(d.amAckArrival)
+}
+
+func (d *Device) handleAck(_ int, _, _ []byte, arrival vtime.Time) {
+	d.amAcked++
+	if arrival > d.amAckArrival {
+		d.amAckArrival = arrival
+	}
+}
+
+// spinLock acquires a shared window lock while pumping progress.
+func (d *Device) spinLock(try func() bool) {
+	for !try() {
+		if d.g.Fab.Aborted() {
+			panic(abort.ErrWorldAborted)
+		}
+		d.Progress()
+		runtime.Gosched()
+	}
+}
+
+// envelope is the 16-byte eager packet header: match bits + length.
+type envelope struct {
+	bits match.Bits
+	size uint32
+}
+
+func (e envelope) marshal() []byte {
+	b := make([]byte, 12)
+	binary.LittleEndian.PutUint64(b, uint64(e.bits))
+	binary.LittleEndian.PutUint32(b[8:], e.size)
+	return b
+}
+
+func unmarshalEnvelope(b []byte) envelope {
+	return envelope{
+		bits: match.Bits(binary.LittleEndian.Uint64(b)),
+		size: binary.LittleEndian.Uint32(b[8:]),
+	}
+}
+
+func errString(op string, err error) error { return fmt.Errorf("original %s: %w", op, err) }
+
+// errf builds a formatted device error.
+func errf(format string, args ...any) error {
+	return fmt.Errorf("original: "+format, args...)
+}
+
+// translateRank mirrors the ch4 translation but always pays the
+// baseline's full table walk.
+func (d *Device) translateRank(c *comm.Comm, rank int) (int, error) {
+	d.charge(instr.Mandatory, costRankXlate)
+	return c.WorldRank(rank)
+}

@@ -1,0 +1,278 @@
+package original
+
+import (
+	"gompi/internal/comm"
+	"gompi/internal/core"
+	"gompi/internal/datatype"
+	"gompi/internal/instr"
+	"gompi/internal/match"
+	"gompi/internal/request"
+	"gompi/internal/vtime"
+)
+
+// Redundant-runtime-check base charges (same generic work as ch4's MPI
+// layer, plus the generic packet handling unique to this device).
+const (
+	costRedundantMarshal  = 16
+	costRedundantReload   = 8
+	costRedundantDatatype = 14
+	costRedundantBufAddr  = 9
+	costRedundantComplete = 12
+)
+
+// Isend lowers the send to a generic eager packet: marshal an envelope,
+// push it through the layered send machinery, match in software at the
+// target. Extension flags are honored semantically (so the public API
+// behaves identically on both devices) but buy no instruction savings
+// here — the baseline predates the proposals.
+func (d *Device) Isend(buf []byte, count int, dt *datatype.Type, dest, tag int,
+	c *comm.Comm, flags core.OpFlags) (*request.Request, error) {
+
+	d.chargeDispatch(costDispatchLayers)
+	d.charge(instr.Mandatory, costProcNull)
+	if dest == core.ProcNull {
+		return d.finishSend(flags, c), nil
+	}
+	d.charge(instr.Mandatory, costCommDeref)
+
+	var world int
+	if flags.Has(core.FlagGlobalRank) {
+		world = dest
+		d.charge(instr.Mandatory, costRankXlate) // baseline translates anyway
+	} else {
+		var err error
+		world, err = d.translateRank(c, dest)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	d.chargeRedundant(costRedundantMarshal + costRedundantReload +
+		costRedundantBufAddr + costPacketGeneric)
+	d.chargeRedundantType(dt, costRedundantDatatype)
+	data, err := d.sendBytes(buf, count, dt)
+	if err != nil {
+		return nil, err
+	}
+
+	d.charge(instr.Mandatory, costMatchBits)
+	bits := match.MakeBits(c.Ctx, c.MyRank, tag)
+	if flags.Has(core.FlagNoMatch) {
+		// Semantically honored: zero source/tag so arrival-order
+		// receives match. No charge savings on this device.
+		bits = match.MakeBits(c.Ctx, 0, 0)
+	}
+
+	// Envelope marshal + protocol branch + layered issue.
+	d.charge(instr.Mandatory, costHeaderBuild+costProtoBranch)
+	env := envelope{bits: bits, size: uint32(len(data))}
+	d.ep.AMSend(world, amEager, env.marshal(), data)
+
+	d.chargeRedundant(costRedundantComplete)
+	return d.finishSend(flags, c), nil
+}
+
+// sendBytes mirrors the ch4 resolution but always via the generic
+// segment path (no zero-copy view): CH3 runs every buffer through its
+// segment machinery.
+func (d *Device) sendBytes(buf []byte, count int, dt *datatype.Type) ([]byte, error) {
+	if view, ok := datatype.ContigView(dt, count, buf); ok {
+		return view, nil
+	}
+	packed := make([]byte, datatype.PackedSize(dt, count))
+	n, err := datatype.Pack(dt, count, buf, packed)
+	if err != nil {
+		return nil, err
+	}
+	d.charge(instr.Mandatory, int64(10+n/2))
+	return packed, nil
+}
+
+// finishSend allocates the completion vehicle: a request from the
+// globally locked pool, or the counter under FlagNoReq.
+func (d *Device) finishSend(flags core.OpFlags, c *comm.Comm) *request.Request {
+	if flags.Has(core.FlagNoReq) {
+		c.NoReq.Add()
+		c.NoReq.Done()
+		d.charge(instr.Mandatory, 3)
+		return nil
+	}
+	d.charge(instr.Mandatory, costLockedReqPool)
+	r := d.g.pool.Get(request.KindSend)
+	r.MarkComplete(request.Status{})
+	return r
+}
+
+// IsendAllOpts exists for ADI parity; the baseline has no minimized
+// path, so it runs the ordinary send with the flags' semantics.
+func (d *Device) IsendAllOpts(buf []byte, worldDest int, c *comm.Comm) error {
+	_, err := d.Isend(buf, len(buf), datatype.Byte, worldDest, 0, c, core.FlagAllOpts)
+	return err
+}
+
+// handleEager is the target-side packet handler: software matching at
+// the MPI layer, charged per queue element inspected.
+func (d *Device) handleEager(src int, hdr, payload []byte, arrival vtime.Time) {
+	env := unmarshalEnvelope(hdr)
+	d.charge(instr.Mandatory, costPacketGeneric)
+
+	// CH3 copies eager payloads aside before matching, so the cookie
+	// carries the buffered copy whether or not a receive is posted.
+	cp := append([]byte(nil), payload...)
+	before := d.eng.Searches
+	entry, ok := d.eng.Arrive(env.bits, &unexpected{data: cp, src: src, arrival: arrival})
+	d.charge(instr.Mandatory, costMatchSearch*(d.eng.Searches-before))
+	if !ok {
+		return // queued as unexpected
+	}
+	rs := entry.Cookie.(*recvState)
+	d.completeRecv(rs, env.bits, cp, src, arrival)
+}
+
+// completeRecv copies the payload into the posted buffer and fills
+// status. The arrival time is folded into the receiver's clock when
+// the receive completion is observed (finish), not here.
+func (d *Device) completeRecv(rs *recvState, bits match.Bits, payload []byte, src int, arrival vtime.Time) {
+	d.charge(instr.Mandatory, costMatchComplete)
+	n := copy(rs.buf, payload)
+	rs.n = n
+	rs.truncated = n < len(payload)
+	rs.src = bits.Source()
+	rs.tag = bits.Tag()
+	rs.arrival = arrival
+	rs.done = true
+}
+
+// Irecv posts a receive into the software matching engine.
+func (d *Device) Irecv(buf []byte, count int, dt *datatype.Type, src, tag int,
+	c *comm.Comm, flags core.OpFlags) (*request.Request, error) {
+
+	d.chargeDispatch(costDispatchLayers)
+	d.charge(instr.Mandatory, costProcNull)
+	if src == core.ProcNull {
+		r := d.g.pool.Get(request.KindRecv)
+		r.MarkComplete(request.Status{Source: core.ProcNull, Tag: core.AnyTag})
+		return r, nil
+	}
+	d.charge(instr.Mandatory, costCommDeref+costMatchBits)
+
+	var bits, mask match.Bits
+	if flags.Has(core.FlagNoMatch) {
+		bits = match.MakeBits(c.Ctx, 0, 0)
+		mask = match.NoMatchMask
+	} else {
+		anySrc := src == core.AnySource
+		anyTag := tag == core.AnyTag
+		s, tg := src, tag
+		if anySrc {
+			s = 0
+		}
+		if anyTag {
+			tg = 0
+		}
+		bits = match.MakeBits(c.Ctx, s, tg)
+		mask = match.RecvMask(anySrc, anyTag)
+	}
+
+	d.chargeRedundant(costRedundantMarshal + costRedundantReload +
+		costRedundantBufAddr + costPacketGeneric)
+	d.chargeRedundantType(dt, costRedundantDatatype)
+
+	rs := &recvState{}
+	var bounce []byte
+	if view, ok := datatype.ContigView(dt, count, buf); ok {
+		rs.buf = view
+	} else {
+		bounce = make([]byte, datatype.PackedSize(dt, count))
+		rs.buf = bounce
+	}
+
+	// Progress first so pending packets are matched in software before
+	// the posted queue grows (CH3 polls on entry).
+	d.Progress()
+	d.charge(instr.Mandatory, costLockedReqPool)
+	before := d.eng.Searches
+	entry, ok := d.eng.PostRecv(bits, mask, rs)
+	d.charge(instr.Mandatory, costMatchSearch*(d.eng.Searches-before))
+	if ok {
+		u := entry.Cookie.(*unexpected)
+		d.completeRecv(rs, entry.Bits, u.data, u.src, u.arrival)
+	}
+
+	r := d.g.pool.Get(request.KindRecv)
+	finish := func(r *request.Request) {
+		d.rank.Sync(rs.arrival)
+		if bounce != nil {
+			if _, err := datatype.Unpack(dt, count, bounce[:rs.n], buf); err != nil {
+				rs.truncated = true
+			}
+		}
+		r.MarkComplete(request.Status{Source: rs.src, Tag: rs.tag, Count: rs.n, Truncated: rs.truncated})
+	}
+	r.Poll = func(r *request.Request) bool {
+		d.Progress()
+		if !rs.done {
+			return false
+		}
+		finish(r)
+		return true
+	}
+	r.Block = func(r *request.Request) {
+		d.waitUntil(func() bool { return rs.done })
+		finish(r)
+	}
+	return r, nil
+}
+
+// Iprobe checks the unexpected queue under software matching.
+func (d *Device) Iprobe(src, tag int, c *comm.Comm) (request.Status, bool, error) {
+	d.Progress()
+	anySrc := src == core.AnySource
+	anyTag := tag == core.AnyTag
+	s, tg := src, tag
+	if anySrc {
+		s = 0
+	}
+	if anyTag {
+		tg = 0
+	}
+	entry, ok := d.eng.Probe(match.MakeBits(c.Ctx, s, tg), match.RecvMask(anySrc, anyTag))
+	if !ok {
+		return request.Status{}, false, nil
+	}
+	u := entry.Cookie.(*unexpected)
+	return request.Status{Source: entry.Bits.Source(), Tag: entry.Bits.Tag(), Count: len(u.data)}, true, nil
+}
+
+// Improbe extracts a matchable message from the software matching
+// engine (MPI_IMPROBE).
+func (d *Device) Improbe(src, tag int, c *comm.Comm) ([]byte, request.Status, vtime.Time, bool, error) {
+	d.Progress()
+	anySrc := src == core.AnySource
+	anyTag := tag == core.AnyTag
+	s, tg := src, tag
+	if anySrc {
+		s = 0
+	}
+	if anyTag {
+		tg = 0
+	}
+	before := d.eng.Searches
+	entry, ok := d.eng.ExtractUnexpected(match.MakeBits(c.Ctx, s, tg), match.RecvMask(anySrc, anyTag))
+	d.charge(instr.Mandatory, costMatchSearch*(d.eng.Searches-before))
+	if !ok {
+		return nil, request.Status{}, 0, false, nil
+	}
+	u := entry.Cookie.(*unexpected)
+	st := request.Status{Source: entry.Bits.Source(), Tag: entry.Bits.Tag(), Count: len(u.data)}
+	return u.data, st, u.arrival, true, nil
+}
+
+// CommWaitall completes requestless operations.
+func (d *Device) CommWaitall(c *comm.Comm) error {
+	if c.NoReq.Pending() == 0 {
+		return nil
+	}
+	d.waitUntil(func() bool { return c.NoReq.Pending() == 0 })
+	return nil
+}

@@ -1,0 +1,200 @@
+// Package proc is the process-manager stand-in: it spawns one goroutine
+// per MPI rank, assigns ranks to simulated nodes (which decides netmod
+// vs shmmod locality), owns each rank's virtual clock and instruction
+// profile, and collects per-rank failures. It plays the role PMI and
+// the job launcher play for a real MPICH.
+package proc
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"gompi/internal/abort"
+	"gompi/internal/instr"
+	"gompi/internal/vtime"
+)
+
+// World describes one job: P ranks over P/ranksPerNode nodes.
+type World struct {
+	size         int
+	ranksPerNode int
+	hz           float64
+	ranks        []*Rank
+
+	startOnce sync.Once
+	start     *barrier
+}
+
+// NewWorld creates a world of n ranks at ranksPerNode ranks per node,
+// with per-rank clocks at hz.
+func NewWorld(n, ranksPerNode int, hz float64) *World {
+	if n <= 0 {
+		panic("proc: world size must be positive")
+	}
+	if ranksPerNode <= 0 {
+		ranksPerNode = n // single node
+	}
+	w := &World{size: n, ranksPerNode: ranksPerNode, hz: hz, start: newBarrier(n)}
+	w.ranks = make([]*Rank, n)
+	for i := range w.ranks {
+		w.ranks[i] = &Rank{id: i, world: w, clock: vtime.NewClock(hz), cpi: 1}
+	}
+	return w
+}
+
+// SetInstrCPI sets the cycles-per-instruction of MPI software on this
+// platform (1.0 = the x86 testbeds; ~6 for the BG/Q A2). Must be called
+// before Run.
+func (w *World) SetInstrCPI(cpi float64) {
+	if cpi <= 0 {
+		cpi = 1
+	}
+	for _, r := range w.ranks {
+		r.cpi = cpi
+	}
+}
+
+// Size returns the number of ranks.
+func (w *World) Size() int { return w.size }
+
+// RanksPerNode returns the node width.
+func (w *World) RanksPerNode() int { return w.ranksPerNode }
+
+// Nodes returns the number of simulated nodes.
+func (w *World) Nodes() int { return (w.size + w.ranksPerNode - 1) / w.ranksPerNode }
+
+// Node returns the node hosting rank.
+func (w *World) Node(rank int) int { return rank / w.ranksPerNode }
+
+// SameNode reports whether two ranks share a node (shmmod reachable).
+func (w *World) SameNode(a, b int) bool { return w.Node(a) == w.Node(b) }
+
+// Rank returns the rank object with the given id.
+func (w *World) Rank(id int) *Rank { return w.ranks[id] }
+
+// Run spawns one goroutine per rank and executes body on each. It
+// returns after every rank finishes; rank failures (errors or panics)
+// are joined into the returned error.
+func (w *World) Run(body func(r *Rank) error) error {
+	return errors.Join(w.RunAll(body)...)
+}
+
+// RunAll is Run returning the per-rank errors (nil entries for ranks
+// that succeeded). A panic with abort.ErrWorldAborted — raised by
+// blocking layers during teardown — is recorded as that sentinel, so
+// callers can separate the original failure from its fallout.
+func (w *World) RunAll(body func(r *Rank) error) []error {
+	errs := make([]error, w.size)
+	var wg sync.WaitGroup
+	wg.Add(w.size)
+	for _, r := range w.ranks {
+		go func(r *Rank) {
+			defer wg.Done()
+			defer func() {
+				if p := recover(); p != nil {
+					if err, ok := p.(error); ok && errors.Is(err, abort.ErrWorldAborted) {
+						errs[r.id] = fmt.Errorf("rank %d: %w", r.id, abort.ErrWorldAborted)
+						return
+					}
+					errs[r.id] = fmt.Errorf("rank %d panicked: %v", r.id, p)
+				}
+			}()
+			errs[r.id] = wrapRankErr(r.id, body(r))
+		}(r)
+	}
+	wg.Wait()
+	return errs
+}
+
+func wrapRankErr(id int, err error) error {
+	if err == nil {
+		return nil
+	}
+	return fmt.Errorf("rank %d: %w", id, err)
+}
+
+// Rank is one MPI process: a goroutine plus its virtual clock and
+// instruction profile. It implements the Meter interfaces of the
+// fabric and shm packages. All methods except the world queries must be
+// called only from the rank's own goroutine.
+type Rank struct {
+	id    int
+	world *World
+	clock *vtime.Clock
+	prof  instr.Profile
+	cpi   float64 // cycles per MPI instruction (platform model)
+}
+
+// ID returns the rank's world rank.
+func (r *Rank) ID() int { return r.id }
+
+// World returns the owning world.
+func (r *Rank) World() *World { return r.world }
+
+// Node returns the rank's simulated node.
+func (r *Rank) Node() int { return r.world.Node(r.id) }
+
+// Charge records n MPI-library instructions and advances the virtual
+// clock by n*CPI cycles. Instruction counts (Table 1, Figure 2) are
+// CPI-independent; only time is platform-scaled.
+func (r *Rank) Charge(cat instr.Category, n int64) {
+	r.prof.Charge(cat, n)
+	r.clock.Advance(int64(float64(n) * r.cpi))
+}
+
+// ChargeCycles records n non-instruction cycles (transport injection,
+// modeled compute) and advances the clock.
+func (r *Rank) ChargeCycles(cat instr.Category, n int64) {
+	r.prof.ChargeCycles(cat, n)
+	r.clock.Advance(n)
+}
+
+// Now returns the rank's current virtual time.
+func (r *Rank) Now() vtime.Time { return r.clock.Now() }
+
+// Sync advances the rank's clock to t if t is in the future (message
+// arrival, epoch close).
+func (r *Rank) Sync(t vtime.Time) { r.clock.Sync(t) }
+
+// Clock exposes the rank's clock for rate computations.
+func (r *Rank) Clock() *vtime.Clock { return r.clock }
+
+// Profile exposes the rank's instruction profile for snapshots.
+func (r *Rank) Profile() *instr.Profile { return &r.prof }
+
+// StartBarrier blocks until every rank in the world has called it.
+// Devices call it once after local setup so that no rank communicates
+// before all endpoints have registered handlers and callbacks.
+func (r *Rank) StartBarrier() { r.world.start.await() }
+
+// barrier is a reusable N-party rendezvous.
+type barrier struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	n     int
+	count int
+	gen   int
+}
+
+func newBarrier(n int) *barrier {
+	b := &barrier{n: n}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+func (b *barrier) await() {
+	b.mu.Lock()
+	gen := b.gen
+	b.count++
+	if b.count == b.n {
+		b.count = 0
+		b.gen++
+		b.cond.Broadcast()
+	} else {
+		for gen == b.gen {
+			b.cond.Wait()
+		}
+	}
+	b.mu.Unlock()
+}

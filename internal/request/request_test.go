@@ -1,0 +1,183 @@
+package request
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestImmediateCompletion(t *testing.T) {
+	var r Request
+	r.MarkComplete(Status{Source: 3, Tag: 7, Count: 16})
+	if !r.Done() {
+		t.Fatal("completed request not done")
+	}
+	r.Wait() // must not hang
+	if r.Status.Source != 3 || r.Status.Tag != 7 || r.Status.Count != 16 {
+		t.Errorf("status = %+v", r.Status)
+	}
+}
+
+func TestPollDrivenCompletion(t *testing.T) {
+	fired := 0
+	r := Request{Kind: KindRecv}
+	r.Poll = func(r *Request) bool {
+		fired++
+		if fired < 3 {
+			return false
+		}
+		r.MarkComplete(Status{Count: 1})
+		return true
+	}
+	if r.Done() || r.Done() {
+		t.Fatal("request completed early")
+	}
+	if !r.Done() {
+		t.Fatal("request did not complete on third poll")
+	}
+	if !r.Done() { // must stay complete without re-polling
+		t.Fatal("completion not sticky")
+	}
+	if fired != 3 {
+		t.Errorf("poll fired %d times, want 3", fired)
+	}
+}
+
+func TestBlockDrivenCompletion(t *testing.T) {
+	blocked := false
+	r := Request{Kind: KindSend}
+	r.Block = func(r *Request) {
+		blocked = true
+		r.MarkComplete(Status{})
+	}
+	r.Wait()
+	if !blocked || !r.Done() {
+		t.Fatal("Wait did not run Block")
+	}
+	blocked = false
+	r.Wait() // second wait must not block again
+	if blocked {
+		t.Fatal("Wait re-ran Block on a complete request")
+	}
+}
+
+func TestPoolRecycling(t *testing.T) {
+	var p Pool
+	r1 := p.Get(KindSend)
+	r1.MarkComplete(Status{Count: 99})
+	r1.Free()
+	if p.Len() != 1 {
+		t.Fatalf("pool len = %d, want 1", p.Len())
+	}
+	r2 := p.Get(KindRecv)
+	if r2 != r1 {
+		t.Error("pool did not recycle the freed request")
+	}
+	if r2.Done() || r2.Status.Count != 0 || r2.Kind != KindRecv {
+		t.Error("recycled request not zeroed")
+	}
+}
+
+func TestPoolGrowth(t *testing.T) {
+	var p Pool
+	rs := make([]*Request, 10)
+	for i := range rs {
+		rs[i] = p.Get(KindSend)
+	}
+	for _, r := range rs {
+		r.Free()
+	}
+	if p.Len() != 10 {
+		t.Fatalf("pool len = %d, want 10", p.Len())
+	}
+}
+
+func TestLockedPoolConcurrent(t *testing.T) {
+	var p LockedPool
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				r := p.Get(KindSend)
+				r.MarkComplete(Status{})
+				p.Put(r)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	c.Add()
+	c.Add()
+	if c.Pending() != 2 {
+		t.Fatalf("pending = %d, want 2", c.Pending())
+	}
+	c.Done()
+	c.Done()
+	if c.Pending() != 0 {
+		t.Fatalf("pending = %d, want 0", c.Pending())
+	}
+}
+
+func TestCounterUnderflowPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("counter underflow did not panic")
+		}
+	}()
+	var c Counter
+	c.Done()
+}
+
+// Property: pool Get/Free conserves requests — after n gets and n
+// frees, pool depth grows by exactly the number of distinct requests
+// freed.
+func TestPoolConservation(t *testing.T) {
+	f := func(n uint8) bool {
+		var p Pool
+		k := int(n % 50)
+		rs := make([]*Request, k)
+		for i := range rs {
+			rs[i] = p.Get(KindSend)
+		}
+		if p.Len() != 0 {
+			return false
+		}
+		for _, r := range rs {
+			r.Free()
+		}
+		return p.Len() == k
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: counter pending equals adds minus dones for any valid
+// prefix sequence.
+func TestCounterBalance(t *testing.T) {
+	f := func(ops []bool) bool {
+		var c Counter
+		var bal int64
+		for _, add := range ops {
+			if add {
+				c.Add()
+				bal++
+			} else if bal > 0 {
+				c.Done()
+				bal--
+			}
+			if c.Pending() != bal {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,276 @@
+// Package rma holds the MPI one-sided communication state: window
+// objects (created, allocated, dynamic), the offset-to-virtual-address
+// translation the paper's Section 3.2 analyzes, epoch tracking for
+// fence / lock / PSCW synchronization, and the virtual-address fast
+// path of the MPI_PUT_VIRTUAL_ADDR proposal. Data movement itself is
+// the device's job; this package is the passive window bookkeeping the
+// device manipulates.
+package rma
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"gompi/internal/comm"
+	"gompi/internal/vtime"
+)
+
+// Errors returned by window operations.
+var (
+	ErrBadDisp   = errors.New("rma: target displacement out of window")
+	ErrNoEpoch   = errors.New("rma: RMA call outside an access epoch")
+	ErrEpochOpen = errors.New("rma: synchronization call with epoch already open")
+	ErrBadWinArg = errors.New("rma: bad window argument")
+)
+
+// EpochKind tracks the active synchronization regime on a window.
+type EpochKind uint8
+
+// Epoch kinds.
+const (
+	EpochNone EpochKind = iota
+	EpochFence
+	EpochLock
+	EpochPSCW
+)
+
+// VAddr is a "remote virtual address" in the simulated address space.
+// For static windows it is a byte offset into the target's registered
+// window region; for dynamic windows it also carries the attachment's
+// region key in the high bits, the way a real virtual address carries
+// the mapping. The MPI_PUT_VIRTUAL_ADDR proposal lets applications
+// store these directly, skipping the per-operation displacement-unit
+// scaling and base-address dereference.
+type VAddr uint64
+
+// dynShift splits a dynamic VAddr into (region key, offset).
+const dynShift = 40
+
+// MakeDynAddr builds the virtual address of byte off inside the dynamic
+// attachment registered under key.
+func MakeDynAddr(key, off int) VAddr { return VAddr(key)<<dynShift | VAddr(off) }
+
+// DynKey extracts the region key of a dynamic virtual address.
+func (v VAddr) DynKey() int { return int(v >> dynShift) }
+
+// DynOff extracts the byte offset of a dynamic virtual address.
+func (v VAddr) DynOff() int { return int(v & (1<<dynShift - 1)) }
+
+// Shared is the window state common to all ranks: established once at
+// creation (the collective key exchange) and immutable afterward,
+// except for the passive-target lock table.
+type Shared struct {
+	Keys      []int // fabric region key per comm rank
+	Sizes     []int // window size in bytes per rank
+	DispUnits []int // displacement unit per rank
+	Dynamic   bool
+
+	// locks serializes passive-target access per rank: exclusive locks
+	// write-lock, shared locks read-lock. A real implementation runs a
+	// lock protocol over the network; with one address space an
+	// RWMutex models the same serialization, and the device charges
+	// the protocol's cycles.
+	locks []sync.RWMutex
+}
+
+// NewShared builds the shared table for a window over n ranks.
+func NewShared(n int, dynamic bool) *Shared {
+	return &Shared{
+		Keys:      make([]int, n),
+		Sizes:     make([]int, n),
+		DispUnits: make([]int, n),
+		Dynamic:   dynamic,
+		locks:     make([]sync.RWMutex, n),
+	}
+}
+
+// AcquireLock takes the passive-target lock for rank.
+func (s *Shared) AcquireLock(rank int, exclusive bool) {
+	if exclusive {
+		s.locks[rank].Lock()
+	} else {
+		s.locks[rank].RLock()
+	}
+}
+
+// TryAcquireLock attempts the passive-target lock without blocking.
+// Devices spin on it while pumping progress, so a rank waiting for a
+// lock can still service incoming active messages (a blocking acquire
+// would deadlock AM-based RMA).
+func (s *Shared) TryAcquireLock(rank int, exclusive bool) bool {
+	if exclusive {
+		return s.locks[rank].TryLock()
+	}
+	return s.locks[rank].TryRLock()
+}
+
+// ReleaseLock releases the passive-target lock for rank.
+func (s *Shared) ReleaseLock(rank int, exclusive bool) {
+	if exclusive {
+		s.locks[rank].Unlock()
+	} else {
+		s.locks[rank].RUnlock()
+	}
+}
+
+// Win is one rank's view of a window.
+type Win struct {
+	Comm     *comm.Comm
+	Mem      []byte // locally exposed memory (nil for dynamic windows until attach)
+	DispUnit int
+	MyKey    int
+	Shared   *Shared
+
+	// Epoch state, owned by the rank.
+	Epoch      EpochKind
+	lockedRank int // target locked in a passive epoch, or -1
+	// LockExclusive records the mode of the open passive epoch, so
+	// Unlock releases the right lock flavor.
+	LockExclusive bool
+	// PendingSync is the virtual arrival high-water mark of remote
+	// writes folded in at the last close; the device maintains it.
+	PendingSync vtime.Time
+
+	// PSCW generalized-active-target state. Exposure (post/wait) and
+	// access (start/complete) are independent: MPI allows a window to
+	// be exposed and accessing at the same time, so exposure is not
+	// part of the single access-epoch field above.
+	exposed       bool
+	exposureGroup []int // comm ranks allowed to access (post's group)
+	accessGroup   []int // comm ranks being accessed (start's group)
+
+	attached []segment // dynamic window attachments
+}
+
+// Expose opens the exposure epoch (MPI_WIN_POST bookkeeping).
+func (w *Win) Expose(group []int) error {
+	if w.exposed {
+		return fmt.Errorf("%w: exposure epoch already open", ErrEpochOpen)
+	}
+	w.exposed = true
+	w.exposureGroup = append([]int(nil), group...)
+	return nil
+}
+
+// Unexpose closes the exposure epoch (MPI_WIN_WAIT bookkeeping) and
+// returns the origin group.
+func (w *Win) Unexpose() ([]int, error) {
+	if !w.exposed {
+		return nil, fmt.Errorf("%w: no exposure epoch", ErrNoEpoch)
+	}
+	g := w.exposureGroup
+	w.exposed = false
+	w.exposureGroup = nil
+	return g, nil
+}
+
+// Exposed reports whether an exposure epoch is open.
+func (w *Win) Exposed() bool { return w.exposed }
+
+// ExposureGroupPeek returns the open exposure epoch's origin group
+// without closing it (MPI_WIN_TEST needs it).
+func (w *Win) ExposureGroupPeek() []int { return w.exposureGroup }
+
+// SetAccessGroup records the start group for the open PSCW access
+// epoch.
+func (w *Win) SetAccessGroup(group []int) { w.accessGroup = append([]int(nil), group...) }
+
+// AccessGroup returns the group recorded by SetAccessGroup.
+func (w *Win) AccessGroup() []int { return w.accessGroup }
+
+type segment struct {
+	mem []byte
+	off int // offset of this attachment inside the registered region
+}
+
+// NewWin builds one rank's view after the collective exchange.
+func NewWin(c *comm.Comm, mem []byte, dispUnit, myKey int, shared *Shared) *Win {
+	return &Win{
+		Comm: c, Mem: mem, DispUnit: dispUnit, MyKey: myKey,
+		Shared: shared, lockedRank: -1,
+	}
+}
+
+// TargetOffset translates (targetRank, disp) to a byte offset in the
+// target's region — the translation of Section 3.2: one dereference for
+// the target's displacement unit plus the scaling arithmetic. It
+// validates count bytes fit when the window size is known.
+func (w *Win) TargetOffset(targetRank, disp, nbytes int) (int, error) {
+	du := w.Shared.DispUnits[targetRank]
+	off := disp * du
+	if off < 0 {
+		return 0, fmt.Errorf("%w: disp %d", ErrBadDisp, disp)
+	}
+	if size := w.Shared.Sizes[targetRank]; !w.Shared.Dynamic && off+nbytes > size {
+		return 0, fmt.Errorf("%w: [%d,%d) beyond size %d", ErrBadDisp, off, off+nbytes, size)
+	}
+	return off, nil
+}
+
+// CheckVAddr validates a virtual-address target (the fast path skips
+// translation entirely; only bounds are confirmed when known).
+func (w *Win) CheckVAddr(targetRank int, va VAddr, nbytes int) error {
+	if w.Shared.Dynamic {
+		return nil
+	}
+	if int(va)+nbytes > w.Shared.Sizes[targetRank] {
+		return fmt.Errorf("%w: va %d + %d beyond size %d", ErrBadDisp, va, nbytes, w.Shared.Sizes[targetRank])
+	}
+	return nil
+}
+
+// BaseAddr returns the virtual address of byte 0 of targetRank's
+// window, for applications adopting the virtual-address proposal.
+func (w *Win) BaseAddr(targetRank int) VAddr { return 0 }
+
+// OpenEpoch transitions into an access epoch.
+func (w *Win) OpenEpoch(kind EpochKind, target int) error {
+	if w.Epoch != EpochNone && !(w.Epoch == kind && kind == EpochFence) {
+		return fmt.Errorf("%w: %d open", ErrEpochOpen, w.Epoch)
+	}
+	w.Epoch = kind
+	w.lockedRank = target
+	return nil
+}
+
+// CloseEpoch leaves the current epoch.
+func (w *Win) CloseEpoch() (lockedRank int, err error) {
+	if w.Epoch == EpochNone {
+		return -1, ErrNoEpoch
+	}
+	lr := w.lockedRank
+	w.Epoch = EpochNone
+	w.lockedRank = -1
+	return lr, nil
+}
+
+// InEpoch reports whether RMA operations are currently legal.
+func (w *Win) InEpoch() bool { return w.Epoch != EpochNone }
+
+// LockedRank returns the passive-epoch target, or -1.
+func (w *Win) LockedRank() int { return w.lockedRank }
+
+// Attach adds memory to a dynamic window at the given region offset
+// (MPI_WIN_ATTACH). The device has already grown the registered region.
+func (w *Win) Attach(mem []byte, off int) error {
+	if !w.Shared.Dynamic {
+		return fmt.Errorf("%w: attach to a static window", ErrBadWinArg)
+	}
+	w.attached = append(w.attached, segment{mem, off})
+	return nil
+}
+
+// Detach removes a previously attached segment (MPI_WIN_DETACH).
+func (w *Win) Detach(mem []byte) error {
+	for i, s := range w.attached {
+		if len(s.mem) > 0 && len(mem) > 0 && &s.mem[0] == &mem[0] {
+			w.attached = append(w.attached[:i], w.attached[i+1:]...)
+			return nil
+		}
+	}
+	return fmt.Errorf("%w: detach of unattached memory", ErrBadWinArg)
+}
+
+// Attached returns the number of dynamic attachments (tests).
+func (w *Win) Attached() int { return len(w.attached) }

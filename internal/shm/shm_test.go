@@ -1,0 +1,292 @@
+package shm
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"gompi/internal/instr"
+	"gompi/internal/match"
+	"gompi/internal/vtime"
+)
+
+type testMeter struct {
+	prof  instr.Profile
+	clock *vtime.Clock
+}
+
+func newTestMeter() *testMeter { return &testMeter{clock: vtime.NewClock(2.2e9)} }
+
+func (m *testMeter) Charge(cat instr.Category, n int64) {
+	m.prof.Charge(cat, n)
+	m.clock.Advance(n)
+}
+func (m *testMeter) ChargeCycles(cat instr.Category, n int64) {
+	m.prof.ChargeCycles(cat, n)
+	m.clock.Advance(n)
+}
+func (m *testMeter) Now() vtime.Time   { return m.clock.Now() }
+func (m *testMeter) Sync(t vtime.Time) { m.clock.Sync(t) }
+
+type delivery struct {
+	bits    match.Bits
+	src     int
+	data    []byte
+	arrival vtime.Time
+}
+
+// newTestDomain returns a domain that records deliveries per rank.
+func newTestDomain(n int) (*Domain, []*[]delivery, []*testMeter) {
+	boxes := make([]*[]delivery, n)
+	for i := range boxes {
+		boxes[i] = new([]delivery)
+	}
+	d := NewDomain(DefaultProfile, n, func(dst int, bits match.Bits, src int, data []byte, arrival vtime.Time) {
+		*boxes[dst] = append(*boxes[dst], delivery{bits, src, data, arrival})
+	}, nil)
+	meters := make([]*testMeter, n)
+	for i := range meters {
+		meters[i] = newTestMeter()
+		d.Bind(i, meters[i])
+	}
+	return d, boxes, meters
+}
+
+func TestSmallMessage(t *testing.T) {
+	d, boxes, _ := newTestDomain(2)
+	bits := match.MakeBits(1, 0, 5)
+	d.Send(0, 1, bits, []byte("hi"))
+	if n := d.Progress(1); n != 1 {
+		t.Fatalf("Progress delivered %d, want 1", n)
+	}
+	got := (*boxes[1])[0]
+	if got.src != 0 || got.bits != bits || string(got.data) != "hi" {
+		t.Fatalf("delivery = %+v", got)
+	}
+}
+
+func TestZeroLengthMessage(t *testing.T) {
+	d, boxes, _ := newTestDomain(2)
+	d.Send(0, 1, match.MakeBits(1, 0, 0), nil)
+	if n := d.Progress(1); n != 1 {
+		t.Fatalf("Progress delivered %d, want 1", n)
+	}
+	if len((*boxes[1])[0].data) != 0 {
+		t.Fatal("zero-length message delivered with data")
+	}
+}
+
+func TestFragmentationReassembly(t *testing.T) {
+	d, boxes, _ := newTestDomain(2)
+	msg := make([]byte, 3*CellSize+123)
+	for i := range msg {
+		msg[i] = byte(i * 7)
+	}
+	d.Send(0, 1, match.MakeBits(1, 0, 1), msg)
+	if n := d.Progress(1); n != 1 {
+		t.Fatalf("Progress delivered %d, want 1", n)
+	}
+	if !bytes.Equal((*boxes[1])[0].data, msg) {
+		t.Fatal("reassembled message differs from sent")
+	}
+}
+
+func TestFIFOOrderPerPair(t *testing.T) {
+	d, boxes, _ := newTestDomain(2)
+	for i := 0; i < 10; i++ {
+		d.Send(0, 1, match.MakeBits(1, 0, i), []byte{byte(i)})
+	}
+	d.Progress(1)
+	got := *boxes[1]
+	if len(got) != 10 {
+		t.Fatalf("delivered %d messages, want 10", len(got))
+	}
+	for i, dl := range got {
+		if dl.bits.Tag() != i {
+			t.Fatalf("message %d has tag %d (FIFO violated)", i, dl.bits.Tag())
+		}
+	}
+}
+
+func TestRingBackpressure(t *testing.T) {
+	// A message far larger than the ring forces the producer to block
+	// until the consumer drains; with a concurrent consumer it must
+	// complete.
+	d, boxes, _ := newTestDomain(2)
+	msg := make([]byte, 3*RingCells*CellSize)
+	for i := range msg {
+		msg[i] = byte(i)
+	}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		d.Send(0, 1, match.MakeBits(1, 0, 0), msg)
+	}()
+	for len(*boxes[1]) == 0 {
+		d.Progress(1)
+	}
+	wg.Wait()
+	if !bytes.Equal((*boxes[1])[0].data, msg) {
+		t.Fatal("pipelined oversized message corrupted")
+	}
+}
+
+func TestWakeCallback(t *testing.T) {
+	var woke []int
+	var mu sync.Mutex
+	d := NewDomain(DefaultProfile, 2, func(int, match.Bits, int, []byte, vtime.Time) {}, func(dst int) {
+		mu.Lock()
+		woke = append(woke, dst)
+		mu.Unlock()
+	})
+	d.Bind(0, newTestMeter())
+	d.Bind(1, newTestMeter())
+	d.Send(0, 1, match.MakeBits(1, 0, 0), []byte{1})
+	if len(woke) != 1 || woke[0] != 1 {
+		t.Fatalf("wake calls = %v, want [1]", woke)
+	}
+}
+
+func TestTransportChargesAndArrival(t *testing.T) {
+	d, boxes, meters := newTestDomain(2)
+	meters[0].clock.Advance(1000)
+	d.Send(0, 1, match.MakeBits(1, 0, 0), []byte{1, 2, 3})
+	d.Progress(1)
+	if meters[0].prof.Count(instr.Transport) < DefaultProfile.SendOverhead {
+		t.Error("sender not charged")
+	}
+	if meters[1].prof.Count(instr.Transport) < DefaultProfile.RecvOverhead {
+		t.Error("receiver not charged")
+	}
+	if (*boxes[1])[0].arrival < 1000+vtime.Time(DefaultProfile.Latency) {
+		t.Errorf("arrival %d before sender injection + latency", (*boxes[1])[0].arrival)
+	}
+}
+
+func TestUnboundMeterPanics(t *testing.T) {
+	d := NewDomain(DefaultProfile, 2, func(int, match.Bits, int, []byte, vtime.Time) {}, nil)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Send without bound meter did not panic")
+		}
+	}()
+	d.Send(0, 1, match.MakeBits(1, 0, 0), []byte{1})
+}
+
+func TestNilDeliverPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewDomain(nil deliver) did not panic")
+		}
+	}()
+	NewDomain(DefaultProfile, 2, nil, nil)
+}
+
+func TestPendingFrom(t *testing.T) {
+	d, _, _ := newTestDomain(2)
+	if d.PendingFrom(0, 1) {
+		t.Fatal("pending on fresh domain")
+	}
+	d.Send(0, 1, match.MakeBits(1, 0, 0), []byte{1})
+	if !d.PendingFrom(0, 1) {
+		t.Fatal("no pending after send")
+	}
+	d.Progress(1)
+	if d.PendingFrom(0, 1) {
+		t.Fatal("pending after drain")
+	}
+}
+
+// Property: any message size up to several cells round-trips intact.
+func TestRoundTripProperty(t *testing.T) {
+	d, boxes, _ := newTestDomain(2)
+	f := func(data []byte) bool {
+		*boxes[1] = nil
+		d.Send(0, 1, match.MakeBits(2, 0, 9), data)
+		d.Progress(1)
+		return len(*boxes[1]) == 1 && bytes.Equal((*boxes[1])[0].data, data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: k messages in, k deliveries out, same payload multiset (per
+// pair FIFO means same order).
+func TestCountConservation(t *testing.T) {
+	f := func(sizes []uint16) bool {
+		d, boxes, _ := newTestDomain(2)
+		for i, s := range sizes {
+			data := make([]byte, int(s)%(2*CellSize))
+			for j := range data {
+				data[j] = byte(i)
+			}
+			d.Send(0, 1, match.MakeBits(1, 0, i), data)
+			// Drain as we go so the bounded ring never blocks the
+			// single-threaded test.
+			d.Progress(1)
+		}
+		d.Progress(1)
+		if len(*boxes[1]) != len(sizes) {
+			return false
+		}
+		for i, dl := range *boxes[1] {
+			if len(dl.data) != int(sizes[i])%(2*CellSize) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestConcurrentPairs(t *testing.T) {
+	// Four ranks all sending to rank 0 concurrently; rank 0 drains.
+	const senders, msgs = 3, 200
+	d, boxes, _ := newTestDomain(senders + 1)
+	var wg sync.WaitGroup
+	for s := 1; s <= senders; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			for i := 0; i < msgs; i++ {
+				d.Send(s, 0, match.MakeBits(1, s, i), []byte{byte(s), byte(i)})
+			}
+		}(s)
+	}
+	for len(*boxes[0]) < senders*msgs {
+		d.Progress(0)
+	}
+	wg.Wait()
+	perSrc := map[int]int{}
+	for _, dl := range *boxes[0] {
+		if dl.bits.Tag() != perSrc[dl.src] {
+			t.Fatalf("pair (%d,0) out of order: tag %d want %d", dl.src, dl.bits.Tag(), perSrc[dl.src])
+		}
+		perSrc[dl.src]++
+	}
+}
+
+func TestAbortUnblocksFullRing(t *testing.T) {
+	d, _, _ := newTestDomain(2)
+	blocked := make(chan any, 1)
+	go func() {
+		defer func() { blocked <- recover() }()
+		// Nobody drains: the producer must block on the full ring,
+		// then panic once the domain aborts.
+		big := make([]byte, 4*RingCells*CellSize)
+		d.Send(0, 1, match.MakeBits(1, 0, 0), big)
+		blocked <- nil
+	}()
+	// Let the producer fill the ring, then abort.
+	for !d.PendingFrom(0, 1) {
+	}
+	d.Abort()
+	if rec := <-blocked; rec == nil {
+		t.Fatal("blocked producer did not panic on abort")
+	}
+}

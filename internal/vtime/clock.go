@@ -1,0 +1,80 @@
+// Package vtime implements the per-rank virtual clocks that replace the
+// paper's wall-clock measurements on real hardware. Each rank carries a
+// cycle counter advanced by the instruction-accounted MPI software path
+// (CPI 1.0), by modeled application compute, and by fabric injection and
+// wire latency. Messages carry the sender's clock at injection time;
+// completing a receive advances the receiver's clock to at least the
+// message arrival time. This is a conservative parallel-discrete-event
+// approximation: it reproduces the compute/communication balance that
+// shapes the paper's strong-scaling curves, deterministically.
+package vtime
+
+// Time is a point in virtual time, in cycles since rank spawn.
+type Time int64
+
+// Cycles is a duration in virtual cycles.
+type Cycles = int64
+
+// Clock is one rank's virtual clock. It is confined to the rank's
+// goroutine; cross-rank ordering happens only through message
+// timestamps (Sync).
+type Clock struct {
+	now Time
+	hz  float64
+}
+
+// NewClock returns a clock ticking at the given model frequency.
+func NewClock(hz float64) *Clock {
+	if hz <= 0 {
+		panic("vtime: non-positive frequency")
+	}
+	return &Clock{hz: hz}
+}
+
+// Now returns the current virtual time.
+func (c *Clock) Now() Time { return c.now }
+
+// Hz returns the model core frequency in cycles per second.
+func (c *Clock) Hz() float64 { return c.hz }
+
+// Advance moves the clock forward by n cycles. Negative n panics:
+// virtual time never runs backward.
+func (c *Clock) Advance(n Cycles) {
+	if n < 0 {
+		panic("vtime: negative advance")
+	}
+	c.now += Time(n)
+}
+
+// Sync advances the clock to t if t is in the future; a rank that waited
+// for a message lands at the message's arrival time. Sync never moves
+// the clock backward.
+func (c *Clock) Sync(t Time) {
+	if t > c.now {
+		c.now = t
+	}
+}
+
+// Seconds converts a duration between two points on this clock to
+// seconds at the model frequency.
+func (c *Clock) Seconds(from, to Time) float64 {
+	return float64(to-from) / c.hz
+}
+
+// Rate converts an operation count over a virtual interval into
+// operations per second. It returns 0 for an empty interval.
+func (c *Clock) Rate(ops int64, from, to Time) float64 {
+	s := c.Seconds(from, to)
+	if s <= 0 {
+		return 0
+	}
+	return float64(ops) / s
+}
+
+// Max returns the later of two virtual times.
+func Max(a, b Time) Time {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,22 @@
+package gompi
+
+import (
+	"gompi/internal/datatype"
+	"gompi/internal/vtime"
+)
+
+// Bridging helpers for the matched-probe receive path.
+
+func vtimeFromInt(v int64) vtime.Time { return vtime.Time(v) }
+
+func dtContigView(dt *Datatype, count int, buf []byte) ([]byte, bool) {
+	return datatype.ContigView(dt, count, buf)
+}
+
+func dtPackedSize(dt *Datatype, count int) int {
+	return datatype.PackedSize(dt, count)
+}
+
+func dtUnpack(dt *Datatype, count int, src, dst []byte) (int, error) {
+	return datatype.Unpack(dt, count, src, dst)
+}

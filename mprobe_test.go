@@ -1,0 +1,161 @@
+package gompi
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+)
+
+func TestMprobeMrecvBasic(t *testing.T) {
+	for _, dev := range []string{"ch4", "original"} {
+		dev := dev
+		t.Run(dev, func(t *testing.T) {
+			run(t, 2, Config{Device: dev, Fabric: "ofi"}, func(p *Proc) error {
+				w := p.World()
+				if p.Rank() == 0 {
+					return w.Send([]byte("matched!"), 8, Byte, 1, 3)
+				}
+				m, err := w.Mprobe(0, 3)
+				if err != nil {
+					return err
+				}
+				if m.Count() != 8 {
+					return fmt.Errorf("count %d", m.Count())
+				}
+				buf := make([]byte, m.Count())
+				st, err := m.Recv(buf, m.Count(), Byte)
+				if err != nil {
+					return err
+				}
+				if string(buf) != "matched!" || st.Source != 0 || st.Tag != 3 {
+					return fmt.Errorf("mrecv %q %+v", buf, st)
+				}
+				// Double receive must fail.
+				if _, err := m.Recv(buf, m.Count(), Byte); ClassOf(err) != ErrRequest {
+					return fmt.Errorf("double mrecv: %v", err)
+				}
+				return nil
+			})
+		})
+	}
+}
+
+func TestMprobeExtractsFromMatching(t *testing.T) {
+	// After Improbe, the message must NOT match a posted receive; the
+	// second message must.
+	run(t, 2, Config{Fabric: "inf"}, func(p *Proc) error {
+		w := p.World()
+		if p.Rank() == 0 {
+			if err := w.Send([]byte{1}, 1, Byte, 1, 5); err != nil {
+				return err
+			}
+			return w.Send([]byte{2}, 1, Byte, 1, 5)
+		}
+		// Extract the first message.
+		m, err := w.Mprobe(0, 5)
+		if err != nil {
+			return err
+		}
+		// A normal receive now gets the SECOND message.
+		buf := make([]byte, 1)
+		if _, err := w.Recv(buf, 1, Byte, 0, 5); err != nil {
+			return err
+		}
+		if buf[0] != 2 {
+			return fmt.Errorf("recv after extraction got %d, want 2", buf[0])
+		}
+		// The extracted handle still delivers the first.
+		mb := make([]byte, 1)
+		if _, err := m.Recv(mb, 1, Byte); err != nil {
+			return err
+		}
+		if mb[0] != 1 {
+			return fmt.Errorf("mrecv got %d, want 1", mb[0])
+		}
+		return nil
+	})
+}
+
+func TestImprobeMiss(t *testing.T) {
+	run(t, 1, Config{}, func(p *Proc) error {
+		if m, ok, err := p.World().Improbe(0, 9); err != nil || ok || m != nil {
+			return fmt.Errorf("improbe on empty = (%v,%v,%v)", m, ok, err)
+		}
+		return nil
+	})
+}
+
+func TestMprobeWildcards(t *testing.T) {
+	run(t, 3, Config{Fabric: "ofi"}, func(p *Proc) error {
+		w := p.World()
+		if p.Rank() != 0 {
+			return w.Send([]byte{byte(p.Rank())}, 1, Byte, 0, 40+p.Rank())
+		}
+		seen := map[int]bool{}
+		for i := 0; i < 2; i++ {
+			m, err := w.Mprobe(AnySource, AnyTag)
+			if err != nil {
+				return err
+			}
+			buf := make([]byte, 1)
+			st, err := m.Recv(buf, 1, Byte)
+			if err != nil {
+				return err
+			}
+			if st.Tag != 40+st.Source || buf[0] != byte(st.Source) {
+				return fmt.Errorf("wildcard mprobe %+v %v", st, buf)
+			}
+			seen[st.Source] = true
+		}
+		if len(seen) != 2 {
+			return fmt.Errorf("sources %v", seen)
+		}
+		return nil
+	})
+}
+
+func TestMrecvDerivedType(t *testing.T) {
+	vec, err := TypeVector(2, 1, 2, Byte)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := vec.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	run(t, 2, Config{}, func(p *Proc) error {
+		w := p.World()
+		if p.Rank() == 0 {
+			return w.Send([]byte{'a', 'b'}, 2, Byte, 1, 0)
+		}
+		m, err := w.Mprobe(0, 0)
+		if err != nil {
+			return err
+		}
+		dst := bytes.Repeat([]byte{'.'}, 4)
+		if _, err := m.Recv(dst, 1, vec); err != nil {
+			return err
+		}
+		if string(dst) != "a.b." {
+			return fmt.Errorf("derived mrecv %q", dst)
+		}
+		return nil
+	})
+}
+
+func TestMrecvTruncation(t *testing.T) {
+	run(t, 2, Config{}, func(p *Proc) error {
+		w := p.World()
+		if p.Rank() == 0 {
+			return w.Send(make([]byte, 8), 8, Byte, 1, 0)
+		}
+		m, err := w.Mprobe(0, 0)
+		if err != nil {
+			return err
+		}
+		buf := make([]byte, 4)
+		if _, err := m.Recv(buf, 4, Byte); ClassOf(err) != ErrTruncate {
+			return fmt.Errorf("truncated mrecv: %v", err)
+		}
+		return nil
+	})
+}

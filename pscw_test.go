@@ -1,0 +1,246 @@
+package gompi
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+)
+
+func TestPSCWBasic(t *testing.T) {
+	for _, cfg := range []Config{
+		{Device: "ch4", Fabric: "ofi"},
+		{Device: "original", Fabric: "ofi"},
+	} {
+		t.Run(cfgName(cfg), func(t *testing.T) {
+			run(t, 3, cfg, func(p *Proc) error {
+				w := p.World()
+				win, mem, err := w.WinAllocate(16, 1)
+				if err != nil {
+					return err
+				}
+				// Ranks 1 and 2 put into rank 0's window under PSCW.
+				if p.Rank() == 0 {
+					if err := win.Post([]int{1, 2}); err != nil {
+						return err
+					}
+					if err := win.Wait(); err != nil {
+						return err
+					}
+					if !bytes.Equal(mem[:2], []byte{11, 12}) {
+						return fmt.Errorf("window after PSCW: %v", mem[:4])
+					}
+				} else {
+					if err := win.Start([]int{0}); err != nil {
+						return err
+					}
+					if err := win.Put([]byte{byte(10 + p.Rank())}, 1, Byte, 0, p.Rank()-1); err != nil {
+						return err
+					}
+					if err := win.Complete(); err != nil {
+						return err
+					}
+				}
+				if err := w.Barrier(); err != nil {
+					return err
+				}
+				return win.Free()
+			})
+		})
+	}
+}
+
+func TestPSCWSubsetDoesNotBlockOthers(t *testing.T) {
+	// Only ranks 0 and 1 synchronize; rank 2 never participates and
+	// must proceed untouched.
+	run(t, 3, Config{Fabric: "inf"}, func(p *Proc) error {
+		w := p.World()
+		win, mem, err := w.WinAllocate(8, 1)
+		if err != nil {
+			return err
+		}
+		switch p.Rank() {
+		case 0:
+			if err := win.Post([]int{1}); err != nil {
+				return err
+			}
+			if err := win.Wait(); err != nil {
+				return err
+			}
+			if mem[0] != 0x7A {
+				return fmt.Errorf("byte = %x", mem[0])
+			}
+		case 1:
+			if err := win.Start([]int{0}); err != nil {
+				return err
+			}
+			if err := win.Put([]byte{0x7A}, 1, Byte, 0, 0); err != nil {
+				return err
+			}
+			if err := win.Complete(); err != nil {
+				return err
+			}
+		case 2:
+			// Unsynchronized bystander.
+		}
+		if err := w.Barrier(); err != nil {
+			return err
+		}
+		return win.Free()
+	})
+}
+
+func TestPSCWRepeatedEpochs(t *testing.T) {
+	run(t, 2, Config{Fabric: "ucx"}, func(p *Proc) error {
+		w := p.World()
+		win, mem, err := w.WinAllocate(8, 1)
+		if err != nil {
+			return err
+		}
+		for epoch := 0; epoch < 5; epoch++ {
+			if p.Rank() == 0 {
+				if err := win.Post([]int{1}); err != nil {
+					return err
+				}
+				if err := win.Wait(); err != nil {
+					return err
+				}
+				if mem[0] != byte(epoch+1) {
+					return fmt.Errorf("epoch %d: byte %d", epoch, mem[0])
+				}
+			} else {
+				if err := win.Start([]int{0}); err != nil {
+					return err
+				}
+				if err := win.Put([]byte{byte(epoch + 1)}, 1, Byte, 0, 0); err != nil {
+					return err
+				}
+				if err := win.Complete(); err != nil {
+					return err
+				}
+			}
+		}
+		if err := w.Barrier(); err != nil {
+			return err
+		}
+		return win.Free()
+	})
+}
+
+func TestPSCWTimePropagation(t *testing.T) {
+	// The target's clock must absorb the origin's put timing through
+	// the complete token.
+	run(t, 2, Config{Fabric: "ofi"}, func(p *Proc) error {
+		w := p.World()
+		win, _, err := w.WinAllocate(8, 1)
+		if err != nil {
+			return err
+		}
+		if p.Rank() == 0 {
+			if err := win.Post([]int{1}); err != nil {
+				return err
+			}
+			if err := win.Wait(); err != nil {
+				return err
+			}
+			if p.VirtualCycles() < 2_000_000 {
+				return fmt.Errorf("target clock %d did not absorb origin time", p.VirtualCycles())
+			}
+		} else {
+			p.ChargeCompute(2_000_000) // origin runs long before the epoch
+			if err := win.Start([]int{0}); err != nil {
+				return err
+			}
+			if err := win.Put([]byte{1}, 1, Byte, 0, 0); err != nil {
+				return err
+			}
+			if err := win.Complete(); err != nil {
+				return err
+			}
+		}
+		if err := w.Barrier(); err != nil {
+			return err
+		}
+		return win.Free()
+	})
+}
+
+func TestPSCWStateValidation(t *testing.T) {
+	run(t, 2, Config{}, func(p *Proc) error {
+		w := p.World()
+		win, _, err := w.WinAllocate(8, 1)
+		if err != nil {
+			return err
+		}
+		if err := win.Complete(); ClassOf(err) != ErrRMASync {
+			return fmt.Errorf("complete without start: %v", err)
+		}
+		if err := win.Wait(); ClassOf(err) != ErrRMASync {
+			return fmt.Errorf("wait without post: %v", err)
+		}
+		if p.Rank() == 0 {
+			if err := win.Post([]int{1}); err != nil {
+				return err
+			}
+			if err := win.Post([]int{1}); ClassOf(err) != ErrRMASync {
+				return fmt.Errorf("double post: %v", err)
+			}
+		} else {
+			if err := win.Start([]int{0}); err != nil {
+				return err
+			}
+			if err := win.Complete(); err != nil {
+				return err
+			}
+		}
+		if p.Rank() == 0 {
+			if err := win.Wait(); err != nil {
+				return err
+			}
+		}
+		if err := w.Barrier(); err != nil {
+			return err
+		}
+		return win.Free()
+	})
+}
+
+func TestPSCWTestWait(t *testing.T) {
+	run(t, 2, Config{Fabric: "inf"}, func(p *Proc) error {
+		w := p.World()
+		win, mem, err := w.WinAllocate(8, 1)
+		if err != nil {
+			return err
+		}
+		if p.Rank() == 0 {
+			if err := win.Post([]int{1}); err != nil {
+				return err
+			}
+			for {
+				done, err := win.TestWait()
+				if err != nil {
+					return err
+				}
+				if done {
+					break
+				}
+			}
+			if mem[0] != 0x42 {
+				return fmt.Errorf("byte %x", mem[0])
+			}
+		} else {
+			if err := win.Start([]int{0}); err != nil {
+				return err
+			}
+			if err := win.Put([]byte{0x42}, 1, Byte, 0, 0); err != nil {
+				return err
+			}
+			if err := win.Complete(); err != nil {
+				return err
+			}
+		}
+		if err := w.Barrier(); err != nil {
+			return err
+		}
+		return win.Free()
+	})
+}

@@ -1,0 +1,426 @@
+package gompi
+
+import (
+	"gompi/internal/core"
+	"gompi/internal/request"
+)
+
+// trace kind aliases keep the hot paths free of package-qualified
+// constants.
+const (
+	traceSendKind = TraceSend
+	traceRecvKind = TraceRecv
+	traceWaitKind = TraceWait
+)
+
+// traceBytes sizes a traced payload without assuming the (not yet
+// validated) datatype is non-nil.
+func traceBytes(count int, dt *Datatype) int {
+	if dt == nil || count < 0 {
+		return 0
+	}
+	return count * dt.Size()
+}
+
+// Special rank and tag values.
+const (
+	// ProcNull is MPI_PROC_NULL: communication addressed to it is
+	// discarded.
+	ProcNull = core.ProcNull
+	// AnySource is the MPI_ANY_SOURCE receive wildcard.
+	AnySource = core.AnySource
+	// AnyTag is the MPI_ANY_TAG receive wildcard.
+	AnyTag = core.AnyTag
+)
+
+// Status reports a completed operation's envelope (MPI_Status).
+type Status struct {
+	Source int
+	Tag    int
+	Count  int // bytes delivered
+}
+
+// GetCount returns the number of dt elements the operation delivered
+// (MPI_GET_COUNT): UndefinedIndex when the byte count is not a whole
+// number of elements.
+func (st Status) GetCount(dt *Datatype) int {
+	if dt == nil || dt.Size() == 0 {
+		if st.Count == 0 {
+			return 0
+		}
+		return UndefinedIndex
+	}
+	if st.Count%dt.Size() != 0 {
+		return UndefinedIndex
+	}
+	return st.Count / dt.Size()
+}
+
+// Request tracks a nonblocking operation (MPI_Request).
+type Request struct {
+	r *request.Request
+	p *Proc
+}
+
+// Wait blocks until the operation completes (MPI_WAIT).
+func (r *Request) Wait() (Status, error) {
+	if r == nil || r.r == nil {
+		return Status{}, nil // requestless (no-req) operations
+	}
+	if r.p != nil {
+		if end := r.p.span(traceWaitKind, -1, 0); end != nil {
+			defer end()
+		}
+	}
+	r.r.Wait()
+	st := r.r.Status
+	err := statusErr(st.Truncated)
+	r.r.Free()
+	r.r = nil
+	return Status{Source: st.Source, Tag: st.Tag, Count: st.Count}, err
+}
+
+// Test polls the operation (MPI_TEST).
+func (r *Request) Test() (Status, bool, error) {
+	if r == nil || r.r == nil {
+		return Status{}, true, nil
+	}
+	if !r.r.Done() {
+		return Status{}, false, nil
+	}
+	st := r.r.Status
+	err := statusErr(st.Truncated)
+	r.r.Free()
+	r.r = nil
+	return Status{Source: st.Source, Tag: st.Tag, Count: st.Count}, true, err
+}
+
+// Waitall completes every request (MPI_WAITALL). The first error is
+// returned after all requests finish.
+func Waitall(reqs []*Request) error {
+	var first error
+	for _, r := range reqs {
+		if _, err := r.Wait(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// isend is the shared MPI-layer send path: charge the MPI-layer rows of
+// Table 1 (call, thread check, error checking) and descend into the
+// device with the extension flags.
+func (c *Comm) isend(buf []byte, count int, dt *Datatype, dest, tag int, flags core.OpFlags) (*Request, error) {
+	p := c.p
+	if end := p.span(traceSendKind, dest, traceBytes(count, dt)); end != nil {
+		defer end()
+	}
+	p.chargeCall()
+	unlock := p.chargeThread(c.c, false)
+	defer unlock()
+	if p.bc.ErrorChecking {
+		if err := p.checkSendArgs(buf, count, dt, dest, tag, c, false); err != nil {
+			return nil, err
+		}
+	}
+	r, err := p.dev.Isend(buf, count, dt, dest, tag, c.c, flags)
+	if err != nil {
+		return nil, errc(ErrOther, "%v", err)
+	}
+	if r == nil {
+		return nil, nil
+	}
+	return &Request{r: r, p: p}, nil
+}
+
+// Isend starts a nonblocking send (MPI_ISEND).
+func (c *Comm) Isend(buf []byte, count int, dt *Datatype, dest, tag int) (*Request, error) {
+	return c.isend(buf, count, dt, dest, tag, 0)
+}
+
+// Send performs a blocking send (MPI_SEND). The eager protocol makes
+// local completion immediate.
+func (c *Comm) Send(buf []byte, count int, dt *Datatype, dest, tag int) error {
+	req, err := c.Isend(buf, count, dt, dest, tag)
+	if err != nil {
+		return err
+	}
+	_, err = req.Wait()
+	return err
+}
+
+// IsendGlobal is the MPI_ISEND_GLOBAL proposal (Section 3.1): dest is
+// an MPI_COMM_WORLD rank and communicator rank translation is skipped.
+// Not intercommunicator-safe, exactly as the paper specifies.
+func (c *Comm) IsendGlobal(buf []byte, count int, dt *Datatype, worldDest, tag int) (*Request, error) {
+	return c.isend(buf, count, dt, worldDest, tag, core.FlagGlobalRank)
+}
+
+// IsendNPN is the MPI_ISEND_NPN proposal (Section 3.4): the caller
+// guarantees dest is not MPI_PROC_NULL, eliding the check.
+func (c *Comm) IsendNPN(buf []byte, count int, dt *Datatype, dest, tag int) (*Request, error) {
+	return c.isend(buf, count, dt, dest, tag, core.FlagNoProcNull)
+}
+
+// IsendNoReq is the MPI_ISEND_NOREQ proposal (Section 3.5): no request
+// object is returned; completion is collected by CommWaitall.
+func (c *Comm) IsendNoReq(buf []byte, count int, dt *Datatype, dest, tag int) error {
+	_, err := c.isend(buf, count, dt, dest, tag, core.FlagNoReq)
+	return err
+}
+
+// IsendNoMatch is the MPI_ISEND_NOMATCH proposal (Section 3.6): source
+// and tag match bits are disabled; the message matches receives in
+// arrival order within the communicator.
+func (c *Comm) IsendNoMatch(buf []byte, count int, dt *Datatype, dest int) (*Request, error) {
+	return c.isend(buf, count, dt, dest, 0, core.FlagNoMatch)
+}
+
+// SendOptions combines the Section 3 proposals for one send. The
+// paper's proposals compose (Section 3.7); IsendOpt lets applications
+// opt into any subset.
+type SendOptions struct {
+	// GlobalRank: dest is an MPI_COMM_WORLD rank (Section 3.1).
+	GlobalRank bool
+	// NoProcNull: dest is guaranteed not MPI_PROC_NULL (Section 3.4).
+	NoProcNull bool
+	// NoReq: no request object; complete via CommWaitall (Section 3.5).
+	NoReq bool
+	// NoMatch: arrival-order matching (Section 3.6).
+	NoMatch bool
+}
+
+func (o SendOptions) flags() core.OpFlags {
+	var f core.OpFlags
+	if o.GlobalRank {
+		f |= core.FlagGlobalRank
+	}
+	if o.NoProcNull {
+		f |= core.FlagNoProcNull
+	}
+	if o.NoReq {
+		f |= core.FlagNoReq
+	}
+	if o.NoMatch {
+		f |= core.FlagNoMatch
+	}
+	return f
+}
+
+// IsendOpt starts a nonblocking send with any combination of the
+// proposed extensions. Under NoReq the returned request is nil (use
+// CommWaitall).
+func (c *Comm) IsendOpt(buf []byte, count int, dt *Datatype, dest, tag int, o SendOptions) (*Request, error) {
+	return c.isend(buf, count, dt, dest, tag, o.flags())
+}
+
+// IsendPredef sends on a communicator installed in a predefined handle
+// slot (Section 3.3): the communicator reference is a constant-indexed
+// global load.
+func (p *Proc) IsendPredef(h CommHandle, buf []byte, count int, dt *Datatype, dest, tag int) (*Request, error) {
+	c := p.predef[h]
+	if c == nil {
+		return nil, errc(ErrComm, "predefined handle %d not populated", h)
+	}
+	return c.isend(buf, count, dt, dest, tag, core.FlagPredefComm)
+}
+
+// IsendAllOpts is the MPI_ISEND_ALL_OPTS path (Section 3.7): every
+// proposal fused — world-rank destination, predefined communicator
+// handle, no PROC_NULL, counter completion, arrival-order matching.
+// With the inlined build this is the 16-instruction path.
+func (p *Proc) IsendAllOpts(h CommHandle, buf []byte, worldDest int) error {
+	c := p.predef[h]
+	if c == nil {
+		return errc(ErrComm, "predefined handle %d not populated", h)
+	}
+	// No call-frame or validation charges: the all-opts path is
+	// defined as a link-time-inlined specialized function.
+	if err := p.dev.IsendAllOpts(buf, worldDest, c.c); err != nil {
+		return errc(ErrOther, "%v", err)
+	}
+	return nil
+}
+
+// CommWaitall completes all requestless operations on the communicator
+// (the MPI_COMM_WAITALL proposal).
+func (c *Comm) CommWaitall() error {
+	if err := c.p.dev.CommWaitall(c.c); err != nil {
+		return errc(ErrOther, "%v", err)
+	}
+	return nil
+}
+
+// irecv is the shared MPI-layer receive path.
+func (c *Comm) irecv(buf []byte, count int, dt *Datatype, src, tag int, flags core.OpFlags) (*Request, error) {
+	p := c.p
+	if end := p.span(traceRecvKind, src, traceBytes(count, dt)); end != nil {
+		defer end()
+	}
+	p.chargeCall()
+	unlock := p.chargeThread(c.c, false)
+	defer unlock()
+	if p.bc.ErrorChecking {
+		if err := p.checkSendArgs(buf, count, dt, src, tag, c, true); err != nil {
+			return nil, err
+		}
+	}
+	r, err := p.dev.Irecv(buf, count, dt, src, tag, c.c, flags)
+	if err != nil {
+		return nil, errc(ErrOther, "%v", err)
+	}
+	return &Request{r: r, p: p}, nil
+}
+
+// Irecv starts a nonblocking receive (MPI_IRECV). src may be AnySource;
+// tag may be AnyTag.
+func (c *Comm) Irecv(buf []byte, count int, dt *Datatype, src, tag int) (*Request, error) {
+	return c.irecv(buf, count, dt, src, tag, 0)
+}
+
+// Recv performs a blocking receive (MPI_RECV).
+func (c *Comm) Recv(buf []byte, count int, dt *Datatype, src, tag int) (Status, error) {
+	req, err := c.Irecv(buf, count, dt, src, tag)
+	if err != nil {
+		return Status{}, err
+	}
+	return req.Wait()
+}
+
+// RecvNoMatch receives the next message in arrival order within the
+// communicator (the receive side of the no-match proposal).
+func (c *Comm) RecvNoMatch(buf []byte, count int, dt *Datatype) (Status, error) {
+	req, err := c.irecv(buf, count, dt, AnySource, AnyTag, core.FlagNoMatch)
+	if err != nil {
+		return Status{}, err
+	}
+	return req.Wait()
+}
+
+// Iprobe checks for a matchable message without receiving it
+// (MPI_IPROBE).
+func (c *Comm) Iprobe(src, tag int) (Status, bool, error) {
+	st, ok, err := c.p.dev.Iprobe(src, tag, c.c)
+	if err != nil {
+		return Status{}, false, errc(ErrOther, "%v", err)
+	}
+	return Status{Source: st.Source, Tag: st.Tag, Count: st.Count}, ok, nil
+}
+
+// Probe blocks until a matchable message is available (MPI_PROBE).
+// The wait is event-driven: the rank parks between transport events
+// instead of spinning.
+func (c *Comm) Probe(src, tag int) (Status, error) {
+	for {
+		seq := c.p.dev.EventSeq()
+		st, ok, err := c.Iprobe(src, tag)
+		if err != nil || ok {
+			return st, err
+		}
+		c.p.dev.WaitEvent(seq)
+	}
+}
+
+// SendrecvReplace exchanges in place (MPI_SENDRECV_REPLACE): the buffer
+// is sent to dest, then overwritten by the message from src.
+func (c *Comm) SendrecvReplace(buf []byte, count int, dt *Datatype, dest, sendTag, src, recvTag int) (Status, error) {
+	sreq, err := c.Isend(buf, count, dt, dest, sendTag)
+	if err != nil {
+		return Status{}, err
+	}
+	// Eager semantics: the payload was captured at injection, so
+	// receiving into the same buffer is safe.
+	st, err := c.Recv(buf, count, dt, src, recvTag)
+	if err != nil {
+		return st, err
+	}
+	_, err = sreq.Wait()
+	return st, err
+}
+
+// Message is a matched-probe handle (MPI_Message): a message removed
+// from matching by Improbe/Mprobe, to be received exactly once with
+// Recv.
+type Message struct {
+	p       *Proc
+	data    []byte
+	src     int
+	tag     int
+	arrival int64
+}
+
+// Improbe extracts a matchable message without receiving it
+// (MPI_IMPROBE). Once extracted, the message can no longer match any
+// other receive; consume it with Message.Recv.
+func (c *Comm) Improbe(src, tag int) (*Message, bool, error) {
+	data, st, arrival, ok, err := c.p.dev.Improbe(src, tag, c.c)
+	if err != nil {
+		return nil, false, errc(ErrOther, "%v", err)
+	}
+	if !ok {
+		return nil, false, nil
+	}
+	return &Message{p: c.p, data: data, src: st.Source, tag: st.Tag, arrival: int64(arrival)}, true, nil
+}
+
+// Mprobe blocks until a matchable message can be extracted
+// (MPI_MPROBE).
+func (c *Comm) Mprobe(src, tag int) (*Message, error) {
+	for {
+		seq := c.p.dev.EventSeq()
+		m, ok, err := c.Improbe(src, tag)
+		if err != nil || ok {
+			return m, err
+		}
+		c.p.dev.WaitEvent(seq)
+	}
+}
+
+// Count returns the extracted message's payload size in bytes.
+func (m *Message) Count() int { return len(m.data) }
+
+// Recv consumes the extracted message into buf (MPI_MRECV). The
+// message handle is dead afterward.
+func (m *Message) Recv(buf []byte, count int, dt *Datatype) (Status, error) {
+	if m.data == nil && m.p == nil {
+		return Status{}, errc(ErrRequest, "message already received")
+	}
+	m.p.rank.Sync(vtimeFromInt(m.arrival))
+	st := Status{Source: m.src, Tag: m.tag, Count: len(m.data)}
+	var err error
+	if view, ok := dtContigView(dt, count, buf); ok {
+		if copy(view, m.data) < len(m.data) {
+			err = statusErr(true)
+		}
+	} else {
+		need := dtPackedSize(dt, count)
+		if need < len(m.data) {
+			err = statusErr(true)
+		}
+		n := len(m.data)
+		if need < n {
+			n = need
+		}
+		if _, uerr := dtUnpack(dt, count, m.data[:n], buf); uerr != nil && err == nil {
+			err = errc(ErrType, "%v", uerr)
+		}
+	}
+	m.p, m.data = nil, nil
+	return st, err
+}
+
+// Sendrecv exchanges messages in one call (MPI_SENDRECV): the send is
+// issued first (eager, never blocks), then the receive completes.
+func (c *Comm) Sendrecv(sendBuf []byte, sendCount int, sendType *Datatype, dest, sendTag int,
+	recvBuf []byte, recvCount int, recvType *Datatype, src, recvTag int) (Status, error) {
+	sreq, err := c.Isend(sendBuf, sendCount, sendType, dest, sendTag)
+	if err != nil {
+		return Status{}, err
+	}
+	st, err := c.Recv(recvBuf, recvCount, recvType, src, recvTag)
+	if err != nil {
+		return st, err
+	}
+	_, err = sreq.Wait()
+	return st, err
+}

@@ -1,0 +1,301 @@
+package gompi
+
+import (
+	"gompi/internal/core"
+	"gompi/internal/rma"
+)
+
+// rmaEpochLock aliases the internal epoch kind for the LockAll
+// bookkeeping.
+const rmaEpochLock = rma.EpochLock
+
+// Win is a one-sided communication window (MPI_Win).
+type Win struct {
+	p *Proc
+	w *rma.Win
+}
+
+// VAddr is a remote virtual address for the MPI_PUT_VIRTUAL_ADDR
+// proposal and dynamic windows.
+type VAddr = rma.VAddr
+
+// WinCreate collectively exposes mem over the communicator with the
+// given displacement unit (MPI_WIN_CREATE).
+func (c *Comm) WinCreate(mem []byte, dispUnit int) (*Win, error) {
+	if err := c.p.checkComm(c); err != nil {
+		return nil, err
+	}
+	w, err := c.p.dev.WinCreate(mem, dispUnit, c.c)
+	if err != nil {
+		return nil, errc(ErrWin, "%v", err)
+	}
+	return &Win{p: c.p, w: w}, nil
+}
+
+// WinAllocate allocates size bytes and exposes them
+// (MPI_WIN_ALLOCATE). Returns the window and the local memory.
+func (c *Comm) WinAllocate(size, dispUnit int) (*Win, []byte, error) {
+	mem := make([]byte, size)
+	w, err := c.WinCreate(mem, dispUnit)
+	if err != nil {
+		return nil, nil, err
+	}
+	return w, mem, nil
+}
+
+// WinCreateDynamic collectively creates a window with no initial memory
+// (MPI_WIN_CREATE_DYNAMIC); Attach exposes regions.
+func (c *Comm) WinCreateDynamic() (*Win, error) {
+	if err := c.p.checkComm(c); err != nil {
+		return nil, err
+	}
+	w, err := c.p.dev.WinCreateDynamic(c.c)
+	if err != nil {
+		return nil, errc(ErrWin, "%v", err)
+	}
+	return &Win{p: c.p, w: w}, nil
+}
+
+// winAttacher is implemented by devices supporting dynamic windows.
+type winAttacher interface {
+	WinAttach(w *rma.Win, mem []byte) (rma.VAddr, error)
+	WinDetach(w *rma.Win, mem []byte, va rma.VAddr) error
+}
+
+// Attach exposes mem through a dynamic window (MPI_WIN_ATTACH) and
+// returns its remote virtual address (what MPI_GET_ADDRESS would hand
+// the application to distribute).
+func (w *Win) Attach(mem []byte) (VAddr, error) {
+	att, ok := w.p.dev.(winAttacher)
+	if !ok {
+		return 0, errc(ErrWin, "device does not support dynamic windows")
+	}
+	va, err := att.WinAttach(w.w, mem)
+	if err != nil {
+		return 0, errc(ErrWin, "%v", err)
+	}
+	return va, nil
+}
+
+// Detach revokes an attachment (MPI_WIN_DETACH).
+func (w *Win) Detach(mem []byte, va VAddr) error {
+	att, ok := w.p.dev.(winAttacher)
+	if !ok {
+		return errc(ErrWin, "device does not support dynamic windows")
+	}
+	if err := att.WinDetach(w.w, mem, va); err != nil {
+		return errc(ErrWin, "%v", err)
+	}
+	return nil
+}
+
+// Free collectively releases the window (MPI_WIN_FREE).
+func (w *Win) Free() error {
+	if err := w.p.dev.WinFree(w.w); err != nil {
+		return errc(ErrWin, "%v", err)
+	}
+	return nil
+}
+
+// Mem returns the locally exposed memory.
+func (w *Win) Mem() []byte { return w.w.Mem }
+
+// BaseAddr returns the virtual address of byte 0 of target's window,
+// for applications adopting the virtual-address proposal.
+func (w *Win) BaseAddr(target int) VAddr { return w.w.BaseAddr(target) }
+
+// rmaEnter charges the MPI-layer costs of a one-sided call.
+func (w *Win) rmaEnter(origin []byte, count int, dt *Datatype, target, disp int) error {
+	p := w.p
+	p.chargeCall()
+	unlock := p.chargeThread(nil, true)
+	defer unlock()
+	if p.bc.ErrorChecking {
+		return p.checkRMAArgs(origin, count, dt, target, disp, w)
+	}
+	return nil
+}
+
+// Put transfers count elements of dt from origin into target's window
+// at displacement disp (MPI_PUT).
+func (w *Win) Put(origin []byte, count int, dt *Datatype, target, disp int) error {
+	if end := w.p.span(TracePut, target, traceBytes(count, dt)); end != nil {
+		defer end()
+	}
+	if err := w.rmaEnter(origin, count, dt, target, disp); err != nil {
+		return err
+	}
+	if err := w.p.dev.Put(origin, count, dt, target, disp, w.w, 0); err != nil {
+		return errc(ErrWin, "%v", err)
+	}
+	return nil
+}
+
+// PutVirtualAddr is the MPI_PUT_VIRTUAL_ADDR proposal (Section 3.2):
+// the target location is a virtual address the application tracked, so
+// the displacement-unit scaling and base dereference are skipped. Works
+// on every window flavor, removing the dynamic-window disadvantages the
+// paper describes.
+func (w *Win) PutVirtualAddr(origin []byte, count int, dt *Datatype, target int, addr VAddr) error {
+	if err := w.rmaEnter(origin, count, dt, target, int(addr)); err != nil {
+		return err
+	}
+	if err := w.p.dev.Put(origin, count, dt, target, int(addr), w.w, core.FlagVirtAddr); err != nil {
+		return errc(ErrWin, "%v", err)
+	}
+	return nil
+}
+
+// Get transfers from the target window into origin (MPI_GET).
+func (w *Win) Get(origin []byte, count int, dt *Datatype, target, disp int) error {
+	if end := w.p.span(TraceGet, target, traceBytes(count, dt)); end != nil {
+		defer end()
+	}
+	if err := w.rmaEnter(origin, count, dt, target, disp); err != nil {
+		return err
+	}
+	if err := w.p.dev.Get(origin, count, dt, target, disp, w.w, 0); err != nil {
+		return errc(ErrWin, "%v", err)
+	}
+	return nil
+}
+
+// GetVirtualAddr is the get-side virtual-address fast path.
+func (w *Win) GetVirtualAddr(origin []byte, count int, dt *Datatype, target int, addr VAddr) error {
+	if err := w.rmaEnter(origin, count, dt, target, int(addr)); err != nil {
+		return err
+	}
+	if err := w.p.dev.Get(origin, count, dt, target, int(addr), w.w, core.FlagVirtAddr); err != nil {
+		return errc(ErrWin, "%v", err)
+	}
+	return nil
+}
+
+// Accumulate folds origin into the target window with op
+// (MPI_ACCUMULATE). Elementwise atomicity matches MPI semantics.
+func (w *Win) Accumulate(origin []byte, count int, dt *Datatype, target, disp int, op Op) error {
+	if end := w.p.span(TraceAcc, target, traceBytes(count, dt)); end != nil {
+		defer end()
+	}
+	if err := w.rmaEnter(origin, count, dt, target, disp); err != nil {
+		return err
+	}
+	if err := w.p.dev.Accumulate(origin, count, dt, target, disp, op, w.w, 0); err != nil {
+		return errc(ErrWin, "%v", err)
+	}
+	return nil
+}
+
+// GetAccumulate atomically fetches the prior target contents into
+// result and folds origin in (MPI_GET_ACCUMULATE).
+func (w *Win) GetAccumulate(origin, result []byte, count int, dt *Datatype, target, disp int, op Op) error {
+	if err := w.rmaEnter(origin, count, dt, target, disp); err != nil {
+		return err
+	}
+	if err := w.p.dev.GetAccumulate(origin, result, count, dt, target, disp, op, w.w, 0); err != nil {
+		return errc(ErrWin, "%v", err)
+	}
+	return nil
+}
+
+// FetchAndOp is the single-element MPI_FETCH_AND_OP convenience.
+func (w *Win) FetchAndOp(origin, result []byte, dt *Datatype, target, disp int, op Op) error {
+	return w.GetAccumulate(origin, result, 1, dt, target, disp, op)
+}
+
+// Fence closes the current epoch and opens the next (MPI_WIN_FENCE).
+func (w *Win) Fence() error {
+	if end := w.p.span(TraceSync, -1, 0); end != nil {
+		defer end()
+	}
+	w.p.chargeCall()
+	unlock := w.p.chargeThread(nil, true)
+	defer unlock()
+	if err := w.p.dev.Fence(w.w); err != nil {
+		return errc(ErrRMASync, "%v", err)
+	}
+	return nil
+}
+
+// FenceEnd closes the fence epoch sequence without opening another
+// (MPI_WIN_FENCE with MPI_MODE_NOSUCCEED); required before switching
+// to passive-target synchronization.
+func (w *Win) FenceEnd() error {
+	w.p.chargeCall()
+	unlock := w.p.chargeThread(nil, true)
+	defer unlock()
+	if err := w.p.dev.FenceEnd(w.w); err != nil {
+		return errc(ErrRMASync, "%v", err)
+	}
+	return nil
+}
+
+// Lock opens a passive-target epoch on target (MPI_WIN_LOCK).
+func (w *Win) Lock(target int, exclusive bool) error {
+	if err := w.p.dev.Lock(w.w, target, exclusive); err != nil {
+		return errc(ErrRMASync, "%v", err)
+	}
+	return nil
+}
+
+// LockAll opens a shared passive-target epoch on every rank
+// (MPI_WIN_LOCK_ALL): the window becomes accessible everywhere until
+// UnlockAll, the MPI-3 idiom for long-lived one-sided phases.
+func (w *Win) LockAll() error {
+	size := w.w.Comm.Size()
+	for target := 0; target < size; target++ {
+		if err := w.p.dev.Lock(w.w, target, false); err != nil {
+			return errc(ErrRMASync, "%v", err)
+		}
+		// The epoch tracker only holds one target; widen it manually.
+		if target < size-1 {
+			if _, err := w.w.CloseEpoch(); err != nil {
+				return errc(ErrRMASync, "%v", err)
+			}
+		}
+	}
+	w.w.SetAccessGroup(allRanks(size))
+	return nil
+}
+
+// UnlockAll flushes and closes the LockAll epoch (MPI_WIN_UNLOCK_ALL).
+func (w *Win) UnlockAll() error {
+	size := w.w.Comm.Size()
+	// Flush everything, then release each shared lock.
+	for target := size - 1; target >= 0; target-- {
+		if target < size-1 {
+			if err := w.w.OpenEpoch(rmaEpochLock, target); err != nil {
+				return errc(ErrRMASync, "%v", err)
+			}
+		}
+		if err := w.p.dev.Unlock(w.w, target); err != nil {
+			return errc(ErrRMASync, "%v", err)
+		}
+	}
+	return nil
+}
+
+func allRanks(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+// Unlock flushes and closes the passive epoch (MPI_WIN_UNLOCK).
+func (w *Win) Unlock(target int) error {
+	if err := w.p.dev.Unlock(w.w, target); err != nil {
+		return errc(ErrRMASync, "%v", err)
+	}
+	return nil
+}
+
+// Flush completes outstanding operations to target without closing the
+// epoch (MPI_WIN_FLUSH).
+func (w *Win) Flush(target int) error {
+	if err := w.p.dev.Flush(w.w, target); err != nil {
+		return errc(ErrRMASync, "%v", err)
+	}
+	return nil
+}

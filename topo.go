@@ -1,0 +1,134 @@
+package gompi
+
+import (
+	"gompi/internal/topo"
+)
+
+// CartComm is a communicator with an attached Cartesian topology
+// (MPI_CART_CREATE). It embeds the communicator, so all communication
+// calls work directly on it.
+type CartComm struct {
+	*Comm
+	cart *topo.Cart
+}
+
+// DimsCreate factors nnodes into ndims balanced extents
+// (MPI_DIMS_CREATE). Nonzero entries of hints are kept fixed.
+func DimsCreate(nnodes, ndims int, hints []int) ([]int, error) {
+	dims, err := topo.DimsCreate(nnodes, ndims, hints)
+	if err != nil {
+		return nil, errc(ErrArg, "%v", err)
+	}
+	return dims, nil
+}
+
+// CartCreate attaches a Cartesian topology to a duplicate of the
+// communicator (MPI_CART_CREATE). The grid must exactly cover the
+// communicator; rank reordering is not performed (reorder=false
+// semantics). Collective.
+func (c *Comm) CartCreate(dims []int, periodic []bool) (*CartComm, error) {
+	if err := c.p.checkComm(c); err != nil {
+		return nil, err
+	}
+	cart, err := topo.NewCart(dims, periodic)
+	if err != nil {
+		return nil, errc(ErrArg, "%v", err)
+	}
+	if cart.Size() != c.Size() {
+		return nil, errc(ErrArg, "grid %v has %d positions, communicator has %d ranks",
+			dims, cart.Size(), c.Size())
+	}
+	dup, err := c.Dup()
+	if err != nil {
+		return nil, err
+	}
+	return &CartComm{Comm: dup, cart: cart}, nil
+}
+
+// Dims returns the grid extents.
+func (c *CartComm) Dims() []int { return c.cart.Dims() }
+
+// Coords returns the calling rank's grid coordinates (MPI_CART_COORDS
+// on the own rank).
+func (c *CartComm) Coords() []int {
+	coords, _ := c.cart.Coords(c.Rank())
+	return coords
+}
+
+// CoordsOf returns any rank's coordinates.
+func (c *CartComm) CoordsOf(rank int) ([]int, error) {
+	coords, err := c.cart.Coords(rank)
+	if err != nil {
+		return nil, errc(ErrRank, "%v", err)
+	}
+	return coords, nil
+}
+
+// CartRank returns the rank at the given coordinates (MPI_CART_RANK),
+// wrapping periodic dimensions.
+func (c *CartComm) CartRank(coords []int) (int, error) {
+	r, err := c.cart.Rank(coords)
+	if err != nil {
+		return -1, errc(ErrArg, "%v", err)
+	}
+	return r, nil
+}
+
+// Shift returns (src, dst) for a displacement along dim
+// (MPI_CART_SHIFT): the caller receives from src and sends to dst;
+// ProcNull marks a non-periodic boundary — ready to pass straight to
+// Send/Recv, which is the application pattern the paper's PROC_NULL
+// analysis (Section 3.4) describes.
+func (c *CartComm) Shift(dim, disp int) (src, dst int, err error) {
+	src, dst, err = c.cart.Shift(c.Rank(), dim, disp)
+	if err != nil {
+		return ProcNull, ProcNull, errc(ErrArg, "%v", err)
+	}
+	return src, dst, nil
+}
+
+// Neighbors returns the 2*ndims nearest neighbors (low, high per
+// dimension), ProcNull at non-periodic boundaries.
+func (c *CartComm) Neighbors() []int {
+	nb, _ := c.cart.Neighbors(c.Rank())
+	return nb
+}
+
+// NeighborAllgather exchanges one equal-size block with every nearest
+// neighbor (MPI_NEIGHBOR_ALLGATHER on the Cartesian topology): recv
+// holds 2*ndims blocks in Neighbors() order; blocks from ProcNull
+// neighbors are zeroed.
+func (c *CartComm) NeighborAllgather(send, recv []byte, count int, dt *Datatype) error {
+	n := count * dt.Size()
+	nb := c.Neighbors()
+	if len(recv) < n*len(nb) {
+		return errc(ErrBuffer, "neighbor allgather recv %d < %d", len(recv), n*len(nb))
+	}
+	// Send to every live neighbor with a direction-coded tag, then
+	// receive; eager sends keep this deadlock-free. The tag encodes
+	// the direction so paired neighbors in small periodic grids (where
+	// low == high) stay distinguishable: my send in direction d is the
+	// peer's receive from its opposite direction.
+	const tagBase = 600
+	for d, peer := range nb {
+		if peer == ProcNull {
+			continue
+		}
+		if err := c.IsendNoReq(send[:n], count, dt, peer, tagBase+(d^1)); err != nil {
+			return err
+		}
+	}
+	for d, peer := range nb {
+		blk := recv[d*n : (d+1)*n]
+		if peer == ProcNull {
+			for i := range blk {
+				blk[i] = 0
+			}
+			continue
+		}
+		if _, err := c.Recv(blk, count, dt, peer, tagBase+d); err != nil {
+			return err
+		}
+	}
+	return c.CommWaitall()
+}

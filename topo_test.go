@@ -1,0 +1,144 @@
+package gompi
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestDimsCreatePublic(t *testing.T) {
+	dims, err := DimsCreate(12, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dims[0]*dims[1] != 12 {
+		t.Errorf("dims %v", dims)
+	}
+	if _, err := DimsCreate(0, 2, nil); ClassOf(err) != ErrArg {
+		t.Error("bad nnodes accepted")
+	}
+}
+
+func TestCartCreateValidation(t *testing.T) {
+	run(t, 4, Config{}, func(p *Proc) error {
+		w := p.World()
+		if _, err := w.CartCreate([]int{3, 2}, []bool{false, false}); ClassOf(err) != ErrArg {
+			return fmt.Errorf("oversized grid accepted")
+		}
+		cart, err := w.CartCreate([]int{2, 2}, []bool{false, true})
+		if err != nil {
+			return err
+		}
+		if cart.Size() != 4 || len(cart.Dims()) != 2 {
+			return fmt.Errorf("cart comm wrong: %v", cart.Dims())
+		}
+		return nil
+	})
+}
+
+func TestCartCoordsAndShift(t *testing.T) {
+	run(t, 6, Config{}, func(p *Proc) error {
+		w := p.World()
+		cart, err := w.CartCreate([]int{3, 2}, []bool{true, false})
+		if err != nil {
+			return err
+		}
+		coords := cart.Coords()
+		back, err := cart.CartRank(coords)
+		if err != nil || back != p.Rank() {
+			return fmt.Errorf("coords round trip: %v -> %d", coords, back)
+		}
+		// Dim 0 is periodic: no ProcNull.
+		src, dst, err := cart.Shift(0, 1)
+		if err != nil || src == ProcNull || dst == ProcNull {
+			return fmt.Errorf("periodic shift = (%d,%d,%v)", src, dst, err)
+		}
+		// Dim 1 is not: edges see ProcNull.
+		src, dst, err = cart.Shift(1, 1)
+		if err != nil {
+			return err
+		}
+		if coords[1] == 0 && src != ProcNull {
+			return fmt.Errorf("low edge src = %d", src)
+		}
+		if coords[1] == 1 && dst != ProcNull {
+			return fmt.Errorf("high edge dst = %d", dst)
+		}
+		return nil
+	})
+}
+
+func TestCartShiftExchangeWithProcNull(t *testing.T) {
+	// The canonical stencil pattern: Sendrecv along each dimension with
+	// the shift's (src,dst), relying on PROC_NULL at the edges.
+	run(t, 4, Config{Fabric: "ofi"}, func(p *Proc) error {
+		cart, err := p.World().CartCreate([]int{4}, []bool{false})
+		if err != nil {
+			return err
+		}
+		src, dst, err := cart.Shift(0, 1)
+		if err != nil {
+			return err
+		}
+		out := []byte{byte(p.Rank())}
+		in := []byte{0xFF}
+		if _, err := cart.Sendrecv(out, 1, Byte, dst, 5, in, 1, Byte, src, 5); err != nil {
+			return err
+		}
+		if p.Rank() == 0 {
+			// Received from ProcNull: untouched count 0; value stays.
+			if in[0] != 0xFF {
+				return fmt.Errorf("edge rank got %d from PROC_NULL", in[0])
+			}
+		} else if in[0] != byte(p.Rank()-1) {
+			return fmt.Errorf("rank %d got %d, want %d", p.Rank(), in[0], p.Rank()-1)
+		}
+		return nil
+	})
+}
+
+func TestNeighborAllgather(t *testing.T) {
+	run(t, 4, Config{Fabric: "ofi"}, func(p *Proc) error {
+		cart, err := p.World().CartCreate([]int{2, 2}, []bool{false, true})
+		if err != nil {
+			return err
+		}
+		mine := []byte{byte(p.Rank() + 1)}
+		nb := cart.Neighbors()
+		recv := make([]byte, len(nb))
+		if err := cart.NeighborAllgather(mine, recv, 1, Byte); err != nil {
+			return err
+		}
+		for d, peer := range nb {
+			want := byte(0)
+			if peer != ProcNull {
+				want = byte(peer + 1)
+			}
+			if recv[d] != want {
+				return fmt.Errorf("rank %d dir %d: got %d, want %d (neighbors %v)",
+					p.Rank(), d, recv[d], want, nb)
+			}
+		}
+		return nil
+	})
+}
+
+func TestNeighborAllgatherDegenerate(t *testing.T) {
+	// A 2-rank periodic ring: both directions point at the same peer;
+	// the direction-coded tags must keep the blocks straight.
+	run(t, 2, Config{}, func(p *Proc) error {
+		cart, err := p.World().CartCreate([]int{2}, []bool{true})
+		if err != nil {
+			return err
+		}
+		mine := []byte{byte(10 + p.Rank())}
+		recv := make([]byte, 2)
+		if err := cart.NeighborAllgather(mine, recv, 1, Byte); err != nil {
+			return err
+		}
+		peer := byte(10 + (1 - p.Rank()))
+		if recv[0] != peer || recv[1] != peer {
+			return fmt.Errorf("rank %d: recv %v, want both %d", p.Rank(), recv, peer)
+		}
+		return nil
+	})
+}

@@ -1,0 +1,146 @@
+package gompi
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func TestTraceRecordsOperations(t *testing.T) {
+	run(t, 2, Config{Fabric: "ofi", Trace: true}, func(p *Proc) error {
+		w := p.World()
+		if p.Rank() == 0 {
+			if err := w.Send(make([]byte, 16), 16, Byte, 1, 0); err != nil {
+				return err
+			}
+		} else {
+			buf := make([]byte, 16)
+			if _, err := w.Recv(buf, 16, Byte, 0, 0); err != nil {
+				return err
+			}
+		}
+		if err := w.Barrier(); err != nil {
+			return err
+		}
+
+		events := p.TraceEvents()
+		if len(events) == 0 {
+			return fmt.Errorf("no events recorded")
+		}
+		kinds := map[string]int{}
+		var prev int64 = -1
+		for _, e := range events {
+			kinds[e.Kind.String()]++
+			if int64(e.Start) < prev {
+				return fmt.Errorf("events out of order")
+			}
+			prev = int64(e.Start)
+			if e.End < e.Start {
+				return fmt.Errorf("negative duration: %+v", e)
+			}
+		}
+		if kinds["collective"] == 0 {
+			return fmt.Errorf("barrier not traced: %v", kinds)
+		}
+		if p.Rank() == 0 && kinds["send"] == 0 {
+			return fmt.Errorf("send not traced: %v", kinds)
+		}
+		if p.Rank() == 1 && (kinds["recv"] == 0 || kinds["wait"] == 0) {
+			return fmt.Errorf("recv/wait not traced: %v", kinds)
+		}
+		// Send events carry peer and bytes.
+		if p.Rank() == 0 {
+			for _, e := range events {
+				if e.Kind == TraceSend {
+					if e.Peer != 1 || e.Bytes != 16 {
+						return fmt.Errorf("send event %+v", e)
+					}
+				}
+			}
+		}
+		var sb strings.Builder
+		p.WriteTraceSummary(&sb)
+		if !strings.Contains(sb.String(), "total") {
+			return fmt.Errorf("summary: %s", sb.String())
+		}
+		return nil
+	})
+}
+
+func TestTraceRMAOperations(t *testing.T) {
+	run(t, 2, Config{Fabric: "inf", Trace: true}, func(p *Proc) error {
+		w := p.World()
+		win, _, err := w.WinAllocate(16, 1)
+		if err != nil {
+			return err
+		}
+		if err := win.Fence(); err != nil {
+			return err
+		}
+		if p.Rank() == 0 {
+			if err := win.Put([]byte{1, 2}, 2, Byte, 1, 0); err != nil {
+				return err
+			}
+			buf := make([]byte, 2)
+			if err := win.Get(buf, 2, Byte, 1, 4); err != nil {
+				return err
+			}
+		}
+		if err := win.Fence(); err != nil {
+			return err
+		}
+		if err := win.Free(); err != nil {
+			return err
+		}
+		kinds := map[string]int{}
+		for _, e := range p.TraceEvents() {
+			kinds[e.Kind.String()]++
+		}
+		if kinds["rma-sync"] < 2 {
+			return fmt.Errorf("fences not traced: %v", kinds)
+		}
+		if p.Rank() == 0 && (kinds["put"] != 1 || kinds["get"] != 1) {
+			return fmt.Errorf("rma ops not traced: %v", kinds)
+		}
+		return nil
+	})
+}
+
+func TestTraceDisabledByDefault(t *testing.T) {
+	run(t, 1, Config{}, func(p *Proc) error {
+		if err := p.World().Barrier(); err != nil {
+			return err
+		}
+		if len(p.TraceEvents()) != 0 {
+			return fmt.Errorf("events recorded without Trace")
+		}
+		return nil
+	})
+}
+
+func TestTraceDoesNotPerturbCounts(t *testing.T) {
+	// Tracing must not change the instruction accounting.
+	for _, tr := range []bool{false, true} {
+		run(t, 2, Config{Fabric: "inf", Build: "default", Trace: tr}, func(p *Proc) error {
+			w := p.World()
+			if p.Rank() != 0 {
+				buf := make([]byte, 1)
+				_, err := w.Recv(buf, 1, Byte, 0, 0)
+				return err
+			}
+			before := p.Counters()
+			req, err := w.Isend([]byte{1}, 1, Byte, 1, 0)
+			if err != nil {
+				return err
+			}
+			d := p.Counters().Sub(before)
+			if _, err := req.Wait(); err != nil {
+				return err
+			}
+			if d.TotalInstr != 221 {
+				return fmt.Errorf("trace=%v: isend = %d instructions", tr, d.TotalInstr)
+			}
+			return nil
+		})
+	}
+}

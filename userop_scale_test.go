@@ -1,0 +1,156 @@
+package gompi
+
+import (
+	"encoding/binary"
+	"fmt"
+	"testing"
+)
+
+// opAbsMax folds max(|a|,|b|) over int64 elements.
+var opAbsMax = OpCreate(func(in, inout []byte, count int, elem *Datatype) error {
+	if elem != Long {
+		return fmt.Errorf("absmax supports MPI_LONG only")
+	}
+	for i := 0; i < count; i++ {
+		a := int64(binary.LittleEndian.Uint64(in[8*i:]))
+		b := int64(binary.LittleEndian.Uint64(inout[8*i:]))
+		if a < 0 {
+			a = -a
+		}
+		if b < 0 {
+			b = -b
+		}
+		if a > b {
+			b = a
+		}
+		binary.LittleEndian.PutUint64(inout[8*i:], uint64(b))
+	}
+	return nil
+})
+
+func TestUserDefinedOpInCollectives(t *testing.T) {
+	const n = 5
+	run(t, n, Config{Fabric: "ofi"}, func(p *Proc) error {
+		w := p.World()
+		// Contributions -4..0: |max| = 4.
+		send := Int64Bytes([]int64{int64(p.Rank()) - 4}, nil)
+		recv := make([]byte, 8)
+		if err := w.Allreduce(send, recv, 1, Long, opAbsMax); err != nil {
+			return err
+		}
+		if got := BytesInt64(recv, nil)[0]; got != 4 {
+			return fmt.Errorf("absmax allreduce = %d", got)
+		}
+		// Also through Reduce and ReduceLocal.
+		if err := w.Reduce(send, recv, 1, Long, opAbsMax, 0); err != nil {
+			return err
+		}
+		if p.Rank() == 0 {
+			if got := BytesInt64(recv, nil)[0]; got != 4 {
+				return fmt.Errorf("absmax reduce = %d", got)
+			}
+		}
+		local := Int64Bytes([]int64{-7}, nil)
+		if err := ReduceLocal(send, local, 1, Long, opAbsMax); err != nil {
+			return err
+		}
+		if got := BytesInt64(local, nil)[0]; got != 7 {
+			return fmt.Errorf("absmax reduce_local = %d", got)
+		}
+		return nil
+	})
+}
+
+func TestUserDefinedOpInAccumulate(t *testing.T) {
+	run(t, 2, Config{}, func(p *Proc) error {
+		w := p.World()
+		win, mem, err := w.WinAllocate(8, 1)
+		if err != nil {
+			return err
+		}
+		if p.Rank() == 1 {
+			copy(mem, Int64Bytes([]int64{-3}, nil))
+		}
+		if err := win.Fence(); err != nil {
+			return err
+		}
+		if p.Rank() == 0 {
+			if err := win.Accumulate(Int64Bytes([]int64{2}, nil), 1, Long, 1, 0, opAbsMax); err != nil {
+				return err
+			}
+		}
+		if err := win.Fence(); err != nil {
+			return err
+		}
+		if p.Rank() == 1 {
+			if got := BytesInt64(mem, nil)[0]; got != 3 {
+				return fmt.Errorf("absmax accumulate = %d", got)
+			}
+		}
+		return win.Free()
+	})
+}
+
+func TestUserDefinedOpErrorPropagates(t *testing.T) {
+	if err := ReduceLocal(make([]byte, 8), make([]byte, 8), 1, Double, opAbsMax); err == nil {
+		t.Fatal("user op type error swallowed")
+	}
+}
+
+// TestLargeWorldSmoke drives 64 ranks through the full stack: the
+// goroutine runtime, context management, collectives, and pt2pt all at
+// once.
+func TestLargeWorldSmoke(t *testing.T) {
+	const n = 64
+	run(t, n, Config{Fabric: "ofi", RanksPerNode: 8}, func(p *Proc) error {
+		w := p.World()
+		// Allreduce across all 64.
+		vals, err := w.AllreduceFloat64([]float64{1}, OpSum)
+		if err != nil {
+			return err
+		}
+		if vals[0] != n {
+			return fmt.Errorf("allreduce = %v", vals[0])
+		}
+		// Ring shift.
+		right := (p.Rank() + 1) % n
+		left := (p.Rank() - 1 + n) % n
+		out := []byte{byte(p.Rank())}
+		in := make([]byte, 1)
+		if _, err := w.Sendrecv(out, 1, Byte, right, 0, in, 1, Byte, left, 0); err != nil {
+			return err
+		}
+		if in[0] != byte(left) {
+			return fmt.Errorf("ring got %d", in[0])
+		}
+		// Split into 8 node communicators and allgather within.
+		node, err := w.SplitType(SplitTypeShared, p.Rank())
+		if err != nil {
+			return err
+		}
+		mine := []byte{byte(p.Rank())}
+		all := make([]byte, node.Size())
+		if err := node.Allgather(mine, all, 1, Byte); err != nil {
+			return err
+		}
+		base := (p.Rank() / 8) * 8
+		for i := range all {
+			if all[i] != byte(base+i) {
+				return fmt.Errorf("node allgather %v", all)
+			}
+		}
+		// Gather everything on rank 0 of the world.
+		full := make([]byte, n)
+		if err := w.Gather(mine, full, 1, Byte, 0); err != nil {
+			return err
+		}
+		if p.Rank() == 0 {
+			for i := range full {
+				if full[i] != byte(i) {
+					return fmt.Errorf("gather %v", full[:8])
+				}
+			}
+		}
+		return w.Barrier()
+	})
+}
