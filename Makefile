@@ -1,0 +1,30 @@
+GO ?= go
+
+.PHONY: ci build vet test race bench-smoke fuzz-smoke
+
+# The tier-1 gate: everything a PR must keep green.
+ci: build vet test race bench-smoke
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# The transports and the matching engine are the only cross-goroutine
+# state; run them under the race detector.
+race:
+	$(GO) test -race ./internal/match ./internal/fabric ./internal/shm
+
+# One iteration of every benchmark: catches bit-rot in the figure
+# regeneration paths and allocation regressions (all benches report
+# allocs) without the cost of a full run.
+bench-smoke:
+	$(GO) test -run xxx -bench . -benchtime 1x ./...
+
+# Short differential-fuzz run: binned vs linear matching must agree.
+fuzz-smoke:
+	$(GO) test -run xxx -fuzz FuzzBinnedMatchesLinear -fuzztime 10s ./internal/match

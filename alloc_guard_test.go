@@ -1,0 +1,120 @@
+package gompi_test
+
+import (
+	"testing"
+	"time"
+
+	"gompi"
+)
+
+// Allocation-regression guards for the steady-state hot paths: the
+// 1-byte eager Isend and the 1-byte Put must not allocate once the
+// endpoint pools and free lists are warm, so a future PR that
+// reintroduces a per-message allocation fails here rather than only
+// showing up in benchmark numbers.
+//
+// testing.AllocsPerRun counts mallocs process-wide, so each guard parks
+// the peer rank on an operation that cannot complete until the
+// measurement is over, leaving the measuring rank the only goroutine
+// doing work.
+
+// TestIsendSteadyStateAllocs measures the sender-side eager path. The
+// warm-up phase pushes `warm` messages through the unexpected queue so
+// the receive side returns that many payload buffers, message
+// envelopes, and match nodes to the free lists; the measured sends then
+// recycle them.
+func TestIsendSteadyStateAllocs(t *testing.T) {
+	const warm = 300
+	const runs = 200
+	var allocs float64
+	err := gompi.Run(2, gompi.Config{Fabric: "inf", Build: "no-err-single-ipo"}, func(p *gompi.Proc) error {
+		w := p.World()
+		buf := []byte{1}
+		if p.Rank() == 0 {
+			for i := 0; i < warm; i++ {
+				if err := w.IsendNoReq(buf, 1, gompi.Byte, 1, 0); err != nil {
+					return err
+				}
+			}
+			// Wait for the receiver to drain, then let it park.
+			ack := make([]byte, 1)
+			if _, err := w.Recv(ack, 1, gompi.Byte, 1, 2); err != nil {
+				return err
+			}
+			time.Sleep(20 * time.Millisecond)
+			allocs = testing.AllocsPerRun(runs, func() {
+				if err := w.IsendNoReq(buf, 1, gompi.Byte, 1, 0); err != nil {
+					t.Error(err)
+				}
+			})
+			// Release the parked receiver and let it drain the
+			// measured messages.
+			if err := w.IsendNoReq(buf, 1, gompi.Byte, 1, 1); err != nil {
+				return err
+			}
+			return w.CommWaitall()
+		}
+		rbuf := make([]byte, 1)
+		for i := 0; i < warm; i++ {
+			if _, err := w.Recv(rbuf, 1, gompi.Byte, 0, 0); err != nil {
+				return err
+			}
+		}
+		if err := w.Send([]byte{1}, 1, gompi.Byte, 0, 2); err != nil {
+			return err
+		}
+		if _, err := w.Recv(rbuf, 1, gompi.Byte, 0, 1); err != nil {
+			return err
+		}
+		for i := 0; i < runs+1; i++ {
+			if _, err := w.Recv(rbuf, 1, gompi.Byte, 0, 0); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if allocs > 0 {
+		t.Errorf("steady-state 1-byte Isend allocates %.1f objects/op, want 0", allocs)
+	}
+}
+
+// TestPutSteadyStateAllocs measures the one-sided fast path inside a
+// fence epoch while the target rank waits in the closing fence.
+func TestPutSteadyStateAllocs(t *testing.T) {
+	var allocs float64
+	err := gompi.Run(2, gompi.Config{Fabric: "inf", Build: "no-err-single-ipo"}, func(p *gompi.Proc) error {
+		w := p.World()
+		win, _, err := w.WinAllocate(64, 1)
+		if err != nil {
+			return err
+		}
+		if err := win.Fence(); err != nil {
+			return err
+		}
+		if p.Rank() == 0 {
+			data := []byte{9}
+			if err := win.Put(data, 1, gompi.Byte, 1, 0); err != nil {
+				return err
+			}
+			time.Sleep(20 * time.Millisecond) // let rank 1 park in its fence
+			allocs = testing.AllocsPerRun(200, func() {
+				if err := win.Put(data, 1, gompi.Byte, 1, 0); err != nil {
+					t.Error(err)
+				}
+			})
+		}
+		if err := win.Fence(); err != nil {
+			return err
+		}
+		return win.Free()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if allocs > 0 {
+		t.Errorf("steady-state 1-byte Put allocates %.1f objects/op, want 0", allocs)
+	}
+}

@@ -7,16 +7,19 @@
 package gompi_test
 
 import (
+	"fmt"
 	"testing"
 
 	"gompi"
 	"gompi/internal/bench"
+	"gompi/internal/match"
 )
 
 // BenchmarkTable1InstructionBreakdown regenerates Table 1: the
 // per-category instruction cost of MPI_ISEND and MPI_PUT in the
 // default ch4 build.
 func BenchmarkTable1InstructionBreakdown(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		isend, put, err := bench.Table1()
 		if err != nil {
@@ -32,6 +35,7 @@ func BenchmarkTable1InstructionBreakdown(b *testing.B) {
 // BenchmarkFigure2InstructionCounts regenerates Figure 2: the build
 // ladder for both devices.
 func BenchmarkFigure2InstructionCounts(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		isends, puts, err := bench.Figure2()
 		if err != nil {
@@ -48,6 +52,7 @@ func BenchmarkFigure2InstructionCounts(b *testing.B) {
 // rateFigure runs one message-rate figure and reports the endpoints.
 func rateFigure(b *testing.B, fabric string) {
 	b.Helper()
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		pts, err := bench.MessageRates(fabric, 500)
 		if err != nil {
@@ -75,6 +80,7 @@ func BenchmarkFigure5MessageRateInfinite(b *testing.B) { rateFigure(b, "inf") }
 // proposal ladder on the infinitely fast network, peaking at the
 // all-opts path (~137 M msg/s at 2.2 GHz; the paper reports 132.8M).
 func BenchmarkFigure6StandardImprovements(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		pts, err := bench.ProposalLadder(500)
 		if err != nil {
@@ -89,6 +95,7 @@ func BenchmarkFigure6StandardImprovements(b *testing.B) {
 // BenchmarkProposalSavings regenerates the Section 3 per-proposal
 // instruction savings.
 func BenchmarkProposalSavings(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		rows, base, err := bench.ProposalSavings()
 		if err != nil {
@@ -106,6 +113,7 @@ func BenchmarkProposalSavings(b *testing.B) {
 // BenchmarkFigure7Nek5000 regenerates Figure 7 (reduced sweep): the
 // Nek5000 model problem at the strong-scaling limit under both devices.
 func BenchmarkFigure7Nek5000(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		pts, err := bench.NekSweep(bench.NekSweepOptions{
 			RankGrid: [3]int{2, 2, 2},
@@ -125,6 +133,7 @@ func BenchmarkFigure7Nek5000(b *testing.B) {
 // BenchmarkFigure8LAMMPS regenerates Figure 8 (reduced sweep): LJ
 // strong scaling under both devices.
 func BenchmarkFigure8LAMMPS(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		pts, err := bench.LammpsSweep(bench.LammpsSweepOptions{
 			RankGrid: [3]int{2, 2, 2},
@@ -170,6 +179,7 @@ func measureIsendInstr(b *testing.B, cfg gompi.Config, flagsPath func(w *gompi.C
 // design against the layered packet-lowering baseline on the same
 // fabric: instruction counts and achieved message rate.
 func BenchmarkAblationFlowThrough(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		send := func(w *gompi.Comm, p *gompi.Proc) error {
 			return w.Send([]byte{1}, 1, gompi.Byte, 1, 0)
@@ -184,6 +194,7 @@ func BenchmarkAblationFlowThrough(b *testing.B) {
 // BenchmarkAblationRankTranslation compares the compressed (strided)
 // rank representation against the dense O(P) table on the send path.
 func BenchmarkAblationRankTranslation(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		var strided, dense int64
 		err := gompi.Run(3, gompi.Config{Fabric: "inf", Build: "no-err-single-ipo"}, func(p *gompi.Proc) error {
@@ -241,6 +252,7 @@ func BenchmarkAblationRankTranslation(b *testing.B) {
 // BenchmarkAblationCompletion compares request-object completion with
 // the counter model of Section 3.5.
 func BenchmarkAblationCompletion(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		withReq := measureIsendInstr(b, gompi.Config{Fabric: "inf", Build: "no-err-single-ipo"},
 			func(w *gompi.Comm, p *gompi.Proc) error {
@@ -267,6 +279,7 @@ func BenchmarkAblationCompletion(b *testing.B) {
 // against the baseline's software matching: the receive-side MPI
 // instruction cost per message.
 func BenchmarkAblationMatching(b *testing.B) {
+	b.ReportAllocs()
 	recvCost := func(device string) int64 {
 		var instr int64
 		err := gompi.Run(2, gompi.Config{Device: device, Fabric: "inf", Build: "no-err-single-ipo"}, func(p *gompi.Proc) error {
@@ -296,6 +309,7 @@ func BenchmarkAblationMatching(b *testing.B) {
 // BenchmarkAblationLocality compares on-node shmmod messaging against
 // loopback-through-netmod: virtual cycles per 1-byte message.
 func BenchmarkAblationLocality(b *testing.B) {
+	b.ReportAllocs()
 	cyclesPerMsg := func(rpn int) float64 {
 		const msgs = 500
 		var cycles float64
@@ -333,6 +347,7 @@ func BenchmarkAblationLocality(b *testing.B) {
 // BenchmarkAblationAllgatherAlgorithms compares the ring and Bruck
 // allgather algorithms' end-to-end virtual latency.
 func BenchmarkAblationAllgatherAlgorithms(b *testing.B) {
+	b.ReportAllocs()
 	// The two algorithms live in internal/coll; at this level the ring
 	// is the default. We time the public Allgather (ring) and report
 	// its virtual latency as the reference; the Bruck comparison runs
@@ -364,6 +379,7 @@ func BenchmarkAblationAllgatherAlgorithms(b *testing.B) {
 // simulation itself is fast enough to run the big sweeps). The
 // exchange is windowed so the matching queues stay bounded at any b.N.
 func BenchmarkWallClockIsend(b *testing.B) {
+	b.ReportAllocs()
 	const window = 64
 	err := gompi.Run(2, gompi.Config{Fabric: "inf", Build: "no-err-single-ipo"}, func(p *gompi.Proc) error {
 		w := p.World()
@@ -418,6 +434,7 @@ func BenchmarkWallClockIsend(b *testing.B) {
 // threshold and reports the 16 KiB message latency under each: the
 // handshake's latency cliff moves with the knob.
 func BenchmarkAblationEagerThreshold(b *testing.B) {
+	b.ReportAllocs()
 	latency := func(limit int) float64 {
 		const size, iters = 16384, 40
 		var us float64
@@ -457,5 +474,69 @@ func BenchmarkAblationEagerThreshold(b *testing.B) {
 		b.ReportMetric(latency(-1), "alleager-us")
 		b.ReportMetric(latency(4096), "eager4k-us")
 		b.ReportMetric(latency(65536), "eager64k-us")
+	}
+}
+
+// BenchmarkMatchDepth sweeps the posted-queue depth for both matching
+// organizations: the binned engine (ch4 / fabric "hardware" matching)
+// stays near-flat while the Linear mode (the CH3-style baseline) grows
+// linearly — the queue-depth dimension of the CH4-vs-Original gap. The
+// prefill posts one receive per source, so the bins spread the way they
+// do in a real many-peer job; each iteration matches a message for the
+// deepest source and re-posts that receive. The searches/op metric is
+// the engine's own count of elements inspected.
+func BenchmarkMatchDepth(b *testing.B) {
+	modes := []struct {
+		name string
+		mode match.Mode
+	}{{"binned", match.Binned}, {"linear", match.Linear}}
+	for _, m := range modes {
+		for _, depth := range []int{1, 16, 256, 1024, 4096} {
+			b.Run(fmt.Sprintf("%s/depth-%d", m.name, depth), func(b *testing.B) {
+				e := &match.Engine{Mode: m.mode}
+				for s := 0; s < depth; s++ {
+					e.PostRecv(match.MakeBits(1, s, 0), match.FullMask, s)
+				}
+				hot := match.MakeBits(1, depth-1, 0)
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, ok := e.Arrive(hot, 0); !ok {
+						b.Fatal("arrival missed the posted receive")
+					}
+					e.PostRecv(hot, match.FullMask, 0)
+				}
+				b.StopTimer()
+				b.ReportMetric(float64(e.Searches)/float64(b.N), "searches/op")
+			})
+		}
+	}
+}
+
+// BenchmarkMatchDepthWildcard is the same sweep with one ANY_SOURCE
+// receive posted ahead of the exact ones: the binned engine pays the
+// seq-arbitration check against the wildcard queue but stays flat.
+func BenchmarkMatchDepthWildcard(b *testing.B) {
+	for _, depth := range []int{16, 1024} {
+		b.Run(fmt.Sprintf("binned/depth-%d", depth), func(b *testing.B) {
+			e := &match.Engine{Mode: match.Binned}
+			// An old wildcard receive on another communicator sits on
+			// the wildcard queue for the whole run.
+			e.PostRecv(match.MakeBits(2, 0, 0), match.RecvMask(true, true), -1)
+			for s := 0; s < depth; s++ {
+				e.PostRecv(match.MakeBits(1, s, 0), match.FullMask, s)
+			}
+			hot := match.MakeBits(1, depth-1, 0)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, ok := e.Arrive(hot, 0); !ok {
+					b.Fatal("arrival missed the posted receive")
+				}
+				// Small-int cookie: values above 255 would pay an
+				// interface-boxing allocation and pollute allocs/op.
+				e.PostRecv(hot, match.FullMask, 0)
+			}
+		})
 	}
 }

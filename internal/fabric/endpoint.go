@@ -29,11 +29,15 @@ type RecvOp struct {
 // of the receiving endpoint. hdr and payload are owned by the handler.
 type AMHandler func(src int, hdr, payload []byte, arrival vtime.Time)
 
-// message is a buffered unexpected tagged message.
+// message is a buffered unexpected tagged message. Instances are
+// recycled through the endpoint's free list (chained via next); data is
+// a pooled copy returned to the endpoint's buffer pool when the message
+// is consumed by a receive.
 type message struct {
 	src     int
 	data    []byte
 	arrival vtime.Time
+	next    *message
 }
 
 // am is a queued active message.
@@ -58,9 +62,41 @@ type Endpoint struct {
 	eng  match.Engine
 	amq  []am
 
+	// Eager-path recycling, guarded by mu: payload copies come from the
+	// size-classed pool, message envelopes from the free list, so the
+	// steady-state eager path performs zero heap allocations.
+	pool    bufPool
+	msgFree *message
+
 	handlers [256]AMHandler
 	meter    Meter
 	eventSeq uint64
+}
+
+// getMessage pops a recycled message envelope (or allocates the first
+// time). Caller holds the endpoint lock.
+func (ep *Endpoint) getMessage() *message {
+	m := ep.msgFree
+	if m == nil {
+		return new(message)
+	}
+	ep.msgFree = m.next
+	m.next = nil
+	return m
+}
+
+// putMessage zeroes an envelope and chains it on the free list. Caller
+// holds the endpoint lock and has already dealt with m.data.
+func (ep *Endpoint) putMessage(m *message) {
+	*m = message{next: ep.msgFree}
+	ep.msgFree = m
+}
+
+// releaseMessage recycles a consumed unexpected message: payload back
+// to the buffer pool, envelope to the free list. Caller holds the lock.
+func (ep *Endpoint) releaseMessage(m *message) {
+	ep.pool.put(m.data)
+	ep.putMessage(m)
 }
 
 func newEndpoint(f *Fabric, rank int) *Endpoint {
@@ -100,19 +136,28 @@ func (ep *Endpoint) TaggedSend(dst int, bits match.Bits, data []byte) {
 	}
 	arrival := p.arrivalAt(now, len(data))
 
-	buf := make([]byte, len(data))
-	copy(buf, data)
-	ep.f.eps[dst].deposit(bits, &message{src: ep.rank, data: buf, arrival: arrival})
+	ep.f.eps[dst].deposit(bits, ep.rank, data, arrival)
 }
 
 // deposit lands an incoming message at this endpoint: match against the
 // posted queue or buffer as unexpected. Called from the sender's
-// goroutine.
-func (ep *Endpoint) deposit(bits match.Bits, m *message) {
+// goroutine; data is borrowed from the caller for the duration of the
+// call. A message that matches a posted receive copies straight into
+// the receive buffer — no intermediate copy exists on the fast path;
+// only an unexpected message pays for a (pooled) buffered copy.
+func (ep *Endpoint) deposit(bits match.Bits, src int, data []byte, arrival vtime.Time) {
 	ep.mu.Lock()
+	m := ep.getMessage()
 	if entry, ok := ep.eng.Arrive(bits, m); ok {
+		ep.putMessage(m)
 		op := entry.Cookie.(*RecvOp)
-		completeRecv(op, bits, m)
+		completeRecv(op, bits, data, arrival)
+	} else {
+		m.src = src
+		buf := ep.pool.get(len(data))
+		copy(buf, data)
+		m.data = buf
+		m.arrival = arrival
 	}
 	ep.eventSeq++
 	ep.cond.Broadcast()
@@ -122,10 +167,11 @@ func (ep *Endpoint) deposit(bits match.Bits, m *message) {
 // DepositLocal lands a message that arrived over a different transport
 // (the shared-memory rings) in this endpoint's matching engine, so that
 // netmod and shmmod traffic share one matching context — which is what
-// makes MPI_ANY_SOURCE receives work across transports in CH4. The
-// caller transfers ownership of data.
+// makes MPI_ANY_SOURCE receives work across transports in CH4. data is
+// borrowed: the endpoint copies what it keeps, so the caller may reuse
+// the slice as soon as the call returns.
 func (ep *Endpoint) DepositLocal(bits match.Bits, src int, data []byte, arrival vtime.Time) {
-	ep.deposit(bits, &message{src: src, data: data, arrival: arrival})
+	ep.deposit(bits, src, data, arrival)
 }
 
 // Wake nudges the endpoint's owner out of WaitEvent: another transport
@@ -160,31 +206,38 @@ func (ep *Endpoint) WaitEvent(last uint64) uint64 {
 	return seq
 }
 
-// completeRecv copies message data into the receive buffer and fills
-// results. Caller holds the endpoint lock (or owns both op and m). The
-// source reported is the MPI-level source the sender encoded in the
-// match bits (its communicator rank), not the transport address.
-func completeRecv(op *RecvOp, bits match.Bits, m *message) {
-	n := copy(op.Buf, m.data)
+// completeRecv copies a (borrowed) payload into the receive buffer and
+// fills results. Caller holds the endpoint lock. The source reported is
+// the MPI-level source the sender encoded in the match bits (its
+// communicator rank), not the transport address.
+func completeRecv(op *RecvOp, bits match.Bits, data []byte, arrival vtime.Time) {
+	n := copy(op.Buf, data)
 	op.N = n
-	op.Truncated = n < len(m.data)
+	op.Truncated = n < len(data)
 	op.Src = bits.Source()
 	op.Tag = bits.Tag()
-	op.Arrival = m.arrival
+	op.Arrival = arrival
 	op.done = true
 }
 
 // PostRecv hands a receive to the matching unit. If an unexpected
-// message already satisfies it the op completes immediately.
+// message already satisfies it the op completes immediately and its
+// buffered copy returns to the pool. The matching unit's bin and
+// search work is charged at the handoff, priced by the profile.
 func (ep *Endpoint) PostRecv(op *RecvOp, bits match.Bits, mask match.Bits) {
 	p := &ep.f.prof
 	ep.meter.ChargeCycles(instr.Transport, p.RecvPost)
 
 	ep.mu.Lock()
+	bins, searches := ep.eng.BinOps, ep.eng.Searches
 	if entry, ok := ep.eng.PostRecv(bits, mask, op); ok {
-		completeRecv(op, entry.Bits, entry.Cookie.(*message))
+		m := entry.Cookie.(*message)
+		completeRecv(op, entry.Bits, m.data, m.arrival)
+		ep.releaseMessage(m)
 	}
+	bins, searches = ep.eng.BinOps-bins, ep.eng.Searches-searches
 	ep.mu.Unlock()
+	ep.meter.ChargeCycles(instr.Transport, p.matchCost(bins, searches))
 }
 
 // RecvDone polls one receive for completion. On the completing poll it
@@ -240,30 +293,39 @@ func (ep *Endpoint) CancelRecv(op *RecvOp) bool {
 }
 
 // Probe checks for a buffered unexpected message matching (bits, mask)
-// and returns its source, tag and size without consuming it.
+// and returns its source, tag and size without consuming it. The
+// matching unit's work is charged like any other search.
 func (ep *Endpoint) Probe(bits, mask match.Bits) (src, tag, size int, ok bool) {
 	ep.mu.Lock()
-	defer ep.mu.Unlock()
-	entry, ok := ep.eng.Probe(bits, mask)
-	if !ok {
-		return 0, 0, 0, false
+	bins, searches := ep.eng.BinOps, ep.eng.Searches
+	entry, hit := ep.eng.Probe(bits, mask)
+	bins, searches = ep.eng.BinOps-bins, ep.eng.Searches-searches
+	if hit {
+		m := entry.Cookie.(*message)
+		src, tag, size = m.src, entry.Bits.Tag(), len(m.data)
 	}
-	m := entry.Cookie.(*message)
-	return m.src, entry.Bits.Tag(), len(m.data), true
+	ep.mu.Unlock()
+	ep.meter.ChargeCycles(instr.Transport, ep.f.prof.matchCost(bins, searches))
+	return src, tag, size, hit
 }
 
 // MProbe extracts a buffered unexpected message matching (bits, mask):
 // the matched-probe primitive. The returned payload is owned by the
-// caller; the message can no longer match any posted receive.
+// caller (it leaves the pool for good); the message can no longer match
+// any posted receive.
 func (ep *Endpoint) MProbe(bits, mask match.Bits) (src, tag int, data []byte, arrival vtime.Time, ok bool) {
 	ep.mu.Lock()
-	defer ep.mu.Unlock()
-	entry, ok := ep.eng.ExtractUnexpected(bits, mask)
-	if !ok {
-		return 0, 0, nil, 0, false
+	bins, searches := ep.eng.BinOps, ep.eng.Searches
+	entry, hit := ep.eng.ExtractUnexpected(bits, mask)
+	bins, searches = ep.eng.BinOps-bins, ep.eng.Searches-searches
+	if hit {
+		m := entry.Cookie.(*message)
+		src, tag, data, arrival = entry.Bits.Source(), entry.Bits.Tag(), m.data, m.arrival
+		ep.putMessage(m)
 	}
-	m := entry.Cookie.(*message)
-	return entry.Bits.Source(), entry.Bits.Tag(), m.data, m.arrival, true
+	ep.mu.Unlock()
+	ep.meter.ChargeCycles(instr.Transport, ep.f.prof.matchCost(bins, searches))
+	return src, tag, data, arrival, hit
 }
 
 // AMSend injects an active message toward dst. hdr and payload are
@@ -339,10 +401,18 @@ func (ep *Endpoint) WaitUntil(pred func() bool) {
 	}
 }
 
-// Matching exposes the engine's search counter for the matching
+// MatchSearches exposes the engine's search counter for the matching
 // ablation benchmark.
 func (ep *Endpoint) MatchSearches() int64 {
 	ep.mu.Lock()
 	defer ep.mu.Unlock()
 	return ep.eng.Searches
+}
+
+// MatchBinOps exposes the engine's bin-operation counter: the hash work
+// the binned organization pays for its depth independence.
+func (ep *Endpoint) MatchBinOps() int64 {
+	ep.mu.Lock()
+	defer ep.mu.Unlock()
+	return ep.eng.BinOps
 }

@@ -1,0 +1,50 @@
+package fabric
+
+// Size-classed payload buffer pool. Every eager message that cannot
+// complete immediately needs a stable copy of its payload while it sits
+// on the unexpected queue; recycling those copies keeps the
+// steady-state eager path allocation-free. The pool is per endpoint and
+// guarded by the endpoint lock, so no atomics are paid beyond the lock
+// the deposit already takes.
+
+// poolClasses are the rounded-up buffer capacities kept, sized for the
+// workloads the figures run: tiny latency-test payloads, cache-line
+// packets, one page, and the eager limit.
+var poolClasses = [...]int{64, 512, 4096, 65536}
+
+// bufPool holds free buffers by class. Buffers are allocated at exactly
+// the class capacity so put can recognize them by cap alone; anything
+// larger than the top class is not pooled.
+type bufPool struct {
+	classes [len(poolClasses)][][]byte
+}
+
+// get returns a length-n buffer, recycled when a fit is free.
+func (p *bufPool) get(n int) []byte {
+	if n == 0 {
+		return nil
+	}
+	for i, c := range poolClasses {
+		if n <= c {
+			s := p.classes[i]
+			if len(s) == 0 {
+				return make([]byte, n, c)
+			}
+			b := s[len(s)-1]
+			p.classes[i] = s[:len(s)-1]
+			return b[:n]
+		}
+	}
+	return make([]byte, n)
+}
+
+// put recycles a buffer handed out by get. Oversized (unpooled) and
+// foreign buffers are dropped for the GC.
+func (p *bufPool) put(b []byte) {
+	for i, c := range poolClasses {
+		if cap(b) == c {
+			p.classes[i] = append(p.classes[i], b[:0])
+			return
+		}
+	}
+}

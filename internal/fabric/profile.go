@@ -10,7 +10,10 @@
 // CH3-style device deliberately does not use it).
 package fabric
 
-import "gompi/internal/vtime"
+import (
+	"gompi/internal/instr"
+	"gompi/internal/vtime"
+)
 
 // Profile is the cost model of one fabric. Cycle figures are calibrated
 // against the paper's measured message rates: on the real networks a
@@ -55,6 +58,14 @@ type Profile struct {
 	// RndvInject is the extra CPU cost of the rendezvous control
 	// messages on each side.
 	RndvInject vtime.Cycles
+	// MatchBin is the cycle cost of one matching-unit bin operation
+	// (hashing the match word and indexing the bin), and MatchSearch the
+	// cost of each queue element the unit inspects. They model the
+	// NIC's offloaded match engine honestly: binning is cheap but not
+	// free, and deep searches still cost cycles. Zero on the infinitely
+	// fast network.
+	MatchBin    vtime.Cycles
+	MatchSearch vtime.Cycles
 	// InstrCPI is the cycles-per-instruction of MPI software on this
 	// platform's cores (1.0 when unset). The x86 testbeds run the
 	// branchy MPI critical path near one instruction per cycle; the
@@ -81,6 +92,8 @@ var OFI = Profile{
 	WirePerByte:   0.18, // ~100 Gb/s
 	EagerLimit:    8192,
 	RndvInject:    250,
+	MatchBin:      instr.CostHash,
+	MatchSearch:   2,
 }
 
 // UCX models the Mellanox EDR fabric with UCX on the 2.5 GHz "Gomez"
@@ -100,6 +113,8 @@ var UCX = Profile{
 	WirePerByte:   0.2,  // ~100 Gb/s
 	EagerLimit:    8192,
 	RndvInject:    220,
+	MatchBin:      instr.CostHash,
+	MatchSearch:   2,
 }
 
 // INF is the paper's "infinitely fast network": every operation
@@ -130,6 +145,8 @@ var BGQ = Profile{
 	WirePerByte:   0.45, // ~3.5 GB/s torus link
 	EagerLimit:    4096,
 	RndvInject:    400,
+	MatchBin:      2 * instr.CostHash, // slow in-order core
+	MatchSearch:   4,
 	InstrCPI:      6,
 }
 
@@ -152,6 +169,12 @@ func ByName(name string) (Profile, bool) {
 // descriptor cost c.
 func (p *Profile) injectCost(c vtime.Cycles, n int) vtime.Cycles {
 	return c + vtime.Cycles(p.InjectPerByte*float64(n))
+}
+
+// matchCost prices the matching-unit work recorded by (binOps,
+// searches) engine-counter deltas.
+func (p *Profile) matchCost(binOps, searches int64) vtime.Cycles {
+	return vtime.Cycles(binOps)*p.MatchBin + vtime.Cycles(searches)*p.MatchSearch
 }
 
 // arrival computes when n bytes injected at time now land at the target.

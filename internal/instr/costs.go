@@ -40,6 +40,11 @@ const (
 	// CostIndirectCall is a call through a function pointer (netmod
 	// dispatch table), slightly more expensive than a direct call.
 	CostIndirectCall = CostCall + 2
+	// CostHash is computing a hash-bin index and loading the bin head —
+	// the per-operation price of binned (MPICH CH4-style) message
+	// matching: a shift/mask over the match word plus the bucket
+	// lookup. Charged so binned matching is not modeled as free.
+	CostHash = 4
 	// CostAtomic is a locked read-modify-write (pool locks, refcounts
 	// under MPI_THREAD_MULTIPLE).
 	CostAtomic = 8

@@ -154,6 +154,9 @@ func (g *Global) Open(r *proc.Rank) *Device {
 		wins:    make(map[int]*winState),
 		getWait: make(map[uint32]*getState),
 	}
+	// CH3's software matching is the single linear queue the paper
+	// ascribes to legacy stacks: every search pays full queue depth.
+	d.eng.Mode = match.Linear
 	d.ep.Bind(r)
 	d.ep.RegisterAM(amEager, d.handleEager)
 	d.ep.RegisterAM(amPut, d.handlePut)

@@ -236,7 +236,9 @@ func (d *Device) Iprobe(src, tag int, c *comm.Comm) (request.Status, bool, error
 	if anyTag {
 		tg = 0
 	}
+	before := d.eng.Searches
 	entry, ok := d.eng.Probe(match.MakeBits(c.Ctx, s, tg), match.RecvMask(anySrc, anyTag))
+	d.charge(instr.Mandatory, costMatchSearch*(d.eng.Searches-before))
 	if !ok {
 		return request.Status{}, false, nil
 	}

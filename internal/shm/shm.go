@@ -58,7 +58,9 @@ type Meter interface {
 }
 
 // Deliver hands a fully reassembled message to the device on the
-// receiving rank's goroutine. The callee owns data.
+// receiving rank's goroutine. data is borrowed: it is the ring's
+// reassembly scratch and is overwritten by the next message, so the
+// callee must copy whatever it keeps before returning.
 type Deliver func(dst int, bits match.Bits, src int, data []byte, arrival vtime.Time)
 
 // Wake nudges a rank that may be parked waiting for transport events.
@@ -114,15 +116,22 @@ func (d *Domain) Abort() {
 	}
 }
 
-// ring is a bounded SPSC queue of cells from src to dst. The mutex
+// ring is a bounded SPSC queue of cells from src to dst, laid out the
+// way a real shmmod lays out its shared segment: a fixed circular
+// buffer of fixed-size cells written in place by the producer and read
+// in place by the consumer, with no allocation per message. The mutex
 // models the ring's head/tail synchronization; producer blocks when
 // full, consumer drains in Progress.
 type ring struct {
 	mu    sync.Mutex
 	cond  *sync.Cond
-	cells []cell // FIFO, bounded at RingCells
+	cells [RingCells]cell
+	head  int // index of the oldest occupied cell
+	count int // occupied cells
 
-	// Receiver-side reassembly state (consumer-only).
+	// Receiver-side reassembly state (consumer-only). cur is a
+	// grow-only scratch reused across messages; delivered payloads are
+	// borrowed slices of it.
 	cur     []byte
 	curBits match.Bits
 	curLen  int
@@ -133,8 +142,9 @@ type ring struct {
 type cell struct {
 	bits    match.Bits
 	msgLen  int // total message length (repeated in every fragment)
-	payload []byte
+	n       int // payload bytes in this fragment
 	arrival vtime.Time
+	data    [CellSize]byte
 }
 
 func (d *Domain) ring(src, dst int) *ring {
@@ -167,17 +177,18 @@ func (d *Domain) Send(src, dst int, bits match.Bits, data []byte) {
 		if n > CellSize {
 			n = CellSize
 		}
-		frag := make([]byte, n)
-		copy(frag, data[off:off+n])
 		m.ChargeCycles(instr.Transport, p.CellOverhead+vtime.Cycles(p.PerByte*float64(n)))
 		arrival := m.Now() + vtime.Time(p.Latency)
 
 		r.mu.Lock()
-		for len(r.cells) >= RingCells {
+		for r.count >= RingCells {
 			d.aborted.CheckLocked(&r.mu)
 			r.cond.Wait()
 		}
-		r.cells = append(r.cells, cell{bits: bits, msgLen: len(data), payload: frag, arrival: arrival})
+		c := &r.cells[(r.head+r.count)%RingCells]
+		c.bits, c.msgLen, c.n, c.arrival = bits, len(data), n, arrival
+		copy(c.data[:], data[off:off+n])
+		r.count++
 		r.cond.Broadcast()
 		r.mu.Unlock()
 		if d.wake != nil {
@@ -216,40 +227,46 @@ func (d *Domain) Progress(rank int) int {
 	return delivered
 }
 
-// drainRing pops every available cell from one ring, reassembling and
-// delivering messages.
+// drainRing pops every available cell from one ring, reassembling into
+// the ring's reusable scratch and delivering completed messages. The
+// cell is consumed in place under the ring lock, then handed back to a
+// blocked producer — no per-message allocation on either side.
 func (d *Domain) drainRing(rank, src int, r *ring, meter Meter) int {
 	p := &d.prof
 	delivered := 0
 	for {
 		r.mu.Lock()
-		if len(r.cells) == 0 {
+		if r.count == 0 {
 			r.mu.Unlock()
 			return delivered
 		}
-		c := r.cells[0]
-		r.cells = r.cells[1:]
-		r.cond.Broadcast() // free a cell for a blocked producer
-		r.mu.Unlock()
-
-		meter.ChargeCycles(instr.Transport, p.CellOverhead+vtime.Cycles(p.PerByte*float64(len(c.payload))))
-
+		c := &r.cells[r.head]
+		n := c.n
 		if r.filled == 0 { // first fragment of a message
-			r.cur = make([]byte, 0, c.msgLen)
+			if cap(r.cur) < c.msgLen {
+				r.cur = make([]byte, 0, c.msgLen)
+			}
+			r.cur = r.cur[:0]
 			r.curBits = c.bits
 			r.curLen = c.msgLen
 			r.arrival = c.arrival
 		}
-		r.cur = append(r.cur, c.payload...)
-		r.filled += len(c.payload)
+		r.cur = append(r.cur, c.data[:n]...)
+		r.filled += n
 		if c.arrival > r.arrival {
 			r.arrival = c.arrival
 		}
+		r.head = (r.head + 1) % RingCells
+		r.count--
+		r.cond.Broadcast() // free a cell for a blocked producer
+		r.mu.Unlock()
+
+		meter.ChargeCycles(instr.Transport, p.CellOverhead+vtime.Cycles(p.PerByte*float64(n)))
 
 		if r.filled >= r.curLen {
 			meter.ChargeCycles(instr.Transport, p.RecvOverhead)
-			data := r.cur
-			r.cur, r.filled, r.curLen = nil, 0, 0
+			data := r.cur[:r.filled]
+			r.filled, r.curLen = 0, 0
 			d.deliver(rank, r.curBits, src, data, r.arrival)
 			delivered++
 		}
@@ -267,5 +284,5 @@ func (d *Domain) PendingFrom(src, rank int) bool {
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	return len(r.cells) > 0 || r.filled > 0
+	return r.count > 0 || r.filled > 0
 }

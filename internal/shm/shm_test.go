@@ -43,7 +43,9 @@ func newTestDomain(n int) (*Domain, []*[]delivery, []*testMeter) {
 		boxes[i] = new([]delivery)
 	}
 	d := NewDomain(DefaultProfile, n, func(dst int, bits match.Bits, src int, data []byte, arrival vtime.Time) {
-		*boxes[dst] = append(*boxes[dst], delivery{bits, src, data, arrival})
+		// Deliver lends the ring's reassembly scratch: copy to retain.
+		cp := append([]byte(nil), data...)
+		*boxes[dst] = append(*boxes[dst], delivery{bits, src, cp, arrival})
 	}, nil)
 	meters := make([]*testMeter, n)
 	for i := range meters {
