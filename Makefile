@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: ci build vet test race bench-smoke fuzz-smoke
+.PHONY: ci build vet test race bench-smoke fuzz-smoke bench-json
 
 # The tier-1 gate: everything a PR must keep green.
 ci: build vet test race bench-smoke
@@ -24,6 +24,12 @@ race:
 # allocs) without the cost of a full run.
 bench-smoke:
 	$(GO) test -run xxx -bench . -benchtime 1x ./...
+
+# Machine-readable benchmark summary: one iteration of every benchmark
+# (ns/op, allocs/op) plus the reference-exchange metric aggregates,
+# written to BENCH_PR2.json for cross-PR comparison.
+bench-json:
+	$(GO) run ./cmd/benchjson -o BENCH_PR2.json
 
 # Short differential-fuzz run: binned vs linear matching must agree.
 fuzz-smoke:

@@ -24,9 +24,9 @@ func failFast(t *testing.T, n int, cfg Config, body func(p *Proc) error) error {
 }
 
 func TestAbortUnblocksPendingRecv(t *testing.T) {
-	for _, dev := range []string{"ch4", "original"} {
+	for _, dev := range []DeviceKind{DeviceCH4, DeviceOriginal} {
 		dev := dev
-		t.Run(dev, func(t *testing.T) {
+		t.Run(string(dev), func(t *testing.T) {
 			boom := errors.New("boom")
 			err := failFast(t, 3, Config{Device: dev, Fabric: "ofi"}, func(p *Proc) error {
 				if p.Rank() == 0 {

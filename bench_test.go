@@ -280,7 +280,7 @@ func BenchmarkAblationCompletion(b *testing.B) {
 // instruction cost per message.
 func BenchmarkAblationMatching(b *testing.B) {
 	b.ReportAllocs()
-	recvCost := func(device string) int64 {
+	recvCost := func(device gompi.DeviceKind) int64 {
 		var instr int64
 		err := gompi.Run(2, gompi.Config{Device: device, Fabric: "inf", Build: "no-err-single-ipo"}, func(p *gompi.Proc) error {
 			w := p.World()

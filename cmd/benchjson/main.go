@@ -1,0 +1,101 @@
+// Command benchjson runs the benchmark suite once and writes a
+// machine-readable summary — per-benchmark ns/op and allocs/op plus
+// the metrics aggregates of the reference exchange on both devices —
+// as JSON. The Makefile's bench-json target uses it to produce
+// BENCH_PR2.json. Timestamps are deliberately omitted so reruns diff
+// cleanly.
+//
+// Usage:
+//
+//	benchjson [-o BENCH_PR2.json] [-benchtime 1x]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+
+	"gompi"
+	"gompi/internal/bench"
+)
+
+// BenchResult is one benchmark line of `go test -bench`.
+type BenchResult struct {
+	Name     string  `json:"name"`
+	Iters    int64   `json:"iters"`
+	NsPerOp  float64 `json:"ns_per_op"`
+	BytesOp  int64   `json:"bytes_per_op"`
+	AllocsOp int64   `json:"allocs_per_op"`
+}
+
+// Output is the whole document.
+type Output struct {
+	Benchmarks []BenchResult                    `json:"benchmarks"`
+	Exchange   map[string]gompi.MetricsSnapshot `json:"exchange_aggregate"`
+}
+
+// benchLine matches e.g.
+// BenchmarkIsendIPO-8  1  452 ns/op  0 B/op  0 allocs/op
+var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+(\d+)\s+([\d.]+) ns/op(?:\s+(\d+) B/op)?(?:\s+(\d+) allocs/op)?`)
+
+func main() {
+	out := flag.String("o", "BENCH_PR2.json", "output path")
+	benchtime := flag.String("benchtime", "1x", "go test -benchtime value")
+	flag.Parse()
+
+	cmd := exec.Command("go", "test", "-run", "xxx", "-bench", ".",
+		"-benchtime", *benchtime, "-benchmem", "./...")
+	raw, err := cmd.CombinedOutput()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: go test: %v\n%s", err, raw)
+		os.Exit(1)
+	}
+
+	var results []BenchResult
+	for _, line := range strings.Split(string(raw), "\n") {
+		m := benchLine.FindStringSubmatch(strings.TrimSpace(line))
+		if m == nil {
+			continue
+		}
+		r := BenchResult{Name: m[1]}
+		r.Iters, _ = strconv.ParseInt(m[2], 10, 64)
+		r.NsPerOp, _ = strconv.ParseFloat(m[3], 64)
+		if m[4] != "" {
+			r.BytesOp, _ = strconv.ParseInt(m[4], 10, 64)
+		}
+		if m[5] != "" {
+			r.AllocsOp, _ = strconv.ParseInt(m[5], 10, 64)
+		}
+		results = append(results, r)
+	}
+	sort.Slice(results, func(i, j int) bool { return results[i].Name < results[j].Name })
+
+	exchange := map[string]gompi.MetricsSnapshot{}
+	for _, dev := range []gompi.DeviceKind{gompi.DeviceCH4, gompi.DeviceOriginal} {
+		st, err := bench.ExchangeStats(gompi.Config{Device: dev}, 1024)
+		fail(err)
+		fail(bench.CheckExchangeBalance(st))
+		exchange[string(dev)] = st.Aggregate()
+	}
+
+	f, err := os.Create(*out)
+	fail(err)
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	fail(enc.Encode(Output{Benchmarks: results, Exchange: exchange}))
+	fail(f.Close())
+	fmt.Fprintf(os.Stderr, "benchjson: %d benchmarks -> %s\n", len(results), *out)
+}
+
+func fail(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}

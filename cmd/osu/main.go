@@ -29,7 +29,7 @@ func main() {
 	window := flag.Int("window", 32, "messages in flight for the bandwidth test")
 	flag.Parse()
 
-	cfg := gompi.Config{Device: *device, Fabric: *net, Build: *build}
+	cfg := gompi.Config{Device: gompi.DeviceKind(*device), Fabric: gompi.FabricKind(*net), Build: gompi.BuildKind(*build)}
 	pts, err := bench.OSUSweep(cfg, *max, *iters, *window)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "osu:", err)

@@ -6,18 +6,22 @@
 //
 //	repro            # quick sweep (minutes)
 //	repro -full      # larger rank counts and sample sizes
+//	repro -metrics   # append the observability snapshot as JSON
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 
+	"gompi"
 	"gompi/internal/bench"
 )
 
 func main() {
 	full := flag.Bool("full", false, "larger rank counts and sample sizes")
+	metrics := flag.Bool("metrics", false, "emit the per-device metrics snapshot of the reference exchange")
 	flag.Parse()
 
 	msgs := 2000
@@ -67,6 +71,19 @@ func main() {
 	lj, err := bench.LammpsSweep(ljOpts)
 	fail(err)
 	bench.WriteLammps(os.Stdout, lj)
+
+	if *metrics {
+		section("Metrics (4-rank exchange aggregate)")
+		for _, dev := range []gompi.DeviceKind{gompi.DeviceCH4, gompi.DeviceOriginal} {
+			st, err := bench.ExchangeStats(gompi.Config{Device: dev}, 1024)
+			fail(err)
+			fail(bench.CheckExchangeBalance(st))
+			fmt.Printf("%s:\n", dev)
+			enc := json.NewEncoder(os.Stdout)
+			enc.SetIndent("", "  ")
+			fail(enc.Encode(st.Aggregate()))
+		}
+	}
 }
 
 func section(name string) {

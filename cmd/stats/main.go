@@ -1,0 +1,70 @@
+// Command stats runs the observability reference workload — a 4-rank
+// all-pairs exchange with 2 ranks per node — and emits the job's
+// metrics snapshot as JSON: per-rank counters plus the job-wide
+// aggregate, in which the shm and net send/receive byte counters
+// balance exactly.
+//
+// Usage:
+//
+//	stats                       # ch4 device, 1 KiB messages
+//	stats -device original
+//	stats -bytes 65536
+//	stats -chrome trace.json    # also write a Chrome trace of the run
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"gompi"
+	"gompi/internal/bench"
+)
+
+func jsonEncoder(w io.Writer) *json.Encoder {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc
+}
+
+func main() {
+	device := flag.String("device", "ch4", "device: ch4 or original")
+	build := flag.String("build", "default", "build configuration")
+	msgBytes := flag.Int("bytes", 1024, "small-message payload size")
+	chrome := flag.String("chrome", "", "write a Chrome trace (catapult JSON) to this path")
+	flag.Parse()
+
+	cfg := gompi.Config{
+		Device: gompi.DeviceKind(*device),
+		Build:  gompi.BuildKind(*build),
+		Trace:  *chrome != "",
+	}
+	st, err := bench.ExchangeStats(cfg, *msgBytes)
+	fail(err)
+	fail(bench.CheckExchangeBalance(st))
+
+	out := struct {
+		Hz        float64               `json:"hz"`
+		Ranks     []gompi.RankStats     `json:"ranks"`
+		Aggregate gompi.MetricsSnapshot `json:"aggregate"`
+	}{st.Hz, st.Ranks, st.Aggregate()}
+	enc := jsonEncoder(os.Stdout)
+	fail(enc.Encode(out))
+
+	if *chrome != "" {
+		f, err := os.Create(*chrome)
+		fail(err)
+		fail(st.WriteChromeTrace(f))
+		fail(f.Close())
+		fmt.Fprintln(os.Stderr, "chrome trace written to", *chrome)
+	}
+}
+
+func fail(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "stats:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,71 @@
+package gompi
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestStringConfigStillWorks is the deprecation guarantee of the typed
+// Config migration: untyped string literals keep compiling and resolve
+// to the same devices, fabrics, and builds as the typed constants.
+// This test is the compatibility contract — do not "fix" the string
+// literals below to constants.
+func TestStringConfigStillWorks(t *testing.T) {
+	legacy := []Config{
+		{Device: "ch4", Fabric: "ofi", Build: "default"},
+		{Device: "original", Fabric: "ucx", Build: "no-err"},
+		{Device: "ch4", Fabric: "inf", Build: "no-err-single-ipo"},
+		{Device: "ch4", Fabric: "bgq", Build: "no-err-single"},
+	}
+	typed := []Config{
+		{Device: DeviceCH4, Fabric: FabricOFI, Build: BuildDefault},
+		{Device: DeviceOriginal, Fabric: FabricUCX, Build: BuildNoErr},
+		{Device: DeviceCH4, Fabric: FabricInf, Build: BuildNoErrSingleIPO},
+		{Device: DeviceCH4, Fabric: FabricBGQ, Build: BuildNoErrSingle},
+	}
+	for i := range legacy {
+		if legacy[i] != typed[i] {
+			t.Fatalf("case %d: string config %+v != typed config %+v", i, legacy[i], typed[i])
+		}
+		run(t, 2, legacy[i], func(p *Proc) error {
+			w := p.World()
+			if p.Rank() == 0 {
+				return w.Send([]byte{9}, 1, Byte, 1, 0)
+			}
+			buf := make([]byte, 1)
+			if _, err := w.Recv(buf, 1, Byte, 0, 0); err != nil {
+				return err
+			}
+			if buf[0] != 9 {
+				return fmt.Errorf("delivered %d", buf[0])
+			}
+			return nil
+		})
+	}
+}
+
+// TestUnknownConfigKindsError pins the validation errors for bad names,
+// typed or not.
+func TestUnknownConfigKindsError(t *testing.T) {
+	cases := []Config{
+		{Device: "ch5"},
+		{Fabric: "ethernet"},
+		{Build: "release"},
+	}
+	for i, cfg := range cases {
+		if err := Run(2, cfg, func(p *Proc) error { return nil }); err == nil {
+			t.Fatalf("case %d: Run accepted invalid config %+v", i, cfg)
+		}
+	}
+}
+
+// TestZeroConfigDefaults pins the documented defaults: ch4 on the
+// infinite network, default build.
+func TestZeroConfigDefaults(t *testing.T) {
+	run(t, 1, Config{}, func(p *Proc) error {
+		if p.ClockHz() != 2.2e9 {
+			return fmt.Errorf("hz %g", p.ClockHz())
+		}
+		return nil
+	})
+}

@@ -27,7 +27,7 @@ func main() {
 	fmt.Printf("LJ melt, %d ranks, ~%d atoms/core, %d steps, BG/Q platform profile\n\n",
 		8, prm.AtomsPerCore, prm.Steps)
 
-	for _, dev := range []string{"ch4", "original"} {
+	for _, dev := range []gompi.DeviceKind{gompi.DeviceCH4, gompi.DeviceOriginal} {
 		var res md.Result
 		err := gompi.Run(8, gompi.Config{Device: dev, Fabric: "bgq"}, func(p *gompi.Proc) error {
 			r, err := md.Run(p, prm)

@@ -42,24 +42,63 @@ import (
 	"gompi/internal/vtime"
 )
 
+// DeviceKind selects the MPI implementation. It is a defined string
+// type, so untyped string literals ("ch4") keep compiling in Config
+// literals; prefer the typed constants in new code.
+type DeviceKind string
+
+// Devices.
+const (
+	// DeviceCH4 is the paper's lightweight device (the default).
+	DeviceCH4 DeviceKind = "ch4"
+	// DeviceOriginal is the CH3-style baseline.
+	DeviceOriginal DeviceKind = "original"
+)
+
+// FabricKind selects the simulated network profile.
+type FabricKind string
+
+// Fabrics.
+const (
+	// FabricOFI is the Omni-Path/PSM2 profile.
+	FabricOFI FabricKind = "ofi"
+	// FabricUCX is the Mellanox EDR profile.
+	FabricUCX FabricKind = "ucx"
+	// FabricInf is the infinitely fast network (the default).
+	FabricInf FabricKind = "inf"
+	// FabricBGQ is the Blue Gene/Q profile.
+	FabricBGQ FabricKind = "bgq"
+)
+
+// BuildKind selects the Figure 2 build configuration.
+type BuildKind string
+
+// Builds, in Figure 2 legend order.
+const (
+	BuildDefault        BuildKind = "default"
+	BuildNoErr          BuildKind = "no-err"
+	BuildNoErrSingle    BuildKind = "no-err-single"
+	BuildNoErrSingleIPO BuildKind = "no-err-single-ipo"
+)
+
 // Config selects the library build and platform, mirroring the paper's
 // experimental axes.
 type Config struct {
-	// Device selects the MPI implementation: "ch4" (default, the
-	// paper's lightweight device) or "original" (the CH3-style
-	// baseline).
-	Device string
-	// Fabric selects the simulated network: "ofi" (Omni-Path/PSM2
-	// profile), "ucx" (Mellanox EDR profile), or "inf" (the infinitely
-	// fast network; default).
-	Fabric string
+	// Device selects the MPI implementation: DeviceCH4 (default, the
+	// paper's lightweight device) or DeviceOriginal (the CH3-style
+	// baseline). Plain string literals remain accepted.
+	Device DeviceKind
+	// Fabric selects the simulated network: FabricOFI (Omni-Path/PSM2
+	// profile), FabricUCX (Mellanox EDR profile), FabricBGQ, or
+	// FabricInf (the infinitely fast network; default).
+	Fabric FabricKind
 	// RanksPerNode controls locality: 1 (default) makes every peer
 	// remote (pure netmod); >1 co-locates ranks so the shmmod carries
 	// on-node traffic (ch4 only).
 	RanksPerNode int
-	// Build selects the Figure 2 configuration: "default", "no-err",
-	// "no-err-single", "no-err-single-ipo".
-	Build string
+	// Build selects the Figure 2 configuration: BuildDefault,
+	// BuildNoErr, BuildNoErrSingle, BuildNoErrSingleIPO.
+	Build BuildKind
 	// ThreadMultiple requests MPI_THREAD_MULTIPLE: communication takes
 	// the per-communicator critical section.
 	ThreadMultiple bool
@@ -72,15 +111,24 @@ type Config struct {
 	// and a negative value disables rendezvous entirely (everything
 	// eager). Exposed for the eager-threshold ablation.
 	EagerLimit int
+	// Profiler, when non-nil, receives Enter/Exit callbacks around
+	// every MPI operation on every rank (a PMPI-style interception
+	// layer). The implementation must be safe for concurrent use: all
+	// ranks call it.
+	Profiler Profiler
+	// Stats, when non-nil, is filled at teardown with the per-rank
+	// counters, metrics registries, and (when tracing) event logs of
+	// the run. See Stats.
+	Stats *Stats
 }
 
 // resolve validates the configuration into its internal pieces.
 func (cfg Config) resolve() (prof fabric.Profile, bc core.Config, dev string, rpn int, err error) {
-	prof, ok := fabric.ByName(cfg.Fabric)
+	prof, ok := fabric.ByName(string(cfg.Fabric))
 	if !ok {
 		return prof, bc, "", 0, fmt.Errorf("gompi: unknown fabric %q", cfg.Fabric)
 	}
-	bc, ok = core.ConfigByName(cfg.Build)
+	bc, ok = core.ConfigByName(string(cfg.Build))
 	if !ok {
 		return prof, bc, "", 0, fmt.Errorf("gompi: unknown build %q", cfg.Build)
 	}
@@ -88,7 +136,7 @@ func (cfg Config) resolve() (prof fabric.Profile, bc core.Config, dev string, rp
 	if cfg.ThreadMultiple {
 		bc.ThreadCheck = true
 	}
-	dev = cfg.Device
+	dev = string(cfg.Device)
 	if dev == "" {
 		dev = "ch4"
 	}
@@ -144,7 +192,21 @@ type Proc struct {
 	predef [MaxPredefinedComms]*Comm
 
 	tlog     trace.Log
+	profiler Profiler
 	teardown func()
+}
+
+// Profiler is the PMPI-style interception interface: Enter fires when
+// an MPI operation begins on a rank, Exit when it returns. The op kind
+// is the operation's trace classification; peer and bytes describe the
+// call (peer is -1 when not applicable), and vcycles is the rank's
+// virtual clock at the hook. Hooks run on the rank's goroutine inside
+// the operation, so they observe virtual time exactly — but they must
+// not call back into the Proc, and they must be safe for concurrent
+// invocation across ranks.
+type Profiler interface {
+	Enter(rank int, op TraceKind, peer, bytes int, vcycles int64)
+	Exit(rank int, op TraceKind, peer, bytes int, vcycles int64)
 }
 
 // Run launches an n-rank job and executes body on every rank. It
@@ -182,6 +244,13 @@ func Run(n int, cfg Config, body func(p *Proc) error) error {
 		abortWorld()
 		reg.Abort()
 	}
+	if cfg.Stats != nil {
+		*cfg.Stats = Stats{
+			Hz:     hz,
+			Ranks:  make([]RankStats, n),
+			traces: make([][]trace.Event, n),
+		}
+	}
 	errs := world.RunAll(func(r *proc.Rank) error {
 		// A rank dying by panic must also tear the world down, or
 		// peers blocked on it would hang; re-panic for proc.Run's
@@ -192,7 +261,8 @@ func Run(n int, cfg Config, body func(p *Proc) error) error {
 				panic(rec)
 			}
 		}()
-		p := &Proc{rank: r, dev: open(r), bc: bc, reg: reg, teardown: teardown}
+		p := &Proc{rank: r, dev: open(r), bc: bc, reg: reg,
+			profiler: cfg.Profiler, teardown: teardown}
 		if cfg.Trace {
 			capEvents := cfg.TraceEvents
 			if capEvents == 0 {
@@ -203,6 +273,18 @@ func Run(n int, cfg Config, body func(p *Proc) error) error {
 		r.StartBarrier()
 		p.world = &Comm{p: p, c: comm.NewWorld(reg, n, r.ID())}
 		err := body(p)
+		if cfg.Stats != nil {
+			// Each rank fills only its own slot, so the collection
+			// needs no lock; the merge happens after RunAll joins.
+			cfg.Stats.Ranks[r.ID()] = RankStats{
+				Rank:          r.ID(),
+				Counters:      p.Counters(),
+				Metrics:       p.dev.Stats(),
+				TraceDropped:  p.tlog.Dropped(),
+				VirtualCycles: int64(r.Now()),
+			}
+			cfg.Stats.traces[r.ID()] = p.tlog.Events()
+		}
 		if err != nil {
 			// Tear the world down so peers blocked on this rank fail
 			// fast instead of hanging; their abort fallout is filtered
@@ -257,15 +339,15 @@ func (p *Proc) Abort(code int) {
 // Counters is a public snapshot of the rank's cost accounting: the
 // Table 1 categories plus virtual time.
 type Counters struct {
-	ErrorCheck  int64
-	ThreadCheck int64
-	Call        int64
-	Redundant   int64
-	Mandatory   int64
-	TotalInstr  int64 // sum of the five MPI categories
-	Transport   int64 // fabric/shm cycles (not MPI instructions)
-	Compute     int64 // modeled application cycles
-	Cycles      int64 // total virtual cycles
+	ErrorCheck  int64 `json:"error_check"`
+	ThreadCheck int64 `json:"thread_check"`
+	Call        int64 `json:"call"`
+	Redundant   int64 `json:"redundant"`
+	Mandatory   int64 `json:"mandatory"`
+	TotalInstr  int64 `json:"total_instr"` // sum of the five MPI categories
+	Transport   int64 `json:"transport"`   // fabric/shm cycles (not MPI instructions)
+	Compute     int64 `json:"compute"`     // modeled application cycles
+	Cycles      int64 `json:"cycles"`      // total virtual cycles
 }
 
 // Counters returns the current accumulated costs for this rank.
@@ -298,6 +380,11 @@ func (c Counters) Sub(o Counters) Counters {
 		Cycles:      c.Cycles - o.Cycles,
 	}
 }
+
+// Metrics snapshots this rank's observability registry (message and
+// byte counts by path, matching statistics, pool behavior, RMA op
+// counts). The counters are per-rank and lock-free; see DESIGN.md §6a.
+func (p *Proc) Metrics() MetricsSnapshot { return p.dev.Stats() }
 
 // VirtualTime returns the rank's virtual clock in seconds since spawn.
 func (p *Proc) VirtualTime() float64 {
@@ -350,6 +437,9 @@ func (p *Proc) wtimeAt(t vtime.Time) float64 { return p.rank.Clock().Seconds(0, 
 // TraceEvent is one recorded operation of the event trace.
 type TraceEvent = trace.Event
 
+// TraceKind classifies traced operations (see the Trace* constants).
+type TraceKind = trace.Kind
+
 // Trace operation kinds, re-exported for event inspection.
 const (
 	TraceSend  = trace.KindSend
@@ -372,14 +462,26 @@ func (p *Proc) WriteTraceSummary(w interface{ Write([]byte) (int, error) }) {
 	p.tlog.Summarize().Write(w)
 }
 
-// span starts a traced interval; the returned func records it. A nil
-// return (tracing off) is handled by the callers' `if end != nil`.
+// span starts a traced/profiled interval; the returned func records
+// it. A nil return (tracing and profiling both off) is handled by the
+// callers' `if end != nil` — the steady-state path stays
+// allocation-free when observability is disabled.
 func (p *Proc) span(kind trace.Kind, peer, bytes int) func() {
-	if !p.tlog.Enabled() {
+	traced := p.tlog.Enabled()
+	if !traced && p.profiler == nil {
 		return nil
 	}
 	start := p.rank.Now()
+	if p.profiler != nil {
+		p.profiler.Enter(p.rank.ID(), kind, peer, bytes, int64(start))
+	}
 	return func() {
-		p.tlog.Record(trace.Event{Kind: kind, Peer: peer, Bytes: bytes, Start: start, End: p.rank.Now()})
+		end := p.rank.Now()
+		if traced {
+			p.tlog.Record(trace.Event{Kind: kind, Peer: peer, Bytes: bytes, Start: start, End: end})
+		}
+		if p.profiler != nil {
+			p.profiler.Exit(p.rank.ID(), kind, peer, bytes, int64(end))
+		}
 	}
 }

@@ -188,7 +188,7 @@ func TestFigure2Ladder(t *testing.T) {
 	for _, pt := range points {
 		pt := pt
 		t.Run(pt.device+"-"+pt.build, func(t *testing.T) {
-			run(t, 2, Config{Device: pt.device, Fabric: "inf", Build: pt.build}, func(p *Proc) error {
+			run(t, 2, Config{Device: DeviceKind(pt.device), Fabric: FabricInf, Build: BuildKind(pt.build)}, func(p *Proc) error {
 				w := p.World()
 				// Isend measurement.
 				var isend int64

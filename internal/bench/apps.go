@@ -78,9 +78,9 @@ func NekSweep(opts NekSweepOptions) ([]NekPoint, error) {
 				Iters:        opts.Iters,
 			}
 			pt := NekPoint{N: order, EPerRank: eP, NOverP: prm.NOverP()}
-			for _, dev := range []string{"original", "ch4"} {
+			for _, dev := range []gompi.DeviceKind{gompi.DeviceOriginal, gompi.DeviceCH4} {
 				var res nek.Result
-				err := gompi.Run(ranks, gompi.Config{Device: dev, Fabric: opts.Fabric}, func(p *gompi.Proc) error {
+				err := gompi.Run(ranks, gompi.Config{Device: dev, Fabric: gompi.FabricKind(opts.Fabric)}, func(p *gompi.Proc) error {
 					r, err := nek.Solve(p, prm)
 					if err != nil {
 						return err
@@ -171,9 +171,9 @@ func LammpsSweep(opts LammpsSweepOptions) ([]LammpsPoint, error) {
 			Steps:        opts.Steps,
 		}
 		pt := LammpsPoint{Nodes: sc.nodes, AtomsPerCore: sc.atomsPerCore}
-		for _, dev := range []string{"ch4", "original"} {
+		for _, dev := range []gompi.DeviceKind{gompi.DeviceCH4, gompi.DeviceOriginal} {
 			var res md.Result
-			err := gompi.Run(ranks, gompi.Config{Device: dev, Fabric: opts.Fabric}, func(p *gompi.Proc) error {
+			err := gompi.Run(ranks, gompi.Config{Device: dev, Fabric: gompi.FabricKind(opts.Fabric)}, func(p *gompi.Proc) error {
 				r, err := md.Run(p, prm)
 				if err != nil {
 					return err

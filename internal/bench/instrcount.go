@@ -18,8 +18,8 @@ type Breakdown struct {
 // InstrBreakdown measures the instruction cost of one 1-byte MPI_ISEND
 // and MPI_PUT under the given device and build, on the infinitely fast
 // network (so only MPI software instructions appear).
-func InstrBreakdown(device, build string) (isend, put Breakdown, err error) {
-	cfg := gompi.Config{Device: device, Fabric: "inf", Build: build}
+func InstrBreakdown(device gompi.DeviceKind, build gompi.BuildKind) (isend, put Breakdown, err error) {
+	cfg := gompi.Config{Device: device, Fabric: gompi.FabricInf, Build: build}
 	err = gompi.Run(2, cfg, func(p *gompi.Proc) error {
 		w := p.World()
 		// --- Isend ---
@@ -30,7 +30,7 @@ func InstrBreakdown(device, build string) (isend, put Breakdown, err error) {
 			if err != nil {
 				return err
 			}
-			isend = Breakdown{Op: "MPI_ISEND", Device: device, Build: build, Counters: p.Counters().Sub(before)}
+			isend = Breakdown{Op: "MPI_ISEND", Device: string(device), Build: string(build), Counters: p.Counters().Sub(before)}
 			if _, err := req.Wait(); err != nil {
 				return err
 			}
@@ -53,7 +53,7 @@ func InstrBreakdown(device, build string) (isend, put Breakdown, err error) {
 			if err := win.Put([]byte{1}, 1, gompi.Byte, 1, 0); err != nil {
 				return err
 			}
-			put = Breakdown{Op: "MPI_PUT", Device: device, Build: build, Counters: p.Counters().Sub(before)}
+			put = Breakdown{Op: "MPI_PUT", Device: string(device), Build: string(build), Counters: p.Counters().Sub(before)}
 		}
 		if err := win.Fence(); err != nil {
 			return err

@@ -15,8 +15,8 @@ import (
 // presentation order.
 var BuildLadder = []struct {
 	Label  string
-	Device string
-	Build  string
+	Device gompi.DeviceKind
+	Build  gompi.BuildKind
 }{
 	{"mpich/original", "original", "default"},
 	{"mpich/ch4 (default)", "ch4", "default"},
@@ -41,7 +41,7 @@ func MessageRates(fabricName string, msgs int) ([]RatePoint, error) {
 	}
 	out := make([]RatePoint, 0, len(BuildLadder))
 	for _, bl := range BuildLadder {
-		cfg := gompi.Config{Device: bl.Device, Fabric: fabricName, Build: bl.Build}
+		cfg := gompi.Config{Device: bl.Device, Fabric: gompi.FabricKind(fabricName), Build: bl.Build}
 		isend, err := isendRate(cfg, msgs)
 		if err != nil {
 			return nil, fmt.Errorf("%s isend: %w", bl.Label, err)

@@ -1,0 +1,94 @@
+package bench
+
+import (
+	"fmt"
+
+	"gompi"
+)
+
+// ExchangeRanks is the world size of the ExchangeStats workload.
+const ExchangeRanks = 4
+
+// ExchangeStats runs the observability reference workload: a 4-rank
+// all-pairs exchange with 2 ranks per node, so the self, shmmod, and
+// netmod paths all carry traffic (on the ch4 device; the baseline
+// lowers everything to the netmod). Each rank sends two messages to
+// every peer including itself — one of msgBytes and one of 4x the
+// fabric's eager limit, so both the eager and rendezvous protocols
+// fire — and the teardown snapshot is returned for inspection. In the
+// aggregate snapshot the shm_send/shm_recv and net_send/net_recv byte
+// counters balance exactly: every byte leaving one rank's send counter
+// arrives on some rank's receive counter.
+//
+// cfg's Device, Build, Trace, and Profiler fields are honored; the
+// world geometry, fabric default ("ofi" when unset), and traffic
+// pattern are fixed so results are comparable across devices.
+func ExchangeStats(cfg gompi.Config, msgBytes int) (*gompi.Stats, error) {
+	if msgBytes <= 0 {
+		msgBytes = 1024
+	}
+	if cfg.Fabric == "" {
+		cfg.Fabric = gompi.FabricOFI
+	}
+	cfg.RanksPerNode = 2
+	big := 4 * 8192 // past every profile's eager limit
+	return gompi.RunStats(ExchangeRanks, cfg, func(p *gompi.Proc) error {
+		w := p.World()
+		n := p.Size()
+		var reqs []*gompi.Request
+		post := func(bytes, tag int) error {
+			for peer := 0; peer < n; peer++ {
+				buf := make([]byte, bytes)
+				r, err := w.Irecv(buf, bytes, gompi.Byte, peer, tag)
+				if err != nil {
+					return err
+				}
+				reqs = append(reqs, r)
+			}
+			return nil
+		}
+		// Post all receives before sending: with every rank doing the
+		// same, the exchange cannot deadlock regardless of protocol.
+		if err := post(msgBytes, 1); err != nil {
+			return err
+		}
+		if err := post(big, 2); err != nil {
+			return err
+		}
+		small := make([]byte, msgBytes)
+		large := make([]byte, big)
+		for peer := 0; peer < n; peer++ {
+			r, err := w.Isend(small, msgBytes, gompi.Byte, peer, 1)
+			if err != nil {
+				return err
+			}
+			reqs = append(reqs, r)
+			r, err = w.Isend(large, big, gompi.Byte, peer, 2)
+			if err != nil {
+				return err
+			}
+			reqs = append(reqs, r)
+		}
+		return gompi.Waitall(reqs)
+	})
+}
+
+// CheckExchangeBalance verifies the conservation property of an
+// ExchangeStats snapshot: aggregate send bytes equal aggregate receive
+// bytes on both the shm and net paths.
+func CheckExchangeBalance(st *gompi.Stats) error {
+	agg := st.Aggregate()
+	if agg.ShmSend.Bytes != agg.ShmRecv.Bytes {
+		return fmt.Errorf("shm bytes unbalanced: sent %d received %d", agg.ShmSend.Bytes, agg.ShmRecv.Bytes)
+	}
+	if agg.NetSend.Bytes != agg.NetRecv.Bytes {
+		return fmt.Errorf("net bytes unbalanced: sent %d received %d", agg.NetSend.Bytes, agg.NetRecv.Bytes)
+	}
+	if agg.ShmSend.Msgs != agg.ShmRecv.Msgs {
+		return fmt.Errorf("shm messages unbalanced: sent %d received %d", agg.ShmSend.Msgs, agg.ShmRecv.Msgs)
+	}
+	if agg.NetSend.Msgs != agg.NetRecv.Msgs {
+		return fmt.Errorf("net messages unbalanced: sent %d received %d", agg.NetSend.Msgs, agg.NetRecv.Msgs)
+	}
+	return nil
+}

@@ -19,6 +19,7 @@ import (
 	"gompi/internal/fabric"
 	"gompi/internal/instr"
 	"gompi/internal/match"
+	"gompi/internal/metrics"
 	"gompi/internal/proc"
 	"gompi/internal/request"
 	"gompi/internal/shm"
@@ -109,7 +110,7 @@ func NewGlobal(w *proc.World, prof fabric.Profile, cfg core.Config) *Global {
 	if w.RanksPerNode() > 1 {
 		g.Shm = shm.NewDomain(shm.DefaultProfile, w.Size(),
 			func(dst int, bits match.Bits, src int, data []byte, arrival vtime.Time) {
-				g.Fab.Endpoint(dst).DepositLocal(bits, src, data, arrival)
+				g.Fab.Endpoint(dst).DepositShm(bits, src, data, arrival)
 			},
 			func(dst int) { g.Fab.Endpoint(dst).Wake() },
 		)
@@ -146,6 +147,7 @@ type Device struct {
 // goroutine before its StartBarrier.
 func (g *Global) Open(r *proc.Rank) *Device {
 	d := &Device{g: g, rank: r, ep: g.Fab.Endpoint(r.ID()), cfg: g.Cfg}
+	d.pool.Metrics = r.Metrics()
 	d.ep.Bind(r)
 	if g.Shm != nil {
 		g.Shm.Bind(r.ID(), r)
@@ -161,6 +163,15 @@ func (d *Device) Rank() *proc.Rank { return d.rank }
 
 // Config returns the device's build configuration.
 func (d *Device) Config() core.Config { return d.cfg }
+
+// Stats snapshots the rank's metrics registry, folding in the
+// endpoint matching engine's counters (kept on the engine itself so
+// the match hot path stays a plain increment).
+func (d *Device) Stats() metrics.Snapshot {
+	m := d.rank.Metrics()
+	d.ep.FoldMatchStats(m)
+	return m.Snapshot()
+}
 
 // Progress drains the shared-memory rings and runs pending active
 // messages.

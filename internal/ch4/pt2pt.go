@@ -122,7 +122,7 @@ func (d *Device) inject(world int, bits match.Bits, data []byte) {
 	switch {
 	case world == d.rank.ID():
 		d.charge(instr.Mandatory, costSelfLoop)
-		d.ep.DepositLocal(bits, world, data, d.rank.Now())
+		d.ep.DepositSelf(bits, world, data, d.rank.Now())
 	case d.g.Shm != nil && d.g.World.SameNode(world, d.rank.ID()):
 		d.charge(instr.Mandatory, costShmPrep)
 		d.g.Shm.Send(d.rank.ID(), world, bits, data)

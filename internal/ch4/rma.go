@@ -146,6 +146,7 @@ func (d *Device) resolveTarget(target, disp, nbytes int, w *rma.Win, flags core.
 func (d *Device) Put(origin []byte, count int, dt *datatype.Type, target, disp int,
 	w *rma.Win, flags core.OpFlags) error {
 
+	d.rank.Metrics().RmaPuts++
 	d.chargeDispatch(costDispatchRMA)
 
 	if !flags.Has(core.FlagNoProcNull) {
@@ -182,6 +183,7 @@ func (d *Device) Put(origin []byte, count int, dt *datatype.Type, target, disp i
 func (d *Device) Get(origin []byte, count int, dt *datatype.Type, target, disp int,
 	w *rma.Win, flags core.OpFlags) error {
 
+	d.rank.Metrics().RmaGets++
 	d.chargeDispatch(costDispatchRMA)
 
 	if !flags.Has(core.FlagNoProcNull) {
@@ -223,6 +225,7 @@ func (d *Device) Get(origin []byte, count int, dt *datatype.Type, target, disp i
 // derived layouts fall back to active messages.
 func (d *Device) Accumulate(origin []byte, count int, dt *datatype.Type, target, disp int,
 	op coll.Op, w *rma.Win, flags core.OpFlags) error {
+	d.rank.Metrics().RmaAccs++
 	return d.accumulate(origin, nil, count, dt, target, disp, op, w, flags)
 }
 
@@ -233,6 +236,7 @@ func (d *Device) GetAccumulate(origin, result []byte, count int, dt *datatype.Ty
 	if result == nil {
 		return errString("get_accumulate", rma.ErrBadWinArg)
 	}
+	d.rank.Metrics().RmaGetAccs++
 	return d.accumulate(origin, result, count, dt, target, disp, op, w, flags)
 }
 

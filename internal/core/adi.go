@@ -4,6 +4,7 @@ import (
 	"gompi/internal/coll"
 	"gompi/internal/comm"
 	"gompi/internal/datatype"
+	"gompi/internal/metrics"
 	"gompi/internal/proc"
 	"gompi/internal/request"
 	"gompi/internal/rma"
@@ -44,6 +45,9 @@ type Device interface {
 	// Config returns the build configuration the device was opened
 	// with.
 	Config() Config
+	// Stats snapshots the rank's metrics registry, folding in any
+	// counters kept on device-internal structures (matching engines).
+	Stats() metrics.Snapshot
 
 	// Isend starts a nonblocking send of count elements of dt from buf
 	// to dest (a communicator rank, or a world rank under

@@ -5,6 +5,7 @@ import (
 
 	"gompi/internal/instr"
 	"gompi/internal/match"
+	"gompi/internal/metrics"
 	"gompi/internal/vtime"
 )
 
@@ -70,8 +71,23 @@ type Endpoint struct {
 
 	handlers [256]AMHandler
 	meter    Meter
+	// m caches meter.Metrics(). Receive-side counters are bumped
+	// through it under mu by depositing peers, so traffic lands on the
+	// receiving rank's registry regardless of which goroutine carries
+	// it. Nil until Bind.
+	m        *metrics.Rank
 	eventSeq uint64
 }
+
+// via says which transport carried a deposited message, for
+// receive-side path attribution.
+type via uint8
+
+const (
+	viaNet via = iota
+	viaShm
+	viaSelf
+)
 
 // getMessage pops a recycled message envelope (or allocates the first
 // time). Caller holds the endpoint lock.
@@ -100,7 +116,10 @@ func (ep *Endpoint) releaseMessage(m *message) {
 }
 
 func newEndpoint(f *Fabric, rank int) *Endpoint {
-	ep := &Endpoint{f: f, rank: rank}
+	// The placeholder registry keeps deposits into a never-bound
+	// endpoint safe (direct fabric tests); Bind replaces it with the
+	// owning rank's registry.
+	ep := &Endpoint{f: f, rank: rank, m: new(metrics.Rank)}
 	ep.cond = sync.NewCond(&ep.mu)
 	return ep
 }
@@ -110,7 +129,10 @@ func (ep *Endpoint) Rank() int { return ep.rank }
 
 // Bind attaches the owning rank's meter. Must be called before any
 // operation that charges costs.
-func (ep *Endpoint) Bind(m Meter) { ep.meter = m }
+func (ep *Endpoint) Bind(m Meter) {
+	ep.meter = m
+	ep.m = m.Metrics()
+}
 
 // RegisterAM installs the handler for one active-message id. Handlers
 // are installed at device init, before communication starts.
@@ -127,16 +149,20 @@ func (ep *Endpoint) RegisterAM(id uint8, h AMHandler) { ep.handlers[id] = h }
 func (ep *Endpoint) TaggedSend(dst int, bits match.Bits, data []byte) {
 	p := &ep.f.prof
 	ep.meter.ChargeCycles(instr.Transport, p.injectCost(p.SendInject, len(data)))
+	ep.m.NetSend.Note(len(data))
 	now := ep.meter.Now()
 	if p.EagerLimit > 0 && len(data) > p.EagerLimit {
 		// RTS out, CTS back, then the payload: two extra wire
 		// latencies plus the control processing.
 		ep.meter.ChargeCycles(instr.Transport, p.RndvInject)
 		now = ep.meter.Now() + 2*vtime.Time(p.WireLatency)
+		ep.m.Rndv.Note(len(data))
+	} else {
+		ep.m.Eager.Note(len(data))
 	}
 	arrival := p.arrivalAt(now, len(data))
 
-	ep.f.eps[dst].deposit(bits, ep.rank, data, arrival)
+	ep.f.eps[dst].deposit(bits, ep.rank, data, arrival, viaNet)
 }
 
 // deposit lands an incoming message at this endpoint: match against the
@@ -145,8 +171,17 @@ func (ep *Endpoint) TaggedSend(dst int, bits match.Bits, data []byte) {
 // call. A message that matches a posted receive copies straight into
 // the receive buffer — no intermediate copy exists on the fast path;
 // only an unexpected message pays for a (pooled) buffered copy.
-func (ep *Endpoint) deposit(bits match.Bits, src int, data []byte, arrival vtime.Time) {
+func (ep *Endpoint) deposit(bits match.Bits, src int, data []byte, arrival vtime.Time, v via) {
 	ep.mu.Lock()
+	switch v {
+	case viaShm:
+		ep.m.ShmRecv.Note(len(data))
+	case viaSelf:
+		// Self-loop traffic is counted once, at delivery.
+		ep.m.Self.Note(len(data))
+	default:
+		ep.m.NetRecv.Note(len(data))
+	}
 	m := ep.getMessage()
 	if entry, ok := ep.eng.Arrive(bits, m); ok {
 		ep.putMessage(m)
@@ -154,24 +189,31 @@ func (ep *Endpoint) deposit(bits match.Bits, src int, data []byte, arrival vtime
 		completeRecv(op, bits, data, arrival)
 	} else {
 		m.src = src
-		buf := ep.pool.get(len(data))
+		buf := ep.pool.get(len(data), ep.m)
 		copy(buf, data)
 		m.data = buf
 		m.arrival = arrival
+		ep.m.MaxUnexpected(ep.eng.UnexpectedLen())
 	}
 	ep.eventSeq++
 	ep.cond.Broadcast()
 	ep.mu.Unlock()
 }
 
-// DepositLocal lands a message that arrived over a different transport
-// (the shared-memory rings) in this endpoint's matching engine, so that
-// netmod and shmmod traffic share one matching context — which is what
-// makes MPI_ANY_SOURCE receives work across transports in CH4. data is
-// borrowed: the endpoint copies what it keeps, so the caller may reuse
-// the slice as soon as the call returns.
-func (ep *Endpoint) DepositLocal(bits match.Bits, src int, data []byte, arrival vtime.Time) {
-	ep.deposit(bits, src, data, arrival)
+// DepositShm lands a message that arrived over the shared-memory rings
+// in this endpoint's matching engine, so that netmod and shmmod traffic
+// share one matching context — which is what makes MPI_ANY_SOURCE
+// receives work across transports in CH4. data is borrowed: the
+// endpoint copies what it keeps, so the caller may reuse the slice as
+// soon as the call returns.
+func (ep *Endpoint) DepositShm(bits match.Bits, src int, data []byte, arrival vtime.Time) {
+	ep.deposit(bits, src, data, arrival, viaShm)
+}
+
+// DepositSelf lands a self-loop message (the ch4-core self-send
+// shortcut). Same borrowing contract as DepositShm.
+func (ep *Endpoint) DepositSelf(bits match.Bits, src int, data []byte, arrival vtime.Time) {
+	ep.deposit(bits, src, data, arrival, viaSelf)
 }
 
 // Wake nudges the endpoint's owner out of WaitEvent: another transport
@@ -234,6 +276,8 @@ func (ep *Endpoint) PostRecv(op *RecvOp, bits match.Bits, mask match.Bits) {
 		m := entry.Cookie.(*message)
 		completeRecv(op, entry.Bits, m.data, m.arrival)
 		ep.releaseMessage(m)
+	} else {
+		ep.m.MaxPosted(ep.eng.PostedLen())
 	}
 	bins, searches = ep.eng.BinOps-bins, ep.eng.Searches-searches
 	ep.mu.Unlock()
@@ -333,12 +377,16 @@ func (ep *Endpoint) MProbe(bits, mask match.Bits) (src, tag int, data []byte, ar
 func (ep *Endpoint) AMSend(dst int, handler uint8, hdr, payload []byte) {
 	p := &ep.f.prof
 	ep.meter.ChargeCycles(instr.Transport, p.injectCost(p.AMInject, len(hdr)+len(payload)))
+	ep.m.AmSend.Note(len(hdr) + len(payload))
 	arrival := p.arrival(ep.meter.Now(), len(hdr)+len(payload))
 
 	h := append([]byte(nil), hdr...)
 	pl := append([]byte(nil), payload...)
 	tgt := ep.f.eps[dst]
 	tgt.mu.Lock()
+	if tgt.m != nil {
+		tgt.m.AmRecv.Note(len(hdr) + len(payload))
+	}
 	tgt.amq = append(tgt.amq, am{src: ep.rank, handler: handler, hdr: h, payload: pl, arrival: arrival})
 	tgt.eventSeq++
 	tgt.cond.Broadcast()
@@ -415,4 +463,16 @@ func (ep *Endpoint) MatchBinOps() int64 {
 	ep.mu.Lock()
 	defer ep.mu.Unlock()
 	return ep.eng.BinOps
+}
+
+// FoldMatchStats stores the engine's counters into m. Called at
+// snapshot time (not per operation), so the engine keeps its own
+// cheap counters on the hot path.
+func (ep *Endpoint) FoldMatchStats(m *metrics.Rank) {
+	ep.mu.Lock()
+	m.MatchBinOps = ep.eng.BinOps
+	m.MatchSearches = ep.eng.Searches
+	m.MatchBinHits = ep.eng.BinHits
+	m.MatchWildHits = ep.eng.WildHits
+	ep.mu.Unlock()
 }

@@ -6,6 +6,7 @@ import (
 
 	"gompi/internal/abort"
 	"gompi/internal/instr"
+	"gompi/internal/metrics"
 	"gompi/internal/vtime"
 )
 
@@ -24,6 +25,11 @@ type Meter interface {
 	Now() vtime.Time
 	// Sync advances the rank's clock to t if t is in the future.
 	Sync(t vtime.Time)
+	// Metrics returns the rank's observability registry. Send-side
+	// counters accrue through the calling endpoint's meter;
+	// receive-side counters accrue through the destination endpoint's
+	// meter under that endpoint's lock.
+	Metrics() *metrics.Rank
 }
 
 // Fabric is one simulated network connecting n endpoints (one per

@@ -7,6 +7,7 @@ import (
 
 	"gompi/internal/instr"
 	"gompi/internal/match"
+	"gompi/internal/metrics"
 	"gompi/internal/vtime"
 )
 
@@ -14,6 +15,7 @@ import (
 type testMeter struct {
 	prof  instr.Profile
 	clock *vtime.Clock
+	m     metrics.Rank
 }
 
 func newTestMeter(hz float64) *testMeter {
@@ -28,8 +30,9 @@ func (m *testMeter) ChargeCycles(cat instr.Category, n int64) {
 	m.prof.ChargeCycles(cat, n)
 	m.clock.Advance(n)
 }
-func (m *testMeter) Now() vtime.Time   { return m.clock.Now() }
-func (m *testMeter) Sync(t vtime.Time) { m.clock.Sync(t) }
+func (m *testMeter) Now() vtime.Time        { return m.clock.Now() }
+func (m *testMeter) Sync(t vtime.Time)      { m.clock.Sync(t) }
+func (m *testMeter) Metrics() *metrics.Rank { return &m.m }
 
 // newTestFabric builds a fabric with bound meters for each endpoint.
 func newTestFabric(t *testing.T, prof Profile, n int) (*Fabric, []*testMeter) {
@@ -396,7 +399,7 @@ func TestDepositLocalAndWake(t *testing.T) {
 	// and bump the event counter.
 	op := &RecvOp{Buf: make([]byte, 2)}
 	f.Endpoint(1).PostRecv(op, match.MakeBits(3, 0, 1), match.FullMask)
-	f.Endpoint(1).DepositLocal(match.MakeBits(3, 0, 1), 0, []byte{7, 8}, 500)
+	f.Endpoint(1).DepositShm(match.MakeBits(3, 0, 1), 0, []byte{7, 8}, 500)
 	if got := f.Endpoint(1).EventSeq(); got <= seq {
 		t.Fatal("deposit did not bump event counter")
 	}

@@ -1,5 +1,7 @@
 package fabric
 
+import "gompi/internal/metrics"
+
 // Size-classed payload buffer pool. Every eager message that cannot
 // complete immediately needs a stable copy of its payload while it sits
 // on the unexpected queue; recycling those copies keeps the
@@ -12,6 +14,9 @@ package fabric
 // packets, one page, and the eager limit.
 var poolClasses = [...]int{64, 512, 4096, 65536}
 
+// The metrics package sizes its per-class hit/miss arrays to match.
+var _ [metrics.NumPoolClasses]int64 = [len(poolClasses)]int64{}
+
 // bufPool holds free buffers by class. Buffers are allocated at exactly
 // the class capacity so put can recognize them by cap alone; anything
 // larger than the top class is not pooled.
@@ -19,8 +24,9 @@ type bufPool struct {
 	classes [len(poolClasses)][][]byte
 }
 
-// get returns a length-n buffer, recycled when a fit is free.
-func (p *bufPool) get(n int) []byte {
+// get returns a length-n buffer, recycled when a fit is free, counting
+// the hit or miss on m.
+func (p *bufPool) get(n int, m *metrics.Rank) []byte {
 	if n == 0 {
 		return nil
 	}
@@ -28,13 +34,16 @@ func (p *bufPool) get(n int) []byte {
 		if n <= c {
 			s := p.classes[i]
 			if len(s) == 0 {
+				m.PoolMisses[i]++
 				return make([]byte, n, c)
 			}
+			m.PoolHits[i]++
 			b := s[len(s)-1]
 			p.classes[i] = s[:len(s)-1]
 			return b[:n]
 		}
 	}
+	m.PoolOversize++
 	return make([]byte, n)
 }
 

@@ -131,6 +131,12 @@ type Engine struct {
 	// cost a binned implementation pays on every operation, charged by
 	// the transports so the speedup over Linear is priced honestly.
 	BinOps int64
+	// BinHits counts matches found through the per-(ctx,src) bin
+	// organization; WildHits counts matches found on the wildcard /
+	// global arrival-order walk. In Linear mode every match is a
+	// global walk, so it lands in WildHits.
+	BinHits  int64
+	WildHits int64
 
 	seq  uint64
 	free *node // recycled nodes, chained through bnext
@@ -193,6 +199,7 @@ func (e *Engine) findUnexpected(bits Bits, mask Bits) *node {
 		for n := l.head; n != nil; n = n.bnext {
 			e.Searches++
 			if n.Bits.Matches(bits, mask) {
+				e.BinHits++
 				return n
 			}
 		}
@@ -203,6 +210,7 @@ func (e *Engine) findUnexpected(bits Bits, mask Bits) *node {
 	for n := e.unexAll.head; n != nil; n = n.gnext {
 		e.Searches++
 		if n.Bits.Matches(bits, mask) {
+			e.WildHits++
 			return n
 		}
 	}
@@ -271,6 +279,7 @@ func (e *Engine) PostRecv(bits Bits, mask Bits, cookie any) (msg Entry, ok bool)
 // queue.
 func (e *Engine) Arrive(bits Bits, cookie any) (recv Entry, ok bool) {
 	var best *node
+	fromBin := false
 	if e.Mode == Binned {
 		e.BinOps++
 		if l := e.postedBins[binKey(bits)]; l != nil {
@@ -278,6 +287,7 @@ func (e *Engine) Arrive(bits Bits, cookie any) (recv Entry, ok bool) {
 				e.Searches++
 				if bits.Matches(n.Bits, n.Mask) {
 					best = n
+					fromBin = true
 					break
 				}
 			}
@@ -293,6 +303,7 @@ func (e *Engine) Arrive(bits Bits, cookie any) (recv Entry, ok bool) {
 			e.Searches++
 			if bits.Matches(n.Bits, n.Mask) {
 				best = n
+				fromBin = false
 				break
 			}
 		}
@@ -306,6 +317,11 @@ func (e *Engine) Arrive(bits Bits, cookie any) (recv Entry, ok bool) {
 		}
 	}
 	if best != nil {
+		if fromBin {
+			e.BinHits++
+		} else {
+			e.WildHits++
+		}
 		return e.removePosted(best), true
 	}
 	e.seq++

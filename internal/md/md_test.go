@@ -224,7 +224,7 @@ func TestStrongScalingCommFraction(t *testing.T) {
 func TestCh4FasterThanOriginalAtScalingLimit(t *testing.T) {
 	rates := map[string]float64{}
 	prm := Params{AtomsPerCore: 23, RankGrid: [3]int{2, 2, 2}, Steps: 5}
-	for _, dev := range []string{"ch4", "original"} {
+	for _, dev := range []gompi.DeviceKind{gompi.DeviceCH4, gompi.DeviceOriginal} {
 		var r float64
 		err := gompi.Run(8, gompi.Config{Device: dev, Fabric: "ofi"}, func(p *gompi.Proc) error {
 			res, err := Run(p, prm)
@@ -239,7 +239,7 @@ func TestCh4FasterThanOriginalAtScalingLimit(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		rates[dev] = r
+		rates[string(dev)] = r
 	}
 	if rates["ch4"] <= rates["original"] {
 		t.Fatalf("ch4 %.3g <= original %.3g timesteps/s", rates["ch4"], rates["original"])

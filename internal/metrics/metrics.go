@@ -1,0 +1,214 @@
+// Package metrics is the per-rank observability registry: plain-field
+// counters and high-water gauges updated by the transports, the
+// matching engine, the pools, and the devices as traffic flows. The
+// registry is deliberately allocation-free and unsynchronized — every
+// counter is an int64 field bumped either on the owning rank's
+// goroutine or under a lock the updating code already holds (the
+// fabric endpoint lock for receive-side attribution), so enabling
+// metrics costs a handful of adds on the hot paths and nothing else.
+// Cross-rank aggregation happens only at teardown, when each rank's
+// registry is snapshotted and merged (see DESIGN.md §6a).
+package metrics
+
+// PathStat counts messages and payload bytes on one transport path.
+type PathStat struct {
+	Msgs  int64 `json:"msgs"`
+	Bytes int64 `json:"bytes"`
+}
+
+// Note records one message of n payload bytes.
+func (p *PathStat) Note(n int) {
+	p.Msgs++
+	p.Bytes += int64(n)
+}
+
+// add folds o into p.
+func (p *PathStat) add(o PathStat) {
+	p.Msgs += o.Msgs
+	p.Bytes += o.Bytes
+}
+
+// NumPoolClasses is the number of size classes the fabric's payload
+// buffer pool keeps (fabric asserts its class table matches).
+const NumPoolClasses = 4
+
+// Rank is one rank's live registry. Writers touch the fields directly
+// (the same idiom as match.Engine's Searches counter); readers take a
+// Snapshot. The zero value is ready to use.
+type Rank struct {
+	// Transport paths. Self-loop traffic is counted once, at delivery.
+	// Send-side counters accrue on the sending rank, receive-side
+	// counters on the receiving rank, so summing a path's send bytes
+	// across ranks must equal the sum of its receive bytes.
+	Self    PathStat
+	ShmSend PathStat
+	ShmRecv PathStat
+	NetSend PathStat
+	NetRecv PathStat
+	// Protocol split of netmod sends: eager vs rendezvous, decided by
+	// the fabric profile's eager limit at injection.
+	Eager PathStat
+	Rndv  PathStat
+	// Active messages (RMA fallback on ch4; everything on the CH3-style
+	// baseline rides eager AM packets as well).
+	AmSend PathStat
+	AmRecv PathStat
+
+	// Matching-engine counters, stored (not accumulated) from the
+	// engine's own counters when a snapshot is taken. BinHits are
+	// matches found through the per-(ctx,src) bin organization;
+	// WildHits are matches found on the wildcard/global walk (which is
+	// every match in Linear mode).
+	MatchBinOps   int64
+	MatchSearches int64
+	MatchBinHits  int64
+	MatchWildHits int64
+
+	// Queue-depth high waters, updated as entries are enqueued.
+	UnexpectedMax int64
+	PostedMax     int64
+
+	// Payload buffer pool, per size class, plus buffers too large for
+	// any class (allocated and dropped, never pooled).
+	PoolHits     [NumPoolClasses]int64
+	PoolMisses   [NumPoolClasses]int64
+	PoolOversize int64
+
+	// Request-object recycling: total pool gets and how many reused a
+	// freed request instead of allocating.
+	ReqAllocs int64
+	ReqReuses int64
+
+	// One-sided operation counts, at the device ADI entry.
+	RmaPuts    int64
+	RmaGets    int64
+	RmaAccs    int64
+	RmaGetAccs int64
+}
+
+// MaxUnexpected raises the unexpected-queue high water to n.
+func (r *Rank) MaxUnexpected(n int) {
+	if int64(n) > r.UnexpectedMax {
+		r.UnexpectedMax = int64(n)
+	}
+}
+
+// MaxPosted raises the posted-queue high water to n.
+func (r *Rank) MaxPosted(n int) {
+	if int64(n) > r.PostedMax {
+		r.PostedMax = int64(n)
+	}
+}
+
+// MatchStats is the snapshot of the matching-engine counters.
+type MatchStats struct {
+	BinOps        int64 `json:"bin_ops"`
+	Searches      int64 `json:"searches"`
+	BinHits       int64 `json:"bin_hits"`
+	WildHits      int64 `json:"wildcard_hits"`
+	UnexpectedMax int64 `json:"unexpected_max"`
+	PostedMax     int64 `json:"posted_max"`
+}
+
+// PoolStats is the snapshot of the payload buffer pool.
+type PoolStats struct {
+	Hits     [NumPoolClasses]int64 `json:"hits"`
+	Misses   [NumPoolClasses]int64 `json:"misses"`
+	Oversize int64                 `json:"oversize"`
+}
+
+// ReqStats is the snapshot of request-object recycling.
+type ReqStats struct {
+	Allocs int64 `json:"allocs"`
+	Reuses int64 `json:"reuses"`
+}
+
+// RmaStats is the snapshot of one-sided operation counts.
+type RmaStats struct {
+	Puts    int64 `json:"puts"`
+	Gets    int64 `json:"gets"`
+	Accs    int64 `json:"accumulates"`
+	GetAccs int64 `json:"get_accumulates"`
+}
+
+// Snapshot is a frozen copy of a registry, grouped for JSON output.
+type Snapshot struct {
+	Self    PathStat   `json:"self"`
+	ShmSend PathStat   `json:"shm_send"`
+	ShmRecv PathStat   `json:"shm_recv"`
+	NetSend PathStat   `json:"net_send"`
+	NetRecv PathStat   `json:"net_recv"`
+	Eager   PathStat   `json:"eager"`
+	Rndv    PathStat   `json:"rendezvous"`
+	AmSend  PathStat   `json:"am_send"`
+	AmRecv  PathStat   `json:"am_recv"`
+	Match   MatchStats `json:"match"`
+	Pool    PoolStats  `json:"buffer_pool"`
+	Req     ReqStats   `json:"request_pool"`
+	Rma     RmaStats   `json:"rma"`
+}
+
+// Snapshot freezes the registry. Callers that maintain counters
+// outside the registry (the devices' matching engines) fold them in
+// first.
+func (r *Rank) Snapshot() Snapshot {
+	return Snapshot{
+		Self:    r.Self,
+		ShmSend: r.ShmSend,
+		ShmRecv: r.ShmRecv,
+		NetSend: r.NetSend,
+		NetRecv: r.NetRecv,
+		Eager:   r.Eager,
+		Rndv:    r.Rndv,
+		AmSend:  r.AmSend,
+		AmRecv:  r.AmRecv,
+		Match: MatchStats{
+			BinOps:        r.MatchBinOps,
+			Searches:      r.MatchSearches,
+			BinHits:       r.MatchBinHits,
+			WildHits:      r.MatchWildHits,
+			UnexpectedMax: r.UnexpectedMax,
+			PostedMax:     r.PostedMax,
+		},
+		Pool: PoolStats{Hits: r.PoolHits, Misses: r.PoolMisses, Oversize: r.PoolOversize},
+		Req:  ReqStats{Allocs: r.ReqAllocs, Reuses: r.ReqReuses},
+		Rma:  RmaStats{Puts: r.RmaPuts, Gets: r.RmaGets, Accs: r.RmaAccs, GetAccs: r.RmaGetAccs},
+	}
+}
+
+// Merge folds o into s: counters sum, high-water gauges take the
+// maximum (summing per-rank high waters would overstate any one
+// queue's depth).
+func (s Snapshot) Merge(o Snapshot) Snapshot {
+	s.Self.add(o.Self)
+	s.ShmSend.add(o.ShmSend)
+	s.ShmRecv.add(o.ShmRecv)
+	s.NetSend.add(o.NetSend)
+	s.NetRecv.add(o.NetRecv)
+	s.Eager.add(o.Eager)
+	s.Rndv.add(o.Rndv)
+	s.AmSend.add(o.AmSend)
+	s.AmRecv.add(o.AmRecv)
+	s.Match.BinOps += o.Match.BinOps
+	s.Match.Searches += o.Match.Searches
+	s.Match.BinHits += o.Match.BinHits
+	s.Match.WildHits += o.Match.WildHits
+	if o.Match.UnexpectedMax > s.Match.UnexpectedMax {
+		s.Match.UnexpectedMax = o.Match.UnexpectedMax
+	}
+	if o.Match.PostedMax > s.Match.PostedMax {
+		s.Match.PostedMax = o.Match.PostedMax
+	}
+	for i := range s.Pool.Hits {
+		s.Pool.Hits[i] += o.Pool.Hits[i]
+		s.Pool.Misses[i] += o.Pool.Misses[i]
+	}
+	s.Pool.Oversize += o.Pool.Oversize
+	s.Req.Allocs += o.Req.Allocs
+	s.Req.Reuses += o.Req.Reuses
+	s.Rma.Puts += o.Rma.Puts
+	s.Rma.Gets += o.Rma.Gets
+	s.Rma.Accs += o.Rma.Accs
+	s.Rma.GetAccs += o.Rma.GetAccs
+	return s
+}

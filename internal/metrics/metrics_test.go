@@ -1,0 +1,68 @@
+package metrics
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func TestNoteAndSnapshot(t *testing.T) {
+	var r Rank
+	r.NetSend.Note(100)
+	r.NetSend.Note(28)
+	r.Eager.Note(128)
+	r.MaxUnexpected(5)
+	r.MaxUnexpected(3) // must not lower the high water
+	r.PoolHits[1]++
+	r.ReqAllocs++
+	r.ReqReuses++
+	r.RmaPuts++
+
+	s := r.Snapshot()
+	if s.NetSend.Msgs != 2 || s.NetSend.Bytes != 128 {
+		t.Errorf("NetSend = %+v, want {2 128}", s.NetSend)
+	}
+	if s.Match.UnexpectedMax != 5 {
+		t.Errorf("UnexpectedMax = %d, want 5", s.Match.UnexpectedMax)
+	}
+	if s.Pool.Hits[1] != 1 || s.Req.Reuses != 1 || s.Rma.Puts != 1 {
+		t.Errorf("snapshot dropped counters: %+v", s)
+	}
+}
+
+func TestMerge(t *testing.T) {
+	var a, b Rank
+	a.ShmSend.Note(64)
+	a.MaxUnexpected(7)
+	b.ShmRecv.Note(64)
+	b.MaxUnexpected(3)
+	b.MatchBinHits = 2
+
+	m := a.Snapshot().Merge(b.Snapshot())
+	if m.ShmSend.Bytes != 64 || m.ShmRecv.Bytes != 64 {
+		t.Errorf("merge lost path bytes: %+v", m)
+	}
+	if m.Match.UnexpectedMax != 7 {
+		t.Errorf("merged UnexpectedMax = %d, want max(7,3)=7", m.Match.UnexpectedMax)
+	}
+	if m.Match.BinHits != 2 {
+		t.Errorf("merged BinHits = %d, want 2", m.Match.BinHits)
+	}
+}
+
+func TestSnapshotJSONShape(t *testing.T) {
+	var r Rank
+	r.NetSend.Note(1)
+	out, err := json.Marshal(r.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(out, &m); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"net_send", "shm_send", "match", "buffer_pool", "request_pool", "rma"} {
+		if _, ok := m[key]; !ok {
+			t.Errorf("snapshot JSON missing %q: %s", key, out)
+		}
+	}
+}

@@ -208,7 +208,7 @@ func TestStrongScalingShape(t *testing.T) {
 func TestCh4BeatsOriginal(t *testing.T) {
 	prm := Params{N: 3, ElemsPerRank: [3]int{1, 1, 1}, RankGrid: [3]int{2, 2, 1}, Iters: 10}
 	perf := map[string]float64{}
-	for _, dev := range []string{"ch4", "original"} {
+	for _, dev := range []gompi.DeviceKind{gompi.DeviceCH4, gompi.DeviceOriginal} {
 		var got float64
 		err := gompi.Run(4, gompi.Config{Device: dev, Fabric: "ofi"}, func(p *gompi.Proc) error {
 			res, err := Solve(p, prm)
@@ -226,7 +226,7 @@ func TestCh4BeatsOriginal(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		perf[dev] = got
+		perf[string(dev)] = got
 	}
 	if perf["ch4"] <= perf["original"] {
 		t.Errorf("ch4 %.3g <= original %.3g at the strong-scaling limit", perf["ch4"], perf["original"])

@@ -24,6 +24,7 @@ import (
 	"gompi/internal/fabric"
 	"gompi/internal/instr"
 	"gompi/internal/match"
+	"gompi/internal/metrics"
 	"gompi/internal/proc"
 	"gompi/internal/request"
 	"gompi/internal/vtime"
@@ -172,6 +173,19 @@ func (d *Device) Rank() *proc.Rank { return d.rank }
 
 // Config returns the build configuration.
 func (d *Device) Config() core.Config { return d.cfg }
+
+// Stats snapshots the rank's metrics registry. Matching happens in
+// software at the MPI layer on this device, so the device's own
+// engine — not the (unused) endpoint matching unit — is folded in.
+// Owner-goroutine only, like every other Device method.
+func (d *Device) Stats() metrics.Snapshot {
+	m := d.rank.Metrics()
+	m.MatchBinOps = d.eng.BinOps
+	m.MatchSearches = d.eng.Searches
+	m.MatchBinHits = d.eng.BinHits
+	m.MatchWildHits = d.eng.WildHits
+	return m.Snapshot()
+}
 
 // Progress runs the packet handlers.
 func (d *Device) Progress() { d.ep.Progress() }

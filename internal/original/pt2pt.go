@@ -65,6 +65,12 @@ func (d *Device) Isend(buf []byte, count int, dt *datatype.Type, dest, tag int,
 
 	// Envelope marshal + protocol branch + layered issue.
 	d.charge(instr.Mandatory, costHeaderBuild+costProtoBranch)
+	// Every send is a generic eager packet over the netmod on this
+	// device (no locality split, no rendezvous): count the MPI payload
+	// on the netmod path; the fabric counts the AM packet itself.
+	mm := d.rank.Metrics()
+	mm.NetSend.Note(len(data))
+	mm.Eager.Note(len(data))
 	env := envelope{bits: bits, size: uint32(len(data))}
 	d.ep.AMSend(world, amEager, env.marshal(), data)
 
@@ -98,7 +104,7 @@ func (d *Device) finishSend(flags core.OpFlags, c *comm.Comm) *request.Request {
 		return nil
 	}
 	d.charge(instr.Mandatory, costLockedReqPool)
-	r := d.g.pool.Get(request.KindSend)
+	r := d.g.pool.GetFor(request.KindSend, d.rank.Metrics())
 	r.MarkComplete(request.Status{})
 	return r
 }
@@ -119,10 +125,13 @@ func (d *Device) handleEager(src int, hdr, payload []byte, arrival vtime.Time) {
 	// CH3 copies eager payloads aside before matching, so the cookie
 	// carries the buffered copy whether or not a receive is posted.
 	cp := append([]byte(nil), payload...)
+	mm := d.rank.Metrics()
+	mm.NetRecv.Note(len(payload))
 	before := d.eng.Searches
 	entry, ok := d.eng.Arrive(env.bits, &unexpected{data: cp, src: src, arrival: arrival})
 	d.charge(instr.Mandatory, costMatchSearch*(d.eng.Searches-before))
 	if !ok {
+		mm.MaxUnexpected(d.eng.UnexpectedLen())
 		return // queued as unexpected
 	}
 	rs := entry.Cookie.(*recvState)
@@ -150,7 +159,7 @@ func (d *Device) Irecv(buf []byte, count int, dt *datatype.Type, src, tag int,
 	d.chargeDispatch(costDispatchLayers)
 	d.charge(instr.Mandatory, costProcNull)
 	if src == core.ProcNull {
-		r := d.g.pool.Get(request.KindRecv)
+		r := d.g.pool.GetFor(request.KindRecv, d.rank.Metrics())
 		r.MarkComplete(request.Status{Source: core.ProcNull, Tag: core.AnyTag})
 		return r, nil
 	}
@@ -197,9 +206,11 @@ func (d *Device) Irecv(buf []byte, count int, dt *datatype.Type, src, tag int,
 	if ok {
 		u := entry.Cookie.(*unexpected)
 		d.completeRecv(rs, entry.Bits, u.data, u.src, u.arrival)
+	} else {
+		d.rank.Metrics().MaxPosted(d.eng.PostedLen())
 	}
 
-	r := d.g.pool.Get(request.KindRecv)
+	r := d.g.pool.GetFor(request.KindRecv, d.rank.Metrics())
 	finish := func(r *request.Request) {
 		d.rank.Sync(rs.arrival)
 		if bounce != nil {

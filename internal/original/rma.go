@@ -163,6 +163,7 @@ func (d *Device) resolve(target, disp, nbytes int, w *rma.Win) (world, off int, 
 func (d *Device) Put(origin []byte, count int, dt *datatype.Type, target, disp int,
 	w *rma.Win, flags core.OpFlags) error {
 
+	d.rank.Metrics().RmaPuts++
 	d.chargePutPath(dt)
 	if target == core.ProcNull {
 		return nil
@@ -241,6 +242,7 @@ func (d *Device) handlePut(src int, hdr, payload []byte, _ vtime.Time) {
 func (d *Device) Get(origin []byte, count int, dt *datatype.Type, target, disp int,
 	w *rma.Win, flags core.OpFlags) error {
 
+	d.rank.Metrics().RmaGets++
 	d.chargePutPath(dt)
 	if target == core.ProcNull {
 		return nil
@@ -297,6 +299,7 @@ func (d *Device) handleGetResp(_ int, hdr, payload []byte, arrival vtime.Time) {
 func (d *Device) Accumulate(origin []byte, count int, dt *datatype.Type, target, disp int,
 	op coll.Op, w *rma.Win, flags core.OpFlags) error {
 
+	d.rank.Metrics().RmaAccs++
 	d.chargePutPath(dt)
 	if target == core.ProcNull {
 		return nil
@@ -331,6 +334,9 @@ func (d *Device) GetAccumulate(origin, result []byte, count int, dt *datatype.Ty
 	if result == nil {
 		return errString("get_accumulate", rma.ErrBadWinArg)
 	}
+	// The emulated path also bumps RmaGets/RmaAccs below: the baseline
+	// really does issue a get and an accumulate.
+	d.rank.Metrics().RmaGetAccs++
 	// Fetch first under the same packet ordering: target applies
 	// packets in arrival order, and we are the only origin touching
 	// this location under a proper epoch.

@@ -12,6 +12,7 @@ import (
 
 	"gompi/internal/abort"
 	"gompi/internal/instr"
+	"gompi/internal/metrics"
 	"gompi/internal/vtime"
 )
 
@@ -124,6 +125,7 @@ type Rank struct {
 	clock *vtime.Clock
 	prof  instr.Profile
 	cpi   float64 // cycles per MPI instruction (platform model)
+	m     metrics.Rank
 }
 
 // ID returns the rank's world rank.
@@ -162,6 +164,11 @@ func (r *Rank) Clock() *vtime.Clock { return r.clock }
 
 // Profile exposes the rank's instruction profile for snapshots.
 func (r *Rank) Profile() *instr.Profile { return &r.prof }
+
+// Metrics exposes the rank's observability registry. The transports
+// and devices bump its counters; the public layer snapshots it at
+// teardown. Value field, so the registry costs no allocation.
+func (r *Rank) Metrics() *metrics.Rank { return &r.m }
 
 // StartBarrier blocks until every rank in the world has called it.
 // Devices call it once after local setup so that no rank communicates

@@ -8,7 +8,11 @@
 // extension.
 package request
 
-import "sync"
+import (
+	"sync"
+
+	"gompi/internal/metrics"
+)
 
 // Kind says what operation a request tracks.
 type Kind uint8
@@ -91,12 +95,22 @@ func (r *Request) Free() {
 // The zero value is ready to use.
 type Pool struct {
 	free []*Request
+
+	// Metrics, when set, counts gets and freelist reuses (the
+	// request-recycling rate the paper's Section 3.5 is about).
+	Metrics *metrics.Rank
 }
 
 // Get returns a zeroed request.
 func (p *Pool) Get(kind Kind) *Request {
 	var r *Request
+	if p.Metrics != nil {
+		p.Metrics.ReqAllocs++
+	}
 	if n := len(p.free); n > 0 {
+		if p.Metrics != nil {
+			p.Metrics.ReqReuses++
+		}
 		r = p.free[n-1]
 		p.free = p.free[:n-1]
 		*r = Request{}
@@ -125,11 +139,23 @@ type LockedPool struct {
 }
 
 // Get allocates under the global lock.
-func (p *LockedPool) Get(kind Kind) *Request {
+func (p *LockedPool) Get(kind Kind) *Request { return p.GetFor(kind, nil) }
+
+// GetFor allocates under the global lock, attributing the get to m
+// (the pool is shared across ranks, so per-rank attribution must come
+// from the caller).
+func (p *LockedPool) GetFor(kind Kind, m *metrics.Rank) *Request {
 	p.mu.Lock()
+	reused := len(p.pool.free) > 0
 	r := p.pool.Get(kind)
 	r.pool = nil // locked pool recycles via its own Put
 	p.mu.Unlock()
+	if m != nil {
+		m.ReqAllocs++
+		if reused {
+			m.ReqReuses++
+		}
+	}
 	return r
 }
 

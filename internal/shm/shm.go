@@ -15,6 +15,7 @@ import (
 	"gompi/internal/abort"
 	"gompi/internal/instr"
 	"gompi/internal/match"
+	"gompi/internal/metrics"
 	"gompi/internal/vtime"
 )
 
@@ -55,6 +56,7 @@ type Meter interface {
 	ChargeCycles(cat instr.Category, n int64)
 	Now() vtime.Time
 	Sync(t vtime.Time)
+	Metrics() *metrics.Rank
 }
 
 // Deliver hands a fully reassembled message to the device on the
@@ -169,6 +171,9 @@ func (d *Domain) Send(src, dst int, bits match.Bits, data []byte) {
 	}
 	p := &d.prof
 	m.ChargeCycles(instr.Transport, p.SendOverhead)
+	// Receive-side accounting happens where the reassembled message is
+	// delivered into the endpoint (DepositShm), on the receiving rank.
+	m.Metrics().ShmSend.Note(len(data))
 	r := d.ring(src, dst)
 
 	off := 0

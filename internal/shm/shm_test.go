@@ -8,12 +8,14 @@ import (
 
 	"gompi/internal/instr"
 	"gompi/internal/match"
+	"gompi/internal/metrics"
 	"gompi/internal/vtime"
 )
 
 type testMeter struct {
 	prof  instr.Profile
 	clock *vtime.Clock
+	m     metrics.Rank
 }
 
 func newTestMeter() *testMeter { return &testMeter{clock: vtime.NewClock(2.2e9)} }
@@ -26,8 +28,9 @@ func (m *testMeter) ChargeCycles(cat instr.Category, n int64) {
 	m.prof.ChargeCycles(cat, n)
 	m.clock.Advance(n)
 }
-func (m *testMeter) Now() vtime.Time   { return m.clock.Now() }
-func (m *testMeter) Sync(t vtime.Time) { m.clock.Sync(t) }
+func (m *testMeter) Now() vtime.Time        { return m.clock.Now() }
+func (m *testMeter) Sync(t vtime.Time)      { m.clock.Sync(t) }
+func (m *testMeter) Metrics() *metrics.Rank { return &m.m }
 
 type delivery struct {
 	bits    match.Bits

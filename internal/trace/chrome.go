@@ -1,0 +1,65 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// chromeEvent is one entry of the Chrome-trace (catapult) JSON object
+// format: "X" complete events carry a timestamp and duration in
+// microseconds; "M" metadata events name the threads.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// chromeDoc is the top-level object-format document.
+type chromeDoc struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// WriteChrome renders per-rank event logs as one Chrome-trace document
+// loadable in chrome://tracing or Perfetto. Ranks map to threads of a
+// single process; virtual cycles convert to microseconds at hz. The
+// exporter is for post-run analysis, so unlike Record it may allocate
+// freely.
+func WriteChrome(w io.Writer, hz float64, perRank [][]Event) error {
+	if hz <= 0 {
+		return fmt.Errorf("trace: WriteChrome needs a positive clock rate, got %g", hz)
+	}
+	usPerCycle := 1e6 / hz
+	n := 0
+	for _, events := range perRank {
+		n += len(events)
+	}
+	evs := make([]chromeEvent, 0, n+len(perRank))
+	for rank, events := range perRank {
+		evs = append(evs, chromeEvent{
+			Name: "thread_name", Ph: "M", Tid: rank,
+			Args: map[string]any{"name": fmt.Sprintf("rank %d", rank)},
+		})
+		for _, e := range events {
+			evs = append(evs, chromeEvent{
+				Name: e.Kind.String(),
+				Cat:  "mpi",
+				Ph:   "X",
+				Ts:   float64(e.Start) * usPerCycle,
+				Dur:  float64(e.Dur()) * usPerCycle,
+				Tid:  rank,
+				Args: map[string]any{"peer": e.Peer, "bytes": e.Bytes},
+			})
+		}
+	}
+	return json.NewEncoder(w).Encode(chromeDoc{
+		TraceEvents:     evs,
+		DisplayTimeUnit: "ms",
+	})
+}

@@ -7,9 +7,9 @@ import (
 )
 
 func TestMprobeMrecvBasic(t *testing.T) {
-	for _, dev := range []string{"ch4", "original"} {
+	for _, dev := range []DeviceKind{DeviceCH4, DeviceOriginal} {
 		dev := dev
-		t.Run(dev, func(t *testing.T) {
+		t.Run(string(dev), func(t *testing.T) {
 			run(t, 2, Config{Device: dev, Fabric: "ofi"}, func(p *Proc) error {
 				w := p.World()
 				if p.Rank() == 0 {
@@ -19,11 +19,11 @@ func TestMprobeMrecvBasic(t *testing.T) {
 				if err != nil {
 					return err
 				}
-				if m.Count() != 8 {
-					return fmt.Errorf("count %d", m.Count())
+				if m.Count(Byte) != 8 || m.Size() != 8 {
+					return fmt.Errorf("count %d size %d", m.Count(Byte), m.Size())
 				}
-				buf := make([]byte, m.Count())
-				st, err := m.Recv(buf, m.Count(), Byte)
+				buf := make([]byte, m.Size())
+				st, err := m.Recv(buf, m.Count(Byte), Byte)
 				if err != nil {
 					return err
 				}
@@ -31,7 +31,7 @@ func TestMprobeMrecvBasic(t *testing.T) {
 					return fmt.Errorf("mrecv %q %+v", buf, st)
 				}
 				// Double receive must fail.
-				if _, err := m.Recv(buf, m.Count(), Byte); ClassOf(err) != ErrRequest {
+				if _, err := m.Recv(buf, m.Count(Byte), Byte); ClassOf(err) != ErrRequest {
 					return fmt.Errorf("double mrecv: %v", err)
 				}
 				return nil
@@ -155,6 +155,80 @@ func TestMrecvTruncation(t *testing.T) {
 		buf := make([]byte, 4)
 		if _, err := m.Recv(buf, 4, Byte); ClassOf(err) != ErrTruncate {
 			return fmt.Errorf("truncated mrecv: %v", err)
+		}
+		return nil
+	})
+}
+
+// TestMessageCountDatatypes pins the satellite fix: Message.Count is
+// datatype-aware and agrees with Status.GetCount — it reports element
+// counts, not raw bytes.
+func TestMessageCountDatatypes(t *testing.T) {
+	run(t, 2, Config{}, func(p *Proc) error {
+		w := p.World()
+		if p.Rank() == 0 {
+			// 3 Int32-sized elements (12 bytes), then a 5-byte payload
+			// that is not a whole number of Ints, then a zero-byte one.
+			if err := w.Send(make([]byte, 12), 12, Byte, 1, 0); err != nil {
+				return err
+			}
+			if err := w.Send(make([]byte, 5), 5, Byte, 1, 1); err != nil {
+				return err
+			}
+			return w.Send(nil, 0, Byte, 1, 2)
+		}
+		m, err := w.Mprobe(0, 0)
+		if err != nil {
+			return err
+		}
+		if m.Size() != 12 || m.Count(Byte) != 12 || m.Count(Int) != 12/Int.Size() {
+			return fmt.Errorf("whole payload: size=%d bytes=%d ints=%d", m.Size(), m.Count(Byte), m.Count(Int))
+		}
+		if _, err := m.Recv(make([]byte, 12), 12, Byte); err != nil {
+			return err
+		}
+
+		m, err = w.Mprobe(0, 1)
+		if err != nil {
+			return err
+		}
+		// 5 bytes is not a whole number of Ints: MPI_UNDEFINED.
+		if m.Count(Int) != UndefinedIndex || m.Count(Byte) != 5 {
+			return fmt.Errorf("ragged payload: ints=%d bytes=%d", m.Count(Int), m.Count(Byte))
+		}
+		if _, err := m.Recv(make([]byte, 5), 5, Byte); err != nil {
+			return err
+		}
+
+		m, err = w.Mprobe(0, 2)
+		if err != nil {
+			return err
+		}
+		// A zero-byte message counts zero elements of any type, nil
+		// included (matching Status.GetCount's convention).
+		if m.Size() != 0 || m.Count(Int) != 0 || m.Count(nil) != 0 {
+			return fmt.Errorf("empty payload: size=%d ints=%d nil=%d", m.Size(), m.Count(Int), m.Count(nil))
+		}
+		_, err = m.Recv(nil, 0, Byte)
+		return err
+	})
+}
+
+// TestStatusGetCountTruncation pins GetCount on a truncated receive:
+// the status carries the delivered byte count, so element counts stay
+// consistent with what landed in the buffer.
+func TestStatusGetCountTruncation(t *testing.T) {
+	run(t, 2, Config{}, func(p *Proc) error {
+		w := p.World()
+		if p.Rank() == 0 {
+			return w.Send(make([]byte, 12), 12, Byte, 1, 0)
+		}
+		st, err := w.Recv(make([]byte, 12), 12, Byte, 0, 0)
+		if err != nil {
+			return err
+		}
+		if st.GetCount(Int) != 12/Int.Size() || st.GetCount(Byte) != 12 {
+			return fmt.Errorf("counts: ints=%d bytes=%d", st.GetCount(Int), st.GetCount(Byte))
 		}
 		return nil
 	})

@@ -149,36 +149,10 @@ func (c *Comm) Send(buf []byte, count int, dt *Datatype, dest, tag int) error {
 	return err
 }
 
-// IsendGlobal is the MPI_ISEND_GLOBAL proposal (Section 3.1): dest is
-// an MPI_COMM_WORLD rank and communicator rank translation is skipped.
-// Not intercommunicator-safe, exactly as the paper specifies.
-func (c *Comm) IsendGlobal(buf []byte, count int, dt *Datatype, worldDest, tag int) (*Request, error) {
-	return c.isend(buf, count, dt, worldDest, tag, core.FlagGlobalRank)
-}
-
-// IsendNPN is the MPI_ISEND_NPN proposal (Section 3.4): the caller
-// guarantees dest is not MPI_PROC_NULL, eliding the check.
-func (c *Comm) IsendNPN(buf []byte, count int, dt *Datatype, dest, tag int) (*Request, error) {
-	return c.isend(buf, count, dt, dest, tag, core.FlagNoProcNull)
-}
-
-// IsendNoReq is the MPI_ISEND_NOREQ proposal (Section 3.5): no request
-// object is returned; completion is collected by CommWaitall.
-func (c *Comm) IsendNoReq(buf []byte, count int, dt *Datatype, dest, tag int) error {
-	_, err := c.isend(buf, count, dt, dest, tag, core.FlagNoReq)
-	return err
-}
-
-// IsendNoMatch is the MPI_ISEND_NOMATCH proposal (Section 3.6): source
-// and tag match bits are disabled; the message matches receives in
-// arrival order within the communicator.
-func (c *Comm) IsendNoMatch(buf []byte, count int, dt *Datatype, dest int) (*Request, error) {
-	return c.isend(buf, count, dt, dest, 0, core.FlagNoMatch)
-}
-
 // SendOptions combines the Section 3 proposals for one send. The
-// paper's proposals compose (Section 3.7); IsendOpt lets applications
-// opt into any subset.
+// paper's proposals compose (Section 3.7); IsendOpt is the canonical
+// entry point and lets applications opt into any subset. The named
+// Isend* variants below are thin wrappers over it.
 type SendOptions struct {
 	// GlobalRank: dest is an MPI_COMM_WORLD rank (Section 3.1).
 	GlobalRank bool
@@ -188,6 +162,18 @@ type SendOptions struct {
 	NoReq bool
 	// NoMatch: arrival-order matching (Section 3.6).
 	NoMatch bool
+	// PredefComm: the caller guarantees the communicator sits in a
+	// predefined handle slot, so the device replaces the communicator
+	// dereference with a constant-indexed load (Section 3.3). Set
+	// automatically by IsendPredef and IsendAllOpts.
+	PredefComm bool
+}
+
+// AllSendOptions is the full Section 3.7 combination — every proposal
+// at once. Passing it to IsendOpt (with a byte-typed, full-buffer
+// send) takes the fused MPI_ISEND_ALL_OPTS path.
+var AllSendOptions = SendOptions{
+	GlobalRank: true, NoProcNull: true, NoReq: true, NoMatch: true, PredefComm: true,
 }
 
 func (o SendOptions) flags() core.OpFlags {
@@ -204,42 +190,99 @@ func (o SendOptions) flags() core.OpFlags {
 	if o.NoMatch {
 		f |= core.FlagNoMatch
 	}
+	if o.PredefComm {
+		f |= core.FlagPredefComm
+	}
 	return f
 }
 
 // IsendOpt starts a nonblocking send with any combination of the
 // proposed extensions. Under NoReq the returned request is nil (use
-// CommWaitall).
+// CommWaitall). When every option is set (AllSendOptions) on a plain
+// byte send covering the whole buffer, the call routes to the
+// dedicated fused device path — the Section 3.7 specialized function —
+// and skips the generic MPI-layer charges entirely.
 func (c *Comm) IsendOpt(buf []byte, count int, dt *Datatype, dest, tag int, o SendOptions) (*Request, error) {
+	if o == AllSendOptions && dt == Byte && count == len(buf) {
+		p := c.p
+		if end := p.span(traceSendKind, dest, len(buf)); end != nil {
+			defer end()
+		}
+		// No call-frame or validation charges: the all-opts path is
+		// defined as a link-time-inlined specialized function.
+		if err := p.dev.IsendAllOpts(buf, dest, c.c); err != nil {
+			return nil, errc(ErrOther, "%v", err)
+		}
+		return nil, nil
+	}
 	return c.isend(buf, count, dt, dest, tag, o.flags())
+}
+
+// IsendGlobal is the MPI_ISEND_GLOBAL proposal (Section 3.1): dest is
+// an MPI_COMM_WORLD rank and communicator rank translation is skipped.
+// Not intercommunicator-safe, exactly as the paper specifies.
+// Equivalent to IsendOpt with SendOptions{GlobalRank: true}.
+func (c *Comm) IsendGlobal(buf []byte, count int, dt *Datatype, worldDest, tag int) (*Request, error) {
+	return c.IsendOpt(buf, count, dt, worldDest, tag, SendOptions{GlobalRank: true})
+}
+
+// IsendNPN is the MPI_ISEND_NPN proposal (Section 3.4): the caller
+// guarantees dest is not MPI_PROC_NULL, eliding the check. Equivalent
+// to IsendOpt with SendOptions{NoProcNull: true}.
+func (c *Comm) IsendNPN(buf []byte, count int, dt *Datatype, dest, tag int) (*Request, error) {
+	return c.IsendOpt(buf, count, dt, dest, tag, SendOptions{NoProcNull: true})
+}
+
+// IsendNoReq is the MPI_ISEND_NOREQ proposal (Section 3.5): no request
+// object is returned; completion is collected by CommWaitall.
+// Equivalent to IsendOpt with SendOptions{NoReq: true}.
+func (c *Comm) IsendNoReq(buf []byte, count int, dt *Datatype, dest, tag int) error {
+	_, err := c.IsendOpt(buf, count, dt, dest, tag, SendOptions{NoReq: true})
+	return err
+}
+
+// IsendNoReqGlobal composes the requestless and global-rank proposals
+// (Sections 3.1 + 3.5): a world-rank destination with counter
+// completion, the cheapest pairwise combination short of the fused
+// path. Equivalent to IsendOpt with SendOptions{GlobalRank: true,
+// NoReq: true}.
+func (c *Comm) IsendNoReqGlobal(buf []byte, count int, dt *Datatype, worldDest, tag int) error {
+	_, err := c.IsendOpt(buf, count, dt, worldDest, tag, SendOptions{GlobalRank: true, NoReq: true})
+	return err
+}
+
+// IsendNoMatch is the MPI_ISEND_NOMATCH proposal (Section 3.6): source
+// and tag match bits are disabled; the message matches receives in
+// arrival order within the communicator. Equivalent to IsendOpt with
+// SendOptions{NoMatch: true} and tag 0.
+func (c *Comm) IsendNoMatch(buf []byte, count int, dt *Datatype, dest int) (*Request, error) {
+	return c.IsendOpt(buf, count, dt, dest, 0, SendOptions{NoMatch: true})
 }
 
 // IsendPredef sends on a communicator installed in a predefined handle
 // slot (Section 3.3): the communicator reference is a constant-indexed
-// global load.
+// global load. Equivalent to resolving the handle and calling IsendOpt
+// with SendOptions{PredefComm: true}.
 func (p *Proc) IsendPredef(h CommHandle, buf []byte, count int, dt *Datatype, dest, tag int) (*Request, error) {
 	c := p.predef[h]
 	if c == nil {
 		return nil, errc(ErrComm, "predefined handle %d not populated", h)
 	}
-	return c.isend(buf, count, dt, dest, tag, core.FlagPredefComm)
+	return c.IsendOpt(buf, count, dt, dest, tag, SendOptions{PredefComm: true})
 }
 
 // IsendAllOpts is the MPI_ISEND_ALL_OPTS path (Section 3.7): every
 // proposal fused — world-rank destination, predefined communicator
 // handle, no PROC_NULL, counter completion, arrival-order matching.
-// With the inlined build this is the 16-instruction path.
+// With the inlined build this is the 16-instruction path. Equivalent
+// to resolving the handle and calling IsendOpt with AllSendOptions.
 func (p *Proc) IsendAllOpts(h CommHandle, buf []byte, worldDest int) error {
 	c := p.predef[h]
 	if c == nil {
 		return errc(ErrComm, "predefined handle %d not populated", h)
 	}
-	// No call-frame or validation charges: the all-opts path is
-	// defined as a link-time-inlined specialized function.
-	if err := p.dev.IsendAllOpts(buf, worldDest, c.c); err != nil {
-		return errc(ErrOther, "%v", err)
-	}
-	return nil
+	_, err := c.IsendOpt(buf, len(buf), Byte, worldDest, 0, AllSendOptions)
+	return err
 }
 
 // CommWaitall completes all requestless operations on the communicator
@@ -376,8 +419,17 @@ func (c *Comm) Mprobe(src, tag int) (*Message, error) {
 	}
 }
 
-// Count returns the extracted message's payload size in bytes.
-func (m *Message) Count() int { return len(m.data) }
+// Size returns the extracted message's payload size in bytes.
+func (m *Message) Size() int { return len(m.data) }
+
+// Count returns the number of dt elements the extracted message
+// carries (MPI_GET_COUNT on the matched-probe envelope), consistent
+// with Status.GetCount: zero-byte messages count zero elements, and a
+// payload that is not a whole number of elements reports
+// UndefinedIndex.
+func (m *Message) Count(dt *Datatype) int {
+	return Status{Count: len(m.data)}.GetCount(dt)
+}
 
 // Recv consumes the extracted message into buf (MPI_MRECV). The
 // message handle is dead afterward.

@@ -1,0 +1,155 @@
+package gompi
+
+import (
+	"fmt"
+	"testing"
+)
+
+// drainNoMatch receives n arrival-order messages on c.
+func drainNoMatch(c *Comm, n int) error {
+	for i := 0; i < n; i++ {
+		buf := make([]byte, 1)
+		if _, err := c.RecvNoMatch(buf, 1, Byte); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// TestWrappersMatchIsendOpt pins the satellite consolidation: every
+// named send variant costs exactly as many instructions as IsendOpt
+// with the equivalent SendOptions — the wrappers are zero-overhead.
+func TestWrappersMatchIsendOpt(t *testing.T) {
+	run(t, 2, ipoCfg, func(p *Proc) error {
+		w := p.World()
+		if p.Rank() != 0 {
+			buf := make([]byte, 1)
+			// The Global and NPN pairs send 2 matched messages each;
+			// the NoMatch pair's 2 ride the arrival-order queue.
+			for i := 0; i < 4; i++ {
+				if _, err := w.Recv(buf, 1, Byte, 0, AnyTag); err != nil {
+					return err
+				}
+			}
+			return drainNoMatch(w, 2)
+		}
+		buf := []byte{1}
+		type pair struct {
+			name    string
+			wrapper func() error
+			opt     SendOptions
+			tag     int
+		}
+		pairs := []pair{
+			{"IsendGlobal", func() error { _, e := w.IsendGlobal(buf, 1, Byte, 1, 0); return e },
+				SendOptions{GlobalRank: true}, 0},
+			{"IsendNPN", func() error { _, e := w.IsendNPN(buf, 1, Byte, 1, 0); return e },
+				SendOptions{NoProcNull: true}, 0},
+			{"IsendNoMatch", func() error { _, e := w.IsendNoMatch(buf, 1, Byte, 1); return e },
+				SendOptions{NoMatch: true}, 0},
+		}
+		for _, pr := range pairs {
+			viaWrapper, err := measureIsend(p, pr.wrapper)
+			if err != nil {
+				return err
+			}
+			viaOpt, err := measureIsend(p, func() error {
+				_, e := w.IsendOpt(buf, 1, Byte, 1, pr.tag, pr.opt)
+				return e
+			})
+			if err != nil {
+				return err
+			}
+			if viaWrapper != viaOpt {
+				return fmt.Errorf("%s costs %d instructions, IsendOpt equivalent %d",
+					pr.name, viaWrapper, viaOpt)
+			}
+		}
+		return nil
+	})
+}
+
+// TestNoReqGlobalCombo pins the new pairwise combination: its savings
+// over a plain no-req send equal the global-rank proposal's savings,
+// measured on the same rank in the same run.
+func TestNoReqGlobalCombo(t *testing.T) {
+	run(t, 2, ipoCfg, func(p *Proc) error {
+		w := p.World()
+		if p.Rank() != 0 {
+			buf := make([]byte, 1)
+			for i := 0; i < 4; i++ {
+				if _, err := w.Recv(buf, 1, Byte, 0, 0); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		buf := []byte{1}
+		plain, err := measureIsend(p, func() error { _, e := w.Isend(buf, 1, Byte, 1, 0); return e })
+		if err != nil {
+			return err
+		}
+		noReq, err := measureIsend(p, func() error { return w.IsendNoReq(buf, 1, Byte, 1, 0) })
+		if err != nil {
+			return err
+		}
+		glob, err := measureIsend(p, func() error {
+			_, e := w.IsendGlobal(buf, 1, Byte, 1, 0)
+			if e != nil {
+				return e
+			}
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+		combo, err := measureIsend(p, func() error { return w.IsendNoReqGlobal(buf, 1, Byte, 1, 0) })
+		if err != nil {
+			return err
+		}
+		// The proposals are independent code paths, so their savings
+		// compose additively.
+		wantSaving := (plain - noReq) + (plain - glob)
+		if plain-combo != wantSaving {
+			return fmt.Errorf("NoReq+Global saves %d instructions, want additive %d (plain=%d noReq=%d glob=%d combo=%d)",
+				plain-combo, wantSaving, plain, noReq, glob, combo)
+		}
+		if err := w.CommWaitall(); err != nil {
+			return err
+		}
+		// Wait for the two requestful sends' matching on the peer.
+		return nil
+	})
+}
+
+// TestIsendOptFusedPath pins the satellite's routing rule: IsendOpt
+// with AllSendOptions on a whole-buffer byte send costs exactly the 16
+// instructions of the dedicated MPI_ISEND_ALL_OPTS entry.
+func TestIsendOptFusedPath(t *testing.T) {
+	run(t, 2, ipoCfg, func(p *Proc) error {
+		w := p.World()
+		if _, err := w.DupPredefined(Comm1); err != nil {
+			return err
+		}
+		c := p.PredefComm(Comm1)
+		if p.Rank() != 0 {
+			return drainNoMatch(c, 2)
+		}
+		buf := []byte{1}
+		viaOpt, err := measureIsend(p, func() error {
+			_, e := c.IsendOpt(buf, 1, Byte, 1, 0, AllSendOptions)
+			return e
+		})
+		if err != nil {
+			return err
+		}
+		viaNamed, err := measureIsend(p, func() error { return p.IsendAllOpts(Comm1, buf, 1) })
+		if err != nil {
+			return err
+		}
+		if viaOpt != 16 || viaNamed != 16 {
+			return fmt.Errorf("fused path: IsendOpt=%d, IsendAllOpts=%d, want 16 for both", viaOpt, viaNamed)
+		}
+		return c.CommWaitall()
+	})
+}
