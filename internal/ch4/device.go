@@ -166,11 +166,12 @@ func (d *Device) Config() core.Config { return d.cfg }
 
 // Stats snapshots the rank's metrics registry, folding in the
 // endpoint matching engine's counters (kept on the engine itself so
-// the match hot path stays a plain increment).
+// the match hot path stays a plain increment). The copy happens under
+// the endpoint lock: peer ranks write receive-side counters under it,
+// and a mid-run snapshot (Proc.Metrics) or a teardown snapshot taken
+// while peers still send must not race with them.
 func (d *Device) Stats() metrics.Snapshot {
-	m := d.rank.Metrics()
-	d.ep.FoldMatchStats(m)
-	return m.Snapshot()
+	return d.ep.FoldAndSnapshot()
 }
 
 // Progress drains the shared-memory rings and runs pending active

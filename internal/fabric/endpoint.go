@@ -74,7 +74,8 @@ type Endpoint struct {
 	// m caches meter.Metrics(). Receive-side counters are bumped
 	// through it under mu by depositing peers, so traffic lands on the
 	// receiving rank's registry regardless of which goroutine carries
-	// it. Nil until Bind.
+	// it — and snapshots must also hold mu (SnapshotStats). Starts as
+	// a placeholder registry; Bind replaces it.
 	m        *metrics.Rank
 	eventSeq uint64
 }
@@ -384,9 +385,6 @@ func (ep *Endpoint) AMSend(dst int, handler uint8, hdr, payload []byte) {
 	pl := append([]byte(nil), payload...)
 	tgt := ep.f.eps[dst]
 	tgt.mu.Lock()
-	if tgt.m != nil {
-		tgt.m.AmRecv.Note(len(hdr) + len(payload))
-	}
 	tgt.amq = append(tgt.amq, am{src: ep.rank, handler: handler, hdr: h, payload: pl, arrival: arrival})
 	tgt.eventSeq++
 	tgt.cond.Broadcast()
@@ -410,6 +408,12 @@ func (ep *Endpoint) drainAMLocked() int {
 	for len(ep.amq) > 0 {
 		batch := ep.amq
 		ep.amq = nil
+		// AmRecv counts at delivery (when the handler runs), not at
+		// enqueue, so a snapshot never reports still-queued messages
+		// as received.
+		for _, m := range batch {
+			ep.m.AmRecv.Note(len(m.hdr) + len(m.payload))
+		}
 		ep.mu.Unlock()
 		for _, m := range batch {
 			// No clock sync here: the handler runs asynchronously to
@@ -465,14 +469,32 @@ func (ep *Endpoint) MatchBinOps() int64 {
 	return ep.eng.BinOps
 }
 
-// FoldMatchStats stores the engine's counters into m. Called at
-// snapshot time (not per operation), so the engine keeps its own
-// cheap counters on the hot path.
-func (ep *Endpoint) FoldMatchStats(m *metrics.Rank) {
+// SnapshotStats copies the bound rank's registry under the endpoint
+// lock. Receive-side counters (NetRecv, ShmRecv, Self, AmRecv, pool
+// and unexpected-queue gauges) are written by depositing peers under
+// that lock, so an unlocked Rank.Snapshot would race with them; the
+// owner's send-side counters are safe because Stats runs on the owner
+// goroutine. Called at snapshot time only — the hot paths stay plain
+// increments.
+func (ep *Endpoint) SnapshotStats() metrics.Snapshot {
 	ep.mu.Lock()
-	m.MatchBinOps = ep.eng.BinOps
-	m.MatchSearches = ep.eng.Searches
-	m.MatchBinHits = ep.eng.BinHits
-	m.MatchWildHits = ep.eng.WildHits
+	s := ep.m.Snapshot()
 	ep.mu.Unlock()
+	return s
+}
+
+// FoldAndSnapshot stores the endpoint matching engine's counters into
+// the bound rank's registry and snapshots it, all under the endpoint
+// lock. Devices whose matching runs on the endpoint (CH4) use this;
+// devices that match in software at the MPI layer fold their own
+// engine and call SnapshotStats.
+func (ep *Endpoint) FoldAndSnapshot() metrics.Snapshot {
+	ep.mu.Lock()
+	ep.m.MatchBinOps = ep.eng.BinOps
+	ep.m.MatchSearches = ep.eng.Searches
+	ep.m.MatchBinHits = ep.eng.BinHits
+	ep.m.MatchWildHits = ep.eng.WildHits
+	s := ep.m.Snapshot()
+	ep.mu.Unlock()
+	return s
 }

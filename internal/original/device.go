@@ -177,14 +177,17 @@ func (d *Device) Config() core.Config { return d.cfg }
 // Stats snapshots the rank's metrics registry. Matching happens in
 // software at the MPI layer on this device, so the device's own
 // engine — not the (unused) endpoint matching unit — is folded in.
-// Owner-goroutine only, like every other Device method.
+// Owner-goroutine only, like every other Device method; the engine
+// fold is safe unlocked (only this goroutine touches it), but the
+// registry copy goes through the endpoint so it happens under the
+// lock peers hold while bumping receive-side counters.
 func (d *Device) Stats() metrics.Snapshot {
 	m := d.rank.Metrics()
 	m.MatchBinOps = d.eng.BinOps
 	m.MatchSearches = d.eng.Searches
 	m.MatchBinHits = d.eng.BinHits
 	m.MatchWildHits = d.eng.WildHits
-	return m.Snapshot()
+	return d.ep.SnapshotStats()
 }
 
 // Progress runs the packet handlers.

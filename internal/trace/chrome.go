@@ -14,7 +14,9 @@ type chromeEvent struct {
 	Cat  string         `json:"cat,omitempty"`
 	Ph   string         `json:"ph"`
 	Ts   float64        `json:"ts"`
-	Dur  float64        `json:"dur,omitempty"`
+	// No omitempty: a zero duration is a valid value for an "X"
+	// event, and some catapult consumers reject X events without dur.
+	Dur float64 `json:"dur"`
 	Pid  int            `json:"pid"`
 	Tid  int            `json:"tid"`
 	Args map[string]any `json:"args,omitempty"`
