@@ -14,10 +14,11 @@ vet:
 test:
 	$(GO) test ./...
 
-# The transports and the matching engine are the only cross-goroutine
-# state; run them under the race detector.
+# The whole suite under the race detector: the multi-VCI engine makes
+# every layer reachable from concurrent goroutines, so everything runs
+# race-checked (including the ThreadMultiple chaos rounds).
 race:
-	$(GO) test -race ./internal/match ./internal/fabric ./internal/shm
+	$(GO) test -race ./...
 
 # One iteration of every benchmark: catches bit-rot in the figure
 # regeneration paths and allocation regressions (all benches report
@@ -26,10 +27,11 @@ bench-smoke:
 	$(GO) test -run xxx -bench . -benchtime 1x ./...
 
 # Machine-readable benchmark summary: one iteration of every benchmark
-# (ns/op, allocs/op) plus the reference-exchange metric aggregates,
-# written to BENCH_PR2.json for cross-PR comparison.
+# (ns/op, allocs/op), the reference-exchange metric aggregates, and the
+# multi-VCI scaling sweep, written to BENCH_PR3.json for cross-PR
+# comparison.
 bench-json:
-	$(GO) run ./cmd/benchjson -o BENCH_PR2.json
+	$(GO) run ./cmd/benchjson -o BENCH_PR3.json
 
 # Short differential-fuzz run: binned vs linear matching must agree.
 fuzz-smoke:

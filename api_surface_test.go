@@ -149,7 +149,7 @@ func TestInt32Helpers(t *testing.T) {
 
 func TestErrorRendering(t *testing.T) {
 	classes := []ErrorClass{ErrNone, ErrBuffer, ErrCount, ErrType, ErrTag, ErrComm,
-		ErrRank, ErrRequest, ErrTruncate, ErrWin, ErrRMASync, ErrArg, ErrOther}
+		ErrRank, ErrRequest, ErrTruncate, ErrWin, ErrRMASync, ErrArg, ErrOther, ErrHint}
 	for _, c := range classes {
 		if c.String() == "" {
 			t.Errorf("class %d has no name", c)

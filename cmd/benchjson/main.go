@@ -1,13 +1,13 @@
 // Command benchjson runs the benchmark suite once and writes a
 // machine-readable summary — per-benchmark ns/op and allocs/op plus
 // the metrics aggregates of the reference exchange on both devices —
-// as JSON. The Makefile's bench-json target uses it to produce
-// BENCH_PR2.json. Timestamps are deliberately omitted so reruns diff
-// cleanly.
+// as JSON — plus the multi-VCI scaling sweep. The Makefile's
+// bench-json target uses it to produce BENCH_PR3.json. Timestamps are
+// deliberately omitted so reruns diff cleanly.
 //
 // Usage:
 //
-//	benchjson [-o BENCH_PR2.json] [-benchtime 1x]
+//	benchjson [-o BENCH_PR3.json] [-benchtime 1x]
 package main
 
 import (
@@ -38,6 +38,7 @@ type BenchResult struct {
 type Output struct {
 	Benchmarks []BenchResult                    `json:"benchmarks"`
 	Exchange   map[string]gompi.MetricsSnapshot `json:"exchange_aggregate"`
+	VCIScaling []bench.VCIPoint                 `json:"vci_scaling"`
 }
 
 // benchLine matches e.g.
@@ -45,7 +46,7 @@ type Output struct {
 var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+(\d+)\s+([\d.]+) ns/op(?:\s+(\d+) B/op)?(?:\s+(\d+) allocs/op)?`)
 
 func main() {
-	out := flag.String("o", "BENCH_PR2.json", "output path")
+	out := flag.String("o", "BENCH_PR3.json", "output path")
 	benchtime := flag.String("benchtime", "1x", "go test -benchtime value")
 	flag.Parse()
 
@@ -84,11 +85,14 @@ func main() {
 		exchange[string(dev)] = st.Aggregate()
 	}
 
+	vci, err := bench.VCIScaling([]int{1, 2, 4, 8}, 4, 2000)
+	fail(err)
+
 	f, err := os.Create(*out)
 	fail(err)
 	enc := json.NewEncoder(f)
 	enc.SetIndent("", "  ")
-	fail(enc.Encode(Output{Benchmarks: results, Exchange: exchange}))
+	fail(enc.Encode(Output{Benchmarks: results, Exchange: exchange, VCIScaling: vci}))
 	fail(f.Close())
 	fmt.Fprintf(os.Stderr, "benchjson: %d benchmarks -> %s\n", len(results), *out)
 }

@@ -3,11 +3,18 @@
 // the single-core 1-byte MPI_ISEND and MPI_PUT issue rates under each
 // build configuration.
 //
+// With -vci it instead runs the multi-VCI scaling sweep: multiple
+// goroutines per rank ping-ponging on hinted disjoint communicators,
+// reporting how the message rate scales with the number of virtual
+// communication interfaces.
+//
 // Usage:
 //
 //	mpirate                 # all three fabrics
 //	mpirate -net ofi        # one fabric
 //	mpirate -msgs 5000      # sample size
+//	mpirate -vci            # VCI-scaling sweep (1,2,4,8 interfaces)
+//	mpirate -vci -lanes 8   # with 8 goroutines per rank
 package main
 
 import (
@@ -28,7 +35,23 @@ func main() {
 	net := flag.String("net", "", "fabric: ofi | ucx | inf (default: all)")
 	msgs := flag.Int("msgs", 2000, "messages per measurement")
 	csv := flag.Bool("csv", false, "emit CSV for plotting")
+	vci := flag.Bool("vci", false, "run the multi-VCI scaling sweep instead")
+	lanes := flag.Int("lanes", 4, "goroutines per rank for -vci")
 	flag.Parse()
+
+	if *vci {
+		pts, err := bench.VCIScaling([]int{1, 2, 4, 8}, *lanes, *msgs)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mpirate:", err)
+			os.Exit(1)
+		}
+		if *csv {
+			bench.WriteVCIScalingCSV(os.Stdout, pts)
+		} else {
+			bench.WriteVCIScaling(os.Stdout, pts)
+		}
+		return
+	}
 
 	fabrics := []string{"ofi", "ucx", "inf"}
 	if *net != "" {

@@ -45,6 +45,73 @@ func (c *Comm) Dup() (*Comm, error) {
 	return &Comm{p: c.p, c: d}, nil
 }
 
+// CommHints are the MPI-4-style communicator assertions
+// (mpi_assert_*): promises about how the communicator will be used,
+// given at creation time. A hinted communicator gets a private virtual
+// communication interface and its receives never touch the cross-VCI
+// wildcard path; in exchange, an operation violating an assertion
+// returns an ErrHint-classed error. This is the hint-driven
+// alternative to the paper's observation that mandatory thread-safety
+// and wildcard generality tax every caller: the application states
+// what it will not do, and only then does the library drop the
+// machinery.
+type CommHints struct {
+	// NoAnySource promises no receive or probe ever uses AnySource.
+	NoAnySource bool
+	// NoAnyTag promises no receive or probe ever uses AnyTag.
+	NoAnyTag bool
+	// ExactLength promises every receive buffer exactly fits its
+	// message; a short or truncated delivery is reported as ErrHint.
+	ExactLength bool
+}
+
+// apply caches the hints into the freshly created communicator through
+// the info-key path, so they propagate on Dup like any other hint.
+func (h CommHints) apply(c *comm.Comm) {
+	if h.NoAnySource {
+		c.SetInfo(comm.HintNoAnySource, "true")
+	}
+	if h.NoAnyTag {
+		c.SetInfo(comm.HintNoAnyTag, "true")
+	}
+	if h.ExactLength {
+		c.SetInfo(comm.HintExactLength, "true")
+	}
+}
+
+// Hints returns the communicator's cached assertions.
+func (c *Comm) Hints() CommHints {
+	return CommHints{
+		NoAnySource: c.c.Hints.NoAnySource,
+		NoAnyTag:    c.c.Hints.NoAnyTag,
+		ExactLength: c.c.Hints.ExactLength,
+	}
+}
+
+// DupWithHints duplicates the communicator and attaches assertions to
+// the duplicate before any traffic can flow on it
+// (MPI_COMM_DUP_WITH_INFO with mpi_assert_* keys). Collective.
+func (c *Comm) DupWithHints(h CommHints) (*Comm, error) {
+	d, err := c.Dup()
+	if err != nil {
+		return nil, err
+	}
+	h.apply(d.c)
+	return d, nil
+}
+
+// SplitWithHints partitions like Split and attaches assertions to each
+// resulting communicator at creation. Collective; ranks receiving nil
+// still participate.
+func (c *Comm) SplitWithHints(color, key int, h CommHints) (*Comm, error) {
+	s, err := c.Split(color, key)
+	if err != nil || s == nil {
+		return s, err
+	}
+	h.apply(s.c)
+	return s, nil
+}
+
 // DupPredefined duplicates the communicator into the given predefined
 // handle slot (the MPI_COMM_DUP_PREDEFINED proposal, Section 3.3).
 // Subsequent communication through PredefComm(h) — or flagged calls

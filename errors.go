@@ -28,6 +28,12 @@ const (
 	ErrRMASync
 	ErrArg
 	ErrOther
+	// ErrHint reports a violated communicator assertion: an operation
+	// contradicted a hint given at creation (a wildcard on a
+	// no-wildcard communicator, a short or truncated delivery under
+	// the exact-length assertion). Appended after ErrOther so existing
+	// class values are stable.
+	ErrHint
 )
 
 // String returns the MPI-style class name.
@@ -57,9 +63,25 @@ func (e ErrorClass) String() string {
 		return "MPI_ERR_RMA_SYNC"
 	case ErrArg:
 		return "MPI_ERR_ARG"
+	case ErrHint:
+		return "MPI_ERR_HINT"
 	default:
 		return "MPI_ERR_OTHER"
 	}
+}
+
+// checkHints validates a receive or probe envelope against the
+// communicator's assertions. Unlike the chargeable error-checking row,
+// hint enforcement is two predictable branches folded into the
+// existing argument checks, so it carries no separate charge.
+func checkHints(c *comm.Comm, src, tag int) error {
+	if c.Hints.NoAnySource && src == core.AnySource {
+		return errc(ErrHint, "MPI_ANY_SOURCE on a communicator asserting %s", comm.HintNoAnySource)
+	}
+	if c.Hints.NoAnyTag && tag == core.AnyTag {
+		return errc(ErrHint, "MPI_ANY_TAG on a communicator asserting %s", comm.HintNoAnyTag)
+	}
+	return nil
 }
 
 // Error is the library's error value: an MPI error class plus detail.

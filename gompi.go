@@ -102,6 +102,15 @@ type Config struct {
 	// ThreadMultiple requests MPI_THREAD_MULTIPLE: communication takes
 	// the per-communicator critical section.
 	ThreadMultiple bool
+	// VCIs is the number of virtual communication interfaces each
+	// rank's ch4 endpoint exposes (1-8; 0 means 1). With more than
+	// one, concurrent goroutines of a rank driving different
+	// communicators or tags proceed in parallel instead of convoying
+	// on a single endpoint lock — the Zambre-style multi-VCI design.
+	// The baseline device ignores it (CH3's single critical section is
+	// the point of comparison). Single-VCI behavior is bit-identical
+	// to earlier builds.
+	VCIs int
 	// Trace enables per-operation event tracing (an MPE-style
 	// profile); TraceEvents bounds the per-rank ring (default 4096).
 	Trace       bool
@@ -136,6 +145,10 @@ func (cfg Config) resolve() (prof fabric.Profile, bc core.Config, dev string, rp
 	if cfg.ThreadMultiple {
 		bc.ThreadCheck = true
 	}
+	if cfg.VCIs < 0 || cfg.VCIs > 8 {
+		return prof, bc, "", 0, fmt.Errorf("gompi: VCIs %d outside [0,8]", cfg.VCIs)
+	}
+	bc.VCIs = cfg.VCIs
 	dev = string(cfg.Device)
 	if dev == "" {
 		dev = "ch4"
@@ -467,6 +480,14 @@ func (p *Proc) WriteTraceSummary(w interface{ Write([]byte) (int, error) }) {
 // callers' `if end != nil` — the steady-state path stays
 // allocation-free when observability is disabled.
 func (p *Proc) span(kind trace.Kind, peer, bytes int) func() {
+	return p.spanVCI(kind, peer, bytes, -1)
+}
+
+// spanVCI is span with the virtual communication interface the
+// operation will use (-1 when not applicable); the point-to-point
+// paths record it so Chrome traces show which channel carried each
+// message.
+func (p *Proc) spanVCI(kind trace.Kind, peer, bytes, vci int) func() {
 	traced := p.tlog.Enabled()
 	if !traced && p.profiler == nil {
 		return nil
@@ -478,10 +499,27 @@ func (p *Proc) span(kind trace.Kind, peer, bytes int) func() {
 	return func() {
 		end := p.rank.Now()
 		if traced {
-			p.tlog.Record(trace.Event{Kind: kind, Peer: peer, Bytes: bytes, Start: start, End: end})
+			p.tlog.Record(trace.Event{Kind: kind, Peer: peer, Bytes: bytes, VCI: vci, Start: start, End: end})
 		}
 		if p.profiler != nil {
 			p.profiler.Exit(p.rank.ID(), kind, peer, bytes, int64(end))
 		}
 	}
+}
+
+// vciOf asks the device which interface a send (recv=false) or
+// receive (recv=true) with the given tag on c would ride; -1 when
+// observability is off (the steady-state path computes nothing), the
+// device has no VCI notion (the baseline), or the op takes the
+// cross-VCI path.
+func (p *Proc) vciOf(c *Comm, tag int, recv bool) int {
+	if !p.tlog.Enabled() && p.profiler == nil {
+		return -1
+	}
+	if d, ok := p.dev.(interface {
+		VCIOf(c *comm.Comm, tag int, recv bool) int
+	}); ok {
+		return d.VCIOf(c.c, tag, recv)
+	}
+	return -1
 }

@@ -104,15 +104,18 @@ type Global struct {
 // NewGlobal wires the job-wide device state. When the world spans
 // multiple ranks per node, a shared-memory domain is created and its
 // deliveries feed each rank's fabric matching engine, so netmod and
-// shmmod share one matching context.
+// shmmod share one matching context. Cfg.VCIs splits every endpoint
+// into that many virtual communication interfaces; shm fragments carry
+// the sender's interface choice so both transports agree on where a
+// message matches.
 func NewGlobal(w *proc.World, prof fabric.Profile, cfg core.Config) *Global {
-	g := &Global{World: w, Fab: fabric.New(prof, w.Size()), Cfg: cfg}
+	g := &Global{World: w, Fab: fabric.NewVCI(prof, w.Size(), cfg.VCIs), Cfg: cfg}
 	if w.RanksPerNode() > 1 {
 		g.Shm = shm.NewDomain(shm.DefaultProfile, w.Size(),
-			func(dst int, bits match.Bits, src int, data []byte, arrival vtime.Time) {
-				g.Fab.Endpoint(dst).DepositShm(bits, src, data, arrival)
+			func(dst int, bits match.Bits, src int, data []byte, arrival vtime.Time, vci int) {
+				g.Fab.Endpoint(dst).DepositShmVCI(bits, src, data, arrival, vci)
 			},
-			func(dst int) { g.Fab.Endpoint(dst).Wake() },
+			func(dst, vci int) { g.Fab.Endpoint(dst).WakeVCI(vci) },
 		)
 	}
 	return g
@@ -240,6 +243,54 @@ func (d *Device) chargeRedundantType(dt *datatype.Type, n int64) {
 	if !d.cfg.Inline || dt.RuntimeMapped() {
 		d.charge(instr.Redundant, n)
 	}
+}
+
+// sendVCI picks the virtual interface a send on c travels: a hinted
+// communicator owns a private interface keyed by its context pair;
+// otherwise the (context, tag) hash spreads traffic. The selection is
+// a handful of arithmetic instructions already covered by the
+// match-bits charge — CH4 folds VCI selection into the match-word
+// build the same way.
+func (d *Device) sendVCI(c *comm.Comm, bits match.Bits) int {
+	if c.Hints.Pinned() {
+		return d.g.Fab.VCIForCtx(bits.Context())
+	}
+	return d.g.Fab.VCIFor(bits)
+}
+
+// recvVCI picks the interface a receive searches. A hinted
+// communicator's receives — even its remaining legal wildcard — live
+// on the private interface, so they never pay the cross-VCI walk.
+// No-match receives ride the same (ctx, 0, 0) hash their senders use.
+// Anything else with an exact context+tag hashes like a send; a true
+// wildcard falls back to AnyVCI.
+func (d *Device) recvVCI(c *comm.Comm, bits, mask match.Bits) int {
+	switch {
+	case c.Hints.Pinned():
+		return d.g.Fab.VCIForCtx(bits.Context())
+	case mask == match.NoMatchMask:
+		return d.g.Fab.VCIFor(bits)
+	case mask.ExactCtxTag():
+		return d.g.Fab.VCIFor(bits)
+	default:
+		return fabric.AnyVCI
+	}
+}
+
+// VCIOf reports the interface a send (recv=false) or receive
+// (recv=true) with the given tag on c would use, for trace annotation.
+// AnyVCI (-1) means the cross-VCI path. Called only when tracing is
+// enabled; never charged.
+func (d *Device) VCIOf(c *comm.Comm, tag int, recv bool) int {
+	if recv {
+		anySrc, anyTag := false, tag == core.AnyTag
+		tg := tag
+		if anyTag {
+			tg = 0
+		}
+		return d.recvVCI(c, match.MakeBits(c.Ctx, 0, tg), match.RecvMask(anySrc, anyTag))
+	}
+	return d.sendVCI(c, match.MakeBits(c.Ctx, c.MyRank, tag))
 }
 
 // translateRank resolves a communicator rank to the world/fabric rank,

@@ -87,8 +87,9 @@ func (d *Device) Isend(buf []byte, count int, dt *datatype.Type, dest, tag int,
 		bits = match.MakeBits(ctx, c.MyRank, tag)
 	}
 
-	// Locality dispatch and injection (ch4 core -> netmod/shmmod).
-	d.inject(world, bits, data)
+	// Locality dispatch and injection (ch4 core -> netmod/shmmod). The
+	// VCI pick is part of the match-word arithmetic charged above.
+	d.inject(world, bits, data, d.sendVCI(c, bits))
 
 	// Completion (Section 3.5): request object or counter.
 	d.chargeRedundant(costRedundantComplete)
@@ -116,19 +117,21 @@ func (d *Device) sendBytes(buf []byte, count int, dt *datatype.Type) ([]byte, er
 }
 
 // inject routes the message by locality: self-loopback, shmmod for
-// on-node peers, netmod otherwise.
-func (d *Device) inject(world int, bits match.Bits, data []byte) {
+// on-node peers, netmod otherwise. All three transports deposit at the
+// same destination interface, so matching stays consistent across
+// them.
+func (d *Device) inject(world int, bits match.Bits, data []byte, vci int) {
 	d.charge(instr.Mandatory, costLocality)
 	switch {
 	case world == d.rank.ID():
 		d.charge(instr.Mandatory, costSelfLoop)
-		d.ep.DepositSelf(bits, world, data, d.rank.Now())
+		d.ep.DepositSelfVCI(bits, world, data, d.rank.Now(), vci)
 	case d.g.Shm != nil && d.g.World.SameNode(world, d.rank.ID()):
 		d.charge(instr.Mandatory, costShmPrep)
-		d.g.Shm.Send(d.rank.ID(), world, bits, data)
+		d.g.Shm.SendVCI(d.rank.ID(), world, bits, data, vci)
 	default:
 		d.charge(instr.Mandatory, costNetmodPrep)
-		d.ep.TaggedSend(world, bits, data)
+		d.ep.TaggedSendVCI(world, bits, data, vci)
 	}
 }
 
@@ -165,7 +168,7 @@ func (d *Device) IsendAllOpts(buf []byte, worldDest int, c *comm.Comm) error {
 	// Buffer address + length registers: 2; fused netmod descriptor
 	// write and doorbell: 9.
 	d.charge(instr.Mandatory, 2+9)
-	d.ep.TaggedSend(worldDest, bits, buf)
+	d.ep.TaggedSendVCI(worldDest, bits, buf, d.sendVCI(c, bits))
 	return nil
 }
 
@@ -230,7 +233,7 @@ func (d *Device) Irecv(buf []byte, count int, dt *datatype.Type, src, tag int,
 	}
 
 	d.charge(instr.Mandatory, costRecvPost+costRequestAlloc)
-	d.ep.PostRecv(op, bits, mask)
+	d.ep.PostRecvVCI(op, bits, mask, d.recvVCI(c, bits, mask))
 
 	r := d.pool.Get(request.KindRecv)
 	finish := func(r *request.Request) error {
@@ -271,7 +274,21 @@ func (d *Device) recvDone(op *fabric.RecvOp) bool {
 }
 
 // waitRecv parks until the receive completes, pumping both transports.
+// An op pinned to one interface parks on that interface's event
+// sequence, so traffic other goroutines drive over other VCIs never
+// wakes it (the spurious-wakeup storm a single per-rank sequence
+// causes); a wildcard op parks on the aggregate.
 func (d *Device) waitRecv(op *fabric.RecvOp) {
+	if v := op.VCI(); v >= 0 {
+		for {
+			seq := d.ep.EventSeqVCI(v)
+			d.Progress()
+			if d.ep.RecvDone(op) {
+				return
+			}
+			d.ep.WaitEventVCI(v, seq)
+		}
+	}
 	for {
 		seq := d.ep.EventSeq()
 		d.Progress()
@@ -296,7 +313,8 @@ func (d *Device) Iprobe(src, tag int, c *comm.Comm) (request.Status, bool, error
 		tg = 0
 	}
 	bits := match.MakeBits(c.Ctx, s, tg)
-	psrc, ptag, size, ok := d.ep.Probe(bits, match.RecvMask(anySrc, anyTag))
+	mask := match.RecvMask(anySrc, anyTag)
+	psrc, ptag, size, ok := d.ep.ProbeVCI(bits, mask, d.recvVCI(c, bits, mask))
 	if !ok {
 		return request.Status{}, false, nil
 	}
@@ -317,7 +335,8 @@ func (d *Device) Improbe(src, tag int, c *comm.Comm) ([]byte, request.Status, vt
 		tg = 0
 	}
 	bits := match.MakeBits(c.Ctx, s, tg)
-	psrc, ptag, data, arrival, ok := d.ep.MProbe(bits, match.RecvMask(anySrc, anyTag))
+	mask := match.RecvMask(anySrc, anyTag)
+	psrc, ptag, data, arrival, ok := d.ep.MProbeVCI(bits, mask, d.recvVCI(c, bits, mask))
 	if !ok {
 		return nil, request.Status{}, 0, false, nil
 	}

@@ -146,7 +146,7 @@ func (d *Device) resolveTarget(target, disp, nbytes int, w *rma.Win, flags core.
 func (d *Device) Put(origin []byte, count int, dt *datatype.Type, target, disp int,
 	w *rma.Win, flags core.OpFlags) error {
 
-	d.rank.Metrics().RmaPuts++
+	d.rank.Metrics().NoteRmaPut()
 	d.chargeDispatch(costDispatchRMA)
 
 	if !flags.Has(core.FlagNoProcNull) {
@@ -183,7 +183,7 @@ func (d *Device) Put(origin []byte, count int, dt *datatype.Type, target, disp i
 func (d *Device) Get(origin []byte, count int, dt *datatype.Type, target, disp int,
 	w *rma.Win, flags core.OpFlags) error {
 
-	d.rank.Metrics().RmaGets++
+	d.rank.Metrics().NoteRmaGet()
 	d.chargeDispatch(costDispatchRMA)
 
 	if !flags.Has(core.FlagNoProcNull) {
@@ -225,7 +225,7 @@ func (d *Device) Get(origin []byte, count int, dt *datatype.Type, target, disp i
 // derived layouts fall back to active messages.
 func (d *Device) Accumulate(origin []byte, count int, dt *datatype.Type, target, disp int,
 	op coll.Op, w *rma.Win, flags core.OpFlags) error {
-	d.rank.Metrics().RmaAccs++
+	d.rank.Metrics().NoteRmaAcc()
 	return d.accumulate(origin, nil, count, dt, target, disp, op, w, flags)
 }
 
@@ -236,7 +236,7 @@ func (d *Device) GetAccumulate(origin, result []byte, count int, dt *datatype.Ty
 	if result == nil {
 		return errString("get_accumulate", rma.ErrBadWinArg)
 	}
-	d.rank.Metrics().RmaGetAccs++
+	d.rank.Metrics().NoteRmaGetAcc()
 	return d.accumulate(origin, result, count, dt, target, disp, op, w, flags)
 }
 

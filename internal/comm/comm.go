@@ -46,12 +46,48 @@ type Comm struct {
 	// is exactly the trade-off the paper quantifies.
 	AssertNoMatch bool
 
+	// Hints caches the MPI-4-style communicator assertions that let the
+	// device refine its channel selection. Set at creation time (before
+	// any traffic) via the hint-carrying Dup/Split variants or SetInfo;
+	// immutable once communication begins.
+	Hints Hints
+
 	reg      *Registry
 	seq      int // per-rank count of creation collectives on this comm
 	info     map[string]string
 	freed    bool
 	collView *Comm
 }
+
+// Hints are the communicator assertions of MPI-4's mpi_assert_* info
+// keys: promises about how the application will use the communicator,
+// which the device exchanges for a better traffic-to-VCI mapping. A
+// violated assertion is erroneous; this library detects violations and
+// returns a defined error instead of corrupting matching.
+type Hints struct {
+	// NoAnySource: no receive or probe on this communicator ever
+	// passes MPI_ANY_SOURCE.
+	NoAnySource bool
+	// NoAnyTag: no receive or probe ever passes MPI_ANY_TAG.
+	NoAnyTag bool
+	// ExactLength: every receive buffer is exactly the size of the
+	// message that will match it — no truncation, no short delivery.
+	ExactLength bool
+}
+
+// Pinned reports whether the hints entitle the communicator to a
+// private virtual interface: once either wildcard is ruled out, every
+// receive that could still be posted (including the remaining legal
+// wildcard) can be served by one interface, so the cross-VCI fallback
+// is never needed.
+func (h Hints) Pinned() bool { return h.NoAnySource || h.NoAnyTag }
+
+// The info keys that cache into Hints (MPI-4 spelling).
+const (
+	HintNoAnySource = "mpi_assert_no_any_source"
+	HintNoAnyTag    = "mpi_assert_no_any_tag"
+	HintExactLength = "mpi_assert_exact_length"
+)
 
 // CollView returns a view of the communicator whose point-to-point
 // context is the collective context: the machine-independent
@@ -125,8 +161,15 @@ func (c *Comm) SetInfo(key, value string) {
 		c.info = make(map[string]string)
 	}
 	c.info[key] = value
-	if key == "mpi_assert_allow_overtaking" || key == "gompi_assert_no_match" {
+	switch key {
+	case "mpi_assert_allow_overtaking", "gompi_assert_no_match":
 		c.AssertNoMatch = value == "true"
+	case HintNoAnySource:
+		c.Hints.NoAnySource = value == "true"
+	case HintNoAnyTag:
+		c.Hints.NoAnyTag = value == "true"
+	case HintExactLength:
+		c.Hints.ExactLength = value == "true"
 	}
 }
 

@@ -28,6 +28,11 @@ type Config struct {
 	// functions: function-call overhead and redundant runtime checks
 	// are no longer charged.
 	Inline bool
+	// VCIs is the number of virtual communication interfaces each
+	// rank's endpoint exposes (0 or 1 = the classic single-interface
+	// endpoint). Only the ch4 device honors it; the baseline device
+	// keeps the CH3-era single critical section regardless.
+	VCIs int
 }
 
 // The named builds of Figure 2.

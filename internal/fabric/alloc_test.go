@@ -9,7 +9,8 @@ import (
 // reset readies a RecvOp for reuse, something only these in-package
 // tests may do: the public contract is one op per receive.
 func (op *RecvOp) reset() {
-	op.done, op.reaped = false, false
+	op.done.Store(false)
+	op.reaped = false
 	op.N, op.Truncated = 0, false
 }
 
@@ -79,12 +80,13 @@ func TestPoolRecyclesBuffers(t *testing.T) {
 	bits := match.MakeBits(1, 0, 1)
 
 	src.TaggedSend(1, bits, []byte{1, 2, 3})
+	s := dst.vcis[dst.f.VCIFor(bits)]
 	var first []byte
-	dst.mu.Lock()
-	if entry, ok := dst.eng.Probe(bits, match.FullMask); ok {
+	s.mu.Lock()
+	if entry, ok := s.eng.Probe(bits, match.FullMask); ok {
 		first = entry.Cookie.(*message).data
 	}
-	dst.mu.Unlock()
+	s.mu.Unlock()
 	if first == nil {
 		t.Fatal("no buffered unexpected message")
 	}
@@ -96,12 +98,12 @@ func TestPoolRecyclesBuffers(t *testing.T) {
 	}
 
 	src.TaggedSend(1, bits, []byte{4, 5})
-	dst.mu.Lock()
 	var second []byte
-	if entry, ok := dst.eng.Probe(bits, match.FullMask); ok {
+	s.mu.Lock()
+	if entry, ok := s.eng.Probe(bits, match.FullMask); ok {
 		second = entry.Cookie.(*message).data
 	}
-	dst.mu.Unlock()
+	s.mu.Unlock()
 	if second == nil {
 		t.Fatal("no second unexpected message")
 	}

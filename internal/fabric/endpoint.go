@@ -1,7 +1,9 @@
 package fabric
 
 import (
+	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"gompi/internal/instr"
 	"gompi/internal/match"
@@ -9,9 +11,17 @@ import (
 	"gompi/internal/vtime"
 )
 
+// AnyVCI asks the endpoint to consider every virtual communication
+// interface: the degraded path a receive takes when its wildcards erase
+// the information VCI selection hashes (tag), mirroring how CH4 falls
+// back to a shared context when semantic hints are missing. On a
+// single-VCI endpoint it is identical to VCI 0.
+const AnyVCI = -1
+
 // RecvOp is an outstanding tagged receive. The owner posts it with
 // PostRecv and completes it with RecvDone/WaitRecv; the fabric fills in
-// the result fields when a message matches.
+// the result fields when a message matches. Ops must be fresh (or
+// zeroed) when posted.
 type RecvOp struct {
 	Buf []byte // destination buffer (fabric copies into it)
 
@@ -22,23 +32,48 @@ type RecvOp struct {
 	Truncated bool       // message was longer than Buf
 	Arrival   vtime.Time // virtual arrival time at the target
 
-	done   bool
-	reaped bool
+	// done is the completion flag. The atomic store in completeRecv
+	// publishes the result fields written just before it (Go memory
+	// model: everything sequenced before the Store is visible after a
+	// Load that observes true).
+	done   atomic.Bool
+	reaped bool // owner-goroutine only
+
+	// vci is the interface the op was posted on, or AnyVCI when the op
+	// is replicated across every interface (wildcard fallback).
+	vci int
+	// multi marks a replicated op; claimed is its once-only completion
+	// claim: the depositing goroutine that wins the CAS delivers, any
+	// replica matched afterward is stale and re-offers its message.
+	multi   bool
+	claimed atomic.Bool
 }
 
-// AMHandler consumes an incoming active message on the owner goroutine
-// of the receiving endpoint. hdr and payload are owned by the handler.
+// VCI returns the interface the op was posted on, or AnyVCI for a
+// replicated wildcard op. Valid after PostRecv.
+func (op *RecvOp) VCI() int { return op.vci }
+
+// AMHandler consumes an incoming active message on the progressing
+// goroutine of the receiving endpoint. hdr and payload are owned by the
+// handler. Handlers are not synchronized by the fabric: devices that
+// use active messages (RMA, the CH3-style baseline) keep them on the
+// owner goroutine.
 type AMHandler func(src int, hdr, payload []byte, arrival vtime.Time)
 
 // message is a buffered unexpected tagged message. Instances are
-// recycled through the endpoint's free list (chained via next); data is
-// a pooled copy returned to the endpoint's buffer pool when the message
+// recycled through the owning VCI's free list (chained via next); data
+// is a pooled copy returned to that VCI's buffer pool when the message
 // is consumed by a receive.
 type message struct {
 	src     int
 	data    []byte
 	arrival vtime.Time
-	next    *message
+	// gseq is the endpoint-global arrival stamp, taken under the VCI
+	// lock at buffering time. Cross-VCI wildcard searches use it to
+	// pick the globally earliest match, preserving the non-overtaking
+	// order that a single queue gives for free.
+	gseq uint64
+	next *message
 }
 
 // am is a queued active message.
@@ -50,34 +85,93 @@ type am struct {
 	arrival vtime.Time
 }
 
-// Endpoint is one rank's attachment to the fabric. The tagged matching
-// engine lives behind the endpoint lock — that is the "hardware"
-// matching unit. Only the owner goroutine posts receives, waits, and
-// runs progress; remote ranks deposit messages under the lock.
+// vci is one virtual communication interface: a private lock, matching
+// engine, buffer pool, envelope free list, and event sequence. Two
+// goroutines of the same rank driving different VCIs never contend.
+type vci struct {
+	mu       sync.Mutex
+	cond     *sync.Cond
+	eng      match.Engine
+	pool     bufPool
+	msgFree  *message
+	eventSeq uint64
+	stats    metrics.VCIStat // receive-side traffic + events, under mu
+}
+
+// getMessage pops a recycled message envelope (or allocates the first
+// time). Caller holds the VCI lock.
+func (s *vci) getMessage() *message {
+	m := s.msgFree
+	if m == nil {
+		return new(message)
+	}
+	s.msgFree = m.next
+	m.next = nil
+	return m
+}
+
+// putMessage zeroes an envelope and chains it on the free list. Caller
+// holds the VCI lock and has already dealt with m.data.
+func (s *vci) putMessage(m *message) {
+	*m = message{next: s.msgFree}
+	s.msgFree = m
+}
+
+// releaseMessage recycles a consumed unexpected message: payload back
+// to the VCI's buffer pool, envelope to its free list. Caller holds the
+// VCI lock.
+func (s *vci) releaseMessage(m *message) {
+	s.pool.put(m.data)
+	s.putMessage(m)
+}
+
+// Endpoint is one rank's attachment to the fabric, split into N virtual
+// communication interfaces. Each VCI owns a lock, match bins, buffer
+// pool, and event sequence — that is the "hardware" matching unit,
+// replicated the way CH4's VCIs (Zambre et al.) replicate netmod
+// contexts so concurrent goroutines of one rank stop convoying on a
+// single endpoint lock. Remote ranks deposit messages under the target
+// VCI's lock; wildcard receives that cannot name a VCI take the
+// cross-VCI path (all locks, ascending).
 type Endpoint struct {
 	f    *Fabric
 	rank int
+	vcis []*vci
 
-	mu   sync.Mutex
-	cond *sync.Cond
-	eng  match.Engine
-	amq  []am
+	// Aggregate event state: aggSeq increases on every deposit, active
+	// message, and wake anywhere on the endpoint. Waiters that cannot
+	// name a VCI park on evCond; the waiter gate keeps the common case
+	// (no aggregate waiter) to one atomic load per event.
+	aggSeq    uint64 // atomic
+	evMu      sync.Mutex
+	evCond    *sync.Cond
+	evWaiters int32 // atomic
 
-	// Eager-path recycling, guarded by mu: payload copies come from the
-	// size-classed pool, message envelopes from the free list, so the
-	// steady-state eager path performs zero heap allocations.
-	pool    bufPool
-	msgFree *message
+	// Active messages ride a single endpoint-level queue (they are
+	// rank-global control traffic: RMA, the baseline's packets), with an
+	// atomic length so per-VCI waiters can poll it without the queue
+	// lock.
+	amMu   sync.Mutex
+	amq    []am
+	amqLen int32 // atomic, mutated under amMu
+
+	// gctr stamps buffered unexpected messages with a global arrival
+	// order for cross-VCI wildcard matching.
+	gctr uint64 // atomic
+
+	// stale holds claimed wildcard ops whose replicas are still sitting
+	// in other VCIs' posted queues; the next cross-VCI operation sweeps
+	// them out. staleMu is always innermost (after any VCI lock).
+	staleMu sync.Mutex
+	stale   []*RecvOp
 
 	handlers [256]AMHandler
 	meter    Meter
-	// m caches meter.Metrics(). Receive-side counters are bumped
-	// through it under mu by depositing peers, so traffic lands on the
-	// receiving rank's registry regardless of which goroutine carries
-	// it — and snapshots must also hold mu (SnapshotStats). Starts as
-	// a placeholder registry; Bind replaces it.
-	m        *metrics.Rank
-	eventSeq uint64
+	// m caches meter.Metrics(). The registry is atomic throughout, so
+	// depositing peers and concurrent owner goroutines bump it without
+	// holding any particular lock. Starts as a placeholder registry;
+	// Bind replaces it.
+	m *metrics.Rank
 }
 
 // via says which transport carried a deposited message, for
@@ -90,43 +184,54 @@ const (
 	viaSelf
 )
 
-// getMessage pops a recycled message envelope (or allocates the first
-// time). Caller holds the endpoint lock.
-func (ep *Endpoint) getMessage() *message {
-	m := ep.msgFree
-	if m == nil {
-		return new(message)
-	}
-	ep.msgFree = m.next
-	m.next = nil
-	return m
-}
-
-// putMessage zeroes an envelope and chains it on the free list. Caller
-// holds the endpoint lock and has already dealt with m.data.
-func (ep *Endpoint) putMessage(m *message) {
-	*m = message{next: ep.msgFree}
-	ep.msgFree = m
-}
-
-// releaseMessage recycles a consumed unexpected message: payload back
-// to the buffer pool, envelope to the free list. Caller holds the lock.
-func (ep *Endpoint) releaseMessage(m *message) {
-	ep.pool.put(m.data)
-	ep.putMessage(m)
-}
-
-func newEndpoint(f *Fabric, rank int) *Endpoint {
+func newEndpoint(f *Fabric, rank, nvci int) *Endpoint {
 	// The placeholder registry keeps deposits into a never-bound
 	// endpoint safe (direct fabric tests); Bind replaces it with the
 	// owning rank's registry.
-	ep := &Endpoint{f: f, rank: rank, m: new(metrics.Rank)}
-	ep.cond = sync.NewCond(&ep.mu)
+	ep := &Endpoint{f: f, rank: rank, m: new(metrics.Rank), vcis: make([]*vci, nvci)}
+	for i := range ep.vcis {
+		s := new(vci)
+		s.cond = sync.NewCond(&s.mu)
+		ep.vcis[i] = s
+	}
+	ep.evCond = sync.NewCond(&ep.evMu)
 	return ep
 }
 
 // Rank returns the endpoint's fabric address.
 func (ep *Endpoint) Rank() int { return ep.rank }
+
+// NVCI returns the number of virtual communication interfaces.
+func (ep *Endpoint) NVCI() int { return len(ep.vcis) }
+
+// norm maps AnyVCI to 0 on a single-VCI endpoint (where the fallback
+// path is pointless) and bounds-checks explicit indices.
+func (ep *Endpoint) norm(v int) int {
+	if v == AnyVCI {
+		if len(ep.vcis) == 1 {
+			return 0
+		}
+		return AnyVCI
+	}
+	if v < 0 || v >= len(ep.vcis) {
+		panic(fmt.Sprintf("fabric: VCI %d out of range [0,%d)", v, len(ep.vcis)))
+	}
+	return v
+}
+
+// vciForRecv picks the interface a receive described by (bits, mask)
+// must search: the deterministic hash when the mask pins the hashed
+// fields (context and tag — source never feeds the hash, so AnySource
+// stays cheap), AnyVCI otherwise.
+func (ep *Endpoint) vciForRecv(bits, mask match.Bits) int {
+	if len(ep.vcis) == 1 {
+		return 0
+	}
+	if mask.ExactCtxTag() {
+		return ep.f.VCIFor(bits)
+	}
+	return AnyVCI
+}
 
 // Bind attaches the owning rank's meter. Must be called before any
 // operation that charges costs.
@@ -139,15 +244,32 @@ func (ep *Endpoint) Bind(m Meter) {
 // are installed at device init, before communication starts.
 func (ep *Endpoint) RegisterAM(id uint8, h AMHandler) { ep.handlers[id] = h }
 
-// TaggedSend injects a tagged send toward dst. The payload is copied,
-// so the caller may reuse data immediately. Messages up to the
-// profile's eager limit are deposited directly; larger ones pay the
-// rendezvous handshake in time (an RTS/CTS round trip before the data
-// crosses) and extra control-message CPU on the sender — the latency
-// cliff every MPI shows at its eager threshold. Matching happens at
-// the destination endpoint as the message arrives — the
-// hardware-offload model of PSM2 and UCX.
+// bumpAgg publishes one endpoint-level event: bump the aggregate
+// sequence and wake aggregate waiters if any are parked.
+func (ep *Endpoint) bumpAgg() {
+	atomic.AddUint64(&ep.aggSeq, 1)
+	if atomic.LoadInt32(&ep.evWaiters) != 0 {
+		ep.evMu.Lock()
+		ep.evCond.Broadcast()
+		ep.evMu.Unlock()
+	}
+}
+
+// TaggedSend injects a tagged send toward dst on the hash-selected VCI.
+// The payload is copied, so the caller may reuse data immediately.
 func (ep *Endpoint) TaggedSend(dst int, bits match.Bits, data []byte) {
+	ep.TaggedSendVCI(dst, bits, data, ep.f.VCIFor(bits))
+}
+
+// TaggedSendVCI injects a tagged send toward dst's interface v (the
+// device names the VCI when communicator hints refine the hash).
+// Messages up to the profile's eager limit are deposited directly;
+// larger ones pay the rendezvous handshake in time (an RTS/CTS round
+// trip before the data crosses) and extra control-message CPU on the
+// sender — the latency cliff every MPI shows at its eager threshold.
+// Matching happens at the destination as the message arrives — the
+// hardware-offload model of PSM2 and UCX.
+func (ep *Endpoint) TaggedSendVCI(dst int, bits match.Bits, data []byte, v int) {
 	p := &ep.f.prof
 	ep.meter.ChargeCycles(instr.Transport, p.injectCost(p.SendInject, len(data)))
 	ep.m.NetSend.Note(len(data))
@@ -163,18 +285,20 @@ func (ep *Endpoint) TaggedSend(dst int, bits match.Bits, data []byte) {
 	}
 	arrival := p.arrivalAt(now, len(data))
 
-	ep.f.eps[dst].deposit(bits, ep.rank, data, arrival, viaNet)
+	ep.f.eps[dst].deposit(v, bits, ep.rank, data, arrival, viaNet)
 }
 
-// deposit lands an incoming message at this endpoint: match against the
-// posted queue or buffer as unexpected. Called from the sender's
-// goroutine; data is borrowed from the caller for the duration of the
-// call. A message that matches a posted receive copies straight into
-// the receive buffer — no intermediate copy exists on the fast path;
-// only an unexpected message pays for a (pooled) buffered copy.
-func (ep *Endpoint) deposit(bits match.Bits, src int, data []byte, arrival vtime.Time, v via) {
-	ep.mu.Lock()
-	switch v {
+// deposit lands an incoming message at interface v of this endpoint:
+// match against the posted queue or buffer as unexpected. Called from
+// the sender's goroutine; data is borrowed from the caller for the
+// duration of the call. A message that matches a posted receive copies
+// straight into the receive buffer — no intermediate copy exists on the
+// fast path; only an unexpected message pays for a (pooled) buffered
+// copy. A match against a stale replica of an already-claimed wildcard
+// receive re-offers the message until it finds a live consumer.
+func (ep *Endpoint) deposit(v int, bits match.Bits, src int, data []byte, arrival vtime.Time, via via) {
+	v = ep.norm(v)
+	switch via {
 	case viaShm:
 		ep.m.ShmRecv.Note(len(data))
 	case viaSelf:
@@ -183,22 +307,77 @@ func (ep *Endpoint) deposit(bits match.Bits, src int, data []byte, arrival vtime
 	default:
 		ep.m.NetRecv.Note(len(data))
 	}
-	m := ep.getMessage()
-	if entry, ok := ep.eng.Arrive(bits, m); ok {
-		ep.putMessage(m)
+	s := ep.vcis[v]
+	s.mu.Lock()
+	s.stats.Msgs++
+	s.stats.Bytes += int64(len(data))
+	for {
+		m := s.getMessage()
+		entry, ok := s.eng.Arrive(bits, m)
+		if !ok {
+			m.src = src
+			buf := s.pool.get(len(data), ep.m)
+			copy(buf, data)
+			m.data = buf
+			m.arrival = arrival
+			m.gseq = atomic.AddUint64(&ep.gctr, 1)
+			ep.m.MaxUnexpected(s.eng.UnexpectedLen())
+			break
+		}
+		s.putMessage(m)
 		op := entry.Cookie.(*RecvOp)
+		if op.multi {
+			if !op.claimed.CompareAndSwap(false, true) {
+				// Stale replica: the op already completed on another
+				// VCI. Its node is gone from this engine now; retry.
+				continue
+			}
+			ep.addStale(op)
+		}
 		completeRecv(op, bits, data, arrival)
-	} else {
-		m.src = src
-		buf := ep.pool.get(len(data), ep.m)
-		copy(buf, data)
-		m.data = buf
-		m.arrival = arrival
-		ep.m.MaxUnexpected(ep.eng.UnexpectedLen())
+		break
 	}
-	ep.eventSeq++
-	ep.cond.Broadcast()
-	ep.mu.Unlock()
+	s.eventSeq++
+	s.stats.Events++
+	s.cond.Broadcast()
+	s.mu.Unlock()
+	ep.bumpAgg()
+}
+
+// addStale remembers a claimed wildcard op whose replicas still sit in
+// other VCIs' posted queues, for the next cross-VCI sweep.
+func (ep *Endpoint) addStale(op *RecvOp) {
+	ep.staleMu.Lock()
+	ep.stale = append(ep.stale, op)
+	ep.staleMu.Unlock()
+}
+
+// sweepStaleLocked cancels leftover replicas of claimed wildcard ops.
+// Caller holds every VCI lock.
+func (ep *Endpoint) sweepStaleLocked() {
+	ep.staleMu.Lock()
+	stale := ep.stale
+	ep.stale = nil
+	ep.staleMu.Unlock()
+	for _, op := range stale {
+		for _, s := range ep.vcis {
+			s.eng.CancelRecv(op)
+		}
+	}
+}
+
+// lockAll takes every VCI lock in ascending order (the endpoint's
+// global lock order; staleMu nests inside).
+func (ep *Endpoint) lockAll() {
+	for _, s := range ep.vcis {
+		s.mu.Lock()
+	}
+}
+
+func (ep *Endpoint) unlockAll() {
+	for i := len(ep.vcis) - 1; i >= 0; i-- {
+		ep.vcis[i].mu.Unlock()
+	}
 }
 
 // DepositShm lands a message that arrived over the shared-memory rings
@@ -208,50 +387,101 @@ func (ep *Endpoint) deposit(bits match.Bits, src int, data []byte, arrival vtime
 // endpoint copies what it keeps, so the caller may reuse the slice as
 // soon as the call returns.
 func (ep *Endpoint) DepositShm(bits match.Bits, src int, data []byte, arrival vtime.Time) {
-	ep.deposit(bits, src, data, arrival, viaShm)
+	ep.deposit(ep.f.VCIFor(bits), bits, src, data, arrival, viaShm)
+}
+
+// DepositShmVCI is DepositShm onto an explicitly named interface (the
+// sender's hint-refined choice travels with the shm fragment).
+func (ep *Endpoint) DepositShmVCI(bits match.Bits, src int, data []byte, arrival vtime.Time, v int) {
+	ep.deposit(v, bits, src, data, arrival, viaShm)
 }
 
 // DepositSelf lands a self-loop message (the ch4-core self-send
 // shortcut). Same borrowing contract as DepositShm.
 func (ep *Endpoint) DepositSelf(bits match.Bits, src int, data []byte, arrival vtime.Time) {
-	ep.deposit(bits, src, data, arrival, viaSelf)
+	ep.deposit(ep.f.VCIFor(bits), bits, src, data, arrival, viaSelf)
 }
 
-// Wake nudges the endpoint's owner out of WaitEvent: another transport
-// has work for it.
+// DepositSelfVCI is DepositSelf onto an explicitly named interface.
+func (ep *Endpoint) DepositSelfVCI(bits match.Bits, src int, data []byte, arrival vtime.Time, v int) {
+	ep.deposit(v, bits, src, data, arrival, viaSelf)
+}
+
+// Wake nudges every waiter on the endpoint out of WaitEvent /
+// WaitEventVCI: another transport has work for it.
 func (ep *Endpoint) Wake() {
-	ep.mu.Lock()
-	ep.eventSeq++
-	ep.cond.Broadcast()
-	ep.mu.Unlock()
+	for i := range ep.vcis {
+		ep.wakeVCI(i)
+	}
+	ep.bumpAgg()
+}
+
+// WakeVCI nudges waiters on one interface (and aggregate waiters).
+func (ep *Endpoint) WakeVCI(v int) {
+	ep.wakeVCI(ep.norm(v))
+	ep.bumpAgg()
+}
+
+func (ep *Endpoint) wakeVCI(v int) {
+	s := ep.vcis[v]
+	s.mu.Lock()
+	s.eventSeq++
+	s.stats.Events++
+	s.cond.Broadcast()
+	s.mu.Unlock()
 }
 
 // EventSeq returns an opaque counter that increases on every deposit,
-// active message, and Wake.
-func (ep *Endpoint) EventSeq() uint64 {
-	ep.mu.Lock()
-	defer ep.mu.Unlock()
-	return ep.eventSeq
-}
+// active message, and Wake, endpoint-wide.
+func (ep *Endpoint) EventSeq() uint64 { return atomic.LoadUint64(&ep.aggSeq) }
 
-// WaitEvent blocks until the event counter moves past last, then
-// returns its new value. Devices that poll multiple transports use it
-// to park between polls without losing wakeups. Panics with
+// WaitEvent blocks until the aggregate event counter moves past last,
+// then returns its new value. Devices that poll multiple transports use
+// it to park between polls without losing wakeups. Panics with
 // core.ErrWorldAborted once the fabric is aborted.
 func (ep *Endpoint) WaitEvent(last uint64) uint64 {
-	ep.mu.Lock()
-	for ep.eventSeq == last && len(ep.amq) == 0 {
-		ep.f.aborted.CheckLocked(&ep.mu)
-		ep.cond.Wait()
+	ep.evMu.Lock()
+	atomic.AddInt32(&ep.evWaiters, 1)
+	for atomic.LoadUint64(&ep.aggSeq) == last && atomic.LoadInt32(&ep.amqLen) == 0 {
+		ep.f.aborted.CheckLocked(&ep.evMu)
+		ep.evCond.Wait()
 	}
-	seq := ep.eventSeq
-	ep.mu.Unlock()
+	atomic.AddInt32(&ep.evWaiters, -1)
+	ep.evMu.Unlock()
+	return atomic.LoadUint64(&ep.aggSeq)
+}
+
+// EventSeqVCI returns one interface's event counter: it moves only on
+// that VCI's deposits and wakes (plus endpoint-wide wakes and active
+// messages), so a waiter parked on it is not disturbed by unrelated
+// traffic on other VCIs.
+func (ep *Endpoint) EventSeqVCI(v int) uint64 {
+	s := ep.vcis[ep.norm(v)]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.eventSeq
+}
+
+// WaitEventVCI blocks until interface v's event counter moves past
+// last (or active messages are pending, which any waiter must surface
+// for progress), then returns the new value.
+func (ep *Endpoint) WaitEventVCI(v int, last uint64) uint64 {
+	s := ep.vcis[ep.norm(v)]
+	s.mu.Lock()
+	for s.eventSeq == last && atomic.LoadInt32(&ep.amqLen) == 0 {
+		ep.f.aborted.CheckLocked(&s.mu)
+		s.cond.Wait()
+	}
+	seq := s.eventSeq
+	s.mu.Unlock()
 	return seq
 }
 
 // completeRecv copies a (borrowed) payload into the receive buffer and
-// fills results. Caller holds the endpoint lock. The source reported is
-// the MPI-level source the sender encoded in the match bits (its
+// fills results. Caller holds the lock of the VCI delivering the
+// message; the atomic done.Store publishes the result fields to
+// whichever goroutine observes completion. The source reported is the
+// MPI-level source the sender encoded in the match bits (its
 // communicator rank), not the transport address.
 func completeRecv(op *RecvOp, bits match.Bits, data []byte, arrival vtime.Time) {
 	n := copy(op.Buf, data)
@@ -260,58 +490,130 @@ func completeRecv(op *RecvOp, bits match.Bits, data []byte, arrival vtime.Time) 
 	op.Src = bits.Source()
 	op.Tag = bits.Tag()
 	op.Arrival = arrival
-	op.done = true
+	op.done.Store(true)
 }
 
-// PostRecv hands a receive to the matching unit. If an unexpected
-// message already satisfies it the op completes immediately and its
-// buffered copy returns to the pool. The matching unit's bin and
-// search work is charged at the handoff, priced by the profile.
+// PostRecv hands a receive to the matching unit, inferring the VCI from
+// (bits, mask). If an unexpected message already satisfies it the op
+// completes immediately and its buffered copy returns to the pool. The
+// matching unit's bin and search work is charged at the handoff, priced
+// by the profile.
 func (ep *Endpoint) PostRecv(op *RecvOp, bits match.Bits, mask match.Bits) {
+	ep.PostRecvVCI(op, bits, mask, ep.vciForRecv(bits, mask))
+}
+
+// PostRecvVCI hands a receive to one interface's matching unit, or to
+// the cross-VCI wildcard path when v is AnyVCI.
+func (ep *Endpoint) PostRecvVCI(op *RecvOp, bits match.Bits, mask match.Bits, v int) {
 	p := &ep.f.prof
 	ep.meter.ChargeCycles(instr.Transport, p.RecvPost)
-
-	ep.mu.Lock()
-	bins, searches := ep.eng.BinOps, ep.eng.Searches
-	if entry, ok := ep.eng.PostRecv(bits, mask, op); ok {
+	v = ep.norm(v)
+	if v == AnyVCI {
+		ep.postRecvMulti(op, bits, mask)
+		return
+	}
+	op.vci = v
+	op.multi = false
+	s := ep.vcis[v]
+	s.mu.Lock()
+	bins, searches := s.eng.BinOps, s.eng.Searches
+	if entry, ok := s.eng.PostRecv(bits, mask, op); ok {
 		m := entry.Cookie.(*message)
 		completeRecv(op, entry.Bits, m.data, m.arrival)
-		ep.releaseMessage(m)
+		s.releaseMessage(m)
 	} else {
-		ep.m.MaxPosted(ep.eng.PostedLen())
+		ep.m.MaxPosted(s.eng.PostedLen())
 	}
-	bins, searches = ep.eng.BinOps-bins, ep.eng.Searches-searches
-	ep.mu.Unlock()
+	bins, searches = s.eng.BinOps-bins, s.eng.Searches-searches
+	s.mu.Unlock()
 	ep.meter.ChargeCycles(instr.Transport, p.matchCost(bins, searches))
+}
+
+// postRecvMulti is the wildcard fallback: under every VCI lock, sweep
+// stale replicas, then look for the globally earliest buffered match by
+// arrival stamp; failing that, replicate the receive into every engine
+// with a once-only completion claim. Matching order is preserved both
+// ways: buffered messages are compared by their endpoint-global arrival
+// stamps, and a live replica set behaves like one posted receive that
+// the earliest matching arrival claims (same-sender deposits are
+// ordered by the sender's own sequencing).
+func (ep *Endpoint) postRecvMulti(op *RecvOp, bits, mask match.Bits) {
+	op.vci = AnyVCI
+	op.multi = true
+	op.claimed.Store(false)
+	var bins, searches int64
+	ep.lockAll()
+	ep.sweepStaleLocked()
+	best := -1
+	var bestSeq uint64
+	for i, s := range ep.vcis {
+		b, se := s.eng.BinOps, s.eng.Searches
+		if entry, ok := s.eng.Probe(bits, mask); ok {
+			m := entry.Cookie.(*message)
+			if best < 0 || m.gseq < bestSeq {
+				best, bestSeq = i, m.gseq
+			}
+		}
+		bins += s.eng.BinOps - b
+		searches += s.eng.Searches - se
+	}
+	if best >= 0 {
+		s := ep.vcis[best]
+		entry, _ := s.eng.ExtractUnexpected(bits, mask)
+		m := entry.Cookie.(*message)
+		completeRecv(op, entry.Bits, m.data, m.arrival)
+		s.releaseMessage(m)
+	} else {
+		for _, s := range ep.vcis {
+			s.eng.PostRecv(bits, mask, op)
+			ep.m.MaxPosted(s.eng.PostedLen())
+		}
+	}
+	ep.unlockAll()
+	ep.meter.ChargeCycles(instr.Transport, ep.f.prof.matchCost(bins, searches))
 }
 
 // RecvDone polls one receive for completion. On the completing poll it
 // syncs the owner's clock to the message arrival and charges the
 // completion-reap cost.
 func (ep *Endpoint) RecvDone(op *RecvOp) bool {
-	ep.mu.Lock()
-	done := op.done
-	ep.mu.Unlock()
-	if done {
-		ep.reap(op)
+	if !op.done.Load() {
+		return false
 	}
-	return done
+	ep.reap(op)
+	return true
 }
 
 // WaitRecv blocks until the receive completes, running active-message
 // handlers that arrive in the meantime (progress happens inside MPI
-// calls, as in a real implementation).
+// calls, as in a real implementation). An op posted to a single VCI
+// parks on that VCI's condition and is not woken by unrelated traffic
+// elsewhere on the endpoint; a wildcard op parks on the aggregate.
 func (ep *Endpoint) WaitRecv(op *RecvOp) {
-	ep.mu.Lock()
-	for !op.done {
-		if len(ep.amq) > 0 {
-			ep.drainAMLocked()
-			continue
+	if op.vci >= 0 {
+		s := ep.vcis[op.vci]
+		s.mu.Lock()
+		for !op.done.Load() {
+			if atomic.LoadInt32(&ep.amqLen) > 0 {
+				s.mu.Unlock()
+				ep.Progress()
+				s.mu.Lock()
+				continue
+			}
+			ep.f.aborted.CheckLocked(&s.mu)
+			s.cond.Wait()
 		}
-		ep.f.aborted.CheckLocked(&ep.mu)
-		ep.cond.Wait()
+		s.mu.Unlock()
+	} else {
+		for !op.done.Load() {
+			seq := ep.EventSeq()
+			ep.Progress()
+			if op.done.Load() {
+				break
+			}
+			ep.WaitEvent(seq)
+		}
 	}
-	ep.mu.Unlock()
 	ep.reap(op)
 }
 
@@ -329,28 +631,80 @@ func (ep *Endpoint) reap(op *RecvOp) {
 // CancelRecv removes a posted receive. It reports false if the receive
 // already matched.
 func (ep *Endpoint) CancelRecv(op *RecvOp) bool {
-	ep.mu.Lock()
-	defer ep.mu.Unlock()
-	if op.done {
+	if op.vci >= 0 {
+		s := ep.vcis[op.vci]
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		if op.done.Load() {
+			return false
+		}
+		return s.eng.CancelRecv(op)
+	}
+	ep.lockAll()
+	defer ep.unlockAll()
+	if op.done.Load() {
 		return false
 	}
-	return ep.eng.CancelRecv(op)
+	ok := false
+	for _, s := range ep.vcis {
+		if s.eng.CancelRecv(op) {
+			ok = true
+		}
+	}
+	return ok
 }
 
 // Probe checks for a buffered unexpected message matching (bits, mask)
 // and returns its source, tag and size without consuming it. The
-// matching unit's work is charged like any other search.
+// matching unit's work is charged like any other search; a wildcard
+// mask pays the cross-VCI walk.
 func (ep *Endpoint) Probe(bits, mask match.Bits) (src, tag, size int, ok bool) {
-	ep.mu.Lock()
-	bins, searches := ep.eng.BinOps, ep.eng.Searches
-	entry, hit := ep.eng.Probe(bits, mask)
-	bins, searches = ep.eng.BinOps-bins, ep.eng.Searches-searches
-	if hit {
-		m := entry.Cookie.(*message)
-		src, tag, size = m.src, entry.Bits.Tag(), len(m.data)
+	return ep.ProbeVCI(bits, mask, ep.vciForRecv(bits, mask))
+}
+
+// ProbeVCI is Probe against an explicitly named interface (or the
+// cross-VCI walk when v is AnyVCI) — the device names the VCI when
+// communicator hints refine the mapping.
+func (ep *Endpoint) ProbeVCI(bits, mask match.Bits, v int) (src, tag, size int, ok bool) {
+	p := &ep.f.prof
+	var bins, searches int64
+	v = ep.norm(v)
+	if v >= 0 {
+		s := ep.vcis[v]
+		s.mu.Lock()
+		b, se := s.eng.BinOps, s.eng.Searches
+		entry, hit := s.eng.Probe(bits, mask)
+		bins, searches = s.eng.BinOps-b, s.eng.Searches-se
+		if hit {
+			m := entry.Cookie.(*message)
+			src, tag, size = m.src, entry.Bits.Tag(), len(m.data)
+		}
+		s.mu.Unlock()
+		ep.meter.ChargeCycles(instr.Transport, p.matchCost(bins, searches))
+		return src, tag, size, hit
 	}
-	ep.mu.Unlock()
-	ep.meter.ChargeCycles(instr.Transport, ep.f.prof.matchCost(bins, searches))
+	ep.lockAll()
+	ep.sweepStaleLocked()
+	var bm *message
+	var bt int
+	var bestSeq uint64
+	hit := false
+	for _, s := range ep.vcis {
+		b, se := s.eng.BinOps, s.eng.Searches
+		if entry, ok := s.eng.Probe(bits, mask); ok {
+			m := entry.Cookie.(*message)
+			if !hit || m.gseq < bestSeq {
+				hit, bestSeq, bm, bt = true, m.gseq, m, entry.Bits.Tag()
+			}
+		}
+		bins += s.eng.BinOps - b
+		searches += s.eng.Searches - se
+	}
+	if hit {
+		src, tag, size = bm.src, bt, len(bm.data)
+	}
+	ep.unlockAll()
+	ep.meter.ChargeCycles(instr.Transport, p.matchCost(bins, searches))
 	return src, tag, size, hit
 }
 
@@ -359,22 +713,60 @@ func (ep *Endpoint) Probe(bits, mask match.Bits) (src, tag, size int, ok bool) {
 // caller (it leaves the pool for good); the message can no longer match
 // any posted receive.
 func (ep *Endpoint) MProbe(bits, mask match.Bits) (src, tag int, data []byte, arrival vtime.Time, ok bool) {
-	ep.mu.Lock()
-	bins, searches := ep.eng.BinOps, ep.eng.Searches
-	entry, hit := ep.eng.ExtractUnexpected(bits, mask)
-	bins, searches = ep.eng.BinOps-bins, ep.eng.Searches-searches
-	if hit {
-		m := entry.Cookie.(*message)
-		src, tag, data, arrival = entry.Bits.Source(), entry.Bits.Tag(), m.data, m.arrival
-		ep.putMessage(m)
+	return ep.MProbeVCI(bits, mask, ep.vciForRecv(bits, mask))
+}
+
+// MProbeVCI is MProbe against an explicitly named interface (or the
+// cross-VCI walk when v is AnyVCI).
+func (ep *Endpoint) MProbeVCI(bits, mask match.Bits, v int) (src, tag int, data []byte, arrival vtime.Time, ok bool) {
+	p := &ep.f.prof
+	var bins, searches int64
+	v = ep.norm(v)
+	if v >= 0 {
+		s := ep.vcis[v]
+		s.mu.Lock()
+		b, se := s.eng.BinOps, s.eng.Searches
+		entry, hit := s.eng.ExtractUnexpected(bits, mask)
+		bins, searches = s.eng.BinOps-b, s.eng.Searches-se
+		if hit {
+			m := entry.Cookie.(*message)
+			src, tag, data, arrival = entry.Bits.Source(), entry.Bits.Tag(), m.data, m.arrival
+			s.putMessage(m)
+		}
+		s.mu.Unlock()
+		ep.meter.ChargeCycles(instr.Transport, p.matchCost(bins, searches))
+		return src, tag, data, arrival, hit
 	}
-	ep.mu.Unlock()
-	ep.meter.ChargeCycles(instr.Transport, ep.f.prof.matchCost(bins, searches))
-	return src, tag, data, arrival, hit
+	ep.lockAll()
+	ep.sweepStaleLocked()
+	best := -1
+	var bestSeq uint64
+	for i, s := range ep.vcis {
+		b, se := s.eng.BinOps, s.eng.Searches
+		if entry, okp := s.eng.Probe(bits, mask); okp {
+			m := entry.Cookie.(*message)
+			if best < 0 || m.gseq < bestSeq {
+				best, bestSeq = i, m.gseq
+			}
+		}
+		bins += s.eng.BinOps - b
+		searches += s.eng.Searches - se
+	}
+	if best >= 0 {
+		s := ep.vcis[best]
+		entry, _ := s.eng.ExtractUnexpected(bits, mask)
+		m := entry.Cookie.(*message)
+		src, tag, data, arrival, ok = entry.Bits.Source(), entry.Bits.Tag(), m.data, m.arrival, true
+		s.putMessage(m)
+	}
+	ep.unlockAll()
+	ep.meter.ChargeCycles(instr.Transport, p.matchCost(bins, searches))
+	return src, tag, data, arrival, ok
 }
 
 // AMSend injects an active message toward dst. hdr and payload are
-// copied.
+// copied. Every waiter on the target wakes: whichever goroutine is
+// parked must surface to run the progress engine.
 func (ep *Endpoint) AMSend(dst int, handler uint8, hdr, payload []byte) {
 	p := &ep.f.prof
 	ep.meter.ChargeCycles(instr.Transport, p.injectCost(p.AMInject, len(hdr)+len(payload)))
@@ -384,38 +776,40 @@ func (ep *Endpoint) AMSend(dst int, handler uint8, hdr, payload []byte) {
 	h := append([]byte(nil), hdr...)
 	pl := append([]byte(nil), payload...)
 	tgt := ep.f.eps[dst]
-	tgt.mu.Lock()
+	tgt.amMu.Lock()
 	tgt.amq = append(tgt.amq, am{src: ep.rank, handler: handler, hdr: h, payload: pl, arrival: arrival})
-	tgt.eventSeq++
-	tgt.cond.Broadcast()
-	tgt.mu.Unlock()
+	atomic.AddInt32(&tgt.amqLen, 1)
+	tgt.amMu.Unlock()
+	for i := range tgt.vcis {
+		tgt.wakeVCI(i)
+	}
+	tgt.bumpAgg()
 }
 
-// Progress runs pending active-message handlers on the owner goroutine.
-// It returns the number of messages handled.
+// Progress runs pending active-message handlers. It returns the number
+// of messages handled. Handlers run on the calling goroutine; devices
+// that use active messages keep progress on the owner goroutine.
 func (ep *Endpoint) Progress() int {
-	ep.mu.Lock()
-	n := ep.drainAMLocked()
-	ep.mu.Unlock()
-	return n
-}
-
-// drainAMLocked pops and runs all queued AMs. The endpoint lock is
-// released while handlers run (handlers may send) and re-acquired
-// before returning.
-func (ep *Endpoint) drainAMLocked() int {
 	total := 0
-	for len(ep.amq) > 0 {
+	for {
+		ep.amMu.Lock()
 		batch := ep.amq
 		ep.amq = nil
+		if len(batch) > 0 {
+			atomic.AddInt32(&ep.amqLen, -int32(len(batch)))
+		}
+		ep.amMu.Unlock()
+		if len(batch) == 0 {
+			return total
+		}
 		// AmRecv counts at delivery (when the handler runs), not at
 		// enqueue, so a snapshot never reports still-queued messages
 		// as received.
-		for _, m := range batch {
+		for i := range batch {
+			m := &batch[i]
 			ep.m.AmRecv.Note(len(m.hdr) + len(m.payload))
 		}
-		ep.mu.Unlock()
-		for _, m := range batch {
+		for i := range batch {
 			// No clock sync here: the handler runs asynchronously to
 			// the rank's logical timeline (a NIC/progress-thread
 			// stand-in). Consumers fold m.arrival into the clock at
@@ -423,6 +817,7 @@ func (ep *Endpoint) drainAMLocked() int {
 			// (receive completion, ack wait, epoch close); syncing at
 			// drain time would let real-goroutine scheduling races
 			// leak future timestamps into the virtual clock.
+			m := &batch[i]
 			h := ep.handlers[m.handler]
 			if h == nil {
 				panic("fabric: active message with unregistered handler")
@@ -430,71 +825,82 @@ func (ep *Endpoint) drainAMLocked() int {
 			h(m.src, m.hdr, m.payload, m.arrival)
 		}
 		total += len(batch)
-		ep.mu.Lock()
 	}
-	return total
 }
 
-// WaitUntil blocks until pred (evaluated by the owner goroutine)
+// WaitUntil blocks until pred (evaluated by the calling goroutine)
 // returns true, running AM handlers while waiting. pred is evaluated
-// without the endpoint lock; it is the device's own completion flag.
+// without any fabric lock; it is the device's own completion flag.
 func (ep *Endpoint) WaitUntil(pred func() bool) {
 	for {
+		seq := ep.EventSeq()
 		ep.Progress()
 		if pred() {
 			return
 		}
-		ep.mu.Lock()
-		if len(ep.amq) == 0 && !pred() {
-			ep.f.aborted.CheckLocked(&ep.mu)
-			ep.cond.Wait()
-		}
-		ep.mu.Unlock()
+		ep.WaitEvent(seq)
 	}
 }
 
-// MatchSearches exposes the engine's search counter for the matching
-// ablation benchmark.
+// MatchSearches exposes the summed engine search counter for the
+// matching ablation benchmark.
 func (ep *Endpoint) MatchSearches() int64 {
-	ep.mu.Lock()
-	defer ep.mu.Unlock()
-	return ep.eng.Searches
+	var n int64
+	for _, s := range ep.vcis {
+		s.mu.Lock()
+		n += s.eng.Searches
+		s.mu.Unlock()
+	}
+	return n
 }
 
-// MatchBinOps exposes the engine's bin-operation counter: the hash work
+// MatchBinOps exposes the summed bin-operation counter: the hash work
 // the binned organization pays for its depth independence.
 func (ep *Endpoint) MatchBinOps() int64 {
-	ep.mu.Lock()
-	defer ep.mu.Unlock()
-	return ep.eng.BinOps
+	var n int64
+	for _, s := range ep.vcis {
+		s.mu.Lock()
+		n += s.eng.BinOps
+		s.mu.Unlock()
+	}
+	return n
 }
 
-// SnapshotStats copies the bound rank's registry under the endpoint
-// lock. Receive-side counters (NetRecv, ShmRecv, Self, AmRecv, pool
-// and unexpected-queue gauges) are written by depositing peers under
-// that lock, so an unlocked Rank.Snapshot would race with them; the
-// owner's send-side counters are safe because Stats runs on the owner
-// goroutine. Called at snapshot time only — the hot paths stay plain
-// increments.
+// vciStats copies each interface's traffic counters, taking the VCI
+// locks one at a time.
+func (ep *Endpoint) vciStats() []metrics.VCIStat {
+	out := make([]metrics.VCIStat, len(ep.vcis))
+	for i, s := range ep.vcis {
+		s.mu.Lock()
+		out[i] = s.stats
+		s.mu.Unlock()
+	}
+	return out
+}
+
+// SnapshotStats snapshots the bound rank's registry (atomic throughout,
+// so no endpoint lock is needed) and attaches the per-VCI traffic
+// split. Devices that match in software at the MPI layer fold their own
+// engine first and call this.
 func (ep *Endpoint) SnapshotStats() metrics.Snapshot {
-	ep.mu.Lock()
 	s := ep.m.Snapshot()
-	ep.mu.Unlock()
+	s.VCIs = ep.vciStats()
 	return s
 }
 
-// FoldAndSnapshot stores the endpoint matching engine's counters into
-// the bound rank's registry and snapshots it, all under the endpoint
-// lock. Devices whose matching runs on the endpoint (CH4) use this;
-// devices that match in software at the MPI layer fold their own
-// engine and call SnapshotStats.
+// FoldAndSnapshot sums the per-VCI matching engines' counters into the
+// bound rank's registry and snapshots it. Devices whose matching runs
+// on the endpoint (CH4) use this.
 func (ep *Endpoint) FoldAndSnapshot() metrics.Snapshot {
-	ep.mu.Lock()
-	ep.m.MatchBinOps = ep.eng.BinOps
-	ep.m.MatchSearches = ep.eng.Searches
-	ep.m.MatchBinHits = ep.eng.BinHits
-	ep.m.MatchWildHits = ep.eng.WildHits
-	s := ep.m.Snapshot()
-	ep.mu.Unlock()
-	return s
+	var binOps, searches, binHits, wildHits int64
+	for _, s := range ep.vcis {
+		s.mu.Lock()
+		binOps += s.eng.BinOps
+		searches += s.eng.Searches
+		binHits += s.eng.BinHits
+		wildHits += s.eng.WildHits
+		s.mu.Unlock()
+	}
+	ep.m.StoreMatch(binOps, searches, binHits, wildHits)
+	return ep.SnapshotStats()
 }

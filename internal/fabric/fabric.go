@@ -6,6 +6,7 @@ import (
 
 	"gompi/internal/abort"
 	"gompi/internal/instr"
+	"gompi/internal/match"
 	"gompi/internal/metrics"
 	"gompi/internal/vtime"
 )
@@ -33,9 +34,11 @@ type Meter interface {
 }
 
 // Fabric is one simulated network connecting n endpoints (one per
-// rank). It owns the RDMA memory-region registry.
+// rank), each split into nvci virtual communication interfaces. It owns
+// the RDMA memory-region registry.
 type Fabric struct {
 	prof    Profile
+	nvci    int
 	eps     []*Endpoint
 	aborted abort.Flag
 
@@ -49,15 +52,24 @@ type regionKey struct {
 	key  int
 }
 
-// New creates a fabric with n endpoints using the given cost profile.
-func New(prof Profile, n int) *Fabric {
+// New creates a fabric with n single-VCI endpoints using the given cost
+// profile — behaviorally identical to the pre-VCI fabric.
+func New(prof Profile, n int) *Fabric { return NewVCI(prof, n, 1) }
+
+// NewVCI creates a fabric whose endpoints each expose nvci virtual
+// communication interfaces. nvci below 1 is treated as 1.
+func NewVCI(prof Profile, n, nvci int) *Fabric {
+	if nvci < 1 {
+		nvci = 1
+	}
 	f := &Fabric{
 		prof:    prof,
+		nvci:    nvci,
 		eps:     make([]*Endpoint, n),
 		regions: make(map[regionKey]*region),
 	}
 	for i := range f.eps {
-		f.eps[i] = newEndpoint(f, i)
+		f.eps[i] = newEndpoint(f, i, nvci)
 	}
 	return f
 }
@@ -67,6 +79,34 @@ func (f *Fabric) Profile() Profile { return f.prof }
 
 // Size returns the number of endpoints.
 func (f *Fabric) Size() int { return len(f.eps) }
+
+// NVCI returns the per-endpoint virtual-interface count.
+func (f *Fabric) NVCI() int { return f.nvci }
+
+// VCIFor is the deterministic traffic-to-VCI hash over the fields both
+// sides of a transfer agree on: communicator context and tag, never the
+// source (so MPI_ANY_SOURCE receives with an exact tag still name one
+// VCI). Contexts are allocated in pt2pt/collective pairs (even/odd), so
+// the pair index — not the raw context — feeds the hash, keeping
+// consecutive communicators spread across VCIs.
+func (f *Fabric) VCIFor(bits match.Bits) int {
+	if f.nvci == 1 {
+		return 0
+	}
+	h := (uint32(bits.Context())>>1)*0x9E3779B1 ^ uint32(bits.Tag())*0x85EBCA6B
+	return int(h>>16) % f.nvci
+}
+
+// VCIForCtx maps a whole communicator onto one private VCI — the
+// hint-refined mapping: a communicator asserting it never uses
+// wildcards gets every tag on a single interface, so even its probes
+// and receives never touch the cross-VCI path.
+func (f *Fabric) VCIForCtx(ctx uint16) int {
+	if f.nvci == 1 {
+		return 0
+	}
+	return int(ctx>>1) % f.nvci
+}
 
 // Abort marks the fabric dead and wakes every endpoint: blocked waits
 // panic with abort.ErrWorldAborted, which the rank runtime converts to

@@ -34,16 +34,16 @@ func (p *bufPool) get(n int, m *metrics.Rank) []byte {
 		if n <= c {
 			s := p.classes[i]
 			if len(s) == 0 {
-				m.PoolMisses[i]++
+				m.NotePoolMiss(i)
 				return make([]byte, n, c)
 			}
-			m.PoolHits[i]++
+			m.NotePoolHit(i)
 			b := s[len(s)-1]
 			p.classes[i] = s[:len(s)-1]
 			return b[:n]
 		}
 	}
-	m.PoolOversize++
+	m.NotePoolOversize()
 	return make([]byte, n)
 }
 

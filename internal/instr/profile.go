@@ -1,12 +1,17 @@
 package instr
 
-import "fmt"
+import (
+	"fmt"
+	"sync/atomic"
+)
 
-// Profile accumulates instruction charges for a single rank. It is
-// confined to the rank's goroutine (ranks never share a Profile), so
-// charging is a plain add — cheap enough to leave on permanently, which
-// is what lets the same charges drive both instruction counting and the
-// virtual clock.
+// Profile accumulates instruction charges for a single rank. Charges
+// are atomic adds: a rank is normally one goroutine, but under
+// MPI_THREAD_MULTIPLE several application goroutines drive the same
+// rank concurrently, and each must be able to charge without a lock.
+// Single-threaded behavior (and therefore every pinned instruction
+// count) is unchanged — an uncontended atomic add produces the same
+// totals as a plain add.
 type Profile struct {
 	counts [NumCategories]int64
 	total  int64 // MPI categories only (excludes Transport and Compute)
@@ -15,10 +20,10 @@ type Profile struct {
 
 // Charge records n abstract instructions in category cat.
 func (p *Profile) Charge(cat Category, n int64) {
-	p.counts[cat] += n
-	p.cycles += n
+	atomic.AddInt64(&p.counts[cat], n)
+	atomic.AddInt64(&p.cycles, n)
 	if cat < Transport {
-		p.total += n
+		atomic.AddInt64(&p.total, n)
 	}
 }
 
@@ -29,23 +34,30 @@ func (p *Profile) ChargeCycles(cat Category, n int64) {
 	if cat < Transport {
 		panic("instr: ChargeCycles on an MPI instruction category")
 	}
-	p.counts[cat] += n
-	p.cycles += n
+	atomic.AddInt64(&p.counts[cat], n)
+	atomic.AddInt64(&p.cycles, n)
 }
 
 // Count returns the accumulated charge for one category.
-func (p *Profile) Count(cat Category) int64 { return p.counts[cat] }
+func (p *Profile) Count(cat Category) int64 { return atomic.LoadInt64(&p.counts[cat]) }
 
 // Total returns the accumulated MPI-library instruction count (the
 // Table 1 total: everything except Transport and Compute).
-func (p *Profile) Total() int64 { return p.total }
+func (p *Profile) Total() int64 { return atomic.LoadInt64(&p.total) }
 
 // Cycles returns the total virtual cycles accumulated, including
 // transport and compute charges.
-func (p *Profile) Cycles() int64 { return p.cycles }
+func (p *Profile) Cycles() int64 { return atomic.LoadInt64(&p.cycles) }
 
-// Reset zeroes the profile.
-func (p *Profile) Reset() { *p = Profile{} }
+// Reset zeroes the profile. Not safe against concurrent charging;
+// callers reset only while the rank is quiescent.
+func (p *Profile) Reset() {
+	for i := range p.counts {
+		atomic.StoreInt64(&p.counts[i], 0)
+	}
+	atomic.StoreInt64(&p.total, 0)
+	atomic.StoreInt64(&p.cycles, 0)
+}
 
 // Snapshot is a point-in-time copy of a Profile, used to attribute the
 // cost of a single call: snap before, call, Delta after.
@@ -57,7 +69,13 @@ type Snapshot struct {
 
 // Snap captures the current state of the profile.
 func (p *Profile) Snap() Snapshot {
-	return Snapshot{counts: p.counts, total: p.total, cycles: p.cycles}
+	var s Snapshot
+	for i := range p.counts {
+		s.counts[i] = atomic.LoadInt64(&p.counts[i])
+	}
+	s.total = atomic.LoadInt64(&p.total)
+	s.cycles = atomic.LoadInt64(&p.cycles)
+	return s
 }
 
 // Delta returns the charges accumulated since the snapshot was taken,
@@ -65,10 +83,10 @@ func (p *Profile) Snap() Snapshot {
 func (p *Profile) Delta(s Snapshot) Breakdown {
 	var b Breakdown
 	for i := range p.counts {
-		b.Counts[i] = p.counts[i] - s.counts[i]
+		b.Counts[i] = atomic.LoadInt64(&p.counts[i]) - s.counts[i]
 	}
-	b.Total = p.total - s.total
-	b.Cycles = p.cycles - s.cycles
+	b.Total = atomic.LoadInt64(&p.total) - s.total
+	b.Cycles = atomic.LoadInt64(&p.cycles) - s.cycles
 	return b
 }
 

@@ -1,14 +1,17 @@
-// Package metrics is the per-rank observability registry: plain-field
-// counters and high-water gauges updated by the transports, the
-// matching engine, the pools, and the devices as traffic flows. The
-// registry is deliberately allocation-free and unsynchronized — every
-// counter is an int64 field bumped either on the owning rank's
-// goroutine or under a lock the updating code already holds (the
-// fabric endpoint lock for receive-side attribution), so enabling
-// metrics costs a handful of adds on the hot paths and nothing else.
-// Cross-rank aggregation happens only at teardown, when each rank's
-// registry is snapshotted and merged (see DESIGN.md §6a).
+// Package metrics is the per-rank observability registry: counters and
+// high-water gauges updated by the transports, the matching engine, the
+// pools, and the devices as traffic flows. The registry is
+// allocation-free; every counter is an int64 field updated with an
+// atomic add, so it is safe both for the owning rank's goroutine and
+// for peers attributing receive-side traffic — and, under
+// MPI_THREAD_MULTIPLE, for several application goroutines driving one
+// rank concurrently across different VCIs. Enabling metrics costs a few
+// uncontended atomic adds on the hot paths and nothing else. Cross-rank
+// aggregation happens only at teardown, when each rank's registry is
+// snapshotted and merged (see DESIGN.md §6a).
 package metrics
+
+import "sync/atomic"
 
 // PathStat counts messages and payload bytes on one transport path.
 type PathStat struct {
@@ -18,11 +21,16 @@ type PathStat struct {
 
 // Note records one message of n payload bytes.
 func (p *PathStat) Note(n int) {
-	p.Msgs++
-	p.Bytes += int64(n)
+	atomic.AddInt64(&p.Msgs, 1)
+	atomic.AddInt64(&p.Bytes, int64(n))
 }
 
-// add folds o into p.
+// snap returns an atomically loaded copy.
+func (p *PathStat) snap() PathStat {
+	return PathStat{Msgs: atomic.LoadInt64(&p.Msgs), Bytes: atomic.LoadInt64(&p.Bytes)}
+}
+
+// add folds o into p (plain adds: snapshots are private values).
 func (p *PathStat) add(o PathStat) {
 	p.Msgs += o.Msgs
 	p.Bytes += o.Bytes
@@ -32,9 +40,9 @@ func (p *PathStat) add(o PathStat) {
 // buffer pool keeps (fabric asserts its class table matches).
 const NumPoolClasses = 4
 
-// Rank is one rank's live registry. Writers touch the fields directly
-// (the same idiom as match.Engine's Searches counter); readers take a
-// Snapshot. The zero value is ready to use.
+// Rank is one rank's live registry. Writers use the Note*/Max* methods
+// (atomic adds and CAS maxima); readers take a Snapshot. The zero value
+// is ready to use.
 type Rank struct {
 	// Transport paths. Self-loop traffic is counted once, at delivery.
 	// Send-side counters accrue on the sending rank, receive-side
@@ -86,18 +94,54 @@ type Rank struct {
 	RmaGetAccs int64
 }
 
-// MaxUnexpected raises the unexpected-queue high water to n.
-func (r *Rank) MaxUnexpected(n int) {
-	if int64(n) > r.UnexpectedMax {
-		r.UnexpectedMax = int64(n)
+// maxInt64 raises *p to n with a CAS loop.
+func maxInt64(p *int64, n int64) {
+	for {
+		cur := atomic.LoadInt64(p)
+		if n <= cur || atomic.CompareAndSwapInt64(p, cur, n) {
+			return
+		}
 	}
 }
 
+// MaxUnexpected raises the unexpected-queue high water to n.
+func (r *Rank) MaxUnexpected(n int) { maxInt64(&r.UnexpectedMax, int64(n)) }
+
 // MaxPosted raises the posted-queue high water to n.
-func (r *Rank) MaxPosted(n int) {
-	if int64(n) > r.PostedMax {
-		r.PostedMax = int64(n)
+func (r *Rank) MaxPosted(n int) { maxInt64(&r.PostedMax, int64(n)) }
+
+// NotePoolHit counts a buffer-pool hit in size class i.
+func (r *Rank) NotePoolHit(i int) { atomic.AddInt64(&r.PoolHits[i], 1) }
+
+// NotePoolMiss counts a buffer-pool miss in size class i.
+func (r *Rank) NotePoolMiss(i int) { atomic.AddInt64(&r.PoolMisses[i], 1) }
+
+// NotePoolOversize counts an unpoolable oversize buffer allocation.
+func (r *Rank) NotePoolOversize() { atomic.AddInt64(&r.PoolOversize, 1) }
+
+// NoteReqAlloc counts a request-pool get; reused says whether it came
+// off the freelist.
+func (r *Rank) NoteReqAlloc(reused bool) {
+	atomic.AddInt64(&r.ReqAllocs, 1)
+	if reused {
+		atomic.AddInt64(&r.ReqReuses, 1)
 	}
+}
+
+// NoteRmaPut / NoteRmaGet / NoteRmaAcc / NoteRmaGetAcc count one-sided
+// operations at the device ADI entry.
+func (r *Rank) NoteRmaPut()    { atomic.AddInt64(&r.RmaPuts, 1) }
+func (r *Rank) NoteRmaGet()    { atomic.AddInt64(&r.RmaGets, 1) }
+func (r *Rank) NoteRmaAcc()    { atomic.AddInt64(&r.RmaAccs, 1) }
+func (r *Rank) NoteRmaGetAcc() { atomic.AddInt64(&r.RmaGetAccs, 1) }
+
+// StoreMatch stores the matching-engine counters (devices fold their
+// engines in before snapshotting).
+func (r *Rank) StoreMatch(binOps, searches, binHits, wildHits int64) {
+	atomic.StoreInt64(&r.MatchBinOps, binOps)
+	atomic.StoreInt64(&r.MatchSearches, searches)
+	atomic.StoreInt64(&r.MatchBinHits, binHits)
+	atomic.StoreInt64(&r.MatchWildHits, wildHits)
 }
 
 // MatchStats is the snapshot of the matching-engine counters.
@@ -131,6 +175,15 @@ type RmaStats struct {
 	GetAccs int64 `json:"get_accumulates"`
 }
 
+// VCIStat is one virtual communication interface's receive-side
+// traffic: tagged messages landed on it, their payload bytes, and the
+// transport events (deposits, AMs, wakes) its event sequence counted.
+type VCIStat struct {
+	Msgs   int64 `json:"msgs"`
+	Bytes  int64 `json:"bytes"`
+	Events int64 `json:"events"`
+}
+
 // Snapshot is a frozen copy of a registry, grouped for JSON output.
 type Snapshot struct {
 	Self    PathStat   `json:"self"`
@@ -146,39 +199,57 @@ type Snapshot struct {
 	Pool    PoolStats  `json:"buffer_pool"`
 	Req     ReqStats   `json:"request_pool"`
 	Rma     RmaStats   `json:"rma"`
+	// VCIs is the per-virtual-interface receive-side split; empty on a
+	// single-VCI endpoint snapshot only if the device never filled it.
+	VCIs []VCIStat `json:"vcis,omitempty"`
 }
 
 // Snapshot freezes the registry. Callers that maintain counters
-// outside the registry (the devices' matching engines) fold them in
-// first.
+// outside the registry (the devices' matching engines, the endpoint's
+// per-VCI stats) fold them in first.
 func (r *Rank) Snapshot() Snapshot {
-	return Snapshot{
-		Self:    r.Self,
-		ShmSend: r.ShmSend,
-		ShmRecv: r.ShmRecv,
-		NetSend: r.NetSend,
-		NetRecv: r.NetRecv,
-		Eager:   r.Eager,
-		Rndv:    r.Rndv,
-		AmSend:  r.AmSend,
-		AmRecv:  r.AmRecv,
+	s := Snapshot{
+		Self:    r.Self.snap(),
+		ShmSend: r.ShmSend.snap(),
+		ShmRecv: r.ShmRecv.snap(),
+		NetSend: r.NetSend.snap(),
+		NetRecv: r.NetRecv.snap(),
+		Eager:   r.Eager.snap(),
+		Rndv:    r.Rndv.snap(),
+		AmSend:  r.AmSend.snap(),
+		AmRecv:  r.AmRecv.snap(),
 		Match: MatchStats{
-			BinOps:        r.MatchBinOps,
-			Searches:      r.MatchSearches,
-			BinHits:       r.MatchBinHits,
-			WildHits:      r.MatchWildHits,
-			UnexpectedMax: r.UnexpectedMax,
-			PostedMax:     r.PostedMax,
+			BinOps:        atomic.LoadInt64(&r.MatchBinOps),
+			Searches:      atomic.LoadInt64(&r.MatchSearches),
+			BinHits:       atomic.LoadInt64(&r.MatchBinHits),
+			WildHits:      atomic.LoadInt64(&r.MatchWildHits),
+			UnexpectedMax: atomic.LoadInt64(&r.UnexpectedMax),
+			PostedMax:     atomic.LoadInt64(&r.PostedMax),
 		},
-		Pool: PoolStats{Hits: r.PoolHits, Misses: r.PoolMisses, Oversize: r.PoolOversize},
-		Req:  ReqStats{Allocs: r.ReqAllocs, Reuses: r.ReqReuses},
-		Rma:  RmaStats{Puts: r.RmaPuts, Gets: r.RmaGets, Accs: r.RmaAccs, GetAccs: r.RmaGetAccs},
+		Pool: PoolStats{Oversize: atomic.LoadInt64(&r.PoolOversize)},
+		Req: ReqStats{
+			Allocs: atomic.LoadInt64(&r.ReqAllocs),
+			Reuses: atomic.LoadInt64(&r.ReqReuses),
+		},
+		Rma: RmaStats{
+			Puts:    atomic.LoadInt64(&r.RmaPuts),
+			Gets:    atomic.LoadInt64(&r.RmaGets),
+			Accs:    atomic.LoadInt64(&r.RmaAccs),
+			GetAccs: atomic.LoadInt64(&r.RmaGetAccs),
+		},
 	}
+	for i := range r.PoolHits {
+		s.Pool.Hits[i] = atomic.LoadInt64(&r.PoolHits[i])
+		s.Pool.Misses[i] = atomic.LoadInt64(&r.PoolMisses[i])
+	}
+	return s
 }
 
 // Merge folds o into s: counters sum, high-water gauges take the
 // maximum (summing per-rank high waters would overstate any one
-// queue's depth).
+// queue's depth). Per-VCI stats merge element-wise, padding to the
+// longer of the two (ranks may run with different VCI counts only in
+// principle, but the merge should not silently drop data if they do).
 func (s Snapshot) Merge(o Snapshot) Snapshot {
 	s.Self.add(o.Self)
 	s.ShmSend.add(o.ShmSend)
@@ -210,5 +281,19 @@ func (s Snapshot) Merge(o Snapshot) Snapshot {
 	s.Rma.Gets += o.Rma.Gets
 	s.Rma.Accs += o.Rma.Accs
 	s.Rma.GetAccs += o.Rma.GetAccs
+	n := len(s.VCIs)
+	if len(o.VCIs) > n {
+		n = len(o.VCIs)
+	}
+	if n > 0 {
+		vcis := make([]VCIStat, n)
+		copy(vcis, s.VCIs)
+		for i, v := range o.VCIs {
+			vcis[i].Msgs += v.Msgs
+			vcis[i].Bytes += v.Bytes
+			vcis[i].Events += v.Events
+		}
+		s.VCIs = vcis
+	}
 	return s
 }

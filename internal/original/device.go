@@ -140,6 +140,15 @@ type Device struct {
 	amSent       int64
 	amAcked      int64
 	amAckArrival vtime.Time // latest ack arrival, folded in at flush
+
+	// bigMu is the CH3-era global critical section: under
+	// MPI_THREAD_MULTIPLE every ADI entry on this device serializes on
+	// one per-rank lock — the whole-device mutual exclusion the paper's
+	// baseline pays for thread safety, in contrast to ch4's per-VCI
+	// locks. Blocking waits release it while parked so packet handlers
+	// and sibling goroutines can run.
+	bigMu   sync.Mutex
+	locking bool
 }
 
 type getState struct {
@@ -154,6 +163,7 @@ func (g *Global) Open(r *proc.Rank) *Device {
 		g: g, rank: r, ep: g.Fab.Endpoint(r.ID()), cfg: g.Cfg,
 		wins:    make(map[int]*winState),
 		getWait: make(map[uint32]*getState),
+		locking: g.Cfg.ThreadMultiple,
 	}
 	// CH3's software matching is the single linear queue the paper
 	// ascribes to legacy stacks: every search pays full queue depth.
@@ -182,16 +192,39 @@ func (d *Device) Config() core.Config { return d.cfg }
 // registry copy goes through the endpoint so it happens under the
 // lock peers hold while bumping receive-side counters.
 func (d *Device) Stats() metrics.Snapshot {
-	m := d.rank.Metrics()
-	m.MatchBinOps = d.eng.BinOps
-	m.MatchSearches = d.eng.Searches
-	m.MatchBinHits = d.eng.BinHits
-	m.MatchWildHits = d.eng.WildHits
+	d.lock()
+	defer d.unlock()
+	d.rank.Metrics().StoreMatch(d.eng.BinOps, d.eng.Searches, d.eng.BinHits, d.eng.WildHits)
 	return d.ep.SnapshotStats()
 }
 
-// Progress runs the packet handlers.
-func (d *Device) Progress() { d.ep.Progress() }
+// lock enters the global critical section when the build requested
+// MPI_THREAD_MULTIPLE; single-threaded builds skip the mutex entirely,
+// so the serial cost model is untouched.
+func (d *Device) lock() {
+	if d.locking {
+		d.bigMu.Lock()
+	}
+}
+
+func (d *Device) unlock() {
+	if d.locking {
+		d.bigMu.Unlock()
+	}
+}
+
+// Progress runs the packet handlers. Public entry: takes the critical
+// section so handlers never race with ADI calls from sibling
+// goroutines.
+func (d *Device) Progress() {
+	d.lock()
+	d.ep.Progress()
+	d.unlock()
+}
+
+// progressLocked pumps the handlers from code already inside the
+// critical section.
+func (d *Device) progressLocked() { d.ep.Progress() }
 
 func (d *Device) charge(cat instr.Category, n int64) { d.rank.Charge(cat, n) }
 
@@ -221,15 +254,20 @@ func (d *Device) EventSeq() uint64 { return d.ep.EventSeq() }
 // WaitEvent parks the rank until the event counter moves past seq.
 func (d *Device) WaitEvent(seq uint64) { d.ep.WaitEvent(seq) }
 
-// waitUntil parks until pred holds, pumping packet handlers.
+// waitUntil parks until pred holds, pumping packet handlers. Callers
+// hold the critical section; the lock is dropped while parked — the
+// CH3 "yield the global lock on blocking waits" rule — and retaken
+// before pred is re-evaluated.
 func (d *Device) waitUntil(pred func() bool) {
 	for {
 		seq := d.ep.EventSeq()
-		d.Progress()
+		d.progressLocked()
 		if pred() {
 			return
 		}
+		d.unlock()
 		d.ep.WaitEvent(seq)
+		d.lock()
 	}
 }
 
@@ -248,13 +286,17 @@ func (d *Device) handleAck(_ int, _, _ []byte, arrival vtime.Time) {
 }
 
 // spinLock acquires a shared window lock while pumping progress.
+// Callers hold the critical section; it is released between attempts
+// so a sibling goroutine holding the window lock can reach Unlock.
 func (d *Device) spinLock(try func() bool) {
 	for !try() {
 		if d.g.Fab.Aborted() {
 			panic(abort.ErrWorldAborted)
 		}
-		d.Progress()
+		d.progressLocked()
+		d.unlock()
 		runtime.Gosched()
+		d.lock()
 	}
 }
 

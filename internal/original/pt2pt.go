@@ -28,6 +28,8 @@ const (
 func (d *Device) Isend(buf []byte, count int, dt *datatype.Type, dest, tag int,
 	c *comm.Comm, flags core.OpFlags) (*request.Request, error) {
 
+	d.lock()
+	defer d.unlock()
 	d.chargeDispatch(costDispatchLayers)
 	d.charge(instr.Mandatory, costProcNull)
 	if dest == core.ProcNull {
@@ -156,6 +158,8 @@ func (d *Device) completeRecv(rs *recvState, bits match.Bits, payload []byte, sr
 func (d *Device) Irecv(buf []byte, count int, dt *datatype.Type, src, tag int,
 	c *comm.Comm, flags core.OpFlags) (*request.Request, error) {
 
+	d.lock()
+	defer d.unlock()
 	d.chargeDispatch(costDispatchLayers)
 	d.charge(instr.Mandatory, costProcNull)
 	if src == core.ProcNull {
@@ -198,7 +202,7 @@ func (d *Device) Irecv(buf []byte, count int, dt *datatype.Type, src, tag int,
 
 	// Progress first so pending packets are matched in software before
 	// the posted queue grows (CH3 polls on entry).
-	d.Progress()
+	d.progressLocked()
 	d.charge(instr.Mandatory, costLockedReqPool)
 	before := d.eng.Searches
 	entry, ok := d.eng.PostRecv(bits, mask, rs)
@@ -221,7 +225,9 @@ func (d *Device) Irecv(buf []byte, count int, dt *datatype.Type, src, tag int,
 		r.MarkComplete(request.Status{Source: rs.src, Tag: rs.tag, Count: rs.n, Truncated: rs.truncated})
 	}
 	r.Poll = func(r *request.Request) bool {
-		d.Progress()
+		d.lock()
+		defer d.unlock()
+		d.progressLocked()
 		if !rs.done {
 			return false
 		}
@@ -229,6 +235,8 @@ func (d *Device) Irecv(buf []byte, count int, dt *datatype.Type, src, tag int,
 		return true
 	}
 	r.Block = func(r *request.Request) {
+		d.lock()
+		defer d.unlock()
 		d.waitUntil(func() bool { return rs.done })
 		finish(r)
 	}
@@ -237,7 +245,9 @@ func (d *Device) Irecv(buf []byte, count int, dt *datatype.Type, src, tag int,
 
 // Iprobe checks the unexpected queue under software matching.
 func (d *Device) Iprobe(src, tag int, c *comm.Comm) (request.Status, bool, error) {
-	d.Progress()
+	d.lock()
+	defer d.unlock()
+	d.progressLocked()
 	anySrc := src == core.AnySource
 	anyTag := tag == core.AnyTag
 	s, tg := src, tag
@@ -260,7 +270,9 @@ func (d *Device) Iprobe(src, tag int, c *comm.Comm) (request.Status, bool, error
 // Improbe extracts a matchable message from the software matching
 // engine (MPI_IMPROBE).
 func (d *Device) Improbe(src, tag int, c *comm.Comm) ([]byte, request.Status, vtime.Time, bool, error) {
-	d.Progress()
+	d.lock()
+	defer d.unlock()
+	d.progressLocked()
 	anySrc := src == core.AnySource
 	anyTag := tag == core.AnyTag
 	s, tg := src, tag
@@ -283,6 +295,8 @@ func (d *Device) Improbe(src, tag int, c *comm.Comm) ([]byte, request.Status, vt
 
 // CommWaitall completes requestless operations.
 func (d *Device) CommWaitall(c *comm.Comm) error {
+	d.lock()
+	defer d.unlock()
 	if c.NoReq.Pending() == 0 {
 		return nil
 	}

@@ -71,7 +71,9 @@ func (d *Device) winCreate(mem []byte, dispUnit int, c *comm.Comm, dynamic bool)
 	}
 
 	w := rma.NewWin(c, mem, dispUnit, id, sh)
+	d.lock()
 	d.wins[id] = &winState{win: w, mem: mem}
+	d.unlock()
 	// Final rendezvous: no RMA packet may arrive before every rank has
 	// installed its record.
 	c.Exchange(nil)
@@ -93,11 +95,18 @@ func (g *Global) nextWinID() int {
 	return g.winSeq
 }
 
-// WinFree collectively releases the window.
+// WinFree collectively releases the window. The critical section is
+// dropped across the closing exchange (a cross-rank rendezvous must
+// not hold a per-rank lock); the record is deleted only after it, so
+// straggler packets from slower ranks still find the window.
 func (d *Device) WinFree(w *rma.Win) error {
+	d.lock()
 	d.flushAM()
+	d.unlock()
 	w.Comm.Exchange(nil)
+	d.lock()
 	delete(d.wins, w.MyKey)
+	d.unlock()
 	return nil
 }
 
@@ -163,7 +172,9 @@ func (d *Device) resolve(target, disp, nbytes int, w *rma.Win) (world, off int, 
 func (d *Device) Put(origin []byte, count int, dt *datatype.Type, target, disp int,
 	w *rma.Win, flags core.OpFlags) error {
 
-	d.rank.Metrics().RmaPuts++
+	d.lock()
+	defer d.unlock()
+	d.rank.Metrics().NoteRmaPut()
 	d.chargePutPath(dt)
 	if target == core.ProcNull {
 		return nil
@@ -242,7 +253,9 @@ func (d *Device) handlePut(src int, hdr, payload []byte, _ vtime.Time) {
 func (d *Device) Get(origin []byte, count int, dt *datatype.Type, target, disp int,
 	w *rma.Win, flags core.OpFlags) error {
 
-	d.rank.Metrics().RmaGets++
+	d.lock()
+	defer d.unlock()
+	d.rank.Metrics().NoteRmaGet()
 	d.chargePutPath(dt)
 	if target == core.ProcNull {
 		return nil
@@ -299,7 +312,9 @@ func (d *Device) handleGetResp(_ int, hdr, payload []byte, arrival vtime.Time) {
 func (d *Device) Accumulate(origin []byte, count int, dt *datatype.Type, target, disp int,
 	op coll.Op, w *rma.Win, flags core.OpFlags) error {
 
-	d.rank.Metrics().RmaAccs++
+	d.lock()
+	defer d.unlock()
+	d.rank.Metrics().NoteRmaAcc()
 	d.chargePutPath(dt)
 	if target == core.ProcNull {
 		return nil
@@ -336,7 +351,7 @@ func (d *Device) GetAccumulate(origin, result []byte, count int, dt *datatype.Ty
 	}
 	// The emulated path also bumps RmaGets/RmaAccs below: the baseline
 	// really does issue a get and an accumulate.
-	d.rank.Metrics().RmaGetAccs++
+	d.rank.Metrics().NoteRmaGetAcc()
 	// Fetch first under the same packet ordering: target applies
 	// packets in arrival order, and we are the only origin touching
 	// this location under a proper epoch.
@@ -361,18 +376,24 @@ func (d *Device) handleAcc(src int, hdr, payload []byte, _ vtime.Time) {
 	d.ep.AMSend(src, amAck, nil, nil)
 }
 
-// Fence flushes outstanding RMA packets and synchronizes.
+// Fence flushes outstanding RMA packets and synchronizes. The critical
+// section covers only the flush: the barrier re-enters Isend/Irecv,
+// which take it per operation.
 func (d *Device) Fence(w *rma.Win) error {
+	d.lock()
 	d.charge(instr.Mandatory, costRMAEpochState)
 	d.flushAM()
+	d.unlock()
 	d.barrier(w.Comm)
 	return w.OpenEpoch(rma.EpochFence, -1)
 }
 
 // FenceEnd closes the fence epoch sequence (MPI_MODE_NOSUCCEED).
 func (d *Device) FenceEnd(w *rma.Win) error {
+	d.lock()
 	d.charge(instr.Mandatory, costRMAEpochState)
 	d.flushAM()
+	d.unlock()
 	d.barrier(w.Comm)
 	if w.InEpoch() {
 		if _, err := w.CloseEpoch(); err != nil {
@@ -387,9 +408,11 @@ func (d *Device) Lock(w *rma.Win, target int, exclusive bool) error {
 	if err := w.OpenEpoch(rma.EpochLock, target); err != nil {
 		return err
 	}
+	d.lock()
 	d.charge(instr.Mandatory, costLockProto)
 	d.rank.ChargeCycles(instr.Transport, 2*d.g.Fab.Profile().WireLatency)
 	d.spinLock(func() bool { return w.Shared.TryAcquireLock(target, exclusive) })
+	d.unlock()
 	w.LockExclusive = exclusive
 	return nil
 }
@@ -412,6 +435,8 @@ func (d *Device) Unlock(w *rma.Win, target int) error {
 
 // Flush waits out all pending acknowledgements.
 func (d *Device) Flush(w *rma.Win, target int) error {
+	d.lock()
+	defer d.unlock()
 	d.charge(instr.Mandatory, costFlushProto)
 	d.flushAM()
 	d.rank.ChargeCycles(instr.Transport, 2*d.g.Fab.Profile().WireLatency)

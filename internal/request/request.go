@@ -90,10 +90,12 @@ func (r *Request) Free() {
 	}
 }
 
-// Pool is a per-rank request freelist: allocation without locking,
-// which is how the lightweight device keeps request management cheap.
-// The zero value is ready to use.
+// Pool is a per-rank request freelist. A short mutex guards the
+// freelist itself (under MPI_THREAD_MULTIPLE several goroutines of one
+// rank allocate and free concurrently); the requests handed out are
+// still owned by single goroutines. The zero value is ready to use.
 type Pool struct {
+	mu   sync.Mutex
 	free []*Request
 
 	// Metrics, when set, counts gets and freelist reuses (the
@@ -104,18 +106,19 @@ type Pool struct {
 // Get returns a zeroed request.
 func (p *Pool) Get(kind Kind) *Request {
 	var r *Request
-	if p.Metrics != nil {
-		p.Metrics.ReqAllocs++
-	}
+	p.mu.Lock()
+	reused := false
 	if n := len(p.free); n > 0 {
-		if p.Metrics != nil {
-			p.Metrics.ReqReuses++
-		}
+		reused = true
 		r = p.free[n-1]
 		p.free = p.free[:n-1]
 		*r = Request{}
 	} else {
 		r = &Request{}
+	}
+	p.mu.Unlock()
+	if p.Metrics != nil {
+		p.Metrics.NoteReqAlloc(reused)
 	}
 	r.Kind = kind
 	r.pool = p
@@ -124,11 +127,17 @@ func (p *Pool) Get(kind Kind) *Request {
 
 func (p *Pool) put(r *Request) {
 	r.Poll, r.Block = nil, nil
+	p.mu.Lock()
 	p.free = append(p.free, r)
+	p.mu.Unlock()
 }
 
 // Len reports the freelist depth (tests).
-func (p *Pool) Len() int { return len(p.free) }
+func (p *Pool) Len() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.free)
+}
 
 // LockedPool is the baseline device's globally locked request pool: the
 // CH3-era structure whose atomics show up in the paper's MPI_PUT
@@ -151,10 +160,7 @@ func (p *LockedPool) GetFor(kind Kind, m *metrics.Rank) *Request {
 	r.pool = nil // locked pool recycles via its own Put
 	p.mu.Unlock()
 	if m != nil {
-		m.ReqAllocs++
-		if reused {
-			m.ReqReuses++
-		}
+		m.NoteReqAlloc(reused)
 	}
 	return r
 }

@@ -62,11 +62,14 @@ type Meter interface {
 // Deliver hands a fully reassembled message to the device on the
 // receiving rank's goroutine. data is borrowed: it is the ring's
 // reassembly scratch and is overwritten by the next message, so the
-// callee must copy whatever it keeps before returning.
-type Deliver func(dst int, bits match.Bits, src int, data []byte, arrival vtime.Time)
+// callee must copy whatever it keeps before returning. vci is the
+// sender-chosen virtual communication interface the message should land
+// on (0 when the sender does not thread VCIs).
+type Deliver func(dst int, bits match.Bits, src int, data []byte, arrival vtime.Time, vci int)
 
-// Wake nudges a rank that may be parked waiting for transport events.
-type Wake func(dst int)
+// Wake nudges a rank that may be parked waiting for transport events,
+// naming the virtual interface the pending work belongs to.
+type Wake func(dst, vci int)
 
 // Domain is one node's (or a whole job's) shared-memory segment: the
 // set of rings between co-located ranks.
@@ -125,6 +128,19 @@ func (d *Domain) Abort() {
 // models the ring's head/tail synchronization; producer blocks when
 // full, consumer drains in Progress.
 type ring struct {
+	// prodMu serializes whole messages from concurrent producers (under
+	// MPI_THREAD_MULTIPLE several goroutines of one rank may send to
+	// the same destination): without it their fragments would
+	// interleave in the SPSC ring and corrupt reassembly. It is held
+	// across the entire fragmented message, including full-ring waits —
+	// the consumer needs no producer locks, so draining always frees
+	// the blocked producer.
+	prodMu sync.Mutex
+	// drainMu serializes consumers the same way: the reassembly scratch
+	// below is shared state, and a message's fragments must be drained
+	// by one goroutine.
+	drainMu sync.Mutex
+
 	mu    sync.Mutex
 	cond  *sync.Cond
 	cells [RingCells]cell
@@ -136,6 +152,7 @@ type ring struct {
 	// borrowed slices of it.
 	cur     []byte
 	curBits match.Bits
+	curVCI  int
 	curLen  int
 	filled  int
 	arrival vtime.Time
@@ -143,6 +160,7 @@ type ring struct {
 
 type cell struct {
 	bits    match.Bits
+	vci     int // sender-chosen VCI (repeated in every fragment)
 	msgLen  int // total message length (repeated in every fragment)
 	n       int // payload bytes in this fragment
 	arrival vtime.Time
@@ -163,8 +181,17 @@ func (d *Domain) ring(src, dst int) *ring {
 
 // Send fragments data into cells and pushes them onto the (src→dst)
 // ring, blocking whenever the ring is full (bounded eager protocol).
-// Zero-length messages occupy one header-only cell.
+// Zero-length messages occupy one header-only cell. The message lands
+// on the destination's VCI 0.
 func (d *Domain) Send(src, dst int, bits match.Bits, data []byte) {
+	d.SendVCI(src, dst, bits, data, 0)
+}
+
+// SendVCI is Send with an explicit destination virtual interface: the
+// sender's hint-refined VCI choice travels with every fragment so the
+// receiving device deposits the reassembled message on the right
+// matching context.
+func (d *Domain) SendVCI(src, dst int, bits match.Bits, data []byte, vci int) {
 	m := d.meters[src]
 	if m == nil {
 		panic(fmt.Sprintf("shm: rank %d sent without a bound meter", src))
@@ -176,6 +203,8 @@ func (d *Domain) Send(src, dst int, bits match.Bits, data []byte) {
 	m.Metrics().ShmSend.Note(len(data))
 	r := d.ring(src, dst)
 
+	r.prodMu.Lock()
+	defer r.prodMu.Unlock()
 	off := 0
 	for {
 		n := len(data) - off
@@ -191,13 +220,13 @@ func (d *Domain) Send(src, dst int, bits match.Bits, data []byte) {
 			r.cond.Wait()
 		}
 		c := &r.cells[(r.head+r.count)%RingCells]
-		c.bits, c.msgLen, c.n, c.arrival = bits, len(data), n, arrival
+		c.bits, c.vci, c.msgLen, c.n, c.arrival = bits, vci, len(data), n, arrival
 		copy(c.data[:], data[off:off+n])
 		r.count++
 		r.cond.Broadcast()
 		r.mu.Unlock()
 		if d.wake != nil {
-			d.wake(dst)
+			d.wake(dst, vci)
 		}
 
 		off += n
@@ -239,6 +268,8 @@ func (d *Domain) Progress(rank int) int {
 func (d *Domain) drainRing(rank, src int, r *ring, meter Meter) int {
 	p := &d.prof
 	delivered := 0
+	r.drainMu.Lock()
+	defer r.drainMu.Unlock()
 	for {
 		r.mu.Lock()
 		if r.count == 0 {
@@ -253,6 +284,7 @@ func (d *Domain) drainRing(rank, src int, r *ring, meter Meter) int {
 			}
 			r.cur = r.cur[:0]
 			r.curBits = c.bits
+			r.curVCI = c.vci
 			r.curLen = c.msgLen
 			r.arrival = c.arrival
 		}
@@ -272,7 +304,7 @@ func (d *Domain) drainRing(rank, src int, r *ring, meter Meter) int {
 			meter.ChargeCycles(instr.Transport, p.RecvOverhead)
 			data := r.cur[:r.filled]
 			r.filled, r.curLen = 0, 0
-			d.deliver(rank, r.curBits, src, data, r.arrival)
+			d.deliver(rank, r.curBits, src, data, r.arrival, r.curVCI)
 			delivered++
 		}
 	}

@@ -45,7 +45,7 @@ func newTestDomain(n int) (*Domain, []*[]delivery, []*testMeter) {
 	for i := range boxes {
 		boxes[i] = new([]delivery)
 	}
-	d := NewDomain(DefaultProfile, n, func(dst int, bits match.Bits, src int, data []byte, arrival vtime.Time) {
+	d := NewDomain(DefaultProfile, n, func(dst int, bits match.Bits, src int, data []byte, arrival vtime.Time, vci int) {
 		// Deliver lends the ring's reassembly scratch: copy to retain.
 		cp := append([]byte(nil), data...)
 		*boxes[dst] = append(*boxes[dst], delivery{bits, src, cp, arrival})
@@ -141,7 +141,7 @@ func TestRingBackpressure(t *testing.T) {
 func TestWakeCallback(t *testing.T) {
 	var woke []int
 	var mu sync.Mutex
-	d := NewDomain(DefaultProfile, 2, func(int, match.Bits, int, []byte, vtime.Time) {}, func(dst int) {
+	d := NewDomain(DefaultProfile, 2, func(int, match.Bits, int, []byte, vtime.Time, int) {}, func(dst, vci int) {
 		mu.Lock()
 		woke = append(woke, dst)
 		mu.Unlock()
@@ -171,7 +171,7 @@ func TestTransportChargesAndArrival(t *testing.T) {
 }
 
 func TestUnboundMeterPanics(t *testing.T) {
-	d := NewDomain(DefaultProfile, 2, func(int, match.Bits, int, []byte, vtime.Time) {}, nil)
+	d := NewDomain(DefaultProfile, 2, func(int, match.Bits, int, []byte, vtime.Time, int) {}, nil)
 	defer func() {
 		if recover() == nil {
 			t.Fatal("Send without bound meter did not panic")

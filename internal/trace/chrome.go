@@ -10,13 +10,13 @@ import (
 // format: "X" complete events carry a timestamp and duration in
 // microseconds; "M" metadata events name the threads.
 type chromeEvent struct {
-	Name string         `json:"name"`
-	Cat  string         `json:"cat,omitempty"`
-	Ph   string         `json:"ph"`
-	Ts   float64        `json:"ts"`
+	Name string  `json:"name"`
+	Cat  string  `json:"cat,omitempty"`
+	Ph   string  `json:"ph"`
+	Ts   float64 `json:"ts"`
 	// No omitempty: a zero duration is a valid value for an "X"
 	// event, and some catapult consumers reject X events without dur.
-	Dur float64 `json:"dur"`
+	Dur  float64        `json:"dur"`
 	Pid  int            `json:"pid"`
 	Tid  int            `json:"tid"`
 	Args map[string]any `json:"args,omitempty"`
@@ -49,6 +49,10 @@ func WriteChrome(w io.Writer, hz float64, perRank [][]Event) error {
 			Args: map[string]any{"name": fmt.Sprintf("rank %d", rank)},
 		})
 		for _, e := range events {
+			args := map[string]any{"peer": e.Peer, "bytes": e.Bytes}
+			if e.VCI >= 0 {
+				args["vci"] = e.VCI
+			}
 			evs = append(evs, chromeEvent{
 				Name: e.Kind.String(),
 				Cat:  "mpi",
@@ -56,7 +60,7 @@ func WriteChrome(w io.Writer, hz float64, perRank [][]Event) error {
 				Ts:   float64(e.Start) * usPerCycle,
 				Dur:  float64(e.Dur()) * usPerCycle,
 				Tid:  rank,
-				Args: map[string]any{"peer": e.Peer, "bytes": e.Bytes},
+				Args: args,
 			})
 		}
 	}

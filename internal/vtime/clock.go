@@ -9,17 +9,22 @@
 // shapes the paper's strong-scaling curves, deterministically.
 package vtime
 
+import "sync/atomic"
+
 // Time is a point in virtual time, in cycles since rank spawn.
 type Time int64
 
 // Cycles is a duration in virtual cycles.
 type Cycles = int64
 
-// Clock is one rank's virtual clock. It is confined to the rank's
-// goroutine; cross-rank ordering happens only through message
-// timestamps (Sync).
+// Clock is one rank's virtual clock. Updates are atomic: a rank is
+// normally one goroutine, but under MPI_THREAD_MULTIPLE several
+// application goroutines advance the same rank's clock concurrently.
+// Cross-rank ordering still happens only through message timestamps
+// (Sync). Single-threaded advancement is numerically identical to the
+// plain-add form.
 type Clock struct {
-	now Time
+	now int64 // atomic
 	hz  float64
 }
 
@@ -32,7 +37,7 @@ func NewClock(hz float64) *Clock {
 }
 
 // Now returns the current virtual time.
-func (c *Clock) Now() Time { return c.now }
+func (c *Clock) Now() Time { return Time(atomic.LoadInt64(&c.now)) }
 
 // Hz returns the model core frequency in cycles per second.
 func (c *Clock) Hz() float64 { return c.hz }
@@ -43,15 +48,22 @@ func (c *Clock) Advance(n Cycles) {
 	if n < 0 {
 		panic("vtime: negative advance")
 	}
-	c.now += Time(n)
+	atomic.AddInt64(&c.now, n)
 }
 
 // Sync advances the clock to t if t is in the future; a rank that waited
 // for a message lands at the message's arrival time. Sync never moves
-// the clock backward.
+// the clock backward (a CAS maximum, so concurrent Syncs cannot regress
+// the clock either).
 func (c *Clock) Sync(t Time) {
-	if t > c.now {
-		c.now = t
+	for {
+		cur := atomic.LoadInt64(&c.now)
+		if int64(t) <= cur {
+			return
+		}
+		if atomic.CompareAndSwapInt64(&c.now, cur, int64(t)) {
+			return
+		}
 	}
 }
 

@@ -60,6 +60,23 @@ func (st Status) GetCount(dt *Datatype) int {
 type Request struct {
 	r *request.Request
 	p *Proc
+
+	// exact/exactLen carry the receive's expected byte count when the
+	// communicator asserted ExactLength; completion verifies the
+	// delivery against it.
+	exact    bool
+	exactLen int
+}
+
+// finish converts a completed internal request's status, enforcing
+// the exact-length assertion when the receive's communicator carried
+// it.
+func (r *Request) finish(st request.Status) (Status, error) {
+	err := statusErr(st.Truncated)
+	if r.exact && (st.Truncated || st.Count != r.exactLen) {
+		err = errc(ErrHint, "delivery of %d bytes into an exact-length buffer of %d", st.Count, r.exactLen)
+	}
+	return Status{Source: st.Source, Tag: st.Tag, Count: st.Count}, err
 }
 
 // Wait blocks until the operation completes (MPI_WAIT).
@@ -73,11 +90,10 @@ func (r *Request) Wait() (Status, error) {
 		}
 	}
 	r.r.Wait()
-	st := r.r.Status
-	err := statusErr(st.Truncated)
+	st, err := r.finish(r.r.Status)
 	r.r.Free()
 	r.r = nil
-	return Status{Source: st.Source, Tag: st.Tag, Count: st.Count}, err
+	return st, err
 }
 
 // Test polls the operation (MPI_TEST).
@@ -88,11 +104,10 @@ func (r *Request) Test() (Status, bool, error) {
 	if !r.r.Done() {
 		return Status{}, false, nil
 	}
-	st := r.r.Status
-	err := statusErr(st.Truncated)
+	st, err := r.finish(r.r.Status)
 	r.r.Free()
 	r.r = nil
-	return Status{Source: st.Source, Tag: st.Tag, Count: st.Count}, true, err
+	return st, true, err
 }
 
 // Waitall completes every request (MPI_WAITALL). The first error is
@@ -112,7 +127,7 @@ func Waitall(reqs []*Request) error {
 // device with the extension flags.
 func (c *Comm) isend(buf []byte, count int, dt *Datatype, dest, tag int, flags core.OpFlags) (*Request, error) {
 	p := c.p
-	if end := p.span(traceSendKind, dest, traceBytes(count, dt)); end != nil {
+	if end := p.spanVCI(traceSendKind, dest, traceBytes(count, dt), p.vciOf(c, tag, false)); end != nil {
 		defer end()
 	}
 	p.chargeCall()
@@ -294,10 +309,13 @@ func (c *Comm) CommWaitall() error {
 	return nil
 }
 
-// irecv is the shared MPI-layer receive path.
+// irecv is the shared MPI-layer receive path. Hint enforcement rides
+// here: a wildcard contradicting the communicator's assertions is a
+// defined error (ErrHint) before anything reaches the device, and the
+// exact-length assertion arms the returned request's completion check.
 func (c *Comm) irecv(buf []byte, count int, dt *Datatype, src, tag int, flags core.OpFlags) (*Request, error) {
 	p := c.p
-	if end := p.span(traceRecvKind, src, traceBytes(count, dt)); end != nil {
+	if end := p.spanVCI(traceRecvKind, src, traceBytes(count, dt), p.vciOf(c, tag, true)); end != nil {
 		defer end()
 	}
 	p.chargeCall()
@@ -308,17 +326,86 @@ func (c *Comm) irecv(buf []byte, count int, dt *Datatype, src, tag int, flags co
 			return nil, err
 		}
 	}
+	if err := checkHints(c.c, src, tag); err != nil {
+		return nil, err
+	}
 	r, err := p.dev.Irecv(buf, count, dt, src, tag, c.c, flags)
 	if err != nil {
 		return nil, errc(ErrOther, "%v", err)
 	}
-	return &Request{r: r, p: p}, nil
+	req := &Request{r: r, p: p}
+	if c.c.Hints.ExactLength && src != ProcNull {
+		req.exact, req.exactLen = true, dtPackedSize(dt, count)
+	}
+	return req, nil
 }
 
 // Irecv starts a nonblocking receive (MPI_IRECV). src may be AnySource;
 // tag may be AnyTag.
 func (c *Comm) Irecv(buf []byte, count int, dt *Datatype, src, tag int) (*Request, error) {
 	return c.irecv(buf, count, dt, src, tag, 0)
+}
+
+// RecvOptions combines the Section 3 proposals that apply to the
+// receive side, mirroring SendOptions: IrecvOpt is the canonical entry
+// point and the named Irecv* variants are zero-overhead wrappers over
+// it. (GlobalRank and NoReq are send-side ideas: receives match on the
+// sender's communicator rank and must deliver an envelope, so neither
+// transfers.)
+type RecvOptions struct {
+	// NoProcNull: src is guaranteed not MPI_PROC_NULL (Section 3.4).
+	NoProcNull bool
+	// NoMatch: receive in arrival order within the communicator — the
+	// receive side of the Section 3.6 proposal.
+	NoMatch bool
+	// PredefComm: the communicator sits in a predefined handle slot
+	// (Section 3.3). Set automatically by IrecvPredef.
+	PredefComm bool
+}
+
+func (o RecvOptions) flags() core.OpFlags {
+	var f core.OpFlags
+	if o.NoProcNull {
+		f |= core.FlagNoProcNull
+	}
+	if o.NoMatch {
+		f |= core.FlagNoMatch
+	}
+	if o.PredefComm {
+		f |= core.FlagPredefComm
+	}
+	return f
+}
+
+// IrecvOpt starts a nonblocking receive with any combination of the
+// proposed receive-side extensions.
+func (c *Comm) IrecvOpt(buf []byte, count int, dt *Datatype, src, tag int, o RecvOptions) (*Request, error) {
+	return c.irecv(buf, count, dt, src, tag, o.flags())
+}
+
+// IrecvNPN is the receive-side MPI_IRECV_NPN variant (Section 3.4):
+// the caller guarantees src is not MPI_PROC_NULL. Equivalent to
+// IrecvOpt with RecvOptions{NoProcNull: true}.
+func (c *Comm) IrecvNPN(buf []byte, count int, dt *Datatype, src, tag int) (*Request, error) {
+	return c.IrecvOpt(buf, count, dt, src, tag, RecvOptions{NoProcNull: true})
+}
+
+// IrecvNoMatch starts an arrival-order receive (the nonblocking
+// receive side of the no-match proposal). Equivalent to IrecvOpt with
+// RecvOptions{NoMatch: true} and wildcard envelope.
+func (c *Comm) IrecvNoMatch(buf []byte, count int, dt *Datatype) (*Request, error) {
+	return c.IrecvOpt(buf, count, dt, AnySource, AnyTag, RecvOptions{NoMatch: true})
+}
+
+// IrecvPredef receives on a communicator installed in a predefined
+// handle slot (Section 3.3). Equivalent to resolving the handle and
+// calling IrecvOpt with RecvOptions{PredefComm: true}.
+func (p *Proc) IrecvPredef(h CommHandle, buf []byte, count int, dt *Datatype, src, tag int) (*Request, error) {
+	c := p.predef[h]
+	if c == nil {
+		return nil, errc(ErrComm, "predefined handle %d not populated", h)
+	}
+	return c.IrecvOpt(buf, count, dt, src, tag, RecvOptions{PredefComm: true})
 }
 
 // Recv performs a blocking receive (MPI_RECV).
@@ -333,7 +420,7 @@ func (c *Comm) Recv(buf []byte, count int, dt *Datatype, src, tag int) (Status, 
 // RecvNoMatch receives the next message in arrival order within the
 // communicator (the receive side of the no-match proposal).
 func (c *Comm) RecvNoMatch(buf []byte, count int, dt *Datatype) (Status, error) {
-	req, err := c.irecv(buf, count, dt, AnySource, AnyTag, core.FlagNoMatch)
+	req, err := c.IrecvNoMatch(buf, count, dt)
 	if err != nil {
 		return Status{}, err
 	}
@@ -343,6 +430,9 @@ func (c *Comm) RecvNoMatch(buf []byte, count int, dt *Datatype) (Status, error) 
 // Iprobe checks for a matchable message without receiving it
 // (MPI_IPROBE).
 func (c *Comm) Iprobe(src, tag int) (Status, bool, error) {
+	if err := checkHints(c.c, src, tag); err != nil {
+		return Status{}, false, err
+	}
 	st, ok, err := c.p.dev.Iprobe(src, tag, c.c)
 	if err != nil {
 		return Status{}, false, errc(ErrOther, "%v", err)
@@ -396,6 +486,9 @@ type Message struct {
 // (MPI_IMPROBE). Once extracted, the message can no longer match any
 // other receive; consume it with Message.Recv.
 func (c *Comm) Improbe(src, tag int) (*Message, bool, error) {
+	if err := checkHints(c.c, src, tag); err != nil {
+		return nil, false, err
+	}
 	data, st, arrival, ok, err := c.p.dev.Improbe(src, tag, c.c)
 	if err != nil {
 		return nil, false, errc(ErrOther, "%v", err)

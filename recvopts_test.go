@@ -1,0 +1,179 @@
+package gompi
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestWrappersMatchIrecvOpt pins the receive-side consolidation: every
+// named receive variant costs exactly as many instructions as IrecvOpt
+// with the equivalent RecvOptions — the wrappers are zero-overhead.
+// Receives are posted (and measured) before the matching sends exist,
+// so every measurement takes the posted-queue path.
+func TestWrappersMatchIrecvOpt(t *testing.T) {
+	run(t, 2, ipoCfg, func(p *Proc) error {
+		w := p.World()
+		if _, err := w.DupPredefined(Comm1); err != nil {
+			return err
+		}
+		c := p.PredefComm(Comm1)
+		if p.Rank() != 0 {
+			if err := w.Barrier(); err != nil {
+				return err
+			}
+			buf := []byte{1}
+			// Two matched sends per matched pair, two arrival-order
+			// sends for the NoMatch pair, two on the predefined comm.
+			for tag := 0; tag < 2; tag++ {
+				if _, err := w.Isend(buf, 1, Byte, 0, tag); err != nil {
+					return err
+				}
+			}
+			for i := 0; i < 2; i++ {
+				if _, err := w.IsendNoMatch(buf, 1, Byte, 0); err != nil {
+					return err
+				}
+			}
+			for tag := 0; tag < 2; tag++ {
+				if _, err := c.Isend(buf, 1, Byte, 0, tag); err != nil {
+					return err
+				}
+			}
+			return w.CommWaitall()
+		}
+		bufs := make([][]byte, 0, 6)
+		reqs := make([]*Request, 0, 6)
+		post := func(f func(buf []byte) (*Request, error)) (int64, error) {
+			buf := make([]byte, 1)
+			before := p.Counters()
+			req, err := f(buf)
+			if err != nil {
+				return 0, err
+			}
+			cost := p.Counters().Sub(before).TotalInstr
+			bufs = append(bufs, buf)
+			reqs = append(reqs, req)
+			return cost, nil
+		}
+		type pair struct {
+			name    string
+			wrapper func(buf []byte) (*Request, error)
+			opt     func(buf []byte) (*Request, error)
+		}
+		pairs := []pair{
+			{"IrecvNPN",
+				func(buf []byte) (*Request, error) { return w.IrecvNPN(buf, 1, Byte, 1, 0) },
+				func(buf []byte) (*Request, error) {
+					return w.IrecvOpt(buf, 1, Byte, 1, 1, RecvOptions{NoProcNull: true})
+				}},
+			{"IrecvNoMatch",
+				func(buf []byte) (*Request, error) { return w.IrecvNoMatch(buf, 1, Byte) },
+				func(buf []byte) (*Request, error) {
+					return w.IrecvOpt(buf, 1, Byte, AnySource, AnyTag, RecvOptions{NoMatch: true})
+				}},
+			{"IrecvPredef",
+				func(buf []byte) (*Request, error) { return p.IrecvPredef(Comm1, buf, 1, Byte, 1, 0) },
+				func(buf []byte) (*Request, error) {
+					return c.IrecvOpt(buf, 1, Byte, 1, 1, RecvOptions{PredefComm: true})
+				}},
+		}
+		for _, pr := range pairs {
+			viaWrapper, err := post(pr.wrapper)
+			if err != nil {
+				return err
+			}
+			viaOpt, err := post(pr.opt)
+			if err != nil {
+				return err
+			}
+			if viaWrapper != viaOpt {
+				return fmt.Errorf("%s costs %d instructions, IrecvOpt equivalent %d",
+					pr.name, viaWrapper, viaOpt)
+			}
+		}
+		if err := w.Barrier(); err != nil {
+			return err
+		}
+		for i, req := range reqs {
+			if _, err := req.Wait(); err != nil {
+				return err
+			}
+			if bufs[i][0] != 1 {
+				return fmt.Errorf("receive %d delivered %d, want 1", i, bufs[i][0])
+			}
+		}
+		return nil
+	})
+}
+
+// TestIrecvOptSavesOverPlain pins that the receive-side proposals
+// actually shave instructions: an NPN receive on a posted queue is
+// strictly cheaper than the plain Irecv equivalent, and a predefined
+// -comm receive is strictly cheaper than the same receive through the
+// dynamic handle.
+func TestIrecvOptSavesOverPlain(t *testing.T) {
+	run(t, 2, ipoCfg, func(p *Proc) error {
+		w := p.World()
+		if _, err := w.DupPredefined(Comm1); err != nil {
+			return err
+		}
+		c := p.PredefComm(Comm1)
+		if p.Rank() != 0 {
+			if err := w.Barrier(); err != nil {
+				return err
+			}
+			buf := []byte{1}
+			for tag := 0; tag < 2; tag++ {
+				if _, err := w.Isend(buf, 1, Byte, 0, tag); err != nil {
+					return err
+				}
+			}
+			for tag := 0; tag < 2; tag++ {
+				if _, err := c.Isend(buf, 1, Byte, 0, tag); err != nil {
+					return err
+				}
+			}
+			return w.CommWaitall()
+		}
+		measure := func(f func(buf []byte) (*Request, error)) (*Request, int64, error) {
+			buf := make([]byte, 1)
+			before := p.Counters()
+			req, err := f(buf)
+			if err != nil {
+				return nil, 0, err
+			}
+			return req, p.Counters().Sub(before).TotalInstr, nil
+		}
+		r1, plain, err := measure(func(buf []byte) (*Request, error) { return w.Irecv(buf, 1, Byte, 1, 0) })
+		if err != nil {
+			return err
+		}
+		r2, npn, err := measure(func(buf []byte) (*Request, error) { return w.IrecvNPN(buf, 1, Byte, 1, 1) })
+		if err != nil {
+			return err
+		}
+		r3, dynamic, err := measure(func(buf []byte) (*Request, error) { return c.Irecv(buf, 1, Byte, 1, 0) })
+		if err != nil {
+			return err
+		}
+		r4, predef, err := measure(func(buf []byte) (*Request, error) { return p.IrecvPredef(Comm1, buf, 1, Byte, 1, 1) })
+		if err != nil {
+			return err
+		}
+		if npn >= plain {
+			return fmt.Errorf("IrecvNPN costs %d instructions, plain Irecv %d; want a saving", npn, plain)
+		}
+		if predef >= dynamic {
+			return fmt.Errorf("IrecvPredef costs %d instructions, dynamic-handle Irecv %d; want a saving", predef, dynamic)
+		}
+		if err := w.Barrier(); err != nil {
+			return err
+		}
+		for _, req := range []*Request{r1, r2, r3, r4} {
+			if _, err := req.Wait(); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}
