@@ -27,11 +27,12 @@ bench-smoke:
 	$(GO) test -run xxx -bench . -benchtime 1x ./...
 
 # Machine-readable benchmark summary: one iteration of every benchmark
-# (ns/op, allocs/op), the reference-exchange metric aggregates, and the
-# multi-VCI scaling sweep, written to BENCH_PR3.json for cross-PR
-# comparison.
+# (ns/op, allocs/op), the reference-exchange metric aggregates with
+# their latency histogram summaries (post-match, unexpected residency,
+# ...), and the multi-VCI scaling sweep, written to BENCH_PR4.json for
+# cross-PR comparison.
 bench-json:
-	$(GO) run ./cmd/benchjson -o BENCH_PR3.json
+	$(GO) run ./cmd/benchjson -o BENCH_PR4.json
 
 # Short differential-fuzz run: binned vs linear matching must agree.
 fuzz-smoke:

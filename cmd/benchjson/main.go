@@ -1,13 +1,15 @@
 // Command benchjson runs the benchmark suite once and writes a
 // machine-readable summary — per-benchmark ns/op and allocs/op plus
 // the metrics aggregates of the reference exchange on both devices —
-// as JSON — plus the multi-VCI scaling sweep. The Makefile's
-// bench-json target uses it to produce BENCH_PR3.json. Timestamps are
-// deliberately omitted so reruns diff cleanly.
+// as JSON — plus the multi-VCI scaling sweep and the latency
+// decomposition (post→match, unexpected residency, rendezvous RTT,
+// request lifetime, wait park percentiles) of the reference exchange.
+// The Makefile's bench-json target uses it to produce BENCH_PR4.json.
+// Timestamps are deliberately omitted so reruns diff cleanly.
 //
 // Usage:
 //
-//	benchjson [-o BENCH_PR3.json] [-benchtime 1x]
+//	benchjson [-o BENCH_PR4.json] [-benchtime 1x]
 package main
 
 import (
@@ -23,6 +25,7 @@ import (
 
 	"gompi"
 	"gompi/internal/bench"
+	"gompi/internal/metrics"
 )
 
 // BenchResult is one benchmark line of `go test -bench`.
@@ -38,7 +41,12 @@ type BenchResult struct {
 type Output struct {
 	Benchmarks []BenchResult                    `json:"benchmarks"`
 	Exchange   map[string]gompi.MetricsSnapshot `json:"exchange_aggregate"`
-	VCIScaling []bench.VCIPoint                 `json:"vci_scaling"`
+	// Latency lifts the exchange aggregates' latency decomposition to
+	// the top level so cross-PR diffs of the percentile summaries
+	// (post→match, unexpected residency, ...) don't have to dig through
+	// the full snapshots.
+	Latency    map[string]metrics.LatSnapshot `json:"latency"`
+	VCIScaling []bench.VCIPoint               `json:"vci_scaling"`
 }
 
 // benchLine matches e.g.
@@ -46,7 +54,7 @@ type Output struct {
 var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+(\d+)\s+([\d.]+) ns/op(?:\s+(\d+) B/op)?(?:\s+(\d+) allocs/op)?`)
 
 func main() {
-	out := flag.String("o", "BENCH_PR3.json", "output path")
+	out := flag.String("o", "BENCH_PR4.json", "output path")
 	benchtime := flag.String("benchtime", "1x", "go test -benchtime value")
 	flag.Parse()
 
@@ -78,11 +86,14 @@ func main() {
 	sort.Slice(results, func(i, j int) bool { return results[i].Name < results[j].Name })
 
 	exchange := map[string]gompi.MetricsSnapshot{}
+	latency := map[string]metrics.LatSnapshot{}
 	for _, dev := range []gompi.DeviceKind{gompi.DeviceCH4, gompi.DeviceOriginal} {
 		st, err := bench.ExchangeStats(gompi.Config{Device: dev}, 1024)
 		fail(err)
 		fail(bench.CheckExchangeBalance(st))
-		exchange[string(dev)] = st.Aggregate()
+		agg := st.Aggregate()
+		exchange[string(dev)] = agg
+		latency[string(dev)] = agg.Lat
 	}
 
 	vci, err := bench.VCIScaling([]int{1, 2, 4, 8}, 4, 2000)
@@ -92,7 +103,7 @@ func main() {
 	fail(err)
 	enc := json.NewEncoder(f)
 	enc.SetIndent("", "  ")
-	fail(enc.Encode(Output{Benchmarks: results, Exchange: exchange, VCIScaling: vci}))
+	fail(enc.Encode(Output{Benchmarks: results, Exchange: exchange, Latency: latency, VCIScaling: vci}))
 	fail(f.Close())
 	fmt.Fprintf(os.Stderr, "benchjson: %d benchmarks -> %s\n", len(results), *out)
 }

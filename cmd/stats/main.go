@@ -10,6 +10,7 @@
 //	stats -device original
 //	stats -bytes 65536
 //	stats -chrome trace.json    # also write a Chrome trace of the run
+//	stats -prom                 # Prometheus text format instead of JSON
 package main
 
 import (
@@ -34,6 +35,7 @@ func main() {
 	build := flag.String("build", "default", "build configuration")
 	msgBytes := flag.Int("bytes", 1024, "small-message payload size")
 	chrome := flag.String("chrome", "", "write a Chrome trace (catapult JSON) to this path")
+	prom := flag.Bool("prom", false, "emit Prometheus text format (latency quantiles, path counters) instead of JSON")
 	flag.Parse()
 
 	cfg := gompi.Config{
@@ -45,13 +47,17 @@ func main() {
 	fail(err)
 	fail(bench.CheckExchangeBalance(st))
 
-	out := struct {
-		Hz        float64               `json:"hz"`
-		Ranks     []gompi.RankStats     `json:"ranks"`
-		Aggregate gompi.MetricsSnapshot `json:"aggregate"`
-	}{st.Hz, st.Ranks, st.Aggregate()}
-	enc := jsonEncoder(os.Stdout)
-	fail(enc.Encode(out))
+	if *prom {
+		fail(st.WriteProm(os.Stdout))
+	} else {
+		out := struct {
+			Hz        float64               `json:"hz"`
+			Ranks     []gompi.RankStats     `json:"ranks"`
+			Aggregate gompi.MetricsSnapshot `json:"aggregate"`
+		}{st.Hz, st.Ranks, st.Aggregate()}
+		enc := jsonEncoder(os.Stdout)
+		fail(enc.Encode(out))
+	}
 
 	if *chrome != "" {
 		f, err := os.Create(*chrome)

@@ -29,6 +29,10 @@ package gompi
 import (
 	"errors"
 	"fmt"
+	"io"
+	"os"
+	"sync"
+	"time"
 
 	"gompi/internal/abort"
 	"gompi/internal/ch4"
@@ -38,9 +42,16 @@ import (
 	"gompi/internal/instr"
 	"gompi/internal/original"
 	"gompi/internal/proc"
+	"gompi/internal/stall"
 	"gompi/internal/trace"
 	"gompi/internal/vtime"
 )
+
+// ErrStalled is returned (wrapped) by Run when the stall watchdog
+// tripped: every rank was parked in a blocking wait with no transport
+// activity across two scan intervals — a deadlock. The wait-graph
+// diagnosis went to Config.DiagWriter (os.Stderr when unset).
+var ErrStalled = errors.New("gompi: stall watchdog tripped (deadlock)")
 
 // DeviceKind selects the MPI implementation. It is a defined string
 // type, so untyped string literals ("ch4") keep compiling in Config
@@ -120,6 +131,22 @@ type Config struct {
 	// and a negative value disables rendezvous entirely (everything
 	// eager). Exposed for the eager-threshold ablation.
 	EagerLimit int
+	// Watchdog enables the stall watchdog: a wall-clock scanner that
+	// detects a deadlocked world (every rank parked in a blocking wait
+	// with no transport activity), dumps a wait-graph diagnosis to
+	// DiagWriter, aborts the job, and makes Run return ErrStalled. The
+	// detection condition is structurally free of false positives for
+	// single-threaded ranks; see internal/stall.
+	Watchdog bool
+	// WatchdogInterval is the scan period (50ms when zero). Raise it for
+	// MPI_THREAD_MULTIPLE workloads whose compute phases exceed two scan
+	// intervals while another goroutine of the rank is parked.
+	WatchdogInterval time.Duration
+	// DiagWriter, when non-nil, receives diagnostic dumps: the flight
+	// recorder and wait graph on a watchdog trip, MPI_ABORT, or error
+	// teardown. Watchdog trips fall back to os.Stderr when it is nil;
+	// abort/error teardown dumps only happen when it is set.
+	DiagWriter io.Writer
 	// Profiler, when non-nil, receives Enter/Exit callbacks around
 	// every MPI operation on every rank (a PMPI-style interception
 	// layer). The implementation must be safe for concurrent use: all
@@ -207,6 +234,19 @@ type Proc struct {
 	tlog     trace.Log
 	profiler Profiler
 	teardown func()
+	dump     func(io.Writer)
+}
+
+// DumpState writes a human-readable diagnosis of the whole job: every
+// rank's virtual clock and park state, the tail of its flight recorder
+// (recent protocol events), and the device wait graph — unmatched
+// posted receives, unexpected-queue contents, and who-waits-on-whom
+// edges. Safe to call from any goroutine at any time; the same dump
+// fires automatically on a stall-watchdog trip.
+func (p *Proc) DumpState(w io.Writer) {
+	if p.dump != nil {
+		p.dump(w)
+	}
 }
 
 // Profiler is the PMPI-style interception interface: Enter fires when
@@ -242,20 +282,63 @@ func Run(n int, cfg Config, body func(p *Proc) error) error {
 
 	var open func(r *proc.Rank) core.Device
 	var abortWorld func()
+	var setStall func(*stall.Monitor)
+	var dumpDevice func(io.Writer)
 	switch dev {
 	case "ch4":
 		g := ch4.NewGlobal(world, prof, bc)
 		open = func(r *proc.Rank) core.Device { return g.Open(r) }
 		abortWorld = g.Abort
+		setStall = g.SetStall
+		dumpDevice = g.DumpState
 	default:
 		g := original.NewGlobal(world, prof, bc)
 		open = func(r *proc.Rank) core.Device { return g.Open(r) }
 		abortWorld = g.Abort
+		setStall = g.SetStall
+		dumpDevice = g.DumpState
 	}
 
+	// dumpWorld renders the whole diagnosis: per-rank clock and park
+	// state, each rank's flight-recorder tail, and the device wait graph
+	// (unmatched posted receives, unexpected queues, waits-on edges).
+	var mon *stall.Monitor
+	dumpWorld := func(w io.Writer) {
+		fmt.Fprintf(w, "=== gompi state dump (%d rank(s), device %s) ===\n", n, dev)
+		for i := 0; i < n; i++ {
+			r := world.Rank(i)
+			fmt.Fprintf(w, "rank %d: vcycles=%d parked=%v\n", i, int64(r.Now()), mon.Parked(i))
+			r.Metrics().Flight.Dump(w, fmt.Sprintf("rank %d", i))
+		}
+		dumpDevice(w)
+	}
+
+	// One diagnosis per job, whoever gets there first: the watchdog
+	// trip, MPI_ABORT, or the first failing rank's teardown.
+	var diagOnce sync.Once
 	teardown := func() {
+		if cfg.DiagWriter != nil {
+			diagOnce.Do(func() { dumpWorld(cfg.DiagWriter) })
+		}
 		abortWorld()
 		reg.Abort()
+	}
+
+	if cfg.Watchdog {
+		diag := cfg.DiagWriter
+		if diag == nil {
+			diag = os.Stderr
+		}
+		mon = stall.New(n, cfg.WatchdogInterval, func() {
+			diagOnce.Do(func() {
+				fmt.Fprintln(diag, "gompi: stall watchdog tripped — every rank parked with no transport activity")
+				dumpWorld(diag)
+			})
+			teardown()
+		})
+		setStall(mon)
+		mon.Start()
+		defer mon.Stop()
 	}
 	if cfg.Stats != nil {
 		*cfg.Stats = Stats{
@@ -274,8 +357,9 @@ func Run(n int, cfg Config, body func(p *Proc) error) error {
 				panic(rec)
 			}
 		}()
+		defer mon.RankExited(r.ID())
 		p := &Proc{rank: r, dev: open(r), bc: bc, reg: reg,
-			profiler: cfg.Profiler, teardown: teardown}
+			profiler: cfg.Profiler, teardown: teardown, dump: dumpWorld}
 		if cfg.Trace {
 			capEvents := cfg.TraceEvents
 			if capEvents == 0 {
@@ -306,6 +390,9 @@ func Run(n int, cfg Config, body func(p *Proc) error) error {
 		}
 		return err
 	})
+	if cfg.Stats != nil {
+		cfg.Stats.WatchdogTrips = mon.Trips()
+	}
 	// Prefer original failures over teardown fallout.
 	var originals, fallout []error
 	for _, e := range errs {
@@ -319,6 +406,11 @@ func Run(n int, cfg Config, body func(p *Proc) error) error {
 	}
 	if len(originals) > 0 {
 		return errors.Join(originals...)
+	}
+	// A watchdog trip aborts the world, so every rank error is abort
+	// fallout; surface the deadlock itself instead.
+	if mon.Trips() > 0 {
+		return fmt.Errorf("%w: diagnosis written to DiagWriter", ErrStalled)
 	}
 	return errors.Join(fallout...)
 }

@@ -13,6 +13,8 @@
 package ch4
 
 import (
+	"io"
+
 	"gompi/internal/comm"
 	"gompi/internal/core"
 	"gompi/internal/datatype"
@@ -23,6 +25,7 @@ import (
 	"gompi/internal/proc"
 	"gompi/internal/request"
 	"gompi/internal/shm"
+	"gompi/internal/stall"
 	"gompi/internal/vtime"
 )
 
@@ -128,6 +131,22 @@ func (g *Global) Abort() {
 	if g.Shm != nil {
 		g.Shm.Abort()
 	}
+}
+
+// SetStall attaches the stall watchdog to both transports.
+func (g *Global) SetStall(m *stall.Monitor) {
+	g.Fab.SetStall(m)
+	if g.Shm != nil {
+		g.Shm.SetStall(m)
+	}
+}
+
+// DumpState writes the device-wide wait graph: every rank's unmatched
+// posted receives, buffered unexpected messages, and who-waits-on-whom
+// edges. CH4 matches on the fabric endpoint, so the fabric holds the
+// whole picture (shm traffic deposits there too).
+func (g *Global) DumpState(w io.Writer) {
+	g.Fab.WriteWaitGraph(w)
 }
 
 // Device is one rank's ch4 instance.

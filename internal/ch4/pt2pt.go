@@ -24,6 +24,7 @@ func (d *Device) Isend(buf []byte, count int, dt *datatype.Type, dest, tag int,
 	c *comm.Comm, flags core.OpFlags) (*request.Request, error) {
 
 	d.chargeDispatch(costDispatchPt2pt)
+	issued := d.rank.Now()
 
 	// MPI_PROC_NULL handling (Section 3.4): a comparison and branch
 	// every send pays unless the caller promised not to use it.
@@ -93,7 +94,15 @@ func (d *Device) Isend(buf []byte, count int, dt *datatype.Type, dest, tag int,
 
 	// Completion (Section 3.5): request object or counter.
 	d.chargeRedundant(costRedundantComplete)
-	return d.completedRequest(flags, c, request.KindSend), nil
+	r := d.completedRequest(flags, c, request.KindSend)
+	// Eager sends are locally complete at return: their request lifetime
+	// is the injection cost itself (plus the rendezvous handshake when
+	// the message crossed the eager threshold).
+	d.rank.Metrics().Lat.ReqLife.Observe(int64(d.rank.Now() - issued))
+	if r != nil {
+		r.Issued = int64(issued)
+	}
+	return r, nil
 }
 
 // sendBytes resolves the user (buf, count, datatype) triple into wire
@@ -236,6 +245,7 @@ func (d *Device) Irecv(buf []byte, count int, dt *datatype.Type, src, tag int,
 	d.ep.PostRecvVCI(op, bits, mask, d.recvVCI(c, bits, mask))
 
 	r := d.pool.Get(request.KindRecv)
+	r.Issued = int64(d.rank.Now())
 	finish := func(r *request.Request) error {
 		if bounce != nil {
 			if _, err := datatype.Unpack(dt, count, bounce[:op.N], buf); err != nil {
@@ -243,6 +253,9 @@ func (d *Device) Irecv(buf []byte, count int, dt *datatype.Type, src, tag int,
 			}
 			d.charge(instr.Mandatory, int64(10+op.N/2))
 		}
+		// Request lifetime: post → completion on the owner's clock (the
+		// reap already folded the message's arrival into it).
+		d.rank.Metrics().Lat.ReqLife.Observe(int64(d.rank.Now()) - r.Issued)
 		r.MarkComplete(request.Status{
 			Source: op.Src, Tag: op.Tag, Count: op.N, Truncated: op.Truncated,
 		})

@@ -1,0 +1,51 @@
+package fabric
+
+import (
+	"fmt"
+	"io"
+	"sync/atomic"
+
+	"gompi/internal/match"
+)
+
+// WriteWaitGraph renders the fabric's matching state for deadlock
+// diagnosis: every endpoint's unmatched posted receives, buffered
+// unexpected messages, queued active messages, and the who-waits-on-whom
+// edges implied by posted receives with a concrete source. Each VCI lock
+// is taken one at a time, so the dump is safe while ranks are parked
+// (parked waiters hold no VCI lock inside cond.Wait).
+func (f *Fabric) WriteWaitGraph(w io.Writer) {
+	fmt.Fprintf(w, "wait-graph: %d rank(s), %d vci(s) each\n", len(f.eps), f.nvci)
+	type edge struct{ from, to int }
+	var edges []edge
+	for _, ep := range f.eps {
+		posted, unex := 0, 0
+		var lines []string
+		for v, s := range ep.vcis {
+			s.mu.Lock()
+			posted += s.eng.PostedLen()
+			unex += s.eng.UnexpectedLen()
+			s.eng.PostedEach(func(e match.Entry) {
+				lines = append(lines, fmt.Sprintf("  posted recv vci=%d %s", v, e.DescribeRecv()))
+				if !e.Mask.SourceWild() {
+					edges = append(edges, edge{ep.rank, e.Bits.Source()})
+				}
+			})
+			s.eng.UnexpectedEach(func(e match.Entry) {
+				lines = append(lines, fmt.Sprintf("  unexpected vci=%d %s", v, e.Bits.String()))
+			})
+			s.mu.Unlock()
+		}
+		amq := atomic.LoadInt32(&ep.amqLen)
+		fmt.Fprintf(w, "rank %d: %d posted, %d unexpected, %d queued AM\n", ep.rank, posted, unex, amq)
+		for _, l := range lines {
+			fmt.Fprintln(w, l)
+		}
+	}
+	if len(edges) > 0 {
+		fmt.Fprintln(w, "waits-on edges (posted receive -> named source):")
+		for _, e := range edges {
+			fmt.Fprintf(w, "  rank %d waits on rank %d\n", e.from, e.to)
+		}
+	}
+}

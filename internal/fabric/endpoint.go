@@ -5,6 +5,8 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"gompi/internal/flight"
+	"gompi/internal/hist"
 	"gompi/internal/instr"
 	"gompi/internal/match"
 	"gompi/internal/metrics"
@@ -42,6 +44,10 @@ type RecvOp struct {
 	// vci is the interface the op was posted on, or AnyVCI when the op
 	// is replicated across every interface (wildcard fallback).
 	vci int
+	// posted is the owner's virtual clock at PostRecv time; the
+	// depositing peer reads it (under the VCI lock that also ordered
+	// the engine insertion) to observe post→match latency.
+	posted vtime.Time
 	// multi marks a replicated op; claimed is its once-only completion
 	// claim: the depositing goroutine that wins the CAS delivers, any
 	// replica matched afterward is stale and re-offers its message.
@@ -96,6 +102,9 @@ type vci struct {
 	msgFree  *message
 	eventSeq uint64
 	stats    metrics.VCIStat // receive-side traffic + events, under mu
+	// postMatch is this interface's post→match latency distribution
+	// (hist.H is atomic; writers happen to hold mu anyway).
+	postMatch hist.H
 }
 
 // getMessage pops a recycled message envelope (or allocates the first
@@ -248,6 +257,10 @@ func (ep *Endpoint) RegisterAM(id uint8, h AMHandler) { ep.handlers[id] = h }
 // sequence and wake aggregate waiters if any are parked.
 func (ep *Endpoint) bumpAgg() {
 	atomic.AddUint64(&ep.aggSeq, 1)
+	// Every path that can wake a parked waiter passes through here
+	// (deposit, Wake, WakeVCI, abort), so this is the single spot that
+	// proves liveness to the stall watchdog.
+	ep.f.stall.Activity()
 	if atomic.LoadInt32(&ep.evWaiters) != 0 {
 		ep.evMu.Lock()
 		ep.evCond.Broadcast()
@@ -277,11 +290,17 @@ func (ep *Endpoint) TaggedSendVCI(dst int, bits match.Bits, data []byte, v int) 
 	if p.EagerLimit > 0 && len(data) > p.EagerLimit {
 		// RTS out, CTS back, then the payload: two extra wire
 		// latencies plus the control processing.
+		start := now
 		ep.meter.ChargeCycles(instr.Transport, p.RndvInject)
 		now = ep.meter.Now() + 2*vtime.Time(p.WireLatency)
 		ep.m.Rndv.Note(len(data))
+		// The handshake round-trip the sender paid before the payload
+		// could cross: control processing plus two wire latencies.
+		ep.m.Lat.RndvRTT.Observe(int64(now - start))
+		ep.m.Flight.Record(flight.SendRndv, int64(now), dst, len(data), v)
 	} else {
 		ep.m.Eager.Note(len(data))
+		ep.m.Flight.Record(flight.SendEager, int64(now), dst, len(data), v)
 	}
 	arrival := p.arrivalAt(now, len(data))
 
@@ -322,6 +341,7 @@ func (ep *Endpoint) deposit(v int, bits match.Bits, src int, data []byte, arriva
 			m.arrival = arrival
 			m.gseq = atomic.AddUint64(&ep.gctr, 1)
 			ep.m.MaxUnexpected(s.eng.UnexpectedLen())
+			ep.m.Flight.Record(flight.Unexpected, int64(arrival), src, len(data), v)
 			break
 		}
 		s.putMessage(m)
@@ -334,6 +354,17 @@ func (ep *Endpoint) deposit(v int, bits match.Bits, src int, data []byte, arriva
 			}
 			ep.addStale(op)
 		}
+		// Post→match: how long the receive sat posted before its
+		// message arrived. Observed into the receiving rank's
+		// registry from the depositing goroutine (hist is atomic);
+		// op.posted is ordered by the engine insertion under s.mu.
+		ep.m.Lat.PostMatch.Observe(int64(arrival - op.posted))
+		s.postMatch.Observe(int64(arrival - op.posted))
+		// A pre-posted match never touches the unexpected queue:
+		// observe zero residency so the two distributions stay
+		// message-count symmetric.
+		ep.m.Lat.UnexRes.Observe(0)
+		ep.m.Flight.Record(flight.Deposit, int64(arrival), src, len(data), v)
 		completeRecv(op, bits, data, arrival)
 		break
 	}
@@ -440,10 +471,21 @@ func (ep *Endpoint) EventSeq() uint64 { return atomic.LoadUint64(&ep.aggSeq) }
 // it to park between polls without losing wakeups. Panics with
 // core.ErrWorldAborted once the fabric is aborted.
 func (ep *Endpoint) WaitEvent(last uint64) uint64 {
+	parked := false
+	defer func() {
+		if parked {
+			ep.f.stall.Unpark(ep.rank)
+		}
+	}()
 	ep.evMu.Lock()
 	atomic.AddInt32(&ep.evWaiters, 1)
 	for atomic.LoadUint64(&ep.aggSeq) == last && atomic.LoadInt32(&ep.amqLen) == 0 {
 		ep.f.aborted.CheckLocked(&ep.evMu)
+		if !parked {
+			parked = true
+			ep.f.stall.Park(ep.rank)
+			ep.m.Flight.Record(flight.Park, int64(ep.meter.Now()), -1, 0, AnyVCI)
+		}
 		ep.evCond.Wait()
 	}
 	atomic.AddInt32(&ep.evWaiters, -1)
@@ -466,10 +508,22 @@ func (ep *Endpoint) EventSeqVCI(v int) uint64 {
 // last (or active messages are pending, which any waiter must surface
 // for progress), then returns the new value.
 func (ep *Endpoint) WaitEventVCI(v int, last uint64) uint64 {
-	s := ep.vcis[ep.norm(v)]
+	vn := ep.norm(v)
+	s := ep.vcis[vn]
+	parked := false
+	defer func() {
+		if parked {
+			ep.f.stall.Unpark(ep.rank)
+		}
+	}()
 	s.mu.Lock()
 	for s.eventSeq == last && atomic.LoadInt32(&ep.amqLen) == 0 {
 		ep.f.aborted.CheckLocked(&s.mu)
+		if !parked {
+			parked = true
+			ep.f.stall.Park(ep.rank)
+			ep.m.Flight.Record(flight.Park, int64(ep.meter.Now()), -1, 0, vn)
+		}
 		s.cond.Wait()
 	}
 	seq := s.eventSeq
@@ -507,6 +561,8 @@ func (ep *Endpoint) PostRecv(op *RecvOp, bits match.Bits, mask match.Bits) {
 func (ep *Endpoint) PostRecvVCI(op *RecvOp, bits match.Bits, mask match.Bits, v int) {
 	p := &ep.f.prof
 	ep.meter.ChargeCycles(instr.Transport, p.RecvPost)
+	now := ep.meter.Now()
+	op.posted = now
 	v = ep.norm(v)
 	if v == AnyVCI {
 		ep.postRecvMulti(op, bits, mask)
@@ -519,14 +575,31 @@ func (ep *Endpoint) PostRecvVCI(op *RecvOp, bits match.Bits, mask match.Bits, v 
 	bins, searches := s.eng.BinOps, s.eng.Searches
 	if entry, ok := s.eng.PostRecv(bits, mask, op); ok {
 		m := entry.Cookie.(*message)
+		// The receive found its message waiting: it spent the span
+		// since m.arrival on the unexpected queue; the receive itself
+		// waited zero.
+		ep.m.Lat.UnexRes.Observe(int64(now - m.arrival))
+		ep.m.Lat.PostMatch.Observe(0)
+		s.postMatch.Observe(0)
+		ep.m.Flight.Record(flight.UnexHit, int64(now), m.src, len(m.data), v)
 		completeRecv(op, entry.Bits, m.data, m.arrival)
 		s.releaseMessage(m)
 	} else {
 		ep.m.MaxPosted(s.eng.PostedLen())
+		ep.m.Flight.Record(flight.PostRecv, int64(now), recvPeer(bits, mask), 0, v)
 	}
 	bins, searches = s.eng.BinOps-bins, s.eng.Searches-searches
 	s.mu.Unlock()
 	ep.meter.ChargeCycles(instr.Transport, p.matchCost(bins, searches))
+}
+
+// recvPeer is the flight-recorder peer of a posted receive: the
+// constrained source, or -1 under MPI_ANY_SOURCE.
+func recvPeer(bits, mask match.Bits) int {
+	if mask.SourceWild() {
+		return -1
+	}
+	return bits.Source()
 }
 
 // postRecvMulti is the wildcard fallback: under every VCI lock, sweep
@@ -561,6 +634,11 @@ func (ep *Endpoint) postRecvMulti(op *RecvOp, bits, mask match.Bits) {
 		s := ep.vcis[best]
 		entry, _ := s.eng.ExtractUnexpected(bits, mask)
 		m := entry.Cookie.(*message)
+		now := ep.meter.Now()
+		ep.m.Lat.UnexRes.Observe(int64(now - m.arrival))
+		ep.m.Lat.PostMatch.Observe(0)
+		s.postMatch.Observe(0)
+		ep.m.Flight.Record(flight.UnexHit, int64(now), m.src, len(m.data), best)
 		completeRecv(op, entry.Bits, m.data, m.arrival)
 		s.releaseMessage(m)
 	} else {
@@ -568,6 +646,7 @@ func (ep *Endpoint) postRecvMulti(op *RecvOp, bits, mask match.Bits) {
 			s.eng.PostRecv(bits, mask, op)
 			ep.m.MaxPosted(s.eng.PostedLen())
 		}
+		ep.m.Flight.Record(flight.PostRecv, int64(ep.meter.Now()), recvPeer(bits, mask), 0, AnyVCI)
 	}
 	ep.unlockAll()
 	ep.meter.ChargeCycles(instr.Transport, ep.f.prof.matchCost(bins, searches))
@@ -592,6 +671,12 @@ func (ep *Endpoint) RecvDone(op *RecvOp) bool {
 func (ep *Endpoint) WaitRecv(op *RecvOp) {
 	if op.vci >= 0 {
 		s := ep.vcis[op.vci]
+		parked := false
+		defer func() {
+			if parked {
+				ep.f.stall.Unpark(ep.rank)
+			}
+		}()
 		s.mu.Lock()
 		for !op.done.Load() {
 			if atomic.LoadInt32(&ep.amqLen) > 0 {
@@ -601,6 +686,11 @@ func (ep *Endpoint) WaitRecv(op *RecvOp) {
 				continue
 			}
 			ep.f.aborted.CheckLocked(&s.mu)
+			if !parked {
+				parked = true
+				ep.f.stall.Park(ep.rank)
+				ep.m.Flight.Record(flight.Park, int64(ep.meter.Now()), -1, 0, op.vci)
+			}
 			s.cond.Wait()
 		}
 		s.mu.Unlock()
@@ -624,8 +714,14 @@ func (ep *Endpoint) reap(op *RecvOp) {
 		return
 	}
 	op.reaped = true
+	// Wait park time: the virtual-time jump Sync is about to perform —
+	// how far ahead of this rank's clock the completion arrived (zero
+	// when the rank got there after the message).
+	now := ep.meter.Now()
+	ep.m.Lat.WaitPark.Observe(int64(op.Arrival - now))
 	ep.meter.Sync(op.Arrival)
 	ep.meter.ChargeCycles(instr.Transport, ep.f.prof.RecvComplete)
+	ep.m.Flight.Record(flight.RecvDone, int64(ep.meter.Now()), op.Src, op.N, op.vci)
 }
 
 // CancelRecv removes a posted receive. It reports false if the receive
@@ -731,6 +827,7 @@ func (ep *Endpoint) MProbeVCI(bits, mask match.Bits, v int) (src, tag int, data 
 		if hit {
 			m := entry.Cookie.(*message)
 			src, tag, data, arrival = entry.Bits.Source(), entry.Bits.Tag(), m.data, m.arrival
+			ep.m.Lat.UnexRes.Observe(int64(ep.meter.Now() - m.arrival))
 			s.putMessage(m)
 		}
 		s.mu.Unlock()
@@ -757,6 +854,7 @@ func (ep *Endpoint) MProbeVCI(bits, mask match.Bits, v int) (src, tag int, data 
 		entry, _ := s.eng.ExtractUnexpected(bits, mask)
 		m := entry.Cookie.(*message)
 		src, tag, data, arrival, ok = entry.Bits.Source(), entry.Bits.Tag(), m.data, m.arrival, true
+		ep.m.Lat.UnexRes.Observe(int64(ep.meter.Now() - m.arrival))
 		s.putMessage(m)
 	}
 	ep.unlockAll()
@@ -780,6 +878,7 @@ func (ep *Endpoint) AMSend(dst int, handler uint8, hdr, payload []byte) {
 	tgt.amq = append(tgt.amq, am{src: ep.rank, handler: handler, hdr: h, payload: pl, arrival: arrival})
 	atomic.AddInt32(&tgt.amqLen, 1)
 	tgt.amMu.Unlock()
+	ep.m.Flight.Record(flight.AMSend, int64(arrival), dst, len(hdr)+len(payload), AnyVCI)
 	for i := range tgt.vcis {
 		tgt.wakeVCI(i)
 	}
@@ -808,6 +907,7 @@ func (ep *Endpoint) Progress() int {
 		for i := range batch {
 			m := &batch[i]
 			ep.m.AmRecv.Note(len(m.hdr) + len(m.payload))
+			ep.m.Flight.Record(flight.AMRecv, int64(m.arrival), m.src, len(m.hdr)+len(m.payload), AnyVCI)
 		}
 		for i := range batch {
 			// No clock sync here: the handler runs asynchronously to
@@ -874,6 +974,7 @@ func (ep *Endpoint) vciStats() []metrics.VCIStat {
 		s.mu.Lock()
 		out[i] = s.stats
 		s.mu.Unlock()
+		out[i].PostMatch = s.postMatch.Snapshot()
 	}
 	return out
 }

@@ -8,6 +8,7 @@ import (
 	"gompi/internal/instr"
 	"gompi/internal/match"
 	"gompi/internal/metrics"
+	"gompi/internal/stall"
 	"gompi/internal/vtime"
 )
 
@@ -41,6 +42,11 @@ type Fabric struct {
 	nvci    int
 	eps     []*Endpoint
 	aborted abort.Flag
+
+	// stall is the optional stall watchdog (nil when disabled; all its
+	// methods are nil-safe). Park sites register blocked goroutines
+	// with it and every event broadcast bumps its activity counter.
+	stall *stall.Monitor
 
 	regMu   sync.RWMutex
 	regions map[regionKey]*region
@@ -107,6 +113,10 @@ func (f *Fabric) VCIForCtx(ctx uint16) int {
 	}
 	return int(ctx>>1) % f.nvci
 }
+
+// SetStall attaches the stall watchdog. Must be called before
+// communication starts; nil detaches.
+func (f *Fabric) SetStall(m *stall.Monitor) { f.stall = m }
 
 // Abort marks the fabric dead and wakes every endpoint: blocked waits
 // panic with abort.ErrWorldAborted, which the rank runtime converts to

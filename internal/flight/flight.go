@@ -1,0 +1,126 @@
+// Package flight is the always-on flight recorder: a fixed-size
+// per-rank ring of recent protocol events, far cheaper than full event
+// tracing (no per-event allocation, no growth, a few words per entry)
+// and therefore left running on every build. Its job is post-mortem
+// diagnosis: when a job aborts, tears down on error, or trips the
+// stall watchdog, each rank's last protocol steps are dumped so the
+// failure's communication history is visible without re-running under
+// Config.Trace.
+package flight
+
+import (
+	"fmt"
+	"io"
+	"sync"
+)
+
+// Kind classifies one recorded protocol event.
+type Kind uint8
+
+// Protocol event kinds.
+const (
+	SendEager  Kind = iota // eager tagged send injected (peer = dst)
+	SendRndv               // rendezvous tagged send injected (peer = dst)
+	ShmSend                // shared-memory send started (peer = dst)
+	Deposit                // incoming message matched a posted receive (peer = src)
+	Unexpected             // incoming message buffered unexpected (peer = src)
+	PostRecv               // receive posted, no unexpected match (peer = src or -1)
+	UnexHit                // receive posted, satisfied from unexpected queue
+	RecvDone               // receive completion reaped
+	AMSend                 // active message injected (peer = dst)
+	AMRecv                 // active message delivered (peer = src)
+	Park                   // goroutine blocked waiting for transport events
+	numKinds
+)
+
+var kindNames = [numKinds]string{
+	"send-eager", "send-rndv", "shm-send", "deposit", "unexpected",
+	"post-recv", "unex-hit", "recv-done", "am-send", "am-recv", "park",
+}
+
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// Event is one recorded protocol step. T is the recording rank's
+// virtual clock in cycles; Peer is the other rank involved (-1 when
+// not applicable); VCI is the virtual interface (-1 when not
+// applicable).
+type Event struct {
+	Seq   uint64
+	T     int64
+	Kind  Kind
+	VCI   int16
+	Peer  int32
+	Bytes int32
+}
+
+// Size is the ring capacity: enough recent history to see the
+// protocol exchange that led to a stall, small enough to live inside
+// every rank's metrics registry.
+const Size = 128
+
+// Ring is a bounded ring of the rank's most recent protocol events.
+// The zero value is ready to use. Record is safe for concurrent use:
+// peers depositing into a rank's endpoint record into that rank's
+// ring from their own goroutines. The mutex bounds the hot-path cost
+// to one uncontended lock per protocol event and keeps the dump
+// coherent.
+type Ring struct {
+	mu  sync.Mutex
+	buf [Size]Event
+	n   uint64 // total events ever recorded
+}
+
+// Record appends one event, overwriting the oldest once full. It never
+// allocates.
+func (r *Ring) Record(k Kind, t int64, peer, bytes, vci int) {
+	r.mu.Lock()
+	r.buf[r.n%Size] = Event{
+		Seq: r.n, T: t, Kind: k,
+		VCI: int16(vci), Peer: int32(peer), Bytes: int32(bytes),
+	}
+	r.n++
+	r.mu.Unlock()
+}
+
+// Total returns the number of events ever recorded (recent Size of
+// them are retained).
+func (r *Ring) Total() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.n
+}
+
+// Events returns the retained events oldest-first. Dump-time only: it
+// allocates the copy.
+func (r *Ring) Events() []Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := r.n
+	if n > Size {
+		out := make([]Event, Size)
+		for i := uint64(0); i < Size; i++ {
+			out[i] = r.buf[(n+i)%Size]
+		}
+		return out
+	}
+	out := make([]Event, n)
+	copy(out, r.buf[:n])
+	return out
+}
+
+// Dump renders the retained events human-readably, oldest first, one
+// line each, prefixed by label.
+func (r *Ring) Dump(w io.Writer, label string) {
+	evs := r.Events()
+	total := r.Total()
+	fmt.Fprintf(w, "%s flight recorder: %d event(s) recorded, last %d:\n", label, total, len(evs))
+	for _, e := range evs {
+		fmt.Fprintf(w, "%s   #%d @%d %s peer=%d bytes=%d vci=%d\n",
+			label, e.Seq, e.T, e.Kind, e.Peer, e.Bytes, e.VCI)
+	}
+}

@@ -93,6 +93,29 @@ func TestBreakdownAddScale(t *testing.T) {
 	}
 }
 
+func TestBreakdownScaleRoundsToNearest(t *testing.T) {
+	b := Breakdown{Total: 10, Cycles: 11}
+	b.Counts[Mandatory] = 10
+	b.Counts[Call] = 2
+	avg := b.Scale(4)
+	// 10/4 = 2.5 rounds to 3 (not the truncated 2); 2/4 = 0.5 rounds to
+	// 1; 11/4 = 2.75 rounds to 3.
+	if avg.Counts[Mandatory] != 3 {
+		t.Errorf("Scale(4) of 10 = %d, want 3", avg.Counts[Mandatory])
+	}
+	if avg.Counts[Call] != 1 {
+		t.Errorf("Scale(4) of 2 = %d, want 1", avg.Counts[Call])
+	}
+	if avg.Total != 3 || avg.Cycles != 3 {
+		t.Errorf("Scale(4) total/cycles = %d/%d, want 3/3", avg.Total, avg.Cycles)
+	}
+	// Exact multiples stay exact — the pinned single-op counts.
+	exact := Breakdown{Total: 300}
+	if got := exact.Scale(3).Total; got != 100 {
+		t.Errorf("Scale(3) of 300 = %d, want 100", got)
+	}
+}
+
 func TestBreakdownScalePanicsOnZero(t *testing.T) {
 	defer func() {
 		if recover() == nil {

@@ -111,17 +111,25 @@ func (b Breakdown) Add(o Breakdown) Breakdown {
 	return b
 }
 
-// Scale returns the breakdown divided by n (for averaging over n
-// repetitions). n must be positive.
+// Scale returns the breakdown divided by n, rounding to nearest (for
+// averaging over n repetitions; truncating would silently lose up to
+// n-1 counts per category on uneven totals). Exact multiples — the
+// pinned single-op measurements — are unaffected. n must be positive.
 func (b Breakdown) Scale(n int64) Breakdown {
 	if n <= 0 {
 		panic("instr: Scale by non-positive n")
 	}
-	for i := range b.Counts {
-		b.Counts[i] /= n
+	div := func(v int64) int64 {
+		if v >= 0 {
+			return (v + n/2) / n
+		}
+		return (v - n/2) / n
 	}
-	b.Total /= n
-	b.Cycles /= n
+	for i := range b.Counts {
+		b.Counts[i] = div(b.Counts[i])
+	}
+	b.Total = div(b.Total)
+	b.Cycles = div(b.Cycles)
 	return b
 }
 

@@ -82,6 +82,14 @@ func (b Bits) Matches(posted Bits, mask Bits) bool {
 	return b&mask == posted&mask
 }
 
+// SourceWild reports whether a mask leaves the source unconstrained
+// (MPI_ANY_SOURCE, or a no-match-bits mask).
+func (b Bits) SourceWild() bool { return b&srcMask == 0 }
+
+// TagWild reports whether a mask leaves the tag unconstrained
+// (MPI_ANY_TAG, or a no-match-bits mask).
+func (b Bits) TagWild() bool { return b&tagMask == 0 }
+
 // String renders the triplet for diagnostics.
 func (b Bits) String() string {
 	return fmt.Sprintf("ctx=%d src=%d tag=%d", b.Context(), b.Source(), b.Tag())

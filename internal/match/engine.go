@@ -1,5 +1,7 @@
 package match
 
+import "fmt"
+
 // Entry is one element of a matching queue: a posted receive (Bits+Mask
 // describe what it accepts, Cookie identifies the request) or an
 // unexpected message (Bits are fully specified, Cookie identifies the
@@ -376,3 +378,33 @@ func (e *Engine) PostedLen() int { return e.nPosted }
 
 // UnexpectedLen exposes the unexpected-queue depth.
 func (e *Engine) UnexpectedLen() int { return e.nUnex }
+
+// PostedEach calls f for every posted receive in insertion order. The
+// wait-graph dump uses it to name unmatched receives; the caller holds
+// whatever lock serializes the engine.
+func (e *Engine) PostedEach(f func(Entry)) {
+	for n := e.postedAll.head; n != nil; n = n.gnext {
+		f(n.Entry)
+	}
+}
+
+// UnexpectedEach calls f for every buffered unexpected message in
+// arrival order.
+func (e *Engine) UnexpectedEach(f func(Entry)) {
+	for n := e.unexAll.head; n != nil; n = n.gnext {
+		f(n.Entry)
+	}
+}
+
+// DescribeRecv renders a posted receive's (Bits, Mask) pair for
+// wait-graph dumps: wildcarded fields print as "any".
+func (e Entry) DescribeRecv() string {
+	src, tag := "any", "any"
+	if !e.Mask.SourceWild() {
+		src = fmt.Sprintf("%d", e.Bits.Source())
+	}
+	if !e.Mask.TagWild() {
+		tag = fmt.Sprintf("%d", e.Bits.Tag())
+	}
+	return fmt.Sprintf("src=%s tag=%s ctx=%d", src, tag, e.Bits.Context())
+}

@@ -11,7 +11,12 @@
 // snapshotted and merged (see DESIGN.md §6a).
 package metrics
 
-import "sync/atomic"
+import (
+	"sync/atomic"
+
+	"gompi/internal/flight"
+	"gompi/internal/hist"
+)
 
 // PathStat counts messages and payload bytes on one transport path.
 type PathStat struct {
@@ -92,6 +97,39 @@ type Rank struct {
 	RmaGets    int64
 	RmaAccs    int64
 	RmaGetAccs int64
+
+	// Latency decomposition: log2-bucketed histograms over virtual
+	// cycles at the message lifecycle points the paper's Figure 2
+	// attributes time to. All hist.H operations are atomic, so peers
+	// depositing into this rank's endpoint may record here directly.
+	Lat Latency
+
+	// Flight is the rank's always-on flight recorder: a fixed ring of
+	// recent protocol events for post-mortem dumps (abort, error
+	// teardown, watchdog trip). Living in the registry threads it
+	// through every transport without new interfaces.
+	Flight flight.Ring
+}
+
+// Latency holds one rank's span histograms. Each span is a difference
+// of virtual clocks (cycles), observed at the point where the span
+// closes:
+//
+//	PostMatch - receive posted until the matching message arrived
+//	            (zero when the message was already waiting unexpected).
+//	UnexRes   - message arrival until a receive consumed it off the
+//	            unexpected queue (zero when it matched a posted receive
+//	            on arrival).
+//	RndvRTT   - rendezvous handshake round-trip charged at injection.
+//	ReqLife   - request issue until completion was observed.
+//	WaitPark  - virtual time a Wait jumped forward to reach an
+//	            operation's completion (the park, in virtual cycles).
+type Latency struct {
+	PostMatch hist.H
+	UnexRes   hist.H
+	RndvRTT   hist.H
+	ReqLife   hist.H
+	WaitPark  hist.H
 }
 
 // maxInt64 raises *p to n with a CAS loop.
@@ -178,27 +216,40 @@ type RmaStats struct {
 // VCIStat is one virtual communication interface's receive-side
 // traffic: tagged messages landed on it, their payload bytes, and the
 // transport events (deposits, AMs, wakes) its event sequence counted.
+// PostMatch is the per-VCI post→match latency distribution.
 type VCIStat struct {
-	Msgs   int64 `json:"msgs"`
-	Bytes  int64 `json:"bytes"`
-	Events int64 `json:"events"`
+	Msgs      int64         `json:"msgs"`
+	Bytes     int64         `json:"bytes"`
+	Events    int64         `json:"events"`
+	PostMatch hist.Snapshot `json:"post_match"`
+}
+
+// LatSnapshot is the frozen latency decomposition of one rank (or an
+// aggregate when merged).
+type LatSnapshot struct {
+	PostMatch hist.Snapshot `json:"post_match"`
+	UnexRes   hist.Snapshot `json:"unexpected_residency"`
+	RndvRTT   hist.Snapshot `json:"rendezvous_rtt"`
+	ReqLife   hist.Snapshot `json:"request_lifetime"`
+	WaitPark  hist.Snapshot `json:"wait_park"`
 }
 
 // Snapshot is a frozen copy of a registry, grouped for JSON output.
 type Snapshot struct {
-	Self    PathStat   `json:"self"`
-	ShmSend PathStat   `json:"shm_send"`
-	ShmRecv PathStat   `json:"shm_recv"`
-	NetSend PathStat   `json:"net_send"`
-	NetRecv PathStat   `json:"net_recv"`
-	Eager   PathStat   `json:"eager"`
-	Rndv    PathStat   `json:"rendezvous"`
-	AmSend  PathStat   `json:"am_send"`
-	AmRecv  PathStat   `json:"am_recv"`
-	Match   MatchStats `json:"match"`
-	Pool    PoolStats  `json:"buffer_pool"`
-	Req     ReqStats   `json:"request_pool"`
-	Rma     RmaStats   `json:"rma"`
+	Self    PathStat    `json:"self"`
+	ShmSend PathStat    `json:"shm_send"`
+	ShmRecv PathStat    `json:"shm_recv"`
+	NetSend PathStat    `json:"net_send"`
+	NetRecv PathStat    `json:"net_recv"`
+	Eager   PathStat    `json:"eager"`
+	Rndv    PathStat    `json:"rendezvous"`
+	AmSend  PathStat    `json:"am_send"`
+	AmRecv  PathStat    `json:"am_recv"`
+	Match   MatchStats  `json:"match"`
+	Pool    PoolStats   `json:"buffer_pool"`
+	Req     ReqStats    `json:"request_pool"`
+	Rma     RmaStats    `json:"rma"`
+	Lat     LatSnapshot `json:"latency"`
 	// VCIs is the per-virtual-interface receive-side split; empty on a
 	// single-VCI endpoint snapshot only if the device never filled it.
 	VCIs []VCIStat `json:"vcis,omitempty"`
@@ -242,6 +293,13 @@ func (r *Rank) Snapshot() Snapshot {
 		s.Pool.Hits[i] = atomic.LoadInt64(&r.PoolHits[i])
 		s.Pool.Misses[i] = atomic.LoadInt64(&r.PoolMisses[i])
 	}
+	s.Lat = LatSnapshot{
+		PostMatch: r.Lat.PostMatch.Snapshot(),
+		UnexRes:   r.Lat.UnexRes.Snapshot(),
+		RndvRTT:   r.Lat.RndvRTT.Snapshot(),
+		ReqLife:   r.Lat.ReqLife.Snapshot(),
+		WaitPark:  r.Lat.WaitPark.Snapshot(),
+	}
 	return s
 }
 
@@ -281,6 +339,11 @@ func (s Snapshot) Merge(o Snapshot) Snapshot {
 	s.Rma.Gets += o.Rma.Gets
 	s.Rma.Accs += o.Rma.Accs
 	s.Rma.GetAccs += o.Rma.GetAccs
+	s.Lat.PostMatch.Merge(o.Lat.PostMatch)
+	s.Lat.UnexRes.Merge(o.Lat.UnexRes)
+	s.Lat.RndvRTT.Merge(o.Lat.RndvRTT)
+	s.Lat.ReqLife.Merge(o.Lat.ReqLife)
+	s.Lat.WaitPark.Merge(o.Lat.WaitPark)
 	n := len(s.VCIs)
 	if len(o.VCIs) > n {
 		n = len(o.VCIs)
@@ -292,6 +355,7 @@ func (s Snapshot) Merge(o Snapshot) Snapshot {
 			vcis[i].Msgs += v.Msgs
 			vcis[i].Bytes += v.Bytes
 			vcis[i].Events += v.Events
+			vcis[i].PostMatch.Merge(v.PostMatch)
 		}
 		s.VCIs = vcis
 	}

@@ -14,6 +14,7 @@ package original
 import (
 	"encoding/binary"
 	"fmt"
+	"io"
 	"runtime"
 	"sync"
 
@@ -27,6 +28,7 @@ import (
 	"gompi/internal/metrics"
 	"gompi/internal/proc"
 	"gompi/internal/request"
+	"gompi/internal/stall"
 	"gompi/internal/vtime"
 )
 
@@ -94,6 +96,7 @@ type Global struct {
 
 	mu     sync.Mutex
 	winSeq int
+	devs   []*Device // every opened device, for wait-graph dumps
 }
 
 // NewGlobal builds the shared state. The original device has no shmmod
@@ -106,6 +109,37 @@ func NewGlobal(w *proc.World, prof fabric.Profile, cfg core.Config) *Global {
 // Abort tears the world down after a rank failure.
 func (g *Global) Abort() { g.Fab.Abort() }
 
+// SetStall attaches the stall watchdog (this device has no shmmod, so
+// the fabric's park sites cover every blocking wait).
+func (g *Global) SetStall(m *stall.Monitor) { g.Fab.SetStall(m) }
+
+// DumpState writes the device-wide wait graph. Matching happens in
+// software at the MPI layer on this device, so each rank's own engine —
+// not the fabric's unused matching unit — holds the posted and
+// unexpected queues. Each device's critical section is taken raw
+// (ignoring the ThreadMultiple flag): the dump runs from the watchdog or
+// teardown goroutine while ranks are parked, and parked waits hold no
+// device lock.
+func (g *Global) DumpState(w io.Writer) {
+	g.mu.Lock()
+	devs := append([]*Device(nil), g.devs...)
+	g.mu.Unlock()
+	fmt.Fprintf(w, "wait-graph: %d rank(s), software matching at the MPI layer\n", len(devs))
+	for _, d := range devs {
+		d.bigMu.Lock()
+		posted, unex := d.eng.PostedLen(), d.eng.UnexpectedLen()
+		fmt.Fprintf(w, "rank %d: %d posted, %d unexpected, %d unacked AM\n",
+			d.rank.ID(), posted, unex, d.amSent-d.amAcked)
+		d.eng.PostedEach(func(e match.Entry) {
+			fmt.Fprintf(w, "  posted recv %s\n", e.DescribeRecv())
+		})
+		d.eng.UnexpectedEach(func(e match.Entry) {
+			fmt.Fprintf(w, "  unexpected %s\n", e.Bits.String())
+		})
+		d.bigMu.Unlock()
+	}
+}
+
 // recvState is one posted receive in the software matching engine.
 type recvState struct {
 	buf       []byte
@@ -114,6 +148,7 @@ type recvState struct {
 	truncated bool
 	done      bool
 	arrival   vtime.Time // virtual arrival of the matched packet
+	posted    vtime.Time // receiver's clock at post time (post→match span)
 }
 
 // unexpected buffers one unmatched arrival.
@@ -175,6 +210,9 @@ func (g *Global) Open(r *proc.Rank) *Device {
 	d.ep.RegisterAM(amGetReq, d.handleGetReq)
 	d.ep.RegisterAM(amGetResp, d.handleGetResp)
 	d.ep.RegisterAM(amAck, d.handleAck)
+	g.mu.Lock()
+	g.devs = append(g.devs, d)
+	g.mu.Unlock()
 	return d
 }
 

@@ -4,6 +4,7 @@ import (
 	"gompi/internal/comm"
 	"gompi/internal/core"
 	"gompi/internal/datatype"
+	"gompi/internal/flight"
 	"gompi/internal/instr"
 	"gompi/internal/match"
 	"gompi/internal/request"
@@ -134,9 +135,19 @@ func (d *Device) handleEager(src int, hdr, payload []byte, arrival vtime.Time) {
 	d.charge(instr.Mandatory, costMatchSearch*(d.eng.Searches-before))
 	if !ok {
 		mm.MaxUnexpected(d.eng.UnexpectedLen())
+		mm.Flight.Record(flight.Unexpected, int64(arrival), src, len(payload), 0)
 		return // queued as unexpected
 	}
 	rs := entry.Cookie.(*recvState)
+	// Post→match span, with zero unexpected residency (pre-posted), so
+	// both distributions stay message-count symmetric.
+	pm := int64(arrival - rs.posted)
+	if pm < 0 {
+		pm = 0
+	}
+	mm.Lat.PostMatch.Observe(pm)
+	mm.Lat.UnexRes.Observe(0)
+	mm.Flight.Record(flight.Deposit, int64(arrival), src, len(payload), 0)
 	d.completeRecv(rs, env.bits, cp, src, arrival)
 }
 
@@ -191,7 +202,7 @@ func (d *Device) Irecv(buf []byte, count int, dt *datatype.Type, src, tag int,
 		costRedundantBufAddr + costPacketGeneric)
 	d.chargeRedundantType(dt, costRedundantDatatype)
 
-	rs := &recvState{}
+	rs := &recvState{posted: d.rank.Now()}
 	var bounce []byte
 	if view, ok := datatype.ContigView(dt, count, buf); ok {
 		rs.buf = view
@@ -207,21 +218,42 @@ func (d *Device) Irecv(buf []byte, count int, dt *datatype.Type, src, tag int,
 	before := d.eng.Searches
 	entry, ok := d.eng.PostRecv(bits, mask, rs)
 	d.charge(instr.Mandatory, costMatchSearch*(d.eng.Searches-before))
+	mm := d.rank.Metrics()
 	if ok {
 		u := entry.Cookie.(*unexpected)
+		// Unexpected-queue residency, with zero post→match (the message
+		// was already here when the receive arrived).
+		res := int64(d.rank.Now() - u.arrival)
+		if res < 0 {
+			res = 0
+		}
+		mm.Lat.UnexRes.Observe(res)
+		mm.Lat.PostMatch.Observe(0)
+		mm.Flight.Record(flight.UnexHit, int64(d.rank.Now()), u.src, len(u.data), 0)
 		d.completeRecv(rs, entry.Bits, u.data, u.src, u.arrival)
 	} else {
-		d.rank.Metrics().MaxPosted(d.eng.PostedLen())
+		mm.MaxPosted(d.eng.PostedLen())
+		mm.Flight.Record(flight.PostRecv, int64(d.rank.Now()), bits.Source(), 0, 0)
 	}
 
 	r := d.g.pool.GetFor(request.KindRecv, d.rank.Metrics())
+	r.Issued = int64(d.rank.Now())
 	finish := func(r *request.Request) {
+		// Wait park time: how far ahead of this rank's clock the matched
+		// packet arrived (zero when the rank got there after it).
+		if park := int64(rs.arrival - d.rank.Now()); park > 0 {
+			mm.Lat.WaitPark.Observe(park)
+		} else if rs.done {
+			mm.Lat.WaitPark.Observe(0)
+		}
 		d.rank.Sync(rs.arrival)
 		if bounce != nil {
 			if _, err := datatype.Unpack(dt, count, bounce[:rs.n], buf); err != nil {
 				rs.truncated = true
 			}
 		}
+		mm.Lat.ReqLife.Observe(int64(d.rank.Now()) - r.Issued)
+		mm.Flight.Record(flight.RecvDone, int64(d.rank.Now()), rs.src, rs.n, 0)
 		r.MarkComplete(request.Status{Source: rs.src, Tag: rs.tag, Count: rs.n, Truncated: rs.truncated})
 	}
 	r.Poll = func(r *request.Request) bool {

@@ -42,6 +42,12 @@ type Request struct {
 	Status   Status
 	complete bool
 
+	// Issued is the owning rank's virtual clock when the operation was
+	// issued. The device stamps it at Isend/Irecv time and observes the
+	// issue→completion latency into the rank's registry when the request
+	// finishes. Zero when the device does not track request lifetime.
+	Issued int64
+
 	// Poll returns true once the underlying transport operation has
 	// finished, filling Status via Finish. Nil for operations that
 	// completed immediately.

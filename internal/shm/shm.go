@@ -13,9 +13,11 @@ import (
 	"sync"
 
 	"gompi/internal/abort"
+	"gompi/internal/flight"
 	"gompi/internal/instr"
 	"gompi/internal/match"
 	"gompi/internal/metrics"
+	"gompi/internal/stall"
 	"gompi/internal/vtime"
 )
 
@@ -79,6 +81,11 @@ type Domain struct {
 	wake    Wake
 	aborted abort.Flag
 
+	// stall is the optional stall watchdog (nil when disabled; all its
+	// methods are nil-safe). Producers blocked on a full ring park with
+	// it, and every drain that frees cells bumps its activity counter.
+	stall *stall.Monitor
+
 	mu     sync.Mutex
 	rings  map[pair]*ring
 	meters []Meter
@@ -103,6 +110,10 @@ func NewDomain(prof Profile, n int, deliver Deliver, wake Wake) *Domain {
 // Bind attaches rank's meter. Must precede communication involving the
 // rank.
 func (d *Domain) Bind(rank int, m Meter) { d.meters[rank] = m }
+
+// SetStall attaches the stall watchdog. Must be called before
+// communication starts; nil detaches.
+func (d *Domain) SetStall(m *stall.Monitor) { d.stall = m }
 
 // Abort wakes producers blocked on full rings; their waits panic with
 // abort.ErrWorldAborted.
@@ -201,10 +212,17 @@ func (d *Domain) SendVCI(src, dst int, bits match.Bits, data []byte, vci int) {
 	// Receive-side accounting happens where the reassembled message is
 	// delivered into the endpoint (DepositShm), on the receiving rank.
 	m.Metrics().ShmSend.Note(len(data))
+	m.Metrics().Flight.Record(flight.ShmSend, int64(m.Now()), dst, len(data), vci)
 	r := d.ring(src, dst)
 
 	r.prodMu.Lock()
 	defer r.prodMu.Unlock()
+	parked := false
+	defer func() {
+		if parked {
+			d.stall.Unpark(src)
+		}
+	}()
 	off := 0
 	for {
 		n := len(data) - off
@@ -217,6 +235,11 @@ func (d *Domain) SendVCI(src, dst int, bits match.Bits, data []byte, vci int) {
 		r.mu.Lock()
 		for r.count >= RingCells {
 			d.aborted.CheckLocked(&r.mu)
+			if !parked {
+				parked = true
+				d.stall.Park(src)
+				m.Metrics().Flight.Record(flight.Park, int64(m.Now()), dst, 0, vci)
+			}
 			r.cond.Wait()
 		}
 		c := &r.cells[(r.head+r.count)%RingCells]
@@ -297,6 +320,7 @@ func (d *Domain) drainRing(rank, src int, r *ring, meter Meter) int {
 		r.count--
 		r.cond.Broadcast() // free a cell for a blocked producer
 		r.mu.Unlock()
+		d.stall.Activity()
 
 		meter.ChargeCycles(instr.Transport, p.CellOverhead+vtime.Cycles(p.PerByte*float64(n)))
 

@@ -1,0 +1,198 @@
+// Package stall is the stall watchdog: a wall-clock scanner that
+// detects a world that has stopped making progress — every live rank
+// parked in a blocking wait with no transport events moving — and
+// fires a diagnosis callback exactly once.
+//
+// The detector is built to be structurally free of false positives.
+// Virtual clocks freeze while a rank is parked, so no virtual-time
+// threshold can distinguish a deadlock from a long wait; instead the
+// monitor watches two global counters:
+//
+//   - activity: bumped by every transport event broadcast (deposits,
+//     wakes, active messages, ring drains) — anything that could wake
+//     a parked goroutine;
+//   - transitions: bumped every time a goroutine enters or leaves a
+//     blocking park.
+//
+// A goroutine parked on a condition variable can only resume after a
+// broadcast, and every broadcast site bumps activity. So if two
+// consecutive scans observe (a) every live rank with at least one
+// goroutine parked, and (b) both counters unchanged, then nothing
+// woke, nothing moved, and nothing can ever move: the world is
+// deadlocked. A healthy run — the CI chaos guard — can never satisfy
+// (b) across a scan pair that spans real work.
+//
+// Under MPI_THREAD_MULTIPLE a rank may have an application goroutine
+// computing outside MPI while another lane is parked; a compute phase
+// longer than two scan intervals with zero MPI activity would then
+// trip spuriously. The interval is configurable for such workloads;
+// the shipped default (50ms scans) is far above any in-MPI pause.
+package stall
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// DefaultInterval is the wall-clock scan period.
+const DefaultInterval = 50 * time.Millisecond
+
+// Monitor is the watchdog. All methods are safe on a nil receiver
+// (no-ops), so the transports hook it unconditionally and pay one
+// branch when the watchdog is disabled.
+type Monitor struct {
+	interval time.Duration
+	onTrip   func()
+
+	activity    atomic.Uint64
+	transitions atomic.Uint64
+	inWait      []atomic.Int32
+	exited      []atomic.Bool
+	trips       atomic.Int64
+
+	prevQuiet bool
+	prevAct   uint64
+	prevTr    uint64
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// New creates a monitor for n ranks scanning at the given interval
+// (DefaultInterval if non-positive). onTrip runs on the monitor's
+// goroutine, at most once; it is expected to dump diagnosis and abort
+// the world.
+func New(n int, interval time.Duration, onTrip func()) *Monitor {
+	if interval <= 0 {
+		interval = DefaultInterval
+	}
+	return &Monitor{
+		interval: interval,
+		onTrip:   onTrip,
+		inWait:   make([]atomic.Int32, n),
+		exited:   make([]atomic.Bool, n),
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+}
+
+// Start launches the scan loop.
+func (m *Monitor) Start() {
+	if m == nil {
+		return
+	}
+	go m.run()
+}
+
+// Stop terminates the scan loop and waits for it to exit.
+func (m *Monitor) Stop() {
+	if m == nil {
+		return
+	}
+	close(m.stop)
+	<-m.done
+}
+
+// Park marks one goroutine of rank as blocked in a transport wait.
+func (m *Monitor) Park(rank int) {
+	if m == nil {
+		return
+	}
+	m.inWait[rank].Add(1)
+	m.transitions.Add(1)
+}
+
+// Unpark reverses Park.
+func (m *Monitor) Unpark(rank int) {
+	if m == nil {
+		return
+	}
+	m.inWait[rank].Add(-1)
+	m.transitions.Add(1)
+}
+
+// Activity notes one transport event broadcast — anything that could
+// wake a parked goroutine.
+func (m *Monitor) Activity() {
+	if m == nil {
+		return
+	}
+	m.activity.Add(1)
+}
+
+// RankExited marks a rank's body as returned: it no longer needs to be
+// parked for the world to count as stalled.
+func (m *Monitor) RankExited(rank int) {
+	if m == nil {
+		return
+	}
+	m.exited[rank].Store(true)
+	m.transitions.Add(1)
+}
+
+// Parked reports whether rank currently has a goroutine blocked in a
+// transport wait (diagnosis rendering).
+func (m *Monitor) Parked(rank int) bool {
+	if m == nil {
+		return false
+	}
+	return m.inWait[rank].Load() > 0
+}
+
+// Trips returns how many times the watchdog fired (0 or 1).
+func (m *Monitor) Trips() int64 {
+	if m == nil {
+		return 0
+	}
+	return m.trips.Load()
+}
+
+func (m *Monitor) run() {
+	defer close(m.done)
+	t := time.NewTicker(m.interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-m.stop:
+			return
+		case <-t.C:
+			if m.scan() {
+				return
+			}
+		}
+	}
+}
+
+// scan evaluates one tick; it returns true once the watchdog has
+// tripped (the loop stops — the trip aborts the world).
+func (m *Monitor) scan() bool {
+	act := m.activity.Load()
+	tr := m.transitions.Load()
+	quiet := m.allLiveParked()
+	tripped := quiet && m.prevQuiet && act == m.prevAct && tr == m.prevTr
+	m.prevQuiet, m.prevAct, m.prevTr = quiet, act, tr
+	if !tripped {
+		return false
+	}
+	m.trips.Add(1)
+	if m.onTrip != nil {
+		m.onTrip()
+	}
+	return true
+}
+
+// allLiveParked reports whether at least one rank is still live and
+// every live rank has a goroutine parked in a transport wait.
+func (m *Monitor) allLiveParked() bool {
+	live := 0
+	for i := range m.inWait {
+		if m.exited[i].Load() {
+			continue
+		}
+		live++
+		if m.inWait[i].Load() == 0 {
+			return false
+		}
+	}
+	return live > 0
+}

@@ -1,0 +1,104 @@
+package stall
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestNilMonitorIsNoop(t *testing.T) {
+	var m *Monitor
+	m.Park(0)
+	m.Unpark(0)
+	m.Activity()
+	m.RankExited(0)
+	m.Start()
+	m.Stop()
+	if m.Trips() != 0 || m.Parked(0) {
+		t.Fatal("nil monitor reported state")
+	}
+}
+
+func TestTripsOnFullQuiescence(t *testing.T) {
+	var fired atomic.Int32
+	m := New(2, time.Millisecond, func() { fired.Add(1) })
+	m.Park(0)
+	m.Park(1)
+	m.Start()
+	deadline := time.After(2 * time.Second)
+	for fired.Load() == 0 {
+		select {
+		case <-deadline:
+			t.Fatal("watchdog never tripped on a fully parked world")
+		default:
+			time.Sleep(time.Millisecond)
+		}
+	}
+	if m.Trips() != 1 {
+		t.Fatalf("trips = %d, want 1", m.Trips())
+	}
+	// The loop exits after the trip; Stop must not hang.
+	m.Stop()
+}
+
+func TestNoTripWhileActive(t *testing.T) {
+	m := New(2, 20*time.Millisecond, func() { t.Error("watchdog tripped on an active world") })
+	m.Park(0)
+	m.Park(1)
+	m.Start()
+	// Activity keeps moving: no two consecutive scans see frozen
+	// counters, so the watchdog must stay silent. Bump in a tight loop
+	// so scheduler hiccups cannot fake a quiet scan pair.
+	stop := time.After(100 * time.Millisecond)
+	for {
+		select {
+		case <-stop:
+			m.Stop()
+			if m.Trips() != 0 {
+				t.Fatalf("trips = %d, want 0", m.Trips())
+			}
+			return
+		default:
+			m.Activity()
+		}
+	}
+}
+
+func TestNoTripWithUnparkedRank(t *testing.T) {
+	m := New(2, time.Millisecond, func() { t.Error("watchdog tripped with a runnable rank") })
+	m.Park(0) // rank 1 never parks: it could still make progress
+	m.Start()
+	time.Sleep(30 * time.Millisecond)
+	m.Stop()
+	if m.Trips() != 0 {
+		t.Fatalf("trips = %d, want 0", m.Trips())
+	}
+}
+
+func TestExitedRanksDoNotBlockTrip(t *testing.T) {
+	var fired atomic.Int32
+	m := New(3, time.Millisecond, func() { fired.Add(1) })
+	m.Park(0)
+	m.Park(1)
+	m.RankExited(2) // finished rank, never parked
+	m.Start()
+	deadline := time.After(2 * time.Second)
+	for fired.Load() == 0 {
+		select {
+		case <-deadline:
+			t.Fatal("watchdog ignored a stall because a finished rank was idle")
+		default:
+			time.Sleep(time.Millisecond)
+		}
+	}
+	m.Stop()
+}
+
+func TestAllExitedNeverTrips(t *testing.T) {
+	m := New(2, time.Millisecond, func() { t.Error("watchdog tripped on an exited world") })
+	m.RankExited(0)
+	m.RankExited(1)
+	m.Start()
+	time.Sleep(30 * time.Millisecond)
+	m.Stop()
+}

@@ -42,7 +42,13 @@ func WriteChrome(w io.Writer, hz float64, perRank [][]Event) error {
 	for _, events := range perRank {
 		n += len(events)
 	}
-	evs := make([]chromeEvent, 0, n+len(perRank))
+	evs := make([]chromeEvent, 0, n+len(perRank)+1)
+	// Name the process once: every rank is a thread of the one simulated
+	// job (viewers otherwise show a bare pid 0).
+	evs = append(evs, chromeEvent{
+		Name: "process_name", Ph: "M",
+		Args: map[string]any{"name": "gompi"},
+	})
 	for rank, events := range perRank {
 		evs = append(evs, chromeEvent{
 			Name: "thread_name", Ph: "M", Tid: rank,

@@ -38,27 +38,41 @@ func TestWriteChrome(t *testing.T) {
 	if doc.DisplayTimeUnit != "ms" {
 		t.Errorf("displayTimeUnit = %q", doc.DisplayTimeUnit)
 	}
-	// 3 complete events + 2 thread-name metadata events.
-	var x, m int
+	// 3 complete events + 1 process-name + 2 thread-name metadata
+	// events.
+	var x, m, procNames int
 	for _, e := range doc.TraceEvents {
 		switch e.Ph {
 		case "X":
 			x++
 		case "M":
 			m++
-			if !strings.HasPrefix(e.Args["name"].(string), "rank ") {
-				t.Errorf("metadata name = %v", e.Args["name"])
+			switch e.Name {
+			case "process_name":
+				procNames++
+				if e.Args["name"].(string) != "gompi" {
+					t.Errorf("process name = %v", e.Args["name"])
+				}
+			case "thread_name":
+				if !strings.HasPrefix(e.Args["name"].(string), "rank ") {
+					t.Errorf("metadata name = %v", e.Args["name"])
+				}
+			default:
+				t.Errorf("unexpected metadata event %q", e.Name)
 			}
 		default:
 			t.Errorf("unexpected phase %q", e.Ph)
 		}
 	}
-	if x != 3 || m != 2 {
-		t.Fatalf("events: %d complete, %d metadata; want 3, 2", x, m)
+	if x != 3 || m != 3 {
+		t.Fatalf("events: %d complete, %d metadata; want 3, 3", x, m)
+	}
+	if procNames != 1 {
+		t.Fatalf("process_name events = %d, want 1", procNames)
 	}
 	// At 1 MHz, one cycle is one microsecond: the send at cycle 100
 	// lasting 200 cycles must appear as ts=100us dur=200us on tid 0.
-	first := doc.TraceEvents[1] // [0] is rank 0's thread_name
+	first := doc.TraceEvents[2] // [0] is process_name, [1] rank 0's thread_name
 	if first.Name != "send" || first.Ts != 100 || first.Dur != 200 || first.Tid != 0 {
 		t.Fatalf("send event = %+v", first)
 	}

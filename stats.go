@@ -36,6 +36,9 @@ type Stats struct {
 	Hz float64 `json:"hz"`
 	// Ranks holds one entry per rank, indexed by world rank.
 	Ranks []RankStats `json:"ranks"`
+	// WatchdogTrips counts stall-watchdog firings during the run (0 or
+	// 1; only meaningful when Config.Watchdog was set).
+	WatchdogTrips int64 `json:"watchdog_trips,omitempty"`
 
 	// traces holds each rank's event log (empty unless Config.Trace
 	// was set); exported only through WriteChromeTrace.

@@ -1,0 +1,248 @@
+package gompi
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"regexp"
+	"strconv"
+	"testing"
+	"time"
+)
+
+// TestWatchdogTripsOnDeadlock drives the canonical deadlock — two ranks
+// each blocked in a Recv the other will never satisfy — and checks that
+// the stall watchdog trips, Run surfaces ErrStalled, and the diagnosis
+// names the unmatched posted receives on both ranks with the
+// who-waits-on-whom edges.
+func TestWatchdogTripsOnDeadlock(t *testing.T) {
+	for _, dev := range []DeviceKind{DeviceCH4, DeviceOriginal} {
+		t.Run(string(dev), func(t *testing.T) {
+			var diag bytes.Buffer
+			var st Stats
+			cfg := Config{
+				Device: dev, Fabric: "ofi",
+				Watchdog:         true,
+				WatchdogInterval: 5 * time.Millisecond,
+				DiagWriter:       &diag,
+				Stats:            &st,
+			}
+			err := Run(2, cfg, func(p *Proc) error {
+				w := p.World()
+				buf := make([]byte, 8)
+				// Both ranks receive from the other; nobody ever sends.
+				_, err := w.Recv(buf, 8, Byte, 1-p.Rank(), 0)
+				return err
+			})
+			if !errors.Is(err, ErrStalled) {
+				t.Fatalf("err = %v, want ErrStalled", err)
+			}
+			if st.WatchdogTrips != 1 {
+				t.Errorf("WatchdogTrips = %d, want 1", st.WatchdogTrips)
+			}
+			out := diag.String()
+			if !bytes.Contains(diag.Bytes(), []byte("stall watchdog tripped")) {
+				t.Errorf("diagnosis missing trip header:\n%s", out)
+			}
+			// Both ranks' unmatched posted receives must be named, with
+			// the concrete source each is waiting on.
+			for rank := 0; rank < 2; rank++ {
+				want := fmt.Sprintf("src=%d tag=0", 1-rank)
+				if !bytes.Contains(diag.Bytes(), []byte(want)) {
+					t.Errorf("diagnosis missing posted receive %q on rank %d:\n%s", want, rank, out)
+				}
+			}
+			if !bytes.Contains(diag.Bytes(), []byte("posted recv")) {
+				t.Errorf("diagnosis missing posted-recv lines:\n%s", out)
+			}
+			if dev == DeviceCH4 {
+				// The fabric wait-graph renders explicit edges.
+				for _, want := range []string{"rank 0 waits on rank 1", "rank 1 waits on rank 0"} {
+					if !bytes.Contains(diag.Bytes(), []byte(want)) {
+						t.Errorf("diagnosis missing edge %q:\n%s", want, out)
+					}
+				}
+			}
+			if !bytes.Contains(diag.Bytes(), []byte("flight recorder")) {
+				t.Errorf("diagnosis missing flight-recorder dump:\n%s", out)
+			}
+		})
+	}
+}
+
+// promCount extracts the value of a metric_count{rank="all"} line.
+func promCount(t *testing.T, prom, metric string) int64 {
+	t.Helper()
+	re := regexp.MustCompile(regexp.QuoteMeta(metric) + `_count\{rank="all"\} (\d+)`)
+	m := re.FindStringSubmatch(prom)
+	if m == nil {
+		t.Fatalf("metric %s_count{rank=\"all\"} not found in prom output", metric)
+	}
+	n, err := strconv.ParseInt(m[1], 10, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+// TestWatchdogHealthyRunAndProm runs a healthy 4-rank exchange with the
+// watchdog armed: zero trips, no diagnosis output, and the Prometheus
+// export reports post→match and unexpected-residency percentiles with
+// real observation counts.
+func TestWatchdogHealthyRunAndProm(t *testing.T) {
+	var diag bytes.Buffer
+	var st Stats
+	cfg := Config{
+		Device: "ch4", Fabric: "ofi", RanksPerNode: 2,
+		Watchdog:   true,
+		DiagWriter: &diag,
+		Stats:      &st,
+	}
+	const msgs = 8
+	err := Run(4, cfg, func(p *Proc) error {
+		w := p.World()
+		next := (p.Rank() + 1) % p.Size()
+		prev := (p.Rank() + p.Size() - 1) % p.Size()
+		// Send first so some messages land unexpected, then receive;
+		// a second round posts receives before the barrier-released
+		// sends so post→match also sees non-trivial spans.
+		for i := 0; i < msgs; i++ {
+			if err := w.Send([]byte{byte(i)}, 1, Byte, next, i); err != nil {
+				return err
+			}
+		}
+		buf := make([]byte, 1)
+		for i := 0; i < msgs; i++ {
+			if _, err := w.Recv(buf, 1, Byte, prev, i); err != nil {
+				return err
+			}
+		}
+		return w.Barrier()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.WatchdogTrips != 0 {
+		t.Fatalf("WatchdogTrips = %d, want 0", st.WatchdogTrips)
+	}
+	if diag.Len() != 0 {
+		t.Errorf("healthy run wrote a diagnosis:\n%s", diag.String())
+	}
+
+	var prom bytes.Buffer
+	if err := st.WriteProm(&prom); err != nil {
+		t.Fatal(err)
+	}
+	out := prom.String()
+	for _, metric := range []string{"gompi_post_match_cycles", "gompi_unexpected_residency_cycles"} {
+		if n := promCount(t, out, metric); n == 0 {
+			t.Errorf("%s_count = 0, want > 0", metric)
+		}
+		if !bytes.Contains(prom.Bytes(), []byte(metric+`{rank="all",quantile="0.99"}`)) {
+			t.Errorf("prom output missing %s p99 quantile", metric)
+		}
+	}
+	// Per-rank series and the path counters must be present too.
+	for _, want := range []string{
+		`gompi_post_match_cycles{rank="0",quantile="0.5"}`,
+		`gompi_path_msgs_total{rank="all",path="eager"}`,
+		`gompi_virtual_cycles{rank="3"}`,
+		"gompi_watchdog_trips_total 0",
+	} {
+		if !bytes.Contains(prom.Bytes(), []byte(want)) {
+			t.Errorf("prom output missing %q", want)
+		}
+	}
+}
+
+// TestChaosWatchdogNoFalseTrips is the CI guard against watchdog false
+// positives: a healthy chaos round (random traffic, both devices, shm
+// and netmod) with the watchdog armed at its default interval must
+// finish clean with zero trips. Run under -race via the ordinary test
+// suite.
+func TestChaosWatchdogNoFalseTrips(t *testing.T) {
+	configs := []Config{
+		{Device: "ch4", Fabric: "ofi", RanksPerNode: 2, Watchdog: true},
+		{Device: "original", Fabric: "ofi", Watchdog: true},
+	}
+	for ci, cfg := range configs {
+		cfg := cfg
+		t.Run(cfgName(cfg), func(t *testing.T) {
+			var st Stats
+			var diag bytes.Buffer
+			cfg.Stats = &st
+			cfg.DiagWriter = &diag
+			chaosRound(t, cfg, int64(4000+ci))
+			if st.WatchdogTrips != 0 {
+				t.Fatalf("WatchdogTrips = %d, want 0\n%s", st.WatchdogTrips, diag.String())
+			}
+			if diag.Len() != 0 {
+				t.Errorf("healthy chaos round wrote a diagnosis:\n%s", diag.String())
+			}
+		})
+	}
+}
+
+// TestDumpStateInBody checks the in-body diagnosis entry point: a rank
+// can dump the world state at any time, and the dump carries the header,
+// every rank's clock line, and the device wait graph.
+func TestDumpStateInBody(t *testing.T) {
+	var dump bytes.Buffer
+	run(t, 2, Config{Device: "ch4", Fabric: "inf"}, func(p *Proc) error {
+		w := p.World()
+		if p.Rank() == 0 {
+			if err := w.Send([]byte{1}, 1, Byte, 1, 0); err != nil {
+				return err
+			}
+			p.DumpState(&dump)
+		} else {
+			if _, err := w.Recv(make([]byte, 1), 1, Byte, 0, 0); err != nil {
+				return err
+			}
+		}
+		return w.Barrier()
+	})
+	out := dump.String()
+	for _, want := range []string{"gompi state dump", "rank 0: vcycles=", "rank 1: vcycles=", "wait-graph"} {
+		if !bytes.Contains(dump.Bytes(), []byte(want)) {
+			t.Errorf("DumpState output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestStatsTraceEventsEdges pins Stats.TraceEvents behavior at the
+// edges: out-of-range ranks return nil, and a run without tracing
+// returns no events for any rank.
+func TestStatsTraceEventsEdges(t *testing.T) {
+	body := func(p *Proc) error {
+		w := p.World()
+		if p.Rank() == 0 {
+			return w.Send([]byte{1}, 1, Byte, 1, 0)
+		}
+		_, err := w.Recv(make([]byte, 1), 1, Byte, 0, 0)
+		return err
+	}
+
+	st, err := RunStats(2, Config{Fabric: "inf", Trace: true}, body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.TraceEvents(0)) == 0 {
+		t.Error("traced run has no events for rank 0")
+	}
+	for _, rank := range []int{-1, 2, 1000} {
+		if ev := st.TraceEvents(rank); ev != nil {
+			t.Errorf("TraceEvents(%d) = %d events, want nil", rank, len(ev))
+		}
+	}
+
+	st, err = RunStats(2, Config{Fabric: "inf"}, body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for rank := 0; rank < 2; rank++ {
+		if ev := st.TraceEvents(rank); len(ev) != 0 {
+			t.Errorf("untraced run: TraceEvents(%d) = %d events, want 0", rank, len(ev))
+		}
+	}
+}
