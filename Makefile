@@ -29,10 +29,10 @@ bench-smoke:
 # Machine-readable benchmark summary: one iteration of every benchmark
 # (ns/op, allocs/op), the reference-exchange metric aggregates with
 # their latency histogram summaries (post-match, unexpected residency,
-# ...), and the multi-VCI scaling sweep, written to BENCH_PR4.json for
-# cross-PR comparison.
+# ...), the multi-VCI scaling sweep, and the nonblocking-collectives
+# sweep, written to BENCH_PR5.json for cross-PR comparison.
 bench-json:
-	$(GO) run ./cmd/benchjson -o BENCH_PR4.json
+	$(GO) run ./cmd/benchjson -o BENCH_PR5.json
 
 # Short differential-fuzz run: binned vs linear matching must agree.
 fuzz-smoke:

@@ -4,12 +4,12 @@
 // as JSON — plus the multi-VCI scaling sweep and the latency
 // decomposition (post→match, unexpected residency, rendezvous RTT,
 // request lifetime, wait park percentiles) of the reference exchange.
-// The Makefile's bench-json target uses it to produce BENCH_PR4.json.
+// The Makefile's bench-json target uses it to produce BENCH_PR5.json.
 // Timestamps are deliberately omitted so reruns diff cleanly.
 //
 // Usage:
 //
-//	benchjson [-o BENCH_PR4.json] [-benchtime 1x]
+//	benchjson [-o BENCH_PR5.json] [-benchtime 1x]
 package main
 
 import (
@@ -47,6 +47,10 @@ type Output struct {
 	// the full snapshots.
 	Latency    map[string]metrics.LatSnapshot `json:"latency"`
 	VCIScaling []bench.VCIPoint               `json:"vci_scaling"`
+	// Collectives is the nonblocking-collectives sweep: every
+	// algorithm family forced in turn on the 4-rank hierarchical
+	// layout, with latency and the net/shm traffic split.
+	Collectives []bench.CollPoint `json:"collectives"`
 }
 
 // benchLine matches e.g.
@@ -54,7 +58,7 @@ type Output struct {
 var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+(\d+)\s+([\d.]+) ns/op(?:\s+(\d+) B/op)?(?:\s+(\d+) allocs/op)?`)
 
 func main() {
-	out := flag.String("o", "BENCH_PR4.json", "output path")
+	out := flag.String("o", "BENCH_PR5.json", "output path")
 	benchtime := flag.String("benchtime", "1x", "go test -benchtime value")
 	flag.Parse()
 
@@ -99,11 +103,14 @@ func main() {
 	vci, err := bench.VCIScaling([]int{1, 2, 4, 8}, 4, 2000)
 	fail(err)
 
+	colls, err := bench.CollSweep(nil)
+	fail(err)
+
 	f, err := os.Create(*out)
 	fail(err)
 	enc := json.NewEncoder(f)
 	enc.SetIndent("", "  ")
-	fail(enc.Encode(Output{Benchmarks: results, Exchange: exchange, Latency: latency, VCIScaling: vci}))
+	fail(enc.Encode(Output{Benchmarks: results, Exchange: exchange, Latency: latency, VCIScaling: vci, Collectives: colls}))
 	fail(f.Close())
 	fmt.Fprintf(os.Stderr, "benchjson: %d benchmarks -> %s\n", len(results), *out)
 }

@@ -9,6 +9,7 @@
 //	osu                              # ch4 on ofi
 //	osu -device original -net ucx
 //	osu -max 1048576 -iters 200
+//	osu -coll                        # nonblocking-collectives sweep
 package main
 
 import (
@@ -27,7 +28,18 @@ func main() {
 	max := flag.Int("max", 1<<16, "largest message size in bytes")
 	iters := flag.Int("iters", 100, "iterations per size")
 	window := flag.Int("window", 32, "messages in flight for the bandwidth test")
+	coll := flag.Bool("coll", false, "run the nonblocking-collectives sweep instead of pt2pt")
 	flag.Parse()
+
+	if *coll {
+		pts, err := bench.CollSweep(nil)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "osu:", err)
+			os.Exit(1)
+		}
+		bench.WriteColl(os.Stdout, pts)
+		return
+	}
 
 	cfg := gompi.Config{Device: gompi.DeviceKind(*device), Fabric: gompi.FabricKind(*net), Build: gompi.BuildKind(*build)}
 	pts, err := bench.OSUSweep(cfg, *max, *iters, *window)

@@ -4,6 +4,7 @@ import (
 	"gompi/internal/coll"
 	"gompi/internal/comm"
 	"gompi/internal/core"
+	"gompi/internal/metrics"
 )
 
 // Op is a predefined reduction operator.
@@ -38,14 +39,54 @@ func (cp collPort) Rank() int { return cp.cv.MyRank }
 // Size implements coll.PT2PT.
 func (cp collPort) Size() int { return cp.cv.Size() }
 
-// Send implements coll.PT2PT with a requestless eager send.
+// Send implements coll.PT2PT with a requestless eager send. Payloads
+// above the fabric's eager threshold are segmented into eager-sized
+// fragments (same tag, matched in FIFO order by the symmetric Recv
+// below), so collective sends honor the never-blocks contract instead
+// of entering the rendezvous protocol.
 func (cp collPort) Send(data []byte, dest, tag int) error {
-	_, err := cp.p.dev.Isend(data, len(data), Byte, dest, tag, cp.cv, core.FlagNoReq|core.FlagNoProcNull)
-	return err
+	lim := cp.p.eagerLimit
+	if lim <= 0 || len(data) <= lim {
+		_, err := cp.p.dev.Isend(data, len(data), Byte, dest, tag, cp.cv, core.FlagNoReq|core.FlagNoProcNull)
+		return err
+	}
+	for off := 0; off < len(data); off += lim {
+		end := off + lim
+		if end > len(data) {
+			end = len(data)
+		}
+		if _, err := cp.p.dev.Isend(data[off:end], end-off, Byte, dest, tag, cp.cv, core.FlagNoReq|core.FlagNoProcNull); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
-// Recv implements coll.PT2PT with a blocking matched receive.
+// Recv implements coll.PT2PT with a blocking matched receive,
+// reassembling the fragments Send produced (every collective algorithm
+// receives into exact-size buffers, so both sides derive identical
+// fragment boundaries from the payload length).
 func (cp collPort) Recv(buf []byte, src, tag int) (int, error) {
+	lim := cp.p.eagerLimit
+	if lim <= 0 || len(buf) <= lim {
+		return cp.recvOne(buf, src, tag)
+	}
+	total := 0
+	for off := 0; off < len(buf); off += lim {
+		end := off + lim
+		if end > len(buf) {
+			end = len(buf)
+		}
+		n, err := cp.recvOne(buf[off:end], src, tag)
+		total += n
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}
+
+func (cp collPort) recvOne(buf []byte, src, tag int) (int, error) {
 	r, err := cp.p.dev.Irecv(buf, len(buf), Byte, src, tag, cp.cv, core.FlagNoProcNull)
 	if err != nil {
 		return 0, err
@@ -95,6 +136,7 @@ func (c *Comm) Barrier() error {
 		return err
 	}
 	defer unlock()
+	c.p.noteColl(metrics.CollBarrierDissem, 0)
 	return coll.Barrier(c.port())
 }
 
@@ -109,6 +151,7 @@ func (c *Comm) Bcast(buf []byte, count int, dt *Datatype, root int) error {
 	}
 	defer unlock()
 	n := count * dt.Size()
+	c.p.noteColl(metrics.CollBcastBinomial, n)
 	return coll.Bcast(c.port(), buf[:n], root)
 }
 
@@ -125,6 +168,11 @@ func (c *Comm) Reduce(send, recv []byte, count int, elem *Datatype, op Op, root 
 	if c.Rank() == root {
 		out = recv[:n]
 	}
+	if coll.Commutative(op) {
+		c.p.noteColl(metrics.CollReduceBinomial, n)
+	} else {
+		c.p.noteColl(metrics.CollReduceChain, n)
+	}
 	return coll.Reduce(c.port(), op, elem, send[:n], out, root)
 }
 
@@ -137,6 +185,11 @@ func (c *Comm) Allreduce(send, recv []byte, count int, elem *Datatype, op Op) er
 	}
 	defer unlock()
 	n := count * elem.Size()
+	if size := c.Size(); coll.Commutative(op) && size&(size-1) == 0 {
+		c.p.noteColl(metrics.CollAllreduceRecDoubling, n)
+	} else {
+		c.p.noteColl(metrics.CollAllreduceReduceBcast, n)
+	}
 	return coll.Allreduce(c.port(), op, elem, send[:n], recv[:n])
 }
 
@@ -157,6 +210,7 @@ func (c *Comm) Gather(send, recv []byte, count int, dt *Datatype, root int) erro
 	if c.Rank() == root && len(out) < n*c.Size() {
 		return errc(ErrBuffer, "gather recv buffer %d < %d", len(out), n*c.Size())
 	}
+	c.p.noteColl(metrics.CollGatherLinear, n)
 	return coll.Gather(c.port(), send[:n], out, root)
 }
 
@@ -175,6 +229,7 @@ func (c *Comm) Scatter(send, recv []byte, count int, dt *Datatype, root int) err
 			return errc(ErrBuffer, "scatter send buffer %d < %d", len(in), n*c.Size())
 		}
 	}
+	c.p.noteColl(metrics.CollScatterLinear, n)
 	return coll.Scatter(c.port(), in, recv[:n], root)
 }
 
@@ -190,6 +245,7 @@ func (c *Comm) Allgather(send, recv []byte, count int, dt *Datatype) error {
 	if len(recv) < n*c.Size() {
 		return errc(ErrBuffer, "allgather recv buffer %d < %d", len(recv), n*c.Size())
 	}
+	c.p.noteColl(metrics.CollAllgatherRing, n)
 	return coll.Allgather(c.port(), send[:n], recv)
 }
 
@@ -204,6 +260,7 @@ func (c *Comm) Alltoall(send, recv []byte, count int, dt *Datatype) error {
 	if len(send) < n*c.Size() || len(recv) < n*c.Size() {
 		return errc(ErrBuffer, "alltoall buffers short")
 	}
+	c.p.noteColl(metrics.CollAlltoallPairwise, n*c.Size())
 	return coll.Alltoall(c.port(), send[:n*c.Size()], recv[:n*c.Size()])
 }
 
@@ -219,16 +276,24 @@ func (c *Comm) ReduceScatterBlock(send, recv []byte, count int, elem *Datatype, 
 	if len(send) < n*c.Size() || len(recv) < n {
 		return errc(ErrBuffer, "reduce_scatter buffers short")
 	}
+	c.p.noteColl(metrics.CollRedScatBlock, n*c.Size())
 	return coll.ReduceScatterBlock(c.port(), op, elem, send[:n*c.Size()], recv[:n])
 }
 
-// OpCreate registers a user-defined commutative reduction operator
-// (MPI_OP_CREATE) usable in every reduction collective and in
-// ReduceLocal. fn folds `in` into `inout` elementwise for count
-// elements of elem; it must be commutative and associative.
-func OpCreate(fn func(in, inout []byte, count int, elem *Datatype) error) Op {
-	return coll.CreateOp(coll.UserFunc(fn))
+// OpCreate registers a user-defined reduction operator (MPI_OP_CREATE)
+// usable in every reduction collective and in ReduceLocal. fn folds
+// `in` into `inout` elementwise for count elements of elem; it must be
+// associative. commute declares whether it is also commutative: a
+// non-commutative operator makes every reduction collective fold
+// contributions in strict rank order (the chain algorithms), exactly
+// as MPI requires.
+func OpCreate(fn func(in, inout []byte, count int, elem *Datatype) error, commute bool) Op {
+	return coll.CreateOp(coll.UserFunc(fn), commute)
 }
+
+// OpCommutative reports whether op was declared commutative
+// (MPI_OP_COMMUTATIVE). Predefined operators always are.
+func OpCommutative(op Op) bool { return coll.Commutative(op) }
 
 // ReduceLocal folds inbuf into inoutbuf with op (MPI_REDUCE_LOCAL): a
 // purely local building block for user-level reduction trees.

@@ -40,6 +40,7 @@ import (
 	"gompi/internal/core"
 	"gompi/internal/fabric"
 	"gompi/internal/instr"
+	"gompi/internal/nbc"
 	"gompi/internal/original"
 	"gompi/internal/proc"
 	"gompi/internal/stall"
@@ -131,6 +132,13 @@ type Config struct {
 	// and a negative value disables rendezvous entirely (everything
 	// eager). Exposed for the eager-threshold ablation.
 	EagerLimit int
+	// CollAlgorithm pins collective algorithm selection for the whole
+	// job: an nbc algorithm family name ("two-level", "flat",
+	// "binomial", "rdouble", "rsag", "ring", "bruck", "pairwise",
+	// "posted", ...). Empty or "auto" keeps size/topology-based
+	// selection. Per-communicator override: the gompi_coll_algorithm
+	// info key (CollAlgorithmKey).
+	CollAlgorithm string
 	// Watchdog enables the stall watchdog: a wall-clock scanner that
 	// detects a deadlocked world (every rank parked in a blocking wait
 	// with no transport activity), dumps a wait-graph diagnosis to
@@ -193,6 +201,9 @@ func (cfg Config) resolve() (prof fabric.Profile, bc core.Config, dev string, rp
 	case cfg.EagerLimit < 0:
 		prof.EagerLimit = 0 // unlimited eager
 	}
+	if _, err := nbc.ParseForce(cfg.CollAlgorithm); err != nil {
+		return prof, bc, "", 0, fmt.Errorf("gompi: %v", err)
+	}
 	return prof, bc, dev, rpn, nil
 }
 
@@ -230,6 +241,14 @@ type Proc struct {
 	// Section 3.3 proposal: indexing it is a constant-offset load, not
 	// a dereference into a dynamically allocated object.
 	predef [MaxPredefinedComms]*Comm
+
+	// eagerLimit is the resolved fabric eager/rendezvous threshold in
+	// bytes (0 = unlimited eager); the collective layers segment
+	// payloads by it so collective traffic never enters rendezvous.
+	eagerLimit int
+	// collAlgo is Config.CollAlgorithm, the job-wide collective
+	// algorithm pin (validated at resolve time).
+	collAlgo string
 
 	tlog     trace.Log
 	profiler Profiler
@@ -359,6 +378,7 @@ func Run(n int, cfg Config, body func(p *Proc) error) error {
 		}()
 		defer mon.RankExited(r.ID())
 		p := &Proc{rank: r, dev: open(r), bc: bc, reg: reg,
+			eagerLimit: prof.EagerLimit, collAlgo: cfg.CollAlgorithm,
 			profiler: cfg.Profiler, teardown: teardown, dump: dumpWorld}
 		if cfg.Trace {
 			capEvents := cfg.TraceEvents
@@ -509,6 +529,12 @@ func (p *Proc) ChargeCompute(cycles int64) {
 	p.rank.ChargeCycles(instr.Compute, cycles)
 }
 
+// noteColl attributes one collective call to its algorithm slot in the
+// rank's metrics registry.
+func (p *Proc) noteColl(algo, bytes int) {
+	p.rank.Metrics().NoteColl(algo, int64(bytes))
+}
+
 // chargeCall records the public MPI symbol's call-frame cost.
 func (p *Proc) chargeCall() {
 	if !p.bc.Inline {
@@ -556,6 +582,7 @@ const (
 	TraceAcc   = trace.KindAcc
 	TraceSync  = trace.KindSync
 	TraceProbe = trace.KindProbe
+	TraceSched = trace.KindSched
 )
 
 // TraceEvents returns this rank's recorded events in chronological

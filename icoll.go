@@ -1,0 +1,309 @@
+package gompi
+
+import (
+	"gompi/internal/coll"
+	"gompi/internal/comm"
+	"gompi/internal/core"
+	"gompi/internal/nbc"
+	"gompi/internal/request"
+	"gompi/internal/trace"
+	"gompi/internal/vtime"
+)
+
+// CollAlgorithmKey is the communicator info key that pins collective
+// algorithm selection (MPI_COMM_SET_INFO): values are the algorithm
+// family names of Config.CollAlgorithm ("auto", "flat", "two-level",
+// "binomial", "scatter-allgather", "rdouble", "rsag", "reduce-bcast",
+// "chain", "ring", "bruck", "pairwise", "posted"). The info key takes
+// precedence over Config.CollAlgorithm.
+const CollAlgorithmKey = comm.HintCollAlgorithm
+
+// Nonblocking-collective tags live above the blocking collectives'
+// fixed tags (1..9) on the collective context: each I-collective call
+// draws a fresh tag from a per-communicator sequence, so several
+// schedules can be outstanding on one communicator without their
+// traffic cross-matching (same-tag traffic of one schedule matches in
+// FIFO order, which is exactly what fragment reassembly needs).
+const (
+	nbcTagBase = 32
+	nbcTagSpan = 1 << 20
+)
+
+// nbcPending adapts a device receive request to the schedule engine.
+type nbcPending struct {
+	r *request.Request
+}
+
+func (pd nbcPending) settle() error {
+	trunc := pd.r.Status.Truncated
+	pd.r.Free()
+	if trunc {
+		return errc(ErrTruncate, "nonblocking collective fragment truncated")
+	}
+	return nil
+}
+
+// Done implements nbc.Pending: a poll that pumps device progress.
+func (pd nbcPending) Done() (bool, error) {
+	if !pd.r.Done() {
+		return false, nil
+	}
+	return true, pd.settle()
+}
+
+// Wait implements nbc.Pending: park until the fragment lands.
+func (pd nbcPending) Wait() error {
+	pd.r.Wait()
+	return pd.settle()
+}
+
+// nbcPort adapts the device to the schedule engine: eager requestless
+// sends and nonblocking matched receives on the communicator's
+// collective context, plus the topology and protocol facts selection
+// and segmentation need.
+type nbcPort struct {
+	p  *Proc
+	cv *comm.Comm
+}
+
+// Rank implements nbc.Transport.
+func (np nbcPort) Rank() int { return np.cv.MyRank }
+
+// Size implements nbc.Transport.
+func (np nbcPort) Size() int { return np.cv.Size() }
+
+// Send implements nbc.Transport with a requestless eager send: the
+// payload is captured at injection and the call never blocks, which is
+// what makes schedule rounds deadlock-free.
+func (np nbcPort) Send(data []byte, dest, tag int) error {
+	_, err := np.p.dev.Isend(data, len(data), Byte, dest, tag, np.cv, core.FlagNoReq|core.FlagNoProcNull)
+	return err
+}
+
+// Recv implements nbc.Transport with a nonblocking matched receive.
+func (np nbcPort) Recv(buf []byte, src, tag int) (nbc.Pending, error) {
+	r, err := np.p.dev.Irecv(buf, len(buf), Byte, src, tag, np.cv, core.FlagNoProcNull)
+	if err != nil {
+		return nil, err
+	}
+	return nbcPending{r: r}, nil
+}
+
+// Node implements nbc.Transport: communicator rank to node id, through
+// the world mapping.
+func (np nbcPort) Node(rank int) int {
+	w, err := np.cv.WorldRank(rank)
+	if err != nil {
+		return 0
+	}
+	return np.p.rank.World().Node(w)
+}
+
+// EagerLimit implements nbc.Transport: the resolved fabric threshold,
+// so schedules segment rather than rendezvous.
+func (np nbcPort) EagerLimit() int { return np.p.eagerLimit }
+
+// nbcPort builds the transport adapter for one collective call.
+func (c *Comm) nbcPort() nbcPort { return nbcPort{p: c.p, cv: c.c.CollView()} }
+
+// nbcTag draws the next schedule tag from the communicator's sequence.
+func (c *Comm) nbcTag() int { return nbcTagBase + c.c.NextNBCSeq()%nbcTagSpan }
+
+// collForce resolves the pinned algorithm family for this
+// communicator: the gompi_coll_algorithm info key wins over
+// Config.CollAlgorithm; empty means automatic selection.
+func (c *Comm) collForce() (nbc.Force, error) {
+	raw := c.c.CollAlgo
+	if raw == "" {
+		raw = c.p.collAlgo
+	}
+	f, err := nbc.ParseForce(raw)
+	if err != nil {
+		return nbc.ForceAuto, errc(ErrArg, "%v", err)
+	}
+	return f, nil
+}
+
+// istart wraps a compiled schedule into a public Request progressed
+// off the request engine: Test polls the schedule (issuing rounds and
+// running local reduction steps as receives land), Wait drives it to
+// completion parking on the transport. The first Done poll here kicks
+// round 0's sends into flight before the call returns, so peers make
+// progress even if this rank computes for a long time before waiting.
+func (c *Comm) istart(s *nbc.Schedule) *Request {
+	p := c.p
+	p.noteColl(s.Algo, s.Bytes)
+	if p.tlog.Enabled() {
+		var roundStart vtime.Time
+		bytes := s.Bytes
+		s.OnRound = func(idx int, start bool) {
+			if start {
+				roundStart = p.rank.Now()
+				return
+			}
+			p.tlog.Record(trace.Event{
+				Kind: trace.KindSched, Peer: idx, Bytes: bytes, VCI: -1,
+				Start: roundStart, End: p.rank.Now(),
+			})
+		}
+	}
+	r := &request.Request{Kind: request.KindColl}
+	var collErr error
+	r.Poll = func(rq *request.Request) bool {
+		done, err := s.Test()
+		if !done {
+			return false
+		}
+		if err != nil && collErr == nil {
+			collErr = err
+		}
+		rq.MarkComplete(request.Status{})
+		return true
+	}
+	r.Block = func(rq *request.Request) {
+		if err := s.Wait(); err != nil && collErr == nil {
+			collErr = err
+		}
+		rq.MarkComplete(request.Status{})
+	}
+	req := &Request{r: r, p: p, collErr: &collErr}
+	r.Done()
+	return req
+}
+
+// Ibarrier starts a nonblocking barrier (MPI_IBARRIER): the returned
+// request completes once every rank of the communicator has entered.
+func (c *Comm) Ibarrier() (*Request, error) {
+	done, err := c.collEnter()
+	if err != nil {
+		return nil, err
+	}
+	defer done()
+	return c.istart(nbc.Barrier(c.nbcPort(), c.nbcTag())), nil
+}
+
+// Ibcast starts a nonblocking broadcast (MPI_IBCAST). Algorithm
+// selection is size- and topology-based: two-level on hierarchical
+// layouts, binomial tree for short messages, scatter+ring-allgather
+// for long ones; pin it with CollAlgorithmKey or Config.CollAlgorithm.
+func (c *Comm) Ibcast(buf []byte, count int, dt *Datatype, root int) (*Request, error) {
+	done, err := c.collEnter()
+	if err != nil {
+		return nil, err
+	}
+	defer done()
+	f, err := c.collForce()
+	if err != nil {
+		return nil, err
+	}
+	n := count * dt.Size()
+	t := c.nbcPort()
+	s, err := nbc.Bcast(t, c.nbcTag(), buf[:n], root, nbc.SelectBcast(t, n, f))
+	if err != nil {
+		return nil, errc(ErrArg, "%v", err)
+	}
+	return c.istart(s), nil
+}
+
+// Ireduce starts a nonblocking reduction to root (MPI_IREDUCE). recv
+// is consumed only on the root. Non-commutative operators fold in
+// strict rank order (the chain algorithm).
+func (c *Comm) Ireduce(send, recv []byte, count int, elem *Datatype, op Op, root int) (*Request, error) {
+	done, err := c.collEnter()
+	if err != nil {
+		return nil, err
+	}
+	defer done()
+	f, err := c.collForce()
+	if err != nil {
+		return nil, err
+	}
+	n := count * elem.Size()
+	var out []byte
+	if c.Rank() == root {
+		out = recv[:n]
+	}
+	t := c.nbcPort()
+	s, err := nbc.Reduce(t, c.nbcTag(), op, elem, send[:n], out, root,
+		nbc.SelectReduce(t, n, coll.Commutative(op), f))
+	if err != nil {
+		return nil, errc(ErrArg, "%v", err)
+	}
+	return c.istart(s), nil
+}
+
+// Iallreduce starts a nonblocking allreduce (MPI_IALLREDUCE).
+// Selection: two-level on hierarchical layouts, recursive doubling for
+// short messages on power-of-two worlds, Rabenseifner reduce-scatter +
+// allgather for long ones, reduce+bcast otherwise; non-commutative
+// operators always take the rank-ordered chain composition.
+func (c *Comm) Iallreduce(send, recv []byte, count int, elem *Datatype, op Op) (*Request, error) {
+	done, err := c.collEnter()
+	if err != nil {
+		return nil, err
+	}
+	defer done()
+	f, err := c.collForce()
+	if err != nil {
+		return nil, err
+	}
+	n := count * elem.Size()
+	t := c.nbcPort()
+	s, err := nbc.Allreduce(t, c.nbcTag(), op, elem, send[:n], recv[:n],
+		nbc.SelectAllreduce(t, count, elem.Size(), coll.Commutative(op), f))
+	if err != nil {
+		return nil, errc(ErrArg, "%v", err)
+	}
+	return c.istart(s), nil
+}
+
+// Iallgather starts a nonblocking allgather (MPI_IALLGATHER): Bruck
+// for short blocks, ring for long ones.
+func (c *Comm) Iallgather(send, recv []byte, count int, dt *Datatype) (*Request, error) {
+	done, err := c.collEnter()
+	if err != nil {
+		return nil, err
+	}
+	defer done()
+	f, err := c.collForce()
+	if err != nil {
+		return nil, err
+	}
+	n := count * dt.Size()
+	if len(recv) < n*c.Size() {
+		return nil, errc(ErrBuffer, "iallgather recv buffer %d < %d", len(recv), n*c.Size())
+	}
+	t := c.nbcPort()
+	s, err := nbc.Allgather(t, c.nbcTag(), send[:n], recv[:n*c.Size()],
+		nbc.SelectAllgather(t, n, f))
+	if err != nil {
+		return nil, errc(ErrArg, "%v", err)
+	}
+	return c.istart(s), nil
+}
+
+// Ialltoall starts a nonblocking all-to-all exchange (MPI_IALLTOALL):
+// all sends and receives posted in one round for small blocks on small
+// worlds, pairwise exchange rounds otherwise.
+func (c *Comm) Ialltoall(send, recv []byte, count int, dt *Datatype) (*Request, error) {
+	done, err := c.collEnter()
+	if err != nil {
+		return nil, err
+	}
+	defer done()
+	f, err := c.collForce()
+	if err != nil {
+		return nil, err
+	}
+	n := count * dt.Size()
+	if len(send) < n*c.Size() || len(recv) < n*c.Size() {
+		return nil, errc(ErrBuffer, "ialltoall buffers short")
+	}
+	t := c.nbcPort()
+	s, err := nbc.Alltoall(t, c.nbcTag(), send[:n*c.Size()], recv[:n*c.Size()],
+		nbc.SelectAlltoall(t, n, f))
+	if err != nil {
+		return nil, errc(ErrArg, "%v", err)
+	}
+	return c.istart(s), nil
+}

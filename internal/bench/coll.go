@@ -1,0 +1,156 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"gompi"
+)
+
+// CollPoint is one measurement of the collectives sweep: one
+// nonblocking collective, pinned to one algorithm family, on the
+// reference 4-rank / 2-per-node hierarchical layout.
+type CollPoint struct {
+	Collective string `json:"collective"`
+	// Algo is the forced family (Config.CollAlgorithm); Resolved is
+	// the algorithm the selection actually compiled to, as attributed
+	// in the metrics registry (e.g. "allreduce/two-level").
+	Algo     string `json:"algo"`
+	Resolved string `json:"resolved"`
+	Bytes    int    `json:"bytes"` // per-rank payload
+	// LatencyUs is the slowest rank's virtual time through start+wait,
+	// in model microseconds.
+	LatencyUs float64 `json:"latency_us"`
+	// NetBytes and ShmBytes split the operation's traffic by path —
+	// the two-level win shows up as NetBytes shrinking while ShmBytes
+	// absorbs the difference.
+	NetBytes int64 `json:"net_bytes"`
+	ShmBytes int64 `json:"shm_bytes"`
+}
+
+// collRanks is the sweep geometry: 4 ranks, 2 per node — the smallest
+// layout where flat and two-level algorithms diverge.
+const collRanks = 4
+
+// collCombos pairs each collective with the algorithm families worth
+// comparing on the reference layout.
+var collCombos = []struct{ coll, algo string }{
+	{"barrier", "auto"},
+	{"bcast", "flat"},
+	{"bcast", "two-level"},
+	{"allreduce", "flat"},
+	{"allreduce", "rsag"},
+	{"allreduce", "reduce-bcast"},
+	{"allreduce", "two-level"},
+	{"allgather", "bruck"},
+	{"allgather", "ring"},
+	{"alltoall", "posted"},
+	{"alltoall", "pairwise"},
+}
+
+// CollSweep measures every (collective, algorithm) combination at each
+// payload size: one cold run per point, latency from the virtual
+// clock, traffic split from the metrics aggregate. Sizes must be
+// multiples of 32 so every allreduce variant (including Rabenseifner's
+// reduce-scatter) applies; nil selects the defaults.
+func CollSweep(sizes []int) ([]CollPoint, error) {
+	if len(sizes) == 0 {
+		sizes = []int{64, 4096}
+	}
+	var out []CollPoint
+	for _, c := range collCombos {
+		szs := sizes
+		if c.coll == "barrier" {
+			szs = []int{0} // barrier carries no payload
+		}
+		for _, n := range szs {
+			pt, err := collPoint(c.coll, c.algo, n)
+			if err != nil {
+				return nil, fmt.Errorf("%s/%s n=%d: %w", c.coll, c.algo, n, err)
+			}
+			out = append(out, pt)
+		}
+	}
+	return out, nil
+}
+
+// collPoint runs one nonblocking collective to completion and reads
+// the clocks and counters back out.
+func collPoint(collective, algo string, n int) (CollPoint, error) {
+	cfg := gompi.Config{
+		RanksPerNode: 2, CollAlgorithm: algo, Fabric: gompi.FabricOFI,
+	}
+	lat := make([]int64, collRanks)
+	var hz float64
+	st, err := gompi.RunStats(collRanks, cfg, func(p *gompi.Proc) error {
+		w := p.World()
+		if p.Rank() == 0 {
+			hz = p.ClockHz()
+		}
+		start := p.VirtualCycles()
+		var req *gompi.Request
+		var err error
+		switch collective {
+		case "barrier":
+			req, err = w.Ibarrier()
+		case "bcast":
+			// Root 1: a non-leader root, where the flat binomial tree's
+			// vrank rotation sends most hops cross-node and the
+			// two-level variant's advantage is visible.
+			req, err = w.Ibcast(make([]byte, n), n, gompi.Byte, 1)
+		case "allreduce":
+			req, err = w.Iallreduce(make([]byte, n), make([]byte, n),
+				n/8, gompi.Long, gompi.OpSum)
+		case "allgather":
+			req, err = w.Iallgather(make([]byte, n), make([]byte, n*collRanks),
+				n, gompi.Byte)
+		case "alltoall":
+			req, err = w.Ialltoall(make([]byte, n*collRanks), make([]byte, n*collRanks),
+				n, gompi.Byte)
+		default:
+			return fmt.Errorf("bench: unknown collective %q", collective)
+		}
+		if err != nil {
+			return err
+		}
+		if _, err := req.Wait(); err != nil {
+			return err
+		}
+		lat[p.Rank()] = p.VirtualCycles() - start
+		return nil
+	})
+	if err != nil {
+		return CollPoint{}, err
+	}
+	pt := CollPoint{Collective: collective, Algo: algo, Bytes: n}
+	var max int64
+	for _, l := range lat {
+		if l > max {
+			max = l
+		}
+	}
+	if hz > 0 {
+		pt.LatencyUs = float64(max) / hz * 1e6
+	}
+	agg := st.Aggregate()
+	pt.NetBytes = agg.NetSend.Bytes
+	pt.ShmBytes = agg.ShmRecv.Bytes
+	for _, cs := range agg.Coll {
+		if cs.Calls > 0 && strings.HasPrefix(cs.Algo, collective+"/") {
+			pt.Resolved = cs.Algo
+		}
+	}
+	return pt, nil
+}
+
+// WriteColl renders the sweep as a table.
+func WriteColl(w io.Writer, pts []CollPoint) {
+	fmt.Fprintf(w, "Nonblocking collectives: %d ranks, 2 per node, forced algorithm families\n", collRanks)
+	fmt.Fprintf(w, "%-10s %-14s %-24s %8s %12s %10s %10s\n",
+		"coll", "forced", "resolved", "bytes", "latency_us", "net_B", "shm_B")
+	for _, p := range pts {
+		fmt.Fprintf(w, "%-10s %-14s %-24s %8d %12.2f %10d %10d\n",
+			p.Collective, p.Algo, p.Resolved, p.Bytes, p.LatencyUs, p.NetBytes, p.ShmBytes)
+	}
+}

@@ -94,8 +94,13 @@ func Bcast(p PT2PT, buf []byte, root int) error {
 
 // Reduce folds each rank's contribution of count elements of elem into
 // recv on root (binomial tree). contribution and recv may alias on the
-// root. recv is ignored on non-roots.
+// root. recv is ignored on non-roots. Non-commutative operators route
+// to the rank-ordered chain: the binomial tree folds partials in tree
+// order, which is only correct when operand order does not matter.
 func Reduce(p PT2PT, op Op, elem *datatype.Type, contribution, recv []byte, root int) error {
+	if !Commutative(op) {
+		return ReduceChain(p, op, elem, contribution, recv, root)
+	}
 	rank, size := p.Rank(), p.Size()
 	acc := append([]byte(nil), contribution...) // running partial
 	vrank := (rank - root + size) % size
@@ -133,9 +138,17 @@ func Reduce(p PT2PT, op Op, elem *datatype.Type, contribution, recv []byte, root
 // Allreduce folds every rank's contribution and leaves the result in
 // recv on all ranks. Power-of-two worlds use recursive doubling; other
 // sizes fall back to reduce+bcast, as MPICH's machine-independent layer
-// does for small messages.
+// does for small messages. Non-commutative operators take the
+// rank-ordered reduce followed by a broadcast: recursive doubling
+// interleaves operand order.
 func Allreduce(p PT2PT, op Op, elem *datatype.Type, contribution, recv []byte) error {
 	size := p.Size()
+	if !Commutative(op) {
+		if err := ReduceChain(p, op, elem, contribution, recv, 0); err != nil {
+			return err
+		}
+		return Bcast(p, recv, 0)
+	}
 	if size&(size-1) == 0 {
 		return allreduceRecursiveDoubling(p, op, elem, contribution, recv)
 	}
@@ -169,6 +182,57 @@ func allreduceRecursiveDoubling(p PT2PT, op Op, elem *datatype.Type, contributio
 			}
 		}
 		if err := Apply(op, elem, recv, tmp); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReduceChain folds contributions in strict rank order: rank P-1 sends
+// its value down; each rank r computes v_r OP partial_{r+1} and passes
+// it on, so rank 0 ends with v_0 OP (v_1 OP (... OP v_{P-1})) — operand
+// order preserved, association right-to-left, which equals the standard
+// left-to-right fold for the associative operators MPI requires. The
+// result lands in recv on root (forwarded from rank 0 when root != 0).
+// This is the algorithm MPI prescribes for non-commutative operators.
+func ReduceChain(p PT2PT, op Op, elem *datatype.Type, contribution, recv []byte, root int) error {
+	rank, size := p.Rank(), p.Size()
+	if size == 1 {
+		copy(recv, contribution)
+		return nil
+	}
+	// Rank P-1 starts the chain with its raw contribution.
+	if rank == size-1 {
+		if err := p.Send(contribution, rank-1, tagReduce); err != nil {
+			return err
+		}
+	} else {
+		tmp := make([]byte, len(contribution))
+		if _, err := p.Recv(tmp, rank+1, tagReduce); err != nil {
+			return err
+		}
+		// Apply computes dst = src OP dst; with dst holding the partial
+		// from above and src the local value, operand order is v_rank OP
+		// partial — exactly the rank-ordered fold.
+		if err := Apply(op, elem, tmp, contribution); err != nil {
+			return err
+		}
+		switch {
+		case rank > 0:
+			if err := p.Send(tmp, rank-1, tagReduce); err != nil {
+				return err
+			}
+		case root == 0:
+			copy(recv, tmp)
+			return nil
+		default:
+			if err := p.Send(tmp, root, tagReduce); err != nil {
+				return err
+			}
+		}
+	}
+	if rank == root && root != 0 {
+		if _, err := p.Recv(recv, 0, tagReduce); err != nil {
 			return err
 		}
 	}

@@ -75,27 +75,50 @@ var ErrBadOp = errors.New("coll: invalid op/datatype combination")
 
 // UserFunc is a user-defined reduction: fold in into inout elementwise
 // for count elements of elem (MPI_User_function). It must be
-// commutative and associative, as the algorithms assume.
+// associative; commutativity is declared at CreateOp time, and the
+// reduction algorithms honor the declaration (MPI_Op_create's commute
+// argument).
 type UserFunc func(in, inout []byte, count int, elem *datatype.Type) error
 
 // userOps is the process-global registry of created operators. In this
 // in-process world every rank shares the table; registration happens
 // before communication, so a mutex suffices.
 var userOps struct {
-	mu  sync.Mutex
-	fns []UserFunc
+	mu      sync.Mutex
+	fns     []UserFunc
+	commute []bool
 }
 
-// CreateOp registers a user-defined commutative reduction operator
-// (MPI_OP_CREATE) and returns its handle.
-func CreateOp(fn UserFunc) Op {
+// CreateOp registers a user-defined reduction operator (MPI_OP_CREATE)
+// and returns its handle. commute declares the operator commutative;
+// non-commutative operators are folded in strict rank order by the
+// reduction collectives, exactly as the MPI standard prescribes.
+func CreateOp(fn UserFunc, commute bool) Op {
 	if fn == nil {
 		panic("coll: nil user op")
 	}
 	userOps.mu.Lock()
 	defer userOps.mu.Unlock()
 	userOps.fns = append(userOps.fns, fn)
+	userOps.commute = append(userOps.commute, commute)
 	return opUserBase + Op(len(userOps.fns)-1)
+}
+
+// Commutative reports whether op may be folded in arbitrary order.
+// Every predefined operator is commutative (modulo floating-point
+// rounding, which MPI accepts); user operators carry the declaration
+// made at CreateOp time.
+func Commutative(op Op) bool {
+	if op < opUserBase {
+		return true
+	}
+	userOps.mu.Lock()
+	defer userOps.mu.Unlock()
+	i := int(op - opUserBase)
+	if i >= len(userOps.commute) {
+		return true
+	}
+	return userOps.commute[i]
 }
 
 func userOp(op Op) (UserFunc, bool) {

@@ -153,7 +153,7 @@ func TestUserOpRegistry(t *testing.T) {
 			inout[i] ^= in[i]
 		}
 		return nil
-	})
+	}, true)
 	if xor.String() == "MPI_OP_UNKNOWN" || xor.String() == "" {
 		t.Fatalf("user op name %q", xor.String())
 	}
@@ -188,7 +188,7 @@ func TestUserOpInReduce(t *testing.T) {
 			copy(inout[8*i:], longs(x))
 		}
 		return nil
-	})
+	}, true)
 	runAll(t, 4, func(p PT2PT) error {
 		mine := longs(int64(12 * (p.Rank() + 1))) // 12,24,36,48 -> gcd 12
 		out := make([]byte, 8)

@@ -52,11 +52,28 @@ type Comm struct {
 	// immutable once communication begins.
 	Hints Hints
 
+	// CollAlgo caches the HintCollAlgorithm info key: a collective
+	// algorithm family name pinning selection for this communicator
+	// (empty means automatic). The MPI layer parses it at each
+	// collective entry.
+	CollAlgo string
+
 	reg      *Registry
 	seq      int // per-rank count of creation collectives on this comm
+	nbcSeq   int // nonblocking-collective tag sequence (owned by the rank)
 	info     map[string]string
 	freed    bool
 	collView *Comm
+}
+
+// NextNBCSeq returns the next nonblocking-collective sequence number.
+// Collectives are called in the same order on every rank of a
+// communicator, so per-rank counters agree globally and the derived
+// tags isolate concurrently outstanding schedules.
+func (c *Comm) NextNBCSeq() int {
+	s := c.nbcSeq
+	c.nbcSeq++
+	return s
 }
 
 // Hints are the communicator assertions of MPI-4's mpi_assert_* info
@@ -88,6 +105,11 @@ const (
 	HintNoAnyTag    = "mpi_assert_no_any_tag"
 	HintExactLength = "mpi_assert_exact_length"
 )
+
+// HintCollAlgorithm pins collective algorithm selection on the
+// communicator (a gompi extension key; values are the nbc package's
+// algorithm family names, e.g. "two-level", "flat", "rdouble").
+const HintCollAlgorithm = "gompi_coll_algorithm"
 
 // CollView returns a view of the communicator whose point-to-point
 // context is the collective context: the machine-independent
@@ -170,6 +192,8 @@ func (c *Comm) SetInfo(key, value string) {
 		c.Hints.NoAnyTag = value == "true"
 	case HintExactLength:
 		c.Hints.ExactLength = value == "true"
+	case HintCollAlgorithm:
+		c.CollAlgo = value
 	}
 }
 

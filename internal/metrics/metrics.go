@@ -45,6 +45,54 @@ func (p *PathStat) add(o PathStat) {
 // buffer pool keeps (fabric asserts its class table matches).
 const NumPoolClasses = 4
 
+// Collective-algorithm identifiers for the per-algorithm call/byte
+// counters. The MPI layer notes one entry per collective call with the
+// algorithm the selection logic chose, so the observability output
+// shows not just that an Allreduce ran but which schedule it compiled
+// to (and the bench harness can diff two-level against flat).
+const (
+	CollBarrierDissem = iota
+	CollBcastBinomial
+	CollBcastScatterAllgather
+	CollBcastTwoLevel
+	CollReduceBinomial
+	CollReduceChain
+	CollAllreduceRecDoubling
+	CollAllreduceRedScatGather
+	CollAllreduceTwoLevel
+	CollAllreduceReduceBcast
+	CollAllgatherRing
+	CollAllgatherBruck
+	CollAlltoallPairwise
+	CollAlltoallPosted
+	CollGatherLinear
+	CollScatterLinear
+	CollRedScatBlock
+	NumCollAlgos
+)
+
+// CollAlgoNames maps algorithm ids to their display names (used as the
+// JSON "algo" field of CollStat).
+var CollAlgoNames = [NumCollAlgos]string{
+	CollBarrierDissem:          "barrier/dissemination",
+	CollBcastBinomial:          "bcast/binomial",
+	CollBcastScatterAllgather:  "bcast/scatter-allgather",
+	CollBcastTwoLevel:          "bcast/two-level",
+	CollReduceBinomial:         "reduce/binomial",
+	CollReduceChain:            "reduce/chain",
+	CollAllreduceRecDoubling:   "allreduce/rdouble",
+	CollAllreduceRedScatGather: "allreduce/rsag",
+	CollAllreduceTwoLevel:      "allreduce/two-level",
+	CollAllreduceReduceBcast:   "allreduce/reduce-bcast",
+	CollAllgatherRing:          "allgather/ring",
+	CollAllgatherBruck:         "allgather/bruck",
+	CollAlltoallPairwise:       "alltoall/pairwise",
+	CollAlltoallPosted:         "alltoall/posted",
+	CollGatherLinear:           "gather/linear",
+	CollScatterLinear:          "scatter/linear",
+	CollRedScatBlock:           "reduce_scatter/block",
+}
+
 // Rank is one rank's live registry. Writers use the Note*/Max* methods
 // (atomic adds and CAS maxima); readers take a Snapshot. The zero value
 // is ready to use.
@@ -97,6 +145,12 @@ type Rank struct {
 	RmaGets    int64
 	RmaAccs    int64
 	RmaGetAccs int64
+
+	// Per-algorithm collective counters, noted at the MPI layer with
+	// the algorithm the selection logic chose and the per-rank payload
+	// bytes of the call.
+	CollCalls [NumCollAlgos]int64
+	CollBytes [NumCollAlgos]int64
 
 	// Latency decomposition: log2-bucketed histograms over virtual
 	// cycles at the message lifecycle points the paper's Figure 2
@@ -166,6 +220,16 @@ func (r *Rank) NoteReqAlloc(reused bool) {
 	}
 }
 
+// NoteColl counts one collective call compiled to the given algorithm
+// with n payload bytes on this rank.
+func (r *Rank) NoteColl(algo int, n int64) {
+	if algo < 0 || algo >= NumCollAlgos {
+		return
+	}
+	atomic.AddInt64(&r.CollCalls[algo], 1)
+	atomic.AddInt64(&r.CollBytes[algo], n)
+}
+
 // NoteRmaPut / NoteRmaGet / NoteRmaAcc / NoteRmaGetAcc count one-sided
 // operations at the device ADI entry.
 func (r *Rank) NoteRmaPut()    { atomic.AddInt64(&r.RmaPuts, 1) }
@@ -213,6 +277,14 @@ type RmaStats struct {
 	GetAccs int64 `json:"get_accumulates"`
 }
 
+// CollStat is one collective algorithm's aggregate: calls that
+// compiled to it and their per-rank payload bytes.
+type CollStat struct {
+	Algo  string `json:"algo"`
+	Calls int64  `json:"calls"`
+	Bytes int64  `json:"bytes"`
+}
+
 // VCIStat is one virtual communication interface's receive-side
 // traffic: tagged messages landed on it, their payload bytes, and the
 // transport events (deposits, AMs, wakes) its event sequence counted.
@@ -253,6 +325,9 @@ type Snapshot struct {
 	// VCIs is the per-virtual-interface receive-side split; empty on a
 	// single-VCI endpoint snapshot only if the device never filled it.
 	VCIs []VCIStat `json:"vcis,omitempty"`
+	// Coll is the per-algorithm collective split, indexed by algorithm
+	// id (CollAlgoNames order); empty when the rank ran no collectives.
+	Coll []CollStat `json:"coll,omitempty"`
 }
 
 // Snapshot freezes the registry. Callers that maintain counters
@@ -299,6 +374,21 @@ func (r *Rank) Snapshot() Snapshot {
 		RndvRTT:   r.Lat.RndvRTT.Snapshot(),
 		ReqLife:   r.Lat.ReqLife.Snapshot(),
 		WaitPark:  r.Lat.WaitPark.Snapshot(),
+	}
+	for i := 0; i < NumCollAlgos; i++ {
+		calls := atomic.LoadInt64(&r.CollCalls[i])
+		bytes := atomic.LoadInt64(&r.CollBytes[i])
+		if calls == 0 && bytes == 0 {
+			continue
+		}
+		if s.Coll == nil {
+			s.Coll = make([]CollStat, NumCollAlgos)
+			for j := range s.Coll {
+				s.Coll[j].Algo = CollAlgoNames[j]
+			}
+		}
+		s.Coll[i].Calls = calls
+		s.Coll[i].Bytes = bytes
 	}
 	return s
 }
@@ -358,6 +448,22 @@ func (s Snapshot) Merge(o Snapshot) Snapshot {
 			vcis[i].PostMatch.Merge(v.PostMatch)
 		}
 		s.VCIs = vcis
+	}
+	n = len(s.Coll)
+	if len(o.Coll) > n {
+		n = len(o.Coll)
+	}
+	if n > 0 {
+		cs := make([]CollStat, n)
+		copy(cs, s.Coll)
+		for i, c := range o.Coll {
+			if cs[i].Algo == "" {
+				cs[i].Algo = c.Algo
+			}
+			cs[i].Calls += c.Calls
+			cs[i].Bytes += c.Bytes
+		}
+		s.Coll = cs
 	}
 	return s
 }

@@ -1,0 +1,322 @@
+// Package nbc is the nonblocking-collectives engine: each collective
+// compiles into a Schedule — a DAG of primitive steps (eager send,
+// nonblocking recv, local reduce, local copy) organized in dependency
+// rounds — and the schedule is progressed incrementally off the request
+// engine, so an I-collective returns immediately and genuinely overlaps
+// with user computation.
+//
+// The round structure encodes the DAG: every communication step of
+// round k is issued as soon as round k-1 completes, every local step of
+// round k runs once all of round k's receives have landed, and steps
+// within a round are independent. Sends are eager (the transport copies
+// the payload at injection and never blocks), so a schedule can never
+// deadlock as long as its receive dependencies are acyclic — which each
+// compiler here guarantees by construction. Payloads larger than the
+// transport's eager limit are segmented into eager-sized fragments
+// (same tag, FIFO-matched in order), so schedules never enter the
+// rendezvous protocol.
+//
+// One tag isolates one schedule instance: the MPI layer allocates a
+// fresh tag per collective call from a per-communicator sequence, so
+// several collectives may be outstanding on one communicator at once,
+// and a rank that runs ahead into round k+1 cannot confuse a peer still
+// matching round k (same-tag traffic matches FIFO).
+package nbc
+
+import (
+	"fmt"
+	"runtime"
+
+	"gompi/internal/coll"
+	"gompi/internal/datatype"
+)
+
+// Pending is one outstanding nonblocking receive. Done must be
+// non-blocking (pumping transport progress is allowed); Wait parks
+// until the message lands. After either reports completion the Pending
+// is dead — the engine never calls into it again.
+type Pending interface {
+	Done() (bool, error)
+	Wait() error
+}
+
+// Transport is what a schedule runs over: the eager matched send /
+// nonblocking matched receive pair of the device's collective context,
+// plus the topology and protocol facts the compiler and the segmenter
+// need.
+type Transport interface {
+	Rank() int
+	Size() int
+	// Send transmits data to dest with the given tag, eagerly: the
+	// payload is captured at injection and the call never blocks.
+	Send(data []byte, dest, tag int) error
+	// Recv posts a nonblocking matched receive and returns its handle.
+	Recv(buf []byte, src, tag int) (Pending, error)
+	// Node maps a communicator rank to its node id (two-level
+	// algorithms exchange through one leader per node).
+	Node(rank int) int
+	// EagerLimit is the eager/rendezvous threshold in bytes; 0 means
+	// unlimited eager. Sends above it are segmented.
+	EagerLimit() int
+}
+
+// stepKind enumerates the primitive operations a schedule is built of.
+type stepKind uint8
+
+const (
+	opSend stepKind = iota
+	opRecv
+	opReduce // dst = src OP dst (coll.Apply operand order)
+	opCopy   // copy(dst, src)
+)
+
+// step is one primitive. Send/recv use peer+buf; reduce/copy use
+// dst/src (reduce also op+elem).
+type step struct {
+	kind     stepKind
+	peer     int
+	buf      []byte
+	dst, src []byte
+	op       coll.Op
+	elem     *datatype.Type
+}
+
+// round is one dependency level: comm steps are issued together when
+// the round starts, local steps run in order once every receive of the
+// round has landed.
+type round struct {
+	comm  []step
+	local []step
+}
+
+// Schedule is one compiled collective instance. It is owned by the
+// rank that built it; Test and Wait must be called from that rank's
+// goroutine (they run local reduction steps and post receives).
+type Schedule struct {
+	// Algo is the metrics algorithm id the selection chose.
+	Algo int
+	// Bytes is the per-rank payload size, for metrics and tracing.
+	Bytes int
+
+	// OnRound, when set, fires at each round boundary on the owning
+	// goroutine: (idx, true) as round idx's communication is issued,
+	// (idx, false) as its local steps finish. The MPI layer hangs the
+	// Chrome-trace round spans off it.
+	OnRound func(idx int, start bool)
+
+	t       Transport
+	tag     int
+	rounds  []round
+	cur     int
+	issued  bool
+	pending []Pending
+	done    bool
+	err     error
+}
+
+// newSchedule wires an empty schedule.
+func newSchedule(t Transport, tag, algo, bytes int) *Schedule {
+	return &Schedule{t: t, tag: tag, Algo: algo, Bytes: bytes}
+}
+
+// addRound appends a dependency round.
+func (s *Schedule) addRound(r round) {
+	if len(r.comm) == 0 && len(r.local) == 0 {
+		return
+	}
+	s.rounds = append(s.rounds, r)
+}
+
+// Rounds reports the schedule's depth (tests and tooling).
+func (s *Schedule) Rounds() int { return len(s.rounds) }
+
+// Cur reports the index of the round currently in progress (equal to
+// Rounds once the schedule has finished).
+func (s *Schedule) Cur() int { return s.cur }
+
+// fail latches the first error and finishes the schedule: a transport
+// error is not recoverable mid-collective.
+func (s *Schedule) fail(err error) error {
+	if s.err == nil {
+		s.err = err
+	}
+	s.done = true
+	return s.err
+}
+
+// segments returns the fragment boundaries of an n-byte payload under
+// the transport's eager limit: [0, n] for an eager-sized payload,
+// ceil(n/limit) cuts otherwise. Both sides derive the same cuts from
+// the same lengths, so fragments pair up by FIFO order.
+func (s *Schedule) segments(n int) int {
+	lim := s.t.EagerLimit()
+	if lim <= 0 || n <= lim {
+		return 1
+	}
+	return (n + lim - 1) / lim
+}
+
+// issueSend injects one send step, segmenting above the eager limit.
+func (s *Schedule) issueSend(st step) error {
+	lim := s.t.EagerLimit()
+	if lim <= 0 || len(st.buf) <= lim {
+		return s.t.Send(st.buf, st.peer, s.tag)
+	}
+	for off := 0; off < len(st.buf); off += lim {
+		end := off + lim
+		if end > len(st.buf) {
+			end = len(st.buf)
+		}
+		if err := s.t.Send(st.buf[off:end], st.peer, s.tag); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// issueRecv posts one receive step, segmenting above the eager limit,
+// and appends the resulting Pendings.
+func (s *Schedule) issueRecv(st step) error {
+	lim := s.t.EagerLimit()
+	if lim <= 0 || len(st.buf) <= lim {
+		p, err := s.t.Recv(st.buf, st.peer, s.tag)
+		if err != nil {
+			return err
+		}
+		s.pending = append(s.pending, p)
+		return nil
+	}
+	for off := 0; off < len(st.buf); off += lim {
+		end := off + lim
+		if end > len(st.buf) {
+			end = len(st.buf)
+		}
+		p, err := s.t.Recv(st.buf[off:end], st.peer, s.tag)
+		if err != nil {
+			return err
+		}
+		s.pending = append(s.pending, p)
+	}
+	return nil
+}
+
+// startRound issues the current round's communication: sends inject
+// immediately (eager), receives post and become pending.
+func (s *Schedule) startRound() error {
+	if s.OnRound != nil {
+		s.OnRound(s.cur, true)
+	}
+	for _, st := range s.rounds[s.cur].comm {
+		var err error
+		switch st.kind {
+		case opSend:
+			err = s.issueSend(st)
+		case opRecv:
+			err = s.issueRecv(st)
+		default:
+			err = fmt.Errorf("nbc: local step in comm list")
+		}
+		if err != nil {
+			return err
+		}
+	}
+	s.issued = true
+	return nil
+}
+
+// finishRound runs the current round's local steps and advances.
+func (s *Schedule) finishRound() error {
+	for _, st := range s.rounds[s.cur].local {
+		switch st.kind {
+		case opReduce:
+			if err := coll.Apply(st.op, st.elem, st.dst, st.src); err != nil {
+				return err
+			}
+		case opCopy:
+			copy(st.dst, st.src)
+		default:
+			return fmt.Errorf("nbc: comm step in local list")
+		}
+	}
+	if s.OnRound != nil {
+		s.OnRound(s.cur, false)
+	}
+	s.cur++
+	s.issued = false
+	s.pending = s.pending[:0]
+	return nil
+}
+
+// Test makes non-blocking progress: it issues any ready round, polls
+// the outstanding receives, and runs local steps as rounds complete.
+// It returns true once the whole schedule has finished (possibly with
+// the schedule's first error).
+func (s *Schedule) Test() (bool, error) {
+	for {
+		if s.done {
+			return true, s.err
+		}
+		if s.cur >= len(s.rounds) {
+			s.done = true
+			return true, s.err
+		}
+		if !s.issued {
+			if err := s.startRound(); err != nil {
+				return true, s.fail(err)
+			}
+		}
+		for i, p := range s.pending {
+			if p == nil {
+				continue
+			}
+			ok, err := p.Done()
+			if err != nil {
+				return true, s.fail(err)
+			}
+			if !ok {
+				// Yield before reporting "not yet": ranks are
+				// goroutines, and a rank spinning Test on an
+				// oversubscribed machine would otherwise starve the
+				// peers whose sends it is waiting for.
+				runtime.Gosched()
+				return false, nil
+			}
+			s.pending[i] = nil
+		}
+		if err := s.finishRound(); err != nil {
+			return true, s.fail(err)
+		}
+	}
+}
+
+// Wait drives the schedule to completion, parking on each outstanding
+// receive in turn. Deadlock-free: sends are eager and every compiler
+// emits acyclic receive dependencies.
+func (s *Schedule) Wait() error {
+	for {
+		if s.done {
+			return s.err
+		}
+		if s.cur >= len(s.rounds) {
+			s.done = true
+			return s.err
+		}
+		if !s.issued {
+			if err := s.startRound(); err != nil {
+				return s.fail(err)
+			}
+		}
+		for i, p := range s.pending {
+			if p == nil {
+				continue
+			}
+			if err := p.Wait(); err != nil {
+				return s.fail(err)
+			}
+			s.pending[i] = nil
+		}
+		if err := s.finishRound(); err != nil {
+			return s.fail(err)
+		}
+	}
+}

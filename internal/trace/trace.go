@@ -28,7 +28,8 @@ const (
 	KindPut
 	KindGet
 	KindAcc
-	KindSync // fence, lock/unlock, PSCW
+	KindSync  // fence, lock/unlock, PSCW
+	KindSched // one dependency round of a nonblocking-collective schedule
 	numKinds
 )
 
@@ -53,6 +54,8 @@ func (k Kind) String() string {
 		return "accumulate"
 	case KindSync:
 		return "rma-sync"
+	case KindSched:
+		return "sched-round"
 	default:
 		return "unknown"
 	}

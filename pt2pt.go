@@ -1,6 +1,8 @@
 package gompi
 
 import (
+	"runtime"
+
 	"gompi/internal/core"
 	"gompi/internal/request"
 )
@@ -66,6 +68,10 @@ type Request struct {
 	// delivery against it.
 	exact    bool
 	exactLen int
+
+	// collErr, on nonblocking-collective requests, points at the
+	// schedule's latched first error; finish surfaces it.
+	collErr *error
 }
 
 // finish converts a completed internal request's status, enforcing
@@ -75,6 +81,9 @@ func (r *Request) finish(st request.Status) (Status, error) {
 	err := statusErr(st.Truncated)
 	if r.exact && (st.Truncated || st.Count != r.exactLen) {
 		err = errc(ErrHint, "delivery of %d bytes into an exact-length buffer of %d", st.Count, r.exactLen)
+	}
+	if r.collErr != nil && *r.collErr != nil {
+		err = *r.collErr
 	}
 	return Status{Source: st.Source, Tag: st.Tag, Count: st.Count}, err
 }
@@ -96,12 +105,17 @@ func (r *Request) Wait() (Status, error) {
 	return st, err
 }
 
-// Test polls the operation (MPI_TEST).
+// Test polls the operation (MPI_TEST). An unsuccessful poll yields the
+// processor: ranks are goroutines, so a rank spinning MPI_TEST on an
+// oversubscribed machine would otherwise starve the very peers whose
+// sends it is polling for — the same reason real MPI progress loops
+// call sched_yield when ranks outnumber cores.
 func (r *Request) Test() (Status, bool, error) {
 	if r == nil || r.r == nil {
 		return Status{}, true, nil
 	}
 	if !r.r.Done() {
+		runtime.Gosched()
 		return Status{}, false, nil
 	}
 	st, err := r.finish(r.r.Status)

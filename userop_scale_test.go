@@ -26,7 +26,7 @@ var opAbsMax = OpCreate(func(in, inout []byte, count int, elem *Datatype) error 
 		binary.LittleEndian.PutUint64(inout[8*i:], uint64(b))
 	}
 	return nil
-})
+}, true)
 
 func TestUserDefinedOpInCollectives(t *testing.T) {
 	const n = 5
