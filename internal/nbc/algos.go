@@ -415,11 +415,17 @@ func allreduceRSAG(s *Schedule, op coll.Op, elem *datatype.Type, sendBuf, recv [
 		}
 		cnt = half
 	}
-	// Allgather retrace: at each doubling the sibling block sits at
-	// lo ^ cnt (blocks stay aligned to their size).
+	// Allgather retrace: mask m mirrors the reduce-scatter step that
+	// split a 2*cnt block in half. The rank that kept the lower half
+	// (rank&m == 0) fetches the upper from its peer, and vice versa —
+	// computed from lo directly, since blocks are only size-aligned in
+	// elements when the per-rank count is a power of two.
 	for m := 1; m < size; m *= 2 {
 		peer := rank ^ m
-		peerLo := lo ^ cnt
+		peerLo := lo - cnt
+		if rank&m == 0 {
+			peerLo = lo + cnt
+		}
 		s.addRound(round{comm: []step{
 			sendTo(res[lo*es:(lo+cnt)*es], peer),
 			recvFrom(res[peerLo*es:(peerLo+cnt)*es], peer),

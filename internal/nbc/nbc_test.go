@@ -288,36 +288,41 @@ func TestAllreduceAlgorithms(t *testing.T) {
 	for _, algo := range algos {
 		for _, size := range []int{1, 2, 3, 4, 5, 8} {
 			// 8 elements: divisible by every pow2 size here, so RSAG
-			// runs for real on 2/4/8 and falls back elsewhere.
-			var want []int64
-			for e := 0; e < 8; e++ {
-				var sum int64
-				for r := 0; r < size; r++ {
-					sum += int64(r*10 + e)
+			// runs for real on 2/4/8 and falls back elsewhere. 12
+			// elements gives non-power-of-two per-rank counts (3 on 4
+			// ranks, 6 on 2) so the RSAG retrace can't rely on
+			// size-aligned block offsets.
+			for _, elems := range []int{8, 12} {
+				var want []int64
+				for e := 0; e < elems; e++ {
+					var sum int64
+					for r := 0; r < size; r++ {
+						sum += int64(r*10 + e)
+					}
+					want = append(want, sum)
 				}
-				want = append(want, sum)
+				wantB := longs(want...)
+				net := newFakeNet(size, 2, 0)
+				runRanks(t, net, func(tr Transport, rank int) error {
+					var vals []int64
+					for e := 0; e < elems; e++ {
+						vals = append(vals, int64(rank*10+e))
+					}
+					contrib := longs(vals...)
+					recv := make([]byte, len(contrib))
+					s, err := Allreduce(tr, 15, coll.OpSum, datatype.Long, contrib, recv, algo)
+					if err != nil {
+						return err
+					}
+					if err := s.Wait(); err != nil {
+						return err
+					}
+					if !bytes.Equal(recv, wantB) {
+						return fmt.Errorf("algo %d p%d n%d: wrong result", algo, size, elems)
+					}
+					return nil
+				})
 			}
-			wantB := longs(want...)
-			net := newFakeNet(size, 2, 0)
-			runRanks(t, net, func(tr Transport, rank int) error {
-				var vals []int64
-				for e := 0; e < 8; e++ {
-					vals = append(vals, int64(rank*10+e))
-				}
-				contrib := longs(vals...)
-				recv := make([]byte, len(contrib))
-				s, err := Allreduce(tr, 15, coll.OpSum, datatype.Long, contrib, recv, algo)
-				if err != nil {
-					return err
-				}
-				if err := s.Wait(); err != nil {
-					return err
-				}
-				if !bytes.Equal(recv, wantB) {
-					return fmt.Errorf("algo %d p%d: wrong result", algo, size)
-				}
-				return nil
-			})
 		}
 	}
 }
