@@ -1,9 +1,16 @@
 GO ?= go
 
-.PHONY: ci build vet test race bench-smoke fuzz-smoke bench-json
+.PHONY: ci build vet test race bench-smoke fuzz-smoke bench-json benchdiff
 
-# The tier-1 gate: everything a PR must keep green.
+# The tier-1 gate: everything a PR must keep green. When both the
+# baseline and current benchmark documents exist, the perf gate runs
+# too: benchdiff fails the build on a >10% hot-path regression.
 ci: build vet test race bench-smoke
+	@if [ -f BENCH_PR5.json ] && [ -f BENCH_PR6.json ]; then \
+		$(MAKE) benchdiff; \
+	else \
+		echo "ci: benchdiff skipped (need BENCH_PR5.json and BENCH_PR6.json)"; \
+	fi
 
 build:
 	$(GO) build ./...
@@ -30,9 +37,17 @@ bench-smoke:
 # (ns/op, allocs/op), the reference-exchange metric aggregates with
 # their latency histogram summaries (post-match, unexpected residency,
 # ...), the multi-VCI scaling sweep, and the nonblocking-collectives
-# sweep, written to BENCH_PR5.json for cross-PR comparison.
+# sweep, and the staged-vs-handoff shm sweep, written to
+# BENCH_PR6.json for cross-PR comparison.
 bench-json:
-	$(GO) run ./cmd/benchjson -o BENCH_PR5.json
+	$(GO) run ./cmd/benchjson -o BENCH_PR6.json
+
+# Cross-PR perf gate: median-aware comparison of the previous PR's
+# benchmark document against this one; exits nonzero when a hot-path
+# metric (sends, receives, exchange, collectives, handoff) regressed
+# by more than 10%.
+benchdiff:
+	$(GO) run ./cmd/benchdiff BENCH_PR5.json BENCH_PR6.json
 
 # Short differential-fuzz run: binned vs linear matching must agree.
 fuzz-smoke:

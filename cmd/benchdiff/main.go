@@ -1,0 +1,157 @@
+// Command benchdiff compares two benchjson documents (BENCH_PR*.json)
+// and reports per-benchmark deltas. Duplicate benchmark names — the
+// result of running the suite N times into one document — are
+// median-reduced before comparison, so one noisy run cannot fake or
+// mask a regression. The exit status is the gate: nonzero when any
+// hot-path metric regressed by more than the tolerance.
+//
+// Usage:
+//
+//	benchdiff [-tolerance 0.10] [-hot regex] OLD.json NEW.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"sort"
+)
+
+// doc mirrors the benchjson Output fields benchdiff consumes; unknown
+// fields (exchange aggregates, latency decompositions) are ignored so
+// older and newer documents both load.
+type doc struct {
+	Benchmarks []struct {
+		Name    string  `json:"name"`
+		NsPerOp float64 `json:"ns_per_op"`
+	} `json:"benchmarks"`
+	Collectives []struct {
+		Collective string  `json:"collective"`
+		Algo       string  `json:"algo"`
+		Bytes      int     `json:"bytes"`
+		LatencyUs  float64 `json:"latency_us"`
+	} `json:"collectives"`
+	Handoff []struct {
+		Mode      string  `json:"mode"`
+		Bytes     int     `json:"bytes"`
+		LatencyUs float64 `json:"latency_us"`
+	} `json:"handoff"`
+}
+
+// metrics flattens a document into name → median value (lower is
+// better for every metric benchdiff tracks).
+func (d *doc) metrics() map[string]float64 {
+	samples := map[string][]float64{}
+	for _, b := range d.Benchmarks {
+		samples[b.Name] = append(samples[b.Name], b.NsPerOp)
+	}
+	for _, c := range d.Collectives {
+		key := fmt.Sprintf("Coll/%s/%s/%d", c.Collective, c.Algo, c.Bytes)
+		samples[key] = append(samples[key], c.LatencyUs)
+	}
+	for _, h := range d.Handoff {
+		key := fmt.Sprintf("Handoff/%s/%d", h.Mode, h.Bytes)
+		samples[key] = append(samples[key], h.LatencyUs)
+	}
+	out := make(map[string]float64, len(samples))
+	for k, v := range samples {
+		out[k] = median(v)
+	}
+	return out
+}
+
+func median(v []float64) float64 {
+	sort.Float64s(v)
+	n := len(v)
+	if n%2 == 1 {
+		return v[n/2]
+	}
+	return (v[n/2-1] + v[n/2]) / 2
+}
+
+func load(path string) (*doc, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var d doc
+	if err := json.Unmarshal(raw, &d); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &d, nil
+}
+
+func main() {
+	tolerance := flag.Float64("tolerance", 0.10, "hot-path regression gate (fraction)")
+	hot := flag.String("hot", `Isend|Send|Recv|Exchange|Latency|Handoff|Coll`,
+		"regexp naming the hot-path metrics the gate applies to")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [-tolerance 0.10] [-hot regex] OLD.json NEW.json")
+		os.Exit(2)
+	}
+	hotRe, err := regexp.Compile(*hot)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	oldDoc, err := load(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	newDoc, err := load(flag.Arg(1))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+
+	oldM, newM := oldDoc.metrics(), newDoc.metrics()
+	var names []string
+	for k := range oldM {
+		if _, ok := newM[k]; ok {
+			names = append(names, k)
+		}
+	}
+	sort.Strings(names)
+
+	var regressed []string
+	fmt.Printf("%-52s %14s %14s %8s\n", "metric", flag.Arg(0), flag.Arg(1), "delta")
+	for _, k := range names {
+		o, n := oldM[k], newM[k]
+		delta := 0.0
+		if o > 0 {
+			delta = (n - o) / o
+		}
+		mark := ""
+		if hotRe.MatchString(k) && delta > *tolerance {
+			mark = "  << REGRESSION"
+			regressed = append(regressed, fmt.Sprintf("%s: %.2f -> %.2f (%+.1f%%)", k, o, n, delta*100))
+		}
+		fmt.Printf("%-52s %14.2f %14.2f %+7.1f%%%s\n", k, o, n, delta*100, mark)
+	}
+	onlyOld, onlyNew := 0, 0
+	for k := range oldM {
+		if _, ok := newM[k]; !ok {
+			onlyOld++
+		}
+	}
+	for k := range newM {
+		if _, ok := oldM[k]; !ok {
+			onlyNew++
+		}
+	}
+	if onlyOld+onlyNew > 0 {
+		fmt.Printf("(%d metrics only in %s, %d only in %s)\n", onlyOld, flag.Arg(0), onlyNew, flag.Arg(1))
+	}
+	if len(regressed) > 0 {
+		fmt.Fprintf(os.Stderr, "benchdiff: %d hot-path regression(s) beyond %.0f%%:\n", len(regressed), *tolerance*100)
+		for _, r := range regressed {
+			fmt.Fprintln(os.Stderr, "  "+r)
+		}
+		os.Exit(1)
+	}
+	fmt.Printf("benchdiff: %d shared metrics, no hot-path regression beyond %.0f%%\n", len(names), *tolerance*100)
+}

@@ -1,15 +1,17 @@
 // Command benchjson runs the benchmark suite once and writes a
-// machine-readable summary — per-benchmark ns/op and allocs/op plus
+// machine-readable summary — per-benchmark ns/op and allocs/op (each
+// benchmark repeated -count times so benchdiff can median away
+// wall-clock noise) plus
 // the metrics aggregates of the reference exchange on both devices —
 // as JSON — plus the multi-VCI scaling sweep and the latency
 // decomposition (post→match, unexpected residency, rendezvous RTT,
 // request lifetime, wait park percentiles) of the reference exchange.
-// The Makefile's bench-json target uses it to produce BENCH_PR5.json.
+// The Makefile's bench-json target uses it to produce BENCH_PR6.json.
 // Timestamps are deliberately omitted so reruns diff cleanly.
 //
 // Usage:
 //
-//	benchjson [-o BENCH_PR5.json] [-benchtime 1x]
+//	benchjson [-o BENCH_PR6.json] [-benchtime 1x]
 package main
 
 import (
@@ -51,6 +53,10 @@ type Output struct {
 	// algorithm family forced in turn on the 4-rank hierarchical
 	// layout, with latency and the net/shm traffic split.
 	Collectives []bench.CollPoint `json:"collectives"`
+	// Handoff is the staged-vs-zero-copy shm sweep: the same on-node
+	// message under both transports at each size, with latency,
+	// charged transport cycles, and the copy accounting.
+	Handoff []bench.HandoffPoint `json:"handoff"`
 }
 
 // benchLine matches e.g.
@@ -58,12 +64,13 @@ type Output struct {
 var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+(\d+)\s+([\d.]+) ns/op(?:\s+(\d+) B/op)?(?:\s+(\d+) allocs/op)?`)
 
 func main() {
-	out := flag.String("o", "BENCH_PR5.json", "output path")
+	out := flag.String("o", "BENCH_PR6.json", "output path")
 	benchtime := flag.String("benchtime", "1x", "go test -benchtime value")
+	count := flag.Int("count", 3, "benchmark repetitions; duplicates are median-reduced by benchdiff")
 	flag.Parse()
 
 	cmd := exec.Command("go", "test", "-run", "xxx", "-bench", ".",
-		"-benchtime", *benchtime, "-benchmem", "./...")
+		"-benchtime", *benchtime, "-count", fmt.Sprint(*count), "-benchmem", "./...")
 	raw, err := cmd.CombinedOutput()
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchjson: go test: %v\n%s", err, raw)
@@ -106,11 +113,14 @@ func main() {
 	colls, err := bench.CollSweep(nil)
 	fail(err)
 
+	handoff, err := bench.HandoffSweep(nil)
+	fail(err)
+
 	f, err := os.Create(*out)
 	fail(err)
 	enc := json.NewEncoder(f)
 	enc.SetIndent("", "  ")
-	fail(enc.Encode(Output{Benchmarks: results, Exchange: exchange, Latency: latency, VCIScaling: vci, Collectives: colls}))
+	fail(enc.Encode(Output{Benchmarks: results, Exchange: exchange, Latency: latency, VCIScaling: vci, Collectives: colls, Handoff: handoff}))
 	fail(f.Close())
 	fmt.Fprintf(os.Stderr, "benchjson: %d benchmarks -> %s\n", len(results), *out)
 }

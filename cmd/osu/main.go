@@ -29,7 +29,20 @@ func main() {
 	iters := flag.Int("iters", 100, "iterations per size")
 	window := flag.Int("window", 32, "messages in flight for the bandwidth test")
 	coll := flag.Bool("coll", false, "run the nonblocking-collectives sweep instead of pt2pt")
+	rpn := flag.Int("ranks-per-node", 1, "ranks per node (>1 puts the pair on one node, over shm)")
+	shmEager := flag.Int("shm-eager", 0, "shm staged/handoff threshold in bytes (0 disables zero-copy handoff)")
+	handoff := flag.Bool("handoff", false, "run the staged-vs-handoff shm sweep instead of pt2pt")
 	flag.Parse()
+
+	if *handoff {
+		pts, err := bench.HandoffSweep(nil)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "osu:", err)
+			os.Exit(1)
+		}
+		bench.WriteHandoff(os.Stdout, pts)
+		return
+	}
 
 	if *coll {
 		pts, err := bench.CollSweep(nil)
@@ -41,11 +54,14 @@ func main() {
 		return
 	}
 
-	cfg := gompi.Config{Device: gompi.DeviceKind(*device), Fabric: gompi.FabricKind(*net), Build: gompi.BuildKind(*build)}
+	cfg := gompi.Config{
+		Device: gompi.DeviceKind(*device), Fabric: gompi.FabricKind(*net), Build: gompi.BuildKind(*build),
+		RanksPerNode: *rpn, ShmEagerMax: *shmEager,
+	}
 	pts, err := bench.OSUSweep(cfg, *max, *iters, *window)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "osu:", err)
 		os.Exit(1)
 	}
-	bench.WriteOSU(os.Stdout, fmt.Sprintf("OSU-style pt2pt sweep: device=%s fabric=%s build=%s", *device, *net, *build), pts)
+	bench.WriteOSU(os.Stdout, fmt.Sprintf("OSU-style pt2pt sweep: device=%s fabric=%s build=%s rpn=%d shm-eager=%d", *device, *net, *build, *rpn, *shmEager), pts)
 }

@@ -132,6 +132,19 @@ type Config struct {
 	// and a negative value disables rendezvous entirely (everything
 	// eager). Exposed for the eager-threshold ablation.
 	EagerLimit int
+	// ShmEagerMax is the shared-memory staged/handoff threshold in
+	// bytes: on-node payloads strictly larger than it are lent to the
+	// receiver as zero-copy handoff descriptors — a single copy into
+	// the posted buffer, or none at all when a collective folds the
+	// lent view in place — instead of being fragmented through staging
+	// cells. 0 (the default) disables the handoff path; ch4 only.
+	ShmEagerMax int
+	// ShmCellSize and ShmRingCells override the shared-memory ring
+	// geometry in bytes per cell and cells per ring (0 = the shm
+	// package defaults, 4096 and 64), so the staged/handoff crossover
+	// can be swept against the cell cost model.
+	ShmCellSize  int
+	ShmRingCells int
 	// CollAlgorithm pins collective algorithm selection for the whole
 	// job: an nbc algorithm family name ("two-level", "flat",
 	// "binomial", "rdouble", "rsag", "ring", "bruck", "pairwise",
@@ -201,6 +214,16 @@ func (cfg Config) resolve() (prof fabric.Profile, bc core.Config, dev string, rp
 	case cfg.EagerLimit < 0:
 		prof.EagerLimit = 0 // unlimited eager
 	}
+	if cfg.ShmEagerMax < 0 {
+		return prof, bc, "", 0, fmt.Errorf("gompi: ShmEagerMax %d negative", cfg.ShmEagerMax)
+	}
+	if cfg.ShmCellSize < 0 || cfg.ShmRingCells < 0 {
+		return prof, bc, "", 0, fmt.Errorf("gompi: shm ring geometry %d cells x %d bytes negative",
+			cfg.ShmRingCells, cfg.ShmCellSize)
+	}
+	bc.ShmEagerMax = cfg.ShmEagerMax
+	bc.ShmCellSize = cfg.ShmCellSize
+	bc.ShmRingCells = cfg.ShmRingCells
 	if _, err := nbc.ParseForce(cfg.CollAlgorithm); err != nil {
 		return prof, bc, "", 0, fmt.Errorf("gompi: %v", err)
 	}

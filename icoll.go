@@ -103,6 +103,109 @@ func (np nbcPort) Node(rank int) int {
 // so schedules segment rather than rendezvous.
 func (np nbcPort) EagerLimit() int { return np.p.eagerLimit }
 
+// HandoffEager implements nbc.HandoffTransport: the device's shm
+// staged/handoff threshold, or 0 when the device has no zero-copy
+// path (baseline device, handoff disabled).
+func (np nbcPort) HandoffEager() int {
+	if d, ok := np.p.dev.(interface{ ShmHandoffMax() int }); ok {
+		return d.ShmHandoffMax()
+	}
+	return 0
+}
+
+// SendNoCopy implements nbc.HandoffTransport: lend data over the shm
+// handoff path when the device offers one and the geometry applies
+// (on-node peer, payload above the threshold). ok=false sends nothing
+// and the schedule falls back to plain eager sends.
+func (np nbcPort) SendNoCopy(data []byte, dest, tag int) (nbc.Pending, bool, error) {
+	d, ok := np.p.dev.(interface {
+		IsendNoCopy([]byte, int, int, *comm.Comm) (*request.Request, bool, error)
+	})
+	if !ok {
+		return nil, false, nil
+	}
+	r, sent, err := d.IsendNoCopy(data, dest, tag, np.cv)
+	if err != nil || !sent {
+		return nil, false, err
+	}
+	return nbcPending{r: r}, true, nil
+}
+
+// RecvReduce implements nbc.ReduceTransport: post a receive that folds
+// the incoming payload into acc in place. On a handoff-capable device
+// the fold reads the sender's lent view directly — zero copies; on any
+// other device it receives into scratch and folds at completion.
+func (np nbcPort) RecvReduce(acc []byte, op coll.Op, elem *Datatype, src, tag int) (nbc.Pending, error) {
+	if d, ok := np.p.dev.(interface {
+		IrecvReduce([]byte, int, int, *comm.Comm, func(dst, incoming []byte)) (*request.Request, error)
+	}); ok {
+		r, err := d.IrecvReduce(acc, src, tag, np.cv, func(dst, incoming []byte) {
+			coll.Apply(op, elem, dst, incoming)
+		})
+		if err != nil {
+			return nil, err
+		}
+		return nbcPending{r: r}, nil
+	}
+	tmp := make([]byte, len(acc))
+	r, err := np.p.dev.Irecv(tmp, len(tmp), Byte, src, tag, np.cv, core.FlagNoProcNull)
+	if err != nil {
+		return nil, err
+	}
+	return nbcFoldPending{r: r, acc: acc, tmp: tmp, op: op, elem: elem}, nil
+}
+
+// SegLimit implements nbc.Segmenter: on-node peers of a
+// handoff-capable device are unsegmented (shm has no rendezvous to
+// avoid, and whole payloads are what the handoff path lends); anything
+// else keeps the flat eager limit. Symmetric in the pair, so senders
+// and receivers derive identical fragment cuts.
+func (np nbcPort) SegLimit(peer int) int {
+	if np.HandoffEager() > 0 && np.Node(peer) == np.Node(np.cv.MyRank) {
+		return 0
+	}
+	return np.p.eagerLimit
+}
+
+// nbcFoldPending is the RecvReduce fallback for devices without an
+// in-place receive: the payload lands in tmp and folds into acc when
+// the fragment settles.
+type nbcFoldPending struct {
+	r    *request.Request
+	acc  []byte
+	tmp  []byte
+	op   coll.Op
+	elem *Datatype
+}
+
+func (pd nbcFoldPending) settle() error {
+	trunc := pd.r.Status.Truncated
+	n := pd.r.Status.Count
+	pd.r.Free()
+	if trunc {
+		return errc(ErrTruncate, "nonblocking collective fragment truncated")
+	}
+	if n > len(pd.acc) {
+		n = len(pd.acc)
+	}
+	coll.Apply(pd.op, pd.elem, pd.acc[:n], pd.tmp[:n])
+	return nil
+}
+
+// Done implements nbc.Pending.
+func (pd nbcFoldPending) Done() (bool, error) {
+	if !pd.r.Done() {
+		return false, nil
+	}
+	return true, pd.settle()
+}
+
+// Wait implements nbc.Pending.
+func (pd nbcFoldPending) Wait() error {
+	pd.r.Wait()
+	return pd.settle()
+}
+
 // nbcPort builds the transport adapter for one collective call.
 func (c *Comm) nbcPort() nbcPort { return nbcPort{p: c.p, cv: c.c.CollView()} }
 

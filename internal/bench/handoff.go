@@ -1,0 +1,127 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"gompi"
+)
+
+// HandoffPoint is one measurement of the staged-vs-handoff sweep: one
+// on-node point-to-point message of Bytes bytes, sent either through
+// staging cells (Mode "staged", ShmEagerMax disabled) or as a
+// zero-copy handoff descriptor (Mode "handoff", threshold below the
+// payload), on a 2-rank single-node layout.
+type HandoffPoint struct {
+	Bytes int    `json:"bytes"`
+	Mode  string `json:"mode"` // "staged" or "handoff"
+	// LatencyUs is the slowest rank's virtual time through
+	// send+wait/recv, in model microseconds.
+	LatencyUs float64 `json:"latency_us"`
+	// TransportCycles is the job's charged fabric/shm transport work —
+	// the fragmentation per-byte charges are what the handoff path
+	// avoids, so the win must show here too, not just in latency.
+	TransportCycles int64 `json:"transport_cycles"`
+	// Copy accounting: the staged path pays copy-in plus reassembly
+	// plus the landing; the handoff path pays the landing alone.
+	CopiesStaged int64 `json:"copies_staged"`
+	CopiesDirect int64 `json:"copies_direct"`
+	HandoffBytes int64 `json:"handoff_bytes"`
+}
+
+// HandoffSizes is the default sweep: from well under the default
+// threshold to 1 MiB.
+var HandoffSizes = []int{4096, 16384, 65536, 262144, 1048576}
+
+// HandoffThreshold is the staged/handoff crossover used for the
+// "handoff" arm of the sweep.
+const HandoffThreshold = 8192
+
+// HandoffSweep measures each size under both shm transports. Sizes at
+// or below HandoffThreshold ride the staged path in both arms (the
+// threshold is strict), which pins the crossover in the output.
+func HandoffSweep(sizes []int) ([]HandoffPoint, error) {
+	if len(sizes) == 0 {
+		sizes = HandoffSizes
+	}
+	var out []HandoffPoint
+	for _, n := range sizes {
+		for _, mode := range []string{"staged", "handoff"} {
+			eager := 0
+			if mode == "handoff" {
+				eager = HandoffThreshold
+			}
+			pt, err := handoffPoint(n, mode, eager)
+			if err != nil {
+				return nil, fmt.Errorf("handoff %s n=%d: %w", mode, n, err)
+			}
+			out = append(out, pt)
+		}
+	}
+	return out, nil
+}
+
+// handoffPoint sends one on-node message and reads the clocks and copy
+// counters back out.
+func handoffPoint(n int, mode string, eagerMax int) (HandoffPoint, error) {
+	cfg := gompi.Config{
+		RanksPerNode: 2, Fabric: gompi.FabricOFI, ShmEagerMax: eagerMax,
+	}
+	lat := make([]int64, 2)
+	transport := make([]int64, 2)
+	var hz float64
+	st, err := gompi.RunStats(2, cfg, func(p *gompi.Proc) error {
+		w := p.World()
+		if p.Rank() == 0 {
+			hz = p.ClockHz()
+		}
+		start := p.VirtualCycles()
+		tstart := p.Counters().Transport
+		if p.Rank() == 0 {
+			r, err := w.Isend(make([]byte, n), n, gompi.Byte, 1, 0)
+			if err != nil {
+				return err
+			}
+			if _, err := r.Wait(); err != nil {
+				return err
+			}
+		} else {
+			if _, err := w.Recv(make([]byte, n), n, gompi.Byte, 0, 0); err != nil {
+				return err
+			}
+		}
+		lat[p.Rank()] = p.VirtualCycles() - start
+		transport[p.Rank()] = p.Counters().Transport - tstart
+		return nil
+	})
+	if err != nil {
+		return HandoffPoint{}, err
+	}
+	pt := HandoffPoint{Bytes: n, Mode: mode}
+	var max int64
+	for _, l := range lat {
+		if l > max {
+			max = l
+		}
+	}
+	if hz > 0 {
+		pt.LatencyUs = float64(max) / hz * 1e6
+	}
+	pt.TransportCycles = transport[0] + transport[1]
+	agg := st.Aggregate()
+	pt.CopiesStaged = agg.CopiesStaged.Msgs
+	pt.CopiesDirect = agg.CopiesDirect.Msgs
+	pt.HandoffBytes = agg.ShmHandoff.Bytes
+	return pt, nil
+}
+
+// WriteHandoff renders the sweep as a table.
+func WriteHandoff(w io.Writer, pts []HandoffPoint) {
+	fmt.Fprintf(w, "Shm staged vs zero-copy handoff: 2 ranks, 1 node, threshold %d bytes\n", HandoffThreshold)
+	fmt.Fprintf(w, "%-9s %9s %12s %16s %8s %8s %12s\n",
+		"mode", "bytes", "latency_us", "transport_cyc", "staged", "direct", "handoff_B")
+	for _, p := range pts {
+		fmt.Fprintf(w, "%-9s %9d %12.2f %16d %8d %8d %12d\n",
+			p.Mode, p.Bytes, p.LatencyUs, p.TransportCycles, p.CopiesStaged, p.CopiesDirect, p.HandoffBytes)
+	}
+}

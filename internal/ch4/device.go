@@ -114,12 +114,20 @@ type Global struct {
 func NewGlobal(w *proc.World, prof fabric.Profile, cfg core.Config) *Global {
 	g := &Global{World: w, Fab: fabric.NewVCI(prof, w.Size(), cfg.VCIs), Cfg: cfg}
 	if w.RanksPerNode() > 1 {
-		g.Shm = shm.NewDomain(shm.DefaultProfile, w.Size(),
+		shmCfg := shm.Config{
+			CellSize:  cfg.ShmCellSize,
+			RingCells: cfg.ShmRingCells,
+			EagerMax:  cfg.ShmEagerMax,
+		}
+		g.Shm = shm.NewDomainCfg(shm.DefaultProfile, shmCfg, w.Size(),
 			func(dst int, bits match.Bits, src int, data []byte, arrival vtime.Time, vci int) {
 				g.Fab.Endpoint(dst).DepositShmVCI(bits, src, data, arrival, vci)
 			},
 			func(dst, vci int) { g.Fab.Endpoint(dst).WakeVCI(vci) },
 		)
+		g.Shm.SetDeliverView(func(dst int, bits match.Bits, src int, view []byte, arrival vtime.Time, vci int, rel shm.Releaser) {
+			g.Fab.Endpoint(dst).DepositShmViewVCI(bits, src, view, arrival, vci, rel)
+		})
 	}
 	return g
 }
@@ -143,10 +151,15 @@ func (g *Global) SetStall(m *stall.Monitor) {
 
 // DumpState writes the device-wide wait graph: every rank's unmatched
 // posted receives, buffered unexpected messages, and who-waits-on-whom
-// edges. CH4 matches on the fabric endpoint, so the fabric holds the
-// whole picture (shm traffic deposits there too).
+// edges. CH4 matches on the fabric endpoint, so the fabric holds most
+// of the picture (shm traffic deposits there too); the shm domain adds
+// its ring occupancy and outstanding zero-copy handoffs, whose senders
+// may be parked awaiting completion acks.
 func (g *Global) DumpState(w io.Writer) {
 	g.Fab.WriteWaitGraph(w)
+	if g.Shm != nil {
+		g.Shm.WriteWaitGraph(w)
+	}
 }
 
 // Device is one rank's ch4 instance.

@@ -1,0 +1,104 @@
+package ch4
+
+import (
+	"gompi/internal/comm"
+	"gompi/internal/fabric"
+	"gompi/internal/instr"
+	"gompi/internal/match"
+	"gompi/internal/request"
+)
+
+// This file is the device's zero-copy handoff surface for the
+// collectives engine: explicit entry points that expose the shm
+// transport's large-message lending protocol (DESIGN.md §6e) where the
+// implicit Isend path cannot — schedules need the completion handle to
+// gate buffer reuse across rounds, and reductions want to fold the
+// lent view in place instead of receiving into scratch.
+
+// ShmHandoffMax reports the shared-memory staged/handoff threshold in
+// bytes, or 0 when the zero-copy path is unavailable (no shm domain,
+// or Config.ShmEagerMax unset). The collectives layer keys its
+// algorithm refinement off this.
+func (d *Device) ShmHandoffMax() int {
+	if d.g.Shm == nil {
+		return 0
+	}
+	return d.g.Shm.EagerMax()
+}
+
+// IsendNoCopy sends buf to dest over the zero-copy handoff path when
+// it applies: on-node destination, handoff enabled, payload above the
+// threshold. ok=false means the caller must fall back to ordinary
+// sends — nothing was sent. On ok=true the returned request completes
+// when the receiver has released the lent buffer; the caller must not
+// touch buf until then. dest is a communicator rank; the send is
+// tagged and matches like any Isend.
+func (d *Device) IsendNoCopy(buf []byte, dest, tag int, c *comm.Comm) (*request.Request, bool, error) {
+	world, err := d.translateRank(c, dest)
+	if err != nil {
+		return nil, false, err
+	}
+	if d.g.Shm == nil || d.g.Shm.EagerMax() <= 0 || len(buf) <= d.g.Shm.EagerMax() ||
+		world == d.rank.ID() || !d.g.World.SameNode(world, d.rank.ID()) {
+		return nil, false, nil
+	}
+	d.chargeDispatch(costDispatchPt2pt)
+	issued := d.rank.Now()
+	d.charge(instr.Mandatory, costCommDeref+costMatchBits+costLocality+costShmPrep)
+	bits := match.MakeBits(c.Ctx, c.MyRank, tag)
+	h := d.g.Shm.SendVCI(d.rank.ID(), world, bits, buf, d.sendVCI(c, bits))
+	if h == nil {
+		// The geometry said staged after all (raced config is
+		// impossible — thresholds are fixed at job start — so this is
+		// defensive): the payload is captured, complete immediately.
+		r := d.pool.Get(request.KindSend)
+		r.Issued = int64(issued)
+		r.MarkComplete(request.Status{})
+		return r, true, nil
+	}
+	d.charge(instr.Mandatory, costRequestAlloc)
+	return d.handoffRequest(h, issued), true, nil
+}
+
+// IrecvReduce posts a tagged receive that consumes its payload with
+// fold(acc, incoming) instead of a copy into a buffer. When the
+// matched payload is a zero-copy handoff view the reduction touches no
+// intermediate bytes at all: the fold reads the sender's buffer where
+// it lies. Works for staged arrivals too (the fold then reads the
+// reassembly scratch or the unexpected-queue copy). acc must be at
+// least as large as the expected payload; fold runs on this rank's
+// goroutine (the device keeps shm deposits on the receiver's progress
+// loop). src is a communicator rank; wildcards are not supported.
+func (d *Device) IrecvReduce(acc []byte, src, tag int, c *comm.Comm,
+	fold func(dst, incoming []byte)) (*request.Request, error) {
+
+	d.chargeDispatch(costDispatchPt2pt)
+	d.charge(instr.Mandatory, costCommDeref+costMatchBits)
+	bits := match.MakeBits(c.Ctx, src, tag)
+	mask := match.RecvMask(false, false)
+
+	op := &fabric.RecvOp{Buf: acc, Fold: fold}
+	d.charge(instr.Mandatory, costRecvPost+costRequestAlloc)
+	d.ep.PostRecvVCI(op, bits, mask, d.recvVCI(c, bits, mask))
+
+	r := d.pool.Get(request.KindRecv)
+	r.Issued = int64(d.rank.Now())
+	finish := func(r *request.Request) {
+		d.rank.Metrics().Lat.ReqLife.Observe(int64(d.rank.Now()) - r.Issued)
+		r.MarkComplete(request.Status{
+			Source: op.Src, Tag: op.Tag, Count: op.N, Truncated: op.Truncated,
+		})
+	}
+	r.Poll = func(r *request.Request) bool {
+		if !d.recvDone(op) {
+			return false
+		}
+		finish(r)
+		return true
+	}
+	r.Block = func(r *request.Request) {
+		d.waitRecv(op)
+		finish(r)
+	}
+	return r, nil
+}

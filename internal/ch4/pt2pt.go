@@ -11,6 +11,7 @@ import (
 	"gompi/internal/instr"
 	"gompi/internal/match"
 	"gompi/internal/request"
+	"gompi/internal/shm"
 	"gompi/internal/vtime"
 )
 
@@ -90,10 +91,19 @@ func (d *Device) Isend(buf []byte, count int, dt *datatype.Type, dest, tag int,
 
 	// Locality dispatch and injection (ch4 core -> netmod/shmmod). The
 	// VCI pick is part of the match-word arithmetic charged above.
-	d.inject(world, bits, data, d.sendVCI(c, bits))
+	// Requestless sends must stage: without a request there is nothing
+	// to carry the handoff's buffer-reuse obligation back to the caller.
+	h := d.inject(world, bits, data, d.sendVCI(c, bits), !flags.Has(core.FlagNoReq))
 
 	// Completion (Section 3.5): request object or counter.
 	d.chargeRedundant(costRedundantComplete)
+	if h != nil {
+		// Zero-copy handoff: the buffer is lent to the receiver, so the
+		// send completes only when the completion ack comes back over
+		// the reverse ring. The request carries that obligation.
+		d.charge(instr.Mandatory, costRequestAlloc)
+		return d.handoffRequest(h, issued), nil
+	}
 	r := d.completedRequest(flags, c, request.KindSend)
 	// Eager sends are locally complete at return: their request lifetime
 	// is the injection cost itself (plus the rendezvous handshake when
@@ -128,8 +138,10 @@ func (d *Device) sendBytes(buf []byte, count int, dt *datatype.Type) ([]byte, er
 // inject routes the message by locality: self-loopback, shmmod for
 // on-node peers, netmod otherwise. All three transports deposit at the
 // same destination interface, so matching stays consistent across
-// them.
-func (d *Device) inject(world int, bits match.Bits, data []byte, vci int) {
+// them. When allowHandoff is set and the shmmod chose the zero-copy
+// handoff protocol, the returned Handoff is the sender's outstanding
+// buffer-reuse obligation (nil on every staged/eager path).
+func (d *Device) inject(world int, bits match.Bits, data []byte, vci int, allowHandoff bool) *shm.Handoff {
 	d.charge(instr.Mandatory, costLocality)
 	switch {
 	case world == d.rank.ID():
@@ -137,11 +149,46 @@ func (d *Device) inject(world int, bits match.Bits, data []byte, vci int) {
 		d.ep.DepositSelfVCI(bits, world, data, d.rank.Now(), vci)
 	case d.g.Shm != nil && d.g.World.SameNode(world, d.rank.ID()):
 		d.charge(instr.Mandatory, costShmPrep)
-		d.g.Shm.SendVCI(d.rank.ID(), world, bits, data, vci)
+		if allowHandoff {
+			return d.g.Shm.SendVCI(d.rank.ID(), world, bits, data, vci)
+		}
+		d.g.Shm.SendStagedVCI(d.rank.ID(), world, bits, data, vci)
 	default:
 		d.charge(instr.Mandatory, costNetmodPrep)
 		d.ep.TaggedSendVCI(world, bits, data, vci)
 	}
+	return nil
+}
+
+// handoffRequest wraps an outstanding zero-copy handoff in a send
+// request: completion is the receiver's ack on the reverse ring. Poll
+// pumps progress so the rank's own incoming traffic keeps moving while
+// it spins; Block parks on the endpoint's event aggregate, which the
+// receiver's release wakes through the domain's wake callback. Blocking
+// here (not inside the shm send) is what keeps the protocol
+// deadlock-free: a sender that blocked before returning could never
+// drain its own rings to release views it owes its peers.
+func (d *Device) handoffRequest(h *shm.Handoff, issued vtime.Time) *request.Request {
+	r := d.pool.Get(request.KindSend)
+	r.Issued = int64(issued)
+	finish := func(r *request.Request) {
+		d.g.Shm.FinishHandoff(h)
+		d.rank.Metrics().Lat.ReqLife.Observe(int64(d.rank.Now()) - r.Issued)
+		r.MarkComplete(request.Status{})
+	}
+	r.Poll = func(r *request.Request) bool {
+		d.Progress()
+		if !h.Done() {
+			return false
+		}
+		finish(r)
+		return true
+	}
+	r.Block = func(r *request.Request) {
+		d.waitUntil(h.Done)
+		finish(r)
+	}
+	return r
 }
 
 // completedRequest finishes an eagerly completed send: either a pooled

@@ -33,6 +33,17 @@ type Config struct {
 	// endpoint). Only the ch4 device honors it; the baseline device
 	// keeps the CH3-era single critical section regardless.
 	VCIs int
+	// ShmEagerMax is the shared-memory staged/handoff threshold in
+	// bytes: on-node payloads strictly larger than it are lent to the
+	// receiver as zero-copy handoff descriptors instead of being
+	// fragmented through ring cells. 0 disables the handoff path.
+	// Only the ch4 device honors it.
+	ShmEagerMax int
+	// ShmCellSize and ShmRingCells override the shared-memory ring
+	// geometry (0 = the shm package defaults), so the eager/handoff
+	// crossover can be swept against the cell cost model.
+	ShmCellSize  int
+	ShmRingCells int
 }
 
 // The named builds of Figure 2.

@@ -27,6 +27,16 @@ const AnyVCI = -1
 type RecvOp struct {
 	Buf []byte // destination buffer (fabric copies into it)
 
+	// Fold, when set, consumes the matched payload in place of the
+	// final copy: Fold(dst, src) reduces src into dst element-wise
+	// (both truncated to the shorter length). With a zero-copy handoff
+	// view this makes the receive copy-free — the payload is folded
+	// where the sender left it. Fold runs on whichever goroutine
+	// delivers the match, under the VCI lock; the device keeps shm
+	// deposits on the receiving rank's goroutine, so folds never race
+	// the buffers they touch.
+	Fold func(dst, src []byte)
+
 	// Results, valid once the op completes.
 	N         int        // bytes delivered
 	Src       int        // sending rank (world address space)
@@ -74,6 +84,10 @@ type message struct {
 	src     int
 	data    []byte
 	arrival vtime.Time
+	// rel is non-nil for a zero-copy handoff view parked unexpected:
+	// data is then the sender's live buffer, valid until rel is
+	// released, and never belongs to the pool.
+	rel ViewReleaser
 	// gseq is the endpoint-global arrival stamp, taken under the VCI
 	// lock at buffering time. Cross-VCI wildcard searches use it to
 	// pick the globally earliest match, preserving the non-overtaking
@@ -132,6 +146,23 @@ func (s *vci) putMessage(m *message) {
 func (s *vci) releaseMessage(m *message) {
 	s.pool.put(m.data)
 	s.putMessage(m)
+}
+
+// consumeMessage recycles a consumed unexpected message and returns the
+// view releaser the caller must fire once it drops the VCI lock (nil
+// for pooled messages, which are recycled here). Releasing outside the
+// lock matters: Release wakes the sending rank, which takes that rank's
+// VCI lock — two ranks consuming each other's lent views under their
+// own locks would otherwise deadlock.
+func (s *vci) consumeMessage(m *message) ViewReleaser {
+	rel := m.rel
+	if rel != nil {
+		m.data, m.rel = nil, nil
+		s.putMessage(m)
+		return rel
+	}
+	s.releaseMessage(m)
+	return nil
 }
 
 // Endpoint is one rank's attachment to the fabric, split into N virtual
@@ -304,7 +335,15 @@ func (ep *Endpoint) TaggedSendVCI(dst int, bits match.Bits, data []byte, v int) 
 	}
 	arrival := p.arrivalAt(now, len(data))
 
-	ep.f.eps[dst].deposit(v, bits, ep.rank, data, arrival, viaNet)
+	ep.f.eps[dst].deposit(v, bits, ep.rank, data, arrival, viaNet, nil)
+}
+
+// ViewReleaser is the fabric's handle on a zero-copy handoff view
+// (satisfied by *shm.Handoff): Release returns the lent buffer to its
+// sender, with copied saying whether the consumer memcpy'd the payload
+// out or folded it in place.
+type ViewReleaser interface {
+	Release(copied bool)
 }
 
 // deposit lands an incoming message at interface v of this endpoint:
@@ -315,7 +354,11 @@ func (ep *Endpoint) TaggedSendVCI(dst int, bits match.Bits, data []byte, v int) 
 // fast path; only an unexpected message pays for a (pooled) buffered
 // copy. A match against a stale replica of an already-claimed wildcard
 // receive re-offers the message until it finds a live consumer.
-func (ep *Endpoint) deposit(v int, bits match.Bits, src int, data []byte, arrival vtime.Time, via via) {
+// A non-nil rel marks data as a zero-copy handoff view: it stays valid
+// until rel is released, so the unexpected path parks it without a
+// pooled copy and the matched path releases it (outside the VCI lock)
+// once the receive consumed it.
+func (ep *Endpoint) deposit(v int, bits match.Bits, src int, data []byte, arrival vtime.Time, via via, rel ViewReleaser) {
 	v = ep.norm(v)
 	switch via {
 	case viaShm:
@@ -327,6 +370,8 @@ func (ep *Endpoint) deposit(v int, bits match.Bits, src int, data []byte, arriva
 		ep.m.NetRecv.Note(len(data))
 	}
 	s := ep.vcis[v]
+	var fireRel ViewReleaser
+	fireCopied := false
 	s.mu.Lock()
 	s.stats.Msgs++
 	s.stats.Bytes += int64(len(data))
@@ -335,9 +380,19 @@ func (ep *Endpoint) deposit(v int, bits match.Bits, src int, data []byte, arriva
 		entry, ok := s.eng.Arrive(bits, m)
 		if !ok {
 			m.src = src
-			buf := s.pool.get(len(data), ep.m)
-			copy(buf, data)
-			m.data = buf
+			if rel != nil {
+				// Lent view: park it as-is. No staging copy exists —
+				// the payload waits in the sender's buffer.
+				m.data = data
+				m.rel = rel
+			} else {
+				buf := s.pool.get(len(data), ep.m)
+				copy(buf, data)
+				m.data = buf
+				if len(data) > 0 {
+					ep.m.CopiesStaged.Note(len(data))
+				}
+			}
 			m.arrival = arrival
 			m.gseq = atomic.AddUint64(&ep.gctr, 1)
 			ep.m.MaxUnexpected(s.eng.UnexpectedLen())
@@ -365,7 +420,10 @@ func (ep *Endpoint) deposit(v int, bits match.Bits, src int, data []byte, arriva
 		// message-count symmetric.
 		ep.m.Lat.UnexRes.Observe(0)
 		ep.m.Flight.Record(flight.Deposit, int64(arrival), src, len(data), v)
-		completeRecv(op, bits, data, arrival)
+		ep.completeRecv(op, bits, data, arrival)
+		if rel != nil {
+			fireRel, fireCopied = rel, op.Fold == nil
+		}
 		break
 	}
 	s.eventSeq++
@@ -373,6 +431,9 @@ func (ep *Endpoint) deposit(v int, bits match.Bits, src int, data []byte, arriva
 	s.cond.Broadcast()
 	s.mu.Unlock()
 	ep.bumpAgg()
+	if fireRel != nil {
+		fireRel.Release(fireCopied)
+	}
 }
 
 // addStale remembers a claimed wildcard op whose replicas still sit in
@@ -418,24 +479,33 @@ func (ep *Endpoint) unlockAll() {
 // endpoint copies what it keeps, so the caller may reuse the slice as
 // soon as the call returns.
 func (ep *Endpoint) DepositShm(bits match.Bits, src int, data []byte, arrival vtime.Time) {
-	ep.deposit(ep.f.VCIFor(bits), bits, src, data, arrival, viaShm)
+	ep.deposit(ep.f.VCIFor(bits), bits, src, data, arrival, viaShm, nil)
 }
 
 // DepositShmVCI is DepositShm onto an explicitly named interface (the
 // sender's hint-refined choice travels with the shm fragment).
 func (ep *Endpoint) DepositShmVCI(bits match.Bits, src int, data []byte, arrival vtime.Time, v int) {
-	ep.deposit(v, bits, src, data, arrival, viaShm)
+	ep.deposit(v, bits, src, data, arrival, viaShm, nil)
+}
+
+// DepositShmViewVCI lands a zero-copy handoff view in the matching
+// engine. Unlike DepositShmVCI's borrowed data, view stays valid until
+// rel is released, so an unexpected view is parked as-is — no pooled
+// copy — and consumed (single direct copy, or an in-place fold)
+// whenever a receive claims it.
+func (ep *Endpoint) DepositShmViewVCI(bits match.Bits, src int, view []byte, arrival vtime.Time, v int, rel ViewReleaser) {
+	ep.deposit(v, bits, src, view, arrival, viaShm, rel)
 }
 
 // DepositSelf lands a self-loop message (the ch4-core self-send
 // shortcut). Same borrowing contract as DepositShm.
 func (ep *Endpoint) DepositSelf(bits match.Bits, src int, data []byte, arrival vtime.Time) {
-	ep.deposit(ep.f.VCIFor(bits), bits, src, data, arrival, viaSelf)
+	ep.deposit(ep.f.VCIFor(bits), bits, src, data, arrival, viaSelf, nil)
 }
 
 // DepositSelfVCI is DepositSelf onto an explicitly named interface.
 func (ep *Endpoint) DepositSelfVCI(bits match.Bits, src int, data []byte, arrival vtime.Time, v int) {
-	ep.deposit(v, bits, src, data, arrival, viaSelf)
+	ep.deposit(v, bits, src, data, arrival, viaSelf, nil)
 }
 
 // Wake nudges every waiter on the endpoint out of WaitEvent /
@@ -531,14 +601,27 @@ func (ep *Endpoint) WaitEventVCI(v int, last uint64) uint64 {
 	return seq
 }
 
-// completeRecv copies a (borrowed) payload into the receive buffer and
-// fills results. Caller holds the lock of the VCI delivering the
+// completeRecv consumes a (borrowed) payload into the receive buffer —
+// the final direct copy, or an in-place fold when the op carries one —
+// and fills results. Caller holds the lock of the VCI delivering the
 // message; the atomic done.Store publishes the result fields to
 // whichever goroutine observes completion. The source reported is the
 // MPI-level source the sender encoded in the match bits (its
 // communicator rank), not the transport address.
-func completeRecv(op *RecvOp, bits match.Bits, data []byte, arrival vtime.Time) {
-	n := copy(op.Buf, data)
+func (ep *Endpoint) completeRecv(op *RecvOp, bits match.Bits, data []byte, arrival vtime.Time) {
+	var n int
+	if op.Fold != nil {
+		n = len(data)
+		if n > len(op.Buf) {
+			n = len(op.Buf)
+		}
+		op.Fold(op.Buf[:n], data[:n])
+	} else {
+		n = copy(op.Buf, data)
+		if n > 0 {
+			ep.m.CopiesDirect.Note(n)
+		}
+	}
 	op.N = n
 	op.Truncated = n < len(data)
 	op.Src = bits.Source()
@@ -571,6 +654,7 @@ func (ep *Endpoint) PostRecvVCI(op *RecvOp, bits match.Bits, mask match.Bits, v 
 	op.vci = v
 	op.multi = false
 	s := ep.vcis[v]
+	var fireRel ViewReleaser
 	s.mu.Lock()
 	bins, searches := s.eng.BinOps, s.eng.Searches
 	if entry, ok := s.eng.PostRecv(bits, mask, op); ok {
@@ -582,8 +666,8 @@ func (ep *Endpoint) PostRecvVCI(op *RecvOp, bits match.Bits, mask match.Bits, v 
 		ep.m.Lat.PostMatch.Observe(0)
 		s.postMatch.Observe(0)
 		ep.m.Flight.Record(flight.UnexHit, int64(now), m.src, len(m.data), v)
-		completeRecv(op, entry.Bits, m.data, m.arrival)
-		s.releaseMessage(m)
+		ep.completeRecv(op, entry.Bits, m.data, m.arrival)
+		fireRel = s.consumeMessage(m)
 	} else {
 		ep.m.MaxPosted(s.eng.PostedLen())
 		ep.m.Flight.Record(flight.PostRecv, int64(now), recvPeer(bits, mask), 0, v)
@@ -591,6 +675,9 @@ func (ep *Endpoint) PostRecvVCI(op *RecvOp, bits match.Bits, mask match.Bits, v 
 	bins, searches = s.eng.BinOps-bins, s.eng.Searches-searches
 	s.mu.Unlock()
 	ep.meter.ChargeCycles(instr.Transport, p.matchCost(bins, searches))
+	if fireRel != nil {
+		fireRel.Release(op.Fold == nil)
+	}
 }
 
 // recvPeer is the flight-recorder peer of a posted receive: the
@@ -615,6 +702,7 @@ func (ep *Endpoint) postRecvMulti(op *RecvOp, bits, mask match.Bits) {
 	op.multi = true
 	op.claimed.Store(false)
 	var bins, searches int64
+	var fireRel ViewReleaser
 	ep.lockAll()
 	ep.sweepStaleLocked()
 	best := -1
@@ -639,8 +727,8 @@ func (ep *Endpoint) postRecvMulti(op *RecvOp, bits, mask match.Bits) {
 		ep.m.Lat.PostMatch.Observe(0)
 		s.postMatch.Observe(0)
 		ep.m.Flight.Record(flight.UnexHit, int64(now), m.src, len(m.data), best)
-		completeRecv(op, entry.Bits, m.data, m.arrival)
-		s.releaseMessage(m)
+		ep.completeRecv(op, entry.Bits, m.data, m.arrival)
+		fireRel = s.consumeMessage(m)
 	} else {
 		for _, s := range ep.vcis {
 			s.eng.PostRecv(bits, mask, op)
@@ -650,6 +738,9 @@ func (ep *Endpoint) postRecvMulti(op *RecvOp, bits, mask match.Bits) {
 	}
 	ep.unlockAll()
 	ep.meter.ChargeCycles(instr.Transport, ep.f.prof.matchCost(bins, searches))
+	if fireRel != nil {
+		fireRel.Release(op.Fold == nil)
+	}
 }
 
 // RecvDone polls one receive for completion. On the completing poll it
@@ -817,6 +908,7 @@ func (ep *Endpoint) MProbe(bits, mask match.Bits) (src, tag int, data []byte, ar
 func (ep *Endpoint) MProbeVCI(bits, mask match.Bits, v int) (src, tag int, data []byte, arrival vtime.Time, ok bool) {
 	p := &ep.f.prof
 	var bins, searches int64
+	var fireRel ViewReleaser
 	v = ep.norm(v)
 	if v >= 0 {
 		s := ep.vcis[v]
@@ -828,10 +920,14 @@ func (ep *Endpoint) MProbeVCI(bits, mask match.Bits, v int) (src, tag int, data 
 			m := entry.Cookie.(*message)
 			src, tag, data, arrival = entry.Bits.Source(), entry.Bits.Tag(), m.data, m.arrival
 			ep.m.Lat.UnexRes.Observe(int64(ep.meter.Now() - m.arrival))
+			data, fireRel = ep.ownMProbeData(m)
 			s.putMessage(m)
 		}
 		s.mu.Unlock()
 		ep.meter.ChargeCycles(instr.Transport, p.matchCost(bins, searches))
+		if fireRel != nil {
+			fireRel.Release(true)
+		}
 		return src, tag, data, arrival, hit
 	}
 	ep.lockAll()
@@ -855,11 +951,36 @@ func (ep *Endpoint) MProbeVCI(bits, mask match.Bits, v int) (src, tag int, data 
 		m := entry.Cookie.(*message)
 		src, tag, data, arrival, ok = entry.Bits.Source(), entry.Bits.Tag(), m.data, m.arrival, true
 		ep.m.Lat.UnexRes.Observe(int64(ep.meter.Now() - m.arrival))
+		data, fireRel = ep.ownMProbeData(m)
 		s.putMessage(m)
 	}
 	ep.unlockAll()
 	ep.meter.ChargeCycles(instr.Transport, p.matchCost(bins, searches))
+	if fireRel != nil {
+		fireRel.Release(true)
+	}
 	return src, tag, data, arrival, ok
+}
+
+// ownMProbeData turns an extracted unexpected message's payload into a
+// caller-owned buffer. A pooled payload already leaves the pool for
+// good; a zero-copy handoff view cannot outlive its release, so it is
+// copied into fresh storage (that staging copy is what a matched probe
+// costs the handoff path) and the view is released once the caller
+// drops the VCI locks.
+func (ep *Endpoint) ownMProbeData(m *message) ([]byte, ViewReleaser) {
+	if m.rel == nil {
+		return m.data, nil
+	}
+	buf := append([]byte(nil), m.data...)
+	if len(buf) > 0 {
+		// The copy's cycle cost is charged by the release below
+		// (Release with copied=true prices one per-byte pass).
+		ep.m.CopiesStaged.Note(len(buf))
+	}
+	rel := m.rel
+	m.data, m.rel = nil, nil
+	return buf, rel
 }
 
 // AMSend injects an active message toward dst. hdr and payload are

@@ -30,12 +30,15 @@ const (
 	AMSend                 // active message injected (peer = dst)
 	AMRecv                 // active message delivered (peer = src)
 	Park                   // goroutine blocked waiting for transport events
+	ShmHandoff             // zero-copy handoff descriptor published (peer = dst, bytes = full payload)
+	HandoffDone            // handoff completion ack observed by the sender (peer = dst)
 	numKinds
 )
 
 var kindNames = [numKinds]string{
 	"send-eager", "send-rndv", "shm-send", "deposit", "unexpected",
 	"post-recv", "unex-hit", "recv-done", "am-send", "am-recv", "park",
+	"shm-handoff", "handoff-done",
 }
 
 func (k Kind) String() string {

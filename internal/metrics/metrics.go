@@ -60,6 +60,7 @@ const (
 	CollAllreduceRecDoubling
 	CollAllreduceRedScatGather
 	CollAllreduceTwoLevel
+	CollAllreduceTwoLevelZC
 	CollAllreduceReduceBcast
 	CollAllgatherRing
 	CollAllgatherBruck
@@ -83,6 +84,7 @@ var CollAlgoNames = [NumCollAlgos]string{
 	CollAllreduceRecDoubling:   "allreduce/rdouble",
 	CollAllreduceRedScatGather: "allreduce/rsag",
 	CollAllreduceTwoLevel:      "allreduce/two-level",
+	CollAllreduceTwoLevelZC:    "allreduce/two-level-zerocopy",
 	CollAllreduceReduceBcast:   "allreduce/reduce-bcast",
 	CollAllgatherRing:          "allgather/ring",
 	CollAllgatherBruck:         "allgather/bruck",
@@ -114,6 +116,17 @@ type Rank struct {
 	// baseline rides eager AM packets as well).
 	AmSend PathStat
 	AmRecv PathStat
+	// Copy accounting for the intra-node paths. CopiesStaged counts
+	// every intermediate staging copy a payload crossed (shm cell
+	// copy-in, ring reassembly, unexpected-queue pool buffering);
+	// CopiesDirect counts final copies into the posted user buffer.
+	// An in-place handoff reduction notes neither — the payload was
+	// folded where it lay. ShmHandoff counts messages (and payload
+	// bytes lent) that took the zero-copy handoff path; it is a subset
+	// of ShmSend, noted on the sending rank.
+	CopiesStaged PathStat
+	CopiesDirect PathStat
+	ShmHandoff   PathStat
 
 	// Matching-engine counters, stored (not accumulated) from the
 	// engine's own counters when a snapshot is taken. BinHits are
@@ -178,12 +191,16 @@ type Rank struct {
 //	ReqLife   - request issue until completion was observed.
 //	WaitPark  - virtual time a Wait jumped forward to reach an
 //	            operation's completion (the park, in virtual cycles).
+//	HandoffRTT- shm handoff descriptor publish until the sender observed
+//	            the receiver's completion ack (buffer-reuse latency of
+//	            the zero-copy path).
 type Latency struct {
-	PostMatch hist.H
-	UnexRes   hist.H
-	RndvRTT   hist.H
-	ReqLife   hist.H
-	WaitPark  hist.H
+	PostMatch  hist.H
+	UnexRes    hist.H
+	RndvRTT    hist.H
+	ReqLife    hist.H
+	WaitPark   hist.H
+	HandoffRTT hist.H
 }
 
 // maxInt64 raises *p to n with a CAS loop.
@@ -299,11 +316,12 @@ type VCIStat struct {
 // LatSnapshot is the frozen latency decomposition of one rank (or an
 // aggregate when merged).
 type LatSnapshot struct {
-	PostMatch hist.Snapshot `json:"post_match"`
-	UnexRes   hist.Snapshot `json:"unexpected_residency"`
-	RndvRTT   hist.Snapshot `json:"rendezvous_rtt"`
-	ReqLife   hist.Snapshot `json:"request_lifetime"`
-	WaitPark  hist.Snapshot `json:"wait_park"`
+	PostMatch  hist.Snapshot `json:"post_match"`
+	UnexRes    hist.Snapshot `json:"unexpected_residency"`
+	RndvRTT    hist.Snapshot `json:"rendezvous_rtt"`
+	ReqLife    hist.Snapshot `json:"request_lifetime"`
+	WaitPark   hist.Snapshot `json:"wait_park"`
+	HandoffRTT hist.Snapshot `json:"handoff_rtt"`
 }
 
 // Snapshot is a frozen copy of a registry, grouped for JSON output.
@@ -317,7 +335,12 @@ type Snapshot struct {
 	Rndv    PathStat    `json:"rendezvous"`
 	AmSend  PathStat    `json:"am_send"`
 	AmRecv  PathStat    `json:"am_recv"`
-	Match   MatchStats  `json:"match"`
+	// Copy accounting (see Rank): staging copies, direct final copies,
+	// and the handoff path's message/byte split.
+	CopiesStaged PathStat   `json:"copies_staged"`
+	CopiesDirect PathStat   `json:"copies_direct"`
+	ShmHandoff   PathStat   `json:"shm_handoff"`
+	Match        MatchStats `json:"match"`
 	Pool    PoolStats   `json:"buffer_pool"`
 	Req     ReqStats    `json:"request_pool"`
 	Rma     RmaStats    `json:"rma"`
@@ -344,6 +367,9 @@ func (r *Rank) Snapshot() Snapshot {
 		Rndv:    r.Rndv.snap(),
 		AmSend:  r.AmSend.snap(),
 		AmRecv:  r.AmRecv.snap(),
+		CopiesStaged: r.CopiesStaged.snap(),
+		CopiesDirect: r.CopiesDirect.snap(),
+		ShmHandoff:   r.ShmHandoff.snap(),
 		Match: MatchStats{
 			BinOps:        atomic.LoadInt64(&r.MatchBinOps),
 			Searches:      atomic.LoadInt64(&r.MatchSearches),
@@ -369,11 +395,12 @@ func (r *Rank) Snapshot() Snapshot {
 		s.Pool.Misses[i] = atomic.LoadInt64(&r.PoolMisses[i])
 	}
 	s.Lat = LatSnapshot{
-		PostMatch: r.Lat.PostMatch.Snapshot(),
-		UnexRes:   r.Lat.UnexRes.Snapshot(),
-		RndvRTT:   r.Lat.RndvRTT.Snapshot(),
-		ReqLife:   r.Lat.ReqLife.Snapshot(),
-		WaitPark:  r.Lat.WaitPark.Snapshot(),
+		PostMatch:  r.Lat.PostMatch.Snapshot(),
+		UnexRes:    r.Lat.UnexRes.Snapshot(),
+		RndvRTT:    r.Lat.RndvRTT.Snapshot(),
+		ReqLife:    r.Lat.ReqLife.Snapshot(),
+		WaitPark:   r.Lat.WaitPark.Snapshot(),
+		HandoffRTT: r.Lat.HandoffRTT.Snapshot(),
 	}
 	for i := 0; i < NumCollAlgos; i++ {
 		calls := atomic.LoadInt64(&r.CollCalls[i])
@@ -408,6 +435,9 @@ func (s Snapshot) Merge(o Snapshot) Snapshot {
 	s.Rndv.add(o.Rndv)
 	s.AmSend.add(o.AmSend)
 	s.AmRecv.add(o.AmRecv)
+	s.CopiesStaged.add(o.CopiesStaged)
+	s.CopiesDirect.add(o.CopiesDirect)
+	s.ShmHandoff.add(o.ShmHandoff)
 	s.Match.BinOps += o.Match.BinOps
 	s.Match.Searches += o.Match.Searches
 	s.Match.BinHits += o.Match.BinHits
@@ -434,6 +464,7 @@ func (s Snapshot) Merge(o Snapshot) Snapshot {
 	s.Lat.RndvRTT.Merge(o.Lat.RndvRTT)
 	s.Lat.ReqLife.Merge(o.Lat.ReqLife)
 	s.Lat.WaitPark.Merge(o.Lat.WaitPark)
+	s.Lat.HandoffRTT.Merge(o.Lat.HandoffRTT)
 	n := len(s.VCIs)
 	if len(o.VCIs) > n {
 		n = len(o.VCIs)

@@ -16,6 +16,22 @@ func reduceInto(op coll.Op, elem *datatype.Type, dst, src []byte) step {
 }
 func copyInto(dst, src []byte) step { return step{kind: opCopy, dst: dst, src: src} }
 
+// sendNoCopyTo marks a send eligible for the zero-copy handoff path:
+// the buffer may be lent to the receiver for the rest of the round, so
+// only use it for buffers the round does not mutate. Falls back to a
+// plain send when the transport has no handoff or the payload is
+// small, so compilers may mark on-node sends unconditionally.
+func sendNoCopyTo(buf []byte, peer int) step {
+	return step{kind: opSend, peer: peer, buf: buf, noCopy: true}
+}
+
+// recvReduceFrom folds the incoming payload from peer into acc in
+// place (acc = incoming OP acc, arrival order). Emit only toward
+// unsegmented peers — the payload must arrive as one message.
+func recvReduceFrom(op coll.Op, elem *datatype.Type, acc []byte, peer int) step {
+	return step{kind: opRecvReduce, peer: peer, dst: acc, op: op, elem: elem}
+}
+
 // lowbit returns the lowest set bit of v, or 0 for v == 0.
 func lowbit(v int) int { return v & -v }
 
@@ -224,8 +240,11 @@ func bcastTwoLevel(s *Schedule, buf []byte, root int) {
 				sends = append(sends, sendTo(buf, l))
 			}
 		}
+		// The intra-node fan-out lends buf zero-copy when the transport
+		// offers handoff: buf is read-only for the round, so one lent
+		// view can serve every local receiver.
 		for _, r := range tp.locals {
-			sends = append(sends, sendTo(buf, r))
+			sends = append(sends, sendNoCopyTo(buf, r))
 		}
 		if len(sends) > 0 {
 			s.addRound(round{comm: sends})
@@ -234,7 +253,7 @@ func bcastTwoLevel(s *Schedule, buf []byte, root int) {
 		s.addRound(round{comm: []step{recvFrom(buf, root)}})
 		var sends []step
 		for _, r := range tp.locals {
-			sends = append(sends, sendTo(buf, r))
+			sends = append(sends, sendNoCopyTo(buf, r))
 		}
 		if len(sends) > 0 {
 			s.addRound(round{comm: sends})
@@ -358,6 +377,19 @@ func Allreduce(t Transport, tag int, op coll.Op, elem *datatype.Type, sendBuf, r
 		allreduceRSAG(s, op, elem, sendBuf, recv)
 	case metrics.CollAllreduceTwoLevel:
 		allreduceTwoLevel(s, op, elem, sendBuf, recv)
+	case metrics.CollAllreduceTwoLevelZC:
+		// The zero-copy variant folds lent views in place, which needs
+		// the transport extensions, an element-divisible payload, and a
+		// commutative op (folds run in arrival order).
+		ht, hok := t.(HandoffTransport)
+		_, rok := t.(ReduceTransport)
+		es := elem.Size()
+		if !hok || !rok || ht.HandoffEager() <= 0 || es == 0 || len(sendBuf)%es != 0 {
+			s.Algo = metrics.CollAllreduceTwoLevel
+			allreduceTwoLevel(s, op, elem, sendBuf, recv)
+			break
+		}
+		allreduceTwoLevelZC(s, op, elem, sendBuf, recv)
 	default:
 		s.Algo = metrics.CollAllreduceReduceBcast
 		allreduceReduceBcast(s, op, elem, sendBuf, recv)
@@ -481,35 +513,7 @@ func allreduceTwoLevel(s *Schedule, op coll.Op, elem *datatype.Type, sendBuf, re
 		}
 		s.addRound(round{comm: recvs, local: folds})
 	}
-	// Inter-node exchange among leaders.
-	if L := len(tp.leaders); L > 1 {
-		if isPow2(L) {
-			tmp := make([]byte, n)
-			for m := 1; m < L; m *= 2 {
-				peer := tp.leaders[tp.myIdx^m]
-				s.addRound(round{
-					comm:  []step{sendTo(res, peer), recvFrom(tmp, peer)},
-					local: []step{reduceInto(op, elem, res, tmp)},
-				})
-			}
-		} else if tp.myIdx == 0 {
-			var recvs, folds []step
-			for _, l := range tp.leaders[1:] {
-				tmp := make([]byte, n)
-				recvs = append(recvs, recvFrom(tmp, l))
-				folds = append(folds, reduceInto(op, elem, res, tmp))
-			}
-			s.addRound(round{comm: recvs, local: folds})
-			var sends []step
-			for _, l := range tp.leaders[1:] {
-				sends = append(sends, sendTo(res, l))
-			}
-			s.addRound(round{comm: sends})
-		} else {
-			s.addRound(round{comm: []step{sendTo(res, tp.leaders[0])}})
-			s.addRound(round{comm: []step{recvFrom(res, tp.leaders[0])}})
-		}
-	}
+	allreduceLeaderExchange(s, tp, op, elem, res, n)
 	// Intra-node broadcast of the result.
 	if len(tp.locals) > 0 {
 		var sends []step
@@ -517,6 +521,153 @@ func allreduceTwoLevel(s *Schedule, op coll.Op, elem *datatype.Type, sendBuf, re
 			sends = append(sends, sendTo(res, r))
 		}
 		s.addRound(round{comm: sends})
+	}
+}
+
+// allreduceLeaderExchange emits the inter-node phase shared by the
+// two-level allreduce variants: leaders exchange and fold their
+// node-reduced vectors (recursive doubling when the leader count is a
+// power of two, gather+bcast through the first leader otherwise).
+// Non-leaders emit nothing.
+func allreduceLeaderExchange(s *Schedule, tp topo, op coll.Op, elem *datatype.Type, res []byte, n int) {
+	if s.t.Rank() != tp.leader {
+		return
+	}
+	L := len(tp.leaders)
+	if L <= 1 {
+		return
+	}
+	if isPow2(L) {
+		tmp := make([]byte, n)
+		for m := 1; m < L; m *= 2 {
+			peer := tp.leaders[tp.myIdx^m]
+			s.addRound(round{
+				comm:  []step{sendTo(res, peer), recvFrom(tmp, peer)},
+				local: []step{reduceInto(op, elem, res, tmp)},
+			})
+		}
+	} else if tp.myIdx == 0 {
+		var recvs, folds []step
+		for _, l := range tp.leaders[1:] {
+			tmp := make([]byte, n)
+			recvs = append(recvs, recvFrom(tmp, l))
+			folds = append(folds, reduceInto(op, elem, res, tmp))
+		}
+		s.addRound(round{comm: recvs, local: folds})
+		var sends []step
+		for _, l := range tp.leaders[1:] {
+			sends = append(sends, sendTo(res, l))
+		}
+		s.addRound(round{comm: sends})
+	} else {
+		s.addRound(round{comm: []step{sendTo(res, tp.leaders[0])}})
+		s.addRound(round{comm: []step{recvFrom(res, tp.leaders[0])}})
+	}
+}
+
+// allreduceTwoLevelZC is the zero-copy two-level allreduce for large
+// payloads on handoff-capable transports. The intra-node phase is an
+// in-place reduce-scatter over lent views: the payload is chunked
+// element-aligned across the node's members, each member folds every
+// peer's lent chunk directly into its slice of the result — no staging
+// copies, no scratch vectors — then the node leader collects the
+// reduced chunks, leaders run the usual inter-node exchange, and the
+// result fans back out as one lent view per local rank. Compared to
+// allreduceTwoLevel the leader folds k chunks of n/k bytes instead of
+// k full vectors, and the k scratch buffers disappear.
+func allreduceTwoLevelZC(s *Schedule, op coll.Op, elem *datatype.Type, sendBuf, recv []byte) {
+	tp := computeTopo(s.t, -1)
+	rank, size := s.t.Rank(), s.t.Size()
+	n := len(sendBuf)
+	res := recv[:n]
+
+	// My node's member list, ascending — identical on every member, so
+	// chunk ownership agrees without communication.
+	myNode := s.t.Node(rank)
+	var members []int
+	myIdx := 0
+	for r := 0; r < size; r++ {
+		if s.t.Node(r) == myNode {
+			if r == rank {
+				myIdx = len(members)
+			}
+			members = append(members, r)
+		}
+	}
+	k := len(members)
+	es := elem.Size()
+	total := n / es
+	// chunk returns the byte range of the result owned by member j.
+	chunk := func(j int) (int, int) {
+		base, rem := total/k, total%k
+		lo := j*base + min(j, rem)
+		cnt := base
+		if j < rem {
+			cnt++
+		}
+		return lo * es, (lo + cnt) * es
+	}
+
+	// Round A — intra-node reduce-scatter in place. I seed my chunk
+	// from my own contribution, lend every other member its chunk of
+	// my sendBuf, and fold their lent chunks into mine as they land.
+	mylo, myhi := chunk(myIdx)
+	copy(res[mylo:myhi], sendBuf[mylo:myhi])
+	if k > 1 {
+		var recvs, sends []step
+		for j, m := range members {
+			if m == rank {
+				continue
+			}
+			if myhi > mylo {
+				recvs = append(recvs, recvReduceFrom(op, elem, res[mylo:myhi], m))
+			}
+			lo, hi := chunk(j)
+			if hi > lo {
+				sends = append(sends, sendNoCopyTo(sendBuf[lo:hi], m))
+			}
+		}
+		if len(recvs)+len(sends) > 0 {
+			s.addRound(round{comm: append(recvs, sends...)})
+		}
+	}
+
+	// Round B — leader collects the reduced chunks.
+	if k > 1 {
+		if rank == tp.leader {
+			var recvs []step
+			for j, m := range members {
+				if m == rank {
+					continue
+				}
+				lo, hi := chunk(j)
+				if hi > lo {
+					recvs = append(recvs, recvFrom(res[lo:hi], m))
+				}
+			}
+			if len(recvs) > 0 {
+				s.addRound(round{comm: recvs})
+			}
+		} else if myhi > mylo {
+			s.addRound(round{comm: []step{sendNoCopyTo(res[mylo:myhi], tp.leader)}})
+		}
+	}
+
+	// Round C — the usual inter-node leader exchange.
+	allreduceLeaderExchange(s, tp, op, elem, res, n)
+
+	// Round D — result fans back out, one lent view serving every
+	// local receiver.
+	if rank == tp.leader {
+		if len(tp.locals) > 0 {
+			var sends []step
+			for _, r := range tp.locals {
+				sends = append(sends, sendNoCopyTo(res, r))
+			}
+			s.addRound(round{comm: sends})
+		}
+	} else {
+		s.addRound(round{comm: []step{recvFrom(res, tp.leader)}})
 	}
 }
 

@@ -60,21 +60,63 @@ type Transport interface {
 	EagerLimit() int
 }
 
+// HandoffTransport is the optional zero-copy extension a transport may
+// implement (the ch4 device does when Config.ShmEagerMax is set): large
+// on-node payloads are lent to the receiver instead of copied through
+// staging cells. The engine type-asserts for it, so the core Transport
+// interface — and every fake implementing it — is untouched.
+type HandoffTransport interface {
+	// SendNoCopy lends data to dest over the zero-copy handoff path.
+	// ok=false means the path does not apply (off-node peer, payload
+	// under the threshold, handoff disabled) and nothing was sent —
+	// the caller falls back to ordinary eager sends. On ok=true the
+	// returned Pending completes when the receiver has released the
+	// buffer; data must stay untouched until then, so schedules gate
+	// the round on it like a receive. A nil Pending with ok=true means
+	// the transport staged after all and the buffer is already free.
+	SendNoCopy(data []byte, dest, tag int) (Pending, bool, error)
+	// HandoffEager is the zero-copy threshold in bytes (0 = handoff
+	// unavailable); the algorithm selection keys off it.
+	HandoffEager() int
+}
+
+// ReduceTransport is the optional in-place reduction extension: the
+// receive consumes its payload by folding it into acc element-wise
+// instead of copying. Over a zero-copy handoff view the payload is
+// reduced where the sender left it — zero copies end to end.
+type ReduceTransport interface {
+	RecvReduce(acc []byte, op coll.Op, elem *datatype.Type, src, tag int) (Pending, error)
+}
+
+// Segmenter is the optional per-peer refinement of EagerLimit: a
+// transport that knows a peer is reachable without the rendezvous
+// protocol (on-node shm with handoff enabled) returns 0 for it, so
+// both sides skip segmentation and large payloads stay whole — which
+// is what lets them ride the handoff path. Senders and receivers
+// derive the same cuts because SegLimit is symmetric in the pair.
+type Segmenter interface {
+	SegLimit(peer int) int
+}
+
 // stepKind enumerates the primitive operations a schedule is built of.
 type stepKind uint8
 
 const (
 	opSend stepKind = iota
 	opRecv
-	opReduce // dst = src OP dst (coll.Apply operand order)
-	opCopy   // copy(dst, src)
+	opReduce     // dst = src OP dst (coll.Apply operand order)
+	opCopy       // copy(dst, src)
+	opRecvReduce // fold the incoming payload into dst in place
 )
 
 // step is one primitive. Send/recv use peer+buf; reduce/copy use
-// dst/src (reduce also op+elem).
+// dst/src (reduce also op+elem); recv-reduce uses peer+dst+op+elem.
+// noCopy marks a send whose buffer may be lent over the zero-copy
+// handoff path when the transport offers one.
 type step struct {
 	kind     stepKind
 	peer     int
+	noCopy   bool
 	buf      []byte
 	dst, src []byte
 	op       coll.Op
@@ -144,21 +186,48 @@ func (s *Schedule) fail(err error) error {
 	return s.err
 }
 
-// segments returns the fragment boundaries of an n-byte payload under
-// the transport's eager limit: [0, n] for an eager-sized payload,
-// ceil(n/limit) cuts otherwise. Both sides derive the same cuts from
-// the same lengths, so fragments pair up by FIFO order.
-func (s *Schedule) segments(n int) int {
-	lim := s.t.EagerLimit()
+// segLimit is the fragment limit toward one peer: the transport's
+// per-peer refinement when it offers one, the flat eager limit
+// otherwise. Both endpoints of a pair compute the same value, so
+// fragments pair up by FIFO order.
+func (s *Schedule) segLimit(peer int) int {
+	if sg, ok := s.t.(Segmenter); ok {
+		return sg.SegLimit(peer)
+	}
+	return s.t.EagerLimit()
+}
+
+// segments returns the fragment boundaries of an n-byte payload toward
+// peer: [0, n] for an eager-sized payload, ceil(n/limit) cuts
+// otherwise.
+func (s *Schedule) segments(n, peer int) int {
+	lim := s.segLimit(peer)
 	if lim <= 0 || n <= lim {
 		return 1
 	}
 	return (n + lim - 1) / lim
 }
 
-// issueSend injects one send step, segmenting above the eager limit.
+// issueSend injects one send step, segmenting above the eager limit. A
+// noCopy step first offers the payload to the transport's zero-copy
+// handoff; when accepted, the returned completion gates the round like
+// a receive (the buffer is lent until the receiver releases it).
 func (s *Schedule) issueSend(st step) error {
-	lim := s.t.EagerLimit()
+	if st.noCopy {
+		if ht, ok := s.t.(HandoffTransport); ok {
+			p, sent, err := ht.SendNoCopy(st.buf, st.peer, s.tag)
+			if err != nil {
+				return err
+			}
+			if sent {
+				if p != nil {
+					s.pending = append(s.pending, p)
+				}
+				return nil
+			}
+		}
+	}
+	lim := s.segLimit(st.peer)
 	if lim <= 0 || len(st.buf) <= lim {
 		return s.t.Send(st.buf, st.peer, s.tag)
 	}
@@ -177,7 +246,7 @@ func (s *Schedule) issueSend(st step) error {
 // issueRecv posts one receive step, segmenting above the eager limit,
 // and appends the resulting Pendings.
 func (s *Schedule) issueRecv(st step) error {
-	lim := s.t.EagerLimit()
+	lim := s.segLimit(st.peer)
 	if lim <= 0 || len(st.buf) <= lim {
 		p, err := s.t.Recv(st.buf, st.peer, s.tag)
 		if err != nil {
@@ -200,6 +269,22 @@ func (s *Schedule) issueRecv(st step) error {
 	return nil
 }
 
+// issueRecvReduce posts one in-place receive-reduce step. Compilers
+// emit these only toward unsegmented peers (SegLimit 0), so the whole
+// payload arrives as one message and folds once.
+func (s *Schedule) issueRecvReduce(st step) error {
+	rt, ok := s.t.(ReduceTransport)
+	if !ok {
+		return fmt.Errorf("nbc: schedule uses recv-reduce but transport lacks it")
+	}
+	p, err := rt.RecvReduce(st.dst, st.op, st.elem, st.peer, s.tag)
+	if err != nil {
+		return err
+	}
+	s.pending = append(s.pending, p)
+	return nil
+}
+
 // startRound issues the current round's communication: sends inject
 // immediately (eager), receives post and become pending.
 func (s *Schedule) startRound() error {
@@ -213,6 +298,8 @@ func (s *Schedule) startRound() error {
 			err = s.issueSend(st)
 		case opRecv:
 			err = s.issueRecv(st)
+		case opRecvReduce:
+			err = s.issueRecvReduce(st)
 		default:
 			err = fmt.Errorf("nbc: local step in comm list")
 		}

@@ -6,11 +6,23 @@
 // loop, which then hands the complete message to a delivery callback
 // (the CH4 device wires this to the rank's matching engine so netmod
 // and shmmod traffic share one matching context).
+//
+// Above a configurable threshold (Config.EagerMax) the transport
+// switches from the staged cell protocol to a zero-copy handoff: the
+// sender publishes a borrowed read-only view of its user buffer as one
+// header-only descriptor cell, the receiver consumes the view directly
+// (a single copy into the posted buffer, or none at all when a
+// reduction folds the view in place), and completion is signaled back
+// to the sender as a header cell on the reverse ring so buffer-reuse
+// semantics stay correct. See DESIGN.md §6e.
 package shm
 
 import (
 	"fmt"
+	"io"
+	"sort"
 	"sync"
+	"sync/atomic"
 
 	"gompi/internal/abort"
 	"gompi/internal/flight"
@@ -21,14 +33,32 @@ import (
 	"gompi/internal/vtime"
 )
 
-// CellSize is the payload capacity of one ring cell. Real shmmods use
-// cache-line-multiple cells; 4 KiB amortizes header costs for the halo
-// exchanges the applications do.
+// CellSize is the default payload capacity of one ring cell. Real
+// shmmods use cache-line-multiple cells; 4 KiB amortizes header costs
+// for the halo exchanges the applications do.
 const CellSize = 4096
 
-// RingCells is the number of cells per ring (256 KiB of payload per
-// ordered pair).
+// RingCells is the default number of cells per ring (256 KiB of
+// payload per ordered pair).
 const RingCells = 64
+
+// Config overrides the transport's geometry and protocol thresholds.
+// The zero value selects the package defaults with the handoff
+// protocol disabled, which reproduces the historical staged-only
+// behavior exactly.
+type Config struct {
+	// CellSize is the payload capacity of one ring cell in bytes
+	// (default CellSize). Smaller cells mean more fragments and more
+	// per-cell header charges for the same payload — the knob the
+	// eager/handoff crossover sweep turns.
+	CellSize int
+	// RingCells is the number of cells per ring (default RingCells).
+	RingCells int
+	// EagerMax is the staged/handoff protocol threshold in bytes:
+	// payloads strictly larger than it are published as zero-copy
+	// handoff descriptors. 0 (the default) disables the handoff path.
+	EagerMax int
+}
 
 // Profile is the shared-memory cost model: on-node messaging costs an
 // order of magnitude less than NIC injection, which is the reason CH4
@@ -40,15 +70,20 @@ type Profile struct {
 	PerByte      float64      // copy cost per byte (each side)
 	Latency      vtime.Cycles // cache-coherence delivery latency
 	RecvOverhead vtime.Cycles // per-message receiver bookkeeping
+	// HandoffOverhead is the extra descriptor bookkeeping a zero-copy
+	// handoff pays at publish (pinning the view, writing the
+	// descriptor) instead of the staged path's per-cell copy charges.
+	HandoffOverhead vtime.Cycles
 }
 
 // DefaultProfile models a contemporary two-socket node.
 var DefaultProfile = Profile{
-	SendOverhead: 90,
-	CellOverhead: 20,
-	PerByte:      0.25,
-	Latency:      180,
-	RecvOverhead: 70,
+	SendOverhead:    90,
+	CellOverhead:    20,
+	PerByte:         0.25,
+	Latency:         180,
+	RecvOverhead:    70,
+	HandoffOverhead: 60,
 }
 
 // Meter mirrors fabric.Meter; the transport charges costs to the
@@ -69,6 +104,23 @@ type Meter interface {
 // on (0 when the sender does not thread VCIs).
 type Deliver func(dst int, bits match.Bits, src int, data []byte, arrival vtime.Time, vci int)
 
+// Releaser is the receive side's handle on a lent handoff view: the
+// consumer calls Release exactly once when it is finished reading the
+// view, with copied saying whether it memcpy'd the payload out (true
+// for a copy into a posted buffer, false for an in-place fold that
+// never moved the bytes). After Release the view must not be touched —
+// the sender is free to reuse its buffer.
+type Releaser interface {
+	Release(copied bool)
+}
+
+// DeliverView hands a zero-copy handoff view to the device on the
+// receiving rank's goroutine. Unlike Deliver's scratch, view is the
+// sender's live user buffer: it remains valid (read-only) until rel is
+// released, so the device may park it unexpected without copying and
+// consume it much later.
+type DeliverView func(dst int, bits match.Bits, src int, view []byte, arrival vtime.Time, vci int, rel Releaser)
+
 // Wake nudges a rank that may be parked waiting for transport events,
 // naming the virtual interface the pending work belongs to.
 type Wake func(dst, vci int)
@@ -76,10 +128,15 @@ type Wake func(dst, vci int)
 // Domain is one node's (or a whole job's) shared-memory segment: the
 // set of rings between co-located ranks.
 type Domain struct {
-	prof    Profile
-	deliver Deliver
-	wake    Wake
-	aborted abort.Flag
+	prof        Profile
+	deliver     Deliver
+	deliverView DeliverView
+	wake        Wake
+	aborted     abort.Flag
+
+	cellSize  int
+	ringCells int
+	eagerMax  int
 
 	// stall is the optional stall watchdog (nil when disabled; all its
 	// methods are nil-safe). Producers blocked on a full ring park with
@@ -89,21 +146,52 @@ type Domain struct {
 	mu     sync.Mutex
 	rings  map[pair]*ring
 	meters []Meter
+	// incoming caches, per destination rank, the list of rings that
+	// feed it; invalidated (nil) when a new ring to that rank appears.
+	// Rings are never removed, so a cached list only ever goes stale by
+	// growing — and growth resets it. Keeps Progress allocation-free.
+	incoming [][]inRing
 }
 
 type pair struct{ src, dst int }
 
-// NewDomain creates a shared-memory domain for n ranks.
+type inRing struct {
+	src int
+	r   *ring
+}
+
+// NewDomain creates a shared-memory domain for n ranks with the
+// default geometry and the handoff protocol disabled.
 func NewDomain(prof Profile, n int, deliver Deliver, wake Wake) *Domain {
+	return NewDomainCfg(prof, Config{}, n, deliver, wake)
+}
+
+// NewDomainCfg is NewDomain with explicit geometry and protocol
+// thresholds. Non-positive Config fields select the package defaults
+// (EagerMax <= 0 disables the handoff path).
+func NewDomainCfg(prof Profile, cfg Config, n int, deliver Deliver, wake Wake) *Domain {
 	if deliver == nil {
 		panic("shm: nil deliver callback")
 	}
+	if cfg.CellSize <= 0 {
+		cfg.CellSize = CellSize
+	}
+	if cfg.RingCells <= 0 {
+		cfg.RingCells = RingCells
+	}
+	if cfg.EagerMax < 0 {
+		cfg.EagerMax = 0
+	}
 	return &Domain{
-		prof:    prof,
-		deliver: deliver,
-		wake:    wake,
-		rings:   make(map[pair]*ring),
-		meters:  make([]Meter, n),
+		prof:      prof,
+		deliver:   deliver,
+		wake:      wake,
+		cellSize:  cfg.CellSize,
+		ringCells: cfg.RingCells,
+		eagerMax:  cfg.EagerMax,
+		rings:     make(map[pair]*ring),
+		meters:    make([]Meter, n),
+		incoming:  make([][]inRing, n),
 	}
 }
 
@@ -114,6 +202,17 @@ func (d *Domain) Bind(rank int, m Meter) { d.meters[rank] = m }
 // SetStall attaches the stall watchdog. Must be called before
 // communication starts; nil detaches.
 func (d *Domain) SetStall(m *stall.Monitor) { d.stall = m }
+
+// SetDeliverView attaches the zero-copy view delivery callback. When
+// unset, handoff views fall back to the staged Deliver callback (the
+// view is handed over borrowed and released as a copy immediately
+// after), so a Domain without device glue still moves handoff traffic
+// correctly.
+func (d *Domain) SetDeliverView(dv DeliverView) { d.deliverView = dv }
+
+// EagerMax reports the staged/handoff threshold (0 when the handoff
+// path is disabled).
+func (d *Domain) EagerMax() int { return d.eagerMax }
 
 // Abort wakes producers blocked on full rings; their waits panic with
 // abort.ErrWorldAborted.
@@ -154,9 +253,17 @@ type ring struct {
 
 	mu    sync.Mutex
 	cond  *sync.Cond
-	cells [RingCells]cell
+	cells []cell
 	head  int // index of the oldest occupied cell
 	count int // occupied cells
+
+	// Handoff bookkeeping (under mu): views currently lent through this
+	// ring and not yet released, for the deadlock-diagnosis dump, plus
+	// the descriptor freelist that keeps the handoff path
+	// allocation-free after warmup.
+	hActive int
+	hBytes  int
+	hFree   *Handoff
 
 	// Receiver-side reassembly state (consumer-only). cur is a
 	// grow-only scratch reused across messages; delivered payloads are
@@ -175,7 +282,8 @@ type cell struct {
 	msgLen  int // total message length (repeated in every fragment)
 	n       int // payload bytes in this fragment
 	arrival vtime.Time
-	data    [CellSize]byte
+	h       *Handoff // descriptor cell: lent view instead of payload
+	data    []byte
 }
 
 func (d *Domain) ring(src, dst int) *ring {
@@ -183,26 +291,120 @@ func (d *Domain) ring(src, dst int) *ring {
 	defer d.mu.Unlock()
 	r := d.rings[pair{src, dst}]
 	if r == nil {
-		r = &ring{}
+		r = &ring{cells: make([]cell, d.ringCells)}
+		for i := range r.cells {
+			r.cells[i].data = make([]byte, d.cellSize)
+		}
 		r.cond = sync.NewCond(&r.mu)
 		d.rings[pair{src, dst}] = r
+		d.incoming[dst] = nil // new feeder: rebuild dst's drain list
 	}
 	return r
+}
+
+// Handoff is one in-flight zero-copy transfer: the sender's view of
+// the completion protocol. The sender must treat the lent buffer as
+// immutable until Done reports true, then call the domain's
+// FinishHandoff to charge the completion-ack read and recycle the
+// descriptor. Handoffs come from a per-ring freelist, so the steady
+// state allocates nothing.
+type Handoff struct {
+	d         *Domain
+	r         *ring
+	src, dst  int
+	vci       int
+	bytes     int
+	view      []byte
+	published vtime.Time
+	ackAt     vtime.Time
+	done      atomic.Bool
+	next      *Handoff
+}
+
+// Done reports whether the receiver has released the lent view (the
+// sender's buffer is reusable). The atomic load orders the receiver's
+// ackAt write before the sender's FinishHandoff read.
+func (h *Handoff) Done() bool { return h.done.Load() }
+
+// Bytes reports the lent payload size.
+func (h *Handoff) Bytes() int { return h.bytes }
+
+// Release returns the lent view to the sender: the consumer charges
+// the single direct copy (when copied) and the completion-ack header
+// cell it writes on the reverse ring, then wakes the sender. Runs on
+// the receiving rank's goroutine, exactly once per handoff.
+func (h *Handoff) Release(copied bool) {
+	d := h.d
+	m := d.meters[h.dst]
+	p := &d.prof
+	cost := p.CellOverhead // completion-ack header cell write
+	if copied {
+		cost += vtime.Cycles(p.PerByte * float64(h.bytes))
+	}
+	m.ChargeCycles(instr.Transport, cost)
+	h.ackAt = m.Now() + vtime.Time(p.Latency)
+	r := h.r
+	r.mu.Lock()
+	r.hActive--
+	r.hBytes -= h.bytes
+	r.mu.Unlock()
+	h.done.Store(true)
+	d.stall.Activity()
+	if d.wake != nil {
+		d.wake(h.src, h.vci)
+	}
+}
+
+// FinishHandoff completes the sender side of a released handoff: sync
+// to the ack's arrival, charge the ack header read, record the
+// publish→ack round trip, and recycle the descriptor. Call only after
+// Done reports true, on the sending rank's goroutine.
+func (d *Domain) FinishHandoff(h *Handoff) {
+	m := d.meters[h.src]
+	p := &d.prof
+	m.Sync(h.ackAt)
+	m.ChargeCycles(instr.Transport, p.CellOverhead) // completion-ack header read
+	m.Metrics().Lat.HandoffRTT.Observe(int64(h.ackAt - h.published))
+	m.Metrics().Flight.Record(flight.HandoffDone, int64(m.Now()), h.dst, h.bytes, h.vci)
+	r := h.r
+	h.view = nil
+	h.bytes = 0
+	h.done.Store(false)
+	r.mu.Lock()
+	h.next = r.hFree
+	r.hFree = h
+	r.mu.Unlock()
 }
 
 // Send fragments data into cells and pushes them onto the (src→dst)
 // ring, blocking whenever the ring is full (bounded eager protocol).
 // Zero-length messages occupy one header-only cell. The message lands
-// on the destination's VCI 0.
+// on the destination's VCI 0. Send always stages — callers that can
+// track handoff completion use SendVCI.
 func (d *Domain) Send(src, dst int, bits match.Bits, data []byte) {
-	d.SendVCI(src, dst, bits, data, 0)
+	d.send(src, dst, bits, data, 0, false)
+}
+
+// SendStagedVCI is SendVCI restricted to the staged cell protocol:
+// the payload is captured into ring cells before return, so the caller
+// may reuse its buffer immediately. Used for requestless sends that
+// have no way to observe a handoff completion.
+func (d *Domain) SendStagedVCI(src, dst int, bits match.Bits, data []byte, vci int) {
+	d.send(src, dst, bits, data, vci, false)
 }
 
 // SendVCI is Send with an explicit destination virtual interface: the
 // sender's hint-refined VCI choice travels with every fragment so the
 // receiving device deposits the reassembled message on the right
-// matching context.
-func (d *Domain) SendVCI(src, dst int, bits match.Bits, data []byte, vci int) {
+// matching context. Payloads above the configured EagerMax take the
+// zero-copy handoff path and return a non-nil Handoff: the caller must
+// keep data immutable until the handoff is Done, then FinishHandoff.
+// A nil return means the payload was staged and the buffer is free.
+func (d *Domain) SendVCI(src, dst int, bits match.Bits, data []byte, vci int) *Handoff {
+	return d.send(src, dst, bits, data, vci, true)
+}
+
+func (d *Domain) send(src, dst int, bits match.Bits, data []byte, vci int, allowHandoff bool) *Handoff {
 	m := d.meters[src]
 	if m == nil {
 		panic(fmt.Sprintf("shm: rank %d sent without a bound meter", src))
@@ -212,7 +414,13 @@ func (d *Domain) SendVCI(src, dst int, bits match.Bits, data []byte, vci int) {
 	// Receive-side accounting happens where the reassembled message is
 	// delivered into the endpoint (DepositShm), on the receiving rank.
 	m.Metrics().ShmSend.Note(len(data))
+	if allowHandoff && d.eagerMax > 0 && len(data) > d.eagerMax {
+		return d.publishHandoff(src, dst, bits, data, vci, m)
+	}
 	m.Metrics().Flight.Record(flight.ShmSend, int64(m.Now()), dst, len(data), vci)
+	if len(data) > 0 {
+		m.Metrics().CopiesStaged.Note(len(data)) // sender copy-in to cells
+	}
 	r := d.ring(src, dst)
 
 	r.prodMu.Lock()
@@ -226,14 +434,14 @@ func (d *Domain) SendVCI(src, dst int, bits match.Bits, data []byte, vci int) {
 	off := 0
 	for {
 		n := len(data) - off
-		if n > CellSize {
-			n = CellSize
+		if n > d.cellSize {
+			n = d.cellSize
 		}
 		m.ChargeCycles(instr.Transport, p.CellOverhead+vtime.Cycles(p.PerByte*float64(n)))
 		arrival := m.Now() + vtime.Time(p.Latency)
 
 		r.mu.Lock()
-		for r.count >= RingCells {
+		for r.count >= d.ringCells {
 			d.aborted.CheckLocked(&r.mu)
 			if !parked {
 				parked = true
@@ -242,9 +450,9 @@ func (d *Domain) SendVCI(src, dst int, bits match.Bits, data []byte, vci int) {
 			}
 			r.cond.Wait()
 		}
-		c := &r.cells[(r.head+r.count)%RingCells]
-		c.bits, c.vci, c.msgLen, c.n, c.arrival = bits, vci, len(data), n, arrival
-		copy(c.data[:], data[off:off+n])
+		c := &r.cells[(r.head+r.count)%d.ringCells]
+		c.bits, c.vci, c.msgLen, c.n, c.arrival, c.h = bits, vci, len(data), n, arrival, nil
+		copy(c.data, data[off:off+n])
 		r.count++
 		r.cond.Broadcast()
 		r.mu.Unlock()
@@ -254,9 +462,63 @@ func (d *Domain) SendVCI(src, dst int, bits match.Bits, data []byte, vci int) {
 
 		off += n
 		if off >= len(data) {
-			return
+			return nil
 		}
 	}
+}
+
+// publishHandoff pushes one descriptor cell lending data to dst. The
+// descriptor occupies a normal ring slot (FIFO with staged traffic, so
+// same-pair ordering is preserved) but carries no payload: the staged
+// path's per-cell copy charges are replaced by one HandoffOverhead.
+func (d *Domain) publishHandoff(src, dst int, bits match.Bits, data []byte, vci int, m Meter) *Handoff {
+	p := &d.prof
+	m.ChargeCycles(instr.Transport, p.HandoffOverhead)
+	m.Metrics().ShmHandoff.Note(len(data))
+	m.Metrics().Flight.Record(flight.ShmHandoff, int64(m.Now()), dst, len(data), vci)
+	r := d.ring(src, dst)
+
+	r.prodMu.Lock()
+	defer r.prodMu.Unlock()
+	parked := false
+	defer func() {
+		if parked {
+			d.stall.Unpark(src)
+		}
+	}()
+	arrival := m.Now() + vtime.Time(p.Latency)
+
+	r.mu.Lock()
+	for r.count >= d.ringCells {
+		d.aborted.CheckLocked(&r.mu)
+		if !parked {
+			parked = true
+			d.stall.Park(src)
+			m.Metrics().Flight.Record(flight.Park, int64(m.Now()), dst, 0, vci)
+		}
+		r.cond.Wait()
+	}
+	h := r.hFree
+	if h != nil {
+		r.hFree = h.next
+		h.next = nil
+	} else {
+		h = &Handoff{}
+	}
+	h.d, h.r, h.src, h.dst, h.vci = d, r, src, dst, vci
+	h.view, h.bytes = data, len(data)
+	h.published = m.Now()
+	c := &r.cells[(r.head+r.count)%d.ringCells]
+	c.bits, c.vci, c.msgLen, c.n, c.arrival, c.h = bits, vci, len(data), 0, arrival, h
+	r.count++
+	r.hActive++
+	r.hBytes += len(data)
+	r.cond.Broadcast()
+	r.mu.Unlock()
+	if d.wake != nil {
+		d.wake(dst, vci)
+	}
+	return h
 }
 
 // Progress drains rank's incoming rings, reassembling messages and
@@ -264,22 +526,21 @@ func (d *Domain) SendVCI(src, dst int, bits match.Bits, data []byte, vci int) {
 // delivered. Runs on rank's goroutine only.
 func (d *Domain) Progress(rank int) int {
 	d.mu.Lock()
-	type src struct {
-		rank int
-		r    *ring
-	}
-	var incoming []src
-	for p, r := range d.rings {
-		if p.dst == rank {
-			incoming = append(incoming, src{p.src, r})
+	incoming := d.incoming[rank]
+	if incoming == nil {
+		for p, r := range d.rings {
+			if p.dst == rank {
+				incoming = append(incoming, inRing{p.src, r})
+			}
 		}
+		d.incoming[rank] = incoming
 	}
 	d.mu.Unlock()
 
 	meter := d.meters[rank]
 	delivered := 0
 	for _, in := range incoming {
-		delivered += d.drainRing(rank, in.rank, in.r, meter)
+		delivered += d.drainRing(rank, in.src, in.r, meter)
 	}
 	return delivered
 }
@@ -288,6 +549,7 @@ func (d *Domain) Progress(rank int) int {
 // the ring's reusable scratch and delivering completed messages. The
 // cell is consumed in place under the ring lock, then handed back to a
 // blocked producer — no per-message allocation on either side.
+// Descriptor cells are handed over as zero-copy views instead.
 func (d *Domain) drainRing(rank, src int, r *ring, meter Meter) int {
 	p := &d.prof
 	delivered := 0
@@ -300,6 +562,30 @@ func (d *Domain) drainRing(rank, src int, r *ring, meter Meter) int {
 			return delivered
 		}
 		c := &r.cells[r.head]
+		if h := c.h; h != nil {
+			// Descriptor cell: capture the header under the lock (the
+			// slot is reusable by the producer the moment count drops)
+			// and deliver the lent view.
+			bits, vci, arrival := c.bits, c.vci, c.arrival
+			c.h = nil
+			r.head = (r.head + 1) % d.ringCells
+			r.count--
+			r.cond.Broadcast()
+			r.mu.Unlock()
+			d.stall.Activity()
+
+			meter.ChargeCycles(instr.Transport, p.CellOverhead+p.RecvOverhead)
+			if d.deliverView != nil {
+				d.deliverView(rank, bits, src, h.view, arrival, vci, h)
+			} else {
+				// No view-aware device: hand the view over borrowed and
+				// release it as a copy, matching Deliver's contract.
+				d.deliver(rank, bits, src, h.view, arrival, vci)
+				h.Release(true)
+			}
+			delivered++
+			continue
+		}
 		n := c.n
 		if r.filled == 0 { // first fragment of a message
 			if cap(r.cur) < c.msgLen {
@@ -316,7 +602,7 @@ func (d *Domain) drainRing(rank, src int, r *ring, meter Meter) int {
 		if c.arrival > r.arrival {
 			r.arrival = c.arrival
 		}
-		r.head = (r.head + 1) % RingCells
+		r.head = (r.head + 1) % d.ringCells
 		r.count--
 		r.cond.Broadcast() // free a cell for a blocked producer
 		r.mu.Unlock()
@@ -327,6 +613,9 @@ func (d *Domain) drainRing(rank, src int, r *ring, meter Meter) int {
 		if r.filled >= r.curLen {
 			meter.ChargeCycles(instr.Transport, p.RecvOverhead)
 			data := r.cur[:r.filled]
+			if r.filled > 0 {
+				meter.Metrics().CopiesStaged.Note(r.filled) // ring reassembly
+			}
 			r.filled, r.curLen = 0, 0
 			d.deliver(rank, r.curBits, src, data, r.arrival, r.curVCI)
 			delivered++
@@ -346,4 +635,42 @@ func (d *Domain) PendingFrom(src, rank int) bool {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	return r.count > 0 || r.filled > 0
+}
+
+// WriteWaitGraph renders the domain's ring and handoff state for
+// deadlock diagnosis: queued cells per ring and, critically, every
+// lent view whose sender may be parked awaiting the completion ack.
+// Ring locks are taken one at a time, so the dump is safe while ranks
+// are parked.
+func (d *Domain) WriteWaitGraph(w io.Writer) {
+	d.mu.Lock()
+	type entry struct {
+		p pair
+		r *ring
+	}
+	entries := make([]entry, 0, len(d.rings))
+	for p, r := range d.rings {
+		entries = append(entries, entry{p, r})
+	}
+	d.mu.Unlock()
+	sort.Slice(entries, func(i, j int) bool {
+		if entries[i].p.src != entries[j].p.src {
+			return entries[i].p.src < entries[j].p.src
+		}
+		return entries[i].p.dst < entries[j].p.dst
+	})
+	for _, e := range entries {
+		e.r.mu.Lock()
+		count, filled := e.r.count, e.r.filled
+		hActive, hBytes := e.r.hActive, e.r.hBytes
+		e.r.mu.Unlock()
+		if count > 0 || filled > 0 {
+			fmt.Fprintf(w, "shm ring %d->%d: %d queued cell(s), %d byte(s) mid-reassembly\n",
+				e.p.src, e.p.dst, count, filled)
+		}
+		if hActive > 0 {
+			fmt.Fprintf(w, "shm: rank %d awaits handoff ack from rank %d (%d handoff(s), %d byte(s) lent)\n",
+				e.p.src, e.p.dst, hActive, hBytes)
+		}
+	}
 }
