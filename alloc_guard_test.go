@@ -118,3 +118,83 @@ func TestPutSteadyStateAllocs(t *testing.T) {
 		t.Errorf("steady-state 1-byte Put allocates %.1f objects/op, want 0", allocs)
 	}
 }
+
+// TestFlushEmptyEpochAllocs guards the flush fast path: a Flush inside
+// a passive epoch with nothing outstanding must not allocate — it is
+// the polling primitive flush-based applications sit in.
+func TestFlushEmptyEpochAllocs(t *testing.T) {
+	var allocs float64
+	err := gompi.Run(2, gompi.Config{Fabric: "inf", Build: "no-err-single-ipo"}, func(p *gompi.Proc) error {
+		w := p.World()
+		win, _, err := w.WinAllocate(8, 1)
+		if err != nil {
+			return err
+		}
+		if err := win.LockAll(); err != nil {
+			return err
+		}
+		if p.Rank() == 0 {
+			time.Sleep(20 * time.Millisecond) // let rank 1 park in its barrier below
+			allocs = testing.AllocsPerRun(200, func() {
+				if err := win.Flush(1); err != nil {
+					t.Error(err)
+				}
+			})
+		}
+		if err := win.UnlockAll(); err != nil {
+			return err
+		}
+		if err := w.Barrier(); err != nil {
+			return err
+		}
+		return win.Free()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if allocs > 0 {
+		t.Errorf("Flush on an empty epoch allocates %.1f objects/op, want 0", allocs)
+	}
+}
+
+// TestShmPutSteadyStateAllocs guards the zero-copy intra-node Put: a
+// small put on an shm-backed window inside a LockAll epoch must stay
+// allocation-free (it is one memcpy plus accounting).
+func TestShmPutSteadyStateAllocs(t *testing.T) {
+	var allocs float64
+	err := gompi.Run(2, gompi.Config{Fabric: "inf", Build: "no-err-single-ipo", RanksPerNode: 2}, func(p *gompi.Proc) error {
+		w := p.World()
+		win, _, err := w.WinAllocate(64, 1)
+		if err != nil {
+			return err
+		}
+		if err := win.LockAll(); err != nil {
+			return err
+		}
+		if p.Rank() == 0 {
+			data := []byte{9}
+			if err := win.Put(data, 1, gompi.Byte, 1, 0); err != nil {
+				return err
+			}
+			time.Sleep(20 * time.Millisecond)
+			allocs = testing.AllocsPerRun(200, func() {
+				if err := win.Put(data, 1, gompi.Byte, 1, 0); err != nil {
+					t.Error(err)
+				}
+			})
+		}
+		if err := win.UnlockAll(); err != nil {
+			return err
+		}
+		if err := w.Barrier(); err != nil {
+			return err
+		}
+		return win.Free()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if allocs > 0 {
+		t.Errorf("steady-state 1-byte shm Put allocates %.1f objects/op, want 0", allocs)
+	}
+}

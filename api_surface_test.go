@@ -348,3 +348,51 @@ func TestStatusGetCount(t *testing.T) {
 		t.Fatalf("empty status with nil type")
 	}
 }
+
+// TestWinAPISurfacePinned pins the redesigned one-sided surface at
+// compile time: the flush family, the single-epoch lock-all pair, the
+// request-based operations, notified access, the option structs, and
+// the deprecation-shim guarantee that pre-redesign signatures
+// (Fence/Lock/Flush/LockAll/UnlockAll) still compile unchanged.
+func TestWinAPISurfacePinned(t *testing.T) {
+	w := (*Win)(nil)
+	var (
+		_ func() error                                                 = w.Fence
+		_ func() error                                                 = w.FenceEnd
+		_ func(int, bool) error                                        = w.Lock
+		_ func(int) error                                              = w.Unlock
+		_ func() error                                                 = w.LockAll
+		_ func() error                                                 = w.LockAllExclusive
+		_ func() error                                                 = w.UnlockAll
+		_ func(int) error                                              = w.Flush
+		_ func(int) error                                              = w.FlushLocal
+		_ func() error                                                 = w.FlushAll
+		_ func() error                                                 = w.FlushLocalAll
+		_ func([]byte, int, *Datatype, int, int) (*Request, error)     = w.Rput
+		_ func([]byte, int, *Datatype, int, int) (*Request, error)     = w.Rget
+		_ func([]byte, int, *Datatype, int, int, Op) (*Request, error) = w.Raccumulate
+		_ func([]byte, int, *Datatype, int, int) error                 = w.PutNotify
+		_ func(int) (int, error)                                       = w.WaitNotify
+		_ func([]byte, int, *Datatype, int, int, PutOptions) error     = w.PutOpt
+	)
+	var c *Comm
+	var (
+		_ func([]byte, int, WinOptions) (*Win, error)      = c.WinCreateOpt
+		_ func(int, int, WinOptions) (*Win, []byte, error) = c.WinAllocateOpt
+	)
+	if AllPutOptions != (PutOptions{GlobalRank: true, NoProcNull: true}) {
+		t.Error("AllPutOptions must assert every fast-path option")
+	}
+	var o WinOptions
+	o.NoLocks, o.SameDispUnit = true, true
+}
+
+// TestRmaConfigKnob pins the staged-shm ablation knob and the trace
+// kind re-exports the RMA observability added with the flush redesign.
+func TestRmaConfigKnob(t *testing.T) {
+	var cfg Config
+	cfg.RmaStagedShm = true
+	if TraceFlush.String() != "rma-flush" || TraceNotify.String() != "rma-notify" {
+		t.Errorf("trace kinds: %s, %s", TraceFlush, TraceNotify)
+	}
+}

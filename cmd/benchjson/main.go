@@ -57,6 +57,10 @@ type Output struct {
 	// message under both transports at each size, with latency,
 	// charged transport cycles, and the copy accounting.
 	Handoff []bench.HandoffPoint `json:"handoff"`
+	// Rma is the one-sided sweep: Put/Get message rate and flush
+	// latency on an shm-backed window under the zero-copy and staged
+	// intra-node cost models, plus the FetchAndOp atomics floor.
+	Rma []bench.RmaPoint `json:"rma"`
 }
 
 // benchLine matches e.g.
@@ -64,7 +68,7 @@ type Output struct {
 var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+(\d+)\s+([\d.]+) ns/op(?:\s+(\d+) B/op)?(?:\s+(\d+) allocs/op)?`)
 
 func main() {
-	out := flag.String("o", "BENCH_PR6.json", "output path")
+	out := flag.String("o", "BENCH_PR7.json", "output path")
 	benchtime := flag.String("benchtime", "1x", "go test -benchtime value")
 	count := flag.Int("count", 3, "benchmark repetitions; duplicates are median-reduced by benchdiff")
 	flag.Parse()
@@ -116,11 +120,14 @@ func main() {
 	handoff, err := bench.HandoffSweep(nil)
 	fail(err)
 
+	rmaPts, err := bench.RmaSweep(nil)
+	fail(err)
+
 	f, err := os.Create(*out)
 	fail(err)
 	enc := json.NewEncoder(f)
 	enc.SetIndent("", "  ")
-	fail(enc.Encode(Output{Benchmarks: results, Exchange: exchange, Latency: latency, VCIScaling: vci, Collectives: colls, Handoff: handoff}))
+	fail(enc.Encode(Output{Benchmarks: results, Exchange: exchange, Latency: latency, VCIScaling: vci, Collectives: colls, Handoff: handoff, Rma: rmaPts}))
 	fail(f.Close())
 	fmt.Fprintf(os.Stderr, "benchjson: %d benchmarks -> %s\n", len(results), *out)
 }

@@ -32,7 +32,18 @@ func main() {
 	rpn := flag.Int("ranks-per-node", 1, "ranks per node (>1 puts the pair on one node, over shm)")
 	shmEager := flag.Int("shm-eager", 0, "shm staged/handoff threshold in bytes (0 disables zero-copy handoff)")
 	handoff := flag.Bool("handoff", false, "run the staged-vs-handoff shm sweep instead of pt2pt")
+	rmaSweep := flag.Bool("rma", false, "run the one-sided zerocopy-vs-staged shm sweep instead of pt2pt")
 	flag.Parse()
+
+	if *rmaSweep {
+		pts, err := bench.RmaSweep(nil)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "osu:", err)
+			os.Exit(1)
+		}
+		bench.WriteRma(os.Stdout, pts)
+		return
+	}
 
 	if *handoff {
 		pts, err := bench.HandoffSweep(nil)

@@ -145,6 +145,12 @@ type Config struct {
 	// can be swept against the cell cost model.
 	ShmCellSize  int
 	ShmRingCells int
+	// RmaStagedShm forces intra-node RMA on shm-backed windows through
+	// the staged cell-fragmentation cost model instead of the zero-copy
+	// direct path — the ablation knob behind the BENCH rma sweep's
+	// staged-vs-zerocopy comparison. Only the ch4 device honors it; the
+	// baseline always stages through its packet machinery.
+	RmaStagedShm bool
 	// CollAlgorithm pins collective algorithm selection for the whole
 	// job: an nbc algorithm family name ("two-level", "flat",
 	// "binomial", "rdouble", "rsag", "ring", "bruck", "pairwise",
@@ -224,6 +230,7 @@ func (cfg Config) resolve() (prof fabric.Profile, bc core.Config, dev string, rp
 	bc.ShmEagerMax = cfg.ShmEagerMax
 	bc.ShmCellSize = cfg.ShmCellSize
 	bc.ShmRingCells = cfg.ShmRingCells
+	bc.RmaStagedShm = cfg.RmaStagedShm
 	if _, err := nbc.ParseForce(cfg.CollAlgorithm); err != nil {
 		return prof, bc, "", 0, fmt.Errorf("gompi: %v", err)
 	}
@@ -596,16 +603,18 @@ type TraceKind = trace.Kind
 
 // Trace operation kinds, re-exported for event inspection.
 const (
-	TraceSend  = trace.KindSend
-	TraceRecv  = trace.KindRecv
-	TraceWait  = trace.KindWait
-	TraceColl  = trace.KindColl
-	TracePut   = trace.KindPut
-	TraceGet   = trace.KindGet
-	TraceAcc   = trace.KindAcc
-	TraceSync  = trace.KindSync
-	TraceProbe = trace.KindProbe
-	TraceSched = trace.KindSched
+	TraceSend   = trace.KindSend
+	TraceRecv   = trace.KindRecv
+	TraceWait   = trace.KindWait
+	TraceColl   = trace.KindColl
+	TracePut    = trace.KindPut
+	TraceGet    = trace.KindGet
+	TraceAcc    = trace.KindAcc
+	TraceSync   = trace.KindSync
+	TraceProbe  = trace.KindProbe
+	TraceSched  = trace.KindSched
+	TraceFlush  = trace.KindFlush
+	TraceNotify = trace.KindNotify
 )
 
 // TraceEvents returns this rank's recorded events in chronological

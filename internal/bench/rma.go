@@ -1,0 +1,151 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"gompi"
+)
+
+// RmaPoint is one measurement of the one-sided sweep: a batch of
+// back-to-back operations of Bytes bytes from rank 0 into rank 1's
+// shm-backed window inside one passive LockAll epoch, completed by a
+// single Flush, on a 2-rank single-node layout. Mode selects the
+// intra-node cost model: "zerocopy" is the direct-placement path,
+// "staged" is the RmaStagedShm ablation that fragments every payload
+// through the cell model.
+type RmaPoint struct {
+	Op    string `json:"op"`   // "put", "get", or "fetch_op"
+	Mode  string `json:"mode"` // "zerocopy" or "staged"
+	Bytes int    `json:"bytes"`
+	// LatencyUs is rank 0's per-operation virtual time in model
+	// microseconds (batch divided by iterations, flush included).
+	LatencyUs float64 `json:"latency_us"`
+	// RateMops is the corresponding message rate in million ops/s.
+	RateMops float64 `json:"rate_mops"`
+	// FlushUs is the cost of the single Flush that completed the batch.
+	FlushUs float64 `json:"flush_us"`
+	// Copy accounting across the whole job: the zero-copy arm must show
+	// zero staged copies.
+	CopiesStaged int64 `json:"copies_staged"`
+	CopiesDirect int64 `json:"copies_direct"`
+}
+
+// RmaSizes is the default sweep, straddling RmaShmEagerMax on both
+// sides so the crossover shows in the output.
+var RmaSizes = []int{8, 512, 4096, 16384, 65536, 262144}
+
+// RmaShmEagerMax is the shm threshold the sweep runs under; the
+// acceptance gate compares the arms at every size above it.
+const RmaShmEagerMax = 4096
+
+// RmaIters is the batch size per point.
+const RmaIters = 50
+
+// RmaSweep measures Put and Get at each size under both intra-node
+// cost models, plus the 8-byte FetchAndOp rate (the atomics floor).
+func RmaSweep(sizes []int) ([]RmaPoint, error) {
+	if len(sizes) == 0 {
+		sizes = RmaSizes
+	}
+	var out []RmaPoint
+	for _, mode := range []string{"zerocopy", "staged"} {
+		for _, op := range []string{"put", "get"} {
+			for _, n := range sizes {
+				pt, err := rmaPoint(op, mode, n)
+				if err != nil {
+					return nil, fmt.Errorf("rma %s %s n=%d: %w", op, mode, n, err)
+				}
+				out = append(out, pt)
+			}
+		}
+		pt, err := rmaPoint("fetch_op", mode, 8)
+		if err != nil {
+			return nil, fmt.Errorf("rma fetch_op %s: %w", mode, err)
+		}
+		out = append(out, pt)
+	}
+	return out, nil
+}
+
+// rmaPoint runs one batch and reads the clocks and copy counters back
+// out.
+func rmaPoint(op, mode string, n int) (RmaPoint, error) {
+	cfg := gompi.Config{
+		RanksPerNode: 2, Fabric: gompi.FabricOFI,
+		ShmEagerMax:  RmaShmEagerMax,
+		RmaStagedShm: mode == "staged",
+	}
+	var opCycles, flushCycles int64
+	var hz float64
+	st, err := gompi.RunStats(2, cfg, func(p *gompi.Proc) error {
+		w := p.World()
+		win, _, err := w.WinAllocate(n+8, 1)
+		if err != nil {
+			return err
+		}
+		if err := win.LockAll(); err != nil {
+			return err
+		}
+		if p.Rank() == 0 {
+			hz = p.ClockHz()
+			buf := make([]byte, n)
+			result := make([]byte, 8)
+			start := p.VirtualCycles()
+			for i := 0; i < RmaIters; i++ {
+				switch op {
+				case "put":
+					err = win.Put(buf, n, gompi.Byte, 1, 0)
+				case "get":
+					err = win.Get(buf, n, gompi.Byte, 1, 0)
+				case "fetch_op":
+					err = win.FetchAndOp(buf[:8], result, gompi.Long, 1, 0, gompi.OpSum)
+				}
+				if err != nil {
+					return err
+				}
+			}
+			fstart := p.VirtualCycles()
+			if err := win.Flush(1); err != nil {
+				return err
+			}
+			end := p.VirtualCycles()
+			opCycles = end - start
+			flushCycles = end - fstart
+		}
+		if err := win.UnlockAll(); err != nil {
+			return err
+		}
+		if err := w.Barrier(); err != nil {
+			return err
+		}
+		return win.Free()
+	})
+	if err != nil {
+		return RmaPoint{}, err
+	}
+	pt := RmaPoint{Op: op, Mode: mode, Bytes: n}
+	if hz > 0 {
+		perOp := float64(opCycles) / RmaIters
+		pt.LatencyUs = perOp / hz * 1e6
+		if perOp > 0 {
+			pt.RateMops = hz / perOp / 1e6
+		}
+		pt.FlushUs = float64(flushCycles) / hz * 1e6
+	}
+	agg := st.Aggregate()
+	pt.CopiesStaged = agg.CopiesStaged.Msgs
+	pt.CopiesDirect = agg.CopiesDirect.Msgs
+	return pt, nil
+}
+
+// WriteRma renders the sweep as a table.
+func WriteRma(w io.Writer, pts []RmaPoint) {
+	fmt.Fprintf(w, "One-sided shm sweep: 2 ranks, 1 node, %d ops/batch, ShmEagerMax %d\n", RmaIters, RmaShmEagerMax)
+	fmt.Fprintf(w, "%-9s %-9s %9s %12s %10s %10s %8s %8s\n",
+		"op", "mode", "bytes", "latency_us", "rate_Mops", "flush_us", "staged", "direct")
+	for _, p := range pts {
+		fmt.Fprintf(w, "%-9s %-9s %9d %12.3f %10.3f %10.3f %8d %8d\n",
+			p.Op, p.Mode, p.Bytes, p.LatencyUs, p.RateMops, p.FlushUs, p.CopiesStaged, p.CopiesDirect)
+	}
+}

@@ -11,7 +11,9 @@ import (
 	"gompi/internal/comm"
 	"gompi/internal/core"
 	"gompi/internal/datatype"
+	"gompi/internal/flight"
 	"gompi/internal/instr"
+	"gompi/internal/request"
 	"gompi/internal/rma"
 	"gompi/internal/vtime"
 )
@@ -27,6 +29,17 @@ const (
 	costAMFallback   = 30
 	costLockProto    = 24 // passive-target lock protocol round trip
 	costFlushProto   = 12
+	// costFlushLocal: local completion is a bookkeeping check — origin
+	// buffers are reusable at issue on this device (RDMA copies at
+	// injection, the AM fallback packs), so FLUSH_LOCAL pays no wire
+	// round trip. The cheap half of the flush split foMPI exploits.
+	costFlushLocal = 4
+	// costPutAllOpts is the fused one-sided path's total mandatory
+	// charge: window handle load (2), epoch-counter bump (2),
+	// displacement scale (2), locality branch (2), fused descriptor
+	// build + doorbell write (8) — the Section 3.7 treatment applied
+	// to MPI_PUT.
+	costPutAllOpts = 16
 )
 
 // ErrNotAttached reports RMA to a dynamic window address with no
@@ -165,8 +178,13 @@ func (d *Device) Put(origin []byte, count int, dt *datatype.Type, target, disp i
 		return errString("put", err)
 	}
 	d.charge(instr.Mandatory, costLocality)
+	d.rank.Metrics().Flight.Record(flight.RmaPut, int64(d.rank.Now()), world, nbytes, -1)
 
 	if view, ok := datatype.ContigView(dt, count, origin); ok {
+		if d.shmWindowLocal(world) && !w.Shared.Dynamic {
+			d.putShm(world, key, off, view)
+			return nil
+		}
 		// Native netmod fast path: one RDMA write.
 		d.charge(instr.Mandatory, costRDMADescPrep)
 		d.ep.Put(world, key, off, view)
@@ -176,6 +194,56 @@ func (d *Device) Put(origin []byte, count int, dt *datatype.Type, target, disp i
 	// ship the flattened target layout, and let the target-side
 	// handler scatter it.
 	return d.putDerivedAM(origin, count, dt, world, key, off)
+}
+
+// shmWindowLocal reports whether world's window memory sits in this
+// node's shared address space, so direct loads and stores (not wire
+// injections) can move the bytes.
+func (d *Device) shmWindowLocal(world int) bool {
+	return d.g.Shm != nil && d.g.World.SameNode(world, d.rank.ID())
+}
+
+// putShm is the intra-node window write. The default arm is zero-copy:
+// ranks share the address space, so the payload lands in the target's
+// window with a single direct store stream — no staging copy, exactly
+// the PiP-style ownership the paper's shared-address ranks enable.
+// Under Config.RmaStagedShm the staged arm instead models the CH3-era
+// cell-fragmented path (copy into ring cells, drain into the window)
+// for the ablation sweep: one staged copy plus the landing copy, with
+// per-cell overheads on both sides.
+func (d *Device) putShm(world, key, off int, data []byte) {
+	m := d.rank.Metrics()
+	p := d.g.Shm.Profile()
+	if d.cfg.RmaStagedShm {
+		cells := (len(data) + d.g.Shm.CellBytes() - 1) / d.g.Shm.CellBytes()
+		d.rank.ChargeCycles(instr.Transport,
+			int64(p.SendOverhead)+int64(p.RecvOverhead)+
+				int64(cells)*2*int64(p.CellOverhead)+int64(2*float64(len(data))*p.PerByte))
+		m.CopiesStaged.Note(len(data))
+	} else {
+		d.charge(instr.Mandatory, costShmPrep)
+		d.rank.ChargeCycles(instr.Transport, int64(p.Latency)+int64(float64(len(data))*p.PerByte))
+	}
+	m.CopiesDirect.Note(len(data))
+	d.g.Fab.PutLocal(world, key, off, data, d.rank.Now())
+}
+
+// getShm is the intra-node window read, mirroring putShm's two arms.
+func (d *Device) getShm(world, key, off int, buf []byte) {
+	m := d.rank.Metrics()
+	p := d.g.Shm.Profile()
+	if d.cfg.RmaStagedShm {
+		cells := (len(buf) + d.g.Shm.CellBytes() - 1) / d.g.Shm.CellBytes()
+		d.rank.ChargeCycles(instr.Transport,
+			int64(p.SendOverhead)+int64(p.RecvOverhead)+
+				int64(cells)*2*int64(p.CellOverhead)+int64(2*float64(len(buf))*p.PerByte))
+		m.CopiesStaged.Note(len(buf))
+	} else {
+		d.charge(instr.Mandatory, costShmPrep)
+		d.rank.ChargeCycles(instr.Transport, int64(p.Latency)+int64(float64(len(buf))*p.PerByte))
+	}
+	m.CopiesDirect.Note(len(buf))
+	d.g.Fab.GetLocal(world, key, off, buf)
 }
 
 // Get implements the ADI one-sided get: RDMA reads, per-segment for
@@ -202,8 +270,13 @@ func (d *Device) Get(origin []byte, count int, dt *datatype.Type, target, disp i
 		return errString("get", err)
 	}
 	d.charge(instr.Mandatory, costLocality)
+	d.rank.Metrics().Flight.Record(flight.RmaGet, int64(d.rank.Now()), world, nbytes, -1)
 
 	if view, ok := datatype.ContigView(dt, count, origin); ok {
+		if d.shmWindowLocal(world) && !w.Shared.Dynamic {
+			d.getShm(world, key, off, view)
+			return nil
+		}
 		d.charge(instr.Mandatory, costRDMADescPrep)
 		d.ep.Get(world, key, off, view)
 		return nil
@@ -265,6 +338,7 @@ func (d *Device) accumulate(origin, result []byte, count int, dt *datatype.Type,
 		return errString("accumulate", err)
 	}
 	d.charge(instr.Mandatory, costLocality)
+	d.rank.Metrics().Flight.Record(flight.RmaAcc, int64(d.rank.Now()), world, nbytes, -1)
 
 	view, contig := datatype.ContigView(dt, count, origin)
 	if !contig {
@@ -275,6 +349,28 @@ func (d *Device) accumulate(origin, result []byte, count int, dt *datatype.Type,
 			return errString("get_accumulate", coll.ErrBadOp)
 		}
 		return d.accDerivedAM(origin, count, dt, op, world, key, off)
+	}
+
+	if d.shmWindowLocal(world) && !w.Shared.Dynamic && !d.cfg.RmaStagedShm {
+		// Intra-node lent-view fold: the origin mutates the target
+		// bytes where they lie, under the region's atomicity lock —
+		// zero staged, zero direct copies (the GetAccumulate result
+		// fetch still lands one direct copy into the caller's buffer).
+		d.charge(instr.Mandatory, costShmPrep)
+		p := d.g.Shm.Profile()
+		d.rank.ChargeCycles(instr.Transport, int64(p.Latency)+int64(2*float64(nbytes)*p.PerByte))
+		var applyErr error
+		d.g.Fab.RMWLocal(world, key, off, nbytes, func(tgt []byte) {
+			if result != nil {
+				copy(result, tgt)
+				d.rank.Metrics().CopiesDirect.Note(nbytes)
+			}
+			applyErr = coll.Apply(op, elem, tgt, view)
+		}, d.rank.Now())
+		if applyErr != nil {
+			return errString("accumulate", applyErr)
+		}
+		return nil
 	}
 
 	d.charge(instr.Mandatory, costRDMADescPrep)
@@ -301,7 +397,11 @@ func (d *Device) Fence(w *rma.Win) error {
 	if !w.Shared.Dynamic {
 		d.rank.Sync(d.g.Fab.RegionArrival(d.rank.ID(), w.MyKey))
 	}
-	return w.OpenEpoch(rma.EpochFence, -1)
+	if err := w.OpenEpoch(rma.EpochFence, -1); err != nil {
+		return err
+	}
+	w.OpenedAt = d.rank.Now()
+	return nil
 }
 
 // FenceEnd closes the fence epoch sequence (MPI_WIN_FENCE with
@@ -328,6 +428,7 @@ func (d *Device) Lock(w *rma.Win, target int, exclusive bool) error {
 	if err := w.OpenEpoch(rma.EpochLock, target); err != nil {
 		return err
 	}
+	w.OpenedAt = d.rank.Now()
 	d.charge(instr.Mandatory, costLockProto)
 	d.rank.ChargeCycles(instr.Transport, 2*d.g.Fab.Profile().WireLatency)
 	// Spin with progress: a blocked rank must keep servicing AM
@@ -366,6 +467,146 @@ func (d *Device) Flush(w *rma.Win, target int) error {
 	d.charge(instr.Mandatory, costFlushProto)
 	d.flushAM()
 	d.rank.ChargeCycles(instr.Transport, 2*d.g.Fab.Profile().WireLatency)
+	d.observeFlush(w, target)
+	return nil
+}
+
+// observeFlush threads one completed flush through the observability
+// layers: the op counter, the epoch-open→flush histogram (only while
+// an epoch is open — Unlock's internal flush runs after the close and
+// records the counter alone), and the flight recorder.
+func (d *Device) observeFlush(w *rma.Win, target int) {
+	m := d.rank.Metrics()
+	m.NoteRmaFlush()
+	if w.InEpoch() && w.OpenedAt > 0 {
+		m.Lat.EpochFlush.Observe(int64(d.rank.Now() - w.OpenedAt))
+	}
+	m.Flight.Record(flight.RmaFlush, int64(d.rank.Now()), target, 0, -1)
+}
+
+// FlushLocal completes outstanding operations to target locally
+// (MPI_WIN_FLUSH_LOCAL; target -1 covers all targets): origin buffers
+// become reusable, remote completion is not implied. On this device
+// every op is locally complete at issue, so the call is pure
+// bookkeeping — no AM wait, no wire round trip.
+func (d *Device) FlushLocal(w *rma.Win, target int) error {
+	d.charge(instr.Mandatory, costFlushLocal)
+	d.observeFlush(w, target)
+	return nil
+}
+
+// FlushAll completes outstanding operations to every target
+// (MPI_WIN_FLUSH_ALL) without closing the epoch. Completion tracking
+// is per-endpoint, so one AM drain and one round trip cover all
+// targets — the same cost as a single Flush, which is the point of
+// the flush-based design.
+func (d *Device) FlushAll(w *rma.Win) error {
+	d.charge(instr.Mandatory, costFlushProto)
+	d.flushAM()
+	d.rank.ChargeCycles(instr.Transport, 2*d.g.Fab.Profile().WireLatency)
+	d.observeFlush(w, -1)
+	return nil
+}
+
+// FlushRequest returns a request completing when every operation
+// issued so far to target (or all targets for -1) is remotely
+// complete — the substrate under Rput/Rget/Raccumulate. Pure-RDMA
+// epochs complete immediately; with AM fallback traffic in flight the
+// request polls the ack counter off the progress engine like any
+// two-sided request.
+func (d *Device) FlushRequest(w *rma.Win, target int) (*request.Request, error) {
+	d.charge(instr.Mandatory, costFlushProto+costRequestAlloc)
+	r := d.pool.Get(request.KindRMA)
+	r.Issued = int64(d.rank.Now())
+	sent := d.amSent
+	finish := func(r *request.Request) {
+		d.rank.Sync(d.amAckArrival)
+		d.rank.ChargeCycles(instr.Transport, 2*d.g.Fab.Profile().WireLatency)
+		d.observeFlush(w, target)
+		d.rank.Metrics().Lat.ReqLife.Observe(int64(d.rank.Now()) - r.Issued)
+		r.MarkComplete(request.Status{})
+	}
+	if d.amAcked >= sent {
+		finish(r)
+		return r, nil
+	}
+	r.Poll = func(r *request.Request) bool {
+		d.Progress()
+		if d.amAcked < sent {
+			return false
+		}
+		finish(r)
+		return true
+	}
+	r.Block = func(r *request.Request) {
+		d.waitUntil(func() bool { return d.amAcked >= sent })
+		finish(r)
+	}
+	return r, nil
+}
+
+// LockAll opens one passive-target access epoch spanning every rank
+// (MPI_WIN_LOCK_ALL): a single epoch object and one protocol round
+// trip, not n Lock calls — the scalable flush-based design. The lock
+// table is still honored per target (shared mode admits concurrent
+// origins; exclusive serializes against everyone), acquired in rank
+// order so concurrent exclusive LockAlls cannot deadlock.
+func (d *Device) LockAll(w *rma.Win, exclusive bool) error {
+	if err := w.OpenEpoch(rma.EpochLockAll, -1); err != nil {
+		return err
+	}
+	w.OpenedAt = d.rank.Now()
+	d.rank.Metrics().NoteRmaLockAll()
+	d.charge(instr.Mandatory, costLockProto+costEpochTrack)
+	d.rank.ChargeCycles(instr.Transport, 2*d.g.Fab.Profile().WireLatency)
+	for t := 0; t < w.Comm.Size(); t++ {
+		for !w.Shared.TryAcquireLock(t, exclusive) {
+			if d.g.Fab.Aborted() {
+				panic(abort.ErrWorldAborted)
+			}
+			d.Progress()
+			runtime.Gosched()
+		}
+	}
+	w.LockExclusive = exclusive
+	return nil
+}
+
+// UnlockAll flushes and closes the LockAll epoch (MPI_WIN_UNLOCK_ALL).
+func (d *Device) UnlockAll(w *rma.Win) error {
+	if w.Epoch != rma.EpochLockAll {
+		return errString("unlock_all", rma.ErrNoEpoch)
+	}
+	if err := d.FlushAll(w); err != nil {
+		return err
+	}
+	d.charge(instr.Mandatory, costLockProto)
+	for t := w.Comm.Size() - 1; t >= 0; t-- {
+		w.Shared.ReleaseLock(t, w.LockExclusive)
+	}
+	_, err := w.CloseEpoch()
+	return err
+}
+
+// PutAllOpts is the hand-minimized fused one-sided path, the RMA
+// analogue of IsendAllOpts: a contiguous byte payload to a world
+// target rank on a world-communicator window with a uniform
+// displacement unit, inside an already-open epoch. Validation,
+// call-frame, and dispatch charges are elided by the caller's
+// contract; with the inlined build this is the 16-instruction put.
+func (d *Device) PutAllOpts(origin []byte, worldTarget, disp int, w *rma.Win) error {
+	d.rank.Metrics().NoteRmaPut()
+	d.charge(instr.Mandatory, costPutAllOpts)
+	off := disp * w.DispUnit
+	key := w.Shared.Keys[worldTarget]
+	if d.shmWindowLocal(worldTarget) && !d.cfg.RmaStagedShm {
+		p := d.g.Shm.Profile()
+		d.rank.ChargeCycles(instr.Transport, int64(p.Latency)+int64(float64(len(origin))*p.PerByte))
+		d.rank.Metrics().CopiesDirect.Note(len(origin))
+		d.g.Fab.PutLocal(worldTarget, key, off, origin, d.rank.Now())
+		return nil
+	}
+	d.ep.Put(worldTarget, key, off, origin)
 	return nil
 }
 

@@ -114,4 +114,27 @@ type Device interface {
 	// Flush completes all outstanding operations to target without
 	// closing the epoch.
 	Flush(w *rma.Win, target int) error
+	// FlushLocal completes outstanding operations to target locally
+	// (MPI_WIN_FLUSH_LOCAL): origin buffers are reusable, remote
+	// completion is not implied. target -1 means all targets.
+	FlushLocal(w *rma.Win, target int) error
+	// FlushAll completes outstanding operations to every target without
+	// closing the epoch (MPI_WIN_FLUSH_ALL).
+	FlushAll(w *rma.Win) error
+	// FlushRequest returns a request that completes when every
+	// operation issued to target (or all targets when target is -1) so
+	// far is remotely complete — the completion substrate of
+	// request-based Rput/Rget/Raccumulate, progressed off the request
+	// engine like any two-sided request.
+	FlushRequest(w *rma.Win, target int) (*request.Request, error)
+	// LockAll opens one passive-target epoch spanning every rank
+	// (MPI_WIN_LOCK_ALL): a single epoch object, shared or exclusive.
+	LockAll(w *rma.Win, exclusive bool) error
+	// UnlockAll flushes and closes the LockAll epoch.
+	UnlockAll(w *rma.Win) error
+	// PutAllOpts is the hand-minimized fused one-sided path, the RMA
+	// analogue of IsendAllOpts: a contiguous byte payload to a world
+	// target rank inside an already-open epoch, with validation and
+	// call-frame charges elided by the caller's contract.
+	PutAllOpts(origin []byte, worldTarget, disp int, w *rma.Win) error
 }

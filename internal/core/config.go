@@ -44,6 +44,11 @@ type Config struct {
 	// crossover can be swept against the cell cost model.
 	ShmCellSize  int
 	ShmRingCells int
+	// RmaStagedShm forces intra-node RMA on shm-backed windows through
+	// the staged cell-fragmentation cost model instead of the zero-copy
+	// direct path — the ablation knob the RMA sweep compares against.
+	// Only the ch4 device honors it.
+	RmaStagedShm bool
 }
 
 // The named builds of Figure 2.

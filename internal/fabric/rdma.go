@@ -102,6 +102,40 @@ func (ep *Endpoint) RMW(dst, key, off, n int, fn func(target []byte)) {
 	ep.meter.Sync(p.arrival(arrival, 0)) // completion ack round trip
 }
 
+// PutLocal deposits data into (dst, key) by direct store — the
+// zero-copy path for shm-backed windows: ranks on one node share the
+// address space, so an intra-node Put is a memcpy into the window, not
+// an injection. The caller has already charged the copy's cycles;
+// arrival is the store's virtual completion time, recorded on the
+// region so epoch-closing synchronization folds it in like any RDMA
+// write.
+func (f *Fabric) PutLocal(dst, key, off int, data []byte, arrival vtime.Time) {
+	r := f.region(dst, key)
+	copy(r.mem[off:], data)
+	r.noteArrival(arrival)
+}
+
+// GetLocal reads len(buf) bytes from (dst, key) at offset off by
+// direct load — the zero-copy intra-node Get. No round trip: the
+// caller charges the copy and the data is immediately current.
+func (f *Fabric) GetLocal(dst, key, off int, buf []byte) {
+	r := f.region(dst, key)
+	copy(buf, r.mem[off:off+len(buf)])
+}
+
+// RMWLocal applies fn to the target bytes under the region's atomicity
+// lock without any wire charges — the intra-node lent-view fold: the
+// origin mutates the target's bytes where they lie (zero staged, zero
+// direct copies). fn sees current contents; arrival records the fold's
+// virtual completion on the region.
+func (f *Fabric) RMWLocal(dst, key, off, n int, fn func(target []byte), arrival vtime.Time) {
+	r := f.region(dst, key)
+	r.rmwMu.Lock()
+	fn(r.mem[off : off+n])
+	r.rmwMu.Unlock()
+	r.noteArrival(arrival)
+}
+
 // RegionMem exposes the raw memory of a locally registered region to
 // device-side active-message handlers (the target of an AM fallback
 // scatters into its own window memory).

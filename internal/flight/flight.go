@@ -19,19 +19,24 @@ type Kind uint8
 
 // Protocol event kinds.
 const (
-	SendEager  Kind = iota // eager tagged send injected (peer = dst)
-	SendRndv               // rendezvous tagged send injected (peer = dst)
-	ShmSend                // shared-memory send started (peer = dst)
-	Deposit                // incoming message matched a posted receive (peer = src)
-	Unexpected             // incoming message buffered unexpected (peer = src)
-	PostRecv               // receive posted, no unexpected match (peer = src or -1)
-	UnexHit                // receive posted, satisfied from unexpected queue
-	RecvDone               // receive completion reaped
-	AMSend                 // active message injected (peer = dst)
-	AMRecv                 // active message delivered (peer = src)
-	Park                   // goroutine blocked waiting for transport events
-	ShmHandoff             // zero-copy handoff descriptor published (peer = dst, bytes = full payload)
-	HandoffDone            // handoff completion ack observed by the sender (peer = dst)
+	SendEager   Kind = iota // eager tagged send injected (peer = dst)
+	SendRndv                // rendezvous tagged send injected (peer = dst)
+	ShmSend                 // shared-memory send started (peer = dst)
+	Deposit                 // incoming message matched a posted receive (peer = src)
+	Unexpected              // incoming message buffered unexpected (peer = src)
+	PostRecv                // receive posted, no unexpected match (peer = src or -1)
+	UnexHit                 // receive posted, satisfied from unexpected queue
+	RecvDone                // receive completion reaped
+	AMSend                  // active message injected (peer = dst)
+	AMRecv                  // active message delivered (peer = src)
+	Park                    // goroutine blocked waiting for transport events
+	ShmHandoff              // zero-copy handoff descriptor published (peer = dst, bytes = full payload)
+	HandoffDone             // handoff completion ack observed by the sender (peer = dst)
+	RmaPut                  // one-sided put issued (peer = target)
+	RmaGet                  // one-sided get issued (peer = target)
+	RmaAcc                  // one-sided accumulate/get-accumulate issued (peer = target)
+	RmaFlush                // passive-target flush completed (peer = target or -1 for all)
+	NotifyWait              // notified-access wait posted (peer = origin)
 	numKinds
 )
 
@@ -39,6 +44,7 @@ var kindNames = [numKinds]string{
 	"send-eager", "send-rndv", "shm-send", "deposit", "unexpected",
 	"post-recv", "unex-hit", "recv-done", "am-send", "am-recv", "park",
 	"shm-handoff", "handoff-done",
+	"rma-put", "rma-get", "rma-acc", "rma-flush", "notify-wait",
 }
 
 func (k Kind) String() string {

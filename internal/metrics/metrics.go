@@ -158,6 +158,12 @@ type Rank struct {
 	RmaGets    int64
 	RmaAccs    int64
 	RmaGetAccs int64
+	// Flush-based passive-target synchronization: flushes (all Flush
+	// variants), single-epoch LockAll opens, and notified-access
+	// tokens sent (PutNotify).
+	RmaFlushes  int64
+	RmaLockAlls int64
+	RmaNotifies int64
 
 	// Per-algorithm collective counters, noted at the MPI layer with
 	// the algorithm the selection logic chose and the per-rank payload
@@ -194,6 +200,10 @@ type Rank struct {
 //	HandoffRTT- shm handoff descriptor publish until the sender observed
 //	            the receiver's completion ack (buffer-reuse latency of
 //	            the zero-copy path).
+//	EpochFlush- access-epoch open until a flush completed inside it
+//	            (epoch-open→flush, the passive-target working-set span).
+//	NotifyWait- WaitNotify post until the notification token arrived
+//	            (the notified-access round trip seen by the consumer).
 type Latency struct {
 	PostMatch  hist.H
 	UnexRes    hist.H
@@ -201,6 +211,8 @@ type Latency struct {
 	ReqLife    hist.H
 	WaitPark   hist.H
 	HandoffRTT hist.H
+	EpochFlush hist.H
+	NotifyWait hist.H
 }
 
 // maxInt64 raises *p to n with a CAS loop.
@@ -254,6 +266,13 @@ func (r *Rank) NoteRmaGet()    { atomic.AddInt64(&r.RmaGets, 1) }
 func (r *Rank) NoteRmaAcc()    { atomic.AddInt64(&r.RmaAccs, 1) }
 func (r *Rank) NoteRmaGetAcc() { atomic.AddInt64(&r.RmaGetAccs, 1) }
 
+// NoteRmaFlush / NoteRmaLockAll / NoteRmaNotify count the flush-based
+// synchronization primitives: any Flush variant, a single-epoch
+// LockAll open, a notified-access token sent.
+func (r *Rank) NoteRmaFlush()   { atomic.AddInt64(&r.RmaFlushes, 1) }
+func (r *Rank) NoteRmaLockAll() { atomic.AddInt64(&r.RmaLockAlls, 1) }
+func (r *Rank) NoteRmaNotify()  { atomic.AddInt64(&r.RmaNotifies, 1) }
+
 // StoreMatch stores the matching-engine counters (devices fold their
 // engines in before snapshotting).
 func (r *Rank) StoreMatch(binOps, searches, binHits, wildHits int64) {
@@ -288,10 +307,13 @@ type ReqStats struct {
 
 // RmaStats is the snapshot of one-sided operation counts.
 type RmaStats struct {
-	Puts    int64 `json:"puts"`
-	Gets    int64 `json:"gets"`
-	Accs    int64 `json:"accumulates"`
-	GetAccs int64 `json:"get_accumulates"`
+	Puts     int64 `json:"puts"`
+	Gets     int64 `json:"gets"`
+	Accs     int64 `json:"accumulates"`
+	GetAccs  int64 `json:"get_accumulates"`
+	Flushes  int64 `json:"flushes"`
+	LockAlls int64 `json:"lock_alls"`
+	Notifies int64 `json:"notifies"`
 }
 
 // CollStat is one collective algorithm's aggregate: calls that
@@ -322,29 +344,31 @@ type LatSnapshot struct {
 	ReqLife    hist.Snapshot `json:"request_lifetime"`
 	WaitPark   hist.Snapshot `json:"wait_park"`
 	HandoffRTT hist.Snapshot `json:"handoff_rtt"`
+	EpochFlush hist.Snapshot `json:"epoch_flush"`
+	NotifyWait hist.Snapshot `json:"notify_wait"`
 }
 
 // Snapshot is a frozen copy of a registry, grouped for JSON output.
 type Snapshot struct {
-	Self    PathStat    `json:"self"`
-	ShmSend PathStat    `json:"shm_send"`
-	ShmRecv PathStat    `json:"shm_recv"`
-	NetSend PathStat    `json:"net_send"`
-	NetRecv PathStat    `json:"net_recv"`
-	Eager   PathStat    `json:"eager"`
-	Rndv    PathStat    `json:"rendezvous"`
-	AmSend  PathStat    `json:"am_send"`
-	AmRecv  PathStat    `json:"am_recv"`
+	Self    PathStat `json:"self"`
+	ShmSend PathStat `json:"shm_send"`
+	ShmRecv PathStat `json:"shm_recv"`
+	NetSend PathStat `json:"net_send"`
+	NetRecv PathStat `json:"net_recv"`
+	Eager   PathStat `json:"eager"`
+	Rndv    PathStat `json:"rendezvous"`
+	AmSend  PathStat `json:"am_send"`
+	AmRecv  PathStat `json:"am_recv"`
 	// Copy accounting (see Rank): staging copies, direct final copies,
 	// and the handoff path's message/byte split.
-	CopiesStaged PathStat   `json:"copies_staged"`
-	CopiesDirect PathStat   `json:"copies_direct"`
-	ShmHandoff   PathStat   `json:"shm_handoff"`
-	Match        MatchStats `json:"match"`
-	Pool    PoolStats   `json:"buffer_pool"`
-	Req     ReqStats    `json:"request_pool"`
-	Rma     RmaStats    `json:"rma"`
-	Lat     LatSnapshot `json:"latency"`
+	CopiesStaged PathStat    `json:"copies_staged"`
+	CopiesDirect PathStat    `json:"copies_direct"`
+	ShmHandoff   PathStat    `json:"shm_handoff"`
+	Match        MatchStats  `json:"match"`
+	Pool         PoolStats   `json:"buffer_pool"`
+	Req          ReqStats    `json:"request_pool"`
+	Rma          RmaStats    `json:"rma"`
+	Lat          LatSnapshot `json:"latency"`
 	// VCIs is the per-virtual-interface receive-side split; empty on a
 	// single-VCI endpoint snapshot only if the device never filled it.
 	VCIs []VCIStat `json:"vcis,omitempty"`
@@ -358,15 +382,15 @@ type Snapshot struct {
 // per-VCI stats) fold them in first.
 func (r *Rank) Snapshot() Snapshot {
 	s := Snapshot{
-		Self:    r.Self.snap(),
-		ShmSend: r.ShmSend.snap(),
-		ShmRecv: r.ShmRecv.snap(),
-		NetSend: r.NetSend.snap(),
-		NetRecv: r.NetRecv.snap(),
-		Eager:   r.Eager.snap(),
-		Rndv:    r.Rndv.snap(),
-		AmSend:  r.AmSend.snap(),
-		AmRecv:  r.AmRecv.snap(),
+		Self:         r.Self.snap(),
+		ShmSend:      r.ShmSend.snap(),
+		ShmRecv:      r.ShmRecv.snap(),
+		NetSend:      r.NetSend.snap(),
+		NetRecv:      r.NetRecv.snap(),
+		Eager:        r.Eager.snap(),
+		Rndv:         r.Rndv.snap(),
+		AmSend:       r.AmSend.snap(),
+		AmRecv:       r.AmRecv.snap(),
 		CopiesStaged: r.CopiesStaged.snap(),
 		CopiesDirect: r.CopiesDirect.snap(),
 		ShmHandoff:   r.ShmHandoff.snap(),
@@ -384,10 +408,13 @@ func (r *Rank) Snapshot() Snapshot {
 			Reuses: atomic.LoadInt64(&r.ReqReuses),
 		},
 		Rma: RmaStats{
-			Puts:    atomic.LoadInt64(&r.RmaPuts),
-			Gets:    atomic.LoadInt64(&r.RmaGets),
-			Accs:    atomic.LoadInt64(&r.RmaAccs),
-			GetAccs: atomic.LoadInt64(&r.RmaGetAccs),
+			Puts:     atomic.LoadInt64(&r.RmaPuts),
+			Gets:     atomic.LoadInt64(&r.RmaGets),
+			Accs:     atomic.LoadInt64(&r.RmaAccs),
+			GetAccs:  atomic.LoadInt64(&r.RmaGetAccs),
+			Flushes:  atomic.LoadInt64(&r.RmaFlushes),
+			LockAlls: atomic.LoadInt64(&r.RmaLockAlls),
+			Notifies: atomic.LoadInt64(&r.RmaNotifies),
 		},
 	}
 	for i := range r.PoolHits {
@@ -401,6 +428,8 @@ func (r *Rank) Snapshot() Snapshot {
 		ReqLife:    r.Lat.ReqLife.Snapshot(),
 		WaitPark:   r.Lat.WaitPark.Snapshot(),
 		HandoffRTT: r.Lat.HandoffRTT.Snapshot(),
+		EpochFlush: r.Lat.EpochFlush.Snapshot(),
+		NotifyWait: r.Lat.NotifyWait.Snapshot(),
 	}
 	for i := 0; i < NumCollAlgos; i++ {
 		calls := atomic.LoadInt64(&r.CollCalls[i])
@@ -459,12 +488,17 @@ func (s Snapshot) Merge(o Snapshot) Snapshot {
 	s.Rma.Gets += o.Rma.Gets
 	s.Rma.Accs += o.Rma.Accs
 	s.Rma.GetAccs += o.Rma.GetAccs
+	s.Rma.Flushes += o.Rma.Flushes
+	s.Rma.LockAlls += o.Rma.LockAlls
+	s.Rma.Notifies += o.Rma.Notifies
 	s.Lat.PostMatch.Merge(o.Lat.PostMatch)
 	s.Lat.UnexRes.Merge(o.Lat.UnexRes)
 	s.Lat.RndvRTT.Merge(o.Lat.RndvRTT)
 	s.Lat.ReqLife.Merge(o.Lat.ReqLife)
 	s.Lat.WaitPark.Merge(o.Lat.WaitPark)
 	s.Lat.HandoffRTT.Merge(o.Lat.HandoffRTT)
+	s.Lat.EpochFlush.Merge(o.Lat.EpochFlush)
+	s.Lat.NotifyWait.Merge(o.Lat.NotifyWait)
 	n := len(s.VCIs)
 	if len(o.VCIs) > n {
 		n = len(o.VCIs)

@@ -7,7 +7,9 @@ import (
 	"gompi/internal/comm"
 	"gompi/internal/core"
 	"gompi/internal/datatype"
+	"gompi/internal/flight"
 	"gompi/internal/instr"
+	"gompi/internal/request"
 	"gompi/internal/rma"
 	"gompi/internal/vtime"
 )
@@ -385,7 +387,11 @@ func (d *Device) Fence(w *rma.Win) error {
 	d.flushAM()
 	d.unlock()
 	d.barrier(w.Comm)
-	return w.OpenEpoch(rma.EpochFence, -1)
+	if err := w.OpenEpoch(rma.EpochFence, -1); err != nil {
+		return err
+	}
+	w.OpenedAt = d.rank.Now()
+	return nil
 }
 
 // FenceEnd closes the fence epoch sequence (MPI_MODE_NOSUCCEED).
@@ -413,6 +419,7 @@ func (d *Device) Lock(w *rma.Win, target int, exclusive bool) error {
 	d.rank.ChargeCycles(instr.Transport, 2*d.g.Fab.Profile().WireLatency)
 	d.spinLock(func() bool { return w.Shared.TryAcquireLock(target, exclusive) })
 	d.unlock()
+	w.OpenedAt = d.rank.Now()
 	w.LockExclusive = exclusive
 	return nil
 }
@@ -440,7 +447,105 @@ func (d *Device) Flush(w *rma.Win, target int) error {
 	d.charge(instr.Mandatory, costFlushProto)
 	d.flushAM()
 	d.rank.ChargeCycles(instr.Transport, 2*d.g.Fab.Profile().WireLatency)
+	d.observeFlush(w, target)
 	return nil
+}
+
+// observeFlush records the flush into the rank's observability fabric:
+// op counter, epoch-open→flush latency histogram (only while the epoch
+// is still open — Unlock's trailing flush runs after CloseEpoch and is
+// deliberately not observed), and a flight-recorder breadcrumb.
+func (d *Device) observeFlush(w *rma.Win, target int) {
+	m := d.rank.Metrics()
+	m.NoteRmaFlush()
+	if w.InEpoch() && w.OpenedAt > 0 {
+		m.Lat.EpochFlush.Observe(int64(d.rank.Now() - w.OpenedAt))
+	}
+	m.Flight.Record(flight.RmaFlush, int64(d.rank.Now()), target, 0, -1)
+}
+
+// FlushLocal completes operations locally. CH3 has no cheap
+// local-completion path — the acknowledgement machinery is the only
+// completion evidence — so the baseline pays the full remote flush.
+func (d *Device) FlushLocal(w *rma.Win, target int) error {
+	return d.Flush(w, target)
+}
+
+// FlushAll flushes every target. The baseline has no windowwide
+// completion primitive, so it degenerates into a per-target flush loop:
+// O(n) round trips, exactly the scaling the flush-based redesign in the
+// ch4 device removes.
+func (d *Device) FlushAll(w *rma.Win) error {
+	for t := 0; t < w.Comm.Size(); t++ {
+		if err := d.Flush(w, t); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// FlushRequest returns a request tracking remote completion. The
+// baseline's flush is inherently blocking (the AM drain happens
+// inline), so the request is born complete; only the request-allocation
+// cost distinguishes it from Flush.
+func (d *Device) FlushRequest(w *rma.Win, target int) (*request.Request, error) {
+	if err := d.Flush(w, target); err != nil {
+		return nil, err
+	}
+	r := d.g.pool.GetFor(request.KindRMA, d.rank.Metrics())
+	r.Issued = int64(d.rank.Now())
+	r.MarkComplete(request.Status{})
+	return r, nil
+}
+
+// LockAll opens a passive epoch covering every rank. CH3 had no
+// lock-all protocol: the baseline takes n individual locks, paying the
+// per-target lock round trip each time — the O(n) cost the scalable
+// rewrite collapses to one. The epoch state is still the single
+// EpochLockAll object so the public API semantics match across devices.
+func (d *Device) LockAll(w *rma.Win, exclusive bool) error {
+	if err := w.OpenEpoch(rma.EpochLockAll, -1); err != nil {
+		return err
+	}
+	w.OpenedAt = d.rank.Now()
+	d.rank.Metrics().NoteRmaLockAll()
+	for t := 0; t < w.Comm.Size(); t++ {
+		d.lock()
+		d.charge(instr.Mandatory, costLockProto)
+		d.rank.ChargeCycles(instr.Transport, 2*d.g.Fab.Profile().WireLatency)
+		t := t
+		d.spinLock(func() bool { return w.Shared.TryAcquireLock(t, exclusive) })
+		d.unlock()
+	}
+	w.LockExclusive = exclusive
+	return nil
+}
+
+// UnlockAll flushes and releases every target, one at a time.
+func (d *Device) UnlockAll(w *rma.Win) error {
+	if w.Epoch != rma.EpochLockAll {
+		return errString("unlock_all", rma.ErrNoEpoch)
+	}
+	for t := 0; t < w.Comm.Size(); t++ {
+		if err := d.Flush(w, t); err != nil {
+			return err
+		}
+	}
+	if _, err := w.CloseEpoch(); err != nil {
+		return err
+	}
+	d.charge(instr.Mandatory, costLockProto)
+	for t := w.Comm.Size() - 1; t >= 0; t-- {
+		w.Shared.ReleaseLock(t, w.LockExclusive)
+	}
+	return nil
+}
+
+// PutAllOpts is the fused fast-path entry. The baseline has no fast
+// path — every put walks the full packet machinery — so the option
+// fusion buys nothing here and the call delegates to Put.
+func (d *Device) PutAllOpts(origin []byte, worldTarget, disp int, w *rma.Win) error {
+	return d.Put(origin, len(origin), datatype.Byte, worldTarget, disp, w, 0)
 }
 
 // barrier mirrors the ch4 device-internal dissemination barrier.

@@ -33,6 +33,11 @@ const (
 	EpochFence
 	EpochLock
 	EpochPSCW
+	// EpochLockAll is the single passive epoch MPI_WIN_LOCK_ALL opens
+	// over every rank at once: one epoch object, one state transition,
+	// however many targets the window spans — the foMPI-style design,
+	// in contrast to the CH3-era n-Lock loop.
+	EpochLockAll
 )
 
 // VAddr is a "remote virtual address" in the simulated address space.
@@ -131,6 +136,19 @@ type Win struct {
 	// PendingSync is the virtual arrival high-water mark of remote
 	// writes folded in at the last close; the device maintains it.
 	PendingSync vtime.Time
+	// OpenedAt is the rank's virtual clock when the current access
+	// epoch opened; the device stamps it at every epoch open and the
+	// flush paths observe now−OpenedAt into the epoch-open→flush
+	// histogram.
+	OpenedAt vtime.Time
+
+	// NoLocks asserts (MPI info key no_locks) that no passive-target
+	// lock will ever be taken on this window; Lock/LockAll reject.
+	NoLocks bool
+	// SameDispUnit asserts every rank passed the same displacement
+	// unit, so target translation reuses the local unit instead of
+	// dereferencing the per-rank table.
+	SameDispUnit bool
 
 	// PSCW generalized-active-target state. Exposure (post/wait) and
 	// access (start/complete) are independent: MPI allows a window to
@@ -197,7 +215,10 @@ func NewWin(c *comm.Comm, mem []byte, dispUnit, myKey int, shared *Shared) *Win 
 // the target's displacement unit plus the scaling arithmetic. It
 // validates count bytes fit when the window size is known.
 func (w *Win) TargetOffset(targetRank, disp, nbytes int) (int, error) {
-	du := w.Shared.DispUnits[targetRank]
+	du := w.DispUnit
+	if !w.SameDispUnit {
+		du = w.Shared.DispUnits[targetRank]
+	}
 	off := disp * du
 	if off < 0 {
 		return 0, fmt.Errorf("%w: disp %d", ErrBadDisp, disp)

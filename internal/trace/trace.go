@@ -28,8 +28,10 @@ const (
 	KindPut
 	KindGet
 	KindAcc
-	KindSync  // fence, lock/unlock, PSCW
-	KindSched // one dependency round of a nonblocking-collective schedule
+	KindSync   // fence, lock/unlock, PSCW
+	KindSched  // one dependency round of a nonblocking-collective schedule
+	KindFlush  // passive-target flush (Flush/FlushLocal/FlushAll variants)
+	KindNotify // notified access (PutNotify token send, WaitNotify wait)
 	numKinds
 )
 
@@ -56,6 +58,10 @@ func (k Kind) String() string {
 		return "rma-sync"
 	case KindSched:
 		return "sched-round"
+	case KindFlush:
+		return "rma-flush"
+	case KindNotify:
+		return "rma-notify"
 	default:
 		return "unknown"
 	}

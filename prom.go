@@ -26,6 +26,8 @@ func (s *Stats) WriteProm(w io.Writer) error {
 		{"gompi_rendezvous_rtt_cycles", func(l metrics.LatSnapshot) hist.Snapshot { return l.RndvRTT }},
 		{"gompi_request_lifetime_cycles", func(l metrics.LatSnapshot) hist.Snapshot { return l.ReqLife }},
 		{"gompi_wait_park_cycles", func(l metrics.LatSnapshot) hist.Snapshot { return l.WaitPark }},
+		{"gompi_rma_epoch_flush_cycles", func(l metrics.LatSnapshot) hist.Snapshot { return l.EpochFlush }},
+		{"gompi_rma_notify_wait_cycles", func(l metrics.LatSnapshot) hist.Snapshot { return l.NotifyWait }},
 	}
 	agg := s.Aggregate()
 	row := func(rank string, m metrics.Snapshot) {
@@ -50,6 +52,17 @@ func (s *Stats) WriteProm(w io.Writer) error {
 			fmt.Fprintf(w, "gompi_path_msgs_total{rank=%q,path=%q} %d\n", rank, p.name, p.p.Msgs)
 			fmt.Fprintf(w, "gompi_path_bytes_total{rank=%q,path=%q} %d\n", rank, p.name, p.p.Bytes)
 		}
+		rmaOps := []struct {
+			name string
+			n    int64
+		}{
+			{"put", m.Rma.Puts}, {"get", m.Rma.Gets}, {"accumulate", m.Rma.Accs},
+			{"get_accumulate", m.Rma.GetAccs}, {"flush", m.Rma.Flushes},
+			{"lock_all", m.Rma.LockAlls}, {"notify", m.Rma.Notifies},
+		}
+		for _, o := range rmaOps {
+			fmt.Fprintf(w, "gompi_rma_ops_total{rank=%q,op=%q} %d\n", rank, o.name, o.n)
+		}
 		fmt.Fprintf(w, "gompi_match_searches_total{rank=%q} %d\n", rank, m.Match.Searches)
 		fmt.Fprintf(w, "gompi_match_bin_ops_total{rank=%q} %d\n", rank, m.Match.BinOps)
 		fmt.Fprintf(w, "gompi_unexpected_queue_max{rank=%q} %d\n", rank, m.Match.UnexpectedMax)
@@ -60,8 +73,11 @@ func (s *Stats) WriteProm(w io.Writer) error {
 	fmt.Fprintln(w, "# TYPE gompi_rendezvous_rtt_cycles summary")
 	fmt.Fprintln(w, "# TYPE gompi_request_lifetime_cycles summary")
 	fmt.Fprintln(w, "# TYPE gompi_wait_park_cycles summary")
+	fmt.Fprintln(w, "# TYPE gompi_rma_epoch_flush_cycles summary")
+	fmt.Fprintln(w, "# TYPE gompi_rma_notify_wait_cycles summary")
 	fmt.Fprintln(w, "# TYPE gompi_path_msgs_total counter")
 	fmt.Fprintln(w, "# TYPE gompi_path_bytes_total counter")
+	fmt.Fprintln(w, "# TYPE gompi_rma_ops_total counter")
 	row("all", agg)
 	for i := range s.Ranks {
 		r := &s.Ranks[i]

@@ -2,17 +2,28 @@ package gompi
 
 import (
 	"gompi/internal/core"
+	"gompi/internal/flight"
 	"gompi/internal/rma"
 )
-
-// rmaEpochLock aliases the internal epoch kind for the LockAll
-// bookkeeping.
-const rmaEpochLock = rma.EpochLock
 
 // Win is a one-sided communication window (MPI_Win).
 type Win struct {
 	p *Proc
 	w *rma.Win
+}
+
+// WinOptions carries window-creation assertions, mirroring the
+// MPI_WIN_CREATE info keys the paper's Section 3 fast paths rely on.
+// The zero value asserts nothing.
+type WinOptions struct {
+	// NoLocks asserts the window will never be locked (the no_locks
+	// info key): passive-target synchronization is rejected, and the
+	// implementation skips lock-state maintenance.
+	NoLocks bool
+	// SameDispUnit asserts every rank passed the same displacement unit
+	// (the same_disp_unit info key), so target-offset scaling reads the
+	// local unit instead of dereferencing the exchanged per-rank table.
+	SameDispUnit bool
 }
 
 // VAddr is a remote virtual address for the MPI_PUT_VIRTUAL_ADDR
@@ -33,13 +44,37 @@ func (c *Comm) WinCreate(mem []byte, dispUnit int) (*Win, error) {
 }
 
 // WinAllocate allocates size bytes and exposes them
-// (MPI_WIN_ALLOCATE). Returns the window and the local memory.
+// (MPI_WIN_ALLOCATE). Returns the window and the local memory. On
+// co-located ranks the allocation is shm-backed, so intra-node Put/Get
+// take the zero-copy direct path (see DESIGN.md §6f).
 func (c *Comm) WinAllocate(size, dispUnit int) (*Win, []byte, error) {
 	mem := make([]byte, size)
 	w, err := c.WinCreate(mem, dispUnit)
 	if err != nil {
 		return nil, nil, err
 	}
+	return w, mem, nil
+}
+
+// WinCreateOpt is WinCreate with creation-time assertions.
+func (c *Comm) WinCreateOpt(mem []byte, dispUnit int, o WinOptions) (*Win, error) {
+	w, err := c.WinCreate(mem, dispUnit)
+	if err != nil {
+		return nil, err
+	}
+	w.w.NoLocks = o.NoLocks
+	w.w.SameDispUnit = o.SameDispUnit
+	return w, nil
+}
+
+// WinAllocateOpt is WinAllocate with creation-time assertions.
+func (c *Comm) WinAllocateOpt(size, dispUnit int, o WinOptions) (*Win, []byte, error) {
+	w, mem, err := c.WinAllocate(size, dispUnit)
+	if err != nil {
+		return nil, nil, err
+	}
+	w.w.NoLocks = o.NoLocks
+	w.w.SameDispUnit = o.SameDispUnit
 	return w, mem, nil
 }
 
@@ -129,6 +164,42 @@ func (w *Win) Put(origin []byte, count int, dt *Datatype, target, disp int) erro
 		return errc(ErrWin, "%v", err)
 	}
 	return nil
+}
+
+// PutOptions carries the per-call assertions of the fused one-sided
+// fast path, mirroring SendOptions on the two-sided side.
+type PutOptions struct {
+	// GlobalRank asserts target is a world rank on a world-spanning
+	// window, skipping communicator rank translation.
+	GlobalRank bool
+	// NoProcNull asserts target is not MPI_PROC_NULL, skipping the
+	// check.
+	NoProcNull bool
+}
+
+// AllPutOptions asserts every PutOptions fast-path condition at once —
+// the one-sided analogue of AllSendOptions.
+var AllPutOptions = PutOptions{GlobalRank: true, NoProcNull: true}
+
+// PutOpt is Put with caller assertions. When every option is asserted
+// and the transfer is a plain byte blob, the call collapses into the
+// fused device entry (MPI_PUT_ALL_OPTS in the paper's terms): one
+// constant instruction budget covering window load, epoch bump,
+// displacement scaling, locality check, and descriptor injection —
+// validation and rank translation are skipped entirely.
+func (w *Win) PutOpt(origin []byte, count int, dt *Datatype, target, disp int, o PutOptions) error {
+	if o == AllPutOptions && dt == Byte && count == len(origin) {
+		if end := w.p.span(TracePut, target, len(origin)); end != nil {
+			defer end()
+		}
+		if err := w.p.dev.PutAllOpts(origin, target, disp, w.w); err != nil {
+			return errc(ErrWin, "%v", err)
+		}
+		return nil
+	}
+	// Partial assertions buy nothing on the one-sided path (the paper's
+	// point: only full fusion collapses the layering); fall back.
+	return w.Put(origin, count, dt, target, disp)
 }
 
 // PutVirtualAddr is the MPI_PUT_VIRTUAL_ADDR proposal (Section 3.2):
@@ -232,6 +303,13 @@ func (w *Win) FenceEnd() error {
 
 // Lock opens a passive-target epoch on target (MPI_WIN_LOCK).
 func (w *Win) Lock(target int, exclusive bool) error {
+	if end := w.p.span(TraceSync, target, 0); end != nil {
+		defer end()
+	}
+	w.p.chargeCall()
+	if w.w.NoLocks {
+		return errc(ErrRMASync, "window created with NoLocks")
+	}
 	if err := w.p.dev.Lock(w.w, target, exclusive); err != nil {
 		return errc(ErrRMASync, "%v", err)
 	}
@@ -240,47 +318,42 @@ func (w *Win) Lock(target int, exclusive bool) error {
 
 // LockAll opens a shared passive-target epoch on every rank
 // (MPI_WIN_LOCK_ALL): the window becomes accessible everywhere until
-// UnlockAll, the MPI-3 idiom for long-lived one-sided phases.
-func (w *Win) LockAll() error {
-	size := w.w.Comm.Size()
-	for target := 0; target < size; target++ {
-		if err := w.p.dev.Lock(w.w, target, false); err != nil {
-			return errc(ErrRMASync, "%v", err)
-		}
-		// The epoch tracker only holds one target; widen it manually.
-		if target < size-1 {
-			if _, err := w.w.CloseEpoch(); err != nil {
-				return errc(ErrRMASync, "%v", err)
-			}
-		}
+// UnlockAll, the MPI-3 idiom for long-lived one-sided phases. It is one
+// epoch object — not n stacked Locks — so Flush keeps working against
+// any target while the epoch stays open; the ch4 device opens it in a
+// single round trip, the baseline pays the legacy per-target loop.
+func (w *Win) LockAll() error { return w.lockAll(false) }
+
+// LockAllExclusive opens the epoch with exclusive locks on every rank —
+// the whole window becomes this origin's private property until
+// UnlockAll. (MPI_WIN_LOCK_ALL is shared by definition; the exclusive
+// flavor is the natural extension the flush redesign makes cheap.)
+func (w *Win) LockAllExclusive() error { return w.lockAll(true) }
+
+func (w *Win) lockAll(exclusive bool) error {
+	if end := w.p.span(TraceSync, -1, 0); end != nil {
+		defer end()
 	}
-	w.w.SetAccessGroup(allRanks(size))
+	w.p.chargeCall()
+	if w.w.NoLocks {
+		return errc(ErrRMASync, "window created with NoLocks")
+	}
+	if err := w.p.dev.LockAll(w.w, exclusive); err != nil {
+		return errc(ErrRMASync, "%v", err)
+	}
 	return nil
 }
 
 // UnlockAll flushes and closes the LockAll epoch (MPI_WIN_UNLOCK_ALL).
 func (w *Win) UnlockAll() error {
-	size := w.w.Comm.Size()
-	// Flush everything, then release each shared lock.
-	for target := size - 1; target >= 0; target-- {
-		if target < size-1 {
-			if err := w.w.OpenEpoch(rmaEpochLock, target); err != nil {
-				return errc(ErrRMASync, "%v", err)
-			}
-		}
-		if err := w.p.dev.Unlock(w.w, target); err != nil {
-			return errc(ErrRMASync, "%v", err)
-		}
+	if end := w.p.span(TraceSync, -1, 0); end != nil {
+		defer end()
+	}
+	w.p.chargeCall()
+	if err := w.p.dev.UnlockAll(w.w); err != nil {
+		return errc(ErrRMASync, "%v", err)
 	}
 	return nil
-}
-
-func allRanks(n int) []int {
-	out := make([]int, n)
-	for i := range out {
-		out[i] = i
-	}
-	return out
 }
 
 // Unlock flushes and closes the passive epoch (MPI_WIN_UNLOCK).
@@ -291,11 +364,171 @@ func (w *Win) Unlock(target int) error {
 	return nil
 }
 
-// Flush completes outstanding operations to target without closing the
-// epoch (MPI_WIN_FLUSH).
+// Flush completes all outstanding operations to target at both origin
+// and target without closing the epoch (MPI_WIN_FLUSH) — the primitive
+// the foMPI-style passive-target redesign is built around: synchronize
+// data, not epochs.
 func (w *Win) Flush(target int) error {
+	if end := w.p.span(TraceFlush, target, 0); end != nil {
+		defer end()
+	}
+	w.p.chargeCall()
 	if err := w.p.dev.Flush(w.w, target); err != nil {
 		return errc(ErrRMASync, "%v", err)
 	}
 	return nil
+}
+
+// FlushLocal completes outstanding operations to target locally
+// (MPI_WIN_FLUSH_LOCAL): the origin buffers are reusable, remote
+// completion is not implied.
+func (w *Win) FlushLocal(target int) error {
+	if end := w.p.span(TraceFlush, target, 0); end != nil {
+		defer end()
+	}
+	w.p.chargeCall()
+	if err := w.p.dev.FlushLocal(w.w, target); err != nil {
+		return errc(ErrRMASync, "%v", err)
+	}
+	return nil
+}
+
+// FlushAll completes outstanding operations to every target
+// (MPI_WIN_FLUSH_ALL). On the ch4 device this is one completion wait —
+// not a per-target loop — so its cost is independent of world size.
+func (w *Win) FlushAll() error {
+	if end := w.p.span(TraceFlush, -1, 0); end != nil {
+		defer end()
+	}
+	w.p.chargeCall()
+	if err := w.p.dev.FlushAll(w.w); err != nil {
+		return errc(ErrRMASync, "%v", err)
+	}
+	return nil
+}
+
+// FlushLocalAll locally completes outstanding operations to every
+// target (MPI_WIN_FLUSH_LOCAL_ALL).
+func (w *Win) FlushLocalAll() error {
+	if end := w.p.span(TraceFlush, -1, 0); end != nil {
+		defer end()
+	}
+	w.p.chargeCall()
+	if err := w.p.dev.FlushLocal(w.w, -1); err != nil {
+		return errc(ErrRMASync, "%v", err)
+	}
+	return nil
+}
+
+// Rput is the request-based MPI_RPUT: the put is issued immediately and
+// the returned request completes when the transfer is remotely
+// complete, progressed off the same request engine as two-sided
+// traffic. Only valid inside a passive-target epoch.
+func (w *Win) Rput(origin []byte, count int, dt *Datatype, target, disp int) (*Request, error) {
+	if end := w.p.span(TracePut, target, traceBytes(count, dt)); end != nil {
+		defer end()
+	}
+	if err := w.rmaEnter(origin, count, dt, target, disp); err != nil {
+		return nil, err
+	}
+	if err := w.p.dev.Put(origin, count, dt, target, disp, w.w, 0); err != nil {
+		return nil, errc(ErrWin, "%v", err)
+	}
+	return w.flushRequest(target)
+}
+
+// Rget is the request-based MPI_RGET.
+func (w *Win) Rget(origin []byte, count int, dt *Datatype, target, disp int) (*Request, error) {
+	if end := w.p.span(TraceGet, target, traceBytes(count, dt)); end != nil {
+		defer end()
+	}
+	if err := w.rmaEnter(origin, count, dt, target, disp); err != nil {
+		return nil, err
+	}
+	if err := w.p.dev.Get(origin, count, dt, target, disp, w.w, 0); err != nil {
+		return nil, errc(ErrWin, "%v", err)
+	}
+	return w.flushRequest(target)
+}
+
+// Raccumulate is the request-based MPI_RACCUMULATE.
+func (w *Win) Raccumulate(origin []byte, count int, dt *Datatype, target, disp int, op Op) (*Request, error) {
+	if end := w.p.span(TraceAcc, target, traceBytes(count, dt)); end != nil {
+		defer end()
+	}
+	if err := w.rmaEnter(origin, count, dt, target, disp); err != nil {
+		return nil, err
+	}
+	if err := w.p.dev.Accumulate(origin, count, dt, target, disp, op, w.w, 0); err != nil {
+		return nil, errc(ErrWin, "%v", err)
+	}
+	return w.flushRequest(target)
+}
+
+// flushRequest wraps the device's completion request for the public
+// request machinery (Wait/Test/Waitall compose with two-sided
+// requests).
+func (w *Win) flushRequest(target int) (*Request, error) {
+	r, err := w.p.dev.FlushRequest(w.w, target)
+	if err != nil {
+		return nil, errc(ErrWin, "%v", err)
+	}
+	return &Request{r: r, p: w.p}, nil
+}
+
+// tagWinNotify is the reserved collective-context tag notified access
+// rides on (post/complete tokens use 700/701).
+const tagWinNotify = 704
+
+// PutNotify transfers like Put, then delivers a notification the
+// target can await with WaitNotify — the foMPI-style notified access
+// that replaces "put + fence" or "put + send flag" idioms with one
+// call. The notification orders after the data: the put is flushed
+// before the token is sent, so a target returning from WaitNotify reads
+// the new window contents.
+func (w *Win) PutNotify(origin []byte, count int, dt *Datatype, target, disp int) error {
+	if end := w.p.span(TraceNotify, target, traceBytes(count, dt)); end != nil {
+		defer end()
+	}
+	if err := w.rmaEnter(origin, count, dt, target, disp); err != nil {
+		return err
+	}
+	if err := w.p.dev.Put(origin, count, dt, target, disp, w.w, 0); err != nil {
+		return errc(ErrWin, "%v", err)
+	}
+	if err := w.p.dev.Flush(w.w, target); err != nil {
+		return errc(ErrRMASync, "%v", err)
+	}
+	w.p.rank.Metrics().NoteRmaNotify()
+	cv := w.w.Comm.CollView()
+	if _, err := w.p.dev.Isend(nil, 0, Byte, target, tagWinNotify, cv, core.FlagNoReq|core.FlagNoProcNull); err != nil {
+		return errc(ErrRMASync, "notify token to %d: %v", target, err)
+	}
+	return nil
+}
+
+// WaitNotify blocks until a notification from origin arrives
+// (origin = AnySource accepts any rank) and returns the notifying rank.
+// The rank parks in the request engine while waiting, so a lost
+// notification is diagnosed by the stall watchdog's wait graph like any
+// unmatched receive.
+func (w *Win) WaitNotify(origin int) (int, error) {
+	if end := w.p.span(TraceNotify, origin, 0); end != nil {
+		defer end()
+	}
+	w.p.chargeCall()
+	m := w.p.rank.Metrics()
+	start := w.p.rank.Now()
+	m.Flight.Record(flight.NotifyWait, int64(start), origin, 0, -1)
+	cv := w.w.Comm.CollView()
+	req, err := w.p.dev.Irecv(nil, 0, Byte, origin, tagWinNotify, cv, core.FlagNoProcNull)
+	if err != nil {
+		return -1, errc(ErrRMASync, "notify token from %d: %v", origin, err)
+	}
+	req.Wait()
+	src := req.Status.Source
+	req.Free()
+	m.NoteRmaNotify()
+	m.Lat.NotifyWait.Observe(int64(w.p.rank.Now() - start))
+	return src, nil
 }
