@@ -6,12 +6,12 @@
 // as JSON — plus the multi-VCI scaling sweep and the latency
 // decomposition (post→match, unexpected residency, rendezvous RTT,
 // request lifetime, wait park percentiles) of the reference exchange.
-// The Makefile's bench-json target uses it to produce BENCH_PR6.json.
+// The Makefile's bench-json target uses it to produce BENCH_PR8.json.
 // Timestamps are deliberately omitted so reruns diff cleanly.
 //
 // Usage:
 //
-//	benchjson [-o BENCH_PR6.json] [-benchtime 1x]
+//	benchjson [-o BENCH_PR8.json] [-benchtime 1x]
 package main
 
 import (
@@ -61,6 +61,11 @@ type Output struct {
 	// latency on an shm-backed window under the zero-copy and staged
 	// intra-node cost models, plus the FetchAndOp atomics floor.
 	Rma []bench.RmaPoint `json:"rma"`
+	// Scale is the 10K-rank world sweep: halo exchange + two-level
+	// allreduce at each size, lazy (on-demand peer state, per-rank
+	// memory ceiling enforced) versus the EagerPeers all-pairs
+	// baseline, with setup time and modeled bytes/rank.
+	Scale []bench.ScalePoint `json:"scale"`
 }
 
 // benchLine matches e.g.
@@ -68,7 +73,7 @@ type Output struct {
 var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+(\d+)\s+([\d.]+) ns/op(?:\s+(\d+) B/op)?(?:\s+(\d+) allocs/op)?`)
 
 func main() {
-	out := flag.String("o", "BENCH_PR7.json", "output path")
+	out := flag.String("o", "BENCH_PR8.json", "output path")
 	benchtime := flag.String("benchtime", "1x", "go test -benchtime value")
 	count := flag.Int("count", 3, "benchmark repetitions; duplicates are median-reduced by benchdiff")
 	flag.Parse()
@@ -123,11 +128,14 @@ func main() {
 	rmaPts, err := bench.RmaSweep(nil)
 	fail(err)
 
+	scale, err := bench.ScaleSweep([]int{1000, 4000, 10000}, 2)
+	fail(err)
+
 	f, err := os.Create(*out)
 	fail(err)
 	enc := json.NewEncoder(f)
 	enc.SetIndent("", "  ")
-	fail(enc.Encode(Output{Benchmarks: results, Exchange: exchange, Latency: latency, VCIScaling: vci, Collectives: colls, Handoff: handoff, Rma: rmaPts}))
+	fail(enc.Encode(Output{Benchmarks: results, Exchange: exchange, Latency: latency, VCIScaling: vci, Collectives: colls, Handoff: handoff, Rma: rmaPts, Scale: scale}))
 	fail(f.Close())
 	fmt.Fprintf(os.Stderr, "benchjson: %d benchmarks -> %s\n", len(results), *out)
 }

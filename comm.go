@@ -2,7 +2,9 @@ package gompi
 
 import (
 	"gompi/internal/comm"
+	"gompi/internal/core"
 	"gompi/internal/group"
+	"gompi/internal/instr"
 )
 
 // Comm is a communicator: an isolated communication context over an
@@ -32,18 +34,54 @@ func (c *Comm) WorldRank(rank int) (int, error) {
 	return w, nil
 }
 
-// Dup duplicates the communicator with a fresh context
-// (MPI_COMM_DUP). Collective.
-func (c *Comm) Dup() (*Comm, error) {
+// CommOptions unifies the communicator-creation variants behind one
+// options struct, mirroring SendOptions/RecvOptions/WinOptions: the
+// canonical entry points are DupOpt, SplitOpt, and CreateOpt, and the
+// historical names (Dup, DupWithHints, Split, SplitWithHints,
+// SplitType, Create) are pinned zero-overhead wrappers over them.
+type CommOptions struct {
+	// Hints are the MPI-4 communicator assertions attached to the new
+	// communicator at creation, before any traffic can flow on it.
+	Hints CommHints
+	// Type selects SplitOpt's partition rule: 0 partitions by the
+	// caller-supplied color, SplitTypeShared partitions by locality
+	// (MPI_COMM_SPLIT_TYPE semantics — the color argument is ignored
+	// and the node id is used instead).
+	Type int
+}
+
+// chargeCommCreate models the collective cost of communicator
+// creation: context-id agreement over a recursive-doubling round
+// structure, ceil(log2 n) rounds of CommCreateStepCost cycles each.
+// With sparse rank tables there is no O(n) per-rank table copy left to
+// charge — this logarithmic agreement is the whole creation cost.
+func (c *Comm) chargeCommCreate() {
+	steps := int64(0)
+	for s := 1; s < c.c.Size(); s <<= 1 {
+		steps++
+	}
+	c.p.rank.ChargeCycles(instr.Transport, steps*core.CommCreateStepCost)
+}
+
+// DupOpt duplicates the communicator with a fresh context and applies
+// the options to the duplicate (MPI_COMM_DUP / MPI_COMM_DUP_WITH_INFO).
+// Collective.
+func (c *Comm) DupOpt(o CommOptions) (*Comm, error) {
 	if err := c.p.checkComm(c); err != nil {
 		return nil, err
 	}
+	c.chargeCommCreate()
 	d, err := c.c.Dup()
 	if err != nil {
 		return nil, errc(ErrComm, "%v", err)
 	}
+	o.Hints.apply(d)
 	return &Comm{p: c.p, c: d}, nil
 }
+
+// Dup duplicates the communicator with a fresh context
+// (MPI_COMM_DUP). Collective.
+func (c *Comm) Dup() (*Comm, error) { return c.DupOpt(CommOptions{}) }
 
 // CommHints are the MPI-4-style communicator assertions
 // (mpi_assert_*): promises about how the communicator will be used,
@@ -92,24 +130,14 @@ func (c *Comm) Hints() CommHints {
 // the duplicate before any traffic can flow on it
 // (MPI_COMM_DUP_WITH_INFO with mpi_assert_* keys). Collective.
 func (c *Comm) DupWithHints(h CommHints) (*Comm, error) {
-	d, err := c.Dup()
-	if err != nil {
-		return nil, err
-	}
-	h.apply(d.c)
-	return d, nil
+	return c.DupOpt(CommOptions{Hints: h})
 }
 
 // SplitWithHints partitions like Split and attaches assertions to each
 // resulting communicator at creation. Collective; ranks receiving nil
 // still participate.
 func (c *Comm) SplitWithHints(color, key int, h CommHints) (*Comm, error) {
-	s, err := c.Split(color, key)
-	if err != nil || s == nil {
-		return s, err
-	}
-	h.apply(s.c)
-	return s, nil
+	return c.SplitOpt(color, key, CommOptions{Hints: h})
 }
 
 // DupPredefined duplicates the communicator into the given predefined
@@ -129,12 +157,32 @@ func (c *Comm) DupPredefined(h CommHandle) (*Comm, error) {
 	return d, nil
 }
 
-// Split partitions by color, ordering each part by key
-// (MPI_COMM_SPLIT). Ranks passing color < 0 receive nil. Collective.
-func (c *Comm) Split(color, key int) (*Comm, error) {
+// SplitOpt partitions the communicator and applies the options to each
+// resulting communicator at creation (MPI_COMM_SPLIT /
+// MPI_COMM_SPLIT_TYPE). With o.Type zero the partition is by the given
+// color, each part ordered by key; with o.Type == SplitTypeShared the
+// color argument is ignored and ranks are partitioned by node (the
+// communicator over which shared-memory optimizations apply).
+// Collective; ranks passing color < 0 (plain splits only) receive nil
+// but still participate.
+func (c *Comm) SplitOpt(color, key int, o CommOptions) (*Comm, error) {
 	if err := c.p.checkComm(c); err != nil {
 		return nil, err
 	}
+	switch o.Type {
+	case 0:
+		// Plain color/key split.
+	case SplitTypeShared:
+		// Color by node id of the rank's world rank.
+		w, err := c.c.WorldRank(c.c.Rank())
+		if err != nil {
+			return nil, errc(ErrRank, "%v", err)
+		}
+		color = c.p.rank.World().Node(w)
+	default:
+		return nil, errc(ErrArg, "unknown split type %d", o.Type)
+	}
+	c.chargeCommCreate()
 	col := color
 	if col < 0 {
 		col = comm.Undefined
@@ -146,7 +194,14 @@ func (c *Comm) Split(color, key int) (*Comm, error) {
 	if s == nil {
 		return nil, nil
 	}
+	o.Hints.apply(s)
 	return &Comm{p: c.p, c: s}, nil
+}
+
+// Split partitions by color, ordering each part by key
+// (MPI_COMM_SPLIT). Ranks passing color < 0 receive nil. Collective.
+func (c *Comm) Split(color, key int) (*Comm, error) {
+	return c.SplitOpt(color, key, CommOptions{})
 }
 
 // SplitTypeShared is the MPI_COMM_TYPE_SHARED selector for SplitType.
@@ -160,20 +215,17 @@ func (c *Comm) SplitType(splitType, key int) (*Comm, error) {
 	if splitType != SplitTypeShared {
 		return nil, errc(ErrArg, "unknown split type %d", splitType)
 	}
-	// Color by node id of the rank's world rank.
-	w, err := c.c.WorldRank(c.c.Rank())
-	if err != nil {
-		return nil, errc(ErrRank, "%v", err)
-	}
-	return c.Split(c.p.rank.World().Node(w), key)
+	return c.SplitOpt(0, key, CommOptions{Type: splitType})
 }
 
-// Create builds a communicator over a subgroup (MPI_COMM_CREATE).
-// Collective over c; non-members receive nil.
-func (c *Comm) Create(g *Group) (*Comm, error) {
+// CreateOpt builds a communicator over a subgroup and applies the
+// options to it at creation (MPI_COMM_CREATE / ..._WITH_INFO).
+// Collective over c; non-members receive nil but still participate.
+func (c *Comm) CreateOpt(g *Group, o CommOptions) (*Comm, error) {
 	if err := c.p.checkComm(c); err != nil {
 		return nil, err
 	}
+	c.chargeCommCreate()
 	s, err := c.c.Create(g.g)
 	if err != nil {
 		return nil, errc(ErrComm, "%v", err)
@@ -181,7 +233,14 @@ func (c *Comm) Create(g *Group) (*Comm, error) {
 	if s == nil {
 		return nil, nil
 	}
+	o.Hints.apply(s)
 	return &Comm{p: c.p, c: s}, nil
+}
+
+// Create builds a communicator over a subgroup (MPI_COMM_CREATE).
+// Collective over c; non-members receive nil.
+func (c *Comm) Create(g *Group) (*Comm, error) {
+	return c.CreateOpt(g, CommOptions{})
 }
 
 // Free releases the communicator (MPI_COMM_FREE).

@@ -151,6 +151,21 @@ type Config struct {
 	// staged-vs-zerocopy comparison. Only the ch4 device honors it; the
 	// baseline always stages through its packet machinery.
 	RmaStagedShm bool
+	// EagerPeers restores all-pairs per-peer state materialization at
+	// startup: every rank pays the connection-setup cost toward every
+	// peer (and pre-creates the shm ring toward every on-node peer) at
+	// open, as pre-on-demand MPIs did. Default false: per-peer state
+	// (fabric connection slots, shm rings) materializes on first send
+	// toward each peer — the on-demand connection model of Liu et al.
+	// that bounds per-rank memory by the peers actually spoken to.
+	// This is the measurable baseline of the lazy-peer-state ablation.
+	EagerPeers bool
+	// MaxPeerBytes is a hard per-rank ceiling on modeled per-peer state
+	// bytes (connection slots + shm rings). A rank whose
+	// materializations exceed the ceiling fails the run with a
+	// diagnostic — the assertion that keeps 10K-rank worlds inside a
+	// memory budget. 0 (the default) means unlimited.
+	MaxPeerBytes int64
 	// CollAlgorithm pins collective algorithm selection for the whole
 	// job: an nbc algorithm family name ("two-level", "flat",
 	// "binomial", "rdouble", "rsag", "ring", "bruck", "pairwise",
@@ -231,6 +246,11 @@ func (cfg Config) resolve() (prof fabric.Profile, bc core.Config, dev string, rp
 	bc.ShmCellSize = cfg.ShmCellSize
 	bc.ShmRingCells = cfg.ShmRingCells
 	bc.RmaStagedShm = cfg.RmaStagedShm
+	if cfg.MaxPeerBytes < 0 {
+		return prof, bc, "", 0, fmt.Errorf("gompi: MaxPeerBytes %d negative", cfg.MaxPeerBytes)
+	}
+	bc.EagerPeers = cfg.EagerPeers
+	bc.MaxPeerBytes = cfg.MaxPeerBytes
 	if _, err := nbc.ParseForce(cfg.CollAlgorithm); err != nil {
 		return prof, bc, "", 0, fmt.Errorf("gompi: %v", err)
 	}

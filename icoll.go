@@ -103,6 +103,22 @@ func (np nbcPort) Node(rank int) int {
 // so schedules segment rather than rendezvous.
 func (np nbcPort) EagerLimit() int { return np.p.eagerLimit }
 
+// RanksPerNodeBlock implements nbc.BlockTopo: identity-table
+// communicators inherit the world's contiguous block mapping
+// node(r) = r/rpn, so two-level compilers can derive the node
+// structure arithmetically instead of scanning all ranks.
+func (np nbcPort) RanksPerNodeBlock() (int, bool) {
+	if np.cv.Table.Kind() == comm.TableIdentity {
+		return np.p.rank.World().RanksPerNode(), true
+	}
+	return 0, false
+}
+
+// LoadTopo / StoreTopo implement nbc.TopoCache on the communicator, so
+// repeated collectives reuse the derived node structure.
+func (np nbcPort) LoadTopo(key int) (any, bool) { return np.cv.LoadTopo(key) }
+func (np nbcPort) StoreTopo(key int, v any)     { np.cv.StoreTopo(key, v) }
+
 // HandoffEager implements nbc.HandoffTransport: the device's shm
 // staged/handoff threshold, or 0 when the device has no zero-copy
 // path (baseline device, handoff disabled).

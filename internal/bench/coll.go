@@ -76,10 +76,14 @@ func CollSweep(sizes []int) ([]CollPoint, error) {
 }
 
 // collPoint runs one nonblocking collective to completion and reads
-// the clocks and counters back out.
+// the clocks and counters back out. Peers connect eagerly so the
+// one-time ConnSetup charge lands before the measured window: this
+// sweep isolates the steady-state collective cost, while connection
+// establishment is what the scale sweep measures.
 func collPoint(collective, algo string, n int) (CollPoint, error) {
 	cfg := gompi.Config{
 		RanksPerNode: 2, CollAlgorithm: algo, Fabric: gompi.FabricOFI,
+		EagerPeers: true,
 	}
 	lat := make([]int64, collRanks)
 	var hz float64

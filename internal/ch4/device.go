@@ -112,12 +112,14 @@ type Global struct {
 // the sender's interface choice so both transports agree on where a
 // message matches.
 func NewGlobal(w *proc.World, prof fabric.Profile, cfg core.Config) *Global {
-	g := &Global{World: w, Fab: fabric.NewVCI(prof, w.Size(), cfg.VCIs), Cfg: cfg}
+	fabOpts := fabric.Options{EagerPeers: cfg.EagerPeers, MaxPeerBytes: cfg.MaxPeerBytes}
+	g := &Global{World: w, Fab: fabric.NewVCIOpt(prof, w.Size(), cfg.VCIs, fabOpts), Cfg: cfg}
 	if w.RanksPerNode() > 1 {
 		shmCfg := shm.Config{
-			CellSize:  cfg.ShmCellSize,
-			RingCells: cfg.ShmRingCells,
-			EagerMax:  cfg.ShmEagerMax,
+			CellSize:     cfg.ShmCellSize,
+			RingCells:    cfg.ShmRingCells,
+			EagerMax:     cfg.ShmEagerMax,
+			MaxPeerBytes: cfg.MaxPeerBytes,
 		}
 		g.Shm = shm.NewDomainCfg(shm.DefaultProfile, shmCfg, w.Size(),
 			func(dst int, bits match.Bits, src int, data []byte, arrival vtime.Time, vci int) {
@@ -190,6 +192,25 @@ func (g *Global) Open(r *proc.Rank) *Device {
 	d.ep.RegisterAM(amPutDerived, d.handlePutDerived)
 	d.ep.RegisterAM(amAccDerived, d.handleAccDerived)
 	d.ep.RegisterAM(amAck, d.handleAck)
+	if g.Cfg.EagerPeers {
+		// The eager-peers ablation: materialize connection state toward
+		// every peer (and the shm ring toward every on-node peer) at
+		// open, the all-pairs O(n²)-total setup the on-demand model
+		// replaces.
+		d.ep.EagerConnect()
+		if g.Shm != nil {
+			me := r.ID()
+			rpn := g.World.RanksPerNode()
+			node := me / rpn
+			lo, hi := node*rpn, (node+1)*rpn
+			if hi > g.World.Size() {
+				hi = g.World.Size()
+			}
+			for p := lo; p < hi; p++ {
+				g.Shm.Preconnect(me, p)
+			}
+		}
+	}
 	return d
 }
 

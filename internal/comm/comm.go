@@ -3,7 +3,6 @@ package comm
 import (
 	"errors"
 	"fmt"
-	"sort"
 	"sync"
 
 	"gompi/internal/group"
@@ -64,6 +63,26 @@ type Comm struct {
 	info     map[string]string
 	freed    bool
 	collView *Comm
+
+	// topoCache memoizes the node structure two-level collectives
+	// derive over this communicator, keyed by the preferring root.
+	// Owned by the rank: collectives on one communicator are serialized
+	// per rank (MPI semantics), so no lock is needed.
+	topoCache map[int]any
+}
+
+// LoadTopo returns the cached collective topology for key, if present.
+func (c *Comm) LoadTopo(key int) (any, bool) {
+	v, ok := c.topoCache[key]
+	return v, ok
+}
+
+// StoreTopo caches the collective topology for key.
+func (c *Comm) StoreTopo(key int, v any) {
+	if c.topoCache == nil {
+		c.topoCache = make(map[int]any)
+	}
+	c.topoCache[key] = v
 }
 
 // NextNBCSeq returns the next nonblocking-collective sequence number.
@@ -235,59 +254,34 @@ func (c *Comm) Dup() (*Comm, error) {
 	return dup, nil
 }
 
-// splitEntry is the (color, key, rank) triple exchanged by Split.
-type splitEntry struct {
-	color, key, rank int
-}
-
 // Split partitions the communicator by color and orders each part by
 // (key, parent rank) (MPI_COMM_SPLIT). Ranks passing color == Undefined
 // receive nil.
+//
+// The heavy lifting happens once per collective, not once per member:
+// the registry's shared-split builder sorts the deposited specs and
+// constructs a single Group/RankTable per color that all members share.
+// Each rank's own contribution here is O(1) plus its group-rank lookup.
 func (c *Comm) Split(color, key int) (*Comm, error) {
 	if c.freed {
 		return nil, ErrFreed
 	}
 	seq := c.seq
 	c.seq++
-	vals := c.reg.Exchange(c.Ctx, seq, c.MyRank, c.Size(), splitEntry{color, key, c.MyRank})
-	if color == Undefined {
+	w, err := c.WorldRank(c.MyRank)
+	if err != nil {
+		return nil, err
+	}
+	res := c.reg.SplitShared(c.Ctx, seq, c.Size(), SplitSpec{Color: color, Key: key, Rank: c.MyRank, World: w})
+	if res == nil {
 		return nil, nil
 	}
-
-	var members []splitEntry
-	for _, v := range vals {
-		e := v.(splitEntry)
-		if e.color == color {
-			members = append(members, e)
-		}
-	}
-	sort.Slice(members, func(i, j int) bool {
-		if members[i].key != members[j].key {
-			return members[i].key < members[j].key
-		}
-		return members[i].rank < members[j].rank
-	})
-
-	world := make([]int, len(members))
-	myNew := -1
-	for i, e := range members {
-		w, err := c.WorldRank(e.rank)
-		if err != nil {
-			return nil, err
-		}
-		world[i] = w
-		if e.rank == c.MyRank {
-			myNew = i
-		}
-	}
-	g := group.FromRanks(world)
-	ctx, coll := c.reg.AllocContext(c.Ctx, seq, color)
 	return &Comm{
-		Grp:     g,
-		Table:   BuildRankTable(g),
-		MyRank:  myNew,
-		Ctx:     ctx,
-		CollCtx: coll,
+		Grp:     res.Grp,
+		Table:   res.Table,
+		MyRank:  res.Grp.Rank(w),
+		Ctx:     res.Ctx,
+		CollCtx: res.Coll,
 		reg:     c.reg,
 	}, nil
 }

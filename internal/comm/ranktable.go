@@ -36,9 +36,25 @@ type RankTable struct {
 }
 
 // BuildRankTable detects the cheapest representation for a group.
+// Strided groups (the world group, node blocks, regular splits) map
+// directly to TableIdentity/TableStrided in O(1) — no O(n) rank-list
+// materialization, which is what keeps communicator creation free of
+// full-world copies at 10K ranks.
 func BuildRankTable(g *group.Group) *RankTable {
 	n := g.Size()
 	t := &RankTable{size: n}
+	if base, stride, ok := g.Strided(); ok {
+		if base == 0 && stride == 1 {
+			t.kind = TableIdentity
+			return t
+		}
+		t.kind = TableStrided
+		t.base, t.stride = base, stride
+		if n <= 1 {
+			t.stride = 1
+		}
+		return t
+	}
 	ranks := g.Ranks()
 
 	// Identity?

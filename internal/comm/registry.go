@@ -1,9 +1,11 @@
 package comm
 
 import (
+	"sort"
 	"sync"
 
 	"gompi/internal/abort"
+	"gompi/internal/group"
 )
 
 // Registry is the job-wide coordination service backing collective
@@ -18,6 +20,7 @@ type Registry struct {
 	nextCtx uint16
 	ctx     map[ctxKey]uint16
 	slots   map[slotKey]*slot
+	splits  map[slotKey]*splitSlot
 	aborted abort.Flag
 }
 
@@ -46,7 +49,12 @@ type slot struct {
 // ids 0 and 1 are reserved for MPI_COMM_WORLD's point-to-point and
 // collective contexts.
 func NewRegistry() *Registry {
-	r := &Registry{nextCtx: 2, ctx: make(map[ctxKey]uint16), slots: make(map[slotKey]*slot)}
+	r := &Registry{
+		nextCtx: 2,
+		ctx:     make(map[ctxKey]uint16),
+		slots:   make(map[slotKey]*slot),
+		splits:  make(map[slotKey]*splitSlot),
+	}
 	r.cond = sync.NewCond(&r.mu)
 	return r
 }
@@ -58,6 +66,12 @@ func NewRegistry() *Registry {
 func (r *Registry) AllocContext(parent uint16, seq, color int) (uint16, uint16) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	return r.allocContextLocked(parent, seq, color)
+}
+
+// allocContextLocked is AllocContext with r.mu already held, for use by
+// the shared-split builder which runs under the registry lock.
+func (r *Registry) allocContextLocked(parent uint16, seq, color int) (uint16, uint16) {
 	k := ctxKey{parent, seq, color}
 	id, ok := r.ctx[k]
 	if !ok {
@@ -78,6 +92,103 @@ func (r *Registry) Abort() {
 	r.mu.Lock()
 	r.cond.Broadcast()
 	r.mu.Unlock()
+}
+
+// SplitSpec is one rank's contribution to a shared split collective:
+// its color/key pair, its rank in the parent communicator, and its
+// world rank (carried along so the shared builder never touches the
+// parent's rank table).
+type SplitSpec struct {
+	Color, Key, Rank, World int
+}
+
+// SplitResult is the per-color outcome of a shared split: one
+// Group/RankTable pair built once by the last depositor and shared by
+// every member rank, plus the color's context-id pair. Members recover
+// their own new rank with Grp.Rank(world) — O(1) on both group
+// representations.
+type SplitResult struct {
+	Grp   *group.Group
+	Table *RankTable
+	Ctx   uint16
+	Coll  uint16
+}
+
+// splitSlot is the rendezvous cell for one split collective.
+type splitSlot struct {
+	specs   []SplitSpec
+	taken   int
+	results map[int]*SplitResult // nil until the last depositor builds
+}
+
+// SplitShared is the collective behind MPI_COMM_SPLIT, restructured so
+// the whole collective does O(n log n) total work instead of O(n) per
+// member (O(n²) total): every rank deposits its SplitSpec, the last
+// depositor sorts once, builds one shared Group/RankTable per color,
+// and allocates context ids; everyone else just picks up the shared
+// result for its color. Ranks with color Undefined receive nil.
+func (r *Registry) SplitShared(parent uint16, seq, size int, spec SplitSpec) *SplitResult {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	k := slotKey{parent, seq}
+	s := r.splits[k]
+	if s == nil {
+		s = &splitSlot{specs: make([]SplitSpec, 0, size)}
+		r.splits[k] = s
+	}
+	s.specs = append(s.specs, spec)
+	if len(s.specs) == size {
+		s.results = r.buildSplitLocked(parent, seq, s.specs)
+		s.specs = nil
+		r.cond.Broadcast()
+	}
+	for s.results == nil {
+		// The deferred Unlock releases the mutex when Check panics.
+		r.aborted.Check()
+		r.cond.Wait()
+	}
+	res := s.results[spec.Color]
+	s.taken++
+	if s.taken == size {
+		delete(r.splits, k)
+	}
+	return res
+}
+
+// buildSplitLocked runs once per split collective, under r.mu: sort all
+// specs by (color, key, parent rank), then cut the sorted slice into
+// per-color groups. Group construction goes through group.FromRanks, so
+// regular partitions (node blocks, strided leader sets) collapse to the
+// O(1) arithmetic representation and nothing here retains an O(n) copy
+// per member.
+func (r *Registry) buildSplitLocked(parent uint16, seq int, specs []SplitSpec) map[int]*SplitResult {
+	sort.Slice(specs, func(i, j int) bool {
+		if specs[i].Color != specs[j].Color {
+			return specs[i].Color < specs[j].Color
+		}
+		if specs[i].Key != specs[j].Key {
+			return specs[i].Key < specs[j].Key
+		}
+		return specs[i].Rank < specs[j].Rank
+	})
+	out := make(map[int]*SplitResult)
+	for i := 0; i < len(specs); {
+		j := i
+		for j < len(specs) && specs[j].Color == specs[i].Color {
+			j++
+		}
+		if specs[i].Color != Undefined {
+			world := make([]int, j-i)
+			for m := i; m < j; m++ {
+				world[m-i] = specs[m].World
+			}
+			g := group.FromRanks(world)
+			ctx, coll := r.allocContextLocked(parent, seq, specs[i].Color)
+			out[specs[i].Color] = &SplitResult{Grp: g, Table: BuildRankTable(g), Ctx: ctx, Coll: coll}
+		}
+		i = j
+	}
+	return out
 }
 
 // Exchange is the rendezvous allgather used by Split and Create: each

@@ -29,6 +29,12 @@ const (
 	// ThreadCheckWinCost is the window-path variant, which also checks
 	// the window's own synchronization mode.
 	ThreadCheckWinCost = 14
+	// CommCreateStepCost is the modeled per-round cost of a
+	// communicator-creation collective (context-id agreement). The
+	// public layer charges ceil(log2 n) of these — the O(log n)
+	// collective cost the sparse-table redesign reduces creation to,
+	// replacing the old implicit O(n) table copies.
+	CommCreateStepCost = 40
 )
 
 // Device is the abstract device interface (ADI): the boundary between

@@ -49,6 +49,17 @@ type Config struct {
 	// direct path — the ablation knob the RMA sweep compares against.
 	// Only the ch4 device honors it.
 	RmaStagedShm bool
+	// EagerPeers restores all-pairs per-peer state materialization at
+	// endpoint open (fabric connections and on-node shm rings toward
+	// every peer) — the pre-on-demand model, kept as the measurable
+	// baseline of the lazy-peer-state ablation. Default false: peer
+	// state materializes on first send toward each peer.
+	EagerPeers bool
+	// MaxPeerBytes is the hard per-rank ceiling on modeled per-peer
+	// state bytes (fabric connection slots + shm rings). A rank whose
+	// materializations exceed it panics — the assertion that bounds
+	// memory at 10K-rank scale. 0 means unlimited.
+	MaxPeerBytes int64
 }
 
 // The named builds of Figure 2.

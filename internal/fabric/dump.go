@@ -18,7 +18,17 @@ func (f *Fabric) WriteWaitGraph(w io.Writer) {
 	fmt.Fprintf(w, "wait-graph: %d rank(s), %d vci(s) each\n", len(f.eps), f.nvci)
 	type edge struct{ from, to int }
 	var edges []edge
-	for _, ep := range f.eps {
+	lazy := 0
+	for i := range f.eps {
+		// Never-materialized endpoints have no queues and no waiters;
+		// summarize them in one line instead of dumping (or worse,
+		// materializing) each. Materialized lazy peers appear exactly
+		// like eager ones below.
+		ep := f.peek(i)
+		if ep == nil {
+			lazy++
+			continue
+		}
 		posted, unex := 0, 0
 		var lines []string
 		for v, s := range ep.vcis {
@@ -37,10 +47,13 @@ func (f *Fabric) WriteWaitGraph(w io.Writer) {
 			s.mu.Unlock()
 		}
 		amq := atomic.LoadInt32(&ep.amqLen)
-		fmt.Fprintf(w, "rank %d: %d posted, %d unexpected, %d queued AM\n", ep.rank, posted, unex, amq)
+		fmt.Fprintf(w, "rank %d: %d posted, %d unexpected, %d queued AM, %d conns\n", ep.rank, posted, unex, amq, ep.Conns())
 		for _, l := range lines {
 			fmt.Fprintln(w, l)
 		}
+	}
+	if lazy > 0 {
+		fmt.Fprintf(w, "%d endpoint(s) never materialized (lazy)\n", lazy)
 	}
 	if len(edges) > 0 {
 		fmt.Fprintln(w, "waits-on edges (posted receive -> named source):")

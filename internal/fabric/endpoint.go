@@ -212,7 +212,22 @@ type Endpoint struct {
 	// holding any particular lock. Starts as a placeholder registry;
 	// Bind replaces it.
 	m *metrics.Rank
+
+	// conns tracks which peers this endpoint has materialized send-side
+	// connection state toward (the on-demand connection model): first
+	// send to a new peer pays the profile's ConnSetup cycles and
+	// ConnStateBytes of modeled memory, checked against the fabric's
+	// MaxPeerBytes ceiling. Multiple VCI lanes of one rank may race on
+	// the first touch; the read-mostly RWMutex keeps the steady state to
+	// one shared-lock lookup.
+	connMu sync.RWMutex
+	conns  map[int32]struct{}
 }
+
+// ConnStateBytes is the modeled per-connection state footprint (send
+// queue descriptors, sequence/ack state — the address-vector entry plus
+// QP-like state a real netmod keeps per connected peer).
+const ConnStateBytes = 256
 
 // via says which transport carried a deposited message, for
 // receive-side path attribution.
@@ -284,6 +299,55 @@ func (ep *Endpoint) Bind(m Meter) {
 // are installed at device init, before communication starts.
 func (ep *Endpoint) RegisterAM(id uint8, h AMHandler) { ep.handlers[id] = h }
 
+// noteConn materializes send-side connection state toward dst if this
+// is the first traffic that way: charge the profile's connection-setup
+// cost, account the modeled state bytes, and enforce the per-rank
+// ceiling. Steady-state cost is one RLock'd map hit.
+func (ep *Endpoint) noteConn(dst int) {
+	if dst == ep.rank {
+		return
+	}
+	ep.connMu.RLock()
+	_, ok := ep.conns[int32(dst)]
+	ep.connMu.RUnlock()
+	if ok {
+		return
+	}
+	ep.connMu.Lock()
+	if _, ok := ep.conns[int32(dst)]; ok {
+		ep.connMu.Unlock()
+		return
+	}
+	if ep.conns == nil {
+		ep.conns = make(map[int32]struct{})
+	}
+	ep.conns[int32(dst)] = struct{}{}
+	ep.connMu.Unlock()
+	if cs := ep.f.prof.ConnSetup; cs > 0 {
+		ep.meter.ChargeCycles(instr.Transport, cs)
+	}
+	total := ep.m.NotePeerState(true, ConnStateBytes)
+	ep.f.checkPeerCeiling(ep.rank, total)
+}
+
+// Conns returns the number of peers this endpoint holds connection
+// state toward.
+func (ep *Endpoint) Conns() int {
+	ep.connMu.RLock()
+	defer ep.connMu.RUnlock()
+	return len(ep.conns)
+}
+
+// EagerConnect materializes connection state toward every peer at once
+// — the all-pairs setup the EagerPeers ablation restores, so the
+// on-demand model has a measurable baseline. Called from the owner at
+// endpoint open.
+func (ep *Endpoint) EagerConnect() {
+	for dst := 0; dst < ep.f.Size(); dst++ {
+		ep.noteConn(dst)
+	}
+}
+
 // bumpAgg publishes one endpoint-level event: bump the aggregate
 // sequence and wake aggregate waiters if any are parked.
 func (ep *Endpoint) bumpAgg() {
@@ -314,6 +378,7 @@ func (ep *Endpoint) TaggedSend(dst int, bits match.Bits, data []byte) {
 // Matching happens at the destination as the message arrives — the
 // hardware-offload model of PSM2 and UCX.
 func (ep *Endpoint) TaggedSendVCI(dst int, bits match.Bits, data []byte, v int) {
+	ep.noteConn(dst)
 	p := &ep.f.prof
 	ep.meter.ChargeCycles(instr.Transport, p.injectCost(p.SendInject, len(data)))
 	ep.m.NetSend.Note(len(data))
@@ -335,7 +400,7 @@ func (ep *Endpoint) TaggedSendVCI(dst int, bits match.Bits, data []byte, v int) 
 	}
 	arrival := p.arrivalAt(now, len(data))
 
-	ep.f.eps[dst].deposit(v, bits, ep.rank, data, arrival, viaNet, nil)
+	ep.f.Endpoint(dst).deposit(v, bits, ep.rank, data, arrival, viaNet, nil)
 }
 
 // ViewReleaser is the fabric's handle on a zero-copy handoff view
@@ -987,6 +1052,7 @@ func (ep *Endpoint) ownMProbeData(m *message) ([]byte, ViewReleaser) {
 // copied. Every waiter on the target wakes: whichever goroutine is
 // parked must surface to run the progress engine.
 func (ep *Endpoint) AMSend(dst int, handler uint8, hdr, payload []byte) {
+	ep.noteConn(dst)
 	p := &ep.f.prof
 	ep.meter.ChargeCycles(instr.Transport, p.injectCost(p.AMInject, len(hdr)+len(payload)))
 	ep.m.AmSend.Note(len(hdr) + len(payload))
@@ -994,7 +1060,7 @@ func (ep *Endpoint) AMSend(dst int, handler uint8, hdr, payload []byte) {
 
 	h := append([]byte(nil), hdr...)
 	pl := append([]byte(nil), payload...)
-	tgt := ep.f.eps[dst]
+	tgt := ep.f.Endpoint(dst)
 	tgt.amMu.Lock()
 	tgt.amq = append(tgt.amq, am{src: ep.rank, handler: handler, hdr: h, payload: pl, arrival: arrival})
 	atomic.AddInt32(&tgt.amqLen, 1)

@@ -3,6 +3,7 @@ package fabric
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"gompi/internal/abort"
 	"gompi/internal/instr"
@@ -34,13 +35,36 @@ type Meter interface {
 	Metrics() *metrics.Rank
 }
 
+// Options are the fabric's scale knobs — the on-demand connection
+// model of Liu et al. (MPICH2 over InfiniBand) and its measurable
+// ablation.
+type Options struct {
+	// EagerPeers restores all-pairs peer-state materialization at
+	// endpoint open (today's eager model, kept as the measurable
+	// baseline). Default false: connection state materializes on first
+	// send toward a peer.
+	EagerPeers bool
+	// MaxPeerBytes is the hard per-rank ceiling on modeled per-peer
+	// state bytes (connection slots, shm rings). Exceeding it panics
+	// the rank — the assertion the lazy model is tested against.
+	// 0 means unlimited.
+	MaxPeerBytes int64
+}
+
 // Fabric is one simulated network connecting n endpoints (one per
 // rank), each split into nvci virtual communication interfaces. It owns
 // the RDMA memory-region registry.
+//
+// Endpoints materialize lazily: the constructor allocates only the
+// pointer table, and an endpoint's VCI/buffer-pool structures come into
+// existence on first use — the owner's Open, a peer's first deposit, or
+// a matched receive — via a CAS race any number of first-touchers may
+// enter safely.
 type Fabric struct {
 	prof    Profile
 	nvci    int
-	eps     []*Endpoint
+	opts    Options
+	eps     []atomic.Pointer[Endpoint]
 	aborted abort.Flag
 
 	// stall is the optional stall watchdog (nil when disabled; all its
@@ -65,20 +89,26 @@ func New(prof Profile, n int) *Fabric { return NewVCI(prof, n, 1) }
 // NewVCI creates a fabric whose endpoints each expose nvci virtual
 // communication interfaces. nvci below 1 is treated as 1.
 func NewVCI(prof Profile, n, nvci int) *Fabric {
+	return NewVCIOpt(prof, n, nvci, Options{})
+}
+
+// NewVCIOpt is NewVCI with the scale knobs. Construction is O(1) in
+// per-endpoint work: no endpoint structure exists until first touch.
+func NewVCIOpt(prof Profile, n, nvci int, opts Options) *Fabric {
 	if nvci < 1 {
 		nvci = 1
 	}
-	f := &Fabric{
+	return &Fabric{
 		prof:    prof,
 		nvci:    nvci,
-		eps:     make([]*Endpoint, n),
+		opts:    opts,
+		eps:     make([]atomic.Pointer[Endpoint], n),
 		regions: make(map[regionKey]*region),
 	}
-	for i := range f.eps {
-		f.eps[i] = newEndpoint(f, i, nvci)
-	}
-	return f
 }
+
+// Opts returns the fabric's scale knobs.
+func (f *Fabric) Opts() Options { return f.opts }
 
 // Profile returns the fabric's cost profile.
 func (f *Fabric) Profile() Profile { return f.prof }
@@ -124,18 +154,44 @@ func (f *Fabric) SetStall(m *stall.Monitor) { f.stall = m }
 // instead of a hang.
 func (f *Fabric) Abort() {
 	f.aborted.Raise()
-	for _, ep := range f.eps {
-		ep.Wake()
+	for i := range f.eps {
+		// Never-materialized endpoints have no waiters to wake.
+		if ep := f.eps[i].Load(); ep != nil {
+			ep.Wake()
+		}
 	}
 }
 
 // Aborted reports whether Abort was called.
 func (f *Fabric) Aborted() bool { return f.aborted.Raised() }
 
-// Endpoint returns rank's endpoint.
+// Endpoint returns rank's endpoint, materializing it on first touch.
+// Any goroutine may be the first toucher (the owner at Open, a peer
+// depositing the first message); losers of the CAS race discard their
+// candidate and adopt the winner's.
 func (f *Fabric) Endpoint(rank int) *Endpoint {
 	if rank < 0 || rank >= len(f.eps) {
 		panic(fmt.Sprintf("fabric: endpoint %d out of range [0,%d)", rank, len(f.eps)))
 	}
-	return f.eps[rank]
+	if ep := f.eps[rank].Load(); ep != nil {
+		return ep
+	}
+	ep := newEndpoint(f, rank, f.nvci)
+	if f.eps[rank].CompareAndSwap(nil, ep) {
+		return ep
+	}
+	return f.eps[rank].Load()
+}
+
+// peek returns rank's endpoint if it has materialized, nil otherwise —
+// for observers (dumps, abort) that must not trigger materialization.
+func (f *Fabric) peek(rank int) *Endpoint { return f.eps[rank].Load() }
+
+// checkPeerCeiling enforces the MaxPeerBytes assertion: total is the
+// rank's modeled per-peer state after the latest materialization.
+func (f *Fabric) checkPeerCeiling(rank int, total int64) {
+	if f.opts.MaxPeerBytes > 0 && total > f.opts.MaxPeerBytes {
+		panic(fmt.Sprintf("fabric: rank %d per-peer state %d bytes exceeds MaxPeerBytes %d",
+			rank, total, f.opts.MaxPeerBytes))
+	}
 }

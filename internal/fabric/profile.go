@@ -66,6 +66,13 @@ type Profile struct {
 	// fast network.
 	MatchBin    vtime.Cycles
 	MatchSearch vtime.Cycles
+	// ConnSetup is the one-time CPU cost of materializing connection
+	// state toward a new peer (address-vector insert, QP-like setup) —
+	// the per-peer price the on-demand connection model (Liu et al.)
+	// defers off the startup path. Charged on first send toward each
+	// peer; the EagerPeers ablation pays it for every peer at open.
+	// Zero on the infinitely fast network.
+	ConnSetup vtime.Cycles
 	// InstrCPI is the cycles-per-instruction of MPI software on this
 	// platform's cores (1.0 when unset). The x86 testbeds run the
 	// branchy MPI critical path near one instruction per cycle; the
@@ -94,6 +101,7 @@ var OFI = Profile{
 	RndvInject:    250,
 	MatchBin:      instr.CostHash,
 	MatchSearch:   2,
+	ConnSetup:     300,
 }
 
 // UCX models the Mellanox EDR fabric with UCX on the 2.5 GHz "Gomez"
@@ -115,6 +123,7 @@ var UCX = Profile{
 	RndvInject:    220,
 	MatchBin:      instr.CostHash,
 	MatchSearch:   2,
+	ConnSetup:     320,
 }
 
 // INF is the paper's "infinitely fast network": every operation
@@ -147,6 +156,7 @@ var BGQ = Profile{
 	RndvInject:    400,
 	MatchBin:      2 * instr.CostHash, // slow in-order core
 	MatchSearch:   4,
+	ConnSetup:     900,
 	InstrCPI:      6,
 }
 

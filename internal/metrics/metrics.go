@@ -165,6 +165,15 @@ type Rank struct {
 	RmaLockAlls int64
 	RmaNotifies int64
 
+	// Lazy peer-state materialization (the on-demand connection model):
+	// PeersTouched counts distinct peers whose per-peer state (fabric
+	// connection slot, shm ring) this rank materialized on first use;
+	// PeerStateBytes is the modeled bytes of per-peer state currently
+	// attributed to this rank — the number the MaxPeerBytes ceiling is
+	// enforced against.
+	PeersTouched   int64
+	PeerStateBytes int64
+
 	// Per-algorithm collective counters, noted at the MPI layer with
 	// the algorithm the selection logic chose and the per-rank payload
 	// bytes of the call.
@@ -273,6 +282,18 @@ func (r *Rank) NoteRmaFlush()   { atomic.AddInt64(&r.RmaFlushes, 1) }
 func (r *Rank) NoteRmaLockAll() { atomic.AddInt64(&r.RmaLockAlls, 1) }
 func (r *Rank) NoteRmaNotify()  { atomic.AddInt64(&r.RmaNotifies, 1) }
 
+// NotePeerState accounts the materialization of per-peer state: bytes
+// of modeled state added (a connection slot, a shm ring), with newPeer
+// set when this is the first state for that peer. Returns the rank's
+// new per-peer state total so the caller can enforce a MaxPeerBytes
+// ceiling without a second load.
+func (r *Rank) NotePeerState(newPeer bool, bytes int64) int64 {
+	if newPeer {
+		atomic.AddInt64(&r.PeersTouched, 1)
+	}
+	return atomic.AddInt64(&r.PeerStateBytes, bytes)
+}
+
 // StoreMatch stores the matching-engine counters (devices fold their
 // engines in before snapshotting).
 func (r *Rank) StoreMatch(binOps, searches, binHits, wildHits int64) {
@@ -314,6 +335,17 @@ type RmaStats struct {
 	Flushes  int64 `json:"flushes"`
 	LockAlls int64 `json:"lock_alls"`
 	Notifies int64 `json:"notifies"`
+}
+
+// PeerStats is the snapshot of lazy peer-state materialization. On a
+// single-rank snapshot StateBytes == MaxStateBytes; a merge sums
+// Touched and StateBytes across ranks but takes the per-rank maximum
+// for MaxStateBytes — the high-water bytes/rank the memory ceiling is
+// judged against.
+type PeerStats struct {
+	Touched       int64 `json:"touched"`
+	StateBytes    int64 `json:"state_bytes"`
+	MaxStateBytes int64 `json:"max_state_bytes"`
 }
 
 // CollStat is one collective algorithm's aggregate: calls that
@@ -368,6 +400,7 @@ type Snapshot struct {
 	Pool         PoolStats   `json:"buffer_pool"`
 	Req          ReqStats    `json:"request_pool"`
 	Rma          RmaStats    `json:"rma"`
+	Peers        PeerStats   `json:"peer_state"`
 	Lat          LatSnapshot `json:"latency"`
 	// VCIs is the per-virtual-interface receive-side split; empty on a
 	// single-VCI endpoint snapshot only if the device never filled it.
@@ -417,6 +450,9 @@ func (r *Rank) Snapshot() Snapshot {
 			Notifies: atomic.LoadInt64(&r.RmaNotifies),
 		},
 	}
+	touched := atomic.LoadInt64(&r.PeersTouched)
+	stateBytes := atomic.LoadInt64(&r.PeerStateBytes)
+	s.Peers = PeerStats{Touched: touched, StateBytes: stateBytes, MaxStateBytes: stateBytes}
 	for i := range r.PoolHits {
 		s.Pool.Hits[i] = atomic.LoadInt64(&r.PoolHits[i])
 		s.Pool.Misses[i] = atomic.LoadInt64(&r.PoolMisses[i])
@@ -491,6 +527,11 @@ func (s Snapshot) Merge(o Snapshot) Snapshot {
 	s.Rma.Flushes += o.Rma.Flushes
 	s.Rma.LockAlls += o.Rma.LockAlls
 	s.Rma.Notifies += o.Rma.Notifies
+	s.Peers.Touched += o.Peers.Touched
+	s.Peers.StateBytes += o.Peers.StateBytes
+	if o.Peers.MaxStateBytes > s.Peers.MaxStateBytes {
+		s.Peers.MaxStateBytes = o.Peers.MaxStateBytes
+	}
 	s.Lat.PostMatch.Merge(o.Lat.PostMatch)
 	s.Lat.UnexRes.Merge(o.Lat.UnexRes)
 	s.Lat.RndvRTT.Merge(o.Lat.RndvRTT)

@@ -57,8 +57,65 @@ type topo struct {
 // computeTopo derives the communicator's node structure. Each node's
 // leader is its lowest rank, except that when prefer >= 0 (a broadcast
 // root) the preferred rank leads its own node so the root's data never
-// takes an extra intra-node hop.
+// takes an extra intra-node hop. Transports that cache (TopoCache) or
+// expose block geometry (BlockTopo) skip the O(size) derivation.
 func computeTopo(t Transport, prefer int) topo {
+	tc, cached := t.(TopoCache)
+	if cached {
+		if v, ok := tc.LoadTopo(prefer); ok {
+			return v.(topo)
+		}
+	}
+	tp := computeTopoScan(t, prefer)
+	if cached {
+		tc.StoreTopo(prefer, tp)
+	}
+	return tp
+}
+
+// blockTopo is computeTopo for the contiguous block mapping
+// node(r) = r/rpn: every piece of the structure is arithmetic, so the
+// cost is O(nodes) for the leader list plus O(rpn) for the local list.
+func blockTopo(t Transport, prefer, rpn int) topo {
+	size, me := t.Size(), t.Rank()
+	nnodes := (size + rpn - 1) / rpn
+	leaderOf := func(nd int) int {
+		if prefer >= 0 && prefer/rpn == nd {
+			return prefer
+		}
+		return nd * rpn
+	}
+	var tp topo
+	myNode := me / rpn
+	tp.leader = leaderOf(myNode)
+	tp.leaders = make([]int, nnodes)
+	for i := range tp.leaders {
+		tp.leaders[i] = leaderOf(i)
+	}
+	tp.myIdx = -1
+	if me == tp.leader {
+		tp.myIdx = myNode
+	}
+	lo, hi := myNode*rpn, (myNode+1)*rpn
+	if hi > size {
+		hi = size
+	}
+	for r := lo; r < hi; r++ {
+		if r != me && r != tp.leader {
+			tp.locals = append(tp.locals, r)
+		}
+	}
+	return tp
+}
+
+// computeTopoScan is the general derivation over an arbitrary
+// rank→node mapping.
+func computeTopoScan(t Transport, prefer int) topo {
+	if bt, ok := t.(BlockTopo); ok {
+		if rpn, ok := bt.RanksPerNodeBlock(); ok && rpn > 0 {
+			return blockTopo(t, prefer, rpn)
+		}
+	}
 	size := t.Size()
 	leaderOf := map[int]int{}
 	var nodes []int

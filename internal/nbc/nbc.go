@@ -60,6 +60,28 @@ type Transport interface {
 	EagerLimit() int
 }
 
+// BlockTopo is an optional Transport extension for transports whose
+// rank→node mapping is the contiguous block mapping: communicator rank
+// r lives on node r/rpn (rank 0 at a node boundary). The two-level
+// compilers then derive the node structure arithmetically in
+// O(nodes + rpn) instead of an O(size) scan with a per-call map — the
+// difference between a 10K-rank allreduce compiling in microseconds
+// and burning 100M map operations per call.
+type BlockTopo interface {
+	// RanksPerNodeBlock returns (rpn, true) when the block mapping
+	// holds, (0, false) otherwise (irregular subcommunicators).
+	RanksPerNodeBlock() (int, bool)
+}
+
+// TopoCache is an optional Transport extension: a transport backed by
+// a long-lived communicator can memoize the derived node structure per
+// prefer-rank, so repeated collectives skip even the fast derivation.
+// Keys are the prefer argument; values are opaque to the transport.
+type TopoCache interface {
+	LoadTopo(prefer int) (any, bool)
+	StoreTopo(prefer int, v any)
+}
+
 // HandoffTransport is the optional zero-copy extension a transport may
 // implement (the ch4 device does when Config.ShmEagerMax is set): large
 // on-node payloads are lent to the receiver instead of copied through

@@ -103,7 +103,8 @@ type Global struct {
 // split: every message takes the generic netmod path, as the paper's
 // baseline does on these fabrics.
 func NewGlobal(w *proc.World, prof fabric.Profile, cfg core.Config) *Global {
-	return &Global{World: w, Fab: fabric.New(prof, w.Size()), Cfg: cfg}
+	fabOpts := fabric.Options{EagerPeers: cfg.EagerPeers, MaxPeerBytes: cfg.MaxPeerBytes}
+	return &Global{World: w, Fab: fabric.NewVCIOpt(prof, w.Size(), 1, fabOpts), Cfg: cfg}
 }
 
 // Abort tears the world down after a rank failure.
@@ -210,6 +211,12 @@ func (g *Global) Open(r *proc.Rank) *Device {
 	d.ep.RegisterAM(amGetReq, d.handleGetReq)
 	d.ep.RegisterAM(amGetResp, d.handleGetResp)
 	d.ep.RegisterAM(amAck, d.handleAck)
+	if g.Cfg.EagerPeers {
+		// All-pairs connection setup at open — the eager baseline of
+		// the lazy peer-state ablation (this device has no shmmod, so
+		// fabric connections are the whole of its per-peer state).
+		d.ep.EagerConnect()
+	}
 	g.mu.Lock()
 	g.devs = append(g.devs, d)
 	g.mu.Unlock()

@@ -58,7 +58,20 @@ type Config struct {
 	// payloads strictly larger than it are published as zero-copy
 	// handoff descriptors. 0 (the default) disables the handoff path.
 	EagerMax int
+	// MaxPeerBytes is the hard per-rank ceiling on modeled per-peer
+	// state bytes; ring materialization counts toward it (mirroring the
+	// fabric's connection accounting) and exceeding it panics the
+	// creating rank. 0 means unlimited.
+	MaxPeerBytes int64
 }
+
+// Modeled fixed costs of one SPSC ring beyond its cell payloads: the
+// per-cell header (sequence, match bits, length fields) and the ring's
+// own head/tail/scratch bookkeeping.
+const (
+	cellHeaderBytes = 64
+	ringFixedBytes  = 192
+)
 
 // Profile is the shared-memory cost model: on-node messaging costs an
 // order of magnitude less than NIC injection, which is the reason CH4
@@ -134,9 +147,10 @@ type Domain struct {
 	wake        Wake
 	aborted     abort.Flag
 
-	cellSize  int
-	ringCells int
-	eagerMax  int
+	cellSize     int
+	ringCells    int
+	eagerMax     int
+	maxPeerBytes int64
 
 	// stall is the optional stall watchdog (nil when disabled; all its
 	// methods are nil-safe). Producers blocked on a full ring park with
@@ -183,15 +197,16 @@ func NewDomainCfg(prof Profile, cfg Config, n int, deliver Deliver, wake Wake) *
 		cfg.EagerMax = 0
 	}
 	return &Domain{
-		prof:      prof,
-		deliver:   deliver,
-		wake:      wake,
-		cellSize:  cfg.CellSize,
-		ringCells: cfg.RingCells,
-		eagerMax:  cfg.EagerMax,
-		rings:     make(map[pair]*ring),
-		meters:    make([]Meter, n),
-		incoming:  make([][]inRing, n),
+		prof:         prof,
+		deliver:      deliver,
+		wake:         wake,
+		cellSize:     cfg.CellSize,
+		ringCells:    cfg.RingCells,
+		eagerMax:     cfg.EagerMax,
+		maxPeerBytes: cfg.MaxPeerBytes,
+		rings:        make(map[pair]*ring),
+		meters:       make([]Meter, n),
+		incoming:     make([][]inRing, n),
 	}
 }
 
@@ -295,10 +310,17 @@ type cell struct {
 	data    []byte
 }
 
+// RingStateBytes reports the modeled memory footprint of one ring with
+// the domain's geometry — the unit of shm per-peer state the
+// MaxPeerBytes ceiling counts.
+func (d *Domain) RingStateBytes() int64 {
+	return int64(d.ringCells)*int64(d.cellSize+cellHeaderBytes) + ringFixedBytes
+}
+
 func (d *Domain) ring(src, dst int) *ring {
 	d.mu.Lock()
-	defer d.mu.Unlock()
 	r := d.rings[pair{src, dst}]
+	created := false
 	if r == nil {
 		r = &ring{cells: make([]cell, d.ringCells)}
 		for i := range r.cells {
@@ -307,8 +329,30 @@ func (d *Domain) ring(src, dst int) *ring {
 		r.cond = sync.NewCond(&r.mu)
 		d.rings[pair{src, dst}] = r
 		d.incoming[dst] = nil // new feeder: rebuild dst's drain list
+		created = true
+	}
+	m := d.meters[src]
+	d.mu.Unlock()
+	if created && m != nil {
+		// Ring state is charged to its creator (the sender). The ring
+		// is the first — and only — shm state toward that peer, so it
+		// also counts as a peer touch.
+		total := m.Metrics().NotePeerState(true, d.RingStateBytes())
+		if d.maxPeerBytes > 0 && total > d.maxPeerBytes {
+			panic(fmt.Sprintf("shm: rank %d per-peer state %d bytes exceeds MaxPeerBytes %d",
+				src, total, d.maxPeerBytes))
+		}
 	}
 	return r
+}
+
+// Preconnect materializes the src→dst ring eagerly — the all-pairs
+// on-node setup the EagerPeers ablation restores at endpoint open.
+func (d *Domain) Preconnect(src, dst int) {
+	if src == dst {
+		return
+	}
+	d.ring(src, dst)
 }
 
 // Handoff is one in-flight zero-copy transfer: the sender's view of

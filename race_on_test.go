@@ -1,0 +1,8 @@
+//go:build race
+
+package gompi
+
+// raceEnabled reports that this test binary was built with -race. The
+// race runtime caps the process at 8192 goroutines, so the 10K-rank
+// scale tests skip themselves under it.
+const raceEnabled = true
