@@ -6,10 +6,10 @@ GO ?= go
 # baseline and current benchmark documents exist, the perf gate runs
 # too: benchdiff fails the build on a >10% hot-path regression.
 ci: build vet test race bench-smoke
-	@if [ -f BENCH_PR7.json ] && [ -f BENCH_PR8.json ]; then \
+	@if [ -f BENCH_PR8.json ] && [ -f BENCH_PR9.json ]; then \
 		$(MAKE) benchdiff; \
 	else \
-		echo "ci: benchdiff skipped (need BENCH_PR7.json and BENCH_PR8.json)"; \
+		echo "ci: benchdiff skipped (need BENCH_PR8.json and BENCH_PR9.json)"; \
 	fi
 
 build:
@@ -38,18 +38,20 @@ bench-smoke:
 # their latency histogram summaries (post-match, unexpected residency,
 # ...), the multi-VCI scaling sweep, the nonblocking-collectives
 # sweep, the staged-vs-handoff shm sweep, the one-sided
-# zerocopy-vs-staged sweep, and the 10K-rank scale sweep (lazy vs
-# eager peer state), written to BENCH_PR8.json for cross-PR
-# comparison.
+# zerocopy-vs-staged sweep, the 10K-rank scale sweep (lazy vs
+# eager peer state), and the POP efficiency section (per-device
+# exchange hierarchy + strong-scaling np sweep), written to
+# BENCH_PR9.json for cross-PR comparison.
 bench-json:
-	$(GO) run ./cmd/benchjson -o BENCH_PR8.json
+	$(GO) run ./cmd/benchjson -o BENCH_PR9.json
 
 # Cross-PR perf gate: median-aware comparison of the previous PR's
 # benchmark document against this one; exits nonzero when a hot-path
 # metric (sends, receives, exchange, collectives, handoff, rma)
-# regressed by more than 10%.
+# regressed by more than 10%, or when POP Parallel Efficiency drops
+# by more than 2 points on any shared efficiency metric.
 benchdiff:
-	$(GO) run ./cmd/benchdiff BENCH_PR7.json BENCH_PR8.json
+	$(GO) run ./cmd/benchdiff BENCH_PR8.json BENCH_PR9.json
 
 # Short differential-fuzz runs: binned vs linear matching must agree,
 # and staged vs zero-copy shm RMA must deliver identical bytes.

@@ -17,9 +17,14 @@
 // plain median comparison — the gate on the simulator's actual
 // performance model is not loosened.
 //
+// The efficiency section gates separately: POP Parallel Efficiency is
+// a deterministic higher-is-better fraction of virtual time, so a drop
+// of more than -effdrop (default 2 points, absolute) on any shared
+// efficiency metric fails the gate with no noise tolerance at all.
+//
 // Usage:
 //
-//	benchdiff [-tolerance 0.10] [-hot regex] OLD.json NEW.json
+//	benchdiff [-tolerance 0.10] [-effdrop 0.02] [-hot regex] OLD.json NEW.json
 package main
 
 import (
@@ -56,6 +61,34 @@ type doc struct {
 		Bytes     int     `json:"bytes"`
 		LatencyUs float64 `json:"latency_us"`
 	} `json:"rma"`
+	Efficiency struct {
+		Exchange map[string]struct {
+			ParallelEff float64 `json:"parallel_efficiency"`
+		} `json:"exchange"`
+		Scaling struct {
+			Points []struct {
+				NP         int `json:"np"`
+				Efficiency struct {
+					ParallelEff float64 `json:"parallel_efficiency"`
+				} `json:"efficiency"`
+			} `json:"points"`
+		} `json:"scaling"`
+	} `json:"efficiency"`
+}
+
+// efficiencies flattens the document's POP Parallel Efficiency values:
+// name → PE. Unlike the latency metrics these are higher-is-better
+// fractions, deterministic in virtual time, so the gate is a plain
+// absolute-points comparison with no noise tolerance.
+func (d *doc) efficiencies() map[string]float64 {
+	eff := map[string]float64{}
+	for dev, e := range d.Efficiency.Exchange {
+		eff["Eff/exchange/"+dev] = e.ParallelEff
+	}
+	for _, p := range d.Efficiency.Scaling.Points {
+		eff[fmt.Sprintf("Eff/scaling/np%d", p.NP)] = p.Efficiency.ParallelEff
+	}
+	return eff
 }
 
 // metrics flattens a document into name → sorted samples (lower is
@@ -105,6 +138,7 @@ func load(path string) (*doc, error) {
 
 func main() {
 	tolerance := flag.Float64("tolerance", 0.10, "hot-path regression gate (fraction)")
+	effDrop := flag.Float64("effdrop", 0.02, "Parallel Efficiency drop gate (absolute, 0.02 = 2 points)")
 	hot := flag.String("hot", `Isend|Send|Recv|Exchange|Latency|Handoff|Coll|Rma`,
 		"regexp naming the hot-path metrics the gate applies to")
 	flag.Parse()
@@ -160,6 +194,29 @@ func main() {
 		}
 		fmt.Printf("%-52s %14.2f %14.2f %+7.1f%%%s\n", k, o, n, delta*100, mark)
 	}
+	// POP Parallel Efficiency gate: deterministic virtual-time
+	// fractions, compared in absolute points (no noise tolerance). A
+	// drop beyond -effdrop points on any shared efficiency metric is a
+	// regression; metrics present in only one document are reported but
+	// not gated, so the section's first appearance does not self-flag.
+	oldEff, newEff := oldDoc.efficiencies(), newDoc.efficiencies()
+	var effNames []string
+	for k := range oldEff {
+		if _, ok := newEff[k]; ok {
+			effNames = append(effNames, k)
+		}
+	}
+	sort.Strings(effNames)
+	for _, k := range effNames {
+		o, n := oldEff[k], newEff[k]
+		mark := ""
+		if o-n > *effDrop {
+			mark = "  << REGRESSION"
+			regressed = append(regressed, fmt.Sprintf("%s: PE %.3f -> %.3f (%.1f points)", k, o, n, (n-o)*100))
+		}
+		fmt.Printf("%-52s %14.3f %14.3f %+7.1fpt%s\n", k, o, n, (n-o)*100, mark)
+	}
+
 	onlyOld, onlyNew := 0, 0
 	for k := range oldM {
 		if _, ok := newM[k]; !ok {
@@ -175,7 +232,8 @@ func main() {
 		fmt.Printf("(%d metrics only in %s, %d only in %s)\n", onlyOld, flag.Arg(0), onlyNew, flag.Arg(1))
 	}
 	if len(regressed) > 0 {
-		fmt.Fprintf(os.Stderr, "benchdiff: %d hot-path regression(s) beyond %.0f%%:\n", len(regressed), *tolerance*100)
+		fmt.Fprintf(os.Stderr, "benchdiff: %d regression(s) (hot-path beyond %.0f%%, or PE drop beyond %.0f points):\n",
+			len(regressed), *tolerance*100, *effDrop*100)
 		for _, r := range regressed {
 			fmt.Fprintln(os.Stderr, "  "+r)
 		}

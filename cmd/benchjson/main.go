@@ -6,12 +6,12 @@
 // as JSON — plus the multi-VCI scaling sweep and the latency
 // decomposition (post→match, unexpected residency, rendezvous RTT,
 // request lifetime, wait park percentiles) of the reference exchange.
-// The Makefile's bench-json target uses it to produce BENCH_PR8.json.
+// The Makefile's bench-json target uses it to produce BENCH_PR9.json.
 // Timestamps are deliberately omitted so reruns diff cleanly.
 //
 // Usage:
 //
-//	benchjson [-o BENCH_PR8.json] [-benchtime 1x]
+//	benchjson [-o BENCH_PR9.json] [-benchtime 1x]
 package main
 
 import (
@@ -66,6 +66,17 @@ type Output struct {
 	// memory ceiling enforced) versus the EagerPeers all-pairs
 	// baseline, with setup time and modeled bytes/rank.
 	Scale []bench.ScalePoint `json:"scale"`
+	// Efficiency is the POP parallel-efficiency section benchdiff
+	// gates on: the reference exchange's hierarchy per device, and the
+	// strong-scaling np sweep (speedup-vs-serial and self-scaling,
+	// median of N trials, per-np POP metrics).
+	Efficiency EffSection `json:"efficiency"`
+}
+
+// EffSection is the efficiency analytics of the document.
+type EffSection struct {
+	Exchange map[string]gompi.EfficiencyReport `json:"exchange"`
+	Scaling  *bench.ScalingSweep               `json:"scaling"`
 }
 
 // benchLine matches e.g.
@@ -73,7 +84,7 @@ type Output struct {
 var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+(\d+)\s+([\d.]+) ns/op(?:\s+(\d+) B/op)?(?:\s+(\d+) allocs/op)?`)
 
 func main() {
-	out := flag.String("o", "BENCH_PR8.json", "output path")
+	out := flag.String("o", "BENCH_PR9.json", "output path")
 	benchtime := flag.String("benchtime", "1x", "go test -benchtime value")
 	count := flag.Int("count", 3, "benchmark repetitions; duplicates are median-reduced by benchdiff")
 	flag.Parse()
@@ -107,6 +118,7 @@ func main() {
 
 	exchange := map[string]gompi.MetricsSnapshot{}
 	latency := map[string]metrics.LatSnapshot{}
+	eff := EffSection{Exchange: map[string]gompi.EfficiencyReport{}}
 	for _, dev := range []gompi.DeviceKind{gompi.DeviceCH4, gompi.DeviceOriginal} {
 		st, err := bench.ExchangeStats(gompi.Config{Device: dev}, 1024)
 		fail(err)
@@ -114,7 +126,12 @@ func main() {
 		agg := st.Aggregate()
 		exchange[string(dev)] = agg
 		latency[string(dev)] = agg.Lat
+		eff.Exchange[string(dev)] = st.Efficiency()
 	}
+
+	scaling, err := bench.EfficiencySweep([]int{1, 2, 4, 8}, 3)
+	fail(err)
+	eff.Scaling = scaling
 
 	vci, err := bench.VCIScaling([]int{1, 2, 4, 8}, 4, 2000)
 	fail(err)
@@ -135,7 +152,7 @@ func main() {
 	fail(err)
 	enc := json.NewEncoder(f)
 	enc.SetIndent("", "  ")
-	fail(enc.Encode(Output{Benchmarks: results, Exchange: exchange, Latency: latency, VCIScaling: vci, Collectives: colls, Handoff: handoff, Rma: rmaPts, Scale: scale}))
+	fail(enc.Encode(Output{Benchmarks: results, Exchange: exchange, Latency: latency, VCIScaling: vci, Collectives: colls, Handoff: handoff, Rma: rmaPts, Scale: scale, Efficiency: eff}))
 	fail(f.Close())
 	fmt.Fprintf(os.Stderr, "benchjson: %d benchmarks -> %s\n", len(results), *out)
 }

@@ -11,6 +11,10 @@
 //	stats -bytes 65536
 //	stats -chrome trace.json    # also write a Chrome trace of the run
 //	stats -prom                 # Prometheus text format instead of JSON
+//	stats -report               # POP efficiency table of the fresh run
+//	stats -eff stats.json       # render the POP efficiency + per-phase
+//	                            # table from a previously written stats
+//	                            # JSON file (no run)
 package main
 
 import (
@@ -36,7 +40,25 @@ func main() {
 	msgBytes := flag.Int("bytes", 1024, "small-message payload size")
 	chrome := flag.String("chrome", "", "write a Chrome trace (catapult JSON) to this path")
 	prom := flag.Bool("prom", false, "emit Prometheus text format (latency quantiles, path counters) instead of JSON")
+	eff := flag.String("eff", "", "render the POP efficiency table from a stats JSON file at this path, then exit")
+	report := flag.Bool("report", false, "append the POP efficiency table of the run to stderr")
 	flag.Parse()
+
+	if *eff != "" {
+		// Offline mode: rebuild a Stats from a previously written
+		// document (either `stats` output or Stats.WriteJSON) and render
+		// its efficiency hierarchy — no run.
+		raw, err := os.ReadFile(*eff)
+		fail(err)
+		var doc struct {
+			Hz    float64           `json:"hz"`
+			Ranks []gompi.RankStats `json:"ranks"`
+		}
+		fail(json.Unmarshal(raw, &doc))
+		st := &gompi.Stats{Hz: doc.Hz, Ranks: doc.Ranks}
+		fail(st.WriteEfficiencyReport(os.Stdout))
+		return
+	}
 
 	cfg := gompi.Config{
 		Device: gompi.DeviceKind(*device),
@@ -65,6 +87,10 @@ func main() {
 		fail(st.WriteChromeTrace(f))
 		fail(f.Close())
 		fmt.Fprintln(os.Stderr, "chrome trace written to", *chrome)
+	}
+
+	if *report {
+		fail(st.WriteEfficiencyReport(os.Stderr))
 	}
 }
 

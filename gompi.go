@@ -300,6 +300,13 @@ type Proc struct {
 	// algorithm pin (validated at resolve time).
 	collAlgo string
 
+	// Phase-region accounting (PhaseBegin/PhaseEnd): accumulated
+	// per-name stats, the name→index table, and the open-region stack.
+	// Owner-goroutine only, like the trace log.
+	phases     []PhaseStats
+	phaseIdx   map[string]int
+	phaseStack []phaseFrame
+
 	tlog     trace.Log
 	profiler Profiler
 	teardown func()
@@ -445,8 +452,10 @@ func Run(n int, cfg Config, body func(p *Proc) error) error {
 			// needs no lock; the merge happens after RunAll joins.
 			cfg.Stats.Ranks[r.ID()] = RankStats{
 				Rank:          r.ID(),
+				Valid:         true,
 				Counters:      p.Counters(),
 				Metrics:       p.dev.Stats(),
+				Phases:        p.phaseSnapshot(),
 				TraceDropped:  p.tlog.Dropped(),
 				VirtualCycles: int64(r.Now()),
 			}

@@ -1,0 +1,208 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"gompi"
+)
+
+// ScalingPoint is one world size of the strong-scaling efficiency
+// sweep: the same total work divided over NP ranks, run Trials times
+// with the median reported. Both speedup conventions are reported
+// (see SNIPPETS §1): speedup versus the serial program, which pays no
+// MPI cost at all, and self-scaling versus this implementation's own
+// smallest-np run, which isolates parallel efficiency from single-rank
+// MPI overhead. The POP hierarchy of the median trial rides along, so
+// a scaling regression decomposes immediately into load balance versus
+// serialization versus transfer.
+type ScalingPoint struct {
+	NP     int `json:"np"`
+	Trials int `json:"trials"`
+	// RuntimeCycles is the slowest rank's virtual clock at teardown,
+	// median across trials (virtual time is deterministic, so the
+	// trials agree bit-for-bit; the median discipline is kept so the
+	// harness stays honest if nondeterminism ever creeps in).
+	RuntimeCycles int64 `json:"runtime_cycles"`
+	// SpeedupVsSerial is serial_cycles / runtime: the HPC-convention
+	// speedup against the no-MPI baseline.
+	SpeedupVsSerial float64 `json:"speedup_vs_serial"`
+	// SelfScaling is runtime(first np) / runtime(this np): scaling
+	// within the MPI codepath itself.
+	SelfScaling float64 `json:"self_scaling"`
+	// CompScale is the POP Computation Scaling term: the reference
+	// run's total useful cycles over this run's (extra work introduced
+	// by parallelisation pushes it below 1).
+	CompScale float64 `json:"computation_scaling"`
+	// GlobalEff is Parallel Efficiency × Computation Scaling.
+	GlobalEff float64 `json:"global_efficiency"`
+	// Efficiency is the POP hierarchy of the median trial.
+	Efficiency gompi.EfficiencyMetrics `json:"efficiency"`
+}
+
+// ScalingSweep is the whole np sweep of the strong-scaling workload.
+type ScalingSweep struct {
+	// Workload names the traffic pattern for the BENCH document.
+	Workload string `json:"workload"`
+	// ComputeCycles is the total useful work W divided among ranks.
+	ComputeCycles int64 `json:"compute_cycles"`
+	// SerialCycles is the serial baseline: the same W with no MPI
+	// codepath at all (no init, no halo buffers, no allreduce), which
+	// in the virtual-cost model is exactly W cycles.
+	SerialCycles int64          `json:"serial_cycles"`
+	Trials       int            `json:"trials"`
+	Points       []ScalingPoint `json:"points"`
+}
+
+// scalingWork is the sweep's total useful work: divisible by every
+// np×iters combination below so strong scaling divides it exactly.
+const scalingWork = 1 << 22
+
+// scalingIters is the number of compute+halo+allreduce iterations.
+const scalingIters = 4
+
+// EfficiencySweep runs the strong-scaling workload at each np (typically
+// {1, 2, 4, 8}) with trials repetitions and median reduction. The
+// workload is a stencil step: per iteration each rank charges its share
+// of the fixed W compute cycles inside a "compute" phase, exchanges a
+// 1 KiB halo with its ±1 neighbors inside a "halo" phase, and reduces
+// 8 doubles inside an "allreduce" phase — 2 ranks per node, so both the
+// shm and net transports carry traffic from np=4 up.
+func EfficiencySweep(nps []int, trials int) (*ScalingSweep, error) {
+	if len(nps) == 0 {
+		nps = []int{1, 2, 4, 8}
+	}
+	if trials <= 0 {
+		trials = 3
+	}
+	sweep := &ScalingSweep{
+		Workload:      "stencil: compute + 1KiB halo(±1) + 8-double allreduce, 4 iters, 2 ranks/node",
+		ComputeCycles: scalingWork,
+		SerialCycles:  scalingWork,
+		Trials:        trials,
+	}
+	var baseRuntime int64
+	var refUseful float64
+	for i, np := range nps {
+		pt, rep, err := scalingPoint(np, trials)
+		if err != nil {
+			return nil, fmt.Errorf("np=%d: %w", np, err)
+		}
+		useful := rep.AvgUsefulCycles * float64(rep.Ranks)
+		if i == 0 {
+			baseRuntime = pt.RuntimeCycles
+			refUseful = useful
+		}
+		pt.SpeedupVsSerial = float64(sweep.SerialCycles) / float64(pt.RuntimeCycles)
+		pt.SelfScaling = float64(baseRuntime) / float64(pt.RuntimeCycles)
+		if useful > 0 {
+			pt.CompScale = refUseful / useful
+		}
+		pt.GlobalEff = pt.Efficiency.ParallelEff * pt.CompScale
+		sweep.Points = append(sweep.Points, pt)
+	}
+	return sweep, nil
+}
+
+// scalingPoint runs one np trials times and median-reduces.
+func scalingPoint(np, trials int) (ScalingPoint, gompi.EfficiencyReport, error) {
+	type trial struct {
+		runtime int64
+		report  gompi.EfficiencyReport
+	}
+	runs := make([]trial, 0, trials)
+	for t := 0; t < trials; t++ {
+		st, err := gompi.RunStats(np, gompi.Config{
+			Device: gompi.DeviceCH4, Fabric: gompi.FabricOFI, RanksPerNode: 2,
+		}, scalingBody(np))
+		if err != nil {
+			return ScalingPoint{}, gompi.EfficiencyReport{}, err
+		}
+		rep := st.Efficiency()
+		runs = append(runs, trial{runtime: rep.RuntimeCycles, report: rep})
+	}
+	sort.Slice(runs, func(i, j int) bool { return runs[i].runtime < runs[j].runtime })
+	med := runs[len(runs)/2]
+	runtime := med.runtime
+	if len(runs)%2 == 0 {
+		runtime = (runs[len(runs)/2-1].runtime + runs[len(runs)/2].runtime) / 2
+	}
+	return ScalingPoint{
+		NP:            np,
+		Trials:        trials,
+		RuntimeCycles: runtime,
+		Efficiency:    med.report.Metrics,
+	}, med.report, nil
+}
+
+// scalingBody is the per-rank stencil step of the sweep's workload.
+func scalingBody(np int) func(p *gompi.Proc) error {
+	perIter := int64(scalingWork / (np * scalingIters))
+	return func(p *gompi.Proc) error {
+		w := p.World()
+		me := p.Rank()
+		var neighbors []int
+		for _, d := range []int{-1, 1} {
+			if nb := me + d; nb >= 0 && nb < np {
+				neighbors = append(neighbors, nb)
+			}
+		}
+		sbuf := make([]byte, 1024)
+		rbufs := make([][]byte, len(neighbors))
+		for i := range rbufs {
+			rbufs[i] = make([]byte, 1024)
+		}
+		reqs := make([]*gompi.Request, 0, 2*len(neighbors))
+		vals := make([]float64, 8)
+		for it := 0; it < scalingIters; it++ {
+			if err := p.Phase("compute", func() error {
+				p.ChargeCompute(perIter)
+				return nil
+			}); err != nil {
+				return err
+			}
+			if err := p.Phase("halo", func() error {
+				reqs = reqs[:0]
+				for i, nb := range neighbors {
+					r, err := w.Irecv(rbufs[i], len(rbufs[i]), gompi.Byte, nb, it)
+					if err != nil {
+						return err
+					}
+					reqs = append(reqs, r)
+				}
+				for _, nb := range neighbors {
+					r, err := w.Isend(sbuf, len(sbuf), gompi.Byte, nb, it)
+					if err != nil {
+						return err
+					}
+					reqs = append(reqs, r)
+				}
+				return gompi.Waitall(reqs)
+			}); err != nil {
+				return err
+			}
+			if err := p.Phase("allreduce", func() error {
+				_, err := w.AllreduceFloat64(vals, gompi.OpSum)
+				return err
+			}); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+}
+
+// WriteScalingTable renders the sweep as an aligned text table.
+func WriteScalingTable(w io.Writer, s *ScalingSweep) {
+	fmt.Fprintf(w, "strong scaling: %s (W=%d cycles, serial %d cycles, median of %d)\n",
+		s.Workload, s.ComputeCycles, s.SerialCycles, s.Trials)
+	fmt.Fprintf(w, "%4s %12s %10s %10s %8s %8s %8s %8s %8s %8s\n",
+		"np", "cycles", "vs-serial", "self", "GE", "PE", "LB", "CommE", "SerE", "TE")
+	for _, p := range s.Points {
+		fmt.Fprintf(w, "%4d %12d %10.2fx %9.2fx %8.3f %8.3f %8.3f %8.3f %8.3f %8.3f\n",
+			p.NP, p.RuntimeCycles, p.SpeedupVsSerial, p.SelfScaling,
+			p.GlobalEff, p.Efficiency.ParallelEff, p.Efficiency.LoadBalance,
+			p.Efficiency.CommEff, p.Efficiency.SerEff, p.Efficiency.TransferEff)
+	}
+}

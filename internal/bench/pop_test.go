@@ -1,0 +1,112 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"gompi"
+)
+
+// checkMetrics fails when any of the five efficiencies leaves [0,1].
+func checkMetrics(t *testing.T, where string, m gompi.EfficiencyMetrics) {
+	t.Helper()
+	for name, v := range map[string]float64{
+		"PE": m.ParallelEff, "LB": m.LoadBalance, "CommE": m.CommEff,
+		"SerE": m.SerEff, "TE": m.TransferEff,
+	} {
+		if v < 0 || v > 1 {
+			t.Fatalf("%s: %s = %g outside [0,1]", where, name, v)
+		}
+	}
+}
+
+// TestExchangeEfficiencyReport is the acceptance criterion: RunStats on
+// the reference 4-rank, 2-per-node exchange yields a full POP report —
+// every metric in [0,1], all four ranks valid, and per-phase rows for
+// the exchange's named regions.
+func TestExchangeEfficiencyReport(t *testing.T) {
+	for _, dev := range []gompi.DeviceKind{gompi.DeviceCH4, gompi.DeviceOriginal} {
+		dev := dev
+		t.Run(string(dev), func(t *testing.T) {
+			st, err := ExchangeStats(gompi.Config{Device: dev}, 1024)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rep := st.Efficiency()
+			if rep.Ranks != ExchangeRanks || rep.Excluded != 0 {
+				t.Fatalf("ranks=%d excluded=%d", rep.Ranks, rep.Excluded)
+			}
+			checkMetrics(t, "run", rep.Metrics)
+			if rep.ParallelEff <= 0 {
+				t.Fatalf("PE = %g, want > 0 (the workload charges compute)", rep.ParallelEff)
+			}
+			byName := map[string]bool{}
+			for _, ph := range rep.Phases {
+				byName[ph.Name] = true
+				checkMetrics(t, "phase "+ph.Name, ph.Metrics)
+				if ph.Ranks != ExchangeRanks {
+					t.Fatalf("phase %s covers %d ranks", ph.Name, ph.Ranks)
+				}
+			}
+			for _, want := range []string{"post", "exchange", "compute"} {
+				if !byName[want] {
+					t.Fatalf("report missing phase %q (have %v)", want, byName)
+				}
+			}
+			var buf bytes.Buffer
+			if err := st.WriteEfficiencyReport(&buf); err != nil {
+				t.Fatal(err)
+			}
+			out := buf.String()
+			for _, want := range []string{"Parallel Efficiency", "exchange", "compute"} {
+				if !strings.Contains(out, want) {
+					t.Fatalf("rendered report missing %q:\n%s", want, out)
+				}
+			}
+		})
+	}
+}
+
+// TestEfficiencySweep smoke-tests the strong-scaling sweep at two small
+// world sizes with the full trial discipline.
+func TestEfficiencySweep(t *testing.T) {
+	sweep, err := EfficiencySweep([]int{1, 2}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sweep.Points) != 2 || sweep.SerialCycles != sweep.ComputeCycles {
+		t.Fatalf("sweep shape: %+v", sweep)
+	}
+	for _, p := range sweep.Points {
+		if p.Trials != 3 || p.RuntimeCycles <= 0 {
+			t.Fatalf("np=%d point %+v", p.NP, p)
+		}
+		checkMetrics(t, "np", p.Efficiency)
+		if p.SpeedupVsSerial <= 0 || p.SelfScaling <= 0 || p.CompScale <= 0 {
+			t.Fatalf("np=%d derived ratios %+v", p.NP, p)
+		}
+		// The serial program pays no MPI cost, so speedup-vs-serial can
+		// never exceed self-scaling (which is measured against a baseline
+		// that already carries the MPI codepath).
+		if p.SpeedupVsSerial > p.SelfScaling+1e-9 {
+			t.Fatalf("np=%d: vs-serial %.3f > self %.3f", p.NP, p.SpeedupVsSerial, p.SelfScaling)
+		}
+	}
+	// np=1 self-scales to exactly 1 by construction.
+	if s := sweep.Points[0].SelfScaling; s != 1 {
+		t.Fatalf("np=1 self-scaling %g", s)
+	}
+	// Scaling up must not slow the run down in absolute terms: the np=2
+	// runtime (half the work per rank plus communication) stays below
+	// the np=1 runtime for this workload.
+	if sweep.Points[1].RuntimeCycles >= sweep.Points[0].RuntimeCycles {
+		t.Fatalf("np=2 runtime %d >= np=1 runtime %d",
+			sweep.Points[1].RuntimeCycles, sweep.Points[0].RuntimeCycles)
+	}
+	var buf bytes.Buffer
+	WriteScalingTable(&buf, sweep)
+	if !strings.Contains(buf.String(), "strong scaling") {
+		t.Fatalf("table: %s", buf.String())
+	}
+}

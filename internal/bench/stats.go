@@ -23,6 +23,12 @@ const ExchangeRanks = 4
 // cfg's Device, Build, Trace, and Profiler fields are honored; the
 // world geometry, fabric default ("ofi" when unset), and traffic
 // pattern are fixed so results are comparable across devices.
+//
+// The body declares three phase regions — "post" (receive posting),
+// "exchange" (sends plus completion), and "compute" (a modeled
+// application pass over the received bytes at one cycle per eight
+// bytes) — so the snapshot's Efficiency() report carries per-phase rows
+// and a nonzero useful-cycle term for Load Balance.
 func ExchangeStats(cfg gompi.Config, msgBytes int) (*gompi.Stats, error) {
 	if msgBytes <= 0 {
 		msgBytes = 1024
@@ -49,27 +55,39 @@ func ExchangeStats(cfg gompi.Config, msgBytes int) (*gompi.Stats, error) {
 		}
 		// Post all receives before sending: with every rank doing the
 		// same, the exchange cannot deadlock regardless of protocol.
-		if err := post(msgBytes, 1); err != nil {
-			return err
-		}
-		if err := post(big, 2); err != nil {
-			return err
-		}
-		small := make([]byte, msgBytes)
-		large := make([]byte, big)
-		for peer := 0; peer < n; peer++ {
-			r, err := w.Isend(small, msgBytes, gompi.Byte, peer, 1)
-			if err != nil {
+		err := p.Phase("post", func() error {
+			if err := post(msgBytes, 1); err != nil {
 				return err
 			}
-			reqs = append(reqs, r)
-			r, err = w.Isend(large, big, gompi.Byte, peer, 2)
-			if err != nil {
-				return err
-			}
-			reqs = append(reqs, r)
+			return post(big, 2)
+		})
+		if err != nil {
+			return err
 		}
-		return gompi.Waitall(reqs)
+		err = p.Phase("exchange", func() error {
+			small := make([]byte, msgBytes)
+			large := make([]byte, big)
+			for peer := 0; peer < n; peer++ {
+				r, err := w.Isend(small, msgBytes, gompi.Byte, peer, 1)
+				if err != nil {
+					return err
+				}
+				reqs = append(reqs, r)
+				r, err = w.Isend(large, big, gompi.Byte, peer, 2)
+				if err != nil {
+					return err
+				}
+				reqs = append(reqs, r)
+			}
+			return gompi.Waitall(reqs)
+		})
+		if err != nil {
+			return err
+		}
+		return p.Phase("compute", func() error {
+			p.ChargeCompute(int64(n*(msgBytes+big)) / 8)
+			return nil
+		})
 	})
 }
 

@@ -54,7 +54,36 @@ func WriteChrome(w io.Writer, hz float64, perRank [][]Event) error {
 			Name: "thread_name", Ph: "M", Tid: rank,
 			Args: map[string]any{"name": fmt.Sprintf("rank %d", rank)},
 		})
+		// Cumulative phase-cycle split for the rank's counter track.
+		var cumUseful, cumComm int64
 		for _, e := range events {
+			if e.Kind == KindPhase {
+				// A phase region renders twice: an "X" span named after
+				// the application's label, and a "C" counter sample so
+				// the per-rank useful-vs-communication split shows as a
+				// stacked area over virtual time.
+				cumUseful += e.Useful
+				cumComm += e.Comm
+				evs = append(evs,
+					chromeEvent{
+						Name: "phase:" + e.Name,
+						Cat:  "phase",
+						Ph:   "X",
+						Ts:   float64(e.Start) * usPerCycle,
+						Dur:  float64(e.Dur()) * usPerCycle,
+						Tid:  rank,
+						Args: map[string]any{"useful_cycles": e.Useful, "comm_cycles": e.Comm},
+					},
+					chromeEvent{
+						Name: fmt.Sprintf("phase cycles (rank %d)", rank),
+						Cat:  "phase",
+						Ph:   "C",
+						Ts:   float64(e.End) * usPerCycle,
+						Tid:  rank,
+						Args: map[string]any{"useful": cumUseful, "comm": cumComm},
+					})
+				continue
+			}
 			args := map[string]any{"peer": e.Peer, "bytes": e.Bytes}
 			if e.VCI >= 0 {
 				args["vci"] = e.VCI

@@ -32,6 +32,7 @@ const (
 	KindSched  // one dependency round of a nonblocking-collective schedule
 	KindFlush  // passive-target flush (Flush/FlushLocal/FlushAll variants)
 	KindNotify // notified access (PutNotify token send, WaitNotify wait)
+	KindPhase  // one application phase region (Proc.PhaseBegin/PhaseEnd)
 	numKinds
 )
 
@@ -62,6 +63,8 @@ func (k Kind) String() string {
 		return "rma-flush"
 	case KindNotify:
 		return "rma-notify"
+	case KindPhase:
+		return "phase"
 	default:
 		return "unknown"
 	}
@@ -79,6 +82,14 @@ type Event struct {
 	VCI   int
 	Start vtime.Time
 	End   vtime.Time
+	// Name is the application-chosen label of a KindPhase event (empty
+	// for library operations, whose Kind names them).
+	Name string
+	// Useful and Comm split a KindPhase event's cycles into
+	// application-compute and everything-else (MPI instructions,
+	// transport, waiting); zero for other kinds.
+	Useful int64
+	Comm   int64
 }
 
 // Dur returns the event's virtual duration in cycles.

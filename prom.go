@@ -85,5 +85,26 @@ func (s *Stats) WriteProm(w io.Writer) error {
 		fmt.Fprintf(w, "gompi_virtual_cycles{rank=\"%d\"} %d\n", r.Rank, r.VirtualCycles)
 	}
 	fmt.Fprintf(w, "gompi_watchdog_trips_total %d\n", s.WatchdogTrips)
+
+	// POP efficiency hierarchy: run-level gauges, plus one series per
+	// named phase region. Values are dimensionless fractions in [0,1].
+	eff := s.Efficiency()
+	gauges := []struct {
+		name string
+		get  func(m EfficiencyMetrics) float64
+	}{
+		{"gompi_efficiency_parallel", func(m EfficiencyMetrics) float64 { return m.ParallelEff }},
+		{"gompi_efficiency_load_balance", func(m EfficiencyMetrics) float64 { return m.LoadBalance }},
+		{"gompi_efficiency_communication", func(m EfficiencyMetrics) float64 { return m.CommEff }},
+		{"gompi_efficiency_serialization", func(m EfficiencyMetrics) float64 { return m.SerEff }},
+		{"gompi_efficiency_transfer", func(m EfficiencyMetrics) float64 { return m.TransferEff }},
+	}
+	for _, g := range gauges {
+		fmt.Fprintf(w, "# TYPE %s gauge\n", g.name)
+		fmt.Fprintf(w, "%s %g\n", g.name, g.get(eff.Metrics))
+		for _, ph := range eff.Phases {
+			fmt.Fprintf(w, "%s{phase=%q} %g\n", g.name, ph.Name, g.get(ph.Metrics))
+		}
+	}
 	return nil
 }

@@ -19,11 +19,21 @@ type MetricsSnapshot = metrics.Snapshot
 
 // RankStats is one rank's complete teardown snapshot.
 type RankStats struct {
-	Rank          int             `json:"rank"`
-	Counters      Counters        `json:"counters"`
-	Metrics       MetricsSnapshot `json:"metrics"`
-	TraceDropped  int64           `json:"trace_dropped,omitempty"`
-	VirtualCycles int64           `json:"virtual_cycles"`
+	Rank int `json:"rank"`
+	// Valid marks a slot actually filled by a rank that ran its body to
+	// completion. A rank that dies by panic leaves a zero slot with
+	// Valid false; consumers doing cross-rank math (Stats.Efficiency)
+	// must exclude such slots instead of reading 0 cycles as a
+	// perfectly-idle rank.
+	Valid    bool            `json:"valid"`
+	Counters Counters        `json:"counters"`
+	Metrics  MetricsSnapshot `json:"metrics"`
+	// Phases is the rank's named phase-region table (PhaseBegin /
+	// PhaseEnd), in first-entry order; empty when the body declared no
+	// regions.
+	Phases        []PhaseStats `json:"phases,omitempty"`
+	TraceDropped  int64        `json:"trace_dropped,omitempty"`
+	VirtualCycles int64        `json:"virtual_cycles"`
 }
 
 // Stats is a whole-job observability snapshot, filled at teardown when
