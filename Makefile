@@ -6,10 +6,10 @@ GO ?= go
 # baseline and current benchmark documents exist, the perf gate runs
 # too: benchdiff fails the build on a >10% hot-path regression.
 ci: build vet test race bench-smoke
-	@if [ -f BENCH_PR8.json ] && [ -f BENCH_PR9.json ]; then \
+	@if [ -f BENCH_PR9.json ] && [ -f BENCH_PR10.json ]; then \
 		$(MAKE) benchdiff; \
 	else \
-		echo "ci: benchdiff skipped (need BENCH_PR8.json and BENCH_PR9.json)"; \
+		echo "ci: benchdiff skipped (need BENCH_PR9.json and BENCH_PR10.json)"; \
 	fi
 
 build:
@@ -41,9 +41,9 @@ bench-smoke:
 # zerocopy-vs-staged sweep, the 10K-rank scale sweep (lazy vs
 # eager peer state), and the POP efficiency section (per-device
 # exchange hierarchy + strong-scaling np sweep), written to
-# BENCH_PR9.json for cross-PR comparison.
+# BENCH_PR10.json for cross-PR comparison.
 bench-json:
-	$(GO) run ./cmd/benchjson -o BENCH_PR9.json
+	$(GO) run ./cmd/benchjson -o BENCH_PR10.json
 
 # Cross-PR perf gate: median-aware comparison of the previous PR's
 # benchmark document against this one; exits nonzero when a hot-path
@@ -51,10 +51,11 @@ bench-json:
 # regressed by more than 10%, or when POP Parallel Efficiency drops
 # by more than 2 points on any shared efficiency metric.
 benchdiff:
-	$(GO) run ./cmd/benchdiff BENCH_PR8.json BENCH_PR9.json
+	$(GO) run ./cmd/benchdiff BENCH_PR9.json BENCH_PR10.json
 
 # Short differential-fuzz runs: binned vs linear matching must agree,
 # and staged vs zero-copy shm RMA must deliver identical bytes.
 fuzz-smoke:
 	$(GO) test -run xxx -fuzz FuzzBinnedMatchesLinear -fuzztime 10s ./internal/match
 	$(GO) test -run xxx -fuzz FuzzRmaStagedZeroCopy -fuzztime 10s .
+	$(GO) test -run xxx -fuzz FuzzPartitionedVsPlain -fuzztime 10s .

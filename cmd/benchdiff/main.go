@@ -61,6 +61,17 @@ type doc struct {
 		Bytes     int     `json:"bytes"`
 		LatencyUs float64 `json:"latency_us"`
 	} `json:"rma"`
+	Spmv []struct {
+		Mode      string  `json:"mode"`
+		HaloBytes int     `json:"halo_bytes"`
+		LatencyUs float64 `json:"latency_us"`
+		MPIInstr  int64   `json:"mpi_instr"`
+	} `json:"spmv"`
+	Persistent []struct {
+		Collective string  `json:"collective"`
+		Bytes      int     `json:"bytes"`
+		ReplayUs   float64 `json:"replay_us"`
+	} `json:"persistent"`
 	Efficiency struct {
 		Exchange map[string]struct {
 			ParallelEff float64 `json:"parallel_efficiency"`
@@ -110,6 +121,16 @@ func (d *doc) metrics() map[string][]float64 {
 		key := fmt.Sprintf("Rma/%s/%s/%d", r.Op, r.Mode, r.Bytes)
 		samples[key] = append(samples[key], r.LatencyUs)
 	}
+	for _, s := range d.Spmv {
+		key := fmt.Sprintf("Spmv/%s/%d", s.Mode, s.HaloBytes)
+		samples[key] = append(samples[key], s.LatencyUs)
+		ikey := fmt.Sprintf("Spmv/%s/%d/instr", s.Mode, s.HaloBytes)
+		samples[ikey] = append(samples[ikey], float64(s.MPIInstr))
+	}
+	for _, p := range d.Persistent {
+		key := fmt.Sprintf("Persist/%s/%d/replay", p.Collective, p.Bytes)
+		samples[key] = append(samples[key], p.ReplayUs)
+	}
 	for _, v := range samples {
 		sort.Float64s(v)
 	}
@@ -139,7 +160,7 @@ func load(path string) (*doc, error) {
 func main() {
 	tolerance := flag.Float64("tolerance", 0.10, "hot-path regression gate (fraction)")
 	effDrop := flag.Float64("effdrop", 0.02, "Parallel Efficiency drop gate (absolute, 0.02 = 2 points)")
-	hot := flag.String("hot", `Isend|Send|Recv|Exchange|Latency|Handoff|Coll|Rma`,
+	hot := flag.String("hot", `Isend|Send|Recv|Exchange|Latency|Handoff|Coll|Rma|Spmv|Persist`,
 		"regexp naming the hot-path metrics the gate applies to")
 	flag.Parse()
 	if flag.NArg() != 2 {

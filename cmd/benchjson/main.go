@@ -6,12 +6,12 @@
 // as JSON — plus the multi-VCI scaling sweep and the latency
 // decomposition (post→match, unexpected residency, rendezvous RTT,
 // request lifetime, wait park percentiles) of the reference exchange.
-// The Makefile's bench-json target uses it to produce BENCH_PR9.json.
+// The Makefile's bench-json target uses it to produce BENCH_PR10.json.
 // Timestamps are deliberately omitted so reruns diff cleanly.
 //
 // Usage:
 //
-//	benchjson [-o BENCH_PR9.json] [-benchtime 1x]
+//	benchjson [-o BENCH_PR10.json] [-benchtime 1x]
 package main
 
 import (
@@ -71,6 +71,15 @@ type Output struct {
 	// strong-scaling np sweep (speedup-vs-serial and self-scaling,
 	// median of N trials, per-np POP metrics).
 	Efficiency EffSection `json:"efficiency"`
+	// Spmv is the declared-shape halo-exchange sweep: per-call
+	// Isend/Irecv versus persistent neighborhood collective versus
+	// partitioned pt2pt, in virtual latency and charged MPI
+	// instructions per iteration.
+	Spmv []bench.SpmvPoint `json:"spmv"`
+	// Persistent is the persistent-collective cost split: one-time Init
+	// (compile) versus first activation versus steady-state replay,
+	// with the schedule-cache hit/miss counts.
+	Persistent []bench.PersistPoint `json:"persistent"`
 }
 
 // EffSection is the efficiency analytics of the document.
@@ -84,7 +93,7 @@ type EffSection struct {
 var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+(\d+)\s+([\d.]+) ns/op(?:\s+(\d+) B/op)?(?:\s+(\d+) allocs/op)?`)
 
 func main() {
-	out := flag.String("o", "BENCH_PR9.json", "output path")
+	out := flag.String("o", "BENCH_PR10.json", "output path")
 	benchtime := flag.String("benchtime", "1x", "go test -benchtime value")
 	count := flag.Int("count", 3, "benchmark repetitions; duplicates are median-reduced by benchdiff")
 	flag.Parse()
@@ -148,11 +157,17 @@ func main() {
 	scale, err := bench.ScaleSweep([]int{1000, 4000, 10000}, 2)
 	fail(err)
 
+	spmv, err := bench.SpmvSweep(nil, 0)
+	fail(err)
+
+	persist, err := bench.PersistSweep(nil)
+	fail(err)
+
 	f, err := os.Create(*out)
 	fail(err)
 	enc := json.NewEncoder(f)
 	enc.SetIndent("", "  ")
-	fail(enc.Encode(Output{Benchmarks: results, Exchange: exchange, Latency: latency, VCIScaling: vci, Collectives: colls, Handoff: handoff, Rma: rmaPts, Scale: scale, Efficiency: eff}))
+	fail(enc.Encode(Output{Benchmarks: results, Exchange: exchange, Latency: latency, VCIScaling: vci, Collectives: colls, Handoff: handoff, Rma: rmaPts, Scale: scale, Efficiency: eff, Spmv: spmv, Persistent: persist}))
 	fail(f.Close())
 	fmt.Fprintf(os.Stderr, "benchjson: %d benchmarks -> %s\n", len(results), *out)
 }

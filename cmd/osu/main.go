@@ -33,7 +33,26 @@ func main() {
 	shmEager := flag.Int("shm-eager", 0, "shm staged/handoff threshold in bytes (0 disables zero-copy handoff)")
 	handoff := flag.Bool("handoff", false, "run the staged-vs-handoff shm sweep instead of pt2pt")
 	rmaSweep := flag.Bool("rma", false, "run the one-sided zerocopy-vs-staged shm sweep instead of pt2pt")
+	spmv := flag.Bool("spmv", false, "run the SpMV halo-exchange sweep (percall vs persistent vs partitioned)")
+	partitions := flag.Int("partitions", 0, "partitions per halo for the -spmv partitioned mode (0 = default)")
 	flag.Parse()
+
+	if *spmv {
+		pts, err := bench.SpmvSweep(nil, *partitions)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "osu:", err)
+			os.Exit(1)
+		}
+		bench.WriteSpmv(os.Stdout, pts)
+		pp, err := bench.PersistSweep(nil)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "osu:", err)
+			os.Exit(1)
+		}
+		fmt.Println()
+		bench.WritePersist(os.Stdout, pp)
+		return
+	}
 
 	if *rmaSweep {
 		pts, err := bench.RmaSweep(nil)

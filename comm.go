@@ -5,6 +5,7 @@ import (
 	"gompi/internal/core"
 	"gompi/internal/group"
 	"gompi/internal/instr"
+	"gompi/internal/nbc"
 )
 
 // Comm is a communicator: an isolated communication context over an
@@ -12,6 +13,12 @@ import (
 type Comm struct {
 	p *Proc
 	c *comm.Comm
+
+	// sched caches compiled nonblocking-collective schedules keyed by
+	// (operation, algorithm, buffers): a repeated I-collective on
+	// identical arguments replays the compiled rounds instead of
+	// rebuilding them. Owned by the rank; the zero value is ready.
+	sched nbc.Cache
 }
 
 // Rank returns the calling process's rank within the communicator.

@@ -4,6 +4,7 @@ import (
 	"gompi/internal/coll"
 	"gompi/internal/comm"
 	"gompi/internal/core"
+	"gompi/internal/match"
 	"gompi/internal/nbc"
 	"gompi/internal/request"
 	"gompi/internal/trace"
@@ -23,10 +24,12 @@ const CollAlgorithmKey = comm.HintCollAlgorithm
 // draws a fresh tag from a per-communicator sequence, so several
 // schedules can be outstanding on one communicator without their
 // traffic cross-matching (same-tag traffic of one schedule matches in
-// FIFO order, which is exactly what fragment reassembly needs).
+// FIFO order, which is exactly what fragment reassembly needs). The
+// ranges are carved out in internal/match alongside the partitioned and
+// persistent-collective tag spaces.
 const (
-	nbcTagBase = 32
-	nbcTagSpan = 1 << 20
+	nbcTagBase = match.TagNBCBase
+	nbcTagSpan = match.TagNBCSpan
 )
 
 // nbcPending adapts a device receive request to the schedule engine.
@@ -228,6 +231,30 @@ func (c *Comm) nbcPort() nbcPort { return nbcPort{p: c.p, cv: c.c.CollView()} }
 // nbcTag draws the next schedule tag from the communicator's sequence.
 func (c *Comm) nbcTag() int { return nbcTagBase + c.c.NextNBCSeq()%nbcTagSpan }
 
+// cachedStart runs one nonblocking collective through the
+// communicator's schedule cache: on hit the compiled round structure is
+// rewound and replayed against the caller's buffers (the prologue
+// re-seeds accumulators); on miss build compiles and the result is
+// cached for the next identical call. Every call consumes a fresh tag
+// from the NBC sequence whether or not it hits: hit/miss can diverge
+// across ranks (buffer identity is rank-local), so the sequence — and
+// with it the matching tags — must advance in lockstep regardless.
+func (c *Comm) cachedStart(key nbc.CacheKey, build func(tag int) (*nbc.Schedule, error)) (*Request, error) {
+	tag := c.nbcTag()
+	if s, ok := c.sched.Get(key); ok {
+		c.p.rank.Metrics().NoteSchedCache(true)
+		s.Reset(tag)
+		return c.istart(s), nil
+	}
+	c.p.rank.Metrics().NoteSchedCache(false)
+	s, err := build(tag)
+	if err != nil {
+		return nil, errc(ErrArg, "%v", err)
+	}
+	c.sched.Put(key, s)
+	return c.istart(s), nil
+}
+
 // collForce resolves the pinned algorithm family for this
 // communicator: the gompi_coll_algorithm info key wins over
 // Config.CollAlgorithm; empty means automatic selection.
@@ -317,11 +344,12 @@ func (c *Comm) Ibcast(buf []byte, count int, dt *Datatype, root int) (*Request, 
 	}
 	n := count * dt.Size()
 	t := c.nbcPort()
-	s, err := nbc.Bcast(t, c.nbcTag(), buf[:n], root, nbc.SelectBcast(t, n, f))
-	if err != nil {
-		return nil, errc(ErrArg, "%v", err)
-	}
-	return c.istart(s), nil
+	algo := nbc.SelectBcast(t, n, f)
+	bp, bl := nbc.BufKey(buf[:n])
+	key := nbc.CacheKey{Kind: nbc.CacheBcast, Algo: algo, Root: root, Recv: bp, RecvLen: bl}
+	return c.cachedStart(key, func(tag int) (*nbc.Schedule, error) {
+		return nbc.Bcast(t, tag, buf[:n], root, algo)
+	})
 }
 
 // Ireduce starts a nonblocking reduction to root (MPI_IREDUCE). recv
@@ -343,12 +371,14 @@ func (c *Comm) Ireduce(send, recv []byte, count int, elem *Datatype, op Op, root
 		out = recv[:n]
 	}
 	t := c.nbcPort()
-	s, err := nbc.Reduce(t, c.nbcTag(), op, elem, send[:n], out, root,
-		nbc.SelectReduce(t, n, coll.Commutative(op), f))
-	if err != nil {
-		return nil, errc(ErrArg, "%v", err)
-	}
-	return c.istart(s), nil
+	algo := nbc.SelectReduce(t, n, coll.Commutative(op), f)
+	sp, sl := nbc.BufKey(send[:n])
+	rp, rl := nbc.BufKey(out)
+	key := nbc.CacheKey{Kind: nbc.CacheReduce, Algo: algo, Root: root, Op: uint8(op),
+		Elem: nbc.PtrKey(elem), Send: sp, SendLen: sl, Recv: rp, RecvLen: rl}
+	return c.cachedStart(key, func(tag int) (*nbc.Schedule, error) {
+		return nbc.Reduce(t, tag, op, elem, send[:n], out, root, algo)
+	})
 }
 
 // Iallreduce starts a nonblocking allreduce (MPI_IALLREDUCE).
@@ -368,12 +398,14 @@ func (c *Comm) Iallreduce(send, recv []byte, count int, elem *Datatype, op Op) (
 	}
 	n := count * elem.Size()
 	t := c.nbcPort()
-	s, err := nbc.Allreduce(t, c.nbcTag(), op, elem, send[:n], recv[:n],
-		nbc.SelectAllreduce(t, count, elem.Size(), coll.Commutative(op), f))
-	if err != nil {
-		return nil, errc(ErrArg, "%v", err)
-	}
-	return c.istart(s), nil
+	algo := nbc.SelectAllreduce(t, count, elem.Size(), coll.Commutative(op), f)
+	sp, sl := nbc.BufKey(send[:n])
+	rp, rl := nbc.BufKey(recv[:n])
+	key := nbc.CacheKey{Kind: nbc.CacheAllreduce, Algo: algo, Root: -1, Op: uint8(op),
+		Elem: nbc.PtrKey(elem), Send: sp, SendLen: sl, Recv: rp, RecvLen: rl}
+	return c.cachedStart(key, func(tag int) (*nbc.Schedule, error) {
+		return nbc.Allreduce(t, tag, op, elem, send[:n], recv[:n], algo)
+	})
 }
 
 // Iallgather starts a nonblocking allgather (MPI_IALLGATHER): Bruck
@@ -393,12 +425,14 @@ func (c *Comm) Iallgather(send, recv []byte, count int, dt *Datatype) (*Request,
 		return nil, errc(ErrBuffer, "iallgather recv buffer %d < %d", len(recv), n*c.Size())
 	}
 	t := c.nbcPort()
-	s, err := nbc.Allgather(t, c.nbcTag(), send[:n], recv[:n*c.Size()],
-		nbc.SelectAllgather(t, n, f))
-	if err != nil {
-		return nil, errc(ErrArg, "%v", err)
-	}
-	return c.istart(s), nil
+	algo := nbc.SelectAllgather(t, n, f)
+	sp, sl := nbc.BufKey(send[:n])
+	rp, rl := nbc.BufKey(recv[:n*c.Size()])
+	key := nbc.CacheKey{Kind: nbc.CacheAllgather, Algo: algo, Root: -1,
+		Send: sp, SendLen: sl, Recv: rp, RecvLen: rl}
+	return c.cachedStart(key, func(tag int) (*nbc.Schedule, error) {
+		return nbc.Allgather(t, tag, send[:n], recv[:n*c.Size()], algo)
+	})
 }
 
 // Ialltoall starts a nonblocking all-to-all exchange (MPI_IALLTOALL):
@@ -419,10 +453,12 @@ func (c *Comm) Ialltoall(send, recv []byte, count int, dt *Datatype) (*Request, 
 		return nil, errc(ErrBuffer, "ialltoall buffers short")
 	}
 	t := c.nbcPort()
-	s, err := nbc.Alltoall(t, c.nbcTag(), send[:n*c.Size()], recv[:n*c.Size()],
-		nbc.SelectAlltoall(t, n, f))
-	if err != nil {
-		return nil, errc(ErrArg, "%v", err)
-	}
-	return c.istart(s), nil
+	algo := nbc.SelectAlltoall(t, n, f)
+	sp, sl := nbc.BufKey(send[:n*c.Size()])
+	rp, rl := nbc.BufKey(recv[:n*c.Size()])
+	key := nbc.CacheKey{Kind: nbc.CacheAlltoall, Algo: algo, Root: -1,
+		Send: sp, SendLen: sl, Recv: rp, RecvLen: rl}
+	return c.cachedStart(key, func(tag int) (*nbc.Schedule, error) {
+		return nbc.Alltoall(t, tag, send[:n*c.Size()], recv[:n*c.Size()], algo)
+	})
 }

@@ -1,0 +1,61 @@
+package bench
+
+import "testing"
+
+// TestSpmvDeclaredShapeWins is the PR's headline acceptance guard: on
+// the SpMV halo exchange, the declared-shape paths (persistent
+// neighborhood collective, partitioned pt2pt) must beat per-call
+// Isend/Irecv in both virtual time and charged MPI instructions at
+// every default sweep size.
+func TestSpmvDeclaredShapeWins(t *testing.T) {
+	pts, err := SpmvSweep(nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := map[int]SpmvPoint{}
+	for _, p := range pts {
+		if p.Mode == "percall" {
+			base[p.HaloBytes] = p
+		}
+	}
+	for _, p := range pts {
+		if p.Mode == "percall" {
+			continue
+		}
+		pc, ok := base[p.HaloBytes]
+		if !ok {
+			t.Fatalf("no percall baseline for halo %d", p.HaloBytes)
+		}
+		if p.LatencyUs >= pc.LatencyUs {
+			t.Errorf("%s halo=%d: latency %.3fus not below percall %.3fus",
+				p.Mode, p.HaloBytes, p.LatencyUs, pc.LatencyUs)
+		}
+		if p.MPIInstr >= pc.MPIInstr {
+			t.Errorf("%s halo=%d: %d MPI instr not below percall %d",
+				p.Mode, p.HaloBytes, p.MPIInstr, pc.MPIInstr)
+		}
+	}
+}
+
+// TestPersistSweep checks the Init/first/replay split: replay must not
+// exceed the first activation, and every Start must be a cache hit
+// (hits = (1 first + persistReplays) * ranks, misses = ranks).
+func TestPersistSweep(t *testing.T) {
+	pts, err := PersistSweep([]int{64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range pts {
+		if p.ReplayUs > p.FirstUs {
+			t.Errorf("%s: replay %.3fus exceeds first activation %.3fus",
+				p.Collective, p.ReplayUs, p.FirstUs)
+		}
+		wantHits := int64((1 + persistReplays) * spmvRanks)
+		if p.SchedHits != wantHits {
+			t.Errorf("%s: sched cache hits = %d, want %d", p.Collective, p.SchedHits, wantHits)
+		}
+		if p.SchedMisses != int64(spmvRanks) {
+			t.Errorf("%s: sched cache misses = %d, want %d", p.Collective, p.SchedMisses, spmvRanks)
+		}
+	}
+}

@@ -14,6 +14,7 @@ package ch4
 
 import (
 	"io"
+	"sync"
 
 	"gompi/internal/comm"
 	"gompi/internal/core"
@@ -171,6 +172,16 @@ type Device struct {
 	ep   *fabric.Endpoint
 	cfg  core.Config
 	pool request.Pool
+
+	// Receive-descriptor freelist: the RecvOp and its completion
+	// closures for the common receive shape (contiguous buffer, no
+	// wildcards) are recycled instead of reallocated, so steady-state
+	// receive loops — persistent-collective replays especially — post
+	// without touching the heap. A short mutex mirrors request.Pool:
+	// under MPI_THREAD_MULTIPLE several goroutines of one rank post
+	// receives concurrently.
+	boxMu   sync.Mutex
+	boxFree []*recvBox
 
 	// AM fallback accounting: operations shipped and acknowledgements
 	// received. All mutate only on the owner goroutine (the ack

@@ -277,6 +277,20 @@ func (d *Device) Irecv(buf []byte, count int, dt *datatype.Type, src, tag int,
 	d.chargeRedundant(costRedundantMarshal + costRedundantReload + costRedundantBufAddr)
 	d.chargeRedundantType(dt, costRedundantDatatype)
 
+	// Common shape — contiguous buffer, no wildcards: post through the
+	// pooled descriptor path, which allocates nothing once warm.
+	wild := flags.Has(core.FlagNoMatch) || src == core.AnySource || tag == core.AnyTag
+	if view, ok := datatype.ContigView(dt, count, buf); ok && !wild {
+		b := d.getRecvBox()
+		b.op.Buf = view
+		d.charge(instr.Mandatory, costRecvPost+costRequestAlloc)
+		d.ep.PostRecvVCI(&b.op, bits, mask, d.recvVCI(c, bits, mask))
+		r := d.pool.Get(request.KindRecv)
+		r.Issued = int64(d.rank.Now())
+		r.Poll, r.Block = b.poll, b.block
+		return r, nil
+	}
+
 	// Contiguous receives land in the user buffer; derived layouts
 	// receive into a bounce buffer and unpack at completion.
 	op := &fabric.RecvOp{}
@@ -324,6 +338,59 @@ func (d *Device) Irecv(buf []byte, count int, dt *datatype.Type, src, tag int,
 		}
 	}
 	return r, nil
+}
+
+// recvBox bundles a receive descriptor with completion closures bound
+// to it once, at box creation. Recycling the box recycles all three
+// allocations of the common receive shape (contiguous buffer, no
+// wildcards): steady-state receive loops post with zero heap traffic.
+// A wildcard receive is excluded because its descriptor is replicated
+// across VCI queues and stale replicas may outlive completion; the
+// non-wildcard descriptor lives in exactly one queue and is consumed
+// at match time, so reuse after completion is safe.
+type recvBox struct {
+	op    fabric.RecvOp
+	poll  func(*request.Request) bool
+	block func(*request.Request)
+}
+
+// getRecvBox pops a recycled box or builds one with its closures.
+func (d *Device) getRecvBox() *recvBox {
+	d.boxMu.Lock()
+	if n := len(d.boxFree); n > 0 {
+		b := d.boxFree[n-1]
+		d.boxFree = d.boxFree[:n-1]
+		d.boxMu.Unlock()
+		return b
+	}
+	d.boxMu.Unlock()
+	b := &recvBox{}
+	b.poll = func(r *request.Request) bool {
+		if !d.recvDone(&b.op) {
+			return false
+		}
+		d.finishBox(b, r)
+		return true
+	}
+	b.block = func(r *request.Request) {
+		d.waitRecv(&b.op)
+		d.finishBox(b, r)
+	}
+	return b
+}
+
+// finishBox completes the request from the box's descriptor and
+// recycles the box. Runs exactly once per activation: Done/Wait latch
+// completion before the closures could fire again.
+func (d *Device) finishBox(b *recvBox, r *request.Request) {
+	d.rank.Metrics().Lat.ReqLife.Observe(int64(d.rank.Now()) - r.Issued)
+	r.MarkComplete(request.Status{
+		Source: b.op.Src, Tag: b.op.Tag, Count: b.op.N, Truncated: b.op.Truncated,
+	})
+	b.op.Reset()
+	d.boxMu.Lock()
+	d.boxFree = append(d.boxFree, b)
+	d.boxMu.Unlock()
 }
 
 // recvDone polls one receive, pumping progress so shm and AM traffic

@@ -57,9 +57,10 @@ type Comm struct {
 	// collective entry.
 	CollAlgo string
 
-	reg      *Registry
-	seq      int // per-rank count of creation collectives on this comm
-	nbcSeq   int // nonblocking-collective tag sequence (owned by the rank)
+	reg        *Registry
+	seq        int // per-rank count of creation collectives on this comm
+	nbcSeq     int // nonblocking-collective tag sequence (owned by the rank)
+	persistSeq int // persistent-collective tag sequence (owned by the rank)
 	info     map[string]string
 	freed    bool
 	collView *Comm
@@ -92,6 +93,17 @@ func (c *Comm) StoreTopo(key int, v any) {
 func (c *Comm) NextNBCSeq() int {
 	s := c.nbcSeq
 	c.nbcSeq++
+	return s
+}
+
+// NextPersistSeq returns the next persistent-collective sequence
+// number. Like NBC sequences, persistent-collective Inits are
+// collective calls made in the same order on every rank, so per-rank
+// counters agree globally; unlike NBC tags, the derived tag is replayed
+// by every Start of the operation, so it draws from a separate range.
+func (c *Comm) NextPersistSeq() int {
+	s := c.persistSeq
+	c.persistSeq++
 	return s
 }
 

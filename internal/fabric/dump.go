@@ -16,7 +16,10 @@ import (
 // (parked waiters hold no VCI lock inside cond.Wait).
 func (f *Fabric) WriteWaitGraph(w io.Writer) {
 	fmt.Fprintf(w, "wait-graph: %d rank(s), %d vci(s) each\n", len(f.eps), f.nvci)
-	type edge struct{ from, to int }
+	type edge struct {
+		from, to int
+		class    string
+	}
 	var edges []edge
 	lazy := 0
 	for i := range f.eps {
@@ -36,9 +39,20 @@ func (f *Fabric) WriteWaitGraph(w io.Writer) {
 			posted += s.eng.PostedLen()
 			unex += s.eng.UnexpectedLen()
 			s.eng.PostedEach(func(e match.Entry) {
-				lines = append(lines, fmt.Sprintf("  posted recv vci=%d %s", v, e.DescribeRecv()))
+				// Classify the reserved tag ranges so a stuck partitioned
+				// chunk or persistent-collective schedule names itself in
+				// the dump.
+				class := ""
+				if !e.Mask.TagWild() {
+					class = match.TagClass(e.Bits.Tag())
+				}
+				l := fmt.Sprintf("  posted recv vci=%d %s", v, e.DescribeRecv())
+				if class != "" {
+					l += " [" + class + "]"
+				}
+				lines = append(lines, l)
 				if !e.Mask.SourceWild() {
-					edges = append(edges, edge{ep.rank, e.Bits.Source()})
+					edges = append(edges, edge{ep.rank, e.Bits.Source(), class})
 				}
 			})
 			s.eng.UnexpectedEach(func(e match.Entry) {
@@ -58,7 +72,11 @@ func (f *Fabric) WriteWaitGraph(w io.Writer) {
 	if len(edges) > 0 {
 		fmt.Fprintln(w, "waits-on edges (posted receive -> named source):")
 		for _, e := range edges {
-			fmt.Fprintf(w, "  rank %d waits on rank %d\n", e.from, e.to)
+			if e.class != "" {
+				fmt.Fprintf(w, "  rank %d waits on rank %d [%s]\n", e.from, e.to, e.class)
+			} else {
+				fmt.Fprintf(w, "  rank %d waits on rank %d\n", e.from, e.to)
+			}
 		}
 	}
 }

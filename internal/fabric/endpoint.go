@@ -65,6 +65,27 @@ type RecvOp struct {
 	claimed atomic.Bool
 }
 
+// Reset clears a completed op for reuse (the device's receive-descriptor
+// pooling). Only legal once the op has completed and been reaped: a
+// non-wildcard op is consumed from its single VCI queue at match time,
+// so nothing in the fabric still references it. Fields are cleared
+// individually because the atomics are not assignable wholesale.
+func (op *RecvOp) Reset() {
+	op.Buf = nil
+	op.Fold = nil
+	op.N = 0
+	op.Src = 0
+	op.Tag = 0
+	op.Truncated = false
+	op.Arrival = 0
+	op.done.Store(false)
+	op.reaped = false
+	op.vci = 0
+	op.posted = 0
+	op.multi = false
+	op.claimed.Store(false)
+}
+
 // VCI returns the interface the op was posted on, or AnyVCI for a
 // replicated wildcard op. Valid after PostRecv.
 func (op *RecvOp) VCI() int { return op.vci }

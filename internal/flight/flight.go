@@ -37,6 +37,8 @@ const (
 	RmaAcc                  // one-sided accumulate/get-accumulate issued (peer = target)
 	RmaFlush                // passive-target flush completed (peer = target or -1 for all)
 	NotifyWait              // notified-access wait posted (peer = origin)
+	Pready                  // partitioned send: partition marked ready (peer = dst, bytes = partition)
+	Parrived                // partitioned recv: chunk observed complete (peer = src, bytes = chunk)
 	numKinds
 )
 
@@ -45,6 +47,7 @@ var kindNames = [numKinds]string{
 	"post-recv", "unex-hit", "recv-done", "am-send", "am-recv", "park",
 	"shm-handoff", "handoff-done",
 	"rma-put", "rma-get", "rma-acc", "rma-flush", "notify-wait",
+	"pready", "parrived",
 }
 
 func (k Kind) String() string {

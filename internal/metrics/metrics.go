@@ -69,6 +69,9 @@ const (
 	CollGatherLinear
 	CollScatterLinear
 	CollRedScatBlock
+	CollNeighborAllgather
+	CollNeighborAlltoall
+	CollNeighborAlltoallv
 	NumCollAlgos
 )
 
@@ -93,6 +96,9 @@ var CollAlgoNames = [NumCollAlgos]string{
 	CollGatherLinear:           "gather/linear",
 	CollScatterLinear:          "scatter/linear",
 	CollRedScatBlock:           "reduce_scatter/block",
+	CollNeighborAllgather:      "neighbor_allgather/locality",
+	CollNeighborAlltoall:       "neighbor_alltoall/locality",
+	CollNeighborAlltoallv:      "neighbor_alltoallv/locality",
 }
 
 // Rank is one rank's live registry. Writers use the Note*/Max* methods
@@ -179,6 +185,14 @@ type Rank struct {
 	// bytes of the call.
 	CollCalls [NumCollAlgos]int64
 	CollBytes [NumCollAlgos]int64
+
+	// Declared-shape communication counters. SchedCacheHits/Misses
+	// count lookups in the per-communicator nbc schedule cache (a hit
+	// replays a compiled schedule; a miss compiles one);
+	// PartitionsReady counts Pready publications on partitioned sends.
+	SchedCacheHits   int64
+	SchedCacheMisses int64
+	PartitionsReady  int64
 
 	// Latency decomposition: log2-bucketed histograms over virtual
 	// cycles at the message lifecycle points the paper's Figure 2
@@ -268,6 +282,22 @@ func (r *Rank) NoteColl(algo int, n int64) {
 	atomic.AddInt64(&r.CollBytes[algo], n)
 }
 
+// NoteSchedCache counts one schedule-cache lookup: hit replays a
+// compiled schedule, miss compiles (and usually caches) a fresh one.
+func (r *Rank) NoteSchedCache(hit bool) {
+	if hit {
+		atomic.AddInt64(&r.SchedCacheHits, 1)
+	} else {
+		atomic.AddInt64(&r.SchedCacheMisses, 1)
+	}
+}
+
+// NotePartitionsReady counts n partition-ready publications on a
+// partitioned send.
+func (r *Rank) NotePartitionsReady(n int) {
+	atomic.AddInt64(&r.PartitionsReady, int64(n))
+}
+
 // NoteRmaPut / NoteRmaGet / NoteRmaAcc / NoteRmaGetAcc count one-sided
 // operations at the device ADI entry.
 func (r *Rank) NoteRmaPut()    { atomic.AddInt64(&r.RmaPuts, 1) }
@@ -348,6 +378,14 @@ type PeerStats struct {
 	MaxStateBytes int64 `json:"max_state_bytes"`
 }
 
+// SchedStats is the snapshot of the declared-shape counters: schedule
+// cache lookups split hit/miss, and partitions published ready.
+type SchedStats struct {
+	CacheHits       int64 `json:"cache_hits"`
+	CacheMisses     int64 `json:"cache_misses"`
+	PartitionsReady int64 `json:"partitions_ready"`
+}
+
 // CollStat is one collective algorithm's aggregate: calls that
 // compiled to it and their per-rank payload bytes.
 type CollStat struct {
@@ -401,6 +439,7 @@ type Snapshot struct {
 	Req          ReqStats    `json:"request_pool"`
 	Rma          RmaStats    `json:"rma"`
 	Peers        PeerStats   `json:"peer_state"`
+	Sched        SchedStats  `json:"sched_cache"`
 	Lat          LatSnapshot `json:"latency"`
 	// VCIs is the per-virtual-interface receive-side split; empty on a
 	// single-VCI endpoint snapshot only if the device never filled it.
@@ -453,6 +492,11 @@ func (r *Rank) Snapshot() Snapshot {
 	touched := atomic.LoadInt64(&r.PeersTouched)
 	stateBytes := atomic.LoadInt64(&r.PeerStateBytes)
 	s.Peers = PeerStats{Touched: touched, StateBytes: stateBytes, MaxStateBytes: stateBytes}
+	s.Sched = SchedStats{
+		CacheHits:       atomic.LoadInt64(&r.SchedCacheHits),
+		CacheMisses:     atomic.LoadInt64(&r.SchedCacheMisses),
+		PartitionsReady: atomic.LoadInt64(&r.PartitionsReady),
+	}
 	for i := range r.PoolHits {
 		s.Pool.Hits[i] = atomic.LoadInt64(&r.PoolHits[i])
 		s.Pool.Misses[i] = atomic.LoadInt64(&r.PoolMisses[i])
@@ -529,6 +573,9 @@ func (s Snapshot) Merge(o Snapshot) Snapshot {
 	s.Rma.Notifies += o.Rma.Notifies
 	s.Peers.Touched += o.Peers.Touched
 	s.Peers.StateBytes += o.Peers.StateBytes
+	s.Sched.CacheHits += o.Sched.CacheHits
+	s.Sched.CacheMisses += o.Sched.CacheMisses
+	s.Sched.PartitionsReady += o.Sched.PartitionsReady
 	if o.Peers.MaxStateBytes > s.Peers.MaxStateBytes {
 		s.Peers.MaxStateBytes = o.Peers.MaxStateBytes
 	}

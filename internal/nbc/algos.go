@@ -331,7 +331,7 @@ func Reduce(t Transport, tag int, op coll.Op, elem *datatype.Type, sendBuf, recv
 	}
 	s := newSchedule(t, tag, algo, len(sendBuf))
 	if t.Size() == 1 {
-		copy(recv, sendBuf)
+		s.init(recv, sendBuf)
 		return s, nil
 	}
 	if algo == metrics.CollReduceChain {
@@ -353,10 +353,10 @@ func reduceBinomial(s *Schedule, op coll.Op, elem *datatype.Type, sendBuf, recv 
 	var acc []byte
 	if rank == root {
 		acc = recv[:len(sendBuf)]
-		copy(acc, sendBuf)
 	} else {
-		acc = append([]byte(nil), sendBuf...)
+		acc = make([]byte, len(sendBuf))
 	}
+	s.init(acc, sendBuf)
 	for m := 1; m < size; m *= 2 {
 		if vrank&m != 0 {
 			parent := ((vrank - m) + root) % size
@@ -413,7 +413,7 @@ func Allreduce(t Transport, tag int, op coll.Op, elem *datatype.Type, sendBuf, r
 	s := newSchedule(t, tag, algo, len(sendBuf))
 	size := t.Size()
 	if size == 1 {
-		copy(recv, sendBuf)
+		s.init(recv, sendBuf)
 		return s, nil
 	}
 	switch algo {
@@ -459,7 +459,7 @@ func Allreduce(t Transport, tag int, op coll.Op, elem *datatype.Type, sendBuf, r
 func allreduceRecDoubling(s *Schedule, op coll.Op, elem *datatype.Type, sendBuf, recv []byte) {
 	rank, size := s.t.Rank(), s.t.Size()
 	res := recv[:len(sendBuf)]
-	copy(res, sendBuf)
+	s.init(res, sendBuf)
 	tmp := make([]byte, len(sendBuf))
 	for m := 1; m < size; m *= 2 {
 		peer := rank ^ m
@@ -479,7 +479,7 @@ func allreduceRSAG(s *Schedule, op coll.Op, elem *datatype.Type, sendBuf, recv [
 	rank, size := s.t.Rank(), s.t.Size()
 	es := elem.Size()
 	res := recv[:len(sendBuf)]
-	copy(res, sendBuf)
+	s.init(res, sendBuf)
 	total := len(res) / es
 	lo, cnt := 0, total
 	tmp := make([]byte, (total/2)*es)
@@ -558,7 +558,7 @@ func allreduceTwoLevel(s *Schedule, op coll.Op, elem *datatype.Type, sendBuf, re
 		s.addRound(round{comm: []step{recvFrom(res, tp.leader)}})
 		return
 	}
-	copy(res, sendBuf)
+	s.init(res, sendBuf)
 	// Intra-node gather-reduce: one round, every local contribution.
 	if len(tp.locals) > 0 {
 		var recvs []step
@@ -669,7 +669,7 @@ func allreduceTwoLevelZC(s *Schedule, op coll.Op, elem *datatype.Type, sendBuf, 
 	// from my own contribution, lend every other member its chunk of
 	// my sendBuf, and fold their lent chunks into mine as they land.
 	mylo, myhi := chunk(myIdx)
-	copy(res[mylo:myhi], sendBuf[mylo:myhi])
+	s.init(res[mylo:myhi], sendBuf[mylo:myhi])
 	if k > 1 {
 		var recvs, sends []step
 		for j, m := range members {
@@ -737,7 +737,7 @@ func Allgather(t Transport, tag int, sendBuf, recv []byte, algo int) (*Schedule,
 		return nil, fmt.Errorf("nbc: allgather recv buffer %d < %d", len(recv), bs*size)
 	}
 	s := newSchedule(t, tag, algo, bs)
-	copy(recv[t.Rank()*bs:(t.Rank()+1)*bs], sendBuf)
+	s.init(recv[t.Rank()*bs:(t.Rank()+1)*bs], sendBuf)
 	if size == 1 {
 		return s, nil
 	}
@@ -771,7 +771,7 @@ func allgatherRing(s *Schedule, bs int, recv []byte) {
 func allgatherBruck(s *Schedule, bs int, recv []byte) {
 	rank, size := s.t.Rank(), s.t.Size()
 	tmp := make([]byte, bs*size)
-	copy(tmp[:bs], recv[rank*bs:(rank+1)*bs])
+	s.init(tmp[:bs], recv[rank*bs:(rank+1)*bs])
 	have := 1
 	for m := 1; m < size; m *= 2 {
 		to := (rank - m + size) % size
@@ -807,7 +807,7 @@ func Alltoall(t Transport, tag int, sendBuf, recv []byte, algo int) (*Schedule, 
 	}
 	s := newSchedule(t, tag, algo, bs*size)
 	rank := t.Rank()
-	copy(recv[rank*bs:(rank+1)*bs], sendBuf[rank*bs:(rank+1)*bs])
+	s.init(recv[rank*bs:(rank+1)*bs], sendBuf[rank*bs:(rank+1)*bs])
 	if size == 1 {
 		return s, nil
 	}

@@ -176,6 +176,12 @@ type Schedule struct {
 	pending []Pending
 	done    bool
 	err     error
+
+	// prologue records the compile-time buffer initializations (the
+	// seed copies compilers perform while building the rounds) so Reset
+	// can re-run them: a cached schedule replays from the caller's
+	// current buffer contents instead of a stale snapshot.
+	prologue []step
 }
 
 // newSchedule wires an empty schedule.
@@ -193,6 +199,43 @@ func (s *Schedule) addRound(r round) {
 
 // Rounds reports the schedule's depth (tests and tooling).
 func (s *Schedule) Rounds() int { return len(s.rounds) }
+
+// Running reports whether the schedule has issued traffic it has not
+// yet completed: it is neither freshly compiled nor finished. A running
+// schedule must not be Reset (its in-flight receives would orphan), so
+// the schedule cache refuses to hand one out.
+func (s *Schedule) Running() bool {
+	return !s.done && (s.issued || s.cur > 0 || len(s.pending) > 0)
+}
+
+// Reset rewinds a completed (or never-started) schedule for replay
+// under the given tag: the compiled round structure — the expensive
+// part — is kept verbatim, only the progress cursor is cleared. The
+// pending slice keeps its capacity, so a replayed schedule issues with
+// zero allocations once warm. Resetting a Running schedule is a
+// programming error; callers gate on Running first.
+func (s *Schedule) Reset(tag int) {
+	s.tag = tag
+	s.cur = 0
+	s.issued = false
+	s.done = false
+	s.err = nil
+	s.pending = s.pending[:0]
+	// Re-seed working buffers from the caller's current payload: the
+	// compilers' initialization copies ran once at compile time, and a
+	// replay must not fold into stale accumulator contents.
+	for _, st := range s.prologue {
+		copy(st.dst, st.src)
+	}
+}
+
+// init copies src into dst immediately (the compiler needs the seed in
+// place while building later rounds) and records the copy in the
+// schedule's prologue so Reset can re-run it before a replay.
+func (s *Schedule) init(dst, src []byte) {
+	copy(dst, src)
+	s.prologue = append(s.prologue, copyInto(dst, src))
+}
 
 // Cur reports the index of the round currently in progress (equal to
 // Rounds once the schedule has finished).

@@ -1,0 +1,162 @@
+package nbc
+
+// Neighborhood collectives: each rank exchanges only with the
+// neighbors its virtual topology declares (MPI_NEIGHBOR_ALLGATHER and
+// friends). The compilers below are single-round — every declared
+// transfer is independent — so the interesting work is the posting
+// order: pending completions are polled in posting order, which makes
+// posting order the drain priority. Shm-reachable neighbors turn
+// around orders of magnitude faster than net peers, so the compilers
+// stably partition each peer list local-first: same-node traffic is
+// injected and reaped before the schedule parks on the network.
+//
+// ProcNull neighbors (the open edges of a non-periodic Cartesian grid)
+// are passed as -1: no transfer is emitted, and the corresponding
+// receive block is zeroed through the schedule prologue so cached
+// replays re-zero it exactly like a fresh compile.
+
+import (
+	"fmt"
+
+	"gompi/internal/metrics"
+)
+
+// nodeOf resolves a rank's node id, taking the arithmetic BlockTopo
+// fast path when the transport offers it.
+func nodeOf(t Transport, rpn int, rank int) int {
+	if rpn > 0 {
+		return rank / rpn
+	}
+	return t.Node(rank)
+}
+
+// orderLocalFirst returns a posting order over peers (indices into the
+// slice) with same-node neighbors first. The partition is stable, so
+// repeated neighbors keep their relative order and pairwise FIFO
+// matching is preserved on both sides of every exchange. Negative
+// (ProcNull) entries are dropped.
+func orderLocalFirst(t Transport, peers []int) []int {
+	rpn := 0
+	if bt, ok := t.(BlockTopo); ok {
+		if r, exact := bt.RanksPerNodeBlock(); exact {
+			rpn = r
+		}
+	}
+	myNode := nodeOf(t, rpn, t.Rank())
+	order := make([]int, 0, len(peers))
+	for i, p := range peers {
+		if p >= 0 && nodeOf(t, rpn, p) == myNode {
+			order = append(order, i)
+		}
+	}
+	for i, p := range peers {
+		if p >= 0 && nodeOf(t, rpn, p) != myNode {
+			order = append(order, i)
+		}
+	}
+	return order
+}
+
+// NeighborAllgather compiles the neighborhood allgather: the rank's
+// sendBuf goes to every destination, and each source's block lands in
+// recv at that source's position in the sources list. Block size is
+// len(sendBuf); recv must hold len(sources) blocks.
+func NeighborAllgather(t Transport, tag int, sendBuf, recv []byte, sources, destinations []int) (*Schedule, error) {
+	bs := len(sendBuf)
+	if len(recv) < bs*len(sources) {
+		return nil, fmt.Errorf("nbc: neighbor allgather recv buffer %d < %d", len(recv), bs*len(sources))
+	}
+	s := newSchedule(t, tag, metrics.CollNeighborAllgather, bs)
+	var zero []byte
+	for i, src := range sources {
+		if src < 0 && bs > 0 {
+			if zero == nil {
+				zero = make([]byte, bs)
+			}
+			s.init(recv[i*bs:(i+1)*bs], zero)
+		}
+	}
+	var comm []step
+	for _, j := range orderLocalFirst(t, destinations) {
+		comm = append(comm, sendNoCopyTo(sendBuf, destinations[j]))
+	}
+	for _, i := range orderLocalFirst(t, sources) {
+		comm = append(comm, recvFrom(recv[i*bs:(i+1)*bs], sources[i]))
+	}
+	s.addRound(round{comm: comm})
+	return s, nil
+}
+
+// NeighborAlltoall compiles the neighborhood all-to-all: send block j
+// of sendBuf goes to destinations[j], and source i's block lands in
+// recv block i. Both buffers are divided into equal blocks of bs
+// bytes.
+func NeighborAlltoall(t Transport, tag, bs int, sendBuf, recv []byte, sources, destinations []int) (*Schedule, error) {
+	if len(sendBuf) < bs*len(destinations) {
+		return nil, fmt.Errorf("nbc: neighbor alltoall send buffer %d < %d", len(sendBuf), bs*len(destinations))
+	}
+	if len(recv) < bs*len(sources) {
+		return nil, fmt.Errorf("nbc: neighbor alltoall recv buffer %d < %d", len(recv), bs*len(sources))
+	}
+	s := newSchedule(t, tag, metrics.CollNeighborAlltoall, bs)
+	var zero []byte
+	for i, src := range sources {
+		if src < 0 && bs > 0 {
+			if zero == nil {
+				zero = make([]byte, bs)
+			}
+			s.init(recv[i*bs:(i+1)*bs], zero)
+		}
+	}
+	var comm []step
+	for _, j := range orderLocalFirst(t, destinations) {
+		comm = append(comm, sendNoCopyTo(sendBuf[j*bs:(j+1)*bs], destinations[j]))
+	}
+	for _, i := range orderLocalFirst(t, sources) {
+		comm = append(comm, recvFrom(recv[i*bs:(i+1)*bs], sources[i]))
+	}
+	s.addRound(round{comm: comm})
+	return s, nil
+}
+
+// NeighborAlltoallv is the ragged variant: per-destination byte counts
+// and displacements into sendBuf, per-source byte counts and
+// displacements into recv. Counts and displacement slices must match
+// the neighbor lists in length.
+func NeighborAlltoallv(t Transport, tag int, sendBuf []byte, sendCounts, sendDispls []int, recv []byte, recvCounts, recvDispls []int, sources, destinations []int) (*Schedule, error) {
+	if len(sendCounts) != len(destinations) || len(sendDispls) != len(destinations) {
+		return nil, fmt.Errorf("nbc: neighbor alltoallv send counts/displs %d/%d != %d destinations", len(sendCounts), len(sendDispls), len(destinations))
+	}
+	if len(recvCounts) != len(sources) || len(recvDispls) != len(sources) {
+		return nil, fmt.Errorf("nbc: neighbor alltoallv recv counts/displs %d/%d != %d sources", len(recvCounts), len(recvDispls), len(sources))
+	}
+	total := 0
+	for _, n := range sendCounts {
+		total += n
+	}
+	s := newSchedule(t, tag, metrics.CollNeighborAlltoallv, total)
+	var zero []byte
+	for i, src := range sources {
+		if src < 0 && recvCounts[i] > 0 {
+			if len(zero) < recvCounts[i] {
+				zero = make([]byte, recvCounts[i])
+			}
+			s.init(recv[recvDispls[i]:recvDispls[i]+recvCounts[i]], zero)
+		}
+	}
+	var comm []step
+	for _, j := range orderLocalFirst(t, destinations) {
+		if sendCounts[j] == 0 {
+			continue
+		}
+		comm = append(comm, sendNoCopyTo(sendBuf[sendDispls[j]:sendDispls[j]+sendCounts[j]], destinations[j]))
+	}
+	for _, i := range orderLocalFirst(t, sources) {
+		if recvCounts[i] == 0 {
+			continue
+		}
+		comm = append(comm, recvFrom(recv[recvDispls[i]:recvDispls[i]+recvCounts[i]], sources[i]))
+	}
+	s.addRound(round{comm: comm})
+	return s, nil
+}

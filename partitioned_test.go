@@ -1,0 +1,447 @@
+package gompi
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// partitionedEcho transfers size bytes from rank 0 to rank 1 in
+// `partitions` partitions (readied in a scattered order), repeated for
+// `rounds` activations of the same operation, and returns the bytes
+// the receiver saw in the final round.
+func partitionedEcho(dev DeviceKind, size, partitions, rounds int) ([]byte, error) {
+	if size%partitions != 0 {
+		return nil, fmt.Errorf("size %d %% partitions %d != 0", size, partitions)
+	}
+	per := size / partitions
+	var got []byte
+	err := Run(2, Config{Device: dev, Fabric: "ofi"}, func(p *Proc) error {
+		w := p.World()
+		buf := make([]byte, size)
+		if p.Rank() == 0 {
+			op, err := w.PsendInit(buf, partitions, per, Byte, 1, 3)
+			if err != nil {
+				return err
+			}
+			for r := 0; r < rounds; r++ {
+				for i := range buf {
+					buf[i] = byte(i + r)
+				}
+				if err := op.Start(); err != nil {
+					return err
+				}
+				// Ready partitions in a scattered order: odd ones
+				// first, then the evens, so chunk completion order is
+				// decoupled from partition order.
+				for i := 1; i < partitions; i += 2 {
+					if err := op.Pready(i); err != nil {
+						return err
+					}
+				}
+				for i := 0; i < partitions; i += 2 {
+					if err := op.Pready(i); err != nil {
+						return err
+					}
+				}
+				if err := op.Wait(); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		op, err := w.PrecvInit(buf, partitions, per, Byte, 0, 3)
+		if err != nil {
+			return err
+		}
+		for r := 0; r < rounds; r++ {
+			if err := op.Start(); err != nil {
+				return err
+			}
+			// Poll some partitions through Parrived (pumping progress),
+			// then drain the rest in Wait.
+			for i := 0; i < partitions; i += 2 {
+				for {
+					ok, err := op.Parrived(i)
+					if err != nil {
+						return err
+					}
+					if ok {
+						break
+					}
+				}
+			}
+			if err := op.Wait(); err != nil {
+				return err
+			}
+			if r == rounds-1 {
+				got = append([]byte(nil), buf...)
+			}
+		}
+		return nil
+	})
+	return got, err
+}
+
+// plainEcho is the reference: the same payload as one Isend/Irecv.
+func plainEcho(dev DeviceKind, size int, round int) ([]byte, error) {
+	var got []byte
+	err := Run(2, Config{Device: dev, Fabric: "ofi"}, func(p *Proc) error {
+		w := p.World()
+		buf := make([]byte, size)
+		if p.Rank() == 0 {
+			for i := range buf {
+				buf[i] = byte(i + round)
+			}
+			r, err := w.Isend(buf, size, Byte, 1, 3)
+			if err != nil {
+				return err
+			}
+			_, err = r.Wait()
+			return err
+		}
+		r, err := w.Irecv(buf, size, Byte, 0, 3)
+		if err != nil {
+			return err
+		}
+		if _, err := r.Wait(); err != nil {
+			return err
+		}
+		got = append([]byte(nil), buf...)
+		return nil
+	})
+	return got, err
+}
+
+// TestPartitionedSendRecv covers both devices at sizes below, at, and
+// above the chunk-aggregation bound, with restarts.
+func TestPartitionedSendRecv(t *testing.T) {
+	for _, dev := range []DeviceKind{DeviceCH4, DeviceOriginal} {
+		for _, tc := range []struct{ size, partitions int }{
+			{64, 1},    // single partition, single chunk
+			{64, 8},    // all partitions aggregate into one chunk
+			{8192, 8},  // chunks straddle the eager limit
+			{32768, 4}, // every partition its own oversize chunk
+		} {
+			name := fmt.Sprintf("%s/%db/%dp", dev, tc.size, tc.partitions)
+			t.Run(name, func(t *testing.T) {
+				got, err := partitionedEcho(dev, tc.size, tc.partitions, 3)
+				if err != nil {
+					t.Fatal(err)
+				}
+				want := make([]byte, tc.size)
+				for i := range want {
+					want[i] = byte(i + 2) // final round r=2
+				}
+				if !bytes.Equal(got, want) {
+					t.Fatalf("payload mismatch (len %d)", tc.size)
+				}
+			})
+		}
+	}
+}
+
+// FuzzPartitionedVsPlain is the differential fuzz: a partitioned
+// transfer must deliver bytes identical to a single plain Isend of the
+// same payload, for any partition count and any size — ragged chunking,
+// threshold-straddling partitions, and all.
+func FuzzPartitionedVsPlain(f *testing.F) {
+	f.Add(uint32(64), uint8(1))
+	f.Add(uint32(64), uint8(7))
+	f.Add(uint32(4096), uint8(4))
+	f.Add(uint32(4097), uint8(17))
+	f.Add(uint32(12288), uint8(3))
+	f.Fuzz(func(t *testing.T, rawSize uint32, rawParts uint8) {
+		partitions := int(rawParts)%32 + 1
+		per := int(rawSize) % 4097
+		if per == 0 {
+			per = 1
+		}
+		size := per * partitions
+		for _, dev := range []DeviceKind{DeviceCH4, DeviceOriginal} {
+			part, err := partitionedEcho(dev, size, partitions, 1)
+			if err != nil {
+				t.Fatalf("%s partitioned size=%d parts=%d: %v", dev, size, partitions, err)
+			}
+			plain, err := plainEcho(dev, size, 0)
+			if err != nil {
+				t.Fatalf("%s plain size=%d: %v", dev, size, err)
+			}
+			if !bytes.Equal(part, plain) {
+				t.Fatalf("%s size=%d parts=%d: partitioned and plain payloads differ",
+					dev, size, partitions)
+			}
+		}
+	})
+}
+
+// TestPartitionedConcurrentProducers drives Pready from one goroutine
+// per partition on both devices — the declared-shape threading claim.
+// Run under -race this checks the producer-side synchronization; the
+// payload check makes it a correctness test too.
+func TestPartitionedConcurrentProducers(t *testing.T) {
+	const partitions = 16
+	const per = 512
+	const size = partitions * per
+	for _, dev := range []DeviceKind{DeviceCH4, DeviceOriginal} {
+		t.Run(string(dev), func(t *testing.T) {
+			run(t, 2, Config{Device: dev, Fabric: "ofi", ThreadMultiple: true}, func(p *Proc) error {
+				w := p.World()
+				buf := make([]byte, size)
+				if p.Rank() == 0 {
+					op, err := w.PsendInit(buf, partitions, per, Byte, 1, 0)
+					if err != nil {
+						return err
+					}
+					for round := 0; round < 3; round++ {
+						if err := op.Start(); err != nil {
+							return err
+						}
+						var wg sync.WaitGroup
+						errs := make([]error, partitions)
+						for i := 0; i < partitions; i++ {
+							wg.Add(1)
+							go func(i int) {
+								defer wg.Done()
+								for j := i * per; j < (i+1)*per; j++ {
+									buf[j] = byte(j + round)
+								}
+								errs[i] = op.Pready(i)
+							}(i)
+						}
+						wg.Wait()
+						for _, e := range errs {
+							if e != nil {
+								return e
+							}
+						}
+						if err := op.Wait(); err != nil {
+							return err
+						}
+					}
+					return nil
+				}
+				op, err := w.PrecvInit(buf, partitions, per, Byte, 0, 0)
+				if err != nil {
+					return err
+				}
+				for round := 0; round < 3; round++ {
+					if err := op.Start(); err != nil {
+						return err
+					}
+					if err := op.Wait(); err != nil {
+						return err
+					}
+					for j := range buf {
+						if buf[j] != byte(j+round) {
+							return fmt.Errorf("round %d: byte %d = %d, want %d",
+								round, j, buf[j], byte(j+round))
+						}
+					}
+				}
+				return nil
+			})
+		})
+	}
+}
+
+// TestPartitionedStateValidation checks the MPI state machine: Start
+// on an active op, Pready outside the window, Pready on a receive,
+// double Pready, Wait with unready partitions, and init-time errors.
+func TestPartitionedStateValidation(t *testing.T) {
+	run(t, 2, Config{Fabric: "ofi"}, func(p *Proc) error {
+		w := p.World()
+		buf := make([]byte, 64)
+		if p.Rank() == 1 {
+			op, err := w.PrecvInit(buf, 4, 16, Byte, 0, 1)
+			if err != nil {
+				return err
+			}
+			if err := op.Pready(0); err == nil {
+				return fmt.Errorf("Pready accepted on a receive op")
+			}
+			if err := op.Start(); err != nil {
+				return err
+			}
+			if err := op.Start(); err == nil {
+				return fmt.Errorf("double Start accepted")
+			}
+			return op.Wait()
+		}
+		if _, err := w.PsendInit(buf, 0, 16, Byte, 1, 1); err == nil {
+			return fmt.Errorf("0 partitions accepted")
+		}
+		if _, err := w.PsendInit(buf, 4, 16, Byte, 1, 1<<12); err == nil {
+			return fmt.Errorf("oversized tag accepted")
+		}
+		op, err := w.PsendInit(buf, 4, 16, Byte, 1, 1)
+		if err != nil {
+			return err
+		}
+		if err := op.Pready(0); err == nil {
+			return fmt.Errorf("Pready accepted before Start")
+		}
+		if err := op.Wait(); err == nil {
+			return fmt.Errorf("Wait accepted before Start")
+		}
+		if err := op.Start(); err != nil {
+			return err
+		}
+		if err := op.Start(); err == nil {
+			return fmt.Errorf("double Start accepted")
+		}
+		if err := op.Pready(4); err == nil {
+			return fmt.Errorf("out-of-range partition accepted")
+		}
+		if err := op.Wait(); err == nil {
+			return fmt.Errorf("Wait with unready partitions accepted")
+		}
+		if err := op.PreadyRange(0, 4); err != nil {
+			return err
+		}
+		if err := op.Pready(2); err == nil {
+			return fmt.Errorf("double Pready accepted")
+		}
+		return op.Wait()
+	})
+}
+
+// TestPartitionedProcNull: both sides bound to PROC_NULL transfer
+// nothing and complete immediately, Parrived included.
+func TestPartitionedProcNull(t *testing.T) {
+	run(t, 1, Config{Fabric: "ofi"}, func(p *Proc) error {
+		w := p.World()
+		buf := make([]byte, 16)
+		s, err := w.PsendInit(buf, 4, 4, Byte, ProcNull, 0)
+		if err != nil {
+			return err
+		}
+		r, err := w.PrecvInit(buf, 4, 4, Byte, ProcNull, 0)
+		if err != nil {
+			return err
+		}
+		for _, op := range []*PartitionedOp{s, r} {
+			if err := op.Start(); err != nil {
+				return err
+			}
+		}
+		if err := s.PreadyRange(0, 4); err != nil {
+			return err
+		}
+		ok, err := r.Parrived(2)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return fmt.Errorf("ProcNull partition not immediately arrived")
+		}
+		for _, op := range []*PartitionedOp{s, r} {
+			if err := op.Wait(); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}
+
+// TestStartAllMixedKinds restarts a heterogeneous set — persistent
+// pt2pt, partitioned, and a persistent collective — through the one
+// generic StartAll (MPI_STARTALL over mixed request kinds).
+func TestStartAllMixedKinds(t *testing.T) {
+	run(t, 2, Config{Fabric: "ofi"}, func(p *Proc) error {
+		w := p.World()
+		pbuf := make([]byte, 32)
+		abuf := make([]byte, 8)
+		ares := make([]byte, 8)
+		coll, err := w.AllreduceInit(abuf, ares, 1, Long, OpSum)
+		if err != nil {
+			return err
+		}
+		var part *PartitionedOp
+		var pers *PersistentOp
+		if p.Rank() == 0 {
+			if part, err = w.PsendInit(pbuf, 4, 8, Byte, 1, 0); err != nil {
+				return err
+			}
+			if pers, err = w.SendInit(abuf[:1], 1, Byte, 1, 9); err != nil {
+				return err
+			}
+		} else {
+			if part, err = w.PrecvInit(pbuf, 4, 8, Byte, 0, 0); err != nil {
+				return err
+			}
+			if pers, err = w.RecvInit(abuf[:1], 1, Byte, 0, 9); err != nil {
+				return err
+			}
+		}
+		for round := 0; round < 2; round++ {
+			ops := []interface{ Start() error }{part, coll, pers}
+			if err := StartAll(ops); err != nil {
+				return err
+			}
+			// Double-start through the same generic path must fail for
+			// every kind.
+			if err := StartAll(ops); err == nil {
+				return fmt.Errorf("round %d: StartAll restarted active ops", round)
+			}
+			if p.Rank() == 0 {
+				if err := part.PreadyRange(0, 4); err != nil {
+					return err
+				}
+			}
+			if err := part.Wait(); err != nil {
+				return err
+			}
+			if err := coll.Wait(); err != nil {
+				return err
+			}
+			if _, err := pers.Wait(); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}
+
+// TestPartitionedWatchdogEdge parks rank 1 in a partitioned Wait whose
+// sender never readies anything, and checks the deadlock diagnosis
+// labels the stalled edge with the partitioned tag class.
+func TestPartitionedWatchdogEdge(t *testing.T) {
+	var diag bytes.Buffer
+	cfg := Config{
+		Device: DeviceCH4, Fabric: "ofi",
+		Watchdog:         true,
+		WatchdogInterval: 5 * time.Millisecond,
+		DiagWriter:       &diag,
+	}
+	err := Run(2, cfg, func(p *Proc) error {
+		w := p.World()
+		buf := make([]byte, 64)
+		if p.Rank() == 0 {
+			// The sender initializes but never calls Pready: the
+			// declared-shape deadlock.
+			op, err := w.PsendInit(buf, 4, 16, Byte, 1, 2)
+			if err != nil {
+				return err
+			}
+			return op.Start()
+		}
+		op, err := w.PrecvInit(buf, 4, 16, Byte, 0, 2)
+		if err != nil {
+			return err
+		}
+		if err := op.Start(); err != nil {
+			return err
+		}
+		return op.Wait()
+	})
+	if !errors.Is(err, ErrStalled) {
+		t.Fatalf("err = %v, want ErrStalled", err)
+	}
+	if !bytes.Contains(diag.Bytes(), []byte("[partitioned]")) {
+		t.Errorf("diagnosis missing [partitioned] edge label:\n%s", diag.String())
+	}
+}

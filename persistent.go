@@ -109,8 +109,12 @@ func (o *PersistentOp) Test() (Status, bool, error) {
 	return st, done, err
 }
 
-// StartAll restarts a set of persistent operations (MPI_STARTALL).
-func StartAll(ops []*PersistentOp) error {
+// StartAll restarts a set of persistent operations (MPI_STARTALL). It
+// is generic over everything restartable — persistent point-to-point
+// operations, persistent collectives, and partitioned operations all
+// share the Start contract. The first error stops the sweep;
+// already-started operations stay started, as in MPI.
+func StartAll[T interface{ Start() error }](ops []T) error {
 	for _, o := range ops {
 		if err := o.Start(); err != nil {
 			return err

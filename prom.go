@@ -67,6 +67,9 @@ func (s *Stats) WriteProm(w io.Writer) error {
 		fmt.Fprintf(w, "gompi_match_bin_ops_total{rank=%q} %d\n", rank, m.Match.BinOps)
 		fmt.Fprintf(w, "gompi_unexpected_queue_max{rank=%q} %d\n", rank, m.Match.UnexpectedMax)
 		fmt.Fprintf(w, "gompi_posted_queue_max{rank=%q} %d\n", rank, m.Match.PostedMax)
+		fmt.Fprintf(w, "gompi_sched_cache_hits_total{rank=%q} %d\n", rank, m.Sched.CacheHits)
+		fmt.Fprintf(w, "gompi_sched_cache_misses_total{rank=%q} %d\n", rank, m.Sched.CacheMisses)
+		fmt.Fprintf(w, "gompi_partitions_ready_total{rank=%q} %d\n", rank, m.Sched.PartitionsReady)
 	}
 	fmt.Fprintln(w, "# TYPE gompi_post_match_cycles summary")
 	fmt.Fprintln(w, "# TYPE gompi_unexpected_residency_cycles summary")
@@ -78,6 +81,9 @@ func (s *Stats) WriteProm(w io.Writer) error {
 	fmt.Fprintln(w, "# TYPE gompi_path_msgs_total counter")
 	fmt.Fprintln(w, "# TYPE gompi_path_bytes_total counter")
 	fmt.Fprintln(w, "# TYPE gompi_rma_ops_total counter")
+	fmt.Fprintln(w, "# TYPE gompi_sched_cache_hits_total counter")
+	fmt.Fprintln(w, "# TYPE gompi_sched_cache_misses_total counter")
+	fmt.Fprintln(w, "# TYPE gompi_partitions_ready_total counter")
 	row("all", agg)
 	for i := range s.Ranks {
 		r := &s.Ranks[i]

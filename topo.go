@@ -1,6 +1,8 @@
 package gompi
 
 import (
+	"gompi/internal/metrics"
+	"gompi/internal/nbc"
 	"gompi/internal/topo"
 )
 
@@ -94,41 +96,263 @@ func (c *CartComm) Neighbors() []int {
 	return nb
 }
 
+// Neighborhood collectives (MPI_NEIGHBOR_ALLGATHER and friends): each
+// rank exchanges only with its declared neighbors, compiled through the
+// nbc schedule engine. The compilers order each transfer list
+// local-first — shm-reachable neighbors are injected and drained before
+// the schedule parks on net peers — and the compiled schedules go
+// through the communicator's schedule cache, so a halo exchange
+// repeated every iteration compiles once. ProcNull neighbors (the open
+// edges of a non-periodic grid) transfer nothing; their receive blocks
+// are zeroed on every activation through the schedule prologue.
+
+// neighborAllgather runs the blocking neighborhood allgather over
+// explicit neighbor lists; CartComm and GraphComm supply theirs. The
+// schedule is cached per (buffers, list length): a communicator's
+// neighbor lists are fixed at topology creation, so buffer identity
+// pins the rest.
+func (c *Comm) neighborAllgather(send, recv []byte, count int, dt *Datatype, sources, destinations []int) error {
+	done, err := c.collEnter()
+	if err != nil {
+		return err
+	}
+	defer done()
+	n := count * dt.Size()
+	if len(recv) < n*len(sources) {
+		return errc(ErrBuffer, "neighbor allgather recv %d < %d", len(recv), n*len(sources))
+	}
+	t := c.nbcPort()
+	sp, sl := nbc.BufKey(send[:n])
+	rp, rl := nbc.BufKey(recv[:n*len(sources)])
+	key := nbc.CacheKey{Kind: nbc.CacheNeighborAllgather, Algo: metrics.CollNeighborAllgather,
+		Root: -1, Send: sp, SendLen: sl, Recv: rp, RecvLen: rl}
+	req, err := c.cachedStart(key, func(tag int) (*nbc.Schedule, error) {
+		return nbc.NeighborAllgather(t, tag, send[:n], recv[:n*len(sources)], sources, destinations)
+	})
+	if err != nil {
+		return err
+	}
+	_, err = req.Wait()
+	return err
+}
+
+// neighborAlltoall runs the blocking neighborhood all-to-all over
+// explicit neighbor lists.
+func (c *Comm) neighborAlltoall(send, recv []byte, count int, dt *Datatype, sources, destinations []int) error {
+	done, err := c.collEnter()
+	if err != nil {
+		return err
+	}
+	defer done()
+	n := count * dt.Size()
+	if len(send) < n*len(destinations) {
+		return errc(ErrBuffer, "neighbor alltoall send %d < %d", len(send), n*len(destinations))
+	}
+	if len(recv) < n*len(sources) {
+		return errc(ErrBuffer, "neighbor alltoall recv %d < %d", len(recv), n*len(sources))
+	}
+	t := c.nbcPort()
+	sp, sl := nbc.BufKey(send[:n*len(destinations)])
+	rp, rl := nbc.BufKey(recv[:n*len(sources)])
+	key := nbc.CacheKey{Kind: nbc.CacheNeighborAlltoall, Algo: metrics.CollNeighborAlltoall,
+		Root: -1, Send: sp, SendLen: sl, Recv: rp, RecvLen: rl}
+	req, err := c.cachedStart(key, func(tag int) (*nbc.Schedule, error) {
+		return nbc.NeighborAlltoall(t, tag, n, send[:n*len(destinations)], recv[:n*len(sources)], sources, destinations)
+	})
+	if err != nil {
+		return err
+	}
+	_, err = req.Wait()
+	return err
+}
+
+// neighborAlltoallv runs the ragged blocking variant: per-neighbor
+// element counts and displacements (in elements of dt). The counts fold
+// into the cache key, so changing them recompiles instead of replaying
+// a stale shape.
+func (c *Comm) neighborAlltoallv(send []byte, sendCounts, sendDispls []int, recv []byte, recvCounts, recvDispls []int, dt *Datatype, sources, destinations []int) error {
+	done, err := c.collEnter()
+	if err != nil {
+		return err
+	}
+	defer done()
+	es := dt.Size()
+	sc := scaleVec(sendCounts, es)
+	sd := scaleVec(sendDispls, es)
+	rc := scaleVec(recvCounts, es)
+	rd := scaleVec(recvDispls, es)
+	t := c.nbcPort()
+	sp, sl := nbc.BufKey(send)
+	rp, rl := nbc.BufKey(recv)
+	key := nbc.CacheKey{Kind: nbc.CacheNeighborAlltoall, Algo: metrics.CollNeighborAlltoallv,
+		Root: -1, Send: sp, SendLen: sl, Recv: rp, RecvLen: rl,
+		Shape: nbc.ShapeHash(sc, sd, rc, rd)}
+	req, err := c.cachedStart(key, func(tag int) (*nbc.Schedule, error) {
+		return nbc.NeighborAlltoallv(t, tag, send, sc, sd, recv, rc, rd, sources, destinations)
+	})
+	if err != nil {
+		return err
+	}
+	_, err = req.Wait()
+	return err
+}
+
+// scaleVec multiplies a count/displacement vector by the element size.
+func scaleVec(v []int, es int) []int {
+	out := make([]int, len(v))
+	for i, x := range v {
+		out[i] = x * es
+	}
+	return out
+}
+
+// neighborAllgatherInit compiles a persistent neighborhood allgather.
+func (c *Comm) neighborAllgatherInit(send, recv []byte, count int, dt *Datatype, sources, destinations []int) (*PersistentColl, error) {
+	done, err := c.collEnter()
+	if err != nil {
+		return nil, err
+	}
+	defer done()
+	n := count * dt.Size()
+	if len(recv) < n*len(sources) {
+		return nil, errc(ErrBuffer, "neighbor allgather recv %d < %d", len(recv), n*len(sources))
+	}
+	tag := c.persistTag()
+	s, err := nbc.NeighborAllgather(c.nbcPort(), tag, send[:n], recv[:n*len(sources)], sources, destinations)
+	if err != nil {
+		return nil, errc(ErrArg, "%v", err)
+	}
+	return c.persistWrap(s, tag), nil
+}
+
+// neighborAlltoallInit compiles a persistent neighborhood all-to-all.
+func (c *Comm) neighborAlltoallInit(send, recv []byte, count int, dt *Datatype, sources, destinations []int) (*PersistentColl, error) {
+	done, err := c.collEnter()
+	if err != nil {
+		return nil, err
+	}
+	defer done()
+	n := count * dt.Size()
+	if len(send) < n*len(destinations) || len(recv) < n*len(sources) {
+		return nil, errc(ErrBuffer, "neighbor alltoall_init buffers short")
+	}
+	tag := c.persistTag()
+	s, err := nbc.NeighborAlltoall(c.nbcPort(), tag, n, send[:n*len(destinations)], recv[:n*len(sources)], sources, destinations)
+	if err != nil {
+		return nil, errc(ErrArg, "%v", err)
+	}
+	return c.persistWrap(s, tag), nil
+}
+
 // NeighborAllgather exchanges one equal-size block with every nearest
 // neighbor (MPI_NEIGHBOR_ALLGATHER on the Cartesian topology): recv
 // holds 2*ndims blocks in Neighbors() order; blocks from ProcNull
 // neighbors are zeroed.
 func (c *CartComm) NeighborAllgather(send, recv []byte, count int, dt *Datatype) error {
-	n := count * dt.Size()
 	nb := c.Neighbors()
-	if len(recv) < n*len(nb) {
-		return errc(ErrBuffer, "neighbor allgather recv %d < %d", len(recv), n*len(nb))
+	return c.Comm.neighborAllgather(send, recv, count, dt, nb, nb)
+}
+
+// NeighborAlltoall sends a distinct block to each nearest neighbor and
+// receives one from each (MPI_NEIGHBOR_ALLTOALL on the Cartesian
+// topology), blocks in Neighbors() order.
+func (c *CartComm) NeighborAlltoall(send, recv []byte, count int, dt *Datatype) error {
+	nb := c.Neighbors()
+	return c.Comm.neighborAlltoall(send, recv, count, dt, nb, nb)
+}
+
+// NeighborAllgatherInit binds a persistent neighborhood allgather
+// (MPI_NEIGHBOR_ALLGATHER_INIT): the halo-exchange schedule — transfer
+// list, locality ordering, ProcNull zeroing — compiles once, and every
+// Start replays it.
+func (c *CartComm) NeighborAllgatherInit(send, recv []byte, count int, dt *Datatype) (*PersistentColl, error) {
+	nb := c.Neighbors()
+	return c.Comm.neighborAllgatherInit(send, recv, count, dt, nb, nb)
+}
+
+// NeighborAlltoallInit binds a persistent neighborhood all-to-all
+// (MPI_NEIGHBOR_ALLTOALL_INIT).
+func (c *CartComm) NeighborAlltoallInit(send, recv []byte, count int, dt *Datatype) (*PersistentColl, error) {
+	nb := c.Neighbors()
+	return c.Comm.neighborAlltoallInit(send, recv, count, dt, nb, nb)
+}
+
+// GraphComm is a communicator with an attached distributed-graph
+// topology (MPI_DIST_GRAPH_CREATE_ADJACENT): each rank declares the
+// neighbors it receives from (sources) and sends to (destinations).
+type GraphComm struct {
+	*Comm
+	sources      []int
+	destinations []int
+}
+
+// DistGraphCreateAdjacent attaches an adjacent-specification graph
+// topology to a duplicate of the communicator. Every rank passes its
+// own in- and out-neighbor lists; reordering is not performed. The
+// declared lists must be consistent across ranks (r lists s as a source
+// exactly as often as s lists r as a destination) — as in MPI, an
+// inconsistent graph is erroneous and shows up as a stall.
+func (c *Comm) DistGraphCreateAdjacent(sources, destinations []int) (*GraphComm, error) {
+	if err := c.p.checkComm(c); err != nil {
+		return nil, err
 	}
-	// Send to every live neighbor with a direction-coded tag, then
-	// receive; eager sends keep this deadlock-free. The tag encodes
-	// the direction so paired neighbors in small periodic grids (where
-	// low == high) stay distinguishable: my send in direction d is the
-	// peer's receive from its opposite direction.
-	const tagBase = 600
-	for d, peer := range nb {
-		if peer == ProcNull {
-			continue
-		}
-		if err := c.IsendNoReq(send[:n], count, dt, peer, tagBase+(d^1)); err != nil {
-			return err
+	for _, r := range sources {
+		if r < 0 || r >= c.Size() {
+			return nil, errc(ErrRank, "graph source %d outside [0,%d)", r, c.Size())
 		}
 	}
-	for d, peer := range nb {
-		blk := recv[d*n : (d+1)*n]
-		if peer == ProcNull {
-			for i := range blk {
-				blk[i] = 0
-			}
-			continue
-		}
-		if _, err := c.Recv(blk, count, dt, peer, tagBase+d); err != nil {
-			return err
+	for _, r := range destinations {
+		if r < 0 || r >= c.Size() {
+			return nil, errc(ErrRank, "graph destination %d outside [0,%d)", r, c.Size())
 		}
 	}
-	return c.CommWaitall()
+	dup, err := c.Dup()
+	if err != nil {
+		return nil, err
+	}
+	g := &GraphComm{Comm: dup}
+	g.sources = append(g.sources, sources...)
+	g.destinations = append(g.destinations, destinations...)
+	return g, nil
+}
+
+// Sources returns the declared in-neighbors (copy).
+func (c *GraphComm) Sources() []int { return append([]int(nil), c.sources...) }
+
+// Destinations returns the declared out-neighbors (copy).
+func (c *GraphComm) Destinations() []int { return append([]int(nil), c.destinations...) }
+
+// NeighborAllgather exchanges the rank's block with its graph
+// neighbors: send goes to every destination, recv holds one block per
+// source in declaration order.
+func (c *GraphComm) NeighborAllgather(send, recv []byte, count int, dt *Datatype) error {
+	return c.Comm.neighborAllgather(send, recv, count, dt, c.sources, c.destinations)
+}
+
+// NeighborAlltoall sends block j to destination j and receives block i
+// from source i.
+func (c *GraphComm) NeighborAlltoall(send, recv []byte, count int, dt *Datatype) error {
+	return c.Comm.neighborAlltoall(send, recv, count, dt, c.sources, c.destinations)
+}
+
+// NeighborAlltoallv is the ragged graph exchange: counts and
+// displacements are in elements of dt, one entry per declared neighbor.
+func (c *GraphComm) NeighborAlltoallv(send []byte, sendCounts, sendDispls []int, recv []byte, recvCounts, recvDispls []int, dt *Datatype) error {
+	if len(sendCounts) != len(c.destinations) || len(sendDispls) != len(c.destinations) {
+		return errc(ErrArg, "neighbor alltoallv: %d/%d send counts/displs for %d destinations", len(sendCounts), len(sendDispls), len(c.destinations))
+	}
+	if len(recvCounts) != len(c.sources) || len(recvDispls) != len(c.sources) {
+		return errc(ErrArg, "neighbor alltoallv: %d/%d recv counts/displs for %d sources", len(recvCounts), len(recvDispls), len(c.sources))
+	}
+	return c.Comm.neighborAlltoallv(send, sendCounts, sendDispls, recv, recvCounts, recvDispls, dt, c.sources, c.destinations)
+}
+
+// NeighborAllgatherInit binds a persistent graph allgather.
+func (c *GraphComm) NeighborAllgatherInit(send, recv []byte, count int, dt *Datatype) (*PersistentColl, error) {
+	return c.Comm.neighborAllgatherInit(send, recv, count, dt, c.sources, c.destinations)
+}
+
+// NeighborAlltoallInit binds a persistent graph all-to-all.
+func (c *GraphComm) NeighborAlltoallInit(send, recv []byte, count int, dt *Datatype) (*PersistentColl, error) {
+	return c.Comm.neighborAlltoallInit(send, recv, count, dt, c.sources, c.destinations)
 }
